@@ -1,0 +1,83 @@
+//! Figure 11: strong scaling of PEPS evolution (one TEBD layer) and PEPS
+//! contraction (IBMPS, no physical indices) as the number of cores grows,
+//! with the problem size held fixed.
+//!
+//! The virtual cluster executes on one machine, so the scaling curve is the
+//! *modelled* parallel time derived from the per-rank work and communication
+//! counters (see DESIGN.md §1); the useful-work and traffic numbers are
+//! measured from real data movement.
+
+use koala_bench::{BenchArgs, Figure, Series};
+use koala_cluster::{Cluster, CostModel};
+use koala_linalg::{c64, expm_hermitian};
+use koala_peps::operators::{kron, pauli_x, pauli_z};
+use koala_peps::{dist_contract_no_phys, dist_tebd_layer, ContractionMethod, DistEvolutionVariant, Peps};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (side, r_evo, r_con): (usize, usize, usize) =
+        if args.quick { (4, 4, 6) } else { (6, 6, 8) };
+    let rank_counts: Vec<usize> = if args.quick {
+        vec![1, 2, 4, 8, 16]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
+    let model = CostModel::default();
+    let gate = expm_hermitian(
+        &(&kron(&pauli_x(), &pauli_x()) + &kron(&pauli_z(), &pauli_z())),
+        c64(-0.05, 0.0),
+    )
+    .unwrap();
+
+    let mut fig = Figure::new(
+        "fig11",
+        &format!("Strong scaling on a {side}x{side} PEPS (evolution r={r_evo}, contraction r=m={r_con})"),
+        "virtual ranks (cores)",
+        "modelled parallel time (seconds)",
+    );
+    let mut evo = Series::new(format!("Evolution: {side}x{side}, r = {r_evo}"));
+    let mut con = Series::new(format!("Contraction: {side}x{side}, r = {r_con}"));
+    // The compute critical path (max per-rank flops) isolates how well the
+    // work itself strong-scales, independent of the latency floor that
+    // dominates laptop-sized problems (see EXPERIMENTS.md).
+    let mut evo_compute = Series::new("Evolution: compute critical path (max rank flops)");
+    let mut con_compute = Series::new("Contraction: compute critical path (max rank flops)");
+
+    for &ranks in &rank_counts {
+        let mut rng = StdRng::seed_from_u64(11_000 + ranks as u64);
+        let base = Peps::random(side, side, 2, r_evo, &mut rng);
+        let cluster = Cluster::new(ranks);
+        let mut p = base.clone();
+        dist_tebd_layer(&cluster, &mut p, &gate, r_evo, DistEvolutionVariant::LocalGramQrSvd).unwrap();
+        let stats = cluster.stats();
+        let t_evo = model.modelled_time(&stats);
+        evo.push(ranks as f64, t_evo);
+
+        let peps_c = Peps::random_no_phys(side, side, r_con, &mut rng);
+        let cluster = Cluster::new(ranks);
+        let _ = dist_contract_no_phys(&cluster, &peps_c, ContractionMethod::ibmps(r_con), &mut rng)
+            .unwrap();
+        let stats_c = cluster.stats();
+        let t_con = model.modelled_time(&stats_c);
+        con.push(ranks as f64, t_con);
+        evo_compute.push(ranks as f64, stats.max_rank_flops() as f64);
+        con_compute.push(ranks as f64, stats_c.max_rank_flops() as f64);
+
+        println!(
+            "ranks={ranks:<3} evolution: t={t_evo:.4}s max_flops={:.3e} imbalance={:.2} | contraction: t={t_con:.4}s max_flops={:.3e} comm={:.2} MB",
+            stats.max_rank_flops() as f64,
+            stats.load_imbalance(),
+            stats_c.max_rank_flops() as f64,
+            stats_c.bytes_communicated as f64 / 1e6
+        );
+    }
+
+    fig.add(evo);
+    fig.add(con);
+    fig.add(evo_compute);
+    fig.add(con_compute);
+    fig.print();
+    fig.maybe_write_json(&args);
+}

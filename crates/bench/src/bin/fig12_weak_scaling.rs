@@ -1,0 +1,75 @@
+//! Figure 12: weak scaling — the bond dimension grows with the number of
+//! ranks so the memory per rank stays roughly constant, and the reported
+//! metric is the useful flop rate per core under the cluster cost model.
+//!
+//! Paper setup: evolution bond dimensions r = 70..280 and contraction bond
+//! dimensions m = 80..320 over 2^6..2^12 cores. Scaled-down default: the bond
+//! dimension grows as ranks^(1/2) from a small base so a single machine can
+//! execute every point.
+
+use koala_bench::{BenchArgs, Figure, Series};
+use koala_cluster::{Cluster, CostModel};
+use koala_linalg::{c64, expm_hermitian};
+use koala_peps::operators::{kron, pauli_x, pauli_z};
+use koala_peps::{dist_contract_no_phys, dist_tebd_layer, ContractionMethod, DistEvolutionVariant, Peps};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let side = if args.quick { 4 } else { 6 };
+    let rank_counts: Vec<usize> =
+        if args.quick { vec![1, 4, 16] } else { vec![1, 4, 16, 64] };
+    let (r_base, m_base) = (3usize, 4usize);
+    let model = CostModel::default();
+    let gate = expm_hermitian(
+        &(&kron(&pauli_x(), &pauli_x()) + &kron(&pauli_z(), &pauli_z())),
+        c64(-0.05, 0.0),
+    )
+    .unwrap();
+
+    let mut fig = Figure::new(
+        "fig12",
+        &format!("Weak scaling on a {side}x{side} PEPS (bond dimension grows with rank count)"),
+        "virtual ranks (cores)",
+        "modelled useful Gflop/s per core",
+    );
+    let mut evo = Series::new("Evolution: scale r");
+    let mut con = Series::new("Contraction: scale m");
+
+    for &ranks in &rank_counts {
+        // Per-rank memory of the dominant site tensors scales like r^4 / ranks,
+        // so growing r ~ ranks^(1/4) keeps it constant; we use a slightly
+        // faster growth to keep the points distinguishable at small scale.
+        let scale = (ranks as f64).powf(0.25);
+        let r = ((r_base as f64) * scale).round() as usize;
+        let m = ((m_base as f64) * scale).round() as usize;
+
+        let mut rng = StdRng::seed_from_u64(12_000 + ranks as u64);
+        let base = Peps::random(side, side, 2, r, &mut rng);
+        let cluster = Cluster::new(ranks);
+        let mut p = base.clone();
+        dist_tebd_layer(&cluster, &mut p, &gate, r, DistEvolutionVariant::LocalGramQrSvd).unwrap();
+        let stats = cluster.stats();
+        // Complex multiply-add = 8 real flops.
+        let gflops_evo = model.flop_rate_per_rank(&stats) * 8.0 / 1e9;
+        evo.push(ranks as f64, gflops_evo);
+
+        let peps_c = Peps::random_no_phys(side, side, m, &mut rng);
+        let cluster = Cluster::new(ranks);
+        let _ =
+            dist_contract_no_phys(&cluster, &peps_c, ContractionMethod::ibmps(m), &mut rng).unwrap();
+        let stats_c = cluster.stats();
+        let gflops_con = model.flop_rate_per_rank(&stats_c) * 8.0 / 1e9;
+        con.push(ranks as f64, gflops_con);
+
+        println!(
+            "ranks={ranks:<3} r={r:<3} m={m:<3} evolution={gflops_evo:.3} Gflop/s/core contraction={gflops_con:.3} Gflop/s/core"
+        );
+    }
+
+    fig.add(evo);
+    fig.add(con);
+    fig.print();
+    fig.maybe_write_json(&args);
+}

@@ -1,0 +1,75 @@
+//! Figure 13: imaginary time evolution of the 4x4 spin-1/2 J1-J2 Heisenberg
+//! model. (a) energy per site versus ITE step for small bond dimensions, with
+//! both m = r and m = r^2 contraction bonds; (b) the energy after a fixed
+//! number of steps as the bond dimension grows, compared with the
+//! state-vector reference.
+
+use koala_bench::{BenchArgs, Figure, Series};
+use koala_peps::Peps;
+use koala_sim::{ite_peps, ite_statevector, j1j2_hamiltonian, IteOptions, J1J2Params, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (nrows, ncols) = (4usize, 4usize);
+    let params = J1J2Params::paper_figure13();
+    let h = j1j2_hamiltonian(nrows, ncols, params);
+    let tau = 0.05;
+    let (steps, bonds, sv_steps): (usize, Vec<usize>, usize) =
+        if args.quick { (20, vec![1, 2], 100) } else { (80, vec![1, 2, 3], 400) };
+    let measure_every = if args.quick { 5 } else { 10 };
+
+    let mut fig = Figure::new(
+        "fig13",
+        &format!("ITE of the {nrows}x{ncols} J1-J2 model (J1=1.0, J2=0.5, h=0.2), tau={tau}"),
+        "ITE step",
+        "energy per site",
+    );
+
+    // State-vector reference.
+    println!("running state-vector ITE reference ({sv_steps} steps)...");
+    let sv = StateVector::computational_zeros(nrows, ncols);
+    let reference = ite_statevector(&sv, &h, tau, sv_steps);
+    let mut s_ref = Series::new("state vector");
+    for &(step, e) in &reference {
+        if step % measure_every == 0 {
+            s_ref.push(step as f64, e);
+        }
+    }
+    let sv_final = reference.last().unwrap().1;
+    println!("state-vector energy per site after {sv_steps} steps: {sv_final:.6}");
+    fig.add(s_ref);
+
+    let mut final_vs_bond_r = Series::new("final energy vs r (m = r)");
+    let mut final_vs_bond_r2 = Series::new("final energy vs r (m = r^2)");
+
+    for &r in &bonds {
+        for (m, series, label) in [
+            (r, &mut final_vs_bond_r, "m=r"),
+            (r * r, &mut final_vs_bond_r2, "m=r^2"),
+        ] {
+            let mut rng = StdRng::seed_from_u64(13_000 + (r * 10 + m) as u64);
+            let peps = Peps::computational_zeros(nrows, ncols);
+            let mut options = IteOptions::new(tau, steps, r, m.max(2));
+            options.measure_every = measure_every;
+            println!("running PEPS ITE r={r} {label} ({steps} steps)...");
+            let result = ite_peps(&peps, &h, options, &mut rng).unwrap();
+            let mut s = Series::new(format!("PEPS r={r}, {label}"));
+            for &(step, e) in &result.energies {
+                s.push(step as f64, e);
+            }
+            println!(
+                "  r={r} {label}: final energy per site = {:.6} (state vector {sv_final:.6})",
+                result.final_energy()
+            );
+            series.push(r as f64, result.final_energy());
+            fig.add(s);
+        }
+    }
+
+    fig.add(final_vs_bond_r);
+    fig.add(final_vs_bond_r2);
+    fig.print();
+    fig.maybe_write_json(&args);
+}

@@ -1,0 +1,76 @@
+//! Figure 14: VQE simulation of the 3x3 ferromagnetic transverse-field Ising
+//! model (Jz = -1, hx = -3.5), comparing PEPS simulations at several maximum
+//! bond dimensions against the exact state-vector simulation and the exact
+//! ground-state energy.
+
+use koala_bench::{BenchArgs, Figure, Series};
+use koala_sim::{
+    run_vqe, tfi_hamiltonian, Optimizer, StateVector, TfiParams, VqeBackend, VqeOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (nrows, ncols) = (3usize, 3usize);
+    let params = TfiParams::paper_figure14();
+    let h = tfi_hamiltonian(nrows, ncols, params);
+    let layers = 1;
+    let (iterations, bonds): (usize, Vec<usize>) =
+        if args.quick { (30, vec![1, 2]) } else { (80, vec![1, 2, 3, 4]) };
+
+    let mut rng = StdRng::seed_from_u64(14_000);
+    let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng) / (nrows * ncols) as f64;
+    println!("exact ground-state energy per site: {exact:.6}");
+
+    let mut fig = Figure::new(
+        "fig14",
+        &format!("VQE on the {nrows}x{ncols} ferromagnetic TFI model (Jz=-1, hx=-3.5), {layers} ansatz layer(s)"),
+        "optimizer iteration",
+        "best-so-far energy per site",
+    );
+    let mut exact_series = Series::new("exact ground state");
+    exact_series.push(0.0, exact);
+    exact_series.push(iterations as f64, exact);
+    fig.add(exact_series);
+
+    // State-vector VQE reference.
+    let options = VqeOptions {
+        layers,
+        backend: VqeBackend::StateVector,
+        optimizer: Optimizer::NelderMead { scale: 0.4, max_iterations: iterations },
+    };
+    println!("running state-vector VQE...");
+    let sv_result = run_vqe(nrows, ncols, &h, options, None, &mut rng).unwrap();
+    let mut s = Series::new("state vector");
+    for (i, e) in sv_result.energy_history.iter().enumerate() {
+        s.push(i as f64, *e);
+    }
+    println!("  state vector best energy per site: {:.6}", sv_result.best_energy);
+    fig.add(s);
+
+    let mut best_vs_bond = Series::new("best energy vs bond dimension");
+    for &r in &bonds {
+        let options = VqeOptions {
+            layers,
+            backend: VqeBackend::Peps { bond: r, contraction_bond: (r * r).max(2) },
+            optimizer: Optimizer::NelderMead { scale: 0.4, max_iterations: iterations },
+        };
+        println!("running PEPS VQE with r={r}...");
+        let result = run_vqe(nrows, ncols, &h, options, None, &mut rng).unwrap();
+        let mut s = Series::new(format!("peps, r = {r}"));
+        for (i, e) in result.energy_history.iter().enumerate() {
+            s.push(i as f64, *e);
+        }
+        println!(
+            "  r={r}: best energy per site = {:.6} ({} objective evaluations)",
+            result.best_energy, result.evaluations
+        );
+        best_vs_bond.push(r as f64, result.best_energy);
+        fig.add(s);
+    }
+
+    fig.add(best_vs_bond);
+    fig.print();
+    fig.maybe_write_json(&args);
+}

@@ -1,0 +1,87 @@
+//! Figure 7: running time of one layer of TEBD operators versus bond
+//! dimension, comparing the local (threaded) backend against the simulated
+//! distributed backend and its three QR-SVD variants.
+//!
+//! Paper setup: (a) 8x8 PEPS on one node, NumPy vs CTF; (b) 15x15 PEPS on
+//! 16 nodes, three CTF variants. Scaled-down defaults: (a) 4x4 (quick) / 6x6
+//! lattice; (b) the same lattice on a 16-rank virtual cluster, reporting both
+//! wall-clock and modelled parallel time.
+
+use koala_bench::{time_it, BenchArgs, Figure, Series};
+use koala_cluster::{Cluster, CostModel};
+use koala_linalg::{c64, expm_hermitian};
+use koala_peps::operators::{kron, pauli_x, pauli_z};
+use koala_peps::{apply_two_site_everywhere, dist_tebd_layer, DistEvolutionVariant, Peps, UpdateMethod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tebd_gate() -> koala_linalg::Matrix {
+    let h = &kron(&pauli_x(), &pauli_x()) + &kron(&pauli_z(), &pauli_z());
+    expm_hermitian(&h, c64(-0.05, 0.0)).unwrap()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (side, bonds): (usize, Vec<usize>) =
+        if args.quick { (4, vec![2, 3, 4]) } else { (6, vec![2, 3, 4, 6, 8]) };
+    let nranks = 16;
+    let model = CostModel::default();
+    let gate = tebd_gate();
+
+    let mut fig = Figure::new(
+        "fig7",
+        &format!("One TEBD layer on a {side}x{side} PEPS ({nranks}-rank virtual cluster for ctf-*)"),
+        "bond dimension r",
+        "seconds (wall clock; ctf-* also reports modelled parallel time)",
+    );
+
+    let mut local = Series::new("local-qr-svd (threaded backend, wall clock)");
+    let mut variants: Vec<(DistEvolutionVariant, Series, Series)> = vec![
+        DistEvolutionVariant::CtfQrSvd,
+        DistEvolutionVariant::LocalGramQr,
+        DistEvolutionVariant::LocalGramQrSvd,
+    ]
+    .into_iter()
+    .map(|v| {
+        (
+            v,
+            Series::new(format!("{} (wall clock)", v.label())),
+            Series::new(format!("{} (modelled parallel time)", v.label())),
+        )
+    })
+    .collect();
+
+    for &r in &bonds {
+        let mut rng = StdRng::seed_from_u64(7_000 + r as u64);
+        let base = Peps::random(side, side, 2, r, &mut rng);
+
+        let mut p = base.clone();
+        let (_, secs) =
+            time_it(|| apply_two_site_everywhere(&mut p, &gate, UpdateMethod::qr_svd(r)).unwrap());
+        local.push(r as f64, secs);
+        println!("local  r={r:<3} wall={secs:.3}s");
+
+        for (variant, wall_series, model_series) in variants.iter_mut() {
+            let cluster = Cluster::new(nranks);
+            let mut p = base.clone();
+            let (_, secs) =
+                time_it(|| dist_tebd_layer(&cluster, &mut p, &gate, r, *variant).unwrap());
+            let stats = cluster.stats();
+            let modelled = model.modelled_time(&stats);
+            wall_series.push(r as f64, secs);
+            model_series.push(r as f64, modelled);
+            println!(
+                "{:<24} r={r:<3} wall={secs:.3}s modelled={modelled:.4}s  [{stats}]",
+                variant.label()
+            );
+        }
+    }
+
+    fig.add(local);
+    for (_, wall, modelled) in variants {
+        fig.add(wall);
+        fig.add(modelled);
+    }
+    fig.print();
+    fig.maybe_write_json(&args);
+}

@@ -1,0 +1,85 @@
+//! Figure 9: running time of the expectation-value calculation with and
+//! without intermediate (row-environment) caching, as the PEPS side length
+//! grows. The observable is the paper's: a one-site operator on every site
+//! plus a two-site operator on every pair of neighbouring sites.
+
+use koala_bench::{time_it, BenchArgs, Figure, Series};
+use koala_peps::expectation::{expectation, ExpectationOptions};
+use koala_peps::operators::{kron, pauli_x, pauli_z, Observable};
+use koala_peps::{ContractionMethod, Peps};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn full_lattice_observable(n: usize) -> Observable {
+    let mut obs = Observable::zero();
+    for r in 0..n {
+        for c in 0..n {
+            obs.add_one_site((r, c), pauli_x());
+        }
+    }
+    let zz = kron(&pauli_z(), &pauli_z());
+    for r in 0..n {
+        for c in 0..n {
+            if c + 1 < n {
+                obs.add_two_site((r, c), (r, c + 1), zz.clone());
+            }
+            if r + 1 < n {
+                obs.add_two_site((r, c), (r + 1, c), zz.clone());
+            }
+        }
+    }
+    obs
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sides: Vec<usize> = if args.quick { vec![2, 3, 4] } else { vec![2, 3, 4, 5, 6] };
+    let bond = 4;
+    let contraction_bond = 8;
+
+    let mut fig = Figure::new(
+        "fig9",
+        "Expectation value of a full-lattice observable with and without caching (bond 4)",
+        "PEPS side length n",
+        "seconds",
+    );
+    let mut cached = Series::new("IBMPS with cache");
+    let mut uncached = Series::new("IBMPS without cache");
+
+    for &n in &sides {
+        let mut rng = StdRng::seed_from_u64(9_000 + n as u64);
+        let peps = Peps::random(n, n, 2, bond, &mut rng);
+        let obs = full_lattice_observable(n);
+
+        let (_, secs_cached) = time_it(|| {
+            expectation(
+                &peps,
+                &obs,
+                ExpectationOptions { method: ContractionMethod::ibmps(contraction_bond), use_cache: true },
+                &mut rng,
+            )
+            .unwrap()
+        });
+        let (_, secs_uncached) = time_it(|| {
+            expectation(
+                &peps,
+                &obs,
+                ExpectationOptions { method: ContractionMethod::ibmps(contraction_bond), use_cache: false },
+                &mut rng,
+            )
+            .unwrap()
+        });
+        cached.push(n as f64, secs_cached);
+        uncached.push(n as f64, secs_uncached);
+        println!(
+            "n={n:<2} terms={:<4} cached={secs_cached:.3}s uncached={secs_uncached:.3}s speed-up={:.2}x",
+            obs.len(),
+            secs_uncached / secs_cached.max(1e-12)
+        );
+    }
+
+    fig.add(cached);
+    fig.add(uncached);
+    fig.print();
+    fig.maybe_write_json(&args);
+}

@@ -1,0 +1,55 @@
+//! Table II: empirical scaling of the boundary-contraction algorithms with
+//! the truncation bond dimension m.
+//!
+//! The paper derives asymptotic complexities of O(n^2 m^3 r^4) for BMPS,
+//! O(n^2 m^2 r^4 + n^2 m^3 r^2) for IBMPS, and O(n^2 d m^2 r^3 + n^2 d m^3 r^2)
+//! for two-layer IBMPS. This binary measures the contraction time of a fixed
+//! PEPS while sweeping m and reports the fitted log-log slope (the empirical
+//! exponent of m), together with the peak working-set proxy (largest boundary
+//! tensor), which should show BMPS growing faster than IBMPS.
+
+use koala_bench::{log_log_slope, time_it, BenchArgs, Figure, Series};
+use koala_peps::{contract_no_phys, ContractionMethod, Peps};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (side, r, ms): (usize, usize, Vec<usize>) = if args.quick {
+        (5, 3, vec![3, 6, 9, 12])
+    } else {
+        (6, 4, vec![4, 8, 12, 16, 24, 32])
+    };
+
+    let mut rng = StdRng::seed_from_u64(2_000);
+    let peps = Peps::random_no_phys(side, side, r, &mut rng);
+
+    let mut fig = Figure::new(
+        "table2",
+        &format!("Empirical scaling with the truncation bond m ({side}x{side} PEPS, r = {r})"),
+        "truncation bond dimension m",
+        "seconds",
+    );
+    let mut s_bmps = Series::new("BMPS");
+    let mut s_ibmps = Series::new("IBMPS");
+
+    for &m in &ms {
+        let (_, secs_b) =
+            time_it(|| contract_no_phys(&peps, ContractionMethod::bmps(m), &mut rng).unwrap());
+        let (_, secs_i) =
+            time_it(|| contract_no_phys(&peps, ContractionMethod::ibmps(m), &mut rng).unwrap());
+        s_bmps.push(m as f64, secs_b);
+        s_ibmps.push(m as f64, secs_i);
+        println!("m={m:<3} bmps={secs_b:.3}s ibmps={secs_i:.3}s ratio={:.2}", secs_b / secs_i.max(1e-12));
+    }
+
+    let slope_b = log_log_slope(&s_bmps.points);
+    let slope_i = log_log_slope(&s_ibmps.points);
+    println!("\nempirical exponent of m:  BMPS ~ m^{slope_b:.2}   IBMPS ~ m^{slope_i:.2}");
+    println!("paper (Table II) leading terms: BMPS ~ m^3, IBMPS ~ m^2 (plus an m^3 r^2 term)");
+
+    fig.add(s_bmps);
+    fig.add(s_ibmps);
+    fig.print();
+    fig.maybe_write_json(&args);
+}

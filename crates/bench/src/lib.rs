@@ -1,0 +1,188 @@
+//! Shared helpers for the figure-reproduction binaries of `koala-bench`.
+//!
+//! Every binary regenerates one table or figure of the paper's evaluation
+//! section (see DESIGN.md §4 for the index). The binaries print
+//! human-readable tables to stdout and, when `--json <path>` is given, also
+//! dump the series as JSON so EXPERIMENTS.md numbers can be regenerated.
+
+use serde::Serialize;
+use std::time::Instant;
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Run a reduced parameter sweep (also enabled by the `KOALA_QUICK=1`
+    /// environment variable).
+    pub quick: bool,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parse `--quick` / `--full` / `--json <path>` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut quick = std::env::var("KOALA_QUICK").map(|v| v != "0").unwrap_or(false);
+        let mut json = None;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => quick = true,
+                "--full" => quick = false,
+                "--json" => {
+                    if i + 1 < args.len() {
+                        json = Some(args[i + 1].clone());
+                        i += 1;
+                    }
+                }
+                other => eprintln!("ignoring unknown argument: {other}"),
+            }
+            i += 1;
+        }
+        BenchArgs { quick, json }
+    }
+}
+
+/// One measured point of a benchmark series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// The swept parameter (bond dimension, side length, cores, step, ...).
+    pub x: f64,
+    /// The measured value (seconds, error, energy, GF/s, ...).
+    pub y: f64,
+}
+
+/// A named series of measurements (one curve of a figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Curve label (matches the paper's legend where possible).
+    pub label: String,
+    /// Measured points.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(Point { x, y });
+    }
+}
+
+/// A full figure: a title, an x-axis meaning, and a set of curves.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Figure identifier, e.g. "fig8a".
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// Meaning of the x axis.
+    pub x_label: String,
+    /// Meaning of the y axis.
+    pub y_label: String,
+    /// The measured curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Print the figure as an aligned text table.
+    pub fn print(&self) {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        println!("{:>12} | {}", self.x_label, self.y_label);
+        for s in &self.series {
+            println!("--- {} ---", s.label);
+            for p in &s.points {
+                println!("{:>12.4} | {:.6e}", p.x, p.y);
+            }
+        }
+    }
+
+    /// Write the figure as JSON if a path was requested.
+    pub fn maybe_write_json(&self, args: &BenchArgs) {
+        if let Some(path) = &args.json {
+            match serde_json::to_string_pretty(self) {
+                Ok(text) => {
+                    if let Err(e) = std::fs::write(path, text) {
+                        eprintln!("failed to write {path}: {e}");
+                    } else {
+                        println!("wrote {path}");
+                    }
+                }
+                Err(e) => eprintln!("failed to serialise figure: {e}"),
+            }
+        }
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Least-squares slope of `log(y)` vs `log(x)` — used to report empirical
+/// scaling exponents for the Table II reproduction.
+pub fn log_log_slope(points: &[Point]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.x > 0.0 && p.y > 0.0)
+        .map(|p| (p.x.ln(), p.y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_log_slope_of_power_law() {
+        let mut s = Series::new("cubic");
+        for x in [1.0f64, 2.0, 4.0, 8.0] {
+            s.push(x, 5.0 * x.powi(3));
+        }
+        let slope = log_log_slope(&s.points);
+        assert!((slope - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_roundtrip_and_timer() {
+        let mut fig = Figure::new("t", "test", "x", "y");
+        let mut s = Series::new("a");
+        s.push(1.0, 2.0);
+        fig.add(s);
+        assert_eq!(fig.series.len(), 1);
+        let (v, secs) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The virtual cluster: a bulk-synchronous simulation of a distributed-memory
+//! machine.
+//!
+//! The original Koala library runs on Cyclops/MPI across many nodes. Rust MPI
+//! bindings are immature and this reproduction runs on a single machine, so
+//! the cluster is *simulated*: every rank owns private buffers, every
+//! operation moves data between those buffers exactly as the corresponding
+//! MPI collective would, and the [`CommStats`] counters record the traffic.
+//! Numerical results are bit-for-bit the result of the distributed data flow;
+//! only wall-clock parallelism is replaced by the cost model in
+//! [`crate::stats::CostModel`].
+
+use crate::stats::{CommStats, ELEM_BYTES};
+use koala_linalg::C64;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Handle to a virtual cluster of `nranks` ranks.
+#[derive(Clone)]
+pub struct Cluster {
+    nranks: usize,
+    stats: Arc<Mutex<CommStats>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cluster(nranks={})", self.nranks)
+    }
+}
+
+impl Cluster {
+    /// Create a cluster with the given number of ranks.
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0, "cluster needs at least one rank");
+        Cluster { nranks, stats: Arc::new(Mutex::new(CommStats::new(nranks))) }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> CommStats {
+        self.stats.lock().clone()
+    }
+
+    /// Reset the statistics and return the previous values.
+    pub fn reset_stats(&self) -> CommStats {
+        let mut guard = self.stats.lock();
+        std::mem::replace(&mut *guard, CommStats::new(self.nranks))
+    }
+
+    /// Record a point-to-point transfer of `elems` complex numbers.
+    pub fn record_p2p(&self, elems: usize) {
+        let mut s = self.stats.lock();
+        s.bytes_communicated += elems as u64 * ELEM_BYTES;
+        s.messages += 1;
+    }
+
+    /// Record a collective that moves `elems` complex numbers in total across
+    /// the interconnect in `rounds` communication rounds.
+    pub fn record_collective(&self, elems: usize, rounds: usize) {
+        let mut s = self.stats.lock();
+        s.bytes_communicated += elems as u64 * ELEM_BYTES;
+        s.messages += (rounds * (self.nranks.saturating_sub(1))) as u64;
+        s.collectives += 1;
+    }
+
+    /// Record a full redistribution (Cyclops-style reshape) of `elems`
+    /// complex numbers.
+    pub fn record_redistribution(&self, elems: usize) {
+        {
+            let mut s = self.stats.lock();
+            s.redistributions += 1;
+        }
+        self.record_collective(elems, 1);
+    }
+
+    /// Record `flops` complex multiply-adds executed by `rank`.
+    pub fn record_flops(&self, rank: usize, flops: u64) {
+        let mut s = self.stats.lock();
+        s.rank_flops[rank] += flops;
+    }
+
+    /// Record identical `flops` on every rank (replicated computation).
+    pub fn record_flops_all(&self, flops: u64) {
+        let mut s = self.stats.lock();
+        for f in &mut s.rank_flops {
+            *f += flops;
+        }
+    }
+
+    /// Split a length `n` into `nranks` nearly equal contiguous blocks;
+    /// returns the (start, len) of each rank's block. Matches the block
+    /// distribution Cyclops uses for the slowest-varying index.
+    pub fn block_ranges(&self, n: usize) -> Vec<(usize, usize)> {
+        block_ranges(n, self.nranks)
+    }
+
+    /// Rank that owns global index `i` of a length-`n` block distribution.
+    pub fn owner_of(&self, n: usize, i: usize) -> usize {
+        let ranges = self.block_ranges(n);
+        ranges
+            .iter()
+            .position(|&(start, len)| i >= start && i < start + len)
+            .unwrap_or(self.nranks - 1)
+    }
+}
+
+/// Split `n` items into `parts` nearly equal contiguous blocks.
+pub fn block_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        ranges.push((start, len));
+        start += len;
+    }
+    ranges
+}
+
+/// Per-rank buffer of complex numbers: the "local memory" of each rank.
+pub type RankBuffer = Vec<C64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_everything_exactly_once() {
+        for &(n, p) in &[(10usize, 3usize), (7, 7), (5, 8), (0, 3), (16, 4)] {
+            let ranges = block_ranges(n, p);
+            assert_eq!(ranges.len(), p);
+            let total: usize = ranges.iter().map(|r| r.1).sum();
+            assert_eq!(total, n);
+            // Contiguity.
+            let mut pos = 0;
+            for &(start, len) in &ranges {
+                assert_eq!(start, pos);
+                pos += len;
+            }
+            // Balance: sizes differ by at most 1.
+            let max = ranges.iter().map(|r| r.1).max().unwrap_or(0);
+            let min = ranges.iter().map(|r| r.1).min().unwrap_or(0);
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn owner_lookup_matches_ranges() {
+        let c = Cluster::new(3);
+        let ranges = c.block_ranges(10);
+        for i in 0..10 {
+            let owner = c.owner_of(10, i);
+            let (start, len) = ranges[owner];
+            assert!(i >= start && i < start + len);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let c = Cluster::new(4);
+        c.record_p2p(10);
+        c.record_collective(100, 1);
+        c.record_redistribution(50);
+        c.record_flops(2, 1000);
+        c.record_flops_all(10);
+        let s = c.stats();
+        assert_eq!(s.bytes_communicated, (10 + 100 + 50) as u64 * ELEM_BYTES);
+        assert_eq!(s.collectives, 2);
+        assert_eq!(s.redistributions, 1);
+        assert_eq!(s.messages, 1 + 3 + 3);
+        assert_eq!(s.rank_flops, vec![10, 10, 1010, 10]);
+        let old = c.reset_stats();
+        assert_eq!(old, s);
+        assert_eq!(c.stats().bytes_communicated, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Cluster::new(0);
+    }
+}

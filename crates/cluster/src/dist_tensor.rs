@@ -1,0 +1,338 @@
+//! Distributed tensors: a dense tensor split along one axis across the ranks
+//! of a [`Cluster`].
+//!
+//! This mirrors how Cyclops maps a tensor onto a processor grid: one
+//! (slowest-varying, after an internal transpose) mode is distributed and the
+//! rest is local. Contractions whose distributed mode is a *free* index run
+//! without any communication; contractions or matricizations that need a
+//! different mode distributed require a redistribution, which is exactly the
+//! reshape bottleneck the paper's Algorithm 5 removes from the evolution step.
+
+use crate::cluster::Cluster;
+use crate::dist_matrix::DistMatrix;
+use koala_tensor::{tensordot, Tensor};
+
+/// A tensor distributed along one of its axes by contiguous blocks.
+#[derive(Debug, Clone)]
+pub struct DistTensor {
+    cluster: Cluster,
+    shape: Vec<usize>,
+    /// Which axis is distributed.
+    dist_axis: usize,
+    /// One slab per rank; rank r holds indices `block_ranges(shape[dist_axis])[r]`
+    /// of the distributed axis (its other axes are full).
+    blocks: Vec<Tensor>,
+}
+
+impl DistTensor {
+    /// Distribute a replicated tensor along `dist_axis` (scatter from rank 0).
+    pub fn scatter(cluster: &Cluster, tensor: &Tensor, dist_axis: usize) -> Self {
+        assert!(dist_axis < tensor.ndim(), "scatter: axis {dist_axis} out of range");
+        let shape = tensor.shape().to_vec();
+        let ranges = cluster.block_ranges(shape[dist_axis]);
+        // Move the distributed axis to the front so each slab is contiguous.
+        let mut perm: Vec<usize> = vec![dist_axis];
+        perm.extend((0..tensor.ndim()).filter(|&a| a != dist_axis));
+        let fronted = tensor.permute(&perm).expect("scatter: permute failed");
+        let row_len: usize = fronted.shape()[1..].iter().product();
+
+        let mut blocks = Vec::with_capacity(cluster.nranks());
+        for (rank, &(start, len)) in ranges.iter().enumerate() {
+            let mut slab_shape = fronted.shape().to_vec();
+            slab_shape[0] = len;
+            let data = fronted.data()[start * row_len..(start + len) * row_len].to_vec();
+            let slab = Tensor::from_vec(&slab_shape, data).expect("scatter: slab shape");
+            if rank != 0 {
+                cluster.record_p2p(len * row_len);
+            }
+            blocks.push(slab);
+        }
+        DistTensor { cluster: cluster.clone(), shape, dist_axis, blocks }
+    }
+
+    /// Assemble the full tensor on every rank (allgather).
+    pub fn allgather(&self) -> Tensor {
+        let elems: usize = self.blocks.iter().map(|b| b.len()).sum();
+        self.cluster.record_collective(elems * (self.cluster.nranks() - 1), 1);
+        self.gather_local()
+    }
+
+    /// Assemble the full tensor on rank 0 (gather).
+    pub fn gather(&self) -> Tensor {
+        let foreign: usize =
+            self.blocks.iter().enumerate().filter(|(r, _)| *r != 0).map(|(_, b)| b.len()).sum();
+        self.cluster.record_collective(foreign, 1);
+        self.gather_local()
+    }
+
+    fn gather_local(&self) -> Tensor {
+        // Blocks are stored with the distributed axis first; concatenate and
+        // permute the axis back to its original position.
+        let mut fronted_shape = self.blocks[0].shape().to_vec();
+        fronted_shape[0] = self.shape[self.dist_axis];
+        let mut data = Vec::with_capacity(fronted_shape.iter().product());
+        for b in &self.blocks {
+            data.extend_from_slice(b.data());
+        }
+        let fronted = Tensor::from_vec(&fronted_shape, data).expect("gather: shape");
+        // Inverse of the scatter permutation.
+        let ndim = self.shape.len();
+        let mut perm: Vec<usize> = vec![self.dist_axis];
+        perm.extend((0..ndim).filter(|&a| a != self.dist_axis));
+        fronted.unpermute(&perm).expect("gather: unpermute")
+    }
+
+    /// Shape of the full tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Axis along which the tensor is distributed.
+    pub fn dist_axis(&self) -> usize {
+        self.dist_axis
+    }
+
+    /// The cluster this tensor lives on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// One rank's slab (distributed axis first).
+    pub fn block(&self, rank: usize) -> &Tensor {
+        &self.blocks[rank]
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Redistribute along a different axis. This is the Cyclops "reshape"
+    /// path: an all-to-all over (almost) the entire tensor.
+    pub fn redistribute(&self, new_axis: usize) -> DistTensor {
+        assert!(new_axis < self.shape.len());
+        if new_axis == self.dist_axis {
+            return self.clone();
+        }
+        self.cluster.record_redistribution(self.len());
+        let full = self.gather_local();
+        DistTensor::scatter_local(&self.cluster, &full, new_axis)
+    }
+
+    /// Scatter without charging communication (used by redistribute, which has
+    /// already accounted for the all-to-all volume).
+    fn scatter_local(cluster: &Cluster, tensor: &Tensor, dist_axis: usize) -> Self {
+        let shape = tensor.shape().to_vec();
+        let ranges = cluster.block_ranges(shape[dist_axis]);
+        let mut perm: Vec<usize> = vec![dist_axis];
+        perm.extend((0..tensor.ndim()).filter(|&a| a != dist_axis));
+        let fronted = tensor.permute(&perm).expect("scatter_local: permute");
+        let row_len: usize = fronted.shape()[1..].iter().product();
+        let mut blocks = Vec::with_capacity(cluster.nranks());
+        for &(start, len) in &ranges {
+            let mut slab_shape = fronted.shape().to_vec();
+            slab_shape[0] = len;
+            let data = fronted.data()[start * row_len..(start + len) * row_len].to_vec();
+            blocks.push(Tensor::from_vec(&slab_shape, data).expect("scatter_local: slab"));
+        }
+        DistTensor { cluster: cluster.clone(), shape, dist_axis, blocks }
+    }
+
+    /// Contract with a replicated tensor over the given axes. The distributed
+    /// axis of `self` must not be contracted; the result stays distributed
+    /// along it and no communication is needed (this is the cheap path that
+    /// IBMPS exploits: the random sketch and the small factors are
+    /// replicated, the big boundary tensors stay distributed).
+    pub fn tensordot_replicated(
+        &self,
+        other: &Tensor,
+        axes_self: &[usize],
+        axes_other: &[usize],
+    ) -> DistTensor {
+        assert!(
+            !axes_self.contains(&self.dist_axis),
+            "tensordot_replicated: the distributed axis must stay free (redistribute first)"
+        );
+        // Per-block axes: blocks have the distributed axis first, the rest in
+        // original relative order.
+        let ndim = self.shape.len();
+        let order: Vec<usize> = std::iter::once(self.dist_axis)
+            .chain((0..ndim).filter(|&a| a != self.dist_axis))
+            .collect();
+        let block_axes_self: Vec<usize> = axes_self
+            .iter()
+            .map(|&a| order.iter().position(|&o| o == a).unwrap())
+            .collect();
+
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (rank, b) in self.blocks.iter().enumerate() {
+            let out = tensordot(b, other, &block_axes_self, axes_other)
+                .expect("tensordot_replicated: contraction failed");
+            // Flops: block free dims * contracted dims * other free dims.
+            let contracted: usize = axes_self.iter().map(|&a| self.shape[a]).product();
+            let free_b: usize = b.len() / contracted.max(1);
+            let free_other: usize = other.len() / contracted.max(1);
+            self.cluster.record_flops(rank, (free_b * contracted * free_other) as u64);
+            blocks.push(out);
+        }
+
+        // Result shape: free axes of self (original order) then free axes of other.
+        let free_self: Vec<usize> = (0..ndim).filter(|a| !axes_self.contains(a)).collect();
+        let mut out_shape: Vec<usize> = free_self.iter().map(|&a| self.shape[a]).collect();
+        out_shape.extend((0..other.ndim()).filter(|a| !axes_other.contains(a)).map(|a| other.dim(a)));
+        // The distributed axis is now the first free axis of the block result;
+        // its global position is the index of dist_axis within free_self.
+        let new_dist_axis = free_self.iter().position(|&a| a == self.dist_axis).unwrap();
+
+        // Per-block results currently have the distributed axis first already
+        // (it was axis 0 of the block and was not contracted), so they are in
+        // the canonical slab layout.
+        DistTensor {
+            cluster: self.cluster.clone(),
+            shape: out_shape,
+            dist_axis: new_dist_axis,
+            blocks,
+        }
+    }
+
+    /// View the tensor as a block-row distributed matrix by matricizing with
+    /// the first `split` axes as rows. Requires the distributed axis to be
+    /// axis 0 and `split >= 1` so the row blocks of the matricization
+    /// coincide with the tensor slabs (no data movement).
+    pub fn unfold_as_dist_matrix(&self, split: usize) -> DistMatrix {
+        assert_eq!(self.dist_axis, 0, "unfold_as_dist_matrix: distributed axis must be 0");
+        assert!(split >= 1 && split <= self.shape.len());
+        let cols: usize = self.shape[split..].iter().product();
+        let full_rows: usize = self.shape[..split].iter().product();
+        // Per-rank blocks come directly from the slabs (free of charge: the
+        // row-major slab layout is already the matricized layout). This works
+        // because the slab row-block boundaries align with multiples of the
+        // per-index row count.
+        let ranges = self.cluster.block_ranges(self.shape[0]);
+        let rows_per_index: usize = self.shape[1..split].iter().product();
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (b, &(_start, len)) in self.blocks.iter().zip(ranges.iter()) {
+            let rows = len * rows_per_index;
+            blocks.push(Matrix::from_vec(rows, cols, b.data().to_vec()).expect("unfold: block"));
+        }
+        DistMatrix::from_blocks(&self.cluster, full_rows, cols, blocks)
+    }
+
+    /// Inner product `<self, other>` of two tensors with the same shape and
+    /// distribution (local partial sums + allreduce of one scalar).
+    pub fn inner(&self, other: &DistTensor) -> koala_linalg::C64 {
+        assert_eq!(self.shape, other.shape, "inner: shape mismatch");
+        assert_eq!(self.dist_axis, other.dist_axis, "inner: distribution mismatch");
+        let mut acc = koala_linalg::C64::ZERO;
+        for (rank, (a, b)) in self.blocks.iter().zip(other.blocks.iter()).enumerate() {
+            self.cluster.record_flops(rank, a.len() as u64);
+            acc += a.inner(b).expect("inner: block mismatch");
+        }
+        self.cluster.record_collective(self.cluster.nranks() - 1, 2);
+        acc
+    }
+}
+
+use koala_linalg::Matrix;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koala_tensor::tensordot as local_tensordot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(nranks: usize, shape: &[usize], axis: usize, seed: u64) -> (Cluster, Tensor, DistTensor) {
+        let cluster = Cluster::new(nranks);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::random(shape, &mut rng);
+        let d = DistTensor::scatter(&cluster, &t, axis);
+        (cluster, t, d)
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip_axis0() {
+        let (_c, t, d) = setup(3, &[7, 4, 3], 0, 1);
+        assert!(d.allgather().approx_eq(&t, 0.0));
+        assert!(d.gather().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip_inner_axis() {
+        let (_c, t, d) = setup(4, &[3, 9, 2], 1, 2);
+        assert_eq!(d.dist_axis(), 1);
+        assert!(d.allgather().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn redistribution_changes_axis_and_is_counted() {
+        let (c, t, d) = setup(3, &[6, 5, 4], 0, 3);
+        c.reset_stats();
+        let r = d.redistribute(2);
+        assert_eq!(r.dist_axis(), 2);
+        assert!(r.allgather().approx_eq(&t, 0.0));
+        assert_eq!(c.stats().redistributions, 1);
+        // Redistributing onto the same axis is free.
+        c.reset_stats();
+        let same = r.redistribute(2);
+        assert_eq!(c.stats().redistributions, 0);
+        assert!(same.allgather().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn tensordot_replicated_matches_local() {
+        let (_c, t, d) = setup(3, &[5, 4, 3], 0, 4);
+        let mut rng = StdRng::seed_from_u64(40);
+        let other = Tensor::random(&[4, 3, 6], &mut rng);
+        let out = d.tensordot_replicated(&other, &[1, 2], &[0, 1]);
+        let expected = local_tensordot(&t, &other, &[1, 2], &[0, 1]).unwrap();
+        assert_eq!(out.shape(), expected.shape());
+        assert!(out.allgather().approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn tensordot_replicated_keeps_distribution_without_comm() {
+        let (c, _t, d) = setup(4, &[8, 3, 3], 0, 5);
+        let mut rng = StdRng::seed_from_u64(41);
+        let other = Tensor::random(&[3, 2], &mut rng);
+        c.reset_stats();
+        let out = d.tensordot_replicated(&other, &[2], &[0]);
+        let stats = c.stats();
+        assert_eq!(stats.bytes_communicated, 0, "no communication expected");
+        assert_eq!(out.dist_axis(), 0);
+        assert!(stats.total_flops() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distributed axis must stay free")]
+    fn contracting_the_distributed_axis_panics() {
+        let (_c, _t, d) = setup(2, &[4, 3], 0, 6);
+        let other = Tensor::zeros(&[4, 2]);
+        let _ = d.tensordot_replicated(&other, &[0], &[0]);
+    }
+
+    #[test]
+    fn unfold_as_dist_matrix_matches_local_unfold() {
+        let (_c, t, d) = setup(3, &[6, 2, 5], 0, 7);
+        let m = d.unfold_as_dist_matrix(2);
+        assert_eq!(m.shape(), (12, 5));
+        assert!(m.max_diff_replicated(&t.unfold(2)) < 1e-14);
+    }
+
+    #[test]
+    fn inner_product_matches_local() {
+        let (_c, t, d) = setup(4, &[5, 3, 2], 0, 8);
+        let cluster2 = d.cluster().clone();
+        let mut rng = StdRng::seed_from_u64(80);
+        let u = Tensor::random(&[5, 3, 2], &mut rng);
+        let du = DistTensor::scatter(&cluster2, &u, 0);
+        let got = d.inner(&du);
+        let want = t.inner(&u).unwrap();
+        assert!(got.approx_eq(want, 1e-10));
+    }
+}

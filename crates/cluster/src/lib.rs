@@ -1,0 +1,35 @@
+//! # koala-cluster
+//!
+//! Simulated distributed-memory tensor backend for the koala-rs reproduction
+//! of *"Efficient 2D Tensor Network Simulation of Quantum Systems"* (SC 2020).
+//!
+//! The original Koala library uses the Cyclops Tensor Framework (CTF) over
+//! MPI and ScaLAPACK on the Stampede2 supercomputer. This crate replaces that
+//! stack with a **virtual cluster**: a bulk-synchronous simulation in which
+//! every rank owns private buffers, every collective moves data between those
+//! buffers exactly as its MPI counterpart would, and all traffic and per-rank
+//! work is tallied in [`CommStats`]. A [`CostModel`] converts the counters
+//! into modelled parallel execution times, which is how the scaling figures
+//! of the paper are reproduced on a single machine (see DESIGN.md §1 for the
+//! substitution rationale).
+//!
+//! Provided building blocks:
+//! * [`Cluster`] — the virtual machine and its statistics,
+//! * [`DistMatrix`] — block-row distributed matrices with distributed GEMM,
+//!   Gram matrices, and the two distributed QR paths compared in Figure 7
+//!   ([`gram_qr_dist`] = paper Algorithm 5 vs [`qr_gather_dist`] = the
+//!   reshape/gather baseline),
+//! * [`DistTensor`] — tensors distributed along one mode, with free-mode
+//!   contractions, explicit redistributions, and zero-copy matricization.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dist_matrix;
+pub mod dist_tensor;
+pub mod stats;
+
+pub use cluster::{block_ranges, Cluster, RankBuffer};
+pub use dist_matrix::{gram_qr_dist, qr_gather_dist, DistMatrix, DistQr};
+pub use dist_tensor::DistTensor;
+pub use stats::{CommStats, CostModel, ELEM_BYTES};

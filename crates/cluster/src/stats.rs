@@ -1,0 +1,184 @@
+//! Communication and computation accounting for the virtual cluster.
+//!
+//! The paper evaluates its distributed algorithms on a real supercomputer; in
+//! this reproduction the cluster is simulated (see DESIGN.md §1), so scaling
+//! behaviour is reported through a cost model fed by these counters. Every
+//! byte that crosses a (virtual) rank boundary and every local floating-point
+//! operation is tallied, which is enough to reproduce the *shape* of the
+//! strong/weak scaling and algorithm-comparison figures.
+
+use std::fmt;
+
+/// Size in bytes of one complex double-precision element.
+pub const ELEM_BYTES: u64 = 16;
+
+/// Counters accumulated while running operations on a [`crate::Cluster`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommStats {
+    /// Total bytes moved between ranks (point-to-point and collectives).
+    pub bytes_communicated: u64,
+    /// Number of messages (a collective over P ranks counts P-1 messages per
+    /// communication round, matching the usual flat cost model).
+    pub messages: u64,
+    /// Number of collective operations executed.
+    pub collectives: u64,
+    /// Number of full tensor/matrix redistributions (the expensive "reshape"
+    /// operations the paper's Algorithm 5 is designed to avoid).
+    pub redistributions: u64,
+    /// Local complex multiply-add operations per rank.
+    pub rank_flops: Vec<u64>,
+}
+
+impl CommStats {
+    /// Fresh counters for a cluster with `nranks` ranks.
+    pub fn new(nranks: usize) -> Self {
+        CommStats { rank_flops: vec![0; nranks], ..Default::default() }
+    }
+
+    /// Largest per-rank flop count — the compute critical path of a bulk-
+    /// synchronous execution.
+    pub fn max_rank_flops(&self) -> u64 {
+        self.rank_flops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total flops across all ranks (the "useful work").
+    pub fn total_flops(&self) -> u64 {
+        self.rank_flops.iter().sum()
+    }
+
+    /// Load imbalance: max/mean per-rank flops (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let total = self.total_flops();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.rank_flops.len() as f64;
+        self.max_rank_flops() as f64 / mean
+    }
+
+    /// Merge counters from another accounting period.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes_communicated += other.bytes_communicated;
+        self.messages += other.messages;
+        self.collectives += other.collectives;
+        self.redistributions += other.redistributions;
+        if self.rank_flops.len() < other.rank_flops.len() {
+            self.rank_flops.resize(other.rank_flops.len(), 0);
+        }
+        for (a, b) in self.rank_flops.iter_mut().zip(other.rank_flops.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl fmt::Display for CommStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "comm: {:.3} MB in {} msgs ({} collectives, {} redistributions), \
+             max rank flops {:.3e}, imbalance {:.2}",
+            self.bytes_communicated as f64 / 1e6,
+            self.messages,
+            self.collectives,
+            self.redistributions,
+            self.max_rank_flops() as f64,
+            self.load_imbalance()
+        )
+    }
+}
+
+/// Machine parameters of the modelled cluster, used to convert [`CommStats`]
+/// into a modelled parallel execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Sustained complex multiply-add rate per rank (operations / second).
+    pub flops_per_second: f64,
+    /// Interconnect bandwidth per rank (bytes / second).
+    pub bytes_per_second: f64,
+    /// Per-message latency (seconds).
+    pub latency: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Loosely modelled on a KNL-era node and fat-tree interconnect:
+        // ~10 GF/s effective per core for complex GEMM, ~1 GB/s per rank,
+        // ~2 microseconds latency.
+        CostModel { flops_per_second: 1.0e10, bytes_per_second: 1.0e9, latency: 2.0e-6 }
+    }
+}
+
+impl CostModel {
+    /// Modelled wall-clock time of a bulk-synchronous execution with the given
+    /// counters: compute critical path + serialised communication + latency.
+    pub fn modelled_time(&self, stats: &CommStats) -> f64 {
+        let compute = stats.max_rank_flops() as f64 / self.flops_per_second;
+        let comm = stats.bytes_communicated as f64
+            / (self.bytes_per_second * stats.rank_flops.len().max(1) as f64);
+        let latency = stats.messages as f64 * self.latency;
+        compute + comm + latency
+    }
+
+    /// Modelled useful flop rate per rank (flops achieved / modelled time / ranks).
+    pub fn flop_rate_per_rank(&self, stats: &CommStats) -> f64 {
+        let t = self.modelled_time(stats);
+        if t == 0.0 {
+            return 0.0;
+        }
+        stats.total_flops() as f64 / t / stats.rank_flops.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_counters() {
+        let mut a = CommStats::new(2);
+        a.bytes_communicated = 100;
+        a.messages = 3;
+        a.rank_flops = vec![10, 20];
+        let mut b = CommStats::new(2);
+        b.bytes_communicated = 50;
+        b.collectives = 1;
+        b.rank_flops = vec![5, 1];
+        a.merge(&b);
+        assert_eq!(a.bytes_communicated, 150);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.collectives, 1);
+        assert_eq!(a.rank_flops, vec![15, 21]);
+        assert_eq!(a.max_rank_flops(), 21);
+        assert_eq!(a.total_flops(), 36);
+    }
+
+    #[test]
+    fn load_imbalance_of_balanced_work_is_one() {
+        let mut s = CommStats::new(4);
+        s.rank_flops = vec![10, 10, 10, 10];
+        assert!((s.load_imbalance() - 1.0).abs() < 1e-12);
+        s.rank_flops = vec![40, 0, 0, 0];
+        assert!((s.load_imbalance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modelled_time_components() {
+        let model = CostModel { flops_per_second: 1e9, bytes_per_second: 1e9, latency: 1e-6 };
+        let mut s = CommStats::new(2);
+        s.rank_flops = vec![1_000_000_000, 500_000_000];
+        s.bytes_communicated = 2_000_000_000;
+        s.messages = 1000;
+        let t = model.modelled_time(&s);
+        // 1 s compute + 1 s comm (2 GB over 2 ranks * 1GB/s) + 1 ms latency
+        assert!((t - 2.001).abs() < 1e-9, "modelled time {t}");
+        assert!(model.flop_rate_per_rank(&s) > 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = CommStats::new(2);
+        let text = s.to_string();
+        assert!(text.contains("comm"));
+        assert!(text.contains("redistributions"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # koala-peps
+//!
+//! The core contribution of the reproduced paper, *"Efficient 2D Tensor
+//! Network Simulation of Quantum Systems"* (SC 2020): evolution and
+//! contraction algorithms for projected entangled pair states (PEPS), built
+//! on the dense tensor / MPS / simulated-cluster substrates of the companion
+//! crates.
+//!
+//! * [`Peps`] — the 2D tensor network state,
+//! * [`operators::Observable`] — sums of local terms (Hamiltonians, measurements),
+//! * [`update`] — one-site and two-site operator application: the simple
+//!   update, the QR-SVD update of Algorithm 1, and its reshape-avoiding
+//!   Gram-matrix variant (Algorithm 5),
+//! * [`contract`] — Exact, BMPS (Algorithm 2 + 3) and IBMPS (implicit
+//!   randomized SVD, Algorithm 4) contraction of one-layer networks,
+//! * [`two_layer`] — the two-layer IBMPS inner product (Table II),
+//! * [`expectation`] — expectation values with the row-environment caching
+//!   strategy of §IV-B,
+//! * [`dist`] — the same evolution/contraction kernels driven through the
+//!   simulated distributed-memory backend (`koala-cluster`), used by the
+//!   scaling and backend-comparison benchmarks (Figures 7, 8, 11, 12).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use koala_peps::{Peps, operators::Observable, update::{apply_one_site, apply_two_site, UpdateMethod}};
+//! use koala_peps::expectation::{expectation_normalized, ExpectationOptions};
+//! use koala_peps::operators::{pauli_x, kron, pauli_z};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // Create a 2x3 PEPS in the |000000> state.
+//! let mut qstate = Peps::computational_zeros(2, 3);
+//! // Apply a one-site and a two-site operator with the QR-SVD update.
+//! apply_one_site(&mut qstate, &pauli_x(), (0, 1)).unwrap();
+//! let zz = kron(&pauli_z(), &pauli_z());
+//! apply_two_site(&mut qstate, &zz, (0, 1), (1, 1), UpdateMethod::qr_svd(2)).unwrap();
+//! // Measure an observable with IBMPS contraction and intermediate caching.
+//! let h = Observable::zz((1, 0), (1, 1)) + 0.2 * Observable::x((0, 1));
+//! let energy = expectation_normalized(&qstate, &h, ExpectationOptions::ibmps_cached(4), &mut rng).unwrap();
+//! assert!(energy.im.abs() < 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod dist;
+pub mod expectation;
+pub mod operators;
+pub mod peps;
+pub mod two_layer;
+pub mod update;
+
+pub use contract::{amplitude, contract_no_phys, inner_merged, norm_sqr, ContractionMethod};
+pub use dist::{dist_contract_no_phys, dist_tebd_layer, dist_two_site_update, DistEvolutionVariant};
+pub use expectation::{expectation, expectation_normalized, EnvCache, ExpectationOptions};
+pub use operators::{LocalTerm, Observable};
+pub use peps::{Direction, Peps, Site};
+pub use two_layer::{inner_two_layer, norm_sqr_two_layer, TwoLayerOptions};
+pub use update::{
+    apply_one_site, apply_two_site, apply_two_site_any, apply_two_site_everywhere, swap_gate,
+    UpdateMethod,
+};

@@ -1,0 +1,252 @@
+//! Hermitian eigendecomposition via the cyclic complex Jacobi method.
+//!
+//! The Gram-matrix orthogonalization of the paper's Algorithm 5 and the
+//! exponentials of local Hamiltonian terms both reduce to Hermitian
+//! eigendecompositions of small matrices, for which Jacobi iteration is
+//! simple, accurate, and fast enough.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::{c64, C64};
+
+/// Eigendecomposition `A = V diag(lambda) V^H` of a Hermitian matrix, with
+/// real eigenvalues sorted in ascending order and orthonormal eigenvectors in
+/// the columns of `V`.
+#[derive(Debug, Clone)]
+pub struct EigH {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors (column `j` corresponds to `values[j]`).
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 60;
+
+/// Compute the eigendecomposition of a Hermitian matrix.
+///
+/// The matrix is symmetrised as `(A + A^H)/2` before iterating so that tiny
+/// non-Hermitian round-off coming from upstream contractions is tolerated; a
+/// grossly non-Hermitian input is rejected.
+pub fn eigh(a: &Matrix) -> Result<EigH> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { nrows: m, ncols: n });
+    }
+    let scale = a.norm_max().max(1.0);
+    if !a.is_hermitian(1e-8 * scale) {
+        return Err(LinalgError::InvalidArgument {
+            context: "eigh: matrix is not Hermitian".to_string(),
+        });
+    }
+    if n == 0 {
+        return Ok(EigH { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+
+    // Work on the Hermitian average to kill round-off asymmetry.
+    let mut h = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            h[(i, j)] = (a[(i, j)] + a[(j, i)].conj()).scale(0.5);
+        }
+    }
+    let mut v = Matrix::identity(n);
+
+    let off = |h: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += h[(i, j)].norm_sqr();
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    let tol = 1e-14 * h.norm_fro().max(1e-300);
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        if off(&h) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = h[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = h[(p, p)].re;
+                let aqq = h[(q, q)].re;
+                // Phase that makes the off-diagonal entry real and positive.
+                let phi = apq.arg();
+                let g = apq.abs();
+                // Real Jacobi rotation for [[app, g], [g, aqq]].
+                let zeta = (aqq - app) / (2.0 * g);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Unitary 2x2: J = diag(1, e^{-i phi}) * [[c, s], [-s, c]]
+                // i.e. columns (p', q') = (c*e_p - s*e^{-i phi} e_q, s*e_p + c*e^{-i phi} e_q).
+                let e_m = C64::cis(-phi);
+                let jpp = c64(c, 0.0);
+                let jpq = c64(s, 0.0);
+                let jqp = -e_m.scale(s);
+                let jqq = e_m.scale(c);
+
+                // A <- J^H A J : update columns then rows.
+                for i in 0..n {
+                    let aip = h[(i, p)];
+                    let aiq = h[(i, q)];
+                    h[(i, p)] = aip * jpp + aiq * jqp;
+                    h[(i, q)] = aip * jpq + aiq * jqq;
+                }
+                for j in 0..n {
+                    let apj = h[(p, j)];
+                    let aqj = h[(q, j)];
+                    h[(p, j)] = jpp.conj() * apj + jqp.conj() * aqj;
+                    h[(q, j)] = jpq.conj() * apj + jqq.conj() * aqj;
+                }
+                // V <- V J
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = vip * jpp + viq * jqp;
+                    v[(i, q)] = vip * jpq + viq * jqq;
+                }
+            }
+        }
+    }
+    if !converged && off(&h) > 1e-8 * h.norm_fro().max(1e-300) {
+        return Err(LinalgError::NoConvergence { algorithm: "jacobi-eigh", iterations: MAX_SWEEPS });
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let values_raw: Vec<f64> = (0..n).map(|i| h[(i, i)].re).collect();
+    order.sort_by(|&i, &j| values_raw[i].partial_cmp(&values_raw[j]).unwrap());
+
+    let values: Vec<f64> = order.iter().map(|&i| values_raw[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (newcol, &oldcol) in order.iter().enumerate() {
+        vectors.set_col(newcol, &v.col(oldcol));
+    }
+    Ok(EigH { values, vectors })
+}
+
+/// Eigenvalues only (ascending).
+pub fn eigvalsh(a: &Matrix) -> Result<Vec<f64>> {
+    Ok(eigh(a)?.values)
+}
+
+/// Apply a real function to a Hermitian matrix through its eigendecomposition:
+/// `f(A) = V diag(f(lambda)) V^H`.
+pub fn funm_hermitian(a: &Matrix, f: impl Fn(f64) -> C64) -> Result<Matrix> {
+    let EigH { values, vectors } = eigh(a)?;
+    let n = values.len();
+    let mut fd = Matrix::zeros(n, n);
+    for (i, &lam) in values.iter().enumerate() {
+        fd[(i, i)] = f(lam);
+    }
+    let vf = crate::gemm::matmul(&vectors, &fd);
+    Ok(crate::gemm::matmul_adj_b(&vf, &vectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_adj_b};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_eigh(a: &Matrix, tol: f64) -> EigH {
+        let e = eigh(a).expect("eigh failed");
+        let n = a.nrows();
+        assert!(e.vectors.has_orthonormal_cols(tol), "eigenvectors not orthonormal");
+        // A V = V diag(lambda)
+        let av = matmul(a, &e.vectors);
+        let vd = matmul(&e.vectors, &Matrix::from_diag_real(&e.values));
+        assert!(av.approx_eq(&vd, tol * a.norm_max().max(1.0) * n as f64), "A V != V D");
+        // ascending order
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        e
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diag_real(&[3.0, -1.0, 2.0]);
+        let e = check_eigh(&a, 1e-12);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_y_eigenvalues() {
+        // Y = [[0, -i], [i, 0]] has eigenvalues -1, +1.
+        let a = Matrix::from_vec(
+            2,
+            2,
+            vec![C64::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), C64::ZERO],
+        )
+        .unwrap();
+        let e = check_eigh(&a, 1e-12);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_hermitian_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(30);
+        for &n in &[1usize, 2, 3, 5, 8, 16, 33] {
+            let a = Matrix::random_hermitian(n, &mut rng);
+            check_eigh(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvalue_sum_is_trace() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = Matrix::random_hermitian(10, &mut rng);
+        let e = eigh(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace().re).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_square_and_non_hermitian() {
+        assert!(matches!(eigh(&Matrix::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = c64(5.0, 0.0);
+        assert!(eigh(&a).is_err());
+    }
+
+    #[test]
+    fn funm_exponential_of_zero_is_identity() {
+        let a = Matrix::zeros(4, 4);
+        let e = funm_hermitian(&a, |x| c64(x.exp(), 0.0)).unwrap();
+        assert!(e.approx_eq(&Matrix::identity(4), 1e-13));
+    }
+
+    #[test]
+    fn funm_square_matches_matrix_square() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = Matrix::random_hermitian(6, &mut rng);
+        let sq = funm_hermitian(&a, |x| c64(x * x, 0.0)).unwrap();
+        assert!(sq.approx_eq(&matmul(&a, &a), 1e-9));
+    }
+
+    #[test]
+    fn reconstruction_from_factors() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let a = Matrix::random_hermitian(7, &mut rng);
+        let EigH { values, vectors } = eigh(&a).unwrap();
+        let rec = matmul_adj_b(&matmul(&vectors, &Matrix::from_diag_real(&values)), &vectors);
+        assert!(rec.approx_eq(&a, 1e-10));
+    }
+}

@@ -1,0 +1,274 @@
+//! Blocked, multi-threaded complex matrix multiplication.
+//!
+//! This is the hot kernel of the whole stack: every tensor contraction in
+//! `koala-tensor` maps to a single GEMM after index permutation, and the
+//! paper's evaluation reports that 60-70% of contraction time is spent in
+//! GEMM. The implementation tiles the operands for cache reuse and
+//! parallelises over row blocks of the output with Rayon, which mirrors the
+//! threaded NumPy/MKL backend of the original Koala library.
+
+use crate::matrix::Matrix;
+use crate::scalar::C64;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache-blocking tile along the shared (k) dimension.
+const KC: usize = 128;
+/// Cache-blocking tile along output columns.
+const NC: usize = 128;
+/// Rows of C handled per parallel task.
+const MC: usize = 64;
+/// Below this many scalar multiply-adds the parallel path is not worth it.
+const PAR_THRESHOLD: usize = 32 * 32 * 32;
+
+/// Global count of complex multiply-add operations executed by GEMM.
+///
+/// The weak-scaling experiment (Figure 12) reports useful flop rate per core;
+/// this counter provides the "useful flops" numerator without instrumenting
+/// call sites.
+static FLOP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Reset the global GEMM flop counter and return its previous value.
+pub fn reset_flop_counter() -> u64 {
+    FLOP_COUNTER.swap(0, Ordering::Relaxed)
+}
+
+/// Read the global GEMM flop counter (counted as complex multiply-adds, i.e.
+/// 8 real flops each).
+pub fn flop_counter() -> u64 {
+    FLOP_COUNTER.load(Ordering::Relaxed)
+}
+
+/// How the left/right operand should be read by [`gemm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    None,
+    /// Use the conjugate transpose of the operand.
+    Adjoint,
+    /// Use the (non-conjugated) transpose of the operand.
+    Transpose,
+}
+
+/// C = A * B.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    gemm(Op::None, Op::None, a, b)
+}
+
+/// C = A^H * B.
+pub fn matmul_adj_a(a: &Matrix, b: &Matrix) -> Matrix {
+    gemm(Op::Adjoint, Op::None, a, b)
+}
+
+/// C = A * B^H.
+pub fn matmul_adj_b(a: &Matrix, b: &Matrix) -> Matrix {
+    gemm(Op::None, Op::Adjoint, a, b)
+}
+
+/// General complex matrix product with optional (conjugate) transposition of
+/// either operand. Operands are materialised into plain row-major form first;
+/// the transposition cost is negligible next to the O(mnk) multiply.
+pub fn gemm(opa: Op, opb: Op, a: &Matrix, b: &Matrix) -> Matrix {
+    let a_eff;
+    let a = match opa {
+        Op::None => a,
+        Op::Adjoint => {
+            a_eff = a.adjoint();
+            &a_eff
+        }
+        Op::Transpose => {
+            a_eff = a.transpose();
+            &a_eff
+        }
+    };
+    let b_eff;
+    let b = match opb {
+        Op::None => b,
+        Op::Adjoint => {
+            b_eff = b.adjoint();
+            &b_eff
+        }
+        Op::Transpose => {
+            b_eff = b.transpose();
+            &b_eff
+        }
+    };
+    matmul_plain(a, b)
+}
+
+/// C = A * B for plain row-major operands.
+fn matmul_plain(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(ka, kb, "gemm: inner dimensions do not match ({m}x{ka} * {kb}x{n})");
+    let k = ka;
+    FLOP_COUNTER.fetch_add((m * n * k) as u64, Ordering::Relaxed);
+
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+
+    let a_data = a.data();
+    let b_data = b.data();
+    let work = m * n * k;
+
+    if work < PAR_THRESHOLD {
+        let c_data = c.data_mut();
+        gemm_block(a_data, b_data, c_data, 0, m, k, n);
+        return c;
+    }
+
+    // Parallelise over disjoint row blocks of C. Each task owns a contiguous
+    // slice of the output so no synchronisation is needed.
+    let c_data = c.data_mut();
+    c_data
+        .par_chunks_mut(MC * n)
+        .enumerate()
+        .for_each(|(blk, c_chunk)| {
+            let i0 = blk * MC;
+            let rows = (m - i0).min(MC);
+            gemm_block(a_data, b_data, c_chunk, i0, rows, k, n);
+        });
+    c
+}
+
+/// Multiply `rows` rows of A (starting at global row `i0`) into the output
+/// chunk `c_chunk` (which holds exactly those rows of C). Uses k/n tiling so
+/// the active panel of B stays in cache.
+fn gemm_block(a: &[C64], b: &[C64], c_chunk: &mut [C64], i0: usize, rows: usize, k: usize, n: usize) {
+    for kk in (0..k).step_by(KC) {
+        let kmax = (kk + KC).min(k);
+        for jj in (0..n).step_by(NC) {
+            let jmax = (jj + NC).min(n);
+            for i in 0..rows {
+                let a_row = &a[(i0 + i) * k..(i0 + i) * k + k];
+                let c_row = &mut c_chunk[i * n..(i + 1) * n];
+                for p in kk..kmax {
+                    let aip = a_row[p];
+                    if aip.re == 0.0 && aip.im == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..p * n + n];
+                    for j in jj..jmax {
+                        c_row[j] = c_row[j].mul_add(aip, b_row[j]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Naive triple-loop reference implementation (used by tests and kept public
+/// so property tests in dependent crates can cross-check the fast path).
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul_naive: inner dimensions do not match");
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = C64::ZERO;
+            for p in 0..k {
+                acc = acc.mul_add(a[(i, p)], b[(p, j)]);
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::c64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Matrix::random(7, 5, &mut rng);
+        assert!(matmul(&Matrix::identity(7), &a).approx_eq(&a, 1e-13));
+        assert!(matmul(&a, &Matrix::identity(5)).approx_eq(&a, 1e-13));
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 2, 9), (13, 17, 3)] {
+            let a = Matrix::random(m, k, &mut rng);
+            let b = Matrix::random(k, n, &mut rng);
+            assert!(matmul(&a, &b).approx_eq(&matmul_naive(&a, &b), 1e-11));
+        }
+    }
+
+    #[test]
+    fn matches_naive_large_parallel_path() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Matrix::random(70, 90, &mut rng);
+        let b = Matrix::random(90, 65, &mut rng);
+        assert!(matmul(&a, &b).approx_eq(&matmul_naive(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn adjoint_variants() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Matrix::random(6, 4, &mut rng);
+        let b = Matrix::random(6, 5, &mut rng);
+        let c1 = matmul_adj_a(&a, &b);
+        let c2 = matmul(&a.adjoint(), &b);
+        assert!(c1.approx_eq(&c2, 1e-12));
+
+        let d = Matrix::random(3, 4, &mut rng);
+        let e = Matrix::random(5, 4, &mut rng);
+        let f1 = matmul_adj_b(&d, &e);
+        let f2 = matmul(&d, &e.adjoint());
+        assert!(f1.approx_eq(&f2, 1e-12));
+
+        let g1 = gemm(Op::Transpose, Op::None, &a, &a.conj());
+        let g2 = matmul(&a.transpose(), &a.conj());
+        assert!(g1.approx_eq(&g2, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_inner_dimension_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        assert_eq!(matmul(&a, &b).shape(), (0, 2));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 4));
+        assert!(c.norm_max() == 0.0);
+    }
+
+    #[test]
+    fn flop_counter_tracks_work() {
+        reset_flop_counter();
+        let a = Matrix::full(8, 4, c64(1.0, 0.0));
+        let b = Matrix::full(4, 6, c64(1.0, 0.0));
+        let _ = matmul(&a, &b);
+        assert_eq!(flop_counter(), (8 * 4 * 6) as u64);
+        reset_flop_counter();
+    }
+
+    #[test]
+    fn associativity_with_random_matrices() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = Matrix::random(4, 5, &mut rng);
+        let b = Matrix::random(5, 6, &mut rng);
+        let c = Matrix::random(6, 3, &mut rng);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!(left.approx_eq(&right, 1e-10));
+    }
+}

@@ -1,0 +1,138 @@
+//! Reshape-avoiding orthogonalization via a Gram matrix (paper Algorithm 5).
+//!
+//! Given a tall operator `A : C^n -> C^m` (m >> n), form the small Gram matrix
+//! `G = A^H A`, eigendecompose it locally, and recover
+//! `R = sqrt(Lambda) X^H` and `Q = A R^{-1}` so that `A = Q R` with `Q`
+//! having orthonormal columns. In the distributed setting the only operations
+//! on the big operand are a contraction (to form `G`) and a contraction (to
+//! apply `R^{-1}`) — no matricization/redistribution of `A` is ever needed.
+//! This module provides the shared local math; `koala-cluster` wires it to
+//! distributed tensors and `koala-peps` uses it for the `local-gram-qr`
+//! evolution variants benchmarked in Figure 7.
+
+use crate::eig::eigh;
+use crate::error::Result;
+use crate::gemm::{matmul, matmul_adj_a};
+use crate::matrix::Matrix;
+use crate::scalar::c64;
+
+/// Result of the Gram-based orthogonalization.
+#[derive(Debug, Clone)]
+pub struct GramQr {
+    /// Isometric factor with orthonormal columns (up to the numerical rank).
+    pub q: Matrix,
+    /// Square factor such that `A = Q R`.
+    pub r: Matrix,
+    /// `R^{-1}` (pseudo-inverse on the numerical null space).
+    pub r_inv: Matrix,
+}
+
+/// Factor `A = Q R` through the Gram matrix `G = A^H A` (Algorithm 5).
+///
+/// Directions of `G` whose eigenvalue is below `rel_tol^2 * lambda_max` are
+/// treated as numerically null: the corresponding rows of `R` are kept (so the
+/// reconstruction `Q R ≈ A` still holds to round-off) but their contribution
+/// to `R^{-1}` is zeroed, exactly like a pseudo-inverse.
+pub fn gram_qr(a: &Matrix) -> Result<GramQr> {
+    gram_qr_with_tol(a, 1e-12)
+}
+
+/// [`gram_qr`] with an explicit relative rank tolerance.
+pub fn gram_qr_with_tol(a: &Matrix, rel_tol: f64) -> Result<GramQr> {
+    let n = a.ncols();
+    let g = matmul_adj_a(a, a);
+    let e = eigh(&g)?;
+    let lam_max = e.values.iter().cloned().fold(0.0, f64::max).max(0.0);
+    let cutoff = lam_max * rel_tol * rel_tol;
+
+    // Descending order of eigenvalues for a conventional R.
+    let mut sqrt_lam = vec![0.0f64; n];
+    let mut inv_sqrt = vec![0.0f64; n];
+    let mut x = Matrix::zeros(n, n);
+    for (newcol, oldcol) in (0..n).rev().enumerate() {
+        let lam = e.values[oldcol].max(0.0);
+        sqrt_lam[newcol] = lam.sqrt();
+        inv_sqrt[newcol] = if lam > cutoff && lam > 0.0 { 1.0 / lam.sqrt() } else { 0.0 };
+        x.set_col(newcol, &e.vectors.col(oldcol));
+    }
+
+    // R = sqrt(Lambda) X^H  and  R^{-1} = X sqrt(Lambda)^{-1}.
+    let xh = x.adjoint();
+    let r = crate::svd::scale_rows(&xh, &sqrt_lam);
+    let r_inv = crate::svd::scale_cols(&x, &inv_sqrt);
+    let q = matmul(a, &r_inv);
+    Ok(GramQr { q, r, r_inv })
+}
+
+/// Orthogonalization through the Gram matrix, discarding `R` (used when only
+/// an orthonormal basis of the column space is needed, e.g. inside the
+/// randomized SVD when run on the distributed backend).
+pub fn gram_orthonormalize(a: &Matrix) -> Result<Matrix> {
+    Ok(gram_qr(a)?.q)
+}
+
+/// Symmetric (principal) square root of a Hermitian positive semi-definite
+/// matrix, used by tests and by the MPS canonicalization.
+pub fn sqrtm_psd(a: &Matrix) -> Result<Matrix> {
+    crate::eig::funm_hermitian(a, |lam| c64(lam.max(0.0).sqrt(), 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reconstructs_and_orthogonalizes_tall_matrix() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let a = Matrix::random(50, 6, &mut rng);
+        let f = gram_qr(&a).unwrap();
+        assert!(matmul(&f.q, &f.r).approx_eq(&a, 1e-9));
+        assert!(f.q.has_orthonormal_cols(1e-8));
+    }
+
+    #[test]
+    fn r_inverse_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let a = Matrix::random(30, 5, &mut rng);
+        let f = gram_qr(&a).unwrap();
+        assert!(matmul(&f.r, &f.r_inv).approx_eq(&Matrix::identity(5), 1e-8));
+    }
+
+    #[test]
+    fn agrees_with_mgs_qr_up_to_unitary_freedom() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let a = Matrix::random(40, 4, &mut rng);
+        let g = gram_qr(&a).unwrap();
+        let m = crate::qr::qr(&a);
+        // Column spaces must agree: projectors are equal.
+        let p1 = crate::gemm::matmul_adj_b(&g.q, &g.q);
+        let p2 = crate::gemm::matmul_adj_b(&m.q, &m.q);
+        assert!(p1.approx_eq(&p2, 1e-8));
+    }
+
+    #[test]
+    fn rank_deficient_input_gets_pseudo_inverse() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let b = Matrix::random(20, 2, &mut rng);
+        let c = Matrix::random(2, 5, &mut rng);
+        let a = matmul(&b, &c); // rank 2, 20x5
+        let f = gram_qr(&a).unwrap();
+        assert!(matmul(&f.q, &f.r).approx_eq(&a, 1e-8));
+        // Q has exactly rank-2 worth of orthonormal columns; Q^H Q is a projector.
+        let qhq = matmul_adj_a(&f.q, &f.q);
+        let p2 = matmul(&qhq, &qhq);
+        assert!(p2.approx_eq(&qhq, 1e-7));
+        assert!((qhq.trace().re - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let b = Matrix::random(6, 6, &mut rng);
+        let a = matmul_adj_a(&b, &b); // PSD
+        let s = sqrtm_psd(&a).unwrap();
+        assert!(matmul(&s, &s).approx_eq(&a, 1e-8));
+    }
+}

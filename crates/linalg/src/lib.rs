@@ -1,0 +1,52 @@
+//! # koala-linalg
+//!
+//! Dense complex linear algebra substrate for the koala-rs reproduction of
+//! *"Efficient 2D Tensor Network Simulation of Quantum Systems"* (SC 2020).
+//!
+//! The original Koala library delegates its dense kernels to NumPy/MKL,
+//! CuPy, or Cyclops+ScaLAPACK. This crate provides the equivalent from-scratch
+//! building blocks used by every layer above it:
+//!
+//! * [`scalar::C64`] — complex double-precision scalar,
+//! * [`matrix::Matrix`] — dense row-major complex matrix,
+//! * [`gemm`] — blocked, Rayon-parallel matrix multiplication,
+//! * [`qr`] — thin QR (modified Gram-Schmidt with reorthogonalization),
+//! * [`svd`] — one-sided Jacobi SVD, truncated SVD, Gram-based SVD,
+//! * [`eig`] — Hermitian Jacobi eigendecomposition and matrix functions,
+//! * [`rsvd`] — randomized SVD with implicitly applied operators
+//!   (paper Algorithm 4),
+//! * [`gram`] — reshape-avoiding Gram-matrix orthogonalization
+//!   (paper Algorithm 5, local math),
+//! * [`solve`] — LU / triangular solvers and inverses,
+//! * [`expm`] — matrix exponentials for time evolution and gate synthesis,
+//! * [`lanczos`] — ground states of large implicit Hermitian operators.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod scalar;
+
+pub mod eig;
+pub mod expm;
+pub mod gemm;
+pub mod gram;
+pub mod lanczos;
+pub mod matrix;
+pub mod qr;
+pub mod rsvd;
+pub mod solve;
+pub mod svd;
+
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+pub use scalar::{c64, C64};
+
+pub use eig::{eigh, eigvalsh, funm_hermitian, EigH};
+pub use expm::{expm, expm_hermitian};
+pub use gemm::{gemm, matmul, matmul_adj_a, matmul_adj_b, Op};
+pub use gram::{gram_orthonormalize, gram_qr, GramQr};
+pub use lanczos::{lanczos_ground_state, DenseHermitianOp, HermitianOp, LanczosResult};
+pub use qr::{orthonormalize, qr, QrFactors};
+pub use rsvd::{rsvd, rsvd_matrix, ComposedOp, LinearOp, MatOp, RsvdOptions};
+pub use solve::{inverse, lu, solve, solve_upper_triangular, upper_triangular_inverse};
+pub use svd::{low_rank_factors, scale_cols, scale_rows, spectral_norm, svd, svd_gram, svd_truncated, Svd};

@@ -1,0 +1,562 @@
+//! Dense row-major complex matrix.
+
+use crate::error::{LinalgError, Result};
+use crate::scalar::{c64, C64};
+use rand::Rng;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// Dense matrix of [`C64`] stored in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<C64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Matrix { nrows, ncols, data: vec![C64::ZERO; nrows * ncols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(nrows: usize, ncols: usize, value: C64) -> Self {
+        Matrix { nrows, ncols, data: vec![value; nrows * ncols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// Returns an error if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<C64>) -> Result<Self> {
+        if data.len() != nrows * ncols {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "from_vec: data length {} does not match {}x{}",
+                    data.len(),
+                    nrows,
+                    ncols
+                ),
+            });
+        }
+        Ok(Matrix { nrows, ncols, data })
+    }
+
+    /// Build from a row-major slice of real numbers.
+    pub fn from_real(nrows: usize, ncols: usize, data: &[f64]) -> Result<Self> {
+        let cdata = data.iter().map(|&x| C64::from_real(x)).collect();
+        Matrix::from_vec(nrows, ncols, cdata)
+    }
+
+    /// Build from nested rows (primarily for tests and gate definitions).
+    pub fn from_rows(rows: &[Vec<C64>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(LinalgError::DimensionMismatch {
+                context: "from_rows: ragged rows".to_string(),
+            });
+        }
+        let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Ok(Matrix { nrows, ncols, data })
+    }
+
+    /// Diagonal matrix from a vector of diagonal entries.
+    pub fn from_diag(diag: &[C64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Diagonal matrix from real diagonal entries.
+    pub fn from_diag_real(diag: &[f64]) -> Self {
+        let entries: Vec<C64> = diag.iter().map(|&x| C64::from_real(x)).collect();
+        Matrix::from_diag(&entries)
+    }
+
+    /// Matrix with independent entries uniform in `[-1, 1]` for both components.
+    pub fn random<R: Rng + ?Sized>(nrows: usize, ncols: usize, rng: &mut R) -> Self {
+        let data = (0..nrows * ncols)
+            .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        Matrix { nrows, ncols, data }
+    }
+
+    /// Random matrix with purely real entries uniform in `[-1, 1]`.
+    pub fn random_real<R: Rng + ?Sized>(nrows: usize, ncols: usize, rng: &mut R) -> Self {
+        let data = (0..nrows * ncols).map(|_| c64(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        Matrix { nrows, ncols, data }
+    }
+
+    /// Random Hermitian matrix (A + A^H)/2.
+    pub fn random_hermitian<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let a = Matrix::random(n, n, rng);
+        let mut h = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                h[(i, j)] = (a[(i, j)] + a[(j, i)].conj()).scale(0.5);
+            }
+        }
+        h
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// True if the matrix has zero rows or columns.
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0 || self.ncols == 0
+    }
+
+    /// Raw row-major data.
+    #[inline(always)]
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its row-major data vector.
+    pub fn into_data(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Borrow one row as a slice.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[C64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Borrow one row mutably.
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [C64] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<C64> {
+        (0..self.nrows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrite column `j`.
+    pub fn set_col(&mut self, j: usize, col: &[C64]) {
+        assert_eq!(col.len(), self.nrows, "set_col: wrong column length");
+        for i in 0..self.nrows {
+            self[(i, j)] = col[i];
+        }
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Conjugate transpose `A^H`.
+    pub fn adjoint(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        t
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Matrix {
+        let data = self.data.iter().map(|z| z.conj()).collect();
+        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+    }
+
+    /// Multiply every entry by a scalar.
+    pub fn scale(&self, s: C64) -> Matrix {
+        let data = self.data.iter().map(|&z| z * s).collect();
+        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_inplace(&mut self, s: C64) {
+        for z in &mut self.data {
+            *z *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry modulus.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> C64 {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Copy of the main diagonal.
+    pub fn diag(&self) -> Vec<C64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Extract the sub-matrix `rows x cols` starting at `(row0, col0)`.
+    pub fn submatrix(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(row0 + rows <= self.nrows && col0 + cols <= self.ncols, "submatrix out of range");
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            out.row_mut(i).copy_from_slice(&self.row(row0 + i)[col0..col0 + cols]);
+        }
+        out
+    }
+
+    /// Write `block` into this matrix with its top-left corner at `(row0, col0)`.
+    pub fn set_submatrix(&mut self, row0: usize, col0: usize, block: &Matrix) {
+        assert!(
+            row0 + block.nrows <= self.nrows && col0 + block.ncols <= self.ncols,
+            "set_submatrix out of range"
+        );
+        for i in 0..block.nrows {
+            let dst = &mut self.row_mut(row0 + i)[col0..col0 + block.ncols];
+            dst.copy_from_slice(block.row(i));
+        }
+    }
+
+    /// Keep only the first `k` columns.
+    pub fn truncate_cols(&self, k: usize) -> Matrix {
+        let k = k.min(self.ncols);
+        self.submatrix(0, 0, self.nrows, k)
+    }
+
+    /// Keep only the first `k` rows.
+    pub fn truncate_rows(&self, k: usize) -> Matrix {
+        let k = k.min(self.nrows);
+        self.submatrix(0, 0, k, self.ncols)
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.nrows != other.nrows {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("hstack: {} rows vs {} rows", self.nrows, other.nrows),
+            });
+        }
+        let mut out = Matrix::zeros(self.nrows, self.ncols + other.ncols);
+        out.set_submatrix(0, 0, self);
+        out.set_submatrix(0, self.ncols, other);
+        Ok(out)
+    }
+
+    /// Vertical concatenation.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.ncols != other.ncols {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("vstack: {} cols vs {} cols", self.ncols, other.ncols),
+            });
+        }
+        let mut out = Matrix::zeros(self.nrows + other.nrows, self.ncols);
+        out.set_submatrix(0, 0, self);
+        out.set_submatrix(self.nrows, 0, other);
+        Ok(out)
+    }
+
+    /// Maximum entry-wise deviation from another matrix.
+    pub fn max_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True if `self` is entry-wise within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape() && self.max_diff(other) <= tol
+    }
+
+    /// True if the matrix is Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for i in 0..self.nrows {
+            for j in i..self.ncols {
+                if !(self[(i, j)] - self[(j, i)].conj()).abs().le(&tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True if `A^H A ≈ I` within `tol` (columns orthonormal).
+    pub fn has_orthonormal_cols(&self, tol: f64) -> bool {
+        let g = crate::gemm::matmul_adj_a(self, self);
+        g.approx_eq(&Matrix::identity(self.ncols), tol)
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.ncols, "matvec: length mismatch");
+        let mut y = vec![C64::ZERO; self.nrows];
+        for i in 0..self.nrows {
+            let row = self.row(i);
+            let mut acc = C64::ZERO;
+            for j in 0..self.ncols {
+                acc = acc.mul_add(row[j], x[j]);
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Adjoint matrix-vector product `A^H y`.
+    pub fn matvec_adj(&self, y: &[C64]) -> Vec<C64> {
+        assert_eq!(y.len(), self.nrows, "matvec_adj: length mismatch");
+        let mut x = vec![C64::ZERO; self.ncols];
+        for i in 0..self.nrows {
+            let row = self.row(i);
+            let yi = y[i];
+            for j in 0..self.ncols {
+                x[j] = x[j].mul_add(row[j].conj(), yi);
+            }
+        }
+        x
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = C64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of range");
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of range");
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.nrows, self.ncols)?;
+        let max_rows = 8.min(self.nrows);
+        for i in 0..max_rows {
+            write!(f, "  ")?;
+            let max_cols = 8.min(self.ncols);
+            for j in 0..max_cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            if self.ncols > max_cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.nrows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add: shape mismatch");
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| *a + *b).collect();
+        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub: shape mismatch");
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| *a - *b).collect();
+        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(c64(-1.0, 0.0))
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= *b;
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        crate::gemm::matmul(self, rhs)
+    }
+}
+
+impl Mul<C64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: C64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.data().iter().all(|&x| x == C64::ZERO));
+        let id = Matrix::identity(3);
+        assert_eq!(id.trace(), c64(3.0, 0.0));
+        assert!(Matrix::from_vec(2, 2, vec![C64::ONE; 3]).is_err());
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut m = Matrix::zeros(3, 2);
+        m[(2, 1)] = c64(1.0, -1.0);
+        assert_eq!(m[(2, 1)], c64(1.0, -1.0));
+        assert_eq!(m.row(2)[1], c64(1.0, -1.0));
+        assert_eq!(m.col(1)[2], c64(1.0, -1.0));
+    }
+
+    #[test]
+    fn adjoint_is_involution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::random(4, 6, &mut rng);
+        assert!(a.adjoint().adjoint().approx_eq(&a, 0.0));
+        assert!(a.transpose().conj().approx_eq(&a.adjoint(), 0.0));
+    }
+
+    #[test]
+    fn hermitian_detection() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = Matrix::random_hermitian(5, &mut rng);
+        assert!(h.is_hermitian(1e-14));
+        let a = Matrix::random(5, 5, &mut rng);
+        assert!(!a.is_hermitian(1e-10));
+    }
+
+    #[test]
+    fn submatrix_and_stacking() {
+        let a = Matrix::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_real(2, 2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h[(1, 3)], c64(8.0, 0.0));
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v[(3, 0)], c64(7.0, 0.0));
+        assert!(v.submatrix(2, 0, 2, 2).approx_eq(&b, 0.0));
+        assert!(a.hstack(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn norms_and_trace() {
+        let a = Matrix::from_real(2, 2, &[3.0, 0.0, 0.0, 4.0]).unwrap();
+        assert!((a.norm_fro() - 5.0).abs() < 1e-14);
+        assert!((a.norm_max() - 4.0).abs() < 1e-14);
+        assert_eq!(a.trace(), c64(7.0, 0.0));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::random(4, 3, &mut rng);
+        let x = Matrix::random(3, 1, &mut rng);
+        let y = a.matvec(x.data());
+        let y2 = crate::gemm::matmul(&a, &x);
+        for i in 0..4 {
+            assert!(y[i].approx_eq(y2[(i, 0)], 1e-12));
+        }
+        let z = Matrix::random(4, 1, &mut rng);
+        let w = a.matvec_adj(z.data());
+        let w2 = crate::gemm::matmul_adj_a(&a, &z);
+        for i in 0..3 {
+            assert!(w[i].approx_eq(w2[(i, 0)], 1e-12));
+        }
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::random(3, 3, &mut rng);
+        let b = Matrix::random(3, 3, &mut rng);
+        let sum = &a + &b;
+        let diff = &sum - &b;
+        assert!(diff.approx_eq(&a, 1e-12));
+        let mut c = a.clone();
+        c += &b;
+        assert!(c.approx_eq(&sum, 1e-12));
+        c -= &b;
+        assert!(c.approx_eq(&a, 1e-12));
+        assert!((&(-&a) + &a).norm_max() < 1e-15);
+    }
+}

@@ -1,0 +1,214 @@
+//! Thin QR factorization of complex matrices.
+//!
+//! Uses modified Gram-Schmidt with one reorthogonalization pass ("twice is
+//! enough"), which gives orthogonality at the level of machine precision for
+//! the well-scaled matrices produced by tensor-network algorithms, and keeps
+//! the implementation simple and easy to distribute (the Gram-matrix variant
+//! in [`crate::gram`] / `koala-cluster` follows the paper's Algorithm 5).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::{c64, C64};
+
+/// Result of a thin QR factorization `A = Q R` with `Q` of shape `(m, k)` and
+/// `R` upper triangular of shape `(k, n)`, where `k = min(m, n)`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Matrix with orthonormal columns.
+    pub q: Matrix,
+    /// Upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Thin QR via modified Gram-Schmidt with reorthogonalization.
+///
+/// Rank-deficient columns are replaced by deterministic unit vectors that are
+/// orthogonalized against the basis built so far, and the corresponding
+/// diagonal of `R` is set to zero, so `Q` always has exactly `min(m, n)`
+/// orthonormal columns and `A = Q R` still holds.
+pub fn qr(a: &Matrix) -> QrFactors {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut q = Matrix::zeros(m, k);
+    let mut r = Matrix::zeros(k, n);
+
+    // Working copy of the columns we are orthogonalizing.
+    let mut cols: Vec<Vec<C64>> = (0..n).map(|j| a.col(j)).collect();
+    let scale = a.norm_max().max(1.0);
+    let tol = scale * 1e-14;
+
+    for j in 0..k {
+        // Two passes of projection against the established basis.
+        for _ in 0..2 {
+            for i in 0..j {
+                let qi = q.col(i);
+                let proj: C64 = qi.iter().zip(cols[j].iter()).map(|(qe, ce)| qe.conj() * *ce).sum();
+                // Both passes accumulate into R; the second pass adds the
+                // small correction left over by the first.
+                r[(i, j)] += proj;
+                for (ce, qe) in cols[j].iter_mut().zip(qi.iter()) {
+                    *ce -= *qe * proj;
+                }
+            }
+        }
+        let norm = cols[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm > tol {
+            r[(j, j)] = c64(norm, 0.0);
+            let inv = 1.0 / norm;
+            let unit: Vec<C64> = cols[j].iter().map(|&z| z * inv).collect();
+            q.set_col(j, &unit);
+        } else {
+            // Numerically zero column: extend the basis with a canonical
+            // vector orthogonalized against what we have so far.
+            r[(j, j)] = C64::ZERO;
+            let mut v = vec![C64::ZERO; m];
+            'seed: for seed in 0..m {
+                v.iter_mut().for_each(|z| *z = C64::ZERO);
+                v[seed] = C64::ONE;
+                for _ in 0..2 {
+                    for i in 0..j {
+                        let qi = q.col(i);
+                        let proj: C64 =
+                            qi.iter().zip(v.iter()).map(|(qe, ce)| qe.conj() * *ce).sum();
+                        for (ce, qe) in v.iter_mut().zip(qi.iter()) {
+                            *ce -= *qe * proj;
+                        }
+                    }
+                }
+                let nv = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+                if nv > 0.5 {
+                    let inv = 1.0 / nv;
+                    v.iter_mut().for_each(|z| *z = *z * inv);
+                    break 'seed;
+                }
+            }
+            q.set_col(j, &v);
+        }
+    }
+
+    // Remaining columns (n > m case): project onto the finished basis.
+    for j in k..n {
+        for i in 0..k {
+            let qi = q.col(i);
+            let proj: C64 = qi.iter().zip(cols[j].iter()).map(|(qe, ce)| qe.conj() * *ce).sum();
+            r[(i, j)] = proj;
+        }
+    }
+
+    QrFactors { q, r }
+}
+
+/// Orthonormalize the columns of `a`, returning only the `Q` factor.
+pub fn orthonormalize(a: &Matrix) -> Matrix {
+    qr(a).q
+}
+
+/// QR of a square matrix with an invertibility check on `R`.
+pub fn qr_square_invertible(a: &Matrix) -> Result<QrFactors> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { nrows: m, ncols: n });
+    }
+    let f = qr(a);
+    for i in 0..n {
+        if f.r[(i, i)].abs() < 1e-13 * a.norm_max().max(1.0) {
+            return Err(LinalgError::Singular);
+        }
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_qr(a: &Matrix, tol: f64) {
+        let QrFactors { q, r } = qr(a);
+        let (m, n) = a.shape();
+        let k = m.min(n);
+        assert_eq!(q.shape(), (m, k));
+        assert_eq!(r.shape(), (k, n));
+        assert!(q.has_orthonormal_cols(tol), "Q columns not orthonormal");
+        assert!(matmul(&q, &r).approx_eq(a, tol * a.norm_max().max(1.0)), "QR != A");
+        // R upper triangular
+        for i in 0..k {
+            for j in 0..i.min(n) {
+                assert!(r[(i, j)].abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let mut rng = StdRng::seed_from_u64(20);
+        check_qr(&Matrix::random(20, 5, &mut rng), 1e-11);
+    }
+
+    #[test]
+    fn square_matrix() {
+        let mut rng = StdRng::seed_from_u64(21);
+        check_qr(&Matrix::random(8, 8, &mut rng), 1e-11);
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let mut rng = StdRng::seed_from_u64(22);
+        check_qr(&Matrix::random(4, 9, &mut rng), 1e-11);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let b = Matrix::random(10, 2, &mut rng);
+        let c = Matrix::random(2, 6, &mut rng);
+        let a = matmul(&b, &c); // rank <= 2 but 10x6
+        let QrFactors { q, r } = qr(&a);
+        assert!(q.has_orthonormal_cols(1e-10));
+        assert!(matmul(&q, &r).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(5, 3);
+        let QrFactors { q, r } = qr(&a);
+        assert!(q.has_orthonormal_cols(1e-12));
+        assert!(r.norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn identity_input() {
+        let a = Matrix::identity(4);
+        let QrFactors { q, r } = qr(&a);
+        assert!(q.approx_eq(&Matrix::identity(4), 1e-14));
+        assert!(r.approx_eq(&Matrix::identity(4), 1e-14));
+    }
+
+    #[test]
+    fn square_invertible_check() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = Matrix::random(6, 6, &mut rng);
+        assert!(qr_square_invertible(&a).is_ok());
+        assert!(matches!(
+            qr_square_invertible(&Matrix::zeros(3, 3)),
+            Err(LinalgError::Singular)
+        ));
+        assert!(matches!(
+            qr_square_invertible(&Matrix::zeros(3, 4)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn orthonormalize_is_projection_of_qr() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let a = Matrix::random(12, 4, &mut rng);
+        let q = orthonormalize(&a);
+        assert!(q.has_orthonormal_cols(1e-11));
+        // Column spaces agree: Q Q^H A == A.
+        let proj = matmul(&q, &crate::gemm::matmul_adj_a(&q, &a));
+        assert!(proj.approx_eq(&a, 1e-10));
+    }
+}

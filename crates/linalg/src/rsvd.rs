@@ -1,0 +1,234 @@
+//! Randomized SVD with an implicitly applied operator (paper Algorithm 4).
+//!
+//! The operator `A` does not need to exist as an explicit matrix — only its
+//! action `A * X` and `A^H * Y` on blocks of vectors is required. In the PEPS
+//! algorithms the operator is an uncontracted tensor sub-network, and applying
+//! it implicitly is what gives IBMPS / two-layer IBMPS their asymptotic
+//! advantage (Table II of the paper).
+
+use crate::error::{LinalgError, Result};
+use crate::gemm::{matmul, matmul_adj_a};
+use crate::matrix::Matrix;
+use crate::qr::orthonormalize;
+use crate::svd::{svd, Svd};
+use rand::Rng;
+
+/// A linear operator `C^{ncols} -> C^{nrows}` that can be applied to blocks of
+/// vectors without being materialised.
+pub trait LinearOp {
+    /// Output dimension.
+    fn nrows(&self) -> usize;
+    /// Input dimension.
+    fn ncols(&self) -> usize;
+    /// Apply `A * X` where `X` has shape `(ncols, k)`; result `(nrows, k)`.
+    fn apply(&self, x: &Matrix) -> Matrix;
+    /// Apply `A^H * Y` where `Y` has shape `(nrows, k)`; result `(ncols, k)`.
+    fn apply_adj(&self, y: &Matrix) -> Matrix;
+}
+
+/// Adapter exposing an explicit matrix as a [`LinearOp`].
+pub struct MatOp<'a> {
+    matrix: &'a Matrix,
+}
+
+impl<'a> MatOp<'a> {
+    /// Wrap a matrix reference.
+    pub fn new(matrix: &'a Matrix) -> Self {
+        MatOp { matrix }
+    }
+}
+
+impl LinearOp for MatOp<'_> {
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+    fn apply(&self, x: &Matrix) -> Matrix {
+        matmul(self.matrix, x)
+    }
+    fn apply_adj(&self, y: &Matrix) -> Matrix {
+        matmul_adj_a(self.matrix, y)
+    }
+}
+
+/// Composition `A * B` of two operators, applied implicitly.
+pub struct ComposedOp<L: LinearOp, R: LinearOp> {
+    left: L,
+    right: R,
+}
+
+impl<L: LinearOp, R: LinearOp> ComposedOp<L, R> {
+    /// Compose `left * right` (so `apply(x) = left.apply(right.apply(x))`).
+    pub fn new(left: L, right: R) -> Self {
+        assert_eq!(
+            left.ncols(),
+            right.nrows(),
+            "ComposedOp: inner dimensions do not match"
+        );
+        ComposedOp { left, right }
+    }
+}
+
+impl<L: LinearOp, R: LinearOp> LinearOp for ComposedOp<L, R> {
+    fn nrows(&self) -> usize {
+        self.left.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.right.ncols()
+    }
+    fn apply(&self, x: &Matrix) -> Matrix {
+        self.left.apply(&self.right.apply(x))
+    }
+    fn apply_adj(&self, y: &Matrix) -> Matrix {
+        self.right.apply_adj(&self.left.apply_adj(y))
+    }
+}
+
+/// Options controlling the randomized SVD.
+#[derive(Debug, Clone, Copy)]
+pub struct RsvdOptions {
+    /// Target rank of the approximation.
+    pub rank: usize,
+    /// Extra columns carried through the iteration for accuracy.
+    pub oversample: usize,
+    /// Number of subspace (power) iterations (the paper's `k`).
+    pub n_iter: usize,
+}
+
+impl RsvdOptions {
+    /// Sensible defaults for a given rank: 10 oversamples, 2 power iterations.
+    pub fn with_rank(rank: usize) -> Self {
+        RsvdOptions { rank, oversample: 10, n_iter: 2 }
+    }
+}
+
+/// Randomized truncated SVD of an implicitly applied operator
+/// (paper Algorithm 4). Returns factors with at most `rank` columns.
+pub fn rsvd<O: LinearOp, R: Rng + ?Sized>(op: &O, opts: RsvdOptions, rng: &mut R) -> Result<Svd> {
+    if opts.rank == 0 {
+        return Err(LinalgError::InvalidArgument {
+            context: "rsvd: rank must be positive".to_string(),
+        });
+    }
+    let n = op.ncols();
+    let m = op.nrows();
+    if n == 0 || m == 0 {
+        return Ok(Svd { u: Matrix::zeros(m, 0), s: vec![], vh: Matrix::zeros(0, n) });
+    }
+    // The sketch cannot be wider than either dimension of the operator.
+    let l = (opts.rank + opts.oversample).min(n).min(m);
+
+    // Q <- random n x l block with entries in [-1, 1] (paper's initialisation).
+    let mut q = Matrix::zeros(n, l);
+    for v in q.data_mut() {
+        *v = crate::scalar::c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+    }
+
+    // P <- orth(A Q)
+    let mut p = orthonormalize(&op.apply(&q));
+    // Subspace iteration: Q <- orth(A^H P); P <- orth(A Q)
+    for _ in 0..opts.n_iter {
+        q = orthonormalize(&op.apply_adj(&p));
+        p = orthonormalize(&op.apply(&q));
+    }
+
+    // B = P^H A  (l x n), computed as (A^H P)^H to stay implicit.
+    let ahp = op.apply_adj(&p); // n x l
+    let b = ahp.adjoint(); // l x n
+    let small = svd(&b)?;
+    let u = matmul(&p, &small.u);
+    let f = Svd { u, s: small.s, vh: small.vh };
+    Ok(f.truncated(opts.rank))
+}
+
+/// Randomized truncated SVD of an explicit matrix (convenience wrapper).
+pub fn rsvd_matrix<R: Rng + ?Sized>(a: &Matrix, opts: RsvdOptions, rng: &mut R) -> Result<Svd> {
+    rsvd(&MatOp::new(a), opts, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::scale_cols;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build a matrix with a prescribed, rapidly decaying spectrum.
+    fn matrix_with_spectrum(m: usize, n: usize, spectrum: &[f64], rng: &mut StdRng) -> Matrix {
+        let k = spectrum.len();
+        let u = orthonormalize(&Matrix::random(m, k, rng));
+        let v = orthonormalize(&Matrix::random(n, k, rng));
+        matmul(&scale_cols(&u, spectrum), &v.adjoint())
+    }
+
+    #[test]
+    fn recovers_low_rank_matrix_exactly() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let spectrum = [5.0, 3.0, 1.0];
+        let a = matrix_with_spectrum(30, 20, &spectrum, &mut rng);
+        let f = rsvd_matrix(&a, RsvdOptions::with_rank(3), &mut rng).unwrap();
+        assert!(f.reconstruct().approx_eq(&a, 1e-9));
+        for (got, want) in f.s.iter().zip(spectrum.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn truncation_close_to_optimal_for_decaying_spectrum() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let spectrum: Vec<f64> = (0..12).map(|i| (2.0f64).powi(-(i as i32))).collect();
+        let a = matrix_with_spectrum(40, 25, &spectrum, &mut rng);
+        let k = 5;
+        let f = rsvd_matrix(&a, RsvdOptions { rank: k, oversample: 10, n_iter: 3 }, &mut rng).unwrap();
+        let err = (&a - &f.reconstruct()).norm_fro();
+        let optimal: f64 = spectrum[k..].iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(err < 2.0 * optimal + 1e-12, "rsvd error {err} vs optimal {optimal}");
+    }
+
+    #[test]
+    fn implicit_composition_matches_explicit_product() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let a = Matrix::random(18, 7, &mut rng);
+        let b = Matrix::random(7, 22, &mut rng);
+        let ab = matmul(&a, &b);
+        let op = ComposedOp::new(MatOp::new(&a), MatOp::new(&b));
+        assert_eq!(op.nrows(), 18);
+        assert_eq!(op.ncols(), 22);
+        let f1 = rsvd(&op, RsvdOptions::with_rank(7), &mut rng).unwrap();
+        let f2 = svd(&ab).unwrap().truncated(7);
+        for (x, y) in f1.s.iter().zip(f2.s.iter()) {
+            assert!((x - y).abs() < 1e-8 * f2.s[0].max(1.0));
+        }
+        assert!(f1.reconstruct().approx_eq(&ab, 1e-8));
+    }
+
+    #[test]
+    fn rank_larger_than_dimensions_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let a = Matrix::random(5, 4, &mut rng);
+        let f = rsvd_matrix(&a, RsvdOptions::with_rank(100), &mut rng).unwrap();
+        assert!(f.rank() <= 4);
+        assert!(f.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn zero_rank_rejected() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let a = Matrix::random(3, 3, &mut rng);
+        assert!(rsvd_matrix(&a, RsvdOptions { rank: 0, oversample: 0, n_iter: 0 }, &mut rng).is_err());
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let a = Matrix::random(25, 16, &mut rng);
+        let f = rsvd_matrix(&a, RsvdOptions::with_rank(6), &mut rng).unwrap();
+        assert!(f.u.has_orthonormal_cols(1e-9));
+        assert!(f.vh.adjoint().has_orthonormal_cols(1e-9));
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Linear solvers: LU with partial pivoting, triangular solves and inverses.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::C64;
+
+/// LU factorization with partial pivoting: `P A = L U`, stored packed.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors (unit lower triangle implicit).
+    lu: Matrix,
+    /// Row permutation: row `i` of `U`/`L` corresponds to row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Factorize a square matrix.
+pub fn lu(a: &Matrix) -> Result<Lu> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { nrows: m, ncols: n });
+    }
+    let mut lu_m = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Pivot: largest modulus in column k at or below the diagonal.
+        let mut piv = k;
+        let mut best = lu_m[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu_m[(i, k)].abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if best == 0.0 {
+            return Err(LinalgError::Singular);
+        }
+        if piv != k {
+            for j in 0..n {
+                let tmp = lu_m[(k, j)];
+                lu_m[(k, j)] = lu_m[(piv, j)];
+                lu_m[(piv, j)] = tmp;
+            }
+            perm.swap(k, piv);
+            sign = -sign;
+        }
+        let pivot = lu_m[(k, k)];
+        for i in (k + 1)..n {
+            let factor = lu_m[(i, k)] / pivot;
+            lu_m[(i, k)] = factor;
+            for j in (k + 1)..n {
+                let sub = factor * lu_m[(k, j)];
+                lu_m[(i, j)] -= sub;
+            }
+        }
+    }
+    Ok(Lu { lu: lu_m, perm, sign })
+}
+
+impl Lu {
+    /// Solve `A x = b` for each column of `b`.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.lu.nrows();
+        if b.nrows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("lu solve: rhs has {} rows, expected {}", b.nrows(), n),
+            });
+        }
+        let ncols = b.ncols();
+        let mut x = Matrix::zeros(n, ncols);
+        // Apply permutation to b.
+        for i in 0..n {
+            for j in 0..ncols {
+                x[(i, j)] = b[(self.perm[i], j)];
+            }
+        }
+        // Forward substitution with unit lower triangle.
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self.lu[(i, k)];
+                for j in 0..ncols {
+                    let sub = lik * x[(k, j)];
+                    x[(i, j)] -= sub;
+                }
+            }
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let uik = self.lu[(i, k)];
+                for j in 0..ncols {
+                    let sub = uik * x[(k, j)];
+                    x[(i, j)] -= sub;
+                }
+            }
+            let d = self.lu[(i, i)];
+            for j in 0..ncols {
+                x[(i, j)] /= d;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> C64 {
+        let n = self.lu.nrows();
+        let mut d = C64::from_real(self.sign);
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Solve `A x = b`.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    lu(a)?.solve(b)
+}
+
+/// Matrix inverse.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    let n = a.nrows();
+    lu(a)?.solve(&Matrix::identity(n))
+}
+
+/// Solve `R x = b` with `R` upper triangular.
+pub fn solve_upper_triangular(r: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let (n, n2) = r.shape();
+    if n != n2 {
+        return Err(LinalgError::NotSquare { nrows: n, ncols: n2 });
+    }
+    if b.nrows() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("triangular solve: rhs has {} rows, expected {}", b.nrows(), n),
+        });
+    }
+    let ncols = b.ncols();
+    let mut x = b.clone();
+    for i in (0..n).rev() {
+        let d = r[(i, i)];
+        if d.abs() == 0.0 {
+            return Err(LinalgError::Singular);
+        }
+        for j in 0..ncols {
+            let mut acc = x[(i, j)];
+            for k in (i + 1)..n {
+                acc -= r[(i, k)] * x[(k, j)];
+            }
+            x[(i, j)] = acc / d;
+        }
+    }
+    Ok(x)
+}
+
+/// Inverse of an upper-triangular matrix.
+pub fn upper_triangular_inverse(r: &Matrix) -> Result<Matrix> {
+    let n = r.nrows();
+    solve_upper_triangular(r, &Matrix::identity(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::scalar::c64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solve_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let a = Matrix::random(8, 8, &mut rng);
+        let x_true = Matrix::random(8, 3, &mut rng);
+        let b = matmul(&a, &x_true);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-9));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = Matrix::random(6, 6, &mut rng);
+        let ainv = inverse(&a).unwrap();
+        assert!(matmul(&a, &ainv).approx_eq(&Matrix::identity(6), 1e-9));
+        assert!(matmul(&ainv, &a).approx_eq(&Matrix::identity(6), 1e-9));
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let a = Matrix::from_diag(&[c64(2.0, 0.0), c64(0.0, 3.0), c64(-1.0, 0.0)]);
+        let d = lu(&a).unwrap().det();
+        // det = 2 * 3i * (-1) = -6i
+        assert!(d.approx_eq(c64(0.0, -6.0), 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = c64(1.0, 0.0);
+        a[(1, 1)] = c64(1.0, 0.0);
+        assert!(matches!(lu(&a), Err(LinalgError::Singular)));
+        assert!(matches!(lu(&Matrix::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]).unwrap();
+        let b = Matrix::from_real(2, 1, &[2.0, 3.0]).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert!(x[(0, 0)].approx_eq(c64(3.0, 0.0), 1e-12));
+        assert!(x[(1, 0)].approx_eq(c64(2.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn triangular_solve_and_inverse() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let a = Matrix::random(7, 7, &mut rng);
+        let r = crate::qr::qr(&a).r;
+        let rinv = upper_triangular_inverse(&r).unwrap();
+        assert!(matmul(&r, &rinv).approx_eq(&Matrix::identity(7), 1e-9));
+        let b = Matrix::random(7, 2, &mut rng);
+        let x = solve_upper_triangular(&r, &b).unwrap();
+        assert!(matmul(&r, &x).approx_eq(&b, 1e-9));
+        // Mismatched rhs is rejected.
+        assert!(solve_upper_triangular(&r, &Matrix::zeros(3, 1)).is_err());
+    }
+}

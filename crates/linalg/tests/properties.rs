@@ -1,0 +1,126 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use koala_linalg::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: matrix dimensions kept small so Jacobi iterations stay fast.
+fn dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..10, 1usize..10)
+}
+
+fn seeded_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::random(m, n, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_distributes_over_addition((m, k) in dims(), n in 1usize..10, seed in 0u64..1000) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed.wrapping_add(1));
+        let c = seeded_matrix(k, n, seed.wrapping_add(2));
+        let lhs = matmul(&a, &(&b + &c));
+        let rhs = &matmul(&a, &b) + &matmul(&a, &c);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn gemm_adjoint_reverses_order((m, k) in dims(), n in 1usize..10, seed in 0u64..1000) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed.wrapping_add(7));
+        let lhs = matmul(&a, &b).adjoint();
+        let rhs = matmul(&b.adjoint(), &a.adjoint());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn qr_reconstructs_and_is_orthonormal((m, n) in dims(), seed in 0u64..1000) {
+        let a = seeded_matrix(m, n, seed);
+        let f = qr(&a);
+        prop_assert!(f.q.has_orthonormal_cols(1e-9));
+        prop_assert!(matmul(&f.q, &f.r).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn svd_reconstructs_with_sorted_nonnegative_values((m, n) in dims(), seed in 0u64..1000) {
+        let a = seeded_matrix(m, n, seed);
+        let f = svd(&a).unwrap();
+        prop_assert!(f.reconstruct().approx_eq(&a, 1e-8));
+        prop_assert!(f.s.iter().all(|&x| x >= 0.0));
+        prop_assert!(f.s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn svd_frobenius_norm_is_l2_of_singular_values((m, n) in dims(), seed in 0u64..1000) {
+        let a = seeded_matrix(m, n, seed);
+        let f = svd(&a).unwrap();
+        let s_norm = f.s.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!((s_norm - a.norm_fro()).abs() < 1e-8 * a.norm_fro().max(1.0));
+    }
+
+    #[test]
+    fn truncated_svd_obeys_eckart_young_bound((m, n) in dims(), k in 1usize..6, seed in 0u64..1000) {
+        let a = seeded_matrix(m, n, seed);
+        let full = svd(&a).unwrap();
+        let k = k.min(full.s.len());
+        let trunc = full.truncated(k);
+        let err = (&a - &trunc.reconstruct()).norm_fro();
+        prop_assert!(err <= full.truncation_error(k) + 1e-8);
+    }
+
+    #[test]
+    fn eigh_reconstructs_hermitian(n in 1usize..9, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random_hermitian(n, &mut rng);
+        let e = eigh(&a).unwrap();
+        let rec = matmul_adj_b(&matmul(&e.vectors, &Matrix::from_diag_real(&e.values)), &e.vectors);
+        prop_assert!(rec.approx_eq(&a, 1e-8));
+        prop_assert!(e.vectors.has_orthonormal_cols(1e-9));
+    }
+
+    #[test]
+    fn gram_qr_matches_input(m in 2usize..20, n in 1usize..6, seed in 0u64..1000) {
+        // Tall inputs, as in Algorithm 5's intended use.
+        let m = m.max(n);
+        let a = seeded_matrix(m, n, seed);
+        let f = gram_qr(&a).unwrap();
+        prop_assert!(matmul(&f.q, &f.r).approx_eq(&a, 1e-7));
+    }
+
+    #[test]
+    fn lu_solve_recovers_solution(n in 1usize..8, cols in 1usize..4, seed in 0u64..1000) {
+        let a = seeded_matrix(n, n, seed);
+        // Shift the diagonal so singularity is essentially impossible.
+        let mut a = a;
+        for i in 0..n {
+            a[(i, i)] = a[(i, i)] + c64(3.0, 0.0);
+        }
+        let x = seeded_matrix(n, cols, seed.wrapping_add(13));
+        let b = matmul(&a, &x);
+        let solved = solve(&a, &b).unwrap();
+        prop_assert!(solved.approx_eq(&x, 1e-7));
+    }
+
+    #[test]
+    fn rsvd_recovers_exact_low_rank(m in 4usize..20, n in 4usize..20, r in 1usize..4, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = r.min(m).min(n);
+        let left = Matrix::random(m, r, &mut rng);
+        let right = Matrix::random(r, n, &mut rng);
+        let a = matmul(&left, &right);
+        let f = rsvd_matrix(&a, RsvdOptions::with_rank(r), &mut rng).unwrap();
+        prop_assert!(f.reconstruct().approx_eq(&a, 1e-7 * a.norm_max().max(1.0)));
+    }
+
+    #[test]
+    fn expm_of_antihermitian_is_unitary(n in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = Matrix::random_hermitian(n, &mut rng);
+        let u = expm_hermitian(&h, c64(0.0, 1.0)).unwrap();
+        prop_assert!(u.has_orthonormal_cols(1e-9));
+    }
+}

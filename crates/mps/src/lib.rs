@@ -1,0 +1,26 @@
+//! # koala-mps
+//!
+//! Matrix product states (MPS) and matrix product operators (MPO) for the
+//! koala-rs reproduction of *"Efficient 2D Tensor Network Simulation of
+//! Quantum Systems"* (SC 2020).
+//!
+//! The boundary-MPS family of PEPS contraction algorithms (paper §III-B and
+//! Algorithm 2) treats one row of a PEPS as an MPS and the remaining rows as
+//! MPOs that are applied approximately. This crate provides that machinery:
+//!
+//! * [`Mps`] / [`Mpo`] chain types with canonicalization and compression,
+//! * exact MPO application (bond dimensions multiply),
+//! * the zip-up approximate application of Algorithm 3, with the einsumsvd
+//!   step evaluated either by an explicit truncated SVD ([`ZipUpMethod::ExactSvd`],
+//!   the BMPS building block) or by the implicit randomized SVD of Algorithm 4
+//!   ([`ZipUpMethod::ImplicitRandSvd`], the IBMPS building block).
+
+#![warn(missing_docs)]
+
+pub mod mpo;
+pub mod mps;
+pub mod zipup;
+
+pub use mpo::Mpo;
+pub use mps::{ghz_state, Mps};
+pub use zipup::{zip_up, ZipUpMethod};

@@ -1,0 +1,416 @@
+//! Matrix product states.
+//!
+//! Site tensors use the axis convention `[left bond, physical, right bond]`;
+//! the first and last bonds have dimension 1. In the boundary-MPS contraction
+//! of a PEPS (paper Algorithm 2) the "physical" index is the open index that
+//! points at the next, not yet absorbed, row of the PEPS.
+
+use koala_linalg::{c64, C64};
+use koala_tensor::{qr_split, svd_split, tensordot, Tensor, TensorError, Truncation};
+use rand::Rng;
+
+/// Result alias shared by the MPS layer.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// A matrix product state: a chain of rank-3 tensors `[l, p, r]`.
+#[derive(Debug, Clone)]
+pub struct Mps {
+    tensors: Vec<Tensor>,
+}
+
+impl Mps {
+    /// Build from site tensors, validating ranks and bond matching.
+    pub fn new(tensors: Vec<Tensor>) -> Result<Self> {
+        if tensors.is_empty() {
+            return Err(TensorError::ShapeMismatch { context: "Mps::new: empty chain".into() });
+        }
+        for (i, t) in tensors.iter().enumerate() {
+            if t.ndim() != 3 {
+                return Err(TensorError::ShapeMismatch {
+                    context: format!("Mps::new: site {i} has rank {} (expected 3)", t.ndim()),
+                });
+            }
+        }
+        if tensors[0].dim(0) != 1 || tensors[tensors.len() - 1].dim(2) != 1 {
+            return Err(TensorError::ShapeMismatch {
+                context: "Mps::new: boundary bonds must have dimension 1".into(),
+            });
+        }
+        for i in 0..tensors.len() - 1 {
+            if tensors[i].dim(2) != tensors[i + 1].dim(0) {
+                return Err(TensorError::ShapeMismatch {
+                    context: format!(
+                        "Mps::new: bond between sites {i} and {} does not match ({} vs {})",
+                        i + 1,
+                        tensors[i].dim(2),
+                        tensors[i + 1].dim(0)
+                    ),
+                });
+            }
+        }
+        Ok(Mps { tensors })
+    }
+
+    /// A product (bond-dimension-1) state with the given per-site vectors.
+    pub fn product_state(site_vectors: &[Vec<C64>]) -> Result<Self> {
+        let tensors = site_vectors
+            .iter()
+            .map(|v| Tensor::from_vec(&[1, v.len(), 1], v.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Mps::new(tensors)
+    }
+
+    /// The all-zeros computational basis state |00...0> with physical dimension `d`.
+    pub fn computational_zeros(n_sites: usize, d: usize) -> Self {
+        let mut v = vec![C64::ZERO; d];
+        v[0] = C64::ONE;
+        Mps::product_state(&vec![v; n_sites]).expect("computational_zeros: invalid state")
+    }
+
+    /// Random MPS with the given physical and (uniform) bond dimension.
+    pub fn random<R: Rng + ?Sized>(n_sites: usize, phys_dim: usize, bond_dim: usize, rng: &mut R) -> Self {
+        let mut tensors = Vec::with_capacity(n_sites);
+        for i in 0..n_sites {
+            let l = if i == 0 { 1 } else { bond_dim };
+            let r = if i == n_sites - 1 { 1 } else { bond_dim };
+            tensors.push(Tensor::random(&[l, phys_dim, r], rng));
+        }
+        Mps::new(tensors).expect("random: construction cannot fail")
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True if the chain is empty (never the case for a valid MPS).
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Site tensors.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    /// One site tensor.
+    pub fn tensor(&self, i: usize) -> &Tensor {
+        &self.tensors[i]
+    }
+
+    /// Replace one site tensor (bond consistency is the caller's concern).
+    pub fn set_tensor(&mut self, i: usize, t: Tensor) {
+        self.tensors[i] = t;
+    }
+
+    /// Physical dimensions of every site.
+    pub fn phys_dims(&self) -> Vec<usize> {
+        self.tensors.iter().map(|t| t.dim(1)).collect()
+    }
+
+    /// Bond dimensions between consecutive sites (length `len() - 1`).
+    pub fn bond_dims(&self) -> Vec<usize> {
+        self.tensors.iter().take(self.len() - 1).map(|t| t.dim(2)).collect()
+    }
+
+    /// Largest bond dimension.
+    pub fn max_bond(&self) -> usize {
+        self.bond_dims().into_iter().max().unwrap_or(1)
+    }
+
+    /// Total number of stored complex numbers.
+    pub fn num_elements(&self) -> usize {
+        self.tensors.iter().map(|t| t.len()).sum()
+    }
+
+    /// `<self|other>` (conjugating `self`).
+    pub fn inner(&self, other: &Mps) -> Result<C64> {
+        if self.len() != other.len() || self.phys_dims() != other.phys_dims() {
+            return Err(TensorError::ShapeMismatch {
+                context: "inner: incompatible MPS chains".into(),
+            });
+        }
+        // Environment E[ra, rb] carried left to right.
+        let mut env = Tensor::ones(&[1, 1]);
+        for (a, b) in self.tensors.iter().zip(other.tensors.iter()) {
+            // env [ra, rb] * conj(a)[ra, p, ra'] -> [rb, p, ra']
+            let step = tensordot(&env, &a.conj(), &[0], &[0])?;
+            // step [rb, p, ra'] * b[rb, p, rb'] -> [ra', rb']
+            env = tensordot(&step, b, &[0, 1], &[0, 1])?;
+        }
+        Ok(env.item())
+    }
+
+    /// Bilinear contraction `sum_phys self * other` (no conjugation). Used to
+    /// close a boundary-MPS sweep from the top against one from the bottom,
+    /// where all conjugations have already been baked into the tensors.
+    pub fn dot(&self, other: &Mps) -> Result<C64> {
+        if self.len() != other.len() || self.phys_dims() != other.phys_dims() {
+            return Err(TensorError::ShapeMismatch {
+                context: "dot: incompatible MPS chains".into(),
+            });
+        }
+        let mut env = Tensor::ones(&[1, 1]);
+        for (a, b) in self.tensors.iter().zip(other.tensors.iter()) {
+            let step = tensordot(&env, a, &[0], &[0])?; // [rb, p, ra']
+            env = tensordot(&step, b, &[0, 1], &[0, 1])?; // [ra', rb']
+        }
+        Ok(env.item())
+    }
+
+    /// 2-norm of the state.
+    pub fn norm(&self) -> f64 {
+        self.inner(self).map(|z| z.re.max(0.0).sqrt()).unwrap_or(0.0)
+    }
+
+    /// Multiply the state by a scalar (applied to the first site).
+    pub fn scale(&mut self, s: C64) {
+        self.tensors[0] = self.tensors[0].scale(s);
+    }
+
+    /// Contract an MPS whose physical dimensions are all 1 down to a scalar
+    /// (the final step of the boundary contraction, Algorithm 2 line 5).
+    pub fn contract_to_scalar(&self) -> Result<C64> {
+        for (i, t) in self.tensors.iter().enumerate() {
+            if t.dim(1) != 1 {
+                return Err(TensorError::ShapeMismatch {
+                    context: format!(
+                        "contract_to_scalar: site {i} has physical dimension {} (expected 1)",
+                        t.dim(1)
+                    ),
+                });
+            }
+        }
+        let mut env = Tensor::ones(&[1]);
+        for t in &self.tensors {
+            let site = t.select(1, 0)?; // [l, r]
+            env = tensordot(&env, &site, &[0], &[0])?; // [r]
+        }
+        Ok(env.item())
+    }
+
+    /// Contract the full chain into a dense state tensor with one axis per
+    /// site (exponential in the number of sites; testing utility).
+    pub fn to_dense(&self) -> Result<Tensor> {
+        let mut acc = Tensor::ones(&[1]);
+        for t in &self.tensors {
+            // acc [p1..pk, r] * t [r, p, r'] -> [p1..pk, p, r']
+            acc = tensordot(&acc, t, &[acc.ndim() - 1], &[0])?;
+        }
+        // Drop the trailing bond of dimension 1.
+        let shape: Vec<usize> = acc.shape()[..acc.ndim() - 1].to_vec();
+        acc.reshape(&shape)
+    }
+
+    /// Left-canonicalize in place (QR sweep from the left). After this call
+    /// every site except the last is an isometry over `(l, p)`.
+    pub fn canonicalize_left(&mut self) -> Result<()> {
+        let n = self.len();
+        for i in 0..n - 1 {
+            let (q, r) = qr_split(&self.tensors[i], &[0, 1])?;
+            self.tensors[i] = q; // [l, p, k]
+            self.tensors[i + 1] = tensordot(&r, &self.tensors[i + 1], &[1], &[0])?;
+        }
+        Ok(())
+    }
+
+    /// Right-canonicalize in place (QR sweep from the right).
+    pub fn canonicalize_right(&mut self) -> Result<()> {
+        let n = self.len();
+        for i in (1..n).rev() {
+            // Split [l | p, r]: Q over (p, r), R over l.
+            let (q, r) = qr_split(&self.tensors[i], &[1, 2])?;
+            // q: [p, r, k]  -> site becomes [k, p, r]
+            self.tensors[i] = q.permute(&[2, 0, 1])?;
+            // r: [k, l]; absorb into the left neighbour: [l', p', l] * [k, l]^T
+            self.tensors[i - 1] = tensordot(&self.tensors[i - 1], &r, &[2], &[1])?;
+        }
+        Ok(())
+    }
+
+    /// Compress the state to a maximum bond dimension by a left-canonical
+    /// sweep followed by an SVD truncation sweep from the right. Returns the
+    /// accumulated truncation error (root-sum-square of the discarded weights).
+    pub fn compress(&mut self, truncation: Truncation) -> Result<f64> {
+        self.canonicalize_left()?;
+        let n = self.len();
+        let mut err_sq = 0.0;
+        for i in (1..n).rev() {
+            let f = svd_split(&self.tensors[i], &[0], truncation)?;
+            err_sq += f.truncation_error * f.truncation_error;
+            // vh: [k, p, r] becomes the new site; u*s is absorbed leftwards.
+            let (u, vh) = f.absorb_left();
+            self.tensors[i] = vh;
+            self.tensors[i - 1] = tensordot(&self.tensors[i - 1], &u, &[2], &[0])?;
+        }
+        Ok(err_sq.sqrt())
+    }
+
+    /// Sample amplitude of a computational basis state (physical dimensions
+    /// must cover the provided index). Testing / amplitude utility.
+    pub fn amplitude(&self, bits: &[usize]) -> Result<C64> {
+        if bits.len() != self.len() {
+            return Err(TensorError::ShapeMismatch {
+                context: "amplitude: wrong number of sites".into(),
+            });
+        }
+        let mut env = Tensor::ones(&[1]);
+        for (t, &b) in self.tensors.iter().zip(bits.iter()) {
+            let site = t.select(1, b)?; // [l, r]
+            env = tensordot(&env, &site, &[0], &[0])?;
+        }
+        Ok(env.item())
+    }
+}
+
+/// Build the `n`-site GHZ state (|0...0> + |1...1>)/sqrt(2) as an MPS with
+/// bond dimension 2 (used by tests as a state with known entanglement).
+pub fn ghz_state(n: usize) -> Mps {
+    assert!(n >= 2);
+    let amp = 1.0 / 2.0f64.sqrt();
+    let mut tensors = Vec::with_capacity(n);
+    for i in 0..n {
+        let (l, r) = (if i == 0 { 1 } else { 2 }, if i == n - 1 { 1 } else { 2 });
+        let mut t = Tensor::zeros(&[l, 2, r]);
+        if i == 0 {
+            t.set(&[0, 0, 0], c64(amp, 0.0));
+            t.set(&[0, 1, 1], c64(amp, 0.0));
+        } else if i == n - 1 {
+            t.set(&[0, 0, 0], C64::ONE);
+            t.set(&[1, 1, 0], C64::ONE);
+        } else {
+            t.set(&[0, 0, 0], C64::ONE);
+            t.set(&[1, 1, 1], C64::ONE);
+        }
+        tensors.push(t);
+    }
+    Mps::new(tensors).expect("ghz_state: construction cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        let ok = Mps::new(vec![Tensor::zeros(&[1, 2, 3]), Tensor::zeros(&[3, 2, 1])]);
+        assert!(ok.is_ok());
+        assert!(Mps::new(vec![]).is_err());
+        assert!(Mps::new(vec![Tensor::zeros(&[1, 2])]).is_err());
+        assert!(Mps::new(vec![Tensor::zeros(&[2, 2, 1])]).is_err(), "left boundary must be 1");
+        assert!(
+            Mps::new(vec![Tensor::zeros(&[1, 2, 3]), Tensor::zeros(&[2, 2, 1])]).is_err(),
+            "bond mismatch"
+        );
+    }
+
+    #[test]
+    fn computational_zeros_amplitudes() {
+        let mps = Mps::computational_zeros(4, 2);
+        assert!((mps.norm() - 1.0).abs() < 1e-12);
+        assert!(mps.amplitude(&[0, 0, 0, 0]).unwrap().approx_eq(C64::ONE, 1e-12));
+        assert!(mps.amplitude(&[1, 0, 0, 0]).unwrap().approx_eq(C64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn ghz_state_has_expected_amplitudes() {
+        let g = ghz_state(5);
+        assert!((g.norm() - 1.0).abs() < 1e-12);
+        let amp = 1.0 / 2.0f64.sqrt();
+        assert!(g.amplitude(&[0; 5]).unwrap().approx_eq(c64(amp, 0.0), 1e-12));
+        assert!(g.amplitude(&[1; 5]).unwrap().approx_eq(c64(amp, 0.0), 1e-12));
+        assert!(g.amplitude(&[1, 0, 0, 0, 0]).unwrap().approx_eq(C64::ZERO, 1e-12));
+        assert_eq!(g.max_bond(), 2);
+    }
+
+    #[test]
+    fn inner_product_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mps::random(4, 2, 3, &mut rng);
+        let b = Mps::random(4, 2, 3, &mut rng);
+        let mps_inner = a.inner(&b).unwrap();
+        let dense_inner = a.to_dense().unwrap().inner(&b.to_dense().unwrap()).unwrap();
+        assert!(mps_inner.approx_eq(dense_inner, 1e-9));
+    }
+
+    #[test]
+    fn canonicalization_preserves_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let original = Mps::random(5, 2, 4, &mut rng);
+        let dense = original.to_dense().unwrap();
+
+        let mut left = original.clone();
+        left.canonicalize_left().unwrap();
+        assert!(left.to_dense().unwrap().approx_eq(&dense, 1e-9));
+        // Left-canonical sites are isometries over (l, p).
+        for i in 0..left.len() - 1 {
+            let m = left.tensor(i).unfold(2);
+            assert!(m.has_orthonormal_cols(1e-9), "site {i} not left-canonical");
+        }
+
+        let mut right = original.clone();
+        right.canonicalize_right().unwrap();
+        assert!(right.to_dense().unwrap().approx_eq(&dense, 1e-9));
+    }
+
+    #[test]
+    fn compress_without_truncation_is_lossless() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = Mps::random(5, 2, 3, &mut rng);
+        let dense = original.to_dense().unwrap();
+        let mut c = original.clone();
+        let err = c.compress(Truncation::none()).unwrap();
+        assert!(err < 1e-10);
+        assert!(c.to_dense().unwrap().approx_eq(&dense, 1e-9));
+    }
+
+    #[test]
+    fn compress_truncates_bond_dimension() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let original = Mps::random(6, 2, 8, &mut rng);
+        let mut c = original.clone();
+        let err = c.compress(Truncation::max_rank(3)).unwrap();
+        assert!(c.max_bond() <= 3);
+        assert!(err >= 0.0);
+        // The reported error should match the actual distance reasonably well
+        // (zip-up style single sweep is not exactly optimal but close).
+        let dense_diff = c
+            .to_dense()
+            .unwrap()
+            .sub(&original.to_dense().unwrap())
+            .unwrap()
+            .norm();
+        assert!(dense_diff <= 2.0 * err + 1e-9, "diff {dense_diff} vs reported {err}");
+    }
+
+    #[test]
+    fn compress_ghz_to_bond_one_loses_half_the_weight() {
+        let mut g = ghz_state(4);
+        let err = g.compress(Truncation::max_rank(1)).unwrap();
+        assert_eq!(g.max_bond(), 1);
+        // GHZ has two equal Schmidt values 1/sqrt(2); dropping one loses weight 1/2.
+        assert!((err - (0.5f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contract_to_scalar_requires_trivial_physical_dims() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bad = Mps::random(3, 2, 2, &mut rng);
+        assert!(bad.contract_to_scalar().is_err());
+        let good = Mps::random(4, 1, 3, &mut rng);
+        let via_scalar = good.contract_to_scalar().unwrap();
+        let via_dense = good.to_dense().unwrap().item();
+        assert!(via_scalar.approx_eq(via_dense, 1e-10));
+    }
+
+    #[test]
+    fn scale_multiplies_norm() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = Mps::random(3, 2, 2, &mut rng);
+        let n0 = a.norm();
+        a.scale(c64(2.0, 0.0));
+        assert!((a.norm() - 2.0 * n0).abs() < 1e-9);
+    }
+}

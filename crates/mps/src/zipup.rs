@@ -1,0 +1,289 @@
+//! Approximate application of an MPO to an MPS by the zip-up algorithm
+//! (paper Algorithm 3), in both the explicit-SVD and implicit randomized-SVD
+//! (Algorithm 4) flavours.
+//!
+//! The zip-up sweep walks the chain once from left to right. At every step the
+//! partially contracted boundary tensor `V(i-1)`, the next MPS site `S(i)`,
+//! and the next MPO site `O(i)` form a small tensor network that must be
+//! contracted and refactorized into the finished site `i-1` and the new
+//! boundary tensor — exactly an `einsumsvd`. The explicit variant forms the
+//! merged tensor and truncates its SVD; the implicit variant never forms it
+//! and instead applies the network to random sketch blocks, which is what
+//! turns BMPS into IBMPS in the PEPS contraction benchmarks (Figure 8).
+
+use crate::mpo::Mpo;
+use crate::mps::{Mps, Result};
+use koala_linalg::{rsvd, LinearOp, Matrix, RsvdOptions};
+use koala_tensor::{svd_split, tensordot, Tensor, TensorError, Truncation};
+use rand::Rng;
+
+/// How the einsumsvd inside the zip-up sweep is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZipUpMethod {
+    /// Contract the three tensors and truncate an exact SVD (BMPS building block).
+    ExactSvd,
+    /// Randomized SVD with the operator applied implicitly (IBMPS building
+    /// block); `n_iter` subspace iterations, `oversample` extra sketch columns.
+    ImplicitRandSvd {
+        /// Number of subspace (power) iterations.
+        n_iter: usize,
+        /// Extra sketch columns beyond the target rank.
+        oversample: usize,
+    },
+}
+
+impl ZipUpMethod {
+    /// The implicit method with the defaults used throughout the benchmarks.
+    pub fn implicit_default() -> Self {
+        ZipUpMethod::ImplicitRandSvd { n_iter: 2, oversample: 10 }
+    }
+}
+
+/// Apply `mpo` to `mps`, truncating every new bond to at most `max_bond`,
+/// using the requested einsumsvd method. Returns the compressed MPS.
+pub fn zip_up<R: Rng + ?Sized>(
+    mps: &Mps,
+    mpo: &Mpo,
+    max_bond: usize,
+    method: ZipUpMethod,
+    rng: &mut R,
+) -> Result<Mps> {
+    if mps.len() != mpo.len() || mpo.up_dims() != mps.phys_dims() {
+        return Err(TensorError::ShapeMismatch {
+            context: "zip_up: MPO and MPS are incompatible".into(),
+        });
+    }
+    let n = mps.len();
+    let truncation = Truncation::rank_and_tol(max_bond, 1e-14);
+
+    // V(1): contract S(1) and O(1) over the physical index.
+    // S(1) [1, p, r_s], O(1) [1, p, d, r_o]  ->  [1, d, r_s, r_o]
+    let s0 = mps.tensor(0);
+    let o0 = mpo.tensor(0);
+    let v0 = tensordot(s0, o0, &[1], &[1])?; // [1, r_s, 1, d, r_o]
+    let mut boundary = v0.permute(&[0, 2, 3, 1, 4])?; // [1, 1, d, r_s, r_o]
+    let (b0, b1, d, rs, ro) = (
+        boundary.dim(0),
+        boundary.dim(1),
+        boundary.dim(2),
+        boundary.dim(3),
+        boundary.dim(4),
+    );
+    boundary = boundary.into_reshape(&[b0 * b1, d, rs, ro])?; // [l=1, d, r_s, r_o]
+
+    let mut out_tensors: Vec<Tensor> = Vec::with_capacity(n);
+
+    for i in 1..n {
+        let s = mps.tensor(i); // [r_s, p, r_s']
+        let o = mpo.tensor(i); // [r_o, p, d', r_o']
+        let (finished, new_boundary) = match method {
+            ZipUpMethod::ExactSvd => zip_step_exact(&boundary, s, o, truncation)?,
+            ZipUpMethod::ImplicitRandSvd { n_iter, oversample } => {
+                zip_step_implicit(&boundary, s, o, max_bond, n_iter, oversample, rng)?
+            }
+        };
+        out_tensors.push(finished);
+        boundary = new_boundary;
+    }
+
+    // The final boundary tensor [l, d, 1, 1] becomes the last site [l, d, 1].
+    let (l, d) = (boundary.dim(0), boundary.dim(1));
+    debug_assert_eq!(boundary.dim(2), 1);
+    debug_assert_eq!(boundary.dim(3), 1);
+    out_tensors.push(boundary.into_reshape(&[l, d, 1])?);
+    Mps::new(out_tensors)
+}
+
+/// Exact einsumsvd step: contract {V, S, O} then truncate the SVD across the
+/// (finished site | rest) bipartition.
+fn zip_step_exact(
+    boundary: &Tensor, // [l, d, r_s, r_o]
+    s: &Tensor,        // [r_s, p, r_s']
+    o: &Tensor,        // [r_o, p, d', r_o']
+    truncation: Truncation,
+) -> Result<(Tensor, Tensor)> {
+    // merged [l, d, p, r_s'] <- boundary x S over r_s
+    let merged = tensordot(boundary, s, &[2], &[0])?; // [l, d, r_o, p, r_s']
+    // contract with O over (r_o, p)
+    let merged = tensordot(&merged, o, &[2, 3], &[0, 1])?; // [l, d, r_s', d', r_o']
+    let f = svd_split(&merged, &[0, 1], truncation)?;
+    let (u, rest) = f.absorb_right();
+    // u: [l, d, k] is the finished site; rest: [k, r_s', d', r_o'] must be
+    // rearranged to the boundary layout [k, d', r_s', r_o'].
+    let new_boundary = rest.permute(&[0, 2, 1, 3])?;
+    Ok((u, new_boundary))
+}
+
+/// Implicit operator for one zip-up step: maps the column space
+/// `(d', r_s', r_o')` to the row space `(l, d)` without forming the merged
+/// tensor.
+struct ZipStepOp<'a> {
+    boundary: &'a Tensor, // [l, d, r_s, r_o]
+    s: &'a Tensor,        // [r_s, p, r_s']
+    o: &'a Tensor,        // [r_o, p, d', r_o']
+}
+
+impl ZipStepOp<'_> {
+    fn row_dims(&self) -> [usize; 2] {
+        [self.boundary.dim(0), self.boundary.dim(1)]
+    }
+    fn col_dims(&self) -> [usize; 3] {
+        [self.o.dim(2), self.s.dim(2), self.o.dim(3)]
+    }
+}
+
+impl LinearOp for ZipStepOp<'_> {
+    fn nrows(&self) -> usize {
+        self.row_dims().iter().product()
+    }
+    fn ncols(&self) -> usize {
+        self.col_dims().iter().product()
+    }
+
+    fn apply(&self, x: &Matrix) -> Matrix {
+        let k = x.ncols();
+        let [dp, rsp, rop] = self.col_dims();
+        let xt = Tensor::from_matrix_2d(x)
+            .into_reshape(&[dp, rsp, rop, k])
+            .expect("ZipStepOp::apply reshape");
+        // O [r_o, p, d', r_o'] * X [d', r_s', r_o', k] over (d', r_o') -> [r_o, p, r_s', k]
+        let w1 = tensordot(self.o, &xt, &[2, 3], &[0, 2]).expect("ZipStepOp w1");
+        // S [r_s, p, r_s'] * W1 [r_o, p, r_s', k] over (p, r_s') -> [r_s, r_o, k]
+        let w2 = tensordot(self.s, &w1, &[1, 2], &[1, 2]).expect("ZipStepOp w2");
+        // boundary [l, d, r_s, r_o] * W2 [r_s, r_o, k] -> [l, d, k]
+        let y = tensordot(self.boundary, &w2, &[2, 3], &[0, 1]).expect("ZipStepOp y");
+        y.unfold(2)
+    }
+
+    fn apply_adj(&self, y: &Matrix) -> Matrix {
+        let k = y.ncols();
+        let [l, d] = self.row_dims();
+        let yt = Tensor::from_matrix_2d(y)
+            .into_reshape(&[l, d, k])
+            .expect("ZipStepOp::apply_adj reshape");
+        // conj(boundary) [l, d, r_s, r_o] * Y [l, d, k] -> [r_s, r_o, k]
+        let z1 = tensordot(&self.boundary.conj(), &yt, &[0, 1], &[0, 1]).expect("ZipStepOp z1");
+        // conj(S) [r_s, p, r_s'] * Z1 [r_s, r_o, k] -> [p, r_s', r_o, k]
+        let z2 = tensordot(&self.s.conj(), &z1, &[0], &[0]).expect("ZipStepOp z2");
+        // conj(O) [r_o, p, d', r_o'] * Z2 [p, r_s', r_o, k] over (p, r_o) -> [d', r_o', r_s', k]
+        let z3 = tensordot(&self.o.conj(), &z2, &[1, 0], &[0, 2]).expect("ZipStepOp z3");
+        // -> [d', r_s', r_o', k]
+        let out = z3.permute(&[0, 2, 1, 3]).expect("ZipStepOp permute");
+        out.unfold(3)
+    }
+}
+
+/// Implicit randomized einsumsvd step (Algorithm 4 applied to the zip-up).
+fn zip_step_implicit<R: Rng + ?Sized>(
+    boundary: &Tensor,
+    s: &Tensor,
+    o: &Tensor,
+    max_bond: usize,
+    n_iter: usize,
+    oversample: usize,
+    rng: &mut R,
+) -> Result<(Tensor, Tensor)> {
+    let op = ZipStepOp { boundary, s, o };
+    let rank = max_bond.min(op.nrows()).min(op.ncols()).max(1);
+    let f = rsvd(&op, RsvdOptions { rank, oversample, n_iter }, rng)
+        .map_err(|e| TensorError::Linalg(e.to_string()))?;
+    let k = f.s.len();
+    let [l, d] = op.row_dims();
+    let [dp, rsp, rop] = op.col_dims();
+    let u = Tensor::fold(&f.u, &[l, d], &[k])?;
+    let sv = koala_linalg::scale_rows(&f.vh, &f.s);
+    let rest = Tensor::fold(&sv, &[k], &[dp, rsp, rop])?;
+    // rest [k, d', r_s', r_o'] is already in boundary layout.
+    Ok((u, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn relative_error(approx: &Mps, exact: &Mps) -> f64 {
+        let da = approx.to_dense().unwrap();
+        let de = exact.to_dense().unwrap();
+        da.sub(&de).unwrap().norm() / de.norm()
+    }
+
+    #[test]
+    fn zip_up_exact_without_truncation_matches_exact_application() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mps = Mps::random(4, 2, 3, &mut rng);
+        let mpo = Mpo::random(4, 2, 2, &mut rng);
+        let exact = mpo.apply_exact(&mps).unwrap();
+        let zipped = zip_up(&mps, &mpo, 64, ZipUpMethod::ExactSvd, &mut rng).unwrap();
+        assert!(relative_error(&zipped, &exact) < 1e-9);
+    }
+
+    #[test]
+    fn zip_up_implicit_without_truncation_matches_exact_application() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mps = Mps::random(4, 2, 3, &mut rng);
+        let mpo = Mpo::random(4, 2, 2, &mut rng);
+        let exact = mpo.apply_exact(&mps).unwrap();
+        let zipped =
+            zip_up(&mps, &mpo, 64, ZipUpMethod::implicit_default(), &mut rng).unwrap();
+        assert!(relative_error(&zipped, &exact) < 1e-7);
+    }
+
+    #[test]
+    fn zip_up_truncates_bond_dimension() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mps = Mps::random(5, 2, 4, &mut rng);
+        let mpo = Mpo::random(5, 2, 3, &mut rng);
+        let zipped = zip_up(&mps, &mpo, 5, ZipUpMethod::ExactSvd, &mut rng).unwrap();
+        assert!(zipped.max_bond() <= 5);
+        let zipped_i = zip_up(&mps, &mpo, 5, ZipUpMethod::implicit_default(), &mut rng).unwrap();
+        assert!(zipped_i.max_bond() <= 5);
+    }
+
+    #[test]
+    fn implicit_and_exact_agree_when_rank_is_sufficient() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mps = Mps::random(4, 2, 2, &mut rng);
+        let mpo = Mpo::random(4, 2, 2, &mut rng);
+        let a = zip_up(&mps, &mpo, 16, ZipUpMethod::ExactSvd, &mut rng).unwrap();
+        let b = zip_up(&mps, &mpo, 16, ZipUpMethod::implicit_default(), &mut rng).unwrap();
+        // The two states can differ by gauge; compare physical content.
+        let overlap = a.inner(&b).unwrap().abs();
+        let na = a.norm();
+        let nb = b.norm();
+        assert!((overlap / (na * nb) - 1.0).abs() < 1e-6, "fidelity loss between methods");
+    }
+
+    #[test]
+    fn identity_mpo_through_zip_up_preserves_the_state() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mps = Mps::random(4, 2, 3, &mut rng);
+        let id = Mpo::identity(&[2, 2, 2, 2]);
+        let out = zip_up(&mps, &id, 16, ZipUpMethod::ExactSvd, &mut rng).unwrap();
+        assert!(relative_error(&out, &mps) < 1e-9);
+    }
+
+    #[test]
+    fn truncation_error_grows_as_bond_shrinks() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mps = Mps::random(5, 2, 4, &mut rng);
+        let mpo = Mpo::random(5, 2, 3, &mut rng);
+        let exact = mpo.apply_exact(&mps).unwrap();
+        let mut prev = 0.0;
+        for &m in &[12usize, 6, 3, 1] {
+            let z = zip_up(&mps, &mpo, m, ZipUpMethod::ExactSvd, &mut rng).unwrap();
+            let err = relative_error(&z, &exact);
+            assert!(err >= prev - 1e-9, "error should not decrease as bond shrinks");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn incompatible_operands_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mps = Mps::random(3, 2, 2, &mut rng);
+        let mpo = Mpo::random(4, 2, 2, &mut rng);
+        assert!(zip_up(&mps, &mpo, 4, ZipUpMethod::ExactSvd, &mut rng).is_err());
+    }
+}

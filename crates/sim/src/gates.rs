@@ -1,0 +1,157 @@
+//! Standard quantum gate matrices.
+
+use koala_linalg::{c64, expm_hermitian, C64, Matrix};
+use koala_peps::operators::{kron, pauli_x, pauli_y, pauli_z};
+
+/// Hadamard gate.
+pub fn hadamard() -> Matrix {
+    let s = 1.0 / 2.0f64.sqrt();
+    Matrix::from_real(2, 2, &[s, s, s, -s]).unwrap()
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s_gate() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, C64::I])
+}
+
+/// T gate = diag(1, e^{i pi/4}).
+pub fn t_gate() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, C64::cis(std::f64::consts::FRAC_PI_4)])
+}
+
+/// Rotation about X: `exp(-i theta X / 2)`.
+pub fn rx(theta: f64) -> Matrix {
+    expm_hermitian(&pauli_x(), c64(0.0, -theta / 2.0)).unwrap()
+}
+
+/// Rotation about Y: `exp(-i theta Y / 2)`.
+pub fn ry(theta: f64) -> Matrix {
+    expm_hermitian(&pauli_y(), c64(0.0, -theta / 2.0)).unwrap()
+}
+
+/// Rotation about Z: `exp(-i theta Z / 2)`.
+pub fn rz(theta: f64) -> Matrix {
+    expm_hermitian(&pauli_z(), c64(0.0, -theta / 2.0)).unwrap()
+}
+
+/// Square root of X (up to global phase), one of the RQC single-qubit gates.
+pub fn sqrt_x() -> Matrix {
+    let h = pauli_x();
+    expm_hermitian(&h, c64(0.0, -std::f64::consts::FRAC_PI_4)).unwrap().scale(C64::cis(std::f64::consts::FRAC_PI_4))
+}
+
+/// Square root of Y (up to global phase).
+pub fn sqrt_y() -> Matrix {
+    let h = pauli_y();
+    expm_hermitian(&h, c64(0.0, -std::f64::consts::FRAC_PI_4)).unwrap().scale(C64::cis(std::f64::consts::FRAC_PI_4))
+}
+
+/// Square root of W where `W = (X + Y)/sqrt(2)` (the third RQC single-qubit gate).
+pub fn sqrt_w() -> Matrix {
+    let w = (&pauli_x() + &pauli_y()).scale(c64(1.0 / 2.0f64.sqrt(), 0.0));
+    expm_hermitian(&w, c64(0.0, -std::f64::consts::FRAC_PI_4)).unwrap().scale(C64::cis(std::f64::consts::FRAC_PI_4))
+}
+
+/// Controlled-NOT with the first qubit as control.
+pub fn cnot() -> Matrix {
+    Matrix::from_real(
+        4,
+        4,
+        &[
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0, //
+            0.0, 0.0, 1.0, 0.0,
+        ],
+    )
+    .unwrap()
+}
+
+/// Controlled-Z.
+pub fn cz() -> Matrix {
+    Matrix::from_diag_real(&[1.0, 1.0, 1.0, -1.0])
+}
+
+/// iSWAP gate: swaps |01> and |10> with a phase of i.
+pub fn iswap() -> Matrix {
+    let mut m = Matrix::zeros(4, 4);
+    m[(0, 0)] = C64::ONE;
+    m[(3, 3)] = C64::ONE;
+    m[(1, 2)] = C64::I;
+    m[(2, 1)] = C64::I;
+    m
+}
+
+/// Two-qubit ZZ interaction gate `exp(-i theta Z Z)`.
+pub fn zz_rotation(theta: f64) -> Matrix {
+    expm_hermitian(&kron(&pauli_z(), &pauli_z()), c64(0.0, -theta)).unwrap()
+}
+
+/// Check unitarity of a gate (testing helper exported for downstream crates).
+pub fn is_unitary(gate: &Matrix, tol: f64) -> bool {
+    koala_linalg::matmul_adj_a(gate, gate).approx_eq(&Matrix::identity(gate.ncols()), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koala_linalg::matmul;
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for g in [
+            hadamard(),
+            s_gate(),
+            t_gate(),
+            rx(0.7),
+            ry(1.3),
+            rz(-0.4),
+            sqrt_x(),
+            sqrt_y(),
+            sqrt_w(),
+            cnot(),
+            cz(),
+            iswap(),
+            zz_rotation(0.3),
+        ] {
+            assert!(is_unitary(&g, 1e-10));
+        }
+    }
+
+    #[test]
+    fn sqrt_gates_square_to_their_pauli() {
+        assert!(matmul(&sqrt_x(), &sqrt_x()).approx_eq(&pauli_x(), 1e-10));
+        assert!(matmul(&sqrt_y(), &sqrt_y()).approx_eq(&pauli_y(), 1e-10));
+        let w = (&pauli_x() + &pauli_y()).scale(c64(1.0 / 2.0f64.sqrt(), 0.0));
+        assert!(matmul(&sqrt_w(), &sqrt_w()).approx_eq(&w, 1e-10));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        assert!(matmul(&hadamard(), &hadamard()).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn cnot_flips_target_when_control_set() {
+        let g = cnot();
+        assert!(g[(3, 2)].approx_eq(C64::ONE, 1e-14));
+        assert!(g[(2, 3)].approx_eq(C64::ONE, 1e-14));
+        assert!(g[(1, 1)].approx_eq(C64::ONE, 1e-14));
+    }
+
+    #[test]
+    fn iswap_phases() {
+        let g = iswap();
+        assert!(g[(1, 2)].approx_eq(C64::I, 1e-14));
+        assert!(g[(2, 1)].approx_eq(C64::I, 1e-14));
+        assert!(g[(1, 1)].approx_eq(C64::ZERO, 1e-14));
+    }
+
+    #[test]
+    fn rotation_composition() {
+        let a = ry(0.3);
+        let b = ry(0.5);
+        assert!(matmul(&a, &b).approx_eq(&ry(0.8), 1e-10));
+        assert!(ry(0.0).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+}

@@ -1,0 +1,34 @@
+//! # koala-sim
+//!
+//! Application layer of the koala-rs reproduction of *"Efficient 2D Tensor
+//! Network Simulation of Quantum Systems"* (SC 2020): everything the paper's
+//! evaluation runs *on top of* the PEPS library.
+//!
+//! * [`gates`] — standard quantum gates,
+//! * [`statevector`] — exact state-vector simulator (reference curves),
+//! * [`hamiltonian`] — transverse-field Ising and J1-J2 Heisenberg models and
+//!   their Trotter gates,
+//! * [`circuit`] — quantum circuits and the random-quantum-circuit generator
+//!   of the Figure 10 benchmark,
+//! * [`ite`] — imaginary time evolution / TEBD (Figure 13),
+//! * [`vqe`] — the variational quantum eigensolver driver (Figure 14),
+//! * [`opt`] — derivative-free optimizers (Nelder–Mead, SPSA).
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod gates;
+pub mod hamiltonian;
+pub mod ite;
+pub mod opt;
+pub mod statevector;
+pub mod vqe;
+
+pub use circuit::{random_circuit, Circuit, CircuitOp};
+pub use hamiltonian::{
+    j1j2_hamiltonian, tfi_hamiltonian, trotter_gates, J1J2Params, TfiParams, TrotterGate,
+};
+pub use ite::{ite_peps, ite_statevector, IteOptions, IteResult, UpdateKind};
+pub use opt::{nelder_mead, spsa, OptResult};
+pub use statevector::StateVector;
+pub use vqe::{run_vqe, Optimizer, VqeBackend, VqeOptions, VqeResult};

@@ -1,0 +1,246 @@
+//! Pairwise tensor contraction (tensordot) implemented on top of GEMM.
+
+use crate::tensor::{Result, Tensor, TensorError};
+use koala_linalg::gemm::matmul;
+
+/// Contract `a` and `b` over the axis pairs `(axes_a[i], axes_b[i])`.
+///
+/// The result carries the uncontracted axes of `a` (in their original order)
+/// followed by the uncontracted axes of `b`. This is the same convention as
+/// NumPy's `tensordot`, which the original Koala library builds on.
+pub fn tensordot(a: &Tensor, b: &Tensor, axes_a: &[usize], axes_b: &[usize]) -> Result<Tensor> {
+    if axes_a.len() != axes_b.len() {
+        return Err(TensorError::InvalidAxes {
+            context: format!(
+                "tensordot: {} axes for left operand but {} for right",
+                axes_a.len(),
+                axes_b.len()
+            ),
+        });
+    }
+    for (&ia, &ib) in axes_a.iter().zip(axes_b.iter()) {
+        if ia >= a.ndim() || ib >= b.ndim() {
+            return Err(TensorError::InvalidAxes {
+                context: format!(
+                    "tensordot: axis pair ({ia},{ib}) out of range for ranks {} and {}",
+                    a.ndim(),
+                    b.ndim()
+                ),
+            });
+        }
+        if a.dim(ia) != b.dim(ib) {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "tensordot: axis {ia} of left (dim {}) vs axis {ib} of right (dim {})",
+                    a.dim(ia),
+                    b.dim(ib)
+                ),
+            });
+        }
+    }
+    let mut seen_a = vec![false; a.ndim()];
+    for &ia in axes_a {
+        if seen_a[ia] {
+            return Err(TensorError::InvalidAxes {
+                context: format!("tensordot: duplicate left axis {ia}"),
+            });
+        }
+        seen_a[ia] = true;
+    }
+    let mut seen_b = vec![false; b.ndim()];
+    for &ib in axes_b {
+        if seen_b[ib] {
+            return Err(TensorError::InvalidAxes {
+                context: format!("tensordot: duplicate right axis {ib}"),
+            });
+        }
+        seen_b[ib] = true;
+    }
+
+    let free_a: Vec<usize> = (0..a.ndim()).filter(|i| !axes_a.contains(i)).collect();
+    let free_b: Vec<usize> = (0..b.ndim()).filter(|i| !axes_b.contains(i)).collect();
+
+    // Left operand: free axes first, contracted axes last.
+    let mut perm_a: Vec<usize> = free_a.clone();
+    perm_a.extend_from_slice(axes_a);
+    let a_perm = a.permute(&perm_a)?;
+    let a_mat = a_perm.unfold(free_a.len());
+
+    // Right operand: contracted axes first, free axes last.
+    let mut perm_b: Vec<usize> = axes_b.to_vec();
+    perm_b.extend_from_slice(&free_b);
+    let b_perm = b.permute(&perm_b)?;
+    let b_mat = b_perm.unfold(axes_b.len());
+
+    let c = matmul(&a_mat, &b_mat);
+
+    let mut out_shape: Vec<usize> = free_a.iter().map(|&i| a.dim(i)).collect();
+    out_shape.extend(free_b.iter().map(|&i| b.dim(i)));
+    Tensor::fold(&c, &out_shape[..free_a.len()], &out_shape[free_a.len()..])
+}
+
+/// Contract every axis of `a` against every axis of `b` (full inner product
+/// of identically shaped tensors, conjugating neither operand).
+pub fn contract_all(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let axes: Vec<usize> = (0..a.ndim()).collect();
+    tensordot(a, b, &axes, &axes)
+}
+
+/// Sum the tensor over one axis, removing it.
+pub fn sum_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    if axis >= t.ndim() {
+        return Err(TensorError::InvalidAxes {
+            context: format!("sum_axis: axis {axis} out of range for rank {}", t.ndim()),
+        });
+    }
+    let ones = Tensor::ones(&[t.dim(axis)]);
+    tensordot(t, &ones, &[axis], &[0])
+}
+
+/// Naive element-wise reference contraction used by tests and property checks
+/// in dependent crates. O(prod(all dims)) — only for small tensors.
+pub fn tensordot_naive(a: &Tensor, b: &Tensor, axes_a: &[usize], axes_b: &[usize]) -> Result<Tensor> {
+    use crate::shape::{increment_index, num_elements};
+    let free_a: Vec<usize> = (0..a.ndim()).filter(|i| !axes_a.contains(i)).collect();
+    let free_b: Vec<usize> = (0..b.ndim()).filter(|i| !axes_b.contains(i)).collect();
+    let mut out_shape: Vec<usize> = free_a.iter().map(|&i| a.dim(i)).collect();
+    out_shape.extend(free_b.iter().map(|&i| b.dim(i)));
+    let contracted_dims: Vec<usize> = axes_a.iter().map(|&i| a.dim(i)).collect();
+
+    let mut out = Tensor::zeros(&out_shape);
+    if num_elements(&out_shape) == 0 {
+        return Ok(out);
+    }
+    let mut out_idx = vec![0usize; out_shape.len()];
+    loop {
+        let mut acc = koala_linalg::C64::ZERO;
+        let mut k_idx = vec![0usize; contracted_dims.len()];
+        loop {
+            let mut ia = vec![0usize; a.ndim()];
+            for (pos, &ax) in free_a.iter().enumerate() {
+                ia[ax] = out_idx[pos];
+            }
+            for (pos, &ax) in axes_a.iter().enumerate() {
+                ia[ax] = k_idx[pos];
+            }
+            let mut ib = vec![0usize; b.ndim()];
+            for (pos, &ax) in free_b.iter().enumerate() {
+                ib[ax] = out_idx[free_a.len() + pos];
+            }
+            for (pos, &ax) in axes_b.iter().enumerate() {
+                ib[ax] = k_idx[pos];
+            }
+            acc = acc.mul_add(a.get(&ia), b.get(&ib));
+            if contracted_dims.is_empty() || !increment_index(&mut k_idx, &contracted_dims) {
+                break;
+            }
+        }
+        out.set(&out_idx, acc);
+        if out_shape.is_empty() || !increment_index(&mut out_idx, &out_shape) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koala_linalg::{c64, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrix_product_special_case() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Tensor::random(&[4, 5], &mut rng);
+        let b = Tensor::random(&[5, 3], &mut rng);
+        let c = tensordot(&a, &b, &[1], &[0]).unwrap();
+        let expected = matmul(&a.to_matrix_2d(), &b.to_matrix_2d());
+        assert!(c.to_matrix_2d().approx_eq(&expected, 1e-11));
+    }
+
+    #[test]
+    fn matches_naive_on_random_tensors() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::random(&[2, 3, 4], &mut rng);
+        let b = Tensor::random(&[4, 3, 5], &mut rng);
+        let fast = tensordot(&a, &b, &[2, 1], &[0, 1]).unwrap();
+        let slow = tensordot_naive(&a, &b, &[2, 1], &[0, 1]).unwrap();
+        assert_eq!(fast.shape(), &[2, 5]);
+        assert!(fast.approx_eq(&slow, 1e-10));
+    }
+
+    #[test]
+    fn no_contracted_axes_gives_outer_product() {
+        let a = Tensor::from_real(&[2], &[1.0, 2.0]).unwrap();
+        let b = Tensor::from_real(&[2], &[3.0, 4.0]).unwrap();
+        let c = tensordot(&a, &b, &[], &[]).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.get(&[1, 0]), c64(6.0, 0.0));
+        assert!(c.approx_eq(&a.outer(&b), 1e-14));
+    }
+
+    #[test]
+    fn full_contraction_gives_scalar() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Tensor::random(&[2, 3], &mut rng);
+        let b = Tensor::random(&[2, 3], &mut rng);
+        let s = contract_all(&a, &b).unwrap();
+        assert_eq!(s.ndim(), 0);
+        let expected = a.conj().inner(&b).unwrap(); // plain bilinear sum
+        assert!(s.item().approx_eq(expected, 1e-10));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(tensordot(&a, &b, &[1], &[0]).is_err());
+        assert!(tensordot(&a, &b, &[1], &[0, 1]).is_err());
+        assert!(tensordot(&a, &b, &[5], &[0]).is_err());
+        assert!(tensordot(&a, &b, &[1, 1], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn identity_contraction_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let t = Tensor::random(&[3, 4], &mut rng);
+        let eye = Tensor::eye(4);
+        let out = tensordot(&t, &eye, &[1], &[0]).unwrap();
+        assert!(out.approx_eq(&t, 1e-12));
+    }
+
+    #[test]
+    fn sum_axis_matches_manual_sum() {
+        let t = Tensor::from_real(&[2, 3], &[1., 2., 3., 4., 5., 6.]).unwrap();
+        let s = sum_axis(&t, 1).unwrap();
+        assert_eq!(s.shape(), &[2]);
+        assert_eq!(s.get(&[0]), c64(6.0, 0.0));
+        assert_eq!(s.get(&[1]), c64(15.0, 0.0));
+        assert!(sum_axis(&t, 2).is_err());
+    }
+
+    #[test]
+    fn contraction_order_of_free_axes() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = Tensor::random(&[2, 3, 4], &mut rng);
+        let b = Tensor::random(&[3, 5], &mut rng);
+        let c = tensordot(&a, &b, &[1], &[0]).unwrap();
+        assert_eq!(c.shape(), &[2, 4, 5]);
+        // Check one element against the definition.
+        let mut acc = koala_linalg::C64::ZERO;
+        for k in 0..3 {
+            acc += a.get(&[1, k, 2]) * b.get(&[k, 3]);
+        }
+        assert!(c.get(&[1, 2, 3]).approx_eq(acc, 1e-12));
+    }
+
+    #[test]
+    fn gemm_matrix_helper_roundtrip() {
+        let m = Matrix::identity(3);
+        let t = Tensor::from_matrix_2d(&m);
+        let out = tensordot(&t, &t, &[1], &[0]).unwrap();
+        assert!(out.to_matrix_2d().approx_eq(&m, 1e-14));
+    }
+}

@@ -1,0 +1,363 @@
+//! Tensor factorizations: QR / SVD / randomized SVD across a bipartition of
+//! the axes. These wrappers are the glue between the matrix factorizations in
+//! `koala-linalg` and the site tensors manipulated by the MPS/PEPS layers.
+
+use crate::tensor::{Result, Tensor, TensorError};
+use koala_linalg::{gram_qr, qr, rsvd, svd, LinearOp, Matrix, RsvdOptions, Svd};
+use rand::Rng;
+
+/// Truncation policy for factorizations that produce a new bond.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Truncation {
+    /// Keep at most this many singular values (None = no cap).
+    pub max_rank: Option<usize>,
+    /// Drop singular values below `rel_tol * s_max` (None = keep all).
+    pub rel_tol: Option<f64>,
+}
+
+impl Truncation {
+    /// No truncation at all.
+    pub fn none() -> Self {
+        Truncation { max_rank: None, rel_tol: None }
+    }
+
+    /// Keep at most `k` singular values.
+    pub fn max_rank(k: usize) -> Self {
+        Truncation { max_rank: Some(k), rel_tol: None }
+    }
+
+    /// Keep at most `k` singular values and drop anything below `rel_tol * s_max`.
+    pub fn rank_and_tol(k: usize, rel_tol: f64) -> Self {
+        Truncation { max_rank: Some(k), rel_tol: Some(rel_tol) }
+    }
+
+    /// Number of singular values to keep from a descending spectrum.
+    pub fn keep(&self, s: &[f64]) -> usize {
+        let mut k = s.len();
+        if let Some(max) = self.max_rank {
+            k = k.min(max.max(1));
+        }
+        if let Some(tol) = self.rel_tol {
+            let cutoff = s.first().copied().unwrap_or(0.0) * tol;
+            let significant = s.iter().take_while(|&&x| x > cutoff).count();
+            k = k.min(significant.max(1));
+        }
+        k.max(1).min(s.len().max(1))
+    }
+}
+
+/// Result of a split-and-truncate SVD of a tensor across an axis bipartition.
+#[derive(Debug, Clone)]
+pub struct SplitSvd {
+    /// Left factor with shape `[row_dims..., k]`.
+    pub u: Tensor,
+    /// Singular values (descending).
+    pub s: Vec<f64>,
+    /// Right factor with shape `[k, col_dims...]`.
+    pub vh: Tensor,
+    /// Frobenius norm of the discarded singular values.
+    pub truncation_error: f64,
+}
+
+impl SplitSvd {
+    /// Absorb `sqrt(s)` into both factors, returning `(L, R)` with the bond as
+    /// the last axis of `L` and the first axis of `R`.
+    pub fn absorb_split(&self) -> (Tensor, Tensor) {
+        let sq: Vec<f64> = self.s.iter().map(|x| x.sqrt()).collect();
+        (scale_last_axis(&self.u, &sq), scale_first_axis(&self.vh, &sq))
+    }
+
+    /// Absorb the singular values entirely into the left factor.
+    pub fn absorb_left(&self) -> (Tensor, Tensor) {
+        (scale_last_axis(&self.u, &self.s), self.vh.clone())
+    }
+
+    /// Absorb the singular values entirely into the right factor.
+    pub fn absorb_right(&self) -> (Tensor, Tensor) {
+        (self.u.clone(), scale_first_axis(&self.vh, &self.s))
+    }
+}
+
+/// Multiply slices along the last axis by `s[j]`.
+pub fn scale_last_axis(t: &Tensor, s: &[f64]) -> Tensor {
+    let last = *t.shape().last().expect("scale_last_axis: rank-0 tensor");
+    assert!(s.len() >= last);
+    let mut out = t.clone();
+    for (i, v) in out.data_mut().iter_mut().enumerate() {
+        *v = v.scale(s[i % last]);
+    }
+    out
+}
+
+/// Multiply slices along the first axis by `s[i]`.
+pub fn scale_first_axis(t: &Tensor, s: &[f64]) -> Tensor {
+    let first = *t.shape().first().expect("scale_first_axis: rank-0 tensor");
+    assert!(s.len() >= first);
+    let block: usize = t.shape()[1..].iter().product();
+    let mut out = t.clone();
+    for (i, v) in out.data_mut().iter_mut().enumerate() {
+        *v = v.scale(s[i / block.max(1)]);
+    }
+    out
+}
+
+/// Permute `row_axes` to the front of the tensor and return the permutation
+/// together with the resulting row/column dimension lists.
+fn split_permutation(t: &Tensor, row_axes: &[usize]) -> Result<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    let ndim = t.ndim();
+    for &a in row_axes {
+        if a >= ndim {
+            return Err(TensorError::InvalidAxes {
+                context: format!("split: axis {a} out of range for rank {ndim}"),
+            });
+        }
+    }
+    let mut seen = vec![false; ndim];
+    for &a in row_axes {
+        if seen[a] {
+            return Err(TensorError::InvalidAxes {
+                context: format!("split: duplicate axis {a}"),
+            });
+        }
+        seen[a] = true;
+    }
+    let col_axes: Vec<usize> = (0..ndim).filter(|a| !row_axes.contains(a)).collect();
+    let mut perm = row_axes.to_vec();
+    perm.extend_from_slice(&col_axes);
+    let row_dims: Vec<usize> = row_axes.iter().map(|&a| t.dim(a)).collect();
+    let col_dims: Vec<usize> = col_axes.iter().map(|&a| t.dim(a)).collect();
+    Ok((perm, row_dims, col_dims))
+}
+
+/// Thin QR of the tensor viewed as a matrix with `row_axes` as rows.
+///
+/// Returns `(Q, R)` where `Q` has shape `[row_dims..., k]` and `R` has shape
+/// `[k, col_dims...]`, with `k = min(prod(row_dims), prod(col_dims))`.
+pub fn qr_split(t: &Tensor, row_axes: &[usize]) -> Result<(Tensor, Tensor)> {
+    let (perm, row_dims, col_dims) = split_permutation(t, row_axes)?;
+    let mat = t.permute(&perm)?.unfold(row_dims.len());
+    let f = qr(&mat);
+    let k = f.q.ncols();
+    let q = Tensor::fold(&f.q, &row_dims, &[k])?;
+    let r = Tensor::fold(&f.r, &[k], &col_dims)?;
+    Ok((q, r))
+}
+
+/// Gram-matrix based QR (paper Algorithm 5) of a tensor across a bipartition.
+/// Unlike [`qr_split`], the "R" factor is square with dimension
+/// `prod(col_dims)`; this is exactly the shape needed by the reshape-avoiding
+/// evolution algorithm where the small Gram matrix is formed over the bond
+/// being updated.
+pub fn gram_qr_split(t: &Tensor, row_axes: &[usize]) -> Result<(Tensor, Tensor)> {
+    let (perm, row_dims, col_dims) = split_permutation(t, row_axes)?;
+    let mat = t.permute(&perm)?.unfold(row_dims.len());
+    let f = gram_qr(&mat)?;
+    let k = f.r.nrows();
+    let q = Tensor::fold(&f.q, &row_dims, &[k])?;
+    let r = Tensor::fold(&f.r, &[k], &col_dims)?;
+    Ok((q, r))
+}
+
+/// Truncated SVD of the tensor viewed as a matrix with `row_axes` as rows.
+pub fn svd_split(t: &Tensor, row_axes: &[usize], truncation: Truncation) -> Result<SplitSvd> {
+    let (perm, row_dims, col_dims) = split_permutation(t, row_axes)?;
+    let mat = t.permute(&perm)?.unfold(row_dims.len());
+    let f = svd(&mat)?;
+    build_split_svd(f, &row_dims, &col_dims, truncation)
+}
+
+/// Randomized truncated SVD of the tensor across a bipartition (explicit
+/// matrix sketching; the fully implicit network variant lives in `koala-peps`).
+pub fn rsvd_split<R: Rng + ?Sized>(
+    t: &Tensor,
+    row_axes: &[usize],
+    truncation: Truncation,
+    n_iter: usize,
+    rng: &mut R,
+) -> Result<SplitSvd> {
+    let (perm, row_dims, col_dims) = split_permutation(t, row_axes)?;
+    let mat = t.permute(&perm)?.unfold(row_dims.len());
+    let rank = truncation
+        .max_rank
+        .unwrap_or_else(|| mat.nrows().min(mat.ncols()))
+        .min(mat.nrows().min(mat.ncols()))
+        .max(1);
+    let f = koala_linalg::rsvd_matrix(&mat, RsvdOptions { rank, oversample: 10, n_iter }, rng)?;
+    build_split_svd(f, &row_dims, &col_dims, truncation)
+}
+
+/// Truncated SVD of an implicitly applied operator, folded back into tensors
+/// whose row/column axis dimensions are given explicitly.
+pub fn rsvd_split_implicit<O: LinearOp, R: Rng + ?Sized>(
+    op: &O,
+    row_dims: &[usize],
+    col_dims: &[usize],
+    truncation: Truncation,
+    n_iter: usize,
+    rng: &mut R,
+) -> Result<SplitSvd> {
+    let rows: usize = row_dims.iter().product();
+    let cols: usize = col_dims.iter().product();
+    if op.nrows() != rows || op.ncols() != cols {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "rsvd_split_implicit: operator is {}x{} but dims give {}x{}",
+                op.nrows(),
+                op.ncols(),
+                rows,
+                cols
+            ),
+        });
+    }
+    let rank = truncation.max_rank.unwrap_or_else(|| rows.min(cols)).min(rows.min(cols)).max(1);
+    let f = rsvd(op, RsvdOptions { rank, oversample: 10, n_iter }, rng)?;
+    build_split_svd(f, row_dims, col_dims, truncation)
+}
+
+fn build_split_svd(
+    f: Svd,
+    row_dims: &[usize],
+    col_dims: &[usize],
+    truncation: Truncation,
+) -> Result<SplitSvd> {
+    let keep = truncation.keep(&f.s);
+    let err = f.truncation_error(keep);
+    let t = f.truncated(keep);
+    let k = t.s.len();
+    let u = Tensor::fold(&t.u, row_dims, &[k])?;
+    let vh = Tensor::fold(&t.vh, &[k], col_dims)?;
+    Ok(SplitSvd { u, s: t.s, vh, truncation_error: err })
+}
+
+/// Reassemble a tensor from split factors `(U, s, Vh)` produced by
+/// [`svd_split`]-style functions (used in tests).
+pub fn reassemble_split(split: &SplitSvd) -> Result<Tensor> {
+    let (l, r) = split.absorb_left();
+    let bond_axis_l = l.ndim() - 1;
+    crate::contract::tensordot(&l, &r, &[bond_axis_l], &[0])
+}
+
+/// Explicitly materialise a [`LinearOp`] as a matrix (testing utility).
+pub fn materialize_op<O: LinearOp>(op: &O) -> Matrix {
+    let eye = Matrix::identity(op.ncols());
+    op.apply(&eye)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::tensordot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn truncation_policy_keep_counts() {
+        let s = [10.0, 5.0, 1.0, 1e-9, 1e-12];
+        assert_eq!(Truncation::none().keep(&s), 5);
+        assert_eq!(Truncation::max_rank(2).keep(&s), 2);
+        assert_eq!(Truncation::max_rank(100).keep(&s), 5);
+        assert_eq!(Truncation::rank_and_tol(100, 1e-8).keep(&s), 3);
+        assert_eq!(Truncation::rank_and_tol(2, 1e-8).keep(&s), 2);
+        assert_eq!(Truncation::max_rank(0).keep(&s), 1, "rank 0 clamps to 1");
+    }
+
+    #[test]
+    fn qr_split_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let t = Tensor::random(&[3, 4, 2, 5], &mut rng);
+        let (q, r) = qr_split(&t, &[0, 2]).unwrap();
+        assert_eq!(q.shape()[..2], [3, 2]);
+        assert_eq!(r.shape()[1..], [4, 5]);
+        // Contract back and compare against the permuted original.
+        let rebuilt = tensordot(&q, &r, &[2], &[0]).unwrap();
+        let expected = t.permute(&[0, 2, 1, 3]).unwrap();
+        assert!(rebuilt.approx_eq(&expected, 1e-10));
+        // Q isometric over its row axes.
+        let qmat = q.unfold(2);
+        assert!(qmat.has_orthonormal_cols(1e-10));
+    }
+
+    #[test]
+    fn gram_qr_split_matches_qr_split_column_space() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let t = Tensor::random(&[4, 3, 2], &mut rng);
+        let (q, r) = gram_qr_split(&t, &[0, 1]).unwrap();
+        let rebuilt = tensordot(&q, &r, &[2], &[0]).unwrap();
+        assert!(rebuilt.approx_eq(&t, 1e-8));
+    }
+
+    #[test]
+    fn svd_split_reconstructs_without_truncation() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let t = Tensor::random(&[2, 3, 4], &mut rng);
+        let f = svd_split(&t, &[0, 1], Truncation::none()).unwrap();
+        assert!(f.truncation_error < 1e-12);
+        let rebuilt = reassemble_split(&f).unwrap();
+        assert!(rebuilt.approx_eq(&t, 1e-10));
+    }
+
+    #[test]
+    fn svd_split_truncation_error_matches() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let t = Tensor::random(&[4, 4, 4], &mut rng);
+        let f = svd_split(&t, &[0], Truncation::max_rank(2)).unwrap();
+        assert_eq!(f.s.len(), 2);
+        let rebuilt = reassemble_split(&f).unwrap();
+        let diff = rebuilt.sub(&t.permute(&[0, 1, 2]).unwrap()).unwrap().norm();
+        assert!((diff - f.truncation_error).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svd_split_with_non_leading_row_axes() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let t = Tensor::random(&[2, 5, 3], &mut rng);
+        let f = svd_split(&t, &[2], Truncation::none()).unwrap();
+        assert_eq!(f.u.shape()[0], 3);
+        assert_eq!(f.vh.shape()[1..], [2, 5]);
+        let rebuilt = reassemble_split(&f).unwrap();
+        assert!(rebuilt.approx_eq(&t.permute(&[2, 0, 1]).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn rsvd_split_agrees_with_exact_svd_for_low_rank() {
+        let mut rng = StdRng::seed_from_u64(35);
+        // Construct a tensor whose unfolding has rank 3.
+        let left = Tensor::random(&[4, 2, 3], &mut rng);
+        let right = Tensor::random(&[3, 6], &mut rng);
+        let t = tensordot(&left, &right, &[2], &[0]).unwrap(); // 4 x 2 x 6
+        let exact = svd_split(&t, &[0, 1], Truncation::max_rank(3)).unwrap();
+        let approx = rsvd_split(&t, &[0, 1], Truncation::max_rank(3), 2, &mut rng).unwrap();
+        for (a, b) in exact.s.iter().zip(approx.s.iter()) {
+            assert!((a - b).abs() < 1e-8 * exact.s[0]);
+        }
+        let rebuilt = reassemble_split(&approx).unwrap();
+        assert!(rebuilt.approx_eq(&t, 1e-8));
+    }
+
+    #[test]
+    fn rsvd_split_implicit_checks_dimensions() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let m = koala_linalg::Matrix::random(6, 4, &mut rng);
+        let op = koala_linalg::MatOp::new(&m);
+        assert!(rsvd_split_implicit(&op, &[2, 3], &[4], Truncation::max_rank(2), 1, &mut rng).is_ok());
+        assert!(rsvd_split_implicit(&op, &[5], &[4], Truncation::max_rank(2), 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn invalid_axes_are_rejected() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(qr_split(&t, &[3]).is_err());
+        assert!(svd_split(&t, &[0, 0], Truncation::none()).is_err());
+    }
+
+    #[test]
+    fn absorb_variants_reassemble_identically() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let t = Tensor::random(&[3, 2, 4], &mut rng);
+        let f = svd_split(&t, &[0], Truncation::none()).unwrap();
+        for (l, r) in [f.absorb_left(), f.absorb_right(), f.absorb_split()] {
+            let rebuilt = tensordot(&l, &r, &[l.ndim() - 1], &[0]).unwrap();
+            assert!(rebuilt.approx_eq(&t, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Einstein-summation style contraction of tensor networks.
+//!
+//! `einsum("abc,cd->abd", &[&t1, &t2])` mirrors the NumPy/Cyclops `einsum`
+//! interface that the original Koala library is written against. The
+//! implementation restricts index labels to the tensor-network case — every
+//! label appears either once (free, must appear in the output) or exactly
+//! twice across the operands (contracted) — and contracts operands pairwise
+//! with a greedy smallest-intermediate heuristic.
+
+use crate::contract::{sum_axis, tensordot};
+use crate::tensor::{Result, Tensor, TensorError};
+use std::collections::HashMap;
+
+/// Parsed einsum specification.
+#[derive(Debug, Clone)]
+pub struct EinsumSpec {
+    /// Index labels for every input operand.
+    pub inputs: Vec<Vec<char>>,
+    /// Index labels of the output.
+    pub output: Vec<char>,
+}
+
+/// Parse a specification such as `"abc,cd->abd"`.
+///
+/// The output part is mandatory (implicit output ordering is a common source
+/// of silent bugs in tensor-network code, so we do not support it).
+pub fn parse_spec(spec: &str) -> Result<EinsumSpec> {
+    let spec: String = spec.chars().filter(|c| !c.is_whitespace()).collect();
+    let (lhs, rhs) = spec.split_once("->").ok_or_else(|| TensorError::InvalidAxes {
+        context: format!("einsum: spec '{spec}' is missing '->'"),
+    })?;
+    let inputs: Vec<Vec<char>> = lhs.split(',').map(|part| part.chars().collect()).collect();
+    let output: Vec<char> = rhs.chars().collect();
+
+    for part in inputs.iter().chain(std::iter::once(&output)) {
+        for &c in part {
+            if !c.is_ascii_alphabetic() {
+                return Err(TensorError::InvalidAxes {
+                    context: format!("einsum: invalid index label '{c}'"),
+                });
+            }
+        }
+    }
+    // Labels within a single operand must be distinct (no internal traces).
+    for (i, part) in inputs.iter().enumerate() {
+        let mut sorted = part.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != part.len() {
+            return Err(TensorError::InvalidAxes {
+                context: format!("einsum: repeated label within operand {i} is not supported"),
+            });
+        }
+    }
+    // Output labels must be distinct and appear in the inputs.
+    let mut out_sorted = output.clone();
+    out_sorted.sort_unstable();
+    out_sorted.dedup();
+    if out_sorted.len() != output.len() {
+        return Err(TensorError::InvalidAxes {
+            context: "einsum: repeated label in output".to_string(),
+        });
+    }
+    let mut counts: HashMap<char, usize> = HashMap::new();
+    for part in &inputs {
+        for &c in part {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+    }
+    for &c in &output {
+        if !counts.contains_key(&c) {
+            return Err(TensorError::InvalidAxes {
+                context: format!("einsum: output label '{c}' does not appear in any input"),
+            });
+        }
+    }
+    for (&c, &count) in &counts {
+        let in_output = output.contains(&c);
+        let valid = (count == 1) || (count == 2 && !in_output);
+        if !valid {
+            return Err(TensorError::InvalidAxes {
+                context: format!(
+                    "einsum: label '{c}' appears {count} time(s) in inputs and {} output — only \
+                     tensor-network contractions (each label free once or contracted twice) are supported",
+                    if in_output { "once in" } else { "not in" }
+                ),
+            });
+        }
+    }
+    Ok(EinsumSpec { inputs, output })
+}
+
+/// Evaluate an einsum expression over the given operands.
+pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor> {
+    let parsed = parse_spec(spec)?;
+    einsum_spec(&parsed, operands)
+}
+
+/// Evaluate a pre-parsed einsum specification.
+pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor> {
+    if spec.inputs.len() != operands.len() {
+        return Err(TensorError::InvalidAxes {
+            context: format!(
+                "einsum: spec has {} operands but {} tensors were provided",
+                spec.inputs.len(),
+                operands.len()
+            ),
+        });
+    }
+    // Check label/dimension consistency.
+    let mut label_dims: HashMap<char, usize> = HashMap::new();
+    for (labels, tensor) in spec.inputs.iter().zip(operands.iter()) {
+        if labels.len() != tensor.ndim() {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "einsum: operand with labels {:?} has rank {}",
+                    labels,
+                    tensor.ndim()
+                ),
+            });
+        }
+        for (axis, &label) in labels.iter().enumerate() {
+            let dim = tensor.dim(axis);
+            if let Some(&prev) = label_dims.get(&label) {
+                if prev != dim {
+                    return Err(TensorError::ShapeMismatch {
+                        context: format!(
+                            "einsum: label '{label}' has inconsistent dimensions {prev} and {dim}"
+                        ),
+                    });
+                }
+            } else {
+                label_dims.insert(label, dim);
+            }
+        }
+    }
+
+    // Work list of (tensor, labels).
+    let mut items: Vec<(Tensor, Vec<char>)> = spec
+        .inputs
+        .iter()
+        .zip(operands.iter())
+        .map(|(labels, t)| ((*t).clone(), labels.clone()))
+        .collect();
+
+    // Greedy pairwise contraction: always contract the pair of tensors that
+    // share a contractible label and produce the smallest intermediate.
+    while items.len() > 1 {
+        let mut best: Option<(usize, usize, usize)> = None; // (i, j, result size)
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let shared = shared_contractible(&items, i, j, &spec.output);
+                if shared.is_empty() {
+                    continue;
+                }
+                let size = result_size(&items[i], &items[j], &shared);
+                if best.map_or(true, |(_, _, s)| size < s) {
+                    best = Some((i, j, size));
+                }
+            }
+        }
+        let (i, j) = match best {
+            Some((i, j, _)) => (i, j),
+            // No shared labels anywhere: take an outer product of the first two.
+            None => (0, 1),
+        };
+        let (right_t, right_l) = items.remove(j);
+        let (left_t, left_l) = items.remove(i);
+        let merged = contract_pair(left_t, left_l, right_t, right_l, &items, &spec.output)?;
+        items.push(merged);
+    }
+
+    let (mut tensor, mut labels) = items.pop().expect("einsum: empty operand list");
+
+    // Sum out any label that does not appear in the output (can happen when a
+    // label occurs only once in the inputs and is dropped from the output).
+    let mut axis = 0;
+    while axis < labels.len() {
+        if spec.output.contains(&labels[axis]) {
+            axis += 1;
+        } else {
+            tensor = sum_axis(&tensor, axis)?;
+            labels.remove(axis);
+        }
+    }
+
+    // Permute into the requested output order.
+    let perm: Vec<usize> = spec
+        .output
+        .iter()
+        .map(|c| {
+            labels.iter().position(|l| l == c).ok_or_else(|| TensorError::InvalidAxes {
+                context: format!("einsum: output label '{c}' lost during contraction"),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    tensor.permute(&perm)
+}
+
+/// Labels shared between items `i` and `j` that may be contracted now (they
+/// appear in neither the output nor any other pending operand).
+fn shared_contractible(
+    items: &[(Tensor, Vec<char>)],
+    i: usize,
+    j: usize,
+    output: &[char],
+) -> Vec<char> {
+    let (_, li) = &items[i];
+    let (_, lj) = &items[j];
+    li.iter()
+        .filter(|c| lj.contains(c))
+        .filter(|c| !output.contains(c))
+        .filter(|c| {
+            items
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != i && *k != j)
+                .all(|(_, (_, lk))| !lk.contains(c))
+        })
+        .copied()
+        .collect()
+}
+
+fn result_size(a: &(Tensor, Vec<char>), b: &(Tensor, Vec<char>), shared: &[char]) -> usize {
+    let mut size = 1usize;
+    for (axis, label) in a.1.iter().enumerate() {
+        if !shared.contains(label) {
+            size = size.saturating_mul(a.0.dim(axis));
+        }
+    }
+    for (axis, label) in b.1.iter().enumerate() {
+        if !shared.contains(label) {
+            size = size.saturating_mul(b.0.dim(axis));
+        }
+    }
+    size
+}
+
+fn contract_pair(
+    left_t: Tensor,
+    left_l: Vec<char>,
+    right_t: Tensor,
+    right_l: Vec<char>,
+    remaining: &[(Tensor, Vec<char>)],
+    output: &[char],
+) -> Result<(Tensor, Vec<char>)> {
+    // Contract every label shared by the two operands that is not needed by
+    // the output or any remaining operand.
+    let shared: Vec<char> = left_l
+        .iter()
+        .filter(|c| right_l.contains(c))
+        .filter(|c| !output.contains(c))
+        .filter(|c| remaining.iter().all(|(_, lk)| !lk.contains(c)))
+        .copied()
+        .collect();
+    let axes_a: Vec<usize> = shared.iter().map(|c| left_l.iter().position(|l| l == c).unwrap()).collect();
+    let axes_b: Vec<usize> = shared.iter().map(|c| right_l.iter().position(|l| l == c).unwrap()).collect();
+    let result = tensordot(&left_t, &right_t, &axes_a, &axes_b)?;
+    let mut labels: Vec<char> = left_l.iter().filter(|c| !shared.contains(c)).copied().collect();
+    labels.extend(right_l.iter().filter(|c| !shared.contains(c)).copied());
+    Ok((result, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::tensordot_naive;
+    use koala_linalg::c64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_accepts_valid_specs() {
+        let s = parse_spec("abc,cd->abd").unwrap();
+        assert_eq!(s.inputs.len(), 2);
+        assert_eq!(s.output, vec!['a', 'b', 'd']);
+        assert!(parse_spec(" ab , bc -> ac ").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_invalid_specs() {
+        assert!(parse_spec("ab,bc").is_err(), "missing arrow");
+        assert!(parse_spec("aab->ab").is_err(), "repeated label within operand");
+        assert!(parse_spec("ab,bc->ad").is_err(), "output label not present");
+        assert!(parse_spec("ab,ab,ab->").is_err(), "label appears three times");
+        assert!(parse_spec("ab->aa").is_err(), "repeated output label");
+        assert!(parse_spec("a1->a").is_err(), "non-alphabetic label");
+    }
+
+    #[test]
+    fn matrix_multiplication() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let a = Tensor::random(&[3, 4], &mut rng);
+        let b = Tensor::random(&[4, 5], &mut rng);
+        let c = einsum("ij,jk->ik", &[&a, &b]).unwrap();
+        let expected = tensordot(&a, &b, &[1], &[0]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn output_permutation_is_honoured() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Tensor::random(&[3, 4], &mut rng);
+        let b = Tensor::random(&[4, 5], &mut rng);
+        let c = einsum("ij,jk->ki", &[&a, &b]).unwrap();
+        let expected = tensordot(&a, &b, &[1], &[0]).unwrap().permute(&[1, 0]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn three_operand_chain() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = Tensor::random(&[2, 3], &mut rng);
+        let b = Tensor::random(&[3, 4], &mut rng);
+        let c = Tensor::random(&[4, 2], &mut rng);
+        let out = einsum("ij,jk,kl->il", &[&a, &b, &c]).unwrap();
+        let ab = tensordot(&a, &b, &[1], &[0]).unwrap();
+        let abc = tensordot(&ab, &c, &[1], &[0]).unwrap();
+        assert!(out.approx_eq(&abc, 1e-11));
+    }
+
+    #[test]
+    fn full_trace_network_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Tensor::random(&[3, 4], &mut rng);
+        let b = Tensor::random(&[4, 3], &mut rng);
+        let out = einsum("ij,ji->", &[&a, &b]).unwrap();
+        assert_eq!(out.ndim(), 0);
+        let prod = tensordot(&a, &b, &[1], &[0]).unwrap();
+        let mut tr = c64(0.0, 0.0);
+        for i in 0..3 {
+            tr += prod.get(&[i, i]);
+        }
+        assert!(out.item().approx_eq(tr, 1e-11));
+    }
+
+    #[test]
+    fn summed_free_index() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = Tensor::random(&[3, 5], &mut rng);
+        let out = einsum("ij->i", &[&a]).unwrap();
+        let expected = crate::contract::sum_axis(&a, 1).unwrap();
+        assert!(out.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn outer_product_of_disconnected_operands() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let a = Tensor::random(&[2], &mut rng);
+        let b = Tensor::random(&[3], &mut rng);
+        let out = einsum("i,j->ij", &[&a, &b]).unwrap();
+        assert!(out.approx_eq(&a.outer(&b), 1e-12));
+    }
+
+    #[test]
+    fn tensor_network_star_contraction() {
+        // A small star-shaped network exercising the greedy ordering:
+        // center tensor contracted with three leaf tensors.
+        let mut rng = StdRng::seed_from_u64(26);
+        let center = Tensor::random(&[2, 3, 4], &mut rng);
+        let la = Tensor::random(&[2, 5], &mut rng);
+        let lb = Tensor::random(&[3, 6], &mut rng);
+        let lc = Tensor::random(&[4, 7], &mut rng);
+        let out = einsum("abc,ax,by,cz->xyz", &[&center, &la, &lb, &lc]).unwrap();
+        assert_eq!(out.shape(), &[5, 6, 7]);
+        // Cross-check against a naive sequence of contractions.
+        let step1 = tensordot_naive(&center, &la, &[0], &[0]).unwrap(); // b c x
+        let step2 = tensordot_naive(&step1, &lb, &[0], &[0]).unwrap(); // c x y
+        let step3 = tensordot_naive(&step2, &lc, &[0], &[0]).unwrap(); // x y z
+        assert!(out.approx_eq(&step3, 1e-10));
+    }
+
+    #[test]
+    fn operand_count_and_shape_validation() {
+        let a = Tensor::zeros(&[2, 2]);
+        assert!(einsum("ij,jk->ik", &[&a]).is_err());
+        assert!(einsum("ijk->ijk", &[&a]).is_err());
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(einsum("ij,jk->ik", &[&a, &b]).is_err(), "label j has dims 2 and 3");
+    }
+}

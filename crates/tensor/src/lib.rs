@@ -1,0 +1,33 @@
+//! # koala-tensor
+//!
+//! Dense complex tensors and the `einsum` contraction layer for the koala-rs
+//! reproduction of *"Efficient 2D Tensor Network Simulation of Quantum
+//! Systems"* (SC 2020).
+//!
+//! The original Koala library manipulates site tensors through a thin
+//! `tensorbackends` abstraction over NumPy / CuPy / Cyclops. This crate plays
+//! the role of the dense in-memory backend: a row-major [`Tensor`] type,
+//! permutation / reshaping / matricization utilities, pairwise contraction
+//! ([`tensordot`]) lowered to the GEMM kernel of `koala-linalg`, a general
+//! [`einsum`] for tensor-network contractions, and tensor-level factorizations
+//! ([`qr_split`], [`svd_split`], [`rsvd_split`], [`gram_qr_split`]) used by
+//! the MPS and PEPS layers.
+
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod decomp;
+pub mod einsum;
+pub mod shape;
+pub mod tensor;
+
+pub use contract::{contract_all, sum_axis, tensordot, tensordot_naive};
+pub use decomp::{
+    gram_qr_split, materialize_op, qr_split, reassemble_split, rsvd_split, rsvd_split_implicit,
+    scale_first_axis, scale_last_axis, svd_split, SplitSvd, Truncation,
+};
+pub use einsum::{einsum, einsum_spec, parse_spec, EinsumSpec};
+pub use tensor::{Result, Tensor, TensorError};
+
+// Re-export the scalar/matrix types so downstream crates need only one import path.
+pub use koala_linalg::{c64, C64, Matrix};

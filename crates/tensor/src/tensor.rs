@@ -1,0 +1,555 @@
+//! Dense row-major complex tensor.
+
+use crate::shape::{
+    increment_index, invert_permutation, is_permutation, num_elements, permute_shape, ravel,
+    strides_for, unravel,
+};
+use koala_linalg::{c64, C64, Matrix};
+use rand::Rng;
+use std::fmt;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Shape / size disagreement.
+    ShapeMismatch {
+        /// Description of the failed operation.
+        context: String,
+    },
+    /// Invalid axis or permutation argument.
+    InvalidAxes {
+        /// Description of the failed operation.
+        context: String,
+    },
+    /// Error bubbled up from the linear-algebra layer.
+    Linalg(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            TensorError::InvalidAxes { context } => write!(f, "invalid axes: {context}"),
+            TensorError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<koala_linalg::LinalgError> for TensorError {
+    fn from(e: koala_linalg::LinalgError) -> Self {
+        TensorError::Linalg(e.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Dense tensor of [`C64`] stored contiguously in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<C64>,
+}
+
+impl Tensor {
+    /// Zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![C64::ZERO; num_elements(shape)] }
+    }
+
+    /// Tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![C64::ONE; num_elements(shape)] }
+    }
+
+    /// Rank-0 tensor holding a single scalar.
+    pub fn scalar(value: C64) -> Self {
+        Tensor { shape: vec![], data: vec![value] }
+    }
+
+    /// Build from shape and row-major data.
+    pub fn from_vec(shape: &[usize], data: Vec<C64>) -> Result<Self> {
+        if data.len() != num_elements(shape) {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "from_vec: {} elements provided for shape {:?} ({} expected)",
+                    data.len(),
+                    shape,
+                    num_elements(shape)
+                ),
+            });
+        }
+        Ok(Tensor { shape: shape.to_vec(), data })
+    }
+
+    /// Build from real-valued row-major data.
+    pub fn from_real(shape: &[usize], data: &[f64]) -> Result<Self> {
+        let cdata = data.iter().map(|&x| C64::from_real(x)).collect();
+        Tensor::from_vec(shape, cdata)
+    }
+
+    /// Tensor with independent entries uniform in `[-1,1]` (both components).
+    pub fn random<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Self {
+        let data = (0..num_elements(shape))
+            .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Random tensor with purely real entries.
+    pub fn random_real<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Self {
+        let data = (0..num_elements(shape)).map(|_| c64(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Identity "matrix" as a rank-2 tensor.
+    pub fn eye(n: usize) -> Self {
+        Tensor::from_matrix_2d(&Matrix::identity(n))
+    }
+
+    /// Shape of the tensor.
+    #[inline(always)]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    #[inline(always)]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of one axis.
+    #[inline(always)]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.shape[axis]
+    }
+
+    /// Raw row-major data.
+    #[inline(always)]
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consume into the raw data vector.
+    pub fn into_data(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Element access by multi-index.
+    pub fn get(&self, index: &[usize]) -> C64 {
+        let strides = strides_for(&self.shape);
+        self.data[ravel(index, &strides)]
+    }
+
+    /// Mutable element access by multi-index.
+    pub fn set(&mut self, index: &[usize], value: C64) {
+        let strides = strides_for(&self.shape);
+        let off = ravel(index, &strides);
+        self.data[off] = value;
+    }
+
+    /// The single element of a rank-0 (or single-element) tensor.
+    pub fn item(&self) -> C64 {
+        assert_eq!(self.data.len(), 1, "item() requires exactly one element, shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Change the shape without moving data (sizes must match).
+    pub fn reshape(&self, new_shape: &[usize]) -> Result<Tensor> {
+        if num_elements(new_shape) != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "reshape: cannot view {:?} ({} elems) as {:?} ({} elems)",
+                    self.shape,
+                    self.data.len(),
+                    new_shape,
+                    num_elements(new_shape)
+                ),
+            });
+        }
+        Ok(Tensor { shape: new_shape.to_vec(), data: self.data.clone() })
+    }
+
+    /// Reshape consuming `self` (no data copy).
+    pub fn into_reshape(self, new_shape: &[usize]) -> Result<Tensor> {
+        if num_elements(new_shape) != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "into_reshape: cannot view {:?} as {:?}",
+                    self.shape, new_shape
+                ),
+            });
+        }
+        Ok(Tensor { shape: new_shape.to_vec(), data: self.data })
+    }
+
+    /// Permute (transpose) the axes: axis `i` of the result is axis `perm[i]`
+    /// of the input.
+    pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
+        if perm.len() != self.ndim() || !is_permutation(perm) {
+            return Err(TensorError::InvalidAxes {
+                context: format!("permute: {:?} is not a permutation of 0..{}", perm, self.ndim()),
+            });
+        }
+        let new_shape = permute_shape(&self.shape, perm);
+        if self.ndim() <= 1 || perm.iter().enumerate().all(|(i, &p)| i == p) {
+            return Ok(Tensor { shape: new_shape, data: self.data.clone() });
+        }
+        let mut out = vec![C64::ZERO; self.data.len()];
+        let in_strides = strides_for(&self.shape);
+        let out_strides = strides_for(&new_shape);
+        // Walk the output in order; gather from the input.
+        // in_index[perm[i]] = out_index[i]  =>  offset_in = sum out_index[i]*in_strides[perm[i]]
+        let gather_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut idx = vec![0usize; self.ndim()];
+        for slot in out.iter_mut() {
+            let off_in = ravel(&idx, &gather_strides);
+            *slot = self.data[off_in];
+            increment_index(&mut idx, &new_shape);
+        }
+        let _ = out_strides;
+        Ok(Tensor { shape: new_shape, data: out })
+    }
+
+    /// Inverse permutation convenience: undo `permute(perm)`.
+    pub fn unpermute(&self, perm: &[usize]) -> Result<Tensor> {
+        self.permute(&invert_permutation(perm))
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|z| z.conj()).collect() }
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: C64) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&z| z * s).collect() }
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_inplace(&mut self, s: C64) {
+        for z in &mut self.data {
+            *z *= s;
+        }
+    }
+
+    /// Element-wise sum (shapes must match).
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                context: format!("add: {:?} vs {:?}", self.shape, other.shape),
+            });
+        }
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| *a + *b).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                context: format!("sub: {:?} vs {:?}", self.shape, other.shape),
+            });
+        }
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| *a - *b).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Frobenius (2-)norm of the tensor.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest element modulus.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Maximum element-wise deviation from another tensor of the same shape.
+    pub fn max_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "max_diff: shape mismatch");
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max)
+    }
+
+    /// True if element-wise within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        self.shape == other.shape && self.max_diff(other) <= tol
+    }
+
+    /// Inner product `<self, other> = sum conj(self) * other`.
+    pub fn inner(&self, other: &Tensor) -> Result<C64> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                context: format!("inner: {:?} vs {:?}", self.shape, other.shape),
+            });
+        }
+        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| a.conj() * *b).sum())
+    }
+
+    /// Matricization: view the tensor as a matrix whose rows are indexed by the
+    /// first `split` axes and whose columns are indexed by the rest.
+    pub fn unfold(&self, split: usize) -> Matrix {
+        assert!(split <= self.ndim(), "unfold: split {} exceeds rank {}", split, self.ndim());
+        let rows: usize = self.shape[..split].iter().product();
+        let cols: usize = self.shape[split..].iter().product();
+        Matrix::from_vec(rows, cols, self.data.clone()).expect("unfold: internal size error")
+    }
+
+    /// Inverse of [`Tensor::unfold`]: reinterpret a matrix as a tensor with the
+    /// given row-axis and column-axis dimensions.
+    pub fn fold(m: &Matrix, row_dims: &[usize], col_dims: &[usize]) -> Result<Tensor> {
+        let rows: usize = row_dims.iter().product();
+        let cols: usize = col_dims.iter().product();
+        if m.nrows() != rows || m.ncols() != cols {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "fold: matrix {}x{} does not match row dims {:?} / col dims {:?}",
+                    m.nrows(),
+                    m.ncols(),
+                    row_dims,
+                    col_dims
+                ),
+            });
+        }
+        let mut shape = row_dims.to_vec();
+        shape.extend_from_slice(col_dims);
+        Tensor::from_vec(&shape, m.data().to_vec())
+    }
+
+    /// View a matrix as a rank-2 tensor.
+    pub fn from_matrix_2d(m: &Matrix) -> Tensor {
+        Tensor { shape: vec![m.nrows(), m.ncols()], data: m.data().to_vec() }
+    }
+
+    /// Convert a rank-2 tensor into a matrix.
+    pub fn to_matrix_2d(&self) -> Matrix {
+        assert_eq!(self.ndim(), 2, "to_matrix_2d: tensor rank is {}", self.ndim());
+        Matrix::from_vec(self.shape[0], self.shape[1], self.data.clone()).unwrap()
+    }
+
+    /// Outer (tensor) product.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        let mut shape = self.shape.clone();
+        shape.extend_from_slice(&other.shape);
+        let mut data = Vec::with_capacity(self.data.len() * other.data.len());
+        for &a in &self.data {
+            for &b in &other.data {
+                data.push(a * b);
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Slice the tensor by fixing `axis` to `index`, dropping that axis.
+    pub fn select(&self, axis: usize, index: usize) -> Result<Tensor> {
+        if axis >= self.ndim() || index >= self.shape[axis] {
+            return Err(TensorError::InvalidAxes {
+                context: format!(
+                    "select: axis {axis} index {index} out of range for shape {:?}",
+                    self.shape
+                ),
+            });
+        }
+        let mut new_shape = self.shape.clone();
+        new_shape.remove(axis);
+        let mut out = Tensor::zeros(&new_shape);
+        let in_strides = strides_for(&self.shape);
+        let mut idx = vec![0usize; new_shape.len()];
+        let n = out.data.len();
+        for flat in 0..n {
+            // Build the full input index by inserting `index` at `axis`.
+            let mut full = Vec::with_capacity(self.ndim());
+            full.extend_from_slice(&idx[..axis]);
+            full.push(index);
+            full.extend_from_slice(&idx[axis..]);
+            out.data[flat] = self.data[ravel(&full, &in_strides)];
+            increment_index(&mut idx, &new_shape);
+        }
+        Ok(out)
+    }
+
+    /// Insert a new axis of size 1 at `axis`.
+    pub fn expand_dims(&self, axis: usize) -> Tensor {
+        assert!(axis <= self.ndim());
+        let mut shape = self.shape.clone();
+        shape.insert(axis, 1);
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> C64 {
+        self.data.iter().copied().sum()
+    }
+
+    /// Iterate over `(multi_index, value)` pairs in row-major order.
+    pub fn indexed_iter(&self) -> impl Iterator<Item = (Vec<usize>, C64)> + '_ {
+        let shape = self.shape.clone();
+        self.data.iter().enumerate().map(move |(off, &v)| (unravel(off, &shape), v))
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}, norm={:.4e})", self.shape, self.norm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_real(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.dim(1), 3);
+        assert_eq!(t.get(&[1, 2]), c64(6.0, 0.0));
+        assert_eq!(t.get(&[0, 1]), c64(2.0, 0.0));
+        let mut t2 = t.clone();
+        t2.set(&[0, 0], c64(0.0, 9.0));
+        assert_eq!(t2.get(&[0, 0]), c64(0.0, 9.0));
+        assert!(Tensor::from_vec(&[2, 2], vec![C64::ONE; 3]).is_err());
+    }
+
+    #[test]
+    fn scalar_tensor_item() {
+        let s = Tensor::scalar(c64(2.0, -1.0));
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.item(), c64(2.0, -1.0));
+    }
+
+    #[test]
+    fn reshape_preserves_data_order() {
+        let t = Tensor::from_real(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.get(&[0, 1]), c64(2.0, 0.0));
+        assert_eq!(r.get(&[2, 1]), c64(6.0, 0.0));
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn permute_matches_manual_transpose() {
+        let t = Tensor::from_real(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let p = t.permute(&[1, 0]).unwrap();
+        assert_eq!(p.shape(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(t.get(&[i, j]), p.get(&[j, i]));
+            }
+        }
+        assert!(t.permute(&[0, 0]).is_err());
+        assert!(t.permute(&[0]).is_err());
+    }
+
+    #[test]
+    fn permute_roundtrip_higher_rank() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::random(&[2, 3, 4, 2], &mut rng);
+        let perm = [2, 0, 3, 1];
+        let p = t.permute(&perm).unwrap();
+        assert_eq!(p.shape(), &[4, 2, 2, 3]);
+        let back = p.unpermute(&perm).unwrap();
+        assert!(back.approx_eq(&t, 0.0));
+        // Spot-check an element mapping.
+        assert_eq!(p.get(&[3, 1, 0, 2]), t.get(&[1, 2, 3, 0]));
+    }
+
+    #[test]
+    fn unfold_fold_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::random(&[2, 3, 4], &mut rng);
+        let m = t.unfold(1);
+        assert_eq!(m.shape(), (2, 12));
+        let back = Tensor::fold(&m, &[2], &[3, 4]).unwrap();
+        assert!(back.approx_eq(&t, 0.0));
+        let m2 = t.unfold(2);
+        assert_eq!(m2.shape(), (6, 4));
+        assert!(Tensor::fold(&m2, &[5], &[4]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops_and_norm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::random(&[3, 3], &mut rng);
+        let b = Tensor::random(&[3, 3], &mut rng);
+        let sum = a.add(&b).unwrap();
+        assert!(sum.sub(&b).unwrap().approx_eq(&a, 1e-12));
+        assert!(a.add(&Tensor::zeros(&[2, 2])).is_err());
+        let scaled = a.scale(c64(0.0, 1.0));
+        assert!((scaled.norm() - a.norm()).abs() < 1e-12);
+        let n2: f64 = a.data().iter().map(|z| z.norm_sqr()).sum();
+        assert!((a.norm() - n2.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_linear() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::random(&[2, 5], &mut rng);
+        let b = Tensor::random(&[2, 5], &mut rng);
+        let ab = a.inner(&b).unwrap();
+        let ba = b.inner(&a).unwrap();
+        assert!(ab.approx_eq(ba.conj(), 1e-12));
+        let aa = a.inner(&a).unwrap();
+        assert!(aa.im.abs() < 1e-12);
+        assert!((aa.re - a.norm() * a.norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let a = Tensor::from_real(&[2], &[1.0, 2.0]).unwrap();
+        let b = Tensor::from_real(&[3], &[3.0, 4.0, 5.0]).unwrap();
+        let o = a.outer(&b);
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.get(&[1, 2]), c64(10.0, 0.0));
+    }
+
+    #[test]
+    fn select_fixes_an_axis() {
+        let t = Tensor::from_real(&[2, 2, 2], &[0., 1., 2., 3., 4., 5., 6., 7.]).unwrap();
+        let s = t.select(1, 1).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.get(&[0, 0]), c64(2.0, 0.0));
+        assert_eq!(s.get(&[1, 1]), c64(7.0, 0.0));
+        assert!(t.select(3, 0).is_err());
+        assert!(t.select(1, 2).is_err());
+    }
+
+    #[test]
+    fn expand_dims_adds_singleton() {
+        let t = Tensor::from_real(&[2, 3], &[1., 2., 3., 4., 5., 6.]).unwrap();
+        let e = t.expand_dims(1);
+        assert_eq!(e.shape(), &[2, 1, 3]);
+        assert_eq!(e.get(&[1, 0, 2]), c64(6.0, 0.0));
+    }
+
+    #[test]
+    fn eye_and_matrix_conversion() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.get(&[1, 1]), C64::ONE);
+        assert_eq!(t.get(&[1, 2]), C64::ZERO);
+        let m = t.to_matrix_2d();
+        assert!(m.approx_eq(&Matrix::identity(3), 0.0));
+    }
+}

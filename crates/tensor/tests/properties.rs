@@ -1,0 +1,122 @@
+//! Property-based tests for the tensor layer.
+
+use koala_tensor::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_shape(max_rank: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..4, 1..=max_rank)
+}
+
+fn seeded_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::random(shape, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn permute_preserves_norm_and_inverts(shape in small_shape(4), seed in 0u64..1000) {
+        let t = seeded_tensor(&shape, seed);
+        let mut perm: Vec<usize> = (0..shape.len()).collect();
+        // A deterministic non-trivial permutation: rotate by one.
+        perm.rotate_left(1);
+        let p = t.permute(&perm).unwrap();
+        prop_assert!((p.norm() - t.norm()).abs() < 1e-12);
+        prop_assert!(p.unpermute(&perm).unwrap().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn reshape_roundtrip_preserves_data(shape in small_shape(4), seed in 0u64..1000) {
+        let t = seeded_tensor(&shape, seed);
+        let flat = t.reshape(&[t.len()]).unwrap();
+        let back = flat.reshape(&shape).unwrap();
+        prop_assert!(back.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn unfold_fold_roundtrip(shape in small_shape(4), split_frac in 0usize..5, seed in 0u64..1000) {
+        let t = seeded_tensor(&shape, seed);
+        let split = split_frac % (shape.len() + 1);
+        let m = t.unfold(split);
+        let back = Tensor::fold(&m, &shape[..split], &shape[split..]).unwrap();
+        prop_assert!(back.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn tensordot_matches_naive(
+        d0 in 1usize..4, d1 in 1usize..4, d2 in 1usize..4, d3 in 1usize..4,
+        seed in 0u64..1000
+    ) {
+        let a = seeded_tensor(&[d0, d1, d2], seed);
+        let b = seeded_tensor(&[d2, d1, d3], seed.wrapping_add(1));
+        let fast = tensordot(&a, &b, &[2, 1], &[0, 1]).unwrap();
+        let slow = tensordot_naive(&a, &b, &[2, 1], &[0, 1]).unwrap();
+        prop_assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn tensordot_is_bilinear(
+        d0 in 1usize..4, d1 in 1usize..4, d2 in 1usize..4,
+        seed in 0u64..1000
+    ) {
+        let a = seeded_tensor(&[d0, d1], seed);
+        let b1 = seeded_tensor(&[d1, d2], seed.wrapping_add(2));
+        let b2 = seeded_tensor(&[d1, d2], seed.wrapping_add(3));
+        let lhs = tensordot(&a, &b1.add(&b2).unwrap(), &[1], &[0]).unwrap();
+        let rhs = tensordot(&a, &b1, &[1], &[0]).unwrap()
+            .add(&tensordot(&a, &b2, &[1], &[0]).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn einsum_matrix_chain_is_associative(
+        d0 in 1usize..4, d1 in 1usize..4, d2 in 1usize..4, d3 in 1usize..4,
+        seed in 0u64..1000
+    ) {
+        let a = seeded_tensor(&[d0, d1], seed);
+        let b = seeded_tensor(&[d1, d2], seed.wrapping_add(4));
+        let c = seeded_tensor(&[d2, d3], seed.wrapping_add(5));
+        let chained = einsum("ij,jk,kl->il", &[&a, &b, &c]).unwrap();
+        let ab = tensordot(&a, &b, &[1], &[0]).unwrap();
+        let manual = tensordot(&ab, &c, &[1], &[0]).unwrap();
+        prop_assert!(chained.approx_eq(&manual, 1e-9));
+    }
+
+    #[test]
+    fn svd_split_truncation_is_monotone(
+        d0 in 2usize..4, d1 in 2usize..4, d2 in 2usize..4,
+        seed in 0u64..1000
+    ) {
+        let t = seeded_tensor(&[d0, d1, d2], seed);
+        let full = svd_split(&t, &[0], Truncation::none()).unwrap();
+        let mut prev_err = -1.0f64;
+        for k in (1..=full.s.len()).rev() {
+            let f = svd_split(&t, &[0], Truncation::max_rank(k)).unwrap();
+            prop_assert!(f.truncation_error >= prev_err - 1e-12,
+                "error should grow as rank shrinks");
+            prev_err = f.truncation_error;
+        }
+    }
+
+    #[test]
+    fn qr_split_isometry(shape in small_shape(4), seed in 0u64..1000) {
+        prop_assume!(shape.len() >= 2);
+        let t = seeded_tensor(&shape, seed);
+        let (q, r) = qr_split(&t, &[0]).unwrap();
+        let qm = q.unfold(1);
+        prop_assert!(qm.has_orthonormal_cols(1e-9));
+        let rebuilt = tensordot(&q, &r, &[1], &[0]).unwrap();
+        prop_assert!(rebuilt.approx_eq(&t, 1e-9));
+    }
+
+    #[test]
+    fn inner_product_cauchy_schwarz(shape in small_shape(3), seed in 0u64..1000) {
+        let a = seeded_tensor(&shape, seed);
+        let b = seeded_tensor(&shape, seed.wrapping_add(9));
+        let inner = a.inner(&b).unwrap().abs();
+        prop_assert!(inner <= a.norm() * b.norm() + 1e-9);
+    }
+}

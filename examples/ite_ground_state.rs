@@ -1,0 +1,41 @@
+//! Ground-state search with imaginary time evolution (the Figure 13 workload
+//! at a laptop-friendly size).
+//!
+//! Evolves a 3x3 transverse-field Ising model towards its ground state with
+//! PEPS-TEBD at two bond dimensions and compares against the exact
+//! state-vector reference.
+//!
+//! Run with: `cargo run --release --example ite_ground_state`
+
+use koala::peps::Peps;
+use koala::sim::{ite_peps, tfi_hamiltonian, IteOptions, StateVector, TfiParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (nrows, ncols) = (3, 3);
+    let params = TfiParams { jz: -1.0, hx: -2.0 };
+    let h = tfi_hamiltonian(nrows, ncols, params);
+
+    let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng) / 9.0;
+    println!("exact ground-state energy per site: {exact:.6}");
+
+    for r in [1usize, 2] {
+        let peps = Peps::computational_zeros(nrows, ncols);
+        let mut options = IteOptions::new(0.05, 40, r, (r * r).max(2));
+        options.measure_every = 5;
+        let result = ite_peps(&peps, &h, options, &mut rng).expect("ITE failed");
+        println!("\nPEPS ITE with bond dimension r = {r}:");
+        for (step, e) in &result.energies {
+            println!("  step {step:>3}: energy per site = {e:.6}");
+        }
+        println!(
+            "  final = {:.6} (difference from exact: {:.4})",
+            result.final_energy(),
+            result.final_energy() - exact
+        );
+    }
+    println!("\nLarger bond dimensions track the exact ground state more closely,");
+    println!("which is the qualitative content of Figure 13 of the paper.");
+}

@@ -1,0 +1,45 @@
+//! Random-quantum-circuit amplitude study (the Figure 10 workload at a
+//! laptop-friendly size).
+//!
+//! Evolves a 3x3 PEPS exactly under a random circuit, then computes one
+//! output amplitude with BMPS and IBMPS at increasing contraction bond
+//! dimensions, showing the sharp error drop once the bond dimension crosses
+//! the entanglement threshold.
+//!
+//! Run with: `cargo run --release --example rqc_amplitude`
+
+use koala::peps::{amplitude, ContractionMethod, Peps, UpdateMethod};
+use koala::sim::{random_circuit, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let n = 3;
+    let circuit = random_circuit(n, n, 8, 4, &mut rng);
+    println!("generated an RQC with {} gates ({} entangling)", circuit.len(), circuit.two_qubit_count());
+
+    let mut peps = Peps::computational_zeros(n, n);
+    circuit.apply_to_peps(&mut peps, UpdateMethod::qr_svd(1 << 16)).expect("exact evolution failed");
+    let mut sv = StateVector::computational_zeros(n, n);
+    circuit.apply_to_statevector(&mut sv);
+    println!("PEPS bond dimension after exact evolution: {}", peps.max_bond());
+
+    let bits = vec![0usize; n * n];
+    let exact = sv.amplitude(&bits);
+    println!("exact amplitude <0...0|C|0...0> = {exact}");
+
+    println!("\n{:>6} | {:>12} | {:>12}", "m", "BMPS error", "IBMPS error");
+    for m in [2usize, 4, 8, 16, 32, 64] {
+        let a_bmps = amplitude(&peps, &bits, ContractionMethod::bmps(m), &mut rng).unwrap();
+        let a_ibmps = amplitude(&peps, &bits, ContractionMethod::ibmps(m), &mut rng).unwrap();
+        println!(
+            "{:>6} | {:>12.3e} | {:>12.3e}",
+            m,
+            (a_bmps - exact).abs() / exact.abs(),
+            (a_ibmps - exact).abs() / exact.abs()
+        );
+    }
+    println!("\nOnce the contraction bond dimension exceeds the state's entanglement,");
+    println!("the error drops to the level of round-off — the behaviour of Figure 10.");
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the koala-rs stack.
+pub use koala_cluster as cluster;
+pub use koala_linalg as linalg;
+pub use koala_mps as mps;
+pub use koala_peps as peps;
+pub use koala_sim as sim;
+pub use koala_tensor as tensor;

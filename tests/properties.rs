@@ -1,0 +1,83 @@
+//! Workspace-level property-based tests on end-to-end invariants.
+
+use koala::peps::{amplitude, norm_sqr, ContractionMethod, Peps, UpdateMethod};
+use koala::sim::gates::{cz, hadamard, iswap};
+use koala::sim::StateVector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Unitary circuits preserve the norm of the PEPS no matter which gates
+    /// are applied (as long as the bond dimension is large enough for exact
+    /// evolution of this small lattice).
+    #[test]
+    fn unitary_circuits_preserve_norm(seed in 0u64..500, gates in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut peps = Peps::computational_zeros(2, 2);
+        let pool = [hadamard(), cz(), iswap()];
+        for g in 0..gates {
+            let pick = (seed as usize + g) % 3;
+            if pick == 0 {
+                let site = ((g % 2), ((g + 1) % 2));
+                koala::peps::apply_one_site(&mut peps, &pool[0], site).unwrap();
+            } else {
+                let pairs = [((0, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 0), (1, 1)), ((0, 0), (1, 0))];
+                let (a, b) = pairs[g % pairs.len()];
+                koala::peps::apply_two_site(&mut peps, &pool[pick], a, b, UpdateMethod::qr_svd(8)).unwrap();
+            }
+        }
+        let n = norm_sqr(&peps, ContractionMethod::bmps(16), &mut rng).unwrap();
+        prop_assert!((n - 1.0).abs() < 1e-6, "norm {n}");
+    }
+
+    /// Born rule sanity: amplitudes computed from the PEPS match the state
+    /// vector after a random single layer of gates, and the probabilities of
+    /// all basis states sum to one.
+    #[test]
+    fn amplitudes_match_statevector(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = koala::sim::random_circuit(2, 2, 2, 2, &mut rng);
+        let mut peps = Peps::computational_zeros(2, 2);
+        circuit.apply_to_peps(&mut peps, UpdateMethod::qr_svd(16)).unwrap();
+        let mut sv = StateVector::computational_zeros(2, 2);
+        circuit.apply_to_statevector(&mut sv);
+
+        let mut total_prob = 0.0;
+        for idx in 0..16usize {
+            let bits: Vec<usize> = (0..4).map(|q| (idx >> (3 - q)) & 1).collect();
+            let a_sv = sv.amplitude(&bits);
+            total_prob += a_sv.norm_sqr();
+            if idx % 5 == 0 {
+                let a_peps = amplitude(&peps, &bits, ContractionMethod::bmps(16), &mut rng).unwrap();
+                prop_assert!(a_peps.approx_eq(a_sv, 1e-6));
+            }
+        }
+        prop_assert!((total_prob - 1.0).abs() < 1e-9);
+    }
+
+    /// Contraction methods agree with each other on random (positive) networks.
+    #[test]
+    fn contraction_methods_agree(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut peps = Peps::random_no_phys(3, 3, 2, &mut rng);
+        // Make the entries positive so the contraction is well conditioned.
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut t = peps.tensor((r, c)).clone();
+                for v in t.data_mut() {
+                    *v = koala::linalg::c64(v.re.abs() + 0.1, 0.0);
+                }
+                peps.set_tensor((r, c), t);
+            }
+        }
+        let exact = koala::peps::contract_no_phys(&peps, ContractionMethod::Exact, &mut rng).unwrap();
+        let bmps = koala::peps::contract_no_phys(&peps, ContractionMethod::bmps(8), &mut rng).unwrap();
+        let ibmps = koala::peps::contract_no_phys(&peps, ContractionMethod::ibmps(8), &mut rng).unwrap();
+        let scale = exact.abs().max(1e-12);
+        prop_assert!((bmps - exact).abs() / scale < 1e-2);
+        prop_assert!((ibmps - exact).abs() / scale < 1e-2);
+    }
+}
