@@ -8,7 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use koala_cluster::Cluster;
-use koala_linalg::{c64, expm_hermitian};
+use koala_linalg::gemm::{gemm, matmul, matmul_seed, Op};
+use koala_linalg::{c64, expm_hermitian, Matrix};
 use koala_peps::expectation::{expectation, ExpectationOptions};
 use koala_peps::operators::{kron, pauli_x, pauli_z, Observable};
 use koala_peps::two_layer::{norm_sqr_two_layer, TwoLayerOptions};
@@ -22,6 +23,22 @@ use rand::SeedableRng;
 fn tebd_gate() -> koala_linalg::Matrix {
     let h = &kron(&pauli_x(), &pauli_x()) + &kron(&pauli_z(), &pauli_z());
     expm_hermitian(&h, c64(-0.05, 0.0)).unwrap()
+}
+
+/// The GEMM hot kernel: packed kernel vs the retained seed kernel, plain and
+/// with fused transposition. The `bench_gemm` binary sweeps the full shape
+/// grid and emits `BENCH_gemm.json`; this group just keeps the kernel under
+/// `cargo bench` alongside the figure kernels.
+fn bench_gemm_kernel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Matrix::random(256, 256, &mut rng);
+    let b = Matrix::random(256, 256, &mut rng);
+    let mut group = c.benchmark_group("gemm_256");
+    group.sample_size(10);
+    group.bench_function("packed", |bch| bch.iter(|| matmul(&a, &b)));
+    group.bench_function("packed_adj_a", |bch| bch.iter(|| gemm(Op::Adjoint, Op::None, &a, &b)));
+    group.bench_function("seed_baseline", |bch| bch.iter(|| matmul_seed(&a, &b)));
+    group.finish();
 }
 
 /// Figure 7 kernels: two-site operator application variants.
@@ -149,5 +166,11 @@ fn bench_expectation_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_evolution, bench_contraction, bench_expectation_cache);
+criterion_group!(
+    benches,
+    bench_gemm_kernel,
+    bench_evolution,
+    bench_contraction,
+    bench_expectation_cache
+);
 criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! GEMM kernel benchmark: packed kernel vs the retained seed kernel.
+//!
+//! Writes `BENCH_gemm.json` (override with `--json <path>`) with GFLOP/s for
+//! a fixed shape grid, single- and multi-threaded, so the repository records
+//! a machine-readable perf trajectory from PR 1 onward. GFLOP/s are derived
+//! from the GEMM layer's own [`koala_linalg::gemm::flop_counter`] (complex
+//! MACs, 8 real flops each), not from a formula duplicated here — so the
+//! numbers stay honest if the kernel's work accounting ever changes.
+//!
+//! Usage: `cargo run --release -p koala-bench --bin bench_gemm [--quick]
+//! [--json <path>]`
+
+use koala_bench::json::JsonValue;
+use koala_linalg::gemm::{flop_counter, gemm, matmul_seed, reset_flop_counter, Op};
+use koala_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One benchmarked configuration.
+struct Case {
+    m: usize,
+    k: usize,
+    n: usize,
+    opa: Op,
+    opb: Op,
+    label: &'static str,
+}
+
+const fn case(m: usize, k: usize, n: usize, opa: Op, opb: Op, label: &'static str) -> Case {
+    Case { m, k, n, opa, opb, label }
+}
+
+fn op_name(op: Op) -> &'static str {
+    match op {
+        Op::None => "N",
+        Op::Adjoint => "H",
+        Op::Transpose => "T",
+    }
+}
+
+/// Best-of-`reps` wall time and the flops the counter recorded per run.
+fn time_best(reps: usize, mut f: impl FnMut()) -> (f64, u64) {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    let mut flops = 0;
+    for _ in 0..reps {
+        reset_flop_counter();
+        let t = Instant::now();
+        f();
+        let secs = t.elapsed().as_secs_f64();
+        flops = flop_counter();
+        if secs < best {
+            best = secs;
+        }
+    }
+    (best, flops)
+}
+
+/// The seed repository's GEMM path for this case: materialise transposed
+/// operands (as the seed `gemm` did — and only those; `Op::None` operands
+/// are used by reference so the baseline is not billed for copies the seed
+/// code never made), then run the seed blocked kernel.
+fn run_seed(case: &Case, a: &Matrix, b: &Matrix) -> Matrix {
+    let a_eff;
+    let a_ref = match case.opa {
+        Op::None => a,
+        Op::Adjoint => {
+            a_eff = a.adjoint();
+            &a_eff
+        }
+        Op::Transpose => {
+            a_eff = a.transpose();
+            &a_eff
+        }
+    };
+    let b_eff;
+    let b_ref = match case.opb {
+        Op::None => b,
+        Op::Adjoint => {
+            b_eff = b.adjoint();
+            &b_eff
+        }
+        Op::Transpose => {
+            b_eff = b.transpose();
+            &b_eff
+        }
+    };
+    matmul_seed(a_ref, b_ref)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+
+    let full_grid = [
+        case(256, 256, 256, Op::None, Op::None, "square_256"),
+        case(512, 512, 512, Op::None, Op::None, "square_512"),
+        case(512, 512, 512, Op::Adjoint, Op::None, "square_512_adj_a"),
+        case(512, 512, 512, Op::None, Op::Transpose, "square_512_t_b"),
+        case(2048, 64, 64, Op::None, Op::None, "tall_skinny"),
+        case(64, 64, 2048, Op::None, Op::None, "short_wide"),
+        case(64, 2048, 64, Op::None, Op::None, "deep_k"),
+    ];
+    let quick_grid = [
+        case(256, 256, 256, Op::None, Op::None, "square_256"),
+        case(512, 512, 512, Op::None, Op::None, "square_512"),
+    ];
+    let grid: &[Case] = if quick { &quick_grid } else { &full_grid };
+    let reps = if quick { 3 } else { 7 };
+
+    let all_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let thread_counts: Vec<usize> = if all_threads > 1 { vec![1, all_threads] } else { vec![1] };
+
+    let mut rng = StdRng::seed_from_u64(0xBE27C);
+    let mut results: Vec<JsonValue> = Vec::new();
+    println!(
+        "{:<18} {:>3} {:>14} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "case", "thr", "shape", "packed_s", "GF/s", "seed_s", "seed_GF", "speedup"
+    );
+    for case in grid {
+        // Stored shapes chosen so the effective product is (m x k) * (k x n).
+        let a = match case.opa {
+            Op::None => Matrix::random(case.m, case.k, &mut rng),
+            _ => Matrix::random(case.k, case.m, &mut rng),
+        };
+        let b = match case.opb {
+            Op::None => Matrix::random(case.k, case.n, &mut rng),
+            _ => Matrix::random(case.n, case.k, &mut rng),
+        };
+        for &threads in &thread_counts {
+            // The local rayon shim re-reads RAYON_NUM_THREADS on every
+            // parallel call, so flipping it mid-process works. The real
+            // rayon crate reads it once at global-pool initialisation — if
+            // the shims are ever swapped back (see ROADMAP), this sweep must
+            // move to per-config child processes or explicit ThreadPools,
+            // or every row after the first will silently reuse the first
+            // pool's thread count.
+            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            let (packed_s, flops) = time_best(reps, || {
+                std::hint::black_box(gemm(case.opa, case.opb, &a, &b));
+            });
+            let (seed_s, _) = time_best(reps, || {
+                std::hint::black_box(run_seed(case, &a, &b));
+            });
+            let gf = 8.0 * flops as f64 / packed_s / 1e9;
+            let seed_gf = 8.0 * flops as f64 / seed_s / 1e9;
+            let speedup = seed_s / packed_s;
+            println!(
+                "{:<18} {:>3} {:>14} {:>9.4} {:>9.2} {:>9.4} {:>9.2} {:>7.2}x",
+                case.label,
+                threads,
+                format!("{}x{}x{}", case.m, case.k, case.n),
+                packed_s,
+                gf,
+                seed_s,
+                seed_gf,
+                speedup
+            );
+            results.push(JsonValue::object([
+                ("label", JsonValue::str(case.label)),
+                ("m", JsonValue::num(case.m as f64)),
+                ("k", JsonValue::num(case.k as f64)),
+                ("n", JsonValue::num(case.n as f64)),
+                ("opa", JsonValue::str(op_name(case.opa))),
+                ("opb", JsonValue::str(op_name(case.opb))),
+                ("threads", JsonValue::num(threads as f64)),
+                ("complex_macs", JsonValue::num(flops as f64)),
+                ("packed_seconds", JsonValue::num(packed_s)),
+                ("packed_gflops", JsonValue::num(gf)),
+                ("seed_seconds", JsonValue::num(seed_s)),
+                ("seed_gflops", JsonValue::num(seed_gf)),
+                ("speedup_vs_seed", JsonValue::num(speedup)),
+            ]));
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let doc = JsonValue::object([
+        ("bench", JsonValue::str("gemm")),
+        ("schema_version", JsonValue::num(1.0)),
+        ("flop_convention", JsonValue::str("complex MAC = 8 real flops")),
+        ("threads_available", JsonValue::num(all_threads as f64)),
+        ("results", JsonValue::Array(results)),
+    ]);
+    match std::fs::write(&json_path, doc.pretty()) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("failed to write {json_path}: {e}"),
+    }
+}

@@ -11,7 +11,9 @@ use koala_bench::{BenchArgs, Figure, Series};
 use koala_cluster::{Cluster, CostModel};
 use koala_linalg::{c64, expm_hermitian};
 use koala_peps::operators::{kron, pauli_x, pauli_z};
-use koala_peps::{dist_contract_no_phys, dist_tebd_layer, ContractionMethod, DistEvolutionVariant, Peps};
+use koala_peps::{
+    dist_contract_no_phys, dist_tebd_layer, ContractionMethod, DistEvolutionVariant, Peps,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,11 +21,8 @@ fn main() {
     let args = BenchArgs::parse();
     let (side, r_evo, r_con): (usize, usize, usize) =
         if args.quick { (4, 4, 6) } else { (6, 6, 8) };
-    let rank_counts: Vec<usize> = if args.quick {
-        vec![1, 2, 4, 8, 16]
-    } else {
-        vec![1, 2, 4, 8, 16, 32, 64]
-    };
+    let rank_counts: Vec<usize> =
+        if args.quick { vec![1, 2, 4, 8, 16] } else { vec![1, 2, 4, 8, 16, 32, 64] };
     let model = CostModel::default();
     let gate = expm_hermitian(
         &(&kron(&pauli_x(), &pauli_x()) + &kron(&pauli_z(), &pauli_z())),
@@ -33,7 +32,9 @@ fn main() {
 
     let mut fig = Figure::new(
         "fig11",
-        &format!("Strong scaling on a {side}x{side} PEPS (evolution r={r_evo}, contraction r=m={r_con})"),
+        &format!(
+            "Strong scaling on a {side}x{side} PEPS (evolution r={r_evo}, contraction r=m={r_con})"
+        ),
         "virtual ranks (cores)",
         "modelled parallel time (seconds)",
     );
@@ -50,7 +51,8 @@ fn main() {
         let base = Peps::random(side, side, 2, r_evo, &mut rng);
         let cluster = Cluster::new(ranks);
         let mut p = base.clone();
-        dist_tebd_layer(&cluster, &mut p, &gate, r_evo, DistEvolutionVariant::LocalGramQrSvd).unwrap();
+        dist_tebd_layer(&cluster, &mut p, &gate, r_evo, DistEvolutionVariant::LocalGramQrSvd)
+            .unwrap();
         let stats = cluster.stats();
         let t_evo = model.modelled_time(&stats);
         evo.push(ranks as f64, t_evo);

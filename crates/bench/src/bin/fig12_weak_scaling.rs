@@ -11,15 +11,16 @@ use koala_bench::{BenchArgs, Figure, Series};
 use koala_cluster::{Cluster, CostModel};
 use koala_linalg::{c64, expm_hermitian};
 use koala_peps::operators::{kron, pauli_x, pauli_z};
-use koala_peps::{dist_contract_no_phys, dist_tebd_layer, ContractionMethod, DistEvolutionVariant, Peps};
+use koala_peps::{
+    dist_contract_no_phys, dist_tebd_layer, ContractionMethod, DistEvolutionVariant, Peps,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let args = BenchArgs::parse();
     let side = if args.quick { 4 } else { 6 };
-    let rank_counts: Vec<usize> =
-        if args.quick { vec![1, 4, 16] } else { vec![1, 4, 16, 64] };
+    let rank_counts: Vec<usize> = if args.quick { vec![1, 4, 16] } else { vec![1, 4, 16, 64] };
     let (r_base, m_base) = (3usize, 4usize);
     let model = CostModel::default();
     let gate = expm_hermitian(
@@ -57,8 +58,8 @@ fn main() {
 
         let peps_c = Peps::random_no_phys(side, side, m, &mut rng);
         let cluster = Cluster::new(ranks);
-        let _ =
-            dist_contract_no_phys(&cluster, &peps_c, ContractionMethod::ibmps(m), &mut rng).unwrap();
+        let _ = dist_contract_no_phys(&cluster, &peps_c, ContractionMethod::ibmps(m), &mut rng)
+            .unwrap();
         let stats_c = cluster.stats();
         let gflops_con = model.flop_rate_per_rank(&stats_c) * 8.0 / 1e9;
         con.push(ranks as f64, gflops_con);

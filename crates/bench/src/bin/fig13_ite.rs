@@ -45,10 +45,9 @@ fn main() {
     let mut final_vs_bond_r2 = Series::new("final energy vs r (m = r^2)");
 
     for &r in &bonds {
-        for (m, series, label) in [
-            (r, &mut final_vs_bond_r, "m=r"),
-            (r * r, &mut final_vs_bond_r2, "m=r^2"),
-        ] {
+        for (m, series, label) in
+            [(r, &mut final_vs_bond_r, "m=r"), (r * r, &mut final_vs_bond_r2, "m=r^2")]
+        {
             let mut rng = StdRng::seed_from_u64(13_000 + (r * 10 + m) as u64);
             let peps = Peps::computational_zeros(nrows, ncols);
             let mut options = IteOptions::new(tau, steps, r, m.max(2));

@@ -11,7 +11,9 @@ use koala_bench::{time_it, BenchArgs, Figure, Series};
 use koala_cluster::{Cluster, CostModel};
 use koala_linalg::{c64, expm_hermitian};
 use koala_peps::operators::{kron, pauli_x, pauli_z};
-use koala_peps::{apply_two_site_everywhere, dist_tebd_layer, DistEvolutionVariant, Peps, UpdateMethod};
+use koala_peps::{
+    apply_two_site_everywhere, dist_tebd_layer, DistEvolutionVariant, Peps, UpdateMethod,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,7 +32,9 @@ fn main() {
 
     let mut fig = Figure::new(
         "fig7",
-        &format!("One TEBD layer on a {side}x{side} PEPS ({nranks}-rank virtual cluster for ctf-*)"),
+        &format!(
+            "One TEBD layer on a {side}x{side} PEPS ({nranks}-rank virtual cluster for ctf-*)"
+        ),
         "bond dimension r",
         "seconds (wall clock; ctf-* also reports modelled parallel time)",
     );

@@ -38,7 +38,8 @@ fn main() {
         let peps = Peps::random_no_phys(side, side, r, &mut rng);
 
         if r <= exact_max {
-            let (_, secs) = time_it(|| contract_no_phys(&peps, ContractionMethod::Exact, &mut rng).unwrap());
+            let (_, secs) =
+                time_it(|| contract_no_phys(&peps, ContractionMethod::Exact, &mut rng).unwrap());
             s_exact.push(r as f64, secs);
             println!("exact  r={r:<3} wall={secs:.3}s");
         }

@@ -55,7 +55,10 @@ fn main() {
             expectation(
                 &peps,
                 &obs,
-                ExpectationOptions { method: ContractionMethod::ibmps(contraction_bond), use_cache: true },
+                ExpectationOptions {
+                    method: ContractionMethod::ibmps(contraction_bond),
+                    use_cache: true,
+                },
                 &mut rng,
             )
             .unwrap()
@@ -64,7 +67,10 @@ fn main() {
             expectation(
                 &peps,
                 &obs,
-                ExpectationOptions { method: ContractionMethod::ibmps(contraction_bond), use_cache: false },
+                ExpectationOptions {
+                    method: ContractionMethod::ibmps(contraction_bond),
+                    use_cache: false,
+                },
                 &mut rng,
             )
             .unwrap()

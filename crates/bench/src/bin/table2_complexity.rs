@@ -15,11 +15,8 @@ use rand::SeedableRng;
 
 fn main() {
     let args = BenchArgs::parse();
-    let (side, r, ms): (usize, usize, Vec<usize>) = if args.quick {
-        (5, 3, vec![3, 6, 9, 12])
-    } else {
-        (6, 4, vec![4, 8, 12, 16, 24, 32])
-    };
+    let (side, r, ms): (usize, usize, Vec<usize>) =
+        if args.quick { (5, 3, vec![3, 6, 9, 12]) } else { (6, 4, vec![4, 8, 12, 16, 24, 32]) };
 
     let mut rng = StdRng::seed_from_u64(2_000);
     let peps = Peps::random_no_phys(side, side, r, &mut rng);
@@ -40,7 +37,10 @@ fn main() {
             time_it(|| contract_no_phys(&peps, ContractionMethod::ibmps(m), &mut rng).unwrap());
         s_bmps.push(m as f64, secs_b);
         s_ibmps.push(m as f64, secs_i);
-        println!("m={m:<3} bmps={secs_b:.3}s ibmps={secs_i:.3}s ratio={:.2}", secs_b / secs_i.max(1e-12));
+        println!(
+            "m={m:<3} bmps={secs_b:.3}s ibmps={secs_i:.3}s ratio={:.2}",
+            secs_b / secs_i.max(1e-12)
+        );
     }
 
     let slope_b = log_log_slope(&s_bmps.points);

@@ -1,0 +1,157 @@
+//! Tiny JSON value model and pretty-printer.
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, and the bench
+//! crate only ever *writes* JSON, so this hand-rolled emitter covers that one
+//! need: escaped strings, finite numbers (non-finite values serialise as
+//! `null`, matching serde_json), arrays, and insertion-ordered objects.
+
+use std::fmt::Write as _;
+
+/// A JSON document fragment.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Finite double-precision number.
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Ordered array.
+    Array(Vec<JsonValue>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Number helper (accepts anything convertible to `f64`).
+    pub fn num(x: impl Into<f64>) -> JsonValue {
+        JsonValue::Num(x.into())
+    }
+
+    /// String helper.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Object helper from `(key, value)` pairs.
+    pub fn object<'a>(pairs: impl IntoIterator<Item = (&'a str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        let _ = write!(out, "{:.1}", x);
+                    } else {
+                        let _ = write!(out, "{}", x);
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::JsonValue;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::object([
+            ("name", JsonValue::str("a\"b")),
+            ("pi", JsonValue::num(3.25)),
+            ("whole", JsonValue::num(4.0)),
+            ("bad", JsonValue::Num(f64::NAN)),
+            ("items", JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null])),
+            ("empty", JsonValue::Array(vec![])),
+        ]);
+        let text = v.pretty();
+        assert!(text.contains("\"a\\\"b\""));
+        assert!(text.contains("3.25"));
+        assert!(text.contains("4.0"));
+        assert!(text.contains("\"bad\": null"));
+        assert!(text.contains("[]"));
+        assert!(text.ends_with("}\n"));
+    }
+}

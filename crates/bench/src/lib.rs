@@ -5,8 +5,9 @@
 //! human-readable tables to stdout and, when `--json <path>` is given, also
 //! dump the series as JSON so EXPERIMENTS.md numbers can be regenerated.
 
-use serde::Serialize;
 use std::time::Instant;
+
+pub mod json;
 
 /// Command-line options shared by all figure binaries.
 #[derive(Debug, Clone)]
@@ -44,7 +45,7 @@ impl BenchArgs {
 }
 
 /// One measured point of a benchmark series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// The swept parameter (bond dimension, side length, cores, step, ...).
     pub x: f64,
@@ -53,7 +54,7 @@ pub struct Point {
 }
 
 /// A named series of measurements (one curve of a figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Curve label (matches the paper's legend where possible).
     pub label: String,
@@ -74,7 +75,7 @@ impl Series {
 }
 
 /// A full figure: a title, an x-axis meaning, and a set of curves.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Figure identifier, e.g. "fig8a".
     pub id: String,
@@ -117,18 +118,44 @@ impl Figure {
         }
     }
 
+    /// Render the figure as pretty-printed JSON (same shape as the old
+    /// serde output, kept stable for downstream tooling).
+    pub fn to_json(&self) -> String {
+        use crate::json::JsonValue;
+        let series: Vec<JsonValue> = self
+            .series
+            .iter()
+            .map(|s| {
+                let points: Vec<JsonValue> = s
+                    .points
+                    .iter()
+                    .map(|p| {
+                        JsonValue::object([("x", JsonValue::num(p.x)), ("y", JsonValue::num(p.y))])
+                    })
+                    .collect();
+                JsonValue::object([
+                    ("label", JsonValue::str(&s.label)),
+                    ("points", JsonValue::Array(points)),
+                ])
+            })
+            .collect();
+        JsonValue::object([
+            ("id", JsonValue::str(&self.id)),
+            ("title", JsonValue::str(&self.title)),
+            ("x_label", JsonValue::str(&self.x_label)),
+            ("y_label", JsonValue::str(&self.y_label)),
+            ("series", JsonValue::Array(series)),
+        ])
+        .pretty()
+    }
+
     /// Write the figure as JSON if a path was requested.
     pub fn maybe_write_json(&self, args: &BenchArgs) {
         if let Some(path) = &args.json {
-            match serde_json::to_string_pretty(self) {
-                Ok(text) => {
-                    if let Err(e) = std::fs::write(path, text) {
-                        eprintln!("failed to write {path}: {e}");
-                    } else {
-                        println!("wrote {path}");
-                    }
-                }
-                Err(e) => eprintln!("failed to serialise figure: {e}"),
+            if let Err(e) = std::fs::write(path, self.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                println!("wrote {path}");
             }
         }
     }
@@ -144,11 +171,8 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Least-squares slope of `log(y)` vs `log(x)` — used to report empirical
 /// scaling exponents for the Table II reproduction.
 pub fn log_log_slope(points: &[Point]) -> f64 {
-    let pts: Vec<(f64, f64)> = points
-        .iter()
-        .filter(|p| p.x > 0.0 && p.y > 0.0)
-        .map(|p| (p.x.ln(), p.y.ln()))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        points.iter().filter(|p| p.x > 0.0 && p.y > 0.0).map(|p| (p.x.ln(), p.y.ln())).collect();
     let n = pts.len() as f64;
     if pts.len() < 2 {
         return f64::NAN;

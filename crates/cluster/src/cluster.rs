@@ -12,8 +12,8 @@
 
 use crate::stats::{CommStats, ELEM_BYTES};
 use koala_linalg::C64;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Handle to a virtual cluster of `nranks` ranks.
 #[derive(Clone)]
@@ -42,18 +42,18 @@ impl Cluster {
 
     /// Snapshot of the accumulated statistics.
     pub fn stats(&self) -> CommStats {
-        self.stats.lock().clone()
+        self.stats.lock().expect("stats mutex poisoned").clone()
     }
 
     /// Reset the statistics and return the previous values.
     pub fn reset_stats(&self) -> CommStats {
-        let mut guard = self.stats.lock();
+        let mut guard = self.stats.lock().expect("stats mutex poisoned");
         std::mem::replace(&mut *guard, CommStats::new(self.nranks))
     }
 
     /// Record a point-to-point transfer of `elems` complex numbers.
     pub fn record_p2p(&self, elems: usize) {
-        let mut s = self.stats.lock();
+        let mut s = self.stats.lock().expect("stats mutex poisoned");
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += 1;
     }
@@ -61,7 +61,7 @@ impl Cluster {
     /// Record a collective that moves `elems` complex numbers in total across
     /// the interconnect in `rounds` communication rounds.
     pub fn record_collective(&self, elems: usize, rounds: usize) {
-        let mut s = self.stats.lock();
+        let mut s = self.stats.lock().expect("stats mutex poisoned");
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += (rounds * (self.nranks.saturating_sub(1))) as u64;
         s.collectives += 1;
@@ -71,7 +71,7 @@ impl Cluster {
     /// complex numbers.
     pub fn record_redistribution(&self, elems: usize) {
         {
-            let mut s = self.stats.lock();
+            let mut s = self.stats.lock().expect("stats mutex poisoned");
             s.redistributions += 1;
         }
         self.record_collective(elems, 1);
@@ -79,13 +79,13 @@ impl Cluster {
 
     /// Record `flops` complex multiply-adds executed by `rank`.
     pub fn record_flops(&self, rank: usize, flops: u64) {
-        let mut s = self.stats.lock();
+        let mut s = self.stats.lock().expect("stats mutex poisoned");
         s.rank_flops[rank] += flops;
     }
 
     /// Record identical `flops` on every rank (replicated computation).
     pub fn record_flops_all(&self, flops: u64) {
-        let mut s = self.stats.lock();
+        let mut s = self.stats.lock().expect("stats mutex poisoned");
         for f in &mut s.rank_flops {
             *f += flops;
         }

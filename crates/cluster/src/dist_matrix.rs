@@ -7,7 +7,7 @@
 //! communication counters reflect what a real distributed run would move.
 
 use crate::cluster::Cluster;
-use koala_linalg::{eigh, matmul, matmul_adj_a, scale_cols, scale_rows, C64, Matrix};
+use koala_linalg::{eigh, matmul, matmul_adj_a, scale_cols, scale_rows, Matrix, C64};
 
 /// A matrix distributed over the ranks of a [`Cluster`] by contiguous row
 /// blocks.
@@ -71,11 +71,7 @@ impl DistMatrix {
     /// Assemble the full matrix on every rank (an MPI `allgather`).
     pub fn allgather(&self) -> Matrix {
         // Every rank receives all other blocks.
-        let foreign: usize = self
-            .blocks
-            .iter()
-            .map(|b| b.nrows() * b.ncols())
-            .sum::<usize>();
+        let foreign: usize = self.blocks.iter().map(|b| b.nrows() * b.ncols()).sum::<usize>();
         self.cluster.record_collective(foreign * (self.cluster.nranks() - 1), 1);
         self.gather_local()
     }
@@ -149,12 +145,7 @@ impl DistMatrix {
             self.cluster.record_flops(rank, flops);
             blocks.push(matmul(block, b));
         }
-        DistMatrix {
-            cluster: self.cluster.clone(),
-            nrows: self.nrows,
-            ncols: b.ncols(),
-            blocks,
-        }
+        DistMatrix { cluster: self.cluster.clone(), nrows: self.nrows, ncols: b.ncols(), blocks }
     }
 
     /// `C = self * other` where both operands are row-distributed. `other` is
@@ -195,17 +186,20 @@ impl DistMatrix {
             self.cluster.record_flops(rank, flops);
             acc += &matmul_adj_a(block, &x_block);
         }
-        self.cluster
-            .record_collective(self.ncols * x.ncols() * (self.cluster.nranks() - 1), 2);
+        self.cluster.record_collective(self.ncols * x.ncols() * (self.cluster.nranks() - 1), 2);
         acc
     }
 
     /// Frobenius norm (local partial norms + allreduce of a scalar).
     pub fn norm_fro(&self) -> f64 {
-        let sum: f64 = self.blocks.iter().map(|b| {
-            let n = b.norm_fro();
-            n * n
-        }).sum();
+        let sum: f64 = self
+            .blocks
+            .iter()
+            .map(|b| {
+                let n = b.norm_fro();
+                n * n
+            })
+            .sum();
         self.cluster.record_collective(self.cluster.nranks() - 1, 2);
         sum.sqrt()
     }
@@ -287,7 +281,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn cluster_and_matrix(nranks: usize, m: usize, n: usize, seed: u64) -> (Cluster, Matrix, DistMatrix) {
+    fn cluster_and_matrix(
+        nranks: usize,
+        m: usize,
+        n: usize,
+        seed: u64,
+    ) -> (Cluster, Matrix, DistMatrix) {
         let cluster = Cluster::new(nranks);
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Matrix::random(m, n, &mut rng);

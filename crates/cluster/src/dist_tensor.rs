@@ -164,10 +164,8 @@ impl DistTensor {
         let order: Vec<usize> = std::iter::once(self.dist_axis)
             .chain((0..ndim).filter(|&a| a != self.dist_axis))
             .collect();
-        let block_axes_self: Vec<usize> = axes_self
-            .iter()
-            .map(|&a| order.iter().position(|&o| o == a).unwrap())
-            .collect();
+        let block_axes_self: Vec<usize> =
+            axes_self.iter().map(|&a| order.iter().position(|&o| o == a).unwrap()).collect();
 
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (rank, b) in self.blocks.iter().enumerate() {
@@ -184,7 +182,8 @@ impl DistTensor {
         // Result shape: free axes of self (original order) then free axes of other.
         let free_self: Vec<usize> = (0..ndim).filter(|a| !axes_self.contains(a)).collect();
         let mut out_shape: Vec<usize> = free_self.iter().map(|&a| self.shape[a]).collect();
-        out_shape.extend((0..other.ndim()).filter(|a| !axes_other.contains(a)).map(|a| other.dim(a)));
+        out_shape
+            .extend((0..other.ndim()).filter(|a| !axes_other.contains(a)).map(|a| other.dim(a)));
         // The distributed axis is now the first free axis of the block result;
         // its global position is the index of dist_axis within free_self.
         let new_dist_axis = free_self.iter().position(|&a| a == self.dist_axis).unwrap();
@@ -247,7 +246,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup(nranks: usize, shape: &[usize], axis: usize, seed: u64) -> (Cluster, Tensor, DistTensor) {
+    fn setup(
+        nranks: usize,
+        shape: &[usize],
+        axis: usize,
+        seed: u64,
+    ) -> (Cluster, Tensor, DistTensor) {
         let cluster = Cluster::new(nranks);
         let mut rng = StdRng::seed_from_u64(seed);
         let t = Tensor::random(shape, &mut rng);

@@ -261,7 +261,8 @@ mod tests {
                 .unwrap();
 
             let mut local_peps = base.clone();
-            apply_two_site(&mut local_peps, &gate, (0, 0), (0, 1), UpdateMethod::qr_svd(8)).unwrap();
+            apply_two_site(&mut local_peps, &gate, (0, 0), (0, 1), UpdateMethod::qr_svd(8))
+                .unwrap();
 
             let d1 = dist_peps.to_dense().unwrap();
             let d2 = local_peps.to_dense().unwrap();
@@ -293,10 +294,7 @@ mod tests {
             .unwrap();
             let mut local_peps = base.clone();
             apply_two_site(&mut local_peps, &gate, a, b, UpdateMethod::qr_svd(8)).unwrap();
-            assert!(dist_peps
-                .to_dense()
-                .unwrap()
-                .approx_eq(&local_peps.to_dense().unwrap(), 1e-6));
+            assert!(dist_peps.to_dense().unwrap().approx_eq(&local_peps.to_dense().unwrap(), 1e-6));
         }
     }
 
@@ -314,7 +312,8 @@ mod tests {
 
         let cluster_b = Cluster::new(8);
         let mut p = base.clone();
-        dist_tebd_layer(&cluster_b, &mut p, &gate, 4, DistEvolutionVariant::LocalGramQrSvd).unwrap();
+        dist_tebd_layer(&cluster_b, &mut p, &gate, 4, DistEvolutionVariant::LocalGramQrSvd)
+            .unwrap();
         let bytes_gram = cluster_b.stats().bytes_communicated;
         let redist_gram = cluster_b.stats().redistributions;
 
@@ -330,8 +329,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let peps = Peps::random_no_phys(3, 3, 2, &mut rng);
         let cluster = Cluster::new(4);
-        let dist = dist_contract_no_phys(&cluster, &peps, ContractionMethod::bmps(8), &mut rng)
-            .unwrap();
+        let dist =
+            dist_contract_no_phys(&cluster, &peps, ContractionMethod::bmps(8), &mut rng).unwrap();
         let local = contract_no_phys(&peps, ContractionMethod::bmps(8), &mut rng).unwrap();
         assert!(dist.approx_eq(local, 1e-6 * local.abs().max(1e-12)));
         let stats = cluster.stats();
@@ -340,8 +339,8 @@ mod tests {
 
         // IBMPS charges no redistributions.
         let cluster2 = Cluster::new(4);
-        let _ = dist_contract_no_phys(&cluster2, &peps, ContractionMethod::ibmps(8), &mut rng)
-            .unwrap();
+        let _ =
+            dist_contract_no_phys(&cluster2, &peps, ContractionMethod::ibmps(8), &mut rng).unwrap();
         assert_eq!(cluster2.stats().redistributions, 0);
         assert!(cluster2.stats().bytes_communicated < stats.bytes_communicated);
     }

@@ -423,7 +423,8 @@ mod tests {
         let mut peps = Peps::random(3, 3, 2, 2, &mut rng);
         let norm = peps.norm_sqr_dense().unwrap().sqrt();
         peps.scale(c64(1.0 / norm, 0.0));
-        let obs = Observable::zz((1, 0), (1, 1)) + Observable::zz((1, 1), (2, 1))
+        let obs = Observable::zz((1, 0), (1, 1))
+            + Observable::zz((1, 1), (2, 1))
             + 0.4 * Observable::x((2, 2));
         let cached = expectation(
             &peps,
@@ -496,7 +497,8 @@ mod tests {
         let mpo = row_as_mpo(&merged, 1).unwrap();
         let mid = apply_row(&top, &mpo, ContractionMethod::bmps(16), &mut rng).unwrap();
         let closed = mid.dot(cache.bottom(1).unwrap()).unwrap();
-        let direct = crate::contract::norm_sqr(&peps, ContractionMethod::bmps(16), &mut rng).unwrap();
+        let direct =
+            crate::contract::norm_sqr(&peps, ContractionMethod::bmps(16), &mut rng).unwrap();
         assert!((closed.re - direct).abs() / direct < 1e-6);
     }
 }

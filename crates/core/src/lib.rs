@@ -52,7 +52,9 @@ pub mod two_layer;
 pub mod update;
 
 pub use contract::{amplitude, contract_no_phys, inner_merged, norm_sqr, ContractionMethod};
-pub use dist::{dist_contract_no_phys, dist_tebd_layer, dist_two_site_update, DistEvolutionVariant};
+pub use dist::{
+    dist_contract_no_phys, dist_tebd_layer, dist_two_site_update, DistEvolutionVariant,
+};
 pub use expectation::{expectation, expectation_normalized, EnvCache, ExpectationOptions};
 pub use operators::{LocalTerm, Observable};
 pub use peps::{Direction, Peps, Site};

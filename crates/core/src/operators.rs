@@ -3,35 +3,23 @@
 //! (Hamiltonians for ITE/VQE, measurement operators for expectation values).
 
 use crate::peps::{Peps, Result, Site};
-use koala_linalg::{c64, C64, Matrix};
+use koala_linalg::{c64, Matrix, C64};
 use koala_tensor::TensorError;
 use std::ops::{Add, Mul};
 
 /// Pauli X matrix.
 pub fn pauli_x() -> Matrix {
-    Matrix::from_rows(&[
-        vec![C64::ZERO, C64::ONE],
-        vec![C64::ONE, C64::ZERO],
-    ])
-    .unwrap()
+    Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]]).unwrap()
 }
 
 /// Pauli Y matrix.
 pub fn pauli_y() -> Matrix {
-    Matrix::from_rows(&[
-        vec![C64::ZERO, c64(0.0, -1.0)],
-        vec![c64(0.0, 1.0), C64::ZERO],
-    ])
-    .unwrap()
+    Matrix::from_rows(&[vec![C64::ZERO, c64(0.0, -1.0)], vec![c64(0.0, 1.0), C64::ZERO]]).unwrap()
 }
 
 /// Pauli Z matrix.
 pub fn pauli_z() -> Matrix {
-    Matrix::from_rows(&[
-        vec![C64::ONE, C64::ZERO],
-        vec![C64::ZERO, c64(-1.0, 0.0)],
-    ])
-    .unwrap()
+    Matrix::from_rows(&[vec![C64::ONE, C64::ZERO], vec![C64::ZERO, c64(-1.0, 0.0)]]).unwrap()
 }
 
 /// 2x2 identity.
@@ -101,9 +89,11 @@ impl LocalTerm {
             LocalTerm::OneSite { site, matrix } => {
                 LocalTerm::OneSite { site: *site, matrix: matrix.scale(factor) }
             }
-            LocalTerm::TwoSite { site_a, site_b, matrix } => {
-                LocalTerm::TwoSite { site_a: *site_a, site_b: *site_b, matrix: matrix.scale(factor) }
-            }
+            LocalTerm::TwoSite { site_a, site_b, matrix } => LocalTerm::TwoSite {
+                site_a: *site_a,
+                site_b: *site_b,
+                matrix: matrix.scale(factor),
+            },
         }
     }
 }
@@ -332,9 +322,7 @@ impl Add for Observable {
 impl Mul<Observable> for f64 {
     type Output = Observable;
     fn mul(self, rhs: Observable) -> Observable {
-        Observable {
-            terms: rhs.terms.iter().map(|t| t.scaled(c64(self, 0.0))).collect(),
-        }
+        Observable { terms: rhs.terms.iter().map(|t| t.scaled(c64(self, 0.0))).collect() }
     }
 }
 
@@ -434,11 +422,7 @@ mod tests {
 
     #[test]
     fn row_span_of_terms() {
-        let t = LocalTerm::TwoSite {
-            site_a: (1, 0),
-            site_b: (2, 0),
-            matrix: Matrix::identity(4),
-        };
+        let t = LocalTerm::TwoSite { site_a: (1, 0), site_b: (2, 0), matrix: Matrix::identity(4) };
         assert_eq!(t.row_span(), (1, 2));
         let o = LocalTerm::OneSite { site: (3, 1), matrix: Matrix::identity(2) };
         assert_eq!(o.row_span(), (3, 3));

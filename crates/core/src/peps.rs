@@ -6,7 +6,7 @@
 //! lattice have dimension 1. This matches the layout used by the original
 //! Koala library (a dictionary of site tensors keyed by grid position).
 
-use koala_linalg::{C64, Matrix};
+use koala_linalg::{Matrix, C64};
 use koala_tensor::{tensordot, Tensor, TensorError};
 use rand::Rng;
 
@@ -279,12 +279,9 @@ impl Peps {
 
     /// Direction from `a` to `b` if they are nearest neighbours.
     pub fn direction_between(&self, a: Site, b: Site) -> Option<Direction> {
-        for dir in [Direction::Up, Direction::Down, Direction::Left, Direction::Right] {
-            if self.neighbor(a, dir) == Some(b) {
-                return Some(dir);
-            }
-        }
-        None
+        [Direction::Up, Direction::Down, Direction::Left, Direction::Right]
+            .into_iter()
+            .find(|&dir| self.neighbor(a, dir) == Some(b))
     }
 
     /// All horizontal nearest-neighbour pairs (left site first).
@@ -344,8 +341,7 @@ impl Peps {
                     }
                     Some(prev) => {
                         // prev [.., r_prev], site [l, p, u, d, r]
-                        let joined = tensordot(&prev, &site, &[prev.ndim() - 1], &[0])?;
-                        joined
+                        tensordot(&prev, &site, &[prev.ndim() - 1], &[0])?
                     }
                 });
             }
@@ -444,13 +440,8 @@ impl Peps {
             // [ub, lb, db, rb, uk, lk, dk, rk] -> [ub, uk, lb, lk, db, dk, rb, rk]
             let pair = pair.permute(&[0, 4, 1, 5, 2, 6, 3, 7])?;
             let s = pair.shape().to_vec();
-            let merged = pair.into_reshape(&[
-                1,
-                s[0] * s[1],
-                s[2] * s[3],
-                s[4] * s[5],
-                s[6] * s[7],
-            ])?;
+            let merged =
+                pair.into_reshape(&[1, s[0] * s[1], s[2] * s[3], s[4] * s[5], s[6] * s[7]])?;
             tensors.push(merged);
         }
         Peps::new(self.nrows, self.ncols, tensors)

@@ -12,7 +12,7 @@
 //! the two-layer IBMPS column of Table II its lower time and space complexity.
 
 use crate::peps::{Peps, Result, AX_D, AX_L, AX_P, AX_R, AX_U};
-use koala_linalg::{rsvd, C64, LinearOp, Matrix, RsvdOptions};
+use koala_linalg::{rsvd, LinearOp, Matrix, RsvdOptions, C64};
 use koala_mps::Mps;
 use koala_tensor::{tensordot, Tensor, TensorError};
 use rand::Rng;
@@ -87,7 +87,7 @@ fn merged_row_mps(bra: &Peps, ket: &Peps, row: usize) -> Result<Mps> {
             });
         }
         // conj(a)[p, 1, la, da, ra] x b[p, 1, lb, db, rb] -> [la, da, ra, lb, db, rb]
-        let pair = tensordot(&a.conj().select(AX_U, 1 - 1)?, &b.select(AX_U, 0)?, &[0], &[0])?;
+        let pair = tensordot(&a.conj().select(AX_U, 0)?, &b.select(AX_U, 0)?, &[0], &[0])?;
         // -> [la, lb, da, db, ra, rb] -> [(la lb), (da db), (ra rb)]
         let pair = pair.permute(&[0, 3, 1, 4, 2, 5])?;
         let s = pair.shape().to_vec();
@@ -119,10 +119,10 @@ fn apply_two_layer_row<R: Rng + ?Sized>(
     let s0 = s0.reshape(&[u_a, u_b, s0.dim(2)])?; // [uA, uB, r_s]
     let a0 = a_sites[0].conj().select(AX_L, 0)?; // [p, uA, dA, rA']
     let b0 = b_sites[0].select(AX_L, 0)?; // [p, uB, dB, rB']
-    // contract over uA: [uB, r_s] x ... -> do it in two steps
+                                          // contract over uA: [uB, r_s] x ... -> do it in two steps
     let t = tensordot(&s0, &a0, &[0], &[1])?; // [uB, r_s, p, dA, rA']
     let t = tensordot(&t, &b0, &[0, 2], &[1, 0])?; // [r_s, dA, rA', dB, rB']
-    // boundary layout: [l(=1), d_pair, r_s, rA, rB]
+                                                   // boundary layout: [l(=1), d_pair, r_s, rA, rB]
     let (rs, da, rap, db, rbp) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3), t.dim(4));
     let t = t.permute(&[1, 3, 0, 2, 4])?; // [dA, dB, r_s, rA', rB']
     let mut boundary = t.into_reshape(&[1, da * db, rs, rap, rbp])?;
@@ -214,7 +214,8 @@ impl LinearOp for TwoLayerStepOp<'_> {
         //   -> [p, uB, lB, dA, r_s', rA', k]
         let w1 = tensordot(self.b, &xt, &[AX_D, AX_R], &[1, 4]).expect("two-layer w1");
         // conj(A) [p, uA, lA, dA, rA'] x W1 over (p, dA, rA') -> [uA, lA, uB, lB, r_s', k]
-        let w2 = tensordot(&self.a_conj, &w1, &[AX_P, AX_D, AX_R], &[0, 3, 5]).expect("two-layer w2");
+        let w2 =
+            tensordot(&self.a_conj, &w1, &[AX_P, AX_D, AX_R], &[0, 3, 5]).expect("two-layer w2");
         // S [r_s, uA, uB, r_s'] x W2 over (uA, uB, r_s') -> [r_s, lA, lB, k]
         let w3 = tensordot(&self.s_split(), &w2, &[1, 2, 3], &[0, 2, 4]).expect("two-layer w3");
         // V [l, d_pair, r_s, rA, rB] x W3 over (r_s, rA=lA, rB=lB) -> [l, d_pair, k]
@@ -236,7 +237,8 @@ impl LinearOp for TwoLayerStepOp<'_> {
         let a_plain = self.a_conj.conj();
         let z3 = tensordot(&a_plain, &z2, &[AX_U, AX_L], &[0, 3]).expect("two-layer z3");
         // conj(B) [p, uB, lB, dB, rB'] x Z3 over (p, uB, lB=rB) -> [dB, rB', dA, rA', r_s', k]
-        let z4 = tensordot(&self.b.conj(), &z3, &[AX_P, AX_U, AX_L], &[0, 3, 5]).expect("two-layer z4");
+        let z4 =
+            tensordot(&self.b.conj(), &z3, &[AX_P, AX_U, AX_L], &[0, 3, 5]).expect("two-layer z4");
         // -> [dA, dB, r_s', rA', rB', k]
         let out = z4.permute(&[2, 0, 4, 3, 1, 5]).expect("two-layer out permute");
         out.unfold(5)

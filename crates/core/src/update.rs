@@ -13,9 +13,13 @@
 //!   through a Gram matrix (the local math of Algorithm 5), the variant that
 //!   avoids matricizing the big site tensors on the distributed backend.
 
-use crate::peps::{check_one_site_gate, Direction, Peps, Result, Site, AX_D, AX_L, AX_P, AX_R, AX_U};
+use crate::peps::{
+    check_one_site_gate, Direction, Peps, Result, Site, AX_D, AX_L, AX_P, AX_R, AX_U,
+};
 use koala_linalg::Matrix;
-use koala_tensor::{gram_qr_split, qr_split, svd_split, tensordot, Tensor, TensorError, Truncation};
+use koala_tensor::{
+    gram_qr_split, qr_split, svd_split, tensordot, Tensor, TensorError, Truncation,
+};
 
 /// Strategy for two-site operator application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,8 +187,8 @@ pub(crate) fn invert5(perm: [usize; 5]) -> [usize; 5] {
 
 /// Simple update: contract everything, apply the gate, split with one SVD.
 fn direct_update(
-    a: &Tensor, // [pa, o1, o2, o3, bond]
-    b: &Tensor, // [pb, bond, o1, o2, o3]
+    a: &Tensor,    // [pa, o1, o2, o3, bond]
+    b: &Tensor,    // [pb, bond, o1, o2, o3]
     gate: &Tensor, // [pa', pb', pa, pb]
     truncation: Truncation,
 ) -> Result<(Tensor, Tensor, f64)> {
@@ -205,17 +209,19 @@ fn direct_update(
 /// QR-SVD update (Algorithm 1): QR both sites, apply the gate to the small
 /// `R` factors, SVD, and recombine with the `Q` factors.
 fn qr_svd_update(
-    a: &Tensor, // [pa, o1, o2, o3, bond]
-    b: &Tensor, // [pb, bond, o1, o2, o3]
+    a: &Tensor,    // [pa, o1, o2, o3, bond]
+    b: &Tensor,    // [pb, bond, o1, o2, o3]
     gate: &Tensor, // [pa', pb', pa, pb]
     truncation: Truncation,
     use_gram: bool,
 ) -> Result<(Tensor, Tensor, f64)> {
     // Step (1)->(2): split off the outer bonds.
     // a: rows = outer bonds (1,2,3) -> Q_a [o1,o2,o3,ka], R_a [ka, pa, bond]
-    let (q_a, r_a) = if use_gram { gram_qr_split(a, &[1, 2, 3])? } else { qr_split(a, &[1, 2, 3])? };
+    let (q_a, r_a) =
+        if use_gram { gram_qr_split(a, &[1, 2, 3])? } else { qr_split(a, &[1, 2, 3])? };
     // b: rows = outer bonds (2,3,4) -> Q_b [o1,o2,o3,kb], R_b [kb, pb, bond]
-    let (q_b, r_b) = if use_gram { gram_qr_split(b, &[2, 3, 4])? } else { qr_split(b, &[2, 3, 4])? };
+    let (q_b, r_b) =
+        if use_gram { gram_qr_split(b, &[2, 3, 4])? } else { qr_split(b, &[2, 3, 4])? };
 
     // Step (2)->(4): einsumsvd on {gate, R_a, R_b}.
     let (rt_a, rt_b, err) = small_einsumsvd(gate, &r_a, &r_b, truncation)?;
@@ -224,7 +230,7 @@ fn qr_svd_update(
     // new_a [o1,o2,o3, pa', k] <- Q_a [o1,o2,o3,ka] x rt_a [ka, pa', k]
     let new_a = tensordot(&q_a, &rt_a, &[3], &[0])?;
     let new_a = new_a.permute(&[3, 0, 1, 2, 4])?; // [pa', o1, o2, o3, k]
-    // new_b [k, pb', o1,o2,o3] <- rt_b [k, kb, pb'] x Q_b [o1,o2,o3,kb]
+                                                  // new_b [k, pb', o1,o2,o3] <- rt_b [k, kb, pb'] x Q_b [o1,o2,o3,kb]
     let new_b = tensordot(&rt_b, &q_b, &[1], &[3])?; // [k, pb', o1, o2, o3]
     let new_b = new_b.permute(&[1, 0, 2, 3, 4])?; // [pb', k, o1, o2, o3]
     Ok((new_a, new_b, err))
@@ -380,7 +386,8 @@ mod tests {
         apply_one_site(&mut peps, &pauli_x(), (1, 0)).unwrap();
         let dense_after = peps.to_dense().unwrap();
         let g = T::from_matrix_2d(&pauli_x());
-        let expected = tensordot(&g, &dense_before, &[1], &[2]).unwrap().permute(&[1, 2, 0, 3]).unwrap();
+        let expected =
+            tensordot(&g, &dense_before, &[1], &[2]).unwrap().permute(&[1, 2, 0, 3]).unwrap();
         assert!(dense_after.approx_eq(&expected, 1e-10));
         // Wrong dimension is rejected.
         assert!(apply_one_site(&mut peps, &Matrix::identity(3), (0, 0)).is_err());
@@ -452,11 +459,9 @@ mod tests {
         let gate = expm_hermitian(&h, c64(0.0, -0.7)).unwrap();
 
         let mut results = Vec::new();
-        for method in [
-            UpdateMethod::direct(3),
-            UpdateMethod::qr_svd(3),
-            UpdateMethod::gram_qr_svd(3),
-        ] {
+        for method in
+            [UpdateMethod::direct(3), UpdateMethod::qr_svd(3), UpdateMethod::gram_qr_svd(3)]
+        {
             let mut p = base.clone();
             apply_two_site(&mut p, &gate, (0, 1), (0, 2), method).unwrap();
             results.push(p.to_dense().unwrap());
@@ -474,7 +479,8 @@ mod tests {
         // A random (non-unitary) gate creates entanglement that cannot fit in
         // a bond of dimension 1.
         let gate = Matrix::random(4, 4, &mut rng);
-        let err = apply_two_site(&mut peps, &gate, (0, 0), (0, 1), UpdateMethod::direct(1)).unwrap();
+        let err =
+            apply_two_site(&mut peps, &gate, (0, 0), (0, 1), UpdateMethod::direct(1)).unwrap();
         assert!(err > 1e-8, "expected a nonzero truncation error");
         assert_eq!(peps.tensor((0, 0)).dim(AX_R), 1);
     }
@@ -485,10 +491,14 @@ mod tests {
         let mut peps = Peps::random(2, 2, 2, 2, &mut rng);
         let gate = Matrix::identity(4);
         assert!(apply_two_site(&mut peps, &gate, (0, 0), (1, 1), UpdateMethod::direct(4)).is_err());
-        assert!(
-            apply_two_site(&mut peps, &Matrix::identity(3), (0, 0), (0, 1), UpdateMethod::direct(4))
-                .is_err()
-        );
+        assert!(apply_two_site(
+            &mut peps,
+            &Matrix::identity(3),
+            (0, 0),
+            (0, 1),
+            UpdateMethod::direct(4)
+        )
+        .is_err());
     }
 
     #[test]
@@ -555,7 +565,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(51);
         let mut peps = Peps::random(2, 2, 2, 2, &mut rng);
         let gate = Matrix::identity(4);
-        assert!(apply_two_site_any(&mut peps, &gate, (0, 0), (0, 1), UpdateMethod::direct(8)).is_ok());
-        assert!(apply_two_site_any(&mut peps, &gate, (0, 0), (0, 0), UpdateMethod::direct(8)).is_err());
+        assert!(
+            apply_two_site_any(&mut peps, &gate, (0, 0), (0, 1), UpdateMethod::direct(8)).is_ok()
+        );
+        assert!(
+            apply_two_site_any(&mut peps, &gate, (0, 0), (0, 0), UpdateMethod::direct(8)).is_err()
+        );
     }
 }

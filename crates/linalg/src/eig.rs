@@ -123,7 +123,10 @@ pub fn eigh(a: &Matrix) -> Result<EigH> {
         }
     }
     if !converged && off(&h) > 1e-8 * h.norm_fro().max(1e-300) {
-        return Err(LinalgError::NoConvergence { algorithm: "jacobi-eigh", iterations: MAX_SWEEPS });
+        return Err(LinalgError::NoConvergence {
+            algorithm: "jacobi-eigh",
+            iterations: MAX_SWEEPS,
+        });
     }
 
     let mut order: Vec<usize> = (0..n).collect();
@@ -189,12 +192,8 @@ mod tests {
     #[test]
     fn pauli_y_eigenvalues() {
         // Y = [[0, -i], [i, 0]] has eigenvalues -1, +1.
-        let a = Matrix::from_vec(
-            2,
-            2,
-            vec![C64::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), C64::ZERO],
-        )
-        .unwrap();
+        let a = Matrix::from_vec(2, 2, vec![C64::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), C64::ZERO])
+            .unwrap();
         let e = check_eigh(&a, 1e-12);
         assert!((e.values[0] + 1.0).abs() < 1e-12);
         assert!((e.values[1] - 1.0).abs() < 1e-12);

@@ -84,23 +84,14 @@ mod tests {
     #[test]
     fn pauli_rotation_matches_closed_form() {
         // exp(-i theta/2 * Y) = [[cos(t/2), -sin(t/2)], [sin(t/2), cos(t/2)]]
-        let y = Matrix::from_vec(
-            2,
-            2,
-            vec![C64::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), C64::ZERO],
-        )
-        .unwrap();
+        let y = Matrix::from_vec(2, 2, vec![C64::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), C64::ZERO])
+            .unwrap();
         let theta = 0.9f64;
         let u = expm_hermitian(&y, c64(0.0, -theta / 2.0)).unwrap();
         let expected = Matrix::from_real(
             2,
             2,
-            &[
-                (theta / 2.0).cos(),
-                -(theta / 2.0).sin(),
-                (theta / 2.0).sin(),
-                (theta / 2.0).cos(),
-            ],
+            &[(theta / 2.0).cos(), -(theta / 2.0).sin(), (theta / 2.0).sin(), (theta / 2.0).cos()],
         )
         .unwrap();
         assert!(u.approx_eq(&expected, 1e-12));

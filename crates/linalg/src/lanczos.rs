@@ -83,7 +83,8 @@ pub fn lanczos_ground_state<O: HermitianOp, R: Rng + ?Sized>(
     let m = max_krylov.min(n).max(1);
 
     // Random normalized start vector.
-    let mut v0: Vec<C64> = (0..n).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+    let mut v0: Vec<C64> =
+        (0..n).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
     let nv = norm(&v0);
     v0.iter_mut().for_each(|z| *z = z.scale(1.0 / nv));
 
@@ -139,7 +140,7 @@ pub fn lanczos_ground_state<O: HermitianOp, R: Rng + ?Sized>(
         axpy(&mut res, c64(-lambda, 0.0), &ritz);
         let resid = norm(&res);
         let result = LanczosResult { value: lambda, vector: ritz, iterations: k };
-        let improved = best.as_ref().map_or(true, |b| lambda < b.value + 1e-14);
+        let improved = best.as_ref().is_none_or(|b| lambda < b.value + 1e-14);
         if improved {
             best = Some(result);
         }

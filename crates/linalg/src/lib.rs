@@ -32,6 +32,8 @@ pub mod gemm;
 pub mod gram;
 pub mod lanczos;
 pub mod matrix;
+pub mod microkernel;
+pub mod pack;
 pub mod qr;
 pub mod rsvd;
 pub mod solve;
@@ -43,10 +45,12 @@ pub use scalar::{c64, C64};
 
 pub use eig::{eigh, eigvalsh, funm_hermitian, EigH};
 pub use expm::{expm, expm_hermitian};
-pub use gemm::{gemm, matmul, matmul_adj_a, matmul_adj_b, Op};
+pub use gemm::{gemm, gemm_into, matmul, matmul_adj_a, matmul_adj_b, Op};
 pub use gram::{gram_orthonormalize, gram_qr, GramQr};
 pub use lanczos::{lanczos_ground_state, DenseHermitianOp, HermitianOp, LanczosResult};
 pub use qr::{orthonormalize, qr, QrFactors};
 pub use rsvd::{rsvd, rsvd_matrix, ComposedOp, LinearOp, MatOp, RsvdOptions};
 pub use solve::{inverse, lu, solve, solve_upper_triangular, upper_triangular_inverse};
-pub use svd::{low_rank_factors, scale_cols, scale_rows, spectral_norm, svd, svd_gram, svd_truncated, Svd};
+pub use svd::{
+    low_rank_factors, scale_cols, scale_rows, spectral_norm, svd, svd_gram, svd_truncated, Svd,
+};

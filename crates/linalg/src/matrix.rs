@@ -177,23 +177,35 @@ impl Matrix {
         }
     }
 
-    /// Transpose (no conjugation).
+    /// Transpose (no conjugation). Runs in `32 x 32` cache tiles so both the
+    /// row reads and the column writes stay cache-resident on large matrices.
+    ///
+    /// Note the GEMM layer never calls this: [`crate::gemm::gemm`] fuses
+    /// transposition into operand packing instead of materialising a copy.
     pub fn transpose(&self) -> Matrix {
-        let mut t = Matrix::zeros(self.ncols, self.nrows);
-        for i in 0..self.nrows {
-            for j in 0..self.ncols {
-                t[(j, i)] = self[(i, j)];
-            }
-        }
-        t
+        self.transpose_with(|z| z)
     }
 
-    /// Conjugate transpose `A^H`.
+    /// Conjugate transpose `A^H` (cache-blocked like [`Matrix::transpose`]).
     pub fn adjoint(&self) -> Matrix {
-        let mut t = Matrix::zeros(self.ncols, self.nrows);
-        for i in 0..self.nrows {
-            for j in 0..self.ncols {
-                t[(j, i)] = self[(i, j)].conj();
+        self.transpose_with(C64::conj)
+    }
+
+    fn transpose_with(&self, f: impl Fn(C64) -> C64) -> Matrix {
+        const B: usize = 32;
+        let (m, n) = self.shape();
+        let mut t = Matrix::zeros(n, m);
+        let src = &self.data;
+        let dst = t.data_mut();
+        for i0 in (0..m).step_by(B) {
+            let imax = (i0 + B).min(m);
+            for j0 in (0..n).step_by(B) {
+                let jmax = (j0 + B).min(n);
+                for i in i0..imax {
+                    for j in j0..jmax {
+                        dst[j * m + i] = f(src[i * n + j]);
+                    }
+                }
             }
         }
         t
@@ -303,11 +315,7 @@ impl Matrix {
     /// Maximum entry-wise deviation from another matrix.
     pub fn max_diff(&self, other: &Matrix) -> f64 {
         assert_eq!(self.shape(), other.shape(), "max_diff: shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max)
     }
 
     /// True if `self` is entry-wise within `tol` of `other`.

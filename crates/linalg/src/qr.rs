@@ -191,10 +191,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(24);
         let a = Matrix::random(6, 6, &mut rng);
         assert!(qr_square_invertible(&a).is_ok());
-        assert!(matches!(
-            qr_square_invertible(&Matrix::zeros(3, 3)),
-            Err(LinalgError::Singular)
-        ));
+        assert!(matches!(qr_square_invertible(&Matrix::zeros(3, 3)), Err(LinalgError::Singular)));
         assert!(matches!(
             qr_square_invertible(&Matrix::zeros(3, 4)),
             Err(LinalgError::NotSquare { .. })

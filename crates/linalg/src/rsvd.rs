@@ -62,11 +62,7 @@ pub struct ComposedOp<L: LinearOp, R: LinearOp> {
 impl<L: LinearOp, R: LinearOp> ComposedOp<L, R> {
     /// Compose `left * right` (so `apply(x) = left.apply(right.apply(x))`).
     pub fn new(left: L, right: R) -> Self {
-        assert_eq!(
-            left.ncols(),
-            right.nrows(),
-            "ComposedOp: inner dimensions do not match"
-        );
+        assert_eq!(left.ncols(), right.nrows(), "ComposedOp: inner dimensions do not match");
         ComposedOp { left, right }
     }
 }
@@ -178,10 +174,11 @@ mod tests {
     #[test]
     fn truncation_close_to_optimal_for_decaying_spectrum() {
         let mut rng = StdRng::seed_from_u64(71);
-        let spectrum: Vec<f64> = (0..12).map(|i| (2.0f64).powi(-(i as i32))).collect();
+        let spectrum: Vec<f64> = (0..12).map(|i| (2.0f64).powi(-i)).collect();
         let a = matrix_with_spectrum(40, 25, &spectrum, &mut rng);
         let k = 5;
-        let f = rsvd_matrix(&a, RsvdOptions { rank: k, oversample: 10, n_iter: 3 }, &mut rng).unwrap();
+        let f =
+            rsvd_matrix(&a, RsvdOptions { rank: k, oversample: 10, n_iter: 3 }, &mut rng).unwrap();
         let err = (&a - &f.reconstruct()).norm_fro();
         let optimal: f64 = spectrum[k..].iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(err < 2.0 * optimal + 1e-12, "rsvd error {err} vs optimal {optimal}");
@@ -217,7 +214,9 @@ mod tests {
     fn zero_rank_rejected() {
         let mut rng = StdRng::seed_from_u64(74);
         let a = Matrix::random(3, 3, &mut rng);
-        assert!(rsvd_matrix(&a, RsvdOptions { rank: 0, oversample: 0, n_iter: 0 }, &mut rng).is_err());
+        assert!(
+            rsvd_matrix(&a, RsvdOptions { rank: 0, oversample: 0, n_iter: 0 }, &mut rng).is_err()
+        );
     }
 
     #[test]

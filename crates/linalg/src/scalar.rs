@@ -108,10 +108,7 @@ impl C64 {
     /// keep everything in registers in the GEMM inner loop.
     #[inline(always)]
     pub fn mul_add(self, a: C64, b: C64) -> Self {
-        C64 {
-            re: self.re + a.re * b.re - a.im * b.im,
-            im: self.im + a.re * b.im + a.im * b.re,
-        }
+        C64 { re: self.re + a.re * b.re - a.im * b.im, im: self.im + a.re * b.im + a.im * b.re }
     }
 
     /// True if either component is NaN.
@@ -204,16 +201,14 @@ impl Mul for C64 {
     type Output = C64;
     #[inline(always)]
     fn mul(self, rhs: C64) -> C64 {
-        C64 {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        C64 { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 
 impl Div for C64 {
     type Output = C64;
     #[inline(always)]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^-1 by definition
     fn div(self, rhs: C64) -> C64 {
         self * rhs.inv()
     }
@@ -383,7 +378,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let v = vec![c64(1.0, 1.0), c64(2.0, -0.5), c64(-0.5, 0.25)];
+        let v = [c64(1.0, 1.0), c64(2.0, -0.5), c64(-0.5, 0.25)];
         let s: C64 = v.iter().sum();
         assert!(s.approx_eq(c64(2.5, 0.75), TOL));
     }

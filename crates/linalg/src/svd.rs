@@ -40,11 +40,7 @@ impl Svd {
     /// Keep only the leading `k` singular triplets.
     pub fn truncated(&self, k: usize) -> Svd {
         let k = k.min(self.s.len());
-        Svd {
-            u: self.u.truncate_cols(k),
-            s: self.s[..k].to_vec(),
-            vh: self.vh.truncate_rows(k),
-        }
+        Svd { u: self.u.truncate_cols(k), s: self.s[..k].to_vec(), vh: self.vh.truncate_rows(k) }
     }
 
     /// Frobenius norm of the discarded part if truncated to rank `k`
@@ -191,7 +187,8 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     }
 
     // Extract singular values and left vectors.
-    let mut sigma: Vec<f64> = w.iter().map(|col| col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()).collect();
+    let mut sigma: Vec<f64> =
+        w.iter().map(|col| col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()).collect();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
 

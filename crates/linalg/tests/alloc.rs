@@ -1,0 +1,78 @@
+//! Allocation accounting for the GEMM fused-transposition paths.
+//!
+//! The packed GEMM folds `Op::Adjoint` / `Op::Transpose` into operand
+//! packing. This test pins that property down with a counting global
+//! allocator: a transposed product must allocate (to within noise) exactly
+//! what the plain product allocates — if either path materialised an operand
+//! copy, the difference would show up as at least one full operand size.
+
+use koala_linalg::gemm::{gemm, Op};
+use koala_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size.saturating_sub(layout.size()) as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn bytes_allocated_by(f: impl FnOnce() -> Matrix) -> u64 {
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let out = f();
+    let after = ALLOCATED.load(Ordering::Relaxed);
+    drop(out);
+    after - before
+}
+
+#[test]
+fn transposed_gemm_does_not_materialize_operands() {
+    const N: usize = 512;
+    let operand_bytes = (N * N * std::mem::size_of::<koala_linalg::C64>()) as u64; // 4 MiB
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Matrix::random(N, N, &mut rng);
+    let b = Matrix::random(N, N, &mut rng);
+
+    // Warm up once so lazily initialised runtime state doesn't get billed to
+    // the first measurement.
+    let _ = gemm(Op::None, Op::None, &a, &b);
+
+    let plain = bytes_allocated_by(|| gemm(Op::None, Op::None, &a, &b));
+    let adjoint = bytes_allocated_by(|| gemm(Op::Adjoint, Op::None, &a, &b));
+    let transpose = bytes_allocated_by(|| gemm(Op::Transpose, Op::Transpose, &a, &b));
+    let both = bytes_allocated_by(|| gemm(Op::Adjoint, Op::Transpose, &a, &b));
+
+    // The old implementation materialised `a.adjoint()` / `b.transpose()`
+    // before multiplying, which costs `operand_bytes` per transposed operand.
+    // The packed kernel fuses the transposition into packing, so every Op
+    // combination must allocate the same as the plain product, give or take
+    // far less than one operand.
+    let slack = operand_bytes / 8;
+    for (label, measured) in [("A^H*B", adjoint), ("A^T*B^T", transpose), ("A^H*B^T", both)] {
+        let diff = measured.abs_diff(plain);
+        assert!(
+            diff < slack,
+            "{label} allocated {measured} bytes vs {plain} for plain GEMM \
+             (diff {diff}, operand is {operand_bytes}) — an operand copy is being materialised"
+        );
+    }
+}

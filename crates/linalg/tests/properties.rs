@@ -97,7 +97,7 @@ proptest! {
         // Shift the diagonal so singularity is essentially impossible.
         let mut a = a;
         for i in 0..n {
-            a[(i, i)] = a[(i, i)] + c64(3.0, 0.0);
+            a[(i, i)] += c64(3.0, 0.0);
         }
         let x = seeded_matrix(n, cols, seed.wrapping_add(13));
         let b = matmul(&a, &x);
@@ -122,5 +122,76 @@ proptest! {
         let h = Matrix::random_hermitian(n, &mut rng);
         let u = expm_hermitian(&h, c64(0.0, 1.0)).unwrap();
         prop_assert!(u.has_orthonormal_cols(1e-9));
+    }
+}
+
+/// Materialise the effective operand for an `Op`, for cross-checking the
+/// packed kernel's fused paths against the naive reference.
+fn materialize(op: Op, m: &Matrix) -> Matrix {
+    match op {
+        Op::None => m.clone(),
+        Op::Transpose => m.transpose(),
+        Op::Adjoint => m.adjoint(),
+    }
+}
+
+const ALL_OPS: [Op; 3] = [Op::None, Op::Adjoint, Op::Transpose];
+
+/// Packed GEMM vs the naive kernel across deliberately awkward shapes — tall
+/// and skinny, short and wide, exact multiples of the register tile, sizes
+/// straddling every blocking boundary, and empty operands — for all nine
+/// `Op` combinations.
+#[test]
+fn packed_gemm_matches_naive_across_shapes_and_ops() {
+    let shapes: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 7, 1),
+        (6, 8, 8),    // exactly one MR x NR tile
+        (5, 3, 9),    // ragged edges everywhere
+        (1, 300, 1),  // dot-product shape crossing KC
+        (400, 2, 3),  // tall and skinny crossing MC
+        (3, 2, 600),  // short and wide crossing NC
+        (37, 41, 29), // primes
+        (0, 5, 4),    // empty m
+        (4, 0, 5),    // empty k
+        (5, 4, 0),    // empty n
+    ];
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for &(m, k, n) in shapes {
+        for opa in ALL_OPS {
+            for opb in ALL_OPS {
+                // Stored shapes so that the *effective* product is m x k * k x n.
+                let a = match opa {
+                    Op::None => Matrix::random(m, k, &mut rng),
+                    _ => Matrix::random(k, m, &mut rng),
+                };
+                let b = match opb {
+                    Op::None => Matrix::random(k, n, &mut rng),
+                    _ => Matrix::random(n, k, &mut rng),
+                };
+                let fast = gemm(opa, opb, &a, &b);
+                let slow = gemm::matmul_naive(&materialize(opa, &a), &materialize(opb, &b));
+                assert_eq!(fast.shape(), (m, n));
+                assert!(
+                    fast.approx_eq(&slow, 1e-10 * (k.max(1) as f64)),
+                    "gemm({opa:?}, {opb:?}) mismatch at {m}x{k}x{n}: {:e}",
+                    fast.max_diff(&slow)
+                );
+            }
+        }
+    }
+}
+
+/// The retained seed kernel stays numerically interchangeable with the packed
+/// kernel (it is the baseline the benchmark suite reports speedups against).
+#[test]
+fn seed_kernel_matches_packed_kernel() {
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    for &(m, k, n) in &[(13, 130, 7), (64, 64, 64), (130, 9, 201)] {
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let packed = matmul(&a, &b);
+        let seed = gemm::matmul_seed(&a, &b);
+        assert!(packed.approx_eq(&seed, 1e-9 * (k as f64)));
     }
 }

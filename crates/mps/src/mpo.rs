@@ -119,8 +119,7 @@ impl Mpo {
             let t = tensordot(s, o, &[1], &[1])?;
             // -> [l, lo, d, r, ro] -> [(l*lo), d, (r*ro)]
             let t = t.permute(&[0, 2, 3, 1, 4])?;
-            let (l, lo, d, r, ro) =
-                (t.dim(0), t.dim(1), t.dim(2), t.dim(3), t.dim(4));
+            let (l, lo, d, r, ro) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3), t.dim(4));
             out.push(t.into_reshape(&[l * lo, d, r * ro])?);
         }
         Mps::new(out)
@@ -132,6 +131,7 @@ impl Mpo {
         // Accumulate a tensor [u1..uk, d1..dk, r].
         let mut acc = Tensor::ones(&[1]);
         let mut n_sites = 0usize;
+        #[allow(clippy::explicit_counter_loop)] // n_sites doubles as axis bookkeeping below
         for t in &self.tensors {
             // acc [u.., d.., r] * t [r, u, d, r'] -> [u.., d.., u, d, r']
             acc = tensordot(&acc, t, &[acc.ndim() - 1], &[0])?;
@@ -164,11 +164,7 @@ mod tests {
         assert!(Mpo::new(vec![Tensor::zeros(&[1, 2, 2, 1])]).is_ok());
         assert!(Mpo::new(vec![Tensor::zeros(&[1, 2, 2])]).is_err());
         assert!(Mpo::new(vec![Tensor::zeros(&[2, 2, 2, 1])]).is_err());
-        assert!(Mpo::new(vec![
-            Tensor::zeros(&[1, 2, 2, 3]),
-            Tensor::zeros(&[2, 2, 2, 1])
-        ])
-        .is_err());
+        assert!(Mpo::new(vec![Tensor::zeros(&[1, 2, 2, 3]), Tensor::zeros(&[2, 2, 2, 1])]).is_err());
     }
 
     #[test]

@@ -68,7 +68,12 @@ impl Mps {
     }
 
     /// Random MPS with the given physical and (uniform) bond dimension.
-    pub fn random<R: Rng + ?Sized>(n_sites: usize, phys_dim: usize, bond_dim: usize, rng: &mut R) -> Self {
+    pub fn random<R: Rng + ?Sized>(
+        n_sites: usize,
+        phys_dim: usize,
+        bond_dim: usize,
+        rng: &mut R,
+    ) -> Self {
         let mut tensors = Vec::with_capacity(n_sites);
         for i in 0..n_sites {
             let l = if i == 0 { 1 } else { bond_dim };
@@ -376,12 +381,7 @@ mod tests {
         assert!(err >= 0.0);
         // The reported error should match the actual distance reasonably well
         // (zip-up style single sweep is not exactly optimal but close).
-        let dense_diff = c
-            .to_dense()
-            .unwrap()
-            .sub(&original.to_dense().unwrap())
-            .unwrap()
-            .norm();
+        let dense_diff = c.to_dense().unwrap().sub(&original.to_dense().unwrap()).unwrap().norm();
         assert!(dense_diff <= 2.0 * err + 1e-9, "diff {dense_diff} vs reported {err}");
     }
 

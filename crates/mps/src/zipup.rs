@@ -62,13 +62,8 @@ pub fn zip_up<R: Rng + ?Sized>(
     let o0 = mpo.tensor(0);
     let v0 = tensordot(s0, o0, &[1], &[1])?; // [1, r_s, 1, d, r_o]
     let mut boundary = v0.permute(&[0, 2, 3, 1, 4])?; // [1, 1, d, r_s, r_o]
-    let (b0, b1, d, rs, ro) = (
-        boundary.dim(0),
-        boundary.dim(1),
-        boundary.dim(2),
-        boundary.dim(3),
-        boundary.dim(4),
-    );
+    let (b0, b1, d, rs, ro) =
+        (boundary.dim(0), boundary.dim(1), boundary.dim(2), boundary.dim(3), boundary.dim(4));
     boundary = boundary.into_reshape(&[b0 * b1, d, rs, ro])?; // [l=1, d, r_s, r_o]
 
     let mut out_tensors: Vec<Tensor> = Vec::with_capacity(n);
@@ -104,7 +99,7 @@ fn zip_step_exact(
 ) -> Result<(Tensor, Tensor)> {
     // merged [l, d, p, r_s'] <- boundary x S over r_s
     let merged = tensordot(boundary, s, &[2], &[0])?; // [l, d, r_o, p, r_s']
-    // contract with O over (r_o, p)
+                                                      // contract with O over (r_o, p)
     let merged = tensordot(&merged, o, &[2, 3], &[0, 1])?; // [l, d, r_s', d', r_o']
     let f = svd_split(&merged, &[0, 1], truncation)?;
     let (u, rest) = f.absorb_right();
@@ -225,8 +220,7 @@ mod tests {
         let mps = Mps::random(4, 2, 3, &mut rng);
         let mpo = Mpo::random(4, 2, 2, &mut rng);
         let exact = mpo.apply_exact(&mps).unwrap();
-        let zipped =
-            zip_up(&mps, &mpo, 64, ZipUpMethod::implicit_default(), &mut rng).unwrap();
+        let zipped = zip_up(&mps, &mpo, 64, ZipUpMethod::implicit_default(), &mut rng).unwrap();
         assert!(relative_error(&zipped, &exact) < 1e-7);
     }
 

@@ -1,0 +1,195 @@
+//! Offline stand-in for the subset of the `proptest` crate used by the
+//! koala-rs test suites.
+//!
+//! The build environment has no network access to crates.io. The workspace's
+//! property tests only use integer-range strategies, tuple strategies,
+//! `prop::collection::vec`, `proptest!` with `pattern in strategy` arguments,
+//! and `prop_assert!` — so this shim implements exactly that. Instead of
+//! randomised shrinking, each test runs `cases` deterministic samples drawn
+//! from a seeded RNG, which keeps failures reproducible across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of deterministic samples to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` samples per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of sampled values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Built-in strategy constructors, mirroring the `proptest::prop` module path.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Lengths accepted by [`vec`]: `a..b` or `a..=b`.
+        pub trait SizeRange {
+            /// Sample a length.
+            fn sample_len(&self, rng: &mut StdRng) -> usize;
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn sample_len(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+
+        impl SizeRange for std::ops::RangeInclusive<usize> {
+            fn sample_len(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(*self.start()..*self.end() + 1)
+            }
+        }
+
+        /// Strategy producing `Vec`s of values from `element`.
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        /// `Vec` strategy with lengths drawn from `size`.
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = self.size.sample_len(rng);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Run a closure over `cases` deterministic samples (used by [`proptest!`]).
+pub fn run_cases(config: &ProptestConfig, mut case: impl FnMut(&mut StdRng)) {
+    for i in 0..config.cases {
+        // Distinct, reproducible stream per case.
+        let mut rng = StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ u64::from(i));
+        case(&mut rng);
+    }
+}
+
+/// Shim for `proptest!`: runs each test body over deterministic samples of
+/// its `pattern in strategy` arguments.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&config, |rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Shim for `prop_assert!`: plain `assert!` (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Shim for `prop_assume!`: skip the rest of the current case when the
+/// assumption fails (the test body runs inside a per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Shim for `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn dims() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10, 1usize..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn samples_respect_ranges((m, k) in dims(), n in 1usize..10, seed in 0u64..1000) {
+            prop_assert!((1..10).contains(&m));
+            prop_assert!((1..10).contains(&k));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(seed < 1000);
+        }
+
+        #[test]
+        fn vec_strategy_lengths(shape in prop::collection::vec(1usize..4, 1..=5)) {
+            prop_assert!((1..=5).contains(&shape.len()));
+            prop_assert!(shape.iter().all(|&d| (1..4).contains(&d)));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the subset of the `rayon` crate used by koala-rs.
+//!
+//! The build environment has no network access to crates.io, so this local
+//! shim re-implements the pieces the workspace relies on with
+//! `std::thread::scope`: `par_chunks_mut`, `into_par_iter` over ranges and
+//! vectors, `enumerate`/`for_each`, plus [`join`] and [`current_num_threads`].
+//!
+//! Work distribution is a shared atomic cursor over an eagerly collected item
+//! list — items are claimed one at a time, so uneven task costs (e.g. edge
+//! tiles of a GEMM) balance across threads. The thread count honours
+//! `RAYON_NUM_THREADS` just like real rayon, which the benchmark harness uses
+//! to measure single- vs multi-threaded kernels.
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads parallel operations will use.
+///
+/// Reads `RAYON_NUM_THREADS` (0 or unset means "all available cores").
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: joined task panicked"))
+    })
+}
+
+/// Eager parallel iterator over an owned list of items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Mutable chunked views of a slice, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (last one may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be non-zero");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// Consuming operations on a [`ParIter`], mirroring `rayon::iter::ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Consume the iterator, yielding every item exactly once.
+    fn drain(self) -> Vec<Self::Item>;
+
+    /// Pair every item with its original index.
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter { items: self.drain().into_iter().enumerate().collect() }
+    }
+
+    /// Apply `f` to every item, distributing items over worker threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let items = self.drain();
+        let threads = current_num_threads().min(items.len());
+        if threads <= 1 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        // Workers claim items one at a time from a shared queue so uneven
+        // per-item cost (e.g. GEMM edge tiles) balances across threads.
+        let queue = std::sync::Mutex::new(items.into_iter());
+        let f = &f;
+        let queue = &queue;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(move || loop {
+                    let item = queue.lock().expect("rayon shim: poisoned queue").next();
+                    match item {
+                        Some(it) => f(it),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+    fn drain(self) -> Vec<I> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        let mut data = vec![0u64; 1000];
+        data.par_chunks_mut(64).enumerate().for_each(|(blk, chunk)| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (blk * 64 + i) as u64;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn range_for_each_runs_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        (0..hits.len()).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}

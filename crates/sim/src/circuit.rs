@@ -1,7 +1,7 @@
 //! Quantum circuits on a 2D qubit lattice, and the random-quantum-circuit
 //! (RQC) generator used by the accuracy benchmark of Figure 10.
 
-use crate::gates::{iswap, sqrt_x, sqrt_y, sqrt_w};
+use crate::gates::{iswap, sqrt_w, sqrt_x, sqrt_y};
 use crate::statevector::{Result, StateVector};
 use koala_linalg::Matrix;
 use koala_peps::{apply_one_site, apply_two_site, Peps, Site, UpdateMethod};

@@ -1,6 +1,6 @@
 //! Standard quantum gate matrices.
 
-use koala_linalg::{c64, expm_hermitian, C64, Matrix};
+use koala_linalg::{c64, expm_hermitian, Matrix, C64};
 use koala_peps::operators::{kron, pauli_x, pauli_y, pauli_z};
 
 /// Hadamard gate.
@@ -37,19 +37,25 @@ pub fn rz(theta: f64) -> Matrix {
 /// Square root of X (up to global phase), one of the RQC single-qubit gates.
 pub fn sqrt_x() -> Matrix {
     let h = pauli_x();
-    expm_hermitian(&h, c64(0.0, -std::f64::consts::FRAC_PI_4)).unwrap().scale(C64::cis(std::f64::consts::FRAC_PI_4))
+    expm_hermitian(&h, c64(0.0, -std::f64::consts::FRAC_PI_4))
+        .unwrap()
+        .scale(C64::cis(std::f64::consts::FRAC_PI_4))
 }
 
 /// Square root of Y (up to global phase).
 pub fn sqrt_y() -> Matrix {
     let h = pauli_y();
-    expm_hermitian(&h, c64(0.0, -std::f64::consts::FRAC_PI_4)).unwrap().scale(C64::cis(std::f64::consts::FRAC_PI_4))
+    expm_hermitian(&h, c64(0.0, -std::f64::consts::FRAC_PI_4))
+        .unwrap()
+        .scale(C64::cis(std::f64::consts::FRAC_PI_4))
 }
 
 /// Square root of W where `W = (X + Y)/sqrt(2)` (the third RQC single-qubit gate).
 pub fn sqrt_w() -> Matrix {
     let w = (&pauli_x() + &pauli_y()).scale(c64(1.0 / 2.0f64.sqrt(), 0.0));
-    expm_hermitian(&w, c64(0.0, -std::f64::consts::FRAC_PI_4)).unwrap().scale(C64::cis(std::f64::consts::FRAC_PI_4))
+    expm_hermitian(&w, c64(0.0, -std::f64::consts::FRAC_PI_4))
+        .unwrap()
+        .scale(C64::cis(std::f64::consts::FRAC_PI_4))
 }
 
 /// Controlled-NOT with the first qubit as control.

@@ -3,7 +3,7 @@
 //! Ising model (Equation 8), together with their Trotterised imaginary- or
 //! real-time evolution gates.
 
-use koala_linalg::{c64, expm_hermitian, C64, Matrix};
+use koala_linalg::{c64, expm_hermitian, Matrix, C64};
 use koala_peps::operators::{kron, pauli_x, pauli_y, pauli_z, Observable};
 use koala_peps::Site;
 

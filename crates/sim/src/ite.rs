@@ -127,8 +127,13 @@ pub fn apply_trotter_layer(
 
 /// Rescale the PEPS so its (approximate) norm stays O(1); imaginary-time
 /// gates are not unitary and would otherwise shrink or blow up the tensors.
-fn renormalize<R: Rng + ?Sized>(peps: &mut Peps, contraction_bond: usize, rng: &mut R) -> Result<()> {
-    let n = koala_peps::norm_sqr(peps, koala_peps::ContractionMethod::ibmps(contraction_bond), rng)?;
+fn renormalize<R: Rng + ?Sized>(
+    peps: &mut Peps,
+    contraction_bond: usize,
+    rng: &mut R,
+) -> Result<()> {
+    let n =
+        koala_peps::norm_sqr(peps, koala_peps::ContractionMethod::ibmps(contraction_bond), rng)?;
     if n > 0.0 && n.is_finite() {
         let scale = n.powf(-0.25); // spread the rescaling gently over steps
         let per_site = scale.powf(1.0 / peps.num_sites() as f64);
@@ -217,12 +222,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
         let peps = Peps::computational_zeros(2, 2);
-        let e1 = ite_peps(&peps, &h, IteOptions::new(0.05, 25, 1, 2), &mut rng)
-            .unwrap()
-            .final_energy();
-        let e2 = ite_peps(&peps, &h, IteOptions::new(0.05, 25, 2, 4), &mut rng)
-            .unwrap()
-            .final_energy();
+        let e1 =
+            ite_peps(&peps, &h, IteOptions::new(0.05, 25, 1, 2), &mut rng).unwrap().final_energy();
+        let e2 =
+            ite_peps(&peps, &h, IteOptions::new(0.05, 25, 2, 4), &mut rng).unwrap().final_energy();
         let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng) / 4.0;
         assert!(e2 <= e1 + 0.05, "bond 2 ({e2}) should not be much worse than bond 1 ({e1})");
         assert!(e2 >= exact - 0.05, "variational-ish energy should not dive far below exact");

@@ -95,7 +95,8 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
             let expand: Vec<f64> =
                 centroid.iter().zip(worst.0.iter()).map(|(c, w)| c + gamma * (c - w)).collect();
             let f_expand = eval(&expand, &mut evaluations);
-            simplex[n] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+            simplex[n] =
+                if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
         } else if f_reflect < simplex[n - 1].1 {
             simplex[n] = (reflect, f_reflect);
         } else {
@@ -109,8 +110,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
                 // Shrink the whole simplex towards the best vertex.
                 let best = simplex[0].0.clone();
                 for vertex in simplex.iter_mut().skip(1) {
-                    let shrunk: Vec<f64> =
-                        best.iter().zip(vertex.0.iter()).map(|(b, v)| b + sigma * (v - b)).collect();
+                    let shrunk: Vec<f64> = best
+                        .iter()
+                        .zip(vertex.0.iter())
+                        .map(|(b, v)| b + sigma * (v - b))
+                        .collect();
                     let f = eval(&shrunk, &mut evaluations);
                     *vertex = (shrunk, f);
                 }
@@ -120,12 +124,7 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
 
     simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     history.push(simplex[0].1);
-    OptResult {
-        best_params: simplex[0].0.clone(),
-        best_value: simplex[0].1,
-        history,
-        evaluations,
-    }
+    OptResult { best_params: simplex[0].0.clone(), best_value: simplex[0].1, history, evaluations }
 }
 
 /// Simultaneous Perturbation Stochastic Approximation (SPSA) minimisation.
@@ -194,8 +193,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_on_rosenbrock() {
-        let rosenbrock =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosenbrock = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = nelder_mead(rosenbrock, &[-1.2, 1.0], 0.5, 2000, 1e-12);
         assert!(r.best_value < 1e-5, "best value {}", r.best_value);
         assert!((r.best_params[0] - 1.0).abs() < 0.02);

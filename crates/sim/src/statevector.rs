@@ -5,7 +5,7 @@
 //! `Peps::to_dense`). Used as the "state vector" reference of Figures 13 and
 //! 14 and to validate the PEPS algorithms on small lattices.
 
-use koala_linalg::{lanczos_ground_state, C64, HermitianOp, Matrix};
+use koala_linalg::{lanczos_ground_state, HermitianOp, Matrix, C64};
 use koala_peps::operators::{LocalTerm, Observable};
 use koala_peps::Site;
 use koala_tensor::TensorError;

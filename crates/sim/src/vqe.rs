@@ -159,8 +159,15 @@ pub fn run_vqe<R: Rng + ?Sized>(
     let mut eval_rng = rand::rngs::StdRng::seed_from_u64(rng.gen());
     let mut failures = 0usize;
     let mut objective = |params: &[f64]| -> f64 {
-        match energy_per_site(nrows, ncols, hamiltonian, options.layers, params, options.backend, &mut eval_rng)
-        {
+        match energy_per_site(
+            nrows,
+            ncols,
+            hamiltonian,
+            options.layers,
+            params,
+            options.backend,
+            &mut eval_rng,
+        ) {
             Ok(e) if e.is_finite() => e,
             _ => {
                 failures += 1;
@@ -196,7 +203,7 @@ mod tests {
 
     #[test]
     fn ansatz_parameter_count_and_structure() {
-        let c = ansatz_circuit(2, 2, 2, &vec![0.1; 8]);
+        let c = ansatz_circuit(2, 2, 2, &[0.1; 8]);
         // Per layer: 4 Ry + 4 CNOT; two layers.
         assert_eq!(c.len(), 16);
         assert_eq!(c.two_qubit_count(), 8);

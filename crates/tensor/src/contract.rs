@@ -1,7 +1,24 @@
 //! Pairwise tensor contraction (tensordot) implemented on top of GEMM.
+//!
+//! `tensordot` lowers a contraction to a single GEMM by viewing each operand
+//! as a matrix over (free axes) x (contracted axes). The lowering is
+//! zero-copy whenever the axis lists line up with the stored layout:
+//!
+//! * if the operand's axes are already ordered `free ++ contracted` (left) or
+//!   `contracted ++ free` (right), its buffer is passed to the GEMM directly;
+//! * if they are ordered the other way round, the *transposed* matricization
+//!   is passed with [`Op::Transpose`], which the GEMM folds into operand
+//!   packing — still no copy;
+//! * only genuinely interleaved axis orders fall back to one `permute`.
+//!
+//! The GEMM output is written straight into the result tensor's buffer, so
+//! already-matricized contractions perform zero intermediate allocations
+//! beyond the result itself.
 
+use crate::shape::num_elements;
 use crate::tensor::{Result, Tensor, TensorError};
-use koala_linalg::gemm::matmul;
+use koala_linalg::gemm::{gemm_into, Op};
+use koala_linalg::C64;
 
 /// Contract `a` and `b` over the axis pairs `(axes_a[i], axes_b[i])`.
 ///
@@ -60,23 +77,61 @@ pub fn tensordot(a: &Tensor, b: &Tensor, axes_a: &[usize], axes_b: &[usize]) -> 
     let free_a: Vec<usize> = (0..a.ndim()).filter(|i| !axes_a.contains(i)).collect();
     let free_b: Vec<usize> = (0..b.ndim()).filter(|i| !axes_b.contains(i)).collect();
 
-    // Left operand: free axes first, contracted axes last.
-    let mut perm_a: Vec<usize> = free_a.clone();
-    perm_a.extend_from_slice(axes_a);
-    let a_perm = a.permute(&perm_a)?;
-    let a_mat = a_perm.unfold(free_a.len());
+    let m: usize = free_a.iter().map(|&i| a.dim(i)).product();
+    let k: usize = axes_a.iter().map(|&i| a.dim(i)).product();
+    let n: usize = free_b.iter().map(|&i| b.dim(i)).product();
 
-    // Right operand: contracted axes first, free axes last.
-    let mut perm_b: Vec<usize> = axes_b.to_vec();
-    perm_b.extend_from_slice(&free_b);
-    let b_perm = b.permute(&perm_b)?;
-    let b_mat = b_perm.unfold(axes_b.len());
+    // Left operand: matricize as (free axes) x (contracted axes). If the
+    // stored layout already is `free ++ contracted` pass it through; if it is
+    // `contracted ++ free` pass the stored buffer as the transposed
+    // matricization (the GEMM fuses the transpose into packing); otherwise
+    // permute once.
+    let (a_view, opa) = matricize(a, &free_a, axes_a)?;
+    // Right operand: matricize as (contracted axes) x (free axes).
+    let (b_view, opb) = matricize(b, axes_b, &free_b)?;
 
-    let c = matmul(&a_mat, &b_mat);
+    let mut out = vec![C64::ZERO; m * n];
+    gemm_into(opa, opb, m, n, k, a_view.data(), b_view.data(), &mut out);
 
     let mut out_shape: Vec<usize> = free_a.iter().map(|&i| a.dim(i)).collect();
     out_shape.extend(free_b.iter().map(|&i| b.dim(i)));
-    Tensor::fold(&c, &out_shape[..free_a.len()], &out_shape[free_a.len()..])
+    Tensor::from_vec(&out_shape, out)
+}
+
+/// A matricized view of a tensor: either the tensor's own buffer (zero-copy)
+/// or a permuted copy when the axis order genuinely interleaves.
+enum MatView<'a> {
+    Borrowed(&'a [C64]),
+    Owned(Vec<C64>),
+}
+
+impl MatView<'_> {
+    fn data(&self) -> &[C64] {
+        match self {
+            MatView::Borrowed(d) => d,
+            MatView::Owned(d) => d,
+        }
+    }
+}
+
+/// True if `first ++ second` is the identity permutation `0..n`.
+fn is_identity_order(first: &[usize], second: &[usize]) -> bool {
+    first.iter().chain(second.iter()).copied().eq(0..first.len() + second.len())
+}
+
+/// Matricize `t` with `rows` axes indexing matrix rows and `cols` axes
+/// indexing matrix columns, avoiding any copy when the stored layout (or its
+/// transpose) already matches.
+fn matricize<'a>(t: &'a Tensor, rows: &[usize], cols: &[usize]) -> Result<(MatView<'a>, Op)> {
+    if is_identity_order(rows, cols) {
+        return Ok((MatView::Borrowed(t.data()), Op::None));
+    }
+    if is_identity_order(cols, rows) {
+        return Ok((MatView::Borrowed(t.data()), Op::Transpose));
+    }
+    let mut perm: Vec<usize> = rows.to_vec();
+    perm.extend_from_slice(cols);
+    Ok((MatView::Owned(t.permute(&perm)?.into_data()), Op::None))
 }
 
 /// Contract every axis of `a` against every axis of `b` (full inner product
@@ -87,19 +142,45 @@ pub fn contract_all(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 }
 
 /// Sum the tensor over one axis, removing it.
+///
+/// Implemented as a direct strided reduction — one pass over the data with
+/// contiguous inner accumulation — rather than a contraction with a ones
+/// tensor, which would allocate the ones vector and dispatch a full GEMM.
 pub fn sum_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
     if axis >= t.ndim() {
         return Err(TensorError::InvalidAxes {
             context: format!("sum_axis: axis {axis} out of range for rank {}", t.ndim()),
         });
     }
-    let ones = Tensor::ones(&[t.dim(axis)]);
-    tensordot(t, &ones, &[axis], &[0])
+    let shape = t.shape();
+    let outer: usize = shape[..axis].iter().product();
+    let len = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    let mut new_shape = shape.to_vec();
+    new_shape.remove(axis);
+    let mut out = vec![C64::ZERO; num_elements(&new_shape)];
+    let src = t.data();
+    for o in 0..outer {
+        let dst = &mut out[o * inner..(o + 1) * inner];
+        let base = o * len * inner;
+        for p in 0..len {
+            let row = &src[base + p * inner..base + (p + 1) * inner];
+            for (d, s) in dst.iter_mut().zip(row.iter()) {
+                *d += *s;
+            }
+        }
+    }
+    Tensor::from_vec(&new_shape, out)
 }
 
 /// Naive element-wise reference contraction used by tests and property checks
 /// in dependent crates. O(prod(all dims)) — only for small tensors.
-pub fn tensordot_naive(a: &Tensor, b: &Tensor, axes_a: &[usize], axes_b: &[usize]) -> Result<Tensor> {
+pub fn tensordot_naive(
+    a: &Tensor,
+    b: &Tensor,
+    axes_a: &[usize],
+    axes_b: &[usize],
+) -> Result<Tensor> {
     use crate::shape::{increment_index, num_elements};
     let free_a: Vec<usize> = (0..a.ndim()).filter(|i| !axes_a.contains(i)).collect();
     let free_b: Vec<usize> = (0..b.ndim()).filter(|i| !axes_b.contains(i)).collect();
@@ -146,6 +227,7 @@ pub fn tensordot_naive(a: &Tensor, b: &Tensor, axes_a: &[usize], axes_b: &[usize
 #[cfg(test)]
 mod tests {
     use super::*;
+    use koala_linalg::gemm::matmul;
     use koala_linalg::{c64, Matrix};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

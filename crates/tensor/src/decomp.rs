@@ -103,7 +103,10 @@ pub fn scale_first_axis(t: &Tensor, s: &[f64]) -> Tensor {
 
 /// Permute `row_axes` to the front of the tensor and return the permutation
 /// together with the resulting row/column dimension lists.
-fn split_permutation(t: &Tensor, row_axes: &[usize]) -> Result<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+fn split_permutation(
+    t: &Tensor,
+    row_axes: &[usize],
+) -> Result<(Vec<usize>, Vec<usize>, Vec<usize>)> {
     let ndim = t.ndim();
     for &a in row_axes {
         if a >= ndim {
@@ -115,9 +118,7 @@ fn split_permutation(t: &Tensor, row_axes: &[usize]) -> Result<(Vec<usize>, Vec<
     let mut seen = vec![false; ndim];
     for &a in row_axes {
         if seen[a] {
-            return Err(TensorError::InvalidAxes {
-                context: format!("split: duplicate axis {a}"),
-            });
+            return Err(TensorError::InvalidAxes { context: format!("split: duplicate axis {a}") });
         }
         seen[a] = true;
     }
@@ -339,7 +340,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(36);
         let m = koala_linalg::Matrix::random(6, 4, &mut rng);
         let op = koala_linalg::MatOp::new(&m);
-        assert!(rsvd_split_implicit(&op, &[2, 3], &[4], Truncation::max_rank(2), 1, &mut rng).is_ok());
+        assert!(
+            rsvd_split_implicit(&op, &[2, 3], &[4], Truncation::max_rank(2), 1, &mut rng).is_ok()
+        );
         assert!(rsvd_split_implicit(&op, &[5], &[4], Truncation::max_rank(2), 1, &mut rng).is_err());
     }
 

@@ -135,12 +135,13 @@ pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor> {
         }
     }
 
-    // Work list of (tensor, labels).
-    let mut items: Vec<(Tensor, Vec<char>)> = spec
+    // Work list of (tensor, labels). Input tensors are borrowed, not cloned —
+    // only contraction intermediates are owned.
+    let mut items: Vec<(Operand<'_>, Vec<char>)> = spec
         .inputs
         .iter()
         .zip(operands.iter())
-        .map(|(labels, t)| ((*t).clone(), labels.clone()))
+        .map(|(labels, t)| (Operand::Borrowed(t), labels.clone()))
         .collect();
 
     // Greedy pairwise contraction: always contract the pair of tensors that
@@ -154,7 +155,7 @@ pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor> {
                     continue;
                 }
                 let size = result_size(&items[i], &items[j], &shared);
-                if best.map_or(true, |(_, _, s)| size < s) {
+                if best.is_none_or(|(_, _, s)| size < s) {
                     best = Some((i, j, size));
                 }
             }
@@ -166,11 +167,18 @@ pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor> {
         };
         let (right_t, right_l) = items.remove(j);
         let (left_t, left_l) = items.remove(i);
-        let merged = contract_pair(left_t, left_l, right_t, right_l, &items, &spec.output)?;
-        items.push(merged);
+        let merged = contract_pair(
+            left_t.as_tensor(),
+            left_l,
+            right_t.as_tensor(),
+            right_l,
+            &items,
+            &spec.output,
+        )?;
+        items.push((Operand::Owned(merged.0), merged.1));
     }
 
-    let (mut tensor, mut labels) = items.pop().expect("einsum: empty operand list");
+    let (mut operand, mut labels) = items.pop().expect("einsum: empty operand list");
 
     // Sum out any label that does not appear in the output (can happen when a
     // label occurs only once in the inputs and is dropped from the output).
@@ -179,12 +187,13 @@ pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor> {
         if spec.output.contains(&labels[axis]) {
             axis += 1;
         } else {
-            tensor = sum_axis(&tensor, axis)?;
+            operand = Operand::Owned(sum_axis(operand.as_tensor(), axis)?);
             labels.remove(axis);
         }
     }
 
-    // Permute into the requested output order.
+    // Permute into the requested output order. An owned tensor in an
+    // already-correct order is returned as-is (no final copy).
     let perm: Vec<usize> = spec
         .output
         .iter()
@@ -194,13 +203,31 @@ pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor> {
             })
         })
         .collect::<Result<Vec<_>>>()?;
-    tensor.permute(&perm)
+    match operand {
+        Operand::Owned(t) if crate::shape::is_identity_perm(&perm) => Ok(t),
+        other => other.as_tensor().permute(&perm),
+    }
+}
+
+/// A pending einsum operand: caller-borrowed input or owned intermediate.
+enum Operand<'a> {
+    Borrowed(&'a Tensor),
+    Owned(Tensor),
+}
+
+impl Operand<'_> {
+    fn as_tensor(&self) -> &Tensor {
+        match self {
+            Operand::Borrowed(t) => t,
+            Operand::Owned(t) => t,
+        }
+    }
 }
 
 /// Labels shared between items `i` and `j` that may be contracted now (they
 /// appear in neither the output nor any other pending operand).
 fn shared_contractible(
-    items: &[(Tensor, Vec<char>)],
+    items: &[(Operand<'_>, Vec<char>)],
     i: usize,
     j: usize,
     output: &[char],
@@ -221,27 +248,31 @@ fn shared_contractible(
         .collect()
 }
 
-fn result_size(a: &(Tensor, Vec<char>), b: &(Tensor, Vec<char>), shared: &[char]) -> usize {
+fn result_size(
+    a: &(Operand<'_>, Vec<char>),
+    b: &(Operand<'_>, Vec<char>),
+    shared: &[char],
+) -> usize {
     let mut size = 1usize;
     for (axis, label) in a.1.iter().enumerate() {
         if !shared.contains(label) {
-            size = size.saturating_mul(a.0.dim(axis));
+            size = size.saturating_mul(a.0.as_tensor().dim(axis));
         }
     }
     for (axis, label) in b.1.iter().enumerate() {
         if !shared.contains(label) {
-            size = size.saturating_mul(b.0.dim(axis));
+            size = size.saturating_mul(b.0.as_tensor().dim(axis));
         }
     }
     size
 }
 
 fn contract_pair(
-    left_t: Tensor,
+    left_t: &Tensor,
     left_l: Vec<char>,
-    right_t: Tensor,
+    right_t: &Tensor,
     right_l: Vec<char>,
-    remaining: &[(Tensor, Vec<char>)],
+    remaining: &[(Operand<'_>, Vec<char>)],
     output: &[char],
 ) -> Result<(Tensor, Vec<char>)> {
     // Contract every label shared by the two operands that is not needed by
@@ -253,9 +284,11 @@ fn contract_pair(
         .filter(|c| remaining.iter().all(|(_, lk)| !lk.contains(c)))
         .copied()
         .collect();
-    let axes_a: Vec<usize> = shared.iter().map(|c| left_l.iter().position(|l| l == c).unwrap()).collect();
-    let axes_b: Vec<usize> = shared.iter().map(|c| right_l.iter().position(|l| l == c).unwrap()).collect();
-    let result = tensordot(&left_t, &right_t, &axes_a, &axes_b)?;
+    let axes_a: Vec<usize> =
+        shared.iter().map(|c| left_l.iter().position(|l| l == c).unwrap()).collect();
+    let axes_b: Vec<usize> =
+        shared.iter().map(|c| right_l.iter().position(|l| l == c).unwrap()).collect();
+    let result = tensordot(left_t, right_t, &axes_a, &axes_b)?;
     let mut labels: Vec<char> = left_l.iter().filter(|c| !shared.contains(c)).copied().collect();
     labels.extend(right_l.iter().filter(|c| !shared.contains(c)).copied());
     Ok((result, labels))

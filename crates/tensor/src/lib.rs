@@ -30,4 +30,4 @@ pub use einsum::{einsum, einsum_spec, parse_spec, EinsumSpec};
 pub use tensor::{Result, Tensor, TensorError};
 
 // Re-export the scalar/matrix types so downstream crates need only one import path.
-pub use koala_linalg::{c64, C64, Matrix};
+pub use koala_linalg::{c64, Matrix, C64};

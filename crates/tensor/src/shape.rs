@@ -47,6 +47,11 @@ pub fn increment_index(index: &mut [usize], shape: &[usize]) -> bool {
     false
 }
 
+/// True if `perm` maps every axis to itself.
+pub fn is_identity_perm(perm: &[usize]) -> bool {
+    perm.iter().enumerate().all(|(i, &p)| i == p)
+}
+
 /// Check that a permutation is valid (each axis appears exactly once).
 pub fn is_permutation(perm: &[usize]) -> bool {
     let n = perm.len();

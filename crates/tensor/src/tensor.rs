@@ -1,10 +1,10 @@
 //! Dense row-major complex tensor.
 
 use crate::shape::{
-    increment_index, invert_permutation, is_permutation, num_elements, permute_shape, ravel,
-    strides_for, unravel,
+    increment_index, invert_permutation, is_identity_perm, is_permutation, num_elements,
+    permute_shape, ravel, strides_for, unravel,
 };
-use koala_linalg::{c64, C64, Matrix};
+use koala_linalg::{c64, Matrix, C64};
 use rand::Rng;
 use std::fmt;
 
@@ -170,7 +170,12 @@ impl Tensor {
 
     /// The single element of a rank-0 (or single-element) tensor.
     pub fn item(&self) -> C64 {
-        assert_eq!(self.data.len(), 1, "item() requires exactly one element, shape {:?}", self.shape);
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires exactly one element, shape {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -194,10 +199,7 @@ impl Tensor {
     pub fn into_reshape(self, new_shape: &[usize]) -> Result<Tensor> {
         if num_elements(new_shape) != self.data.len() {
             return Err(TensorError::ShapeMismatch {
-                context: format!(
-                    "into_reshape: cannot view {:?} as {:?}",
-                    self.shape, new_shape
-                ),
+                context: format!("into_reshape: cannot view {:?} as {:?}", self.shape, new_shape),
             });
         }
         Ok(Tensor { shape: new_shape.to_vec(), data: self.data })
@@ -205,6 +207,10 @@ impl Tensor {
 
     /// Permute (transpose) the axes: axis `i` of the result is axis `perm[i]`
     /// of the input.
+    ///
+    /// Identity permutations (and rank <= 1) return a straight copy without
+    /// touching the gather machinery; other permutations run a cache-blocked
+    /// kernel (see [`permute_gather`]).
     pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
         if perm.len() != self.ndim() || !is_permutation(perm) {
             return Err(TensorError::InvalidAxes {
@@ -212,22 +218,11 @@ impl Tensor {
             });
         }
         let new_shape = permute_shape(&self.shape, perm);
-        if self.ndim() <= 1 || perm.iter().enumerate().all(|(i, &p)| i == p) {
+        if self.ndim() <= 1 || is_identity_perm(perm) {
             return Ok(Tensor { shape: new_shape, data: self.data.clone() });
         }
         let mut out = vec![C64::ZERO; self.data.len()];
-        let in_strides = strides_for(&self.shape);
-        let out_strides = strides_for(&new_shape);
-        // Walk the output in order; gather from the input.
-        // in_index[perm[i]] = out_index[i]  =>  offset_in = sum out_index[i]*in_strides[perm[i]]
-        let gather_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-        let mut idx = vec![0usize; self.ndim()];
-        for slot in out.iter_mut() {
-            let off_in = ravel(&idx, &gather_strides);
-            *slot = self.data[off_in];
-            increment_index(&mut idx, &new_shape);
-        }
-        let _ = out_strides;
+        permute_gather(&self.data, &self.shape, perm, &new_shape, &mut out);
         Ok(Tensor { shape: new_shape, data: out })
     }
 
@@ -405,6 +400,104 @@ impl Tensor {
     pub fn indexed_iter(&self) -> impl Iterator<Item = (Vec<usize>, C64)> + '_ {
         let shape = self.shape.clone();
         self.data.iter().enumerate().map(move |(off, &v)| (unravel(off, &shape), v))
+    }
+}
+
+/// Cache-blocked gather kernel behind [`Tensor::permute`].
+///
+/// Walks the output in row-major order, reading input offsets through the
+/// permuted strides. Two layouts cover every rank >= 2 permutation:
+///
+/// * if the output's innermost axis is also the input's innermost axis, the
+///   data moves in contiguous runs (`copy_from_slice` per run);
+/// * otherwise the output axis `t` that walks the input contiguously
+///   (`perm[t] == ndim-1`) and the output's innermost axis form a 2-D
+///   transpose, executed in `32 x 32` tiles so both the strided reads and
+///   the contiguous writes stay cache-resident.
+///
+/// All per-element index arithmetic is incremental (odometer updates), not
+/// the multiply-per-axis `ravel` of the previous implementation.
+fn permute_gather(
+    src: &[C64],
+    in_shape: &[usize],
+    perm: &[usize],
+    out_shape: &[usize],
+    out: &mut [C64],
+) {
+    let nd = out_shape.len();
+    debug_assert!(nd >= 2);
+    if out.is_empty() {
+        return;
+    }
+    let in_strides = strides_for(in_shape);
+    let out_strides = strides_for(out_shape);
+    // Input stride of each *output* axis.
+    let g: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+    let inner_len = out_shape[nd - 1];
+    let inner_stride = g[nd - 1];
+
+    if inner_stride == 1 {
+        // Contiguous runs: odometer over the outer output axes, incremental
+        // input base offset.
+        let mut idx = vec![0usize; nd - 1];
+        let mut base_in = 0usize;
+        for run in out.chunks_exact_mut(inner_len) {
+            run.copy_from_slice(&src[base_in..base_in + inner_len]);
+            for ax in (0..nd - 1).rev() {
+                idx[ax] += 1;
+                base_in += g[ax];
+                if idx[ax] < out_shape[ax] {
+                    break;
+                }
+                base_in -= g[ax] * out_shape[ax];
+                idx[ax] = 0;
+            }
+        }
+        return;
+    }
+
+    // Blocked 2-D transpose path. Axis `t` of the output walks the input
+    // contiguously (g[t] == 1); it exists and differs from the innermost
+    // output axis because inner_stride != 1.
+    const B: usize = 32;
+    let t = perm.iter().position(|&p| p == in_shape.len() - 1).expect("valid permutation");
+    let dim_t = out_shape[t];
+    let ost_t = out_strides[t];
+    let outer_axes: Vec<usize> = (0..nd - 1).filter(|&ax| ax != t).collect();
+    let mut idx = vec![0usize; outer_axes.len()];
+    let mut base_in = 0usize;
+    let mut base_out = 0usize;
+    loop {
+        // Tile copy: out[base_out + i*ost_t + j] = src[base_in + i + j*inner_stride].
+        for i0 in (0..dim_t).step_by(B) {
+            let imax = (i0 + B).min(dim_t);
+            for j0 in (0..inner_len).step_by(B) {
+                let jmax = (j0 + B).min(inner_len);
+                for i in i0..imax {
+                    let orow = base_out + i * ost_t;
+                    let irow = base_in + i;
+                    for j in j0..jmax {
+                        out[orow + j] = src[irow + j * inner_stride];
+                    }
+                }
+            }
+        }
+        let mut wrapped = true;
+        for (pos, &ax) in outer_axes.iter().enumerate().rev() {
+            idx[pos] += 1;
+            base_in += g[ax];
+            base_out += out_strides[ax];
+            if idx[pos] < out_shape[ax] {
+                wrapped = false;
+                break;
+            }
+            base_in -= g[ax] * out_shape[ax];
+            base_out -= out_strides[ax] * out_shape[ax];
+            idx[pos] = 0;
+        }
+        if wrapped {
+            break;
+        }
     }
 }
 

@@ -120,3 +120,60 @@ proptest! {
         prop_assert!(inner <= a.norm() * b.norm() + 1e-9);
     }
 }
+
+/// Exhaustive-ish `tensordot` vs `tensordot_naive` sweep over rank-3/4/5
+/// operands, covering every count of contracted axes (including zero — an
+/// outer product) and several axis orders, so both the zero-copy matricized
+/// fast paths and the permuting fallback get exercised.
+#[test]
+fn tensordot_matches_naive_rank_3_4_5_sweep() {
+    let mut rng = StdRng::seed_from_u64(0xD07);
+    // (shape_a, shape_b, axes_a, axes_b)
+    let cases: Vec<(Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>)> = vec![
+        // rank 3 x rank 3
+        (vec![2, 3, 4], vec![4, 3, 2], vec![2], vec![0]),
+        (vec![2, 3, 4], vec![4, 3, 2], vec![1, 2], vec![1, 0]),
+        (vec![2, 3, 4], vec![2, 3, 4], vec![0, 1, 2], vec![0, 1, 2]),
+        (vec![2, 3, 4], vec![3, 2, 2], vec![0], vec![1]),
+        // leading/trailing contracted axes hit the zero-copy transpose path
+        (vec![3, 2, 4], vec![3, 5, 2], vec![0], vec![0]),
+        (vec![2, 3, 4], vec![5, 4, 2], vec![2], vec![1]),
+        // rank 4
+        (vec![2, 3, 2, 4], vec![4, 2, 3, 2], vec![3, 1], vec![0, 2]),
+        (vec![2, 3, 2, 4], vec![2, 3, 5, 2], vec![0, 1], vec![0, 1]),
+        (vec![2, 2, 3, 3], vec![3, 3, 2, 2], vec![2, 3], vec![0, 1]),
+        // rank 5
+        (vec![2, 2, 2, 3, 2], vec![3, 2, 2, 2, 2], vec![3, 4], vec![0, 1]),
+        (vec![2, 2, 2, 3, 2], vec![2, 3, 2, 2, 2], vec![1, 3, 0], vec![2, 1, 4]),
+        // mixed ranks and outer product
+        (vec![2, 3, 4], vec![4, 5], vec![2], vec![0]),
+        (vec![2, 2], vec![3, 2, 2], vec![], vec![]),
+    ];
+    for (sa, sb, axes_a, axes_b) in cases {
+        let a = Tensor::random(&sa, &mut rng);
+        let b = Tensor::random(&sb, &mut rng);
+        let fast = tensordot(&a, &b, &axes_a, &axes_b).unwrap();
+        let slow = tensordot_naive(&a, &b, &axes_a, &axes_b).unwrap();
+        assert!(
+            fast.approx_eq(&slow, 1e-10),
+            "tensordot({sa:?}, {sb:?}, {axes_a:?}, {axes_b:?}) diverges from naive: {:e}",
+            fast.max_diff(&slow)
+        );
+    }
+}
+
+/// `sum_axis` (now a direct strided reduction) equals contracting against a
+/// ones tensor, on every axis of rank-1..4 tensors.
+#[test]
+fn sum_axis_matches_ones_contraction() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for shape in [vec![5], vec![3, 4], vec![2, 3, 4], vec![2, 3, 2, 3]] {
+        let t = Tensor::random(&shape, &mut rng);
+        for axis in 0..shape.len() {
+            let direct = sum_axis(&t, axis).unwrap();
+            let ones = Tensor::ones(&[shape[axis]]);
+            let via_gemm = tensordot(&t, &ones, &[axis], &[0]).unwrap();
+            assert!(direct.approx_eq(&via_gemm, 1e-12));
+        }
+    }
+}

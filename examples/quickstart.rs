@@ -19,7 +19,12 @@ fn main() {
     // Create a 2-by-3 PEPS in the |000000> state (the paper's
     // `peps.computational_zeros(nrow=2, ncol=3)`).
     let mut qstate = Peps::computational_zeros(2, 3);
-    println!("created a {}x{} PEPS with {} sites", qstate.nrows(), qstate.ncols(), qstate.num_sites());
+    println!(
+        "created a {}x{} PEPS with {} sites",
+        qstate.nrows(),
+        qstate.ncols(),
+        qstate.num_sites()
+    );
 
     // Apply a one-site and a two-site operator with the QR-SVD update
     // (`qstate.apply_operator(Y, [1])` / `qstate.apply_operator(CX, [1,4], QRUpdate(rank=2))`).

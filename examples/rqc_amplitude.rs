@@ -17,10 +17,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(21);
     let n = 3;
     let circuit = random_circuit(n, n, 8, 4, &mut rng);
-    println!("generated an RQC with {} gates ({} entangling)", circuit.len(), circuit.two_qubit_count());
+    println!(
+        "generated an RQC with {} gates ({} entangling)",
+        circuit.len(),
+        circuit.two_qubit_count()
+    );
 
     let mut peps = Peps::computational_zeros(n, n);
-    circuit.apply_to_peps(&mut peps, UpdateMethod::qr_svd(1 << 16)).expect("exact evolution failed");
+    circuit
+        .apply_to_peps(&mut peps, UpdateMethod::qr_svd(1 << 16))
+        .expect("exact evolution failed");
     let mut sv = StateVector::computational_zeros(n, n);
     circuit.apply_to_statevector(&mut sv);
     println!("PEPS bond dimension after exact evolution: {}", peps.max_bond());

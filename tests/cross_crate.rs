@@ -10,9 +10,7 @@ use koala::peps::{
     UpdateMethod,
 };
 use koala::sim::gates::{cnot, hadamard, iswap};
-use koala::sim::{
-    ite_peps, random_circuit, tfi_hamiltonian, IteOptions, StateVector, TfiParams,
-};
+use koala::sim::{ite_peps, random_circuit, tfi_hamiltonian, IteOptions, StateVector, TfiParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,7 +84,12 @@ fn rqc_amplitude_error_decreases_with_contraction_bond() {
         errors.push((approx - exact).abs() / exact.abs());
     }
     assert!(errors[2] < 1e-6, "large bond should be essentially exact, got {:?}", errors);
-    assert!(errors[0] >= errors[2], "error should not increase with bond dimension: {errors:?}");
+    // On this small lattice every bond is near-exact, so compare up to the
+    // float noise floor rather than demanding strict monotonicity there.
+    assert!(
+        errors[0] + 1e-12 >= errors[2],
+        "error should not increase with bond dimension: {errors:?}"
+    );
 }
 
 /// ITE on the PEPS reaches an energy close to the exact ground state of a
@@ -121,7 +124,8 @@ fn distributed_evolution_consistency_and_cost_ordering() {
 
     let cluster_gram = Cluster::new(8);
     let mut p2 = base.clone();
-    dist_tebd_layer(&cluster_gram, &mut p2, &gate, 3, DistEvolutionVariant::LocalGramQrSvd).unwrap();
+    dist_tebd_layer(&cluster_gram, &mut p2, &gate, 3, DistEvolutionVariant::LocalGramQrSvd)
+        .unwrap();
 
     // Same physics from both variants.
     let n1 = norm_sqr(&p1, ContractionMethod::bmps(12), &mut rng).unwrap();
@@ -131,8 +135,6 @@ fn distributed_evolution_consistency_and_cost_ordering() {
     // The reshape-avoiding variant wins on communication and modelled time.
     let t_gather = model.modelled_time(&cluster_gather.stats());
     let t_gram = model.modelled_time(&cluster_gram.stats());
-    assert!(
-        cluster_gram.stats().bytes_communicated < cluster_gather.stats().bytes_communicated
-    );
+    assert!(cluster_gram.stats().bytes_communicated < cluster_gather.stats().bytes_communicated);
     assert!(t_gram < t_gather, "modelled time should favour the Gram variant");
 }
