@@ -6,7 +6,9 @@
 use koala_bench::{time_it, BenchArgs, Figure, Series};
 use koala_peps::expectation::{expectation, ExpectationOptions};
 use koala_peps::operators::{kron, pauli_x, pauli_z, Observable};
+use koala_peps::update::{apply_two_site_everywhere, UpdateMethod};
 use koala_peps::{ContractionMethod, Peps};
+use koala_tensor::{clear_plan_cache, plan_stats, reset_plan_stats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,6 +88,54 @@ fn main() {
 
     fig.add(cached);
     fig.add(uncached);
+
+    // Planner overhead: the same TEBD-style evolution steps with the einsum
+    // contraction-plan cache warm (plans built once, then replayed) vs
+    // cleared before every step (every einsum re-runs parsing, validation,
+    // and the greedy ordering search). The gap is the per-step planning cost
+    // that the cache converts into a one-time cost.
+    let mut planner_cached = Series::new("evolution steps, cached plans");
+    let mut planner_uncached = Series::new("evolution steps, planner cache cleared");
+    let steps = if args.quick { 4 } else { 16 };
+    let zz = kron(&pauli_z(), &pauli_z());
+    for &n in &sides {
+        let mut rng = StdRng::seed_from_u64(9_100 + n as u64);
+        let base = Peps::random(n, n, 2, bond, &mut rng);
+        let method = UpdateMethod::qr_svd(bond);
+
+        let mut warm = base.clone();
+        clear_plan_cache();
+        apply_two_site_everywhere(&mut warm, &zz, method).unwrap(); // plan once
+        reset_plan_stats();
+        let (_, secs_warm) = time_it(|| {
+            for _ in 0..steps {
+                apply_two_site_everywhere(&mut warm, &zz, method).unwrap();
+            }
+        });
+        let warm_stats = plan_stats();
+
+        let mut cold = base.clone();
+        let (_, secs_cold) = time_it(|| {
+            for _ in 0..steps {
+                clear_plan_cache();
+                apply_two_site_everywhere(&mut cold, &zz, method).unwrap();
+            }
+        });
+        planner_cached.push(n as f64, secs_warm / steps as f64);
+        planner_uncached.push(n as f64, secs_cold / steps as f64);
+        println!(
+            "n={n:<2} planner: warm={:.3e}s/step cold={:.3e}s/step overhead={:.1}% \
+             (warm sweep: {} hits, {} misses)",
+            secs_warm / steps as f64,
+            secs_cold / steps as f64,
+            100.0 * (secs_cold - secs_warm) / secs_warm.max(1e-12),
+            warm_stats.hits,
+            warm_stats.misses,
+        );
+    }
+    fig.add(planner_cached);
+    fig.add(planner_uncached);
+
     fig.print();
     fig.maybe_write_json(&args);
 }

@@ -7,7 +7,7 @@
 //! communication counters reflect what a real distributed run would move.
 
 use crate::cluster::Cluster;
-use koala_linalg::{eigh, matmul, matmul_adj_a, scale_cols, scale_rows, Matrix, C64};
+use koala_linalg::{eigh, matmul, matmul_adj_a, Matrix, C64};
 
 /// A matrix distributed over the ranks of a [`Cluster`] by contiguous row
 /// blocks.
@@ -241,18 +241,10 @@ pub fn gram_qr_dist(a: &DistMatrix) -> DistQr {
     let e = eigh(&g).expect("gram_qr_dist: Gram matrix must be Hermitian PSD");
     a.cluster().record_flops_all((n * n * n) as u64);
     let lam_max = e.values.iter().cloned().fold(0.0, f64::max).max(0.0);
-    let cutoff = lam_max * 1e-24;
-    let mut sqrt_lam = vec![0.0; n];
-    let mut inv_sqrt = vec![0.0; n];
-    let mut x = Matrix::zeros(n, n);
-    for (newcol, oldcol) in (0..n).rev().enumerate() {
-        let lam = e.values[oldcol].max(0.0);
-        sqrt_lam[newcol] = lam.sqrt();
-        inv_sqrt[newcol] = if lam > cutoff && lam > 0.0 { 1.0 / lam.sqrt() } else { 0.0 };
-        x.set_col(newcol, &e.vectors.col(oldcol));
-    }
-    let r = scale_rows(&x.adjoint(), &sqrt_lam);
-    let r_inv = scale_cols(&x, &inv_sqrt);
+    // R = sqrt(Lambda) X^H and R^{-1} = X sqrt(Lambda)^{-1}, assembled by the
+    // same element-wise helper as the shared-memory `koala_linalg::gram_qr`
+    // (no X / X^H intermediates).
+    let (r, r_inv) = koala_linalg::gram::gram_r_factors(&e, lam_max * 1e-24);
     // Q = A R^{-1}: a purely local multiply on each row block.
     let q = a.matmul_replicated(&r_inv);
     DistQr { q, r, r_inv: Some(r_inv) }

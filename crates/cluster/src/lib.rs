@@ -21,6 +21,28 @@
 //!   reshape/gather baseline),
 //! * [`DistTensor`] — tensors distributed along one mode, with free-mode
 //!   contractions, explicit redistributions, and zero-copy matricization.
+//!
+//! # Example: a distributed Gram matrix and its communication bill
+//!
+//! The Gram product of paper Algorithm 5 needs only one allreduce of an
+//! `n x n` matrix, no matter how tall the distributed operand is — exactly
+//! what [`CommStats`] records:
+//!
+//! ```
+//! use koala_cluster::{Cluster, DistMatrix};
+//! use koala_linalg::{matmul_adj_a, Matrix};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let cluster = Cluster::new(4);
+//! let a = Matrix::random(16, 3, &mut rng);
+//! let dist = DistMatrix::scatter(&cluster, &a);
+//! let g = dist.gram(); // per-rank local A_i^H A_i, then one allreduce
+//! assert!(g.approx_eq(&matmul_adj_a(&a, &a), 1e-10));
+//! let stats = cluster.stats();
+//! assert_eq!(stats.collectives, 1);
+//! assert!(stats.redistributions == 0, "the tall operand never moves");
+//! ```
 
 #![warn(missing_docs)]
 

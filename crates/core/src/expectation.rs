@@ -15,7 +15,7 @@ use crate::peps::{Peps, Result, AX_P, AX_U};
 use crate::update::{apply_one_site, apply_two_site_any, UpdateMethod};
 use koala_linalg::C64;
 use koala_mps::{zip_up, Mpo, Mps, ZipUpMethod};
-use koala_tensor::{tensordot, Tensor, TensorError, Truncation};
+use koala_tensor::{Tensor, TensorError, Truncation};
 use rand::Rng;
 
 /// Options controlling the expectation-value computation.
@@ -66,15 +66,18 @@ fn apply_row<R: Rng + ?Sized>(
 
 /// Merge a bra site (conjugated) with a ket site over the physical index,
 /// producing a rank-5 tensor `[1, u_pair, l_pair, d_pair, r_pair]`.
+///
+/// The contraction-and-interleave runs as one cached einsum plan: every term
+/// of an observable merges sites of the same handful of shapes, so the
+/// planning cost is paid once per shape for the whole expectation sweep.
 fn merge_site_pair(bra_site: &Tensor, ket_site: &Tensor) -> Result<Tensor> {
     if bra_site.dim(AX_P) != ket_site.dim(AX_P) {
         return Err(TensorError::ShapeMismatch {
             context: "merge_site_pair: physical dimensions differ".into(),
         });
     }
-    let pair = tensordot(&bra_site.conj(), ket_site, &[AX_P], &[AX_P])?;
-    // [ub, lb, db, rb, uk, lk, dk, rk] -> [ub, uk, lb, lk, db, dk, rb, rk]
-    let pair = pair.permute(&[0, 4, 1, 5, 2, 6, 3, 7])?;
+    // [p, ub, lb, db, rb] x [p, uk, lk, dk, rk] -> [ub, uk, lb, lk, db, dk, rb, rk]
+    let pair = koala_tensor::einsum("pabcd,pefgh->aebfcgdh", &[&bra_site.conj(), ket_site])?;
     let s = pair.shape().to_vec();
     pair.into_reshape(&[1, s[0] * s[1], s[2] * s[3], s[4] * s[5], s[6] * s[7]])
 }

@@ -14,11 +14,17 @@
 //! * [`contract`] — Exact, BMPS (Algorithm 2 + 3) and IBMPS (implicit
 //!   randomized SVD, Algorithm 4) contraction of one-layer networks,
 //! * [`two_layer`] — the two-layer IBMPS inner product (Table II),
-//! * [`expectation`] — expectation values with the row-environment caching
+//! * [`mod@expectation`] — expectation values with the row-environment caching
 //!   strategy of §IV-B,
 //! * [`dist`] — the same evolution/contraction kernels driven through the
 //!   simulated distributed-memory backend (`koala-cluster`), used by the
 //!   scaling and backend-comparison benchmarks (Figures 7, 8, 11, 12).
+//!
+//! The hot site-local contractions (gate application, the einsumsvd theta
+//! networks, bra–ket site merging) run through `koala_tensor::einsum`, whose
+//! contraction plans are memoised per `(spec, shapes)` key — an evolution or
+//! expectation sweep pays the planning cost once and replays the cached
+//! schedule for every site and step (see `koala_tensor::plan`).
 //!
 //! ## Quick example
 //!

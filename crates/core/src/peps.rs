@@ -435,10 +435,10 @@ impl Peps {
                     context: "merge_with_bra: physical dimensions differ".into(),
                 });
             }
-            // conj(bra)[p, ub, lb, db, rb] x ket[p, uk, lk, dk, rk]
-            let pair = tensordot(&bra_t.conj(), ket, &[AX_P], &[AX_P])?;
-            // [ub, lb, db, rb, uk, lk, dk, rk] -> [ub, uk, lb, lk, db, dk, rb, rk]
-            let pair = pair.permute(&[0, 4, 1, 5, 2, 6, 3, 7])?;
+            // conj(bra)[p, ub, lb, db, rb] x ket[p, uk, lk, dk, rk], with the
+            // bond-pair interleaving folded into the (cached) einsum plan:
+            // [ub, uk, lb, lk, db, dk, rb, rk].
+            let pair = koala_tensor::einsum("pabcd,pefgh->aebfcgdh", &[&bra_t.conj(), ket])?;
             let s = pair.shape().to_vec();
             let merged =
                 pair.into_reshape(&[1, s[0] * s[1], s[2] * s[3], s[4] * s[5], s[6] * s[7]])?;

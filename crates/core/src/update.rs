@@ -18,7 +18,7 @@ use crate::peps::{
 };
 use koala_linalg::Matrix;
 use koala_tensor::{
-    gram_qr_split, qr_split, svd_split, tensordot, Tensor, TensorError, Truncation,
+    einsum, gram_qr_split, qr_split, svd_split, tensordot, Tensor, TensorError, Truncation,
 };
 
 /// Strategy for two-site operator application.
@@ -68,13 +68,17 @@ impl UpdateMethod {
 }
 
 /// Apply a one-site gate to a site of the PEPS (Equation 3).
+///
+/// Runs through the cached einsum planner: evolution sweeps apply the same
+/// gate shape to every site, so the contraction is planned once per
+/// `(gate, site-tensor)` shape pair.
 pub fn apply_one_site(peps: &mut Peps, gate: &Matrix, site: Site) -> Result<()> {
     let d = peps.phys_dim(site);
     check_one_site_gate(gate, d)?;
     let gate_t = Tensor::from_matrix_2d(gate);
     let old = peps.tensor(site);
     // new[i, u, l, d, r] = sum_j gate[i, j] old[j, u, l, d, r]
-    let new = tensordot(&gate_t, old, &[1], &[AX_P])?;
+    let new = einsum("ij,juldr->iuldr", &[&gate_t, old])?;
     peps.set_tensor(site, new);
     Ok(())
 }
@@ -192,10 +196,12 @@ fn direct_update(
     gate: &Tensor, // [pa', pb', pa, pb]
     truncation: Truncation,
 ) -> Result<(Tensor, Tensor, f64)> {
-    // theta [pa, ao1..3, pb, bo1..3]
-    let theta = tensordot(a, b, &[4], &[1])?;
-    // apply gate over (pa, pb): [pa', pb', ao1..3, bo1..3]
-    let theta = tensordot(gate, &theta, &[2, 3], &[0, 4])?;
+    // theta [pa', pb', ao1..3, bo1..3]: the full {a, b, gate} network in one
+    // planned einsum — a: [pa=a, o=bcd, bond=x], b: [pb=e, bond=x, o=fgh],
+    // gate: [pa'=A, pb'=B, pa=a, pb=e]. The contraction order and
+    // matricization layouts come from the plan cache, so a TEBD sweep plans
+    // this network once per site-tensor shape.
+    let theta = einsum("abcdx,exfgh,ABae->ABbcdfgh", &[a, b, gate])?;
     // rows: (pa', ao1..3)  cols: (pb', bo1..3)
     let f = svd_split(&theta, &[0, 2, 3, 4], truncation)?;
     let err = f.truncation_error;
@@ -246,12 +252,13 @@ pub(crate) fn small_einsumsvd(
     r_b: &Tensor,
     truncation: Truncation,
 ) -> Result<(Tensor, Tensor, f64)> {
-    // theta [ka, pa, kb, pb] <- R_a x R_b over the shared bond
-    let theta = tensordot(r_a, r_b, &[2], &[2])?;
-    // gate [pa', pb', pa, pb] x theta [ka, pa, kb, pb] -> [pa', pb', ka, kb]
-    let theta = tensordot(gate, &theta, &[2, 3], &[1, 3])?;
+    // theta [ka, pa', kb, pb'] directly from {gate, R_a, R_b} as one planned
+    // einsum — r_a: [ka=a, pa=p, bond=x], r_b: [kb=b, pb=q, bond=x],
+    // gate: [pa'=P, pb'=Q, pa=p, pb=q]. The plan (including the final
+    // permutation into the SVD row/column layout) is cached per shape, which
+    // is what makes repeating this step thousands of times cheap.
+    let theta = einsum("apx,bqx,PQpq->aPbQ", &[r_a, r_b, gate])?;
     // rows: (ka, pa'), cols: (kb, pb')
-    let theta = theta.permute(&[2, 0, 3, 1])?; // [ka, pa', kb, pb']
     let f = svd_split(&theta, &[0, 1], truncation)?;
     let err = f.truncation_error;
     let (rt_a, rt_b) = f.absorb_split(); // [ka, pa', k], [k, kb, pb']

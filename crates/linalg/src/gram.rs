@@ -39,29 +39,38 @@ pub fn gram_qr(a: &Matrix) -> Result<GramQr> {
 
 /// [`gram_qr`] with an explicit relative rank tolerance.
 pub fn gram_qr_with_tol(a: &Matrix, rel_tol: f64) -> Result<GramQr> {
-    let n = a.ncols();
     let g = matmul_adj_a(a, a);
     let e = eigh(&g)?;
     let lam_max = e.values.iter().cloned().fold(0.0, f64::max).max(0.0);
-    let cutoff = lam_max * rel_tol * rel_tol;
-
-    // Descending order of eigenvalues for a conventional R.
-    let mut sqrt_lam = vec![0.0f64; n];
-    let mut inv_sqrt = vec![0.0f64; n];
-    let mut x = Matrix::zeros(n, n);
-    for (newcol, oldcol) in (0..n).rev().enumerate() {
-        let lam = e.values[oldcol].max(0.0);
-        sqrt_lam[newcol] = lam.sqrt();
-        inv_sqrt[newcol] = if lam > cutoff && lam > 0.0 { 1.0 / lam.sqrt() } else { 0.0 };
-        x.set_col(newcol, &e.vectors.col(oldcol));
-    }
-
-    // R = sqrt(Lambda) X^H  and  R^{-1} = X sqrt(Lambda)^{-1}.
-    let xh = x.adjoint();
-    let r = crate::svd::scale_rows(&xh, &sqrt_lam);
-    let r_inv = crate::svd::scale_cols(&x, &inv_sqrt);
+    let (r, r_inv) = gram_r_factors(&e, lam_max * rel_tol * rel_tol);
     let q = matmul(a, &r_inv);
     Ok(GramQr { q, r, r_inv })
+}
+
+/// Assemble `R = sqrt(Lambda) X^H` and `R^{-1} = X sqrt(Lambda)^{-1}` from an
+/// eigendecomposition of the Gram matrix `A^H A`, in descending eigenvalue
+/// order. The scaled adjoint is written element-wise into its destination —
+/// no `X` / `X^H` intermediate is materialised. Eigenvalues at or below
+/// `cutoff` (or non-positive) contribute zero columns to `R^{-1}`, exactly
+/// like a pseudo-inverse.
+///
+/// Shared by [`gram_qr_with_tol`] and the distributed `gram_qr_dist` of
+/// `koala-cluster`, which replicate the same small assembly on every rank.
+pub fn gram_r_factors(e: &crate::eig::EigH, cutoff: f64) -> (Matrix, Matrix) {
+    let n = e.values.len();
+    let mut r = Matrix::zeros(n, n);
+    let mut r_inv = Matrix::zeros(n, n);
+    for (newcol, oldcol) in (0..n).rev().enumerate() {
+        let lam = e.values[oldcol].max(0.0);
+        let sqrt_lam = lam.sqrt();
+        let inv_sqrt = if lam > cutoff && lam > 0.0 { 1.0 / sqrt_lam } else { 0.0 };
+        for i in 0..n {
+            let x_i = e.vectors[(i, oldcol)];
+            r[(newcol, i)] = x_i.conj().scale(sqrt_lam);
+            r_inv[(i, newcol)] = x_i.scale(inv_sqrt);
+        }
+    }
+    (r, r_inv)
 }
 
 /// Orthogonalization through the Gram matrix, discarding `R` (used when only

@@ -9,17 +9,46 @@
 //!
 //! * [`scalar::C64`] — complex double-precision scalar,
 //! * [`matrix::Matrix`] — dense row-major complex matrix,
-//! * [`gemm`] — blocked, Rayon-parallel matrix multiplication,
-//! * [`qr`] — thin QR (modified Gram-Schmidt with reorthogonalization),
-//! * [`svd`] — one-sided Jacobi SVD, truncated SVD, Gram-based SVD,
-//! * [`eig`] — Hermitian Jacobi eigendecomposition and matrix functions,
-//! * [`rsvd`] — randomized SVD with implicitly applied operators
+//! * [`mod@gemm`] — blocked, Rayon-parallel matrix multiplication,
+//! * [`mod@qr`] — thin QR (modified Gram-Schmidt with reorthogonalization),
+//! * [`mod@svd`] — one-sided Jacobi SVD, truncated SVD, Gram-based SVD,
+//! * [`mod@eig`] — Hermitian Jacobi eigendecomposition and matrix functions,
+//! * [`mod@rsvd`] — randomized SVD with implicitly applied operators
 //!   (paper Algorithm 4),
-//! * [`gram`] — reshape-avoiding Gram-matrix orthogonalization
+//! * [`mod@gram`] — reshape-avoiding Gram-matrix orthogonalization
 //!   (paper Algorithm 5, local math),
-//! * [`solve`] — LU / triangular solvers and inverses,
-//! * [`expm`] — matrix exponentials for time evolution and gate synthesis,
-//! * [`lanczos`] — ground states of large implicit Hermitian operators.
+//! * [`mod@solve`] — LU / triangular solvers, least squares, and inverses,
+//! * [`mod@expm`] — matrix exponentials for time evolution and gate synthesis,
+//! * [`mod@lanczos`] — ground states of large implicit Hermitian operators.
+//!
+//! A design rule runs through the whole crate: **transposition is never
+//! materialised on a multiply path.** The packed GEMM fuses
+//! [`Op::Adjoint`](gemm::Op) / [`Op::Transpose`](gemm::Op) into operand
+//! packing, and the SVD / Gram / randomized-SVD / solve kernels route their
+//! products through those fused paths instead of calling
+//! [`Matrix::adjoint`]. The [`matrix::transpose_counter`] diagnostic lets
+//! tests pin that property down.
+//!
+//! # Example: fused adjoint GEMM with [`gemm::gemm_into`]
+//!
+//! `gemm_into` accumulates `op(A) * op(B)` into a caller-owned buffer; the
+//! transposition only changes the packing gather order, so no copy of `A` is
+//! made:
+//!
+//! ```
+//! use koala_linalg::gemm::{gemm_into, Op};
+//! use koala_linalg::{c64, C64};
+//!
+//! // A is stored 2x3 row-major; we multiply A^H (3x2) by B (2x2).
+//! let a = [c64(1., 1.), c64(2., 0.), c64(0., 3.), c64(4., 0.), c64(5., 0.), c64(6., 0.)];
+//! let b = [c64(1., 0.), c64(0., 0.), c64(0., 0.), c64(1., 0.)]; // identity
+//! let (m, n, k) = (3, 2, 2); // effective shapes: A^H is 3x2, B is 2x2
+//! let mut c = vec![C64::ZERO; m * n];
+//! gemm_into(Op::Adjoint, Op::None, m, n, k, &a, &b, &mut c);
+//! // C = A^H * I = A^H: entry (0, 0) is conj(A[0, 0]).
+//! assert_eq!(c[0], c64(1., -1.));
+//! assert_eq!(c[1], c64(4., 0.));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -40,17 +69,17 @@ pub mod solve;
 pub mod svd;
 
 pub use error::{LinalgError, Result};
-pub use matrix::Matrix;
+pub use matrix::{reset_transpose_counter, transpose_counter, Matrix};
 pub use scalar::{c64, C64};
 
 pub use eig::{eigh, eigvalsh, funm_hermitian, EigH};
 pub use expm::{expm, expm_hermitian};
 pub use gemm::{gemm, gemm_into, matmul, matmul_adj_a, matmul_adj_b, Op};
-pub use gram::{gram_orthonormalize, gram_qr, GramQr};
+pub use gram::{gram_orthonormalize, gram_qr, gram_r_factors, GramQr};
 pub use lanczos::{lanczos_ground_state, DenseHermitianOp, HermitianOp, LanczosResult};
 pub use qr::{orthonormalize, qr, QrFactors};
 pub use rsvd::{rsvd, rsvd_matrix, ComposedOp, LinearOp, MatOp, RsvdOptions};
-pub use solve::{inverse, lu, solve, solve_upper_triangular, upper_triangular_inverse};
+pub use solve::{inverse, lstsq, lu, solve, solve_upper_triangular, upper_triangular_inverse};
 pub use svd::{
     low_rank_factors, scale_cols, scale_rows, spectral_norm, svd, svd_gram, svd_truncated, Svd,
 };

@@ -5,6 +5,24 @@ use crate::scalar::{c64, C64};
 use rand::Rng;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global count of materialised transpositions ([`Matrix::transpose`] /
+/// [`Matrix::adjoint`] calls). The hot linalg paths are expected to fuse
+/// transposition into GEMM packing via [`crate::gemm::Op`] instead of
+/// materialising copies; tests assert the counter stays at zero across those
+/// paths. Diagnostics only — never used for control flow.
+static TRANSPOSE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Read the global transpose/adjoint materialisation counter.
+pub fn transpose_counter() -> u64 {
+    TRANSPOSE_COUNTER.load(Ordering::Relaxed)
+}
+
+/// Reset the materialisation counter, returning its previous value.
+pub fn reset_transpose_counter() -> u64 {
+    TRANSPOSE_COUNTER.swap(0, Ordering::Relaxed)
+}
 
 /// Dense matrix of [`C64`] stored in row-major order.
 #[derive(Clone, PartialEq)]
@@ -182,12 +200,18 @@ impl Matrix {
     ///
     /// Note the GEMM layer never calls this: [`crate::gemm::gemm`] fuses
     /// transposition into operand packing instead of materialising a copy.
+    /// The linalg kernels (`svd`, `gram`, `rsvd`, `solve`) likewise route
+    /// their multiplications through [`crate::gemm::Op::Adjoint`] /
+    /// [`crate::gemm::Op::Transpose`] — [`transpose_counter`] counts the
+    /// materialisations that remain, so tests can pin that property down.
     pub fn transpose(&self) -> Matrix {
+        TRANSPOSE_COUNTER.fetch_add(1, Ordering::Relaxed);
         self.transpose_with(|z| z)
     }
 
     /// Conjugate transpose `A^H` (cache-blocked like [`Matrix::transpose`]).
     pub fn adjoint(&self) -> Matrix {
+        TRANSPOSE_COUNTER.fetch_add(1, Ordering::Relaxed);
         self.transpose_with(C64::conj)
     }
 

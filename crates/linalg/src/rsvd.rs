@@ -130,13 +130,23 @@ pub fn rsvd<O: LinearOp, R: Rng + ?Sized>(op: &O, opts: RsvdOptions, rng: &mut R
         p = orthonormalize(&op.apply(&q));
     }
 
-    // B = P^H A  (l x n), computed as (A^H P)^H to stay implicit.
+    // B = P^H A (l x n), represented implicitly as (A^H P)^H. Instead of
+    // materialising the adjoint and factorizing B, factorize the tall sketch
+    // A^H P = W S Z^H directly; then B = Z S W^H, so U = P Z (computed with
+    // the adjoint of Z^H fused into the GEMM) and V^H = W^H (assembled
+    // element-wise at the truncated size).
     let ahp = op.apply_adj(&p); // n x l
-    let b = ahp.adjoint(); // l x n
-    let small = svd(&b)?;
-    let u = matmul(&p, &small.u);
-    let f = Svd { u, s: small.s, vh: small.vh };
-    Ok(f.truncated(opts.rank))
+    let t = svd(&ahp)?;
+    let k = opts.rank.min(t.s.len());
+    let zh_k = t.vh.truncate_rows(k); // Z^H, leading k rows
+    let u = crate::gemm::gemm(crate::gemm::Op::None, crate::gemm::Op::Adjoint, &p, &zh_k);
+    let mut vh = Matrix::zeros(k, n);
+    for i in 0..k {
+        for j in 0..n {
+            vh[(i, j)] = t.u[(j, i)].conj();
+        }
+    }
+    Ok(Svd { u, s: t.s[..k].to_vec(), vh })
 }
 
 /// Randomized truncated SVD of an explicit matrix (convenience wrapper).

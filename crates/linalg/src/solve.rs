@@ -62,6 +62,10 @@ pub fn lu(a: &Matrix) -> Result<Lu> {
 
 impl Lu {
     /// Solve `A x = b` for each column of `b`.
+    ///
+    /// The substitution sweeps run on contiguous row slices (axpy-style rank-1
+    /// updates on the row-major storage) rather than per-element indexing, so
+    /// multi-RHS solves stream through memory like the GEMM kernels do.
     pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.lu.nrows();
         if b.nrows() != n {
@@ -71,34 +75,44 @@ impl Lu {
         }
         let ncols = b.ncols();
         let mut x = Matrix::zeros(n, ncols);
-        // Apply permutation to b.
+        // Apply permutation to b: whole-row copies.
         for i in 0..n {
-            for j in 0..ncols {
-                x[(i, j)] = b[(self.perm[i], j)];
-            }
+            x.row_mut(i).copy_from_slice(b.row(self.perm[i]));
         }
-        // Forward substitution with unit lower triangle.
+        let xd = x.data_mut();
+        // Forward substitution with the unit lower triangle:
+        // row_i -= L[i, k] * row_k for k < i.
         for i in 0..n {
+            let (above, current) = xd.split_at_mut(i * ncols);
+            let row_i = &mut current[..ncols];
             for k in 0..i {
                 let lik = self.lu[(i, k)];
-                for j in 0..ncols {
-                    let sub = lik * x[(k, j)];
-                    x[(i, j)] -= sub;
+                if lik == C64::ZERO {
+                    continue;
+                }
+                let row_k = &above[k * ncols..(k + 1) * ncols];
+                for (xi, xk) in row_i.iter_mut().zip(row_k.iter()) {
+                    *xi -= lik * *xk;
                 }
             }
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
+            let (upto, below) = xd.split_at_mut((i + 1) * ncols);
+            let row_i = &mut upto[i * ncols..];
             for k in (i + 1)..n {
                 let uik = self.lu[(i, k)];
-                for j in 0..ncols {
-                    let sub = uik * x[(k, j)];
-                    x[(i, j)] -= sub;
+                if uik == C64::ZERO {
+                    continue;
+                }
+                let row_k = &below[(k - i - 1) * ncols..(k - i) * ncols];
+                for (xi, xk) in row_i.iter_mut().zip(row_k.iter()) {
+                    *xi -= uik * *xk;
                 }
             }
             let d = self.lu[(i, i)];
-            for j in 0..ncols {
-                x[(i, j)] /= d;
+            for xi in row_i.iter_mut() {
+                *xi /= d;
             }
         }
         Ok(x)
@@ -124,6 +138,42 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 pub fn inverse(a: &Matrix) -> Result<Matrix> {
     let n = a.nrows();
     lu(a)?.solve(&Matrix::identity(n))
+}
+
+/// Least-squares solution of `min_x ||A x - b||_F` for a full-column-rank
+/// `A` (m >= n), via the normal equations `A^H A x = A^H b`.
+///
+/// Both Gram products run through the [`Op::Adjoint`](crate::gemm::Op) fused
+/// GEMM path — no adjoint of `A` is materialised. Fine for the
+/// well-conditioned tall systems produced by tensor-network algorithms; use
+/// a QR-based solve if `A` may be ill-conditioned.
+///
+/// ```
+/// use koala_linalg::{lstsq, matmul, Matrix};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let a = Matrix::random(20, 4, &mut rng);
+/// let x_true = Matrix::random(4, 2, &mut rng);
+/// let b = matmul(&a, &x_true); // consistent system: the residual is zero
+/// let x = lstsq(&a, &b).unwrap();
+/// assert!(x.approx_eq(&x_true, 1e-9));
+/// ```
+pub fn lstsq(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("lstsq: system is underdetermined ({m} rows < {n} cols)"),
+        });
+    }
+    if b.nrows() != m {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("lstsq: rhs has {} rows, expected {m}", b.nrows()),
+        });
+    }
+    let gram = crate::gemm::matmul_adj_a(a, a);
+    let rhs = crate::gemm::matmul_adj_a(a, b);
+    solve(&gram, &rhs)
 }
 
 /// Solve `R x = b` with `R` upper triangular.

@@ -100,21 +100,30 @@ pub fn scale_rows(m: &Matrix, s: &[f64]) -> Matrix {
 const MAX_SWEEPS: usize = 60;
 
 /// Full (thin) SVD via one-sided complex Jacobi iteration.
+///
+/// Wide inputs (`m < n`) are handled by running the Jacobi iteration on the
+/// columns of `A^H` — which are gathered directly as conjugated rows of the
+/// row-major storage of `A` — and assembling the swapped factors in place.
+/// No adjoint of the input (or of the resulting factors) is ever
+/// materialised.
 pub fn svd(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Ok(Svd { u: Matrix::zeros(m, 0), s: vec![], vh: Matrix::zeros(0, n) });
     }
-    if m < n {
-        // Work on the adjoint and swap factors: A^H = U' S V'^H  =>  A = V' S U'^H.
-        let t = svd(&a.adjoint())?;
-        return Ok(Svd { u: t.vh.adjoint(), s: t.s, vh: t.u.adjoint() });
-    }
-
+    let wide = m < n;
+    // `w` holds the columns of A (tall) or of A^H (wide): k columns of
+    // length `rows`, where k = min(m, n) is the thin rank.
+    let k = m.min(n);
+    let mut w: Vec<Vec<C64>> = if wide {
+        (0..m).map(|j| a.row(j).iter().map(|z| z.conj()).collect()).collect()
+    } else {
+        (0..n).map(|j| a.col(j)).collect()
+    };
     // Columns of W converge to U * diag(s); V accumulates the rotations.
-    let mut w: Vec<Vec<C64>> = (0..n).map(|j| a.col(j)).collect();
-    let mut v = Matrix::identity(n);
+    let mut v = Matrix::identity(k);
     let fro = a.norm_fro().max(1e-300);
+    let n = k;
 
     let mut converged = false;
     for _sweep in 0..MAX_SWEEPS {
@@ -186,30 +195,50 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
         }
     }
 
-    // Extract singular values and left vectors.
+    // Extract singular values and assemble the factors.
     let mut sigma: Vec<f64> =
         w.iter().map(|col| col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()).collect();
-    let mut order: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..k).collect();
     order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
 
-    let mut u = Matrix::zeros(m, n);
-    let mut vh = Matrix::zeros(n, n);
-    let mut s_sorted = Vec::with_capacity(n);
+    let (m, n) = a.shape();
+    let mut u = Matrix::zeros(m, k);
+    let mut vh = Matrix::zeros(k, n);
+    let mut s_sorted = Vec::with_capacity(k);
     let cutoff = sigma.iter().cloned().fold(0.0, f64::max) * 1e-300;
     for (newcol, &old) in order.iter().enumerate() {
         let sv = sigma[old];
         s_sorted.push(sv);
-        if sv > cutoff && sv > 0.0 {
-            let inv = 1.0 / sv;
-            let col: Vec<C64> = w[old].iter().map(|&z| z * inv).collect();
-            u.set_col(newcol, &col);
-        } else {
-            // Null direction: leave the U column zero (harmless for truncation).
+        let significant = sv > cutoff && sv > 0.0;
+        if !significant {
+            // Null direction: leave the W-derived factor zero (harmless for
+            // truncation).
             sigma[old] = 0.0;
             *s_sorted.last_mut().unwrap() = 0.0;
         }
-        for r in 0..n {
-            vh[(newcol, r)] = v[(r, old)].conj();
+        if wide {
+            // A = A^H^H = V' S W'^H: U comes from the accumulated rotations,
+            // V^H rows from the (conjugated) converged columns.
+            for r in 0..k {
+                u[(r, newcol)] = v[(r, old)];
+            }
+            if significant {
+                let inv = 1.0 / sv;
+                for (r, z) in w[old].iter().enumerate() {
+                    vh[(newcol, r)] = z.conj() * inv;
+                }
+            }
+        } else {
+            // A = W V^H: U columns from the converged columns, V^H rows from
+            // the conjugated rotations.
+            if significant {
+                let inv = 1.0 / sv;
+                let col: Vec<C64> = w[old].iter().map(|&z| z * inv).collect();
+                u.set_col(newcol, &col);
+            }
+            for r in 0..k {
+                vh[(newcol, r)] = v[(r, old)].conj();
+            }
         }
     }
     Ok(Svd { u, s: s_sorted, vh })
@@ -237,24 +266,54 @@ pub fn svd_truncated(a: &Matrix, k: usize) -> Result<Svd> {
 /// faster than Jacobi for tall-skinny matrices at the cost of ~sqrt(eps)
 /// accuracy on small singular values. Used where the paper forms Gram
 /// matrices explicitly (Algorithm 5).
+///
+/// Both Gram products and the factor recovery run through the fused
+/// [`Op::Adjoint`](crate::gemm::Op) GEMM paths — no transposed operand or
+/// factor copy is materialised on either the tall or the wide branch.
 pub fn svd_gram(a: &Matrix) -> Result<Svd> {
+    use crate::gemm::{gemm, matmul_adj_b, Op};
     let (m, n) = a.shape();
     if m < n {
-        let t = svd_gram(&a.adjoint())?;
-        return Ok(Svd { u: t.vh.adjoint(), s: t.s, vh: t.u.adjoint() });
+        // Wide: G = A A^H = U diag(lambda) U^H, sigma = sqrt(lambda), and
+        // V^H = diag(1/sigma) U^H A with the adjoint fused into the GEMM.
+        let g = matmul_adj_b(a, a);
+        let e = eigh(&g)?;
+        let n_eff = e.values.len();
+        // eigh returns ascending order; we want descending singular values.
+        let mut s = Vec::with_capacity(n_eff);
+        let mut u = Matrix::zeros(m, n_eff);
+        for (newcol, oldcol) in (0..n_eff).rev().enumerate() {
+            s.push(e.values[oldcol].max(0.0).sqrt());
+            u.set_col(newcol, &e.vectors.col(oldcol));
+        }
+        let mut vh = gemm(Op::Adjoint, Op::None, &u, a);
+        let smax = s.first().copied().unwrap_or(0.0);
+        for i in 0..n_eff {
+            if s[i] > smax * 1e-14 && s[i] > 0.0 {
+                let inv = 1.0 / s[i];
+                for z in vh.row_mut(i) {
+                    *z = z.scale(inv);
+                }
+            } else {
+                vh.row_mut(i).fill(C64::ZERO);
+            }
+        }
+        return Ok(Svd { u, s, vh });
     }
-    // G = A^H A = V diag(lambda) V^H, sigma = sqrt(lambda), U = A V / sigma.
+    // Tall: G = A^H A = V diag(lambda) V^H, sigma = sqrt(lambda),
+    // U = A V / sigma with A V computed as A (V^H)^H via the fused GEMM.
     let g = matmul_adj_a(a, a);
     let e = eigh(&g)?;
     let n_eff = e.values.len();
-    // eigh returns ascending order; we want descending singular values.
     let mut s = Vec::with_capacity(n_eff);
-    let mut v = Matrix::zeros(n, n_eff);
-    for (newcol, oldcol) in (0..n_eff).rev().enumerate() {
+    let mut vh = Matrix::zeros(n_eff, n);
+    for (newrow, oldcol) in (0..n_eff).rev().enumerate() {
         s.push(e.values[oldcol].max(0.0).sqrt());
-        v.set_col(newcol, &e.vectors.col(oldcol));
+        for r in 0..n {
+            vh[(newrow, r)] = e.vectors[(r, oldcol)].conj();
+        }
     }
-    let av = matmul(a, &v);
+    let av = gemm(Op::None, Op::Adjoint, a, &vh);
     let mut u = Matrix::zeros(m, n_eff);
     let smax = s.first().copied().unwrap_or(0.0);
     for j in 0..n_eff {
@@ -264,7 +323,7 @@ pub fn svd_gram(a: &Matrix) -> Result<Svd> {
             u.set_col(j, &col);
         }
     }
-    Ok(Svd { u, s, vh: v.adjoint() })
+    Ok(Svd { u, s, vh })
 }
 
 /// Convenience: best rank-`k` approximation factors `(L, R)` with `A ≈ L R`,

@@ -5,13 +5,28 @@
 //! allocator: a transposed product must allocate (to within noise) exactly
 //! what the plain product allocates — if either path materialised an operand
 //! copy, the difference would show up as at least one full operand size.
+//!
+//! The same property is asserted for the higher-level kernels: the SVD wide
+//! fallbacks, Gram QR, randomized SVD, and the least-squares solver must not
+//! call `Matrix::adjoint` / `Matrix::transpose` at all (tracked by the
+//! transpose-materialisation counter), and the wide-input SVD must stay
+//! within the tall-input allocation footprint.
 
-use koala_linalg::gemm::{gemm, Op};
-use koala_linalg::Matrix;
+use koala_linalg::gemm::{gemm, matmul, Op};
+use koala_linalg::{
+    gram_qr, lstsq, reset_transpose_counter, rsvd_matrix, svd, svd_gram, transpose_counter, Matrix,
+    RsvdOptions,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The tests in this file read process-wide counters (bytes allocated,
+/// transpositions materialised); run them one at a time so concurrent test
+/// threads cannot pollute each other's measurements.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -46,6 +61,7 @@ fn bytes_allocated_by(f: impl FnOnce() -> Matrix) -> u64 {
 
 #[test]
 fn transposed_gemm_does_not_materialize_operands() {
+    let _guard = SERIAL.lock().unwrap();
     const N: usize = 512;
     let operand_bytes = (N * N * std::mem::size_of::<koala_linalg::C64>()) as u64; // 4 MiB
     let mut rng = StdRng::seed_from_u64(7);
@@ -75,4 +91,77 @@ fn transposed_gemm_does_not_materialize_operands() {
              (diff {diff}, operand is {operand_bytes}) — an operand copy is being materialised"
         );
     }
+}
+
+/// The multiply paths of `svd` (wide fallback), `svd_gram` (both
+/// orientations), `gram_qr`, `rsvd`, and `lstsq` must never materialise a
+/// transposed operand: every product routes the transposition through
+/// `Op::Adjoint` / `Op::Transpose` GEMM packing, and the factors are
+/// assembled element-wise in their destination layout.
+#[test]
+fn linalg_kernels_do_not_materialize_adjoints() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let tall = Matrix::random(40, 7, &mut rng);
+    let wide = Matrix::random(7, 40, &mut rng);
+    let rhs = Matrix::random(40, 3, &mut rng);
+
+    reset_transpose_counter();
+    let f = svd(&wide).unwrap();
+    assert!(f.reconstruct().approx_eq(&wide, 1e-9), "wide Jacobi SVD must stay correct");
+    let g = svd_gram(&tall).unwrap();
+    assert!(g.reconstruct().approx_eq(&tall, 1e-8));
+    let g = svd_gram(&wide).unwrap();
+    assert!(g.reconstruct().approx_eq(&wide, 1e-8));
+    let q = gram_qr(&tall).unwrap();
+    assert!(matmul(&q.q, &q.r).approx_eq(&tall, 1e-8));
+    let r = rsvd_matrix(&tall, RsvdOptions::with_rank(5), &mut rng).unwrap();
+    assert_eq!(r.rank(), 5);
+    let x = lstsq(&tall, &rhs).unwrap();
+    assert_eq!(x.shape(), (7, 3));
+    assert_eq!(
+        transpose_counter(),
+        0,
+        "svd/gram/rsvd/solve multiply paths materialised a transpose"
+    );
+}
+
+/// Counting-allocator check on the SVD wide fallback: factorizing a wide
+/// matrix must not allocate more than factorizing the equivalent tall matrix
+/// (it used to pay one full `a.adjoint()` plus two factor adjoints on top).
+#[test]
+fn wide_svd_allocates_no_more_than_tall() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let tall = Matrix::random(160, 10, &mut rng);
+    // Element-wise conjugate transpose, built without Matrix::adjoint so the
+    // materialisation counter stays meaningful for the other test.
+    let mut wide = Matrix::zeros(10, 160);
+    for i in 0..160 {
+        for j in 0..10 {
+            wide[(j, i)] = tall[(i, j)].conj();
+        }
+    }
+    let operand_bytes = (160 * 10 * std::mem::size_of::<koala_linalg::C64>()) as u64;
+
+    // Warm up both paths.
+    let _ = svd(&tall).unwrap();
+    let _ = svd(&wide).unwrap();
+
+    let before_tall = ALLOCATED.load(Ordering::Relaxed);
+    let f_tall = svd(&tall).unwrap();
+    let tall_bytes = ALLOCATED.load(Ordering::Relaxed) - before_tall;
+    let before_wide = ALLOCATED.load(Ordering::Relaxed);
+    let f_wide = svd(&wide).unwrap();
+    let wide_bytes = ALLOCATED.load(Ordering::Relaxed) - before_wide;
+    for (a, b) in f_tall.s.iter().zip(f_wide.s.iter()) {
+        assert!((a - b).abs() < 1e-9 * f_tall.s[0], "spectra of A and A^H must agree");
+    }
+
+    let slack = operand_bytes / 2;
+    assert!(
+        wide_bytes <= tall_bytes + slack,
+        "wide SVD allocated {wide_bytes} bytes vs {tall_bytes} for tall \
+         (operand is {operand_bytes}) — the old path materialised the adjoint"
+    );
 }

@@ -14,6 +14,28 @@
 //!   step evaluated either by an explicit truncated SVD ([`ZipUpMethod::ExactSvd`],
 //!   the BMPS building block) or by the implicit randomized SVD of Algorithm 4
 //!   ([`ZipUpMethod::ImplicitRandSvd`], the IBMPS building block).
+//!
+//! # Example: applying an MPO with the zip-up compression
+//!
+//! A bond-capped zip-up application of the identity MPO leaves the state
+//! unchanged (up to round-off), which makes a compact end-to-end check of
+//! the Algorithm 3 machinery:
+//!
+//! ```
+//! use koala_mps::{ghz_state, zip_up, Mpo, ZipUpMethod};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let ghz = ghz_state(5); // (|00000> + |11111>)/sqrt(2), bond dimension 2
+//! assert!((ghz.norm() - 1.0).abs() < 1e-12);
+//! let identity = Mpo::identity(&ghz.phys_dims());
+//! let applied = zip_up(&ghz, &identity, 4, ZipUpMethod::ExactSvd, &mut rng).unwrap();
+//! // <GHZ| (I |GHZ>) = 1.
+//! assert!((ghz.inner(&applied).unwrap().re - 1.0).abs() < 1e-9);
+//! // |00000> and |11111> each carry amplitude 1/sqrt(2).
+//! let amp = applied.amplitude(&[1, 1, 1, 1, 1]).unwrap();
+//! assert!((amp.re - 0.5f64.sqrt()).abs() < 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -72,7 +72,7 @@ pub mod prop {
         use rand::rngs::StdRng;
         use rand::Rng;
 
-        /// Lengths accepted by [`vec`]: `a..b` or `a..=b`.
+        /// Lengths accepted by [`fn@vec`]: `a..b` or `a..=b`.
         pub trait SizeRange {
             /// Sample a length.
             fn sample_len(&self, rng: &mut StdRng) -> usize;

@@ -104,7 +104,8 @@ impl Circuit {
 }
 
 /// Random quantum circuit following the construction of the paper's RQC
-/// benchmark (§VI-B, after [54]): every layer applies a random single-qubit
+/// benchmark (§VI-B, after its reference \[54\], the Google quantum-supremacy
+/// circuits): every layer applies a random single-qubit
 /// gate from {sqrt(X), sqrt(Y), sqrt(W)} to every site, and every
 /// `entangle_every`-th layer additionally applies iSWAP gates to all pairs of
 /// neighbouring sites (which multiplies the PEPS bond dimension by 4).

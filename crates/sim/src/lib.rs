@@ -13,6 +13,30 @@
 //! * [`ite`] — imaginary time evolution / TEBD (Figure 13),
 //! * [`vqe`] — the variational quantum eigensolver driver (Figure 14),
 //! * [`opt`] — derivative-free optimizers (Nelder–Mead, SPSA).
+//!
+//! # Example: a transverse-field Ising energy, state vector vs PEPS
+//!
+//! The exact state-vector simulator provides the reference curves the
+//! paper's figures are checked against; the PEPS path (through
+//! `koala-peps`) must agree on small lattices:
+//!
+//! ```
+//! use koala_sim::{tfi_hamiltonian, StateVector, TfiParams};
+//! use koala_peps::expectation::{expectation_normalized, ExpectationOptions};
+//! use koala_peps::Peps;
+//! use rand::SeedableRng;
+//!
+//! let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
+//! // |0000> has <H> = sum of ZZ couplings: Jz = -1 on 4 bonds.
+//! let sv = StateVector::computational_zeros(2, 2);
+//! assert!((sv.expectation(&h) + 4.0).abs() < 1e-12);
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let peps = Peps::computational_zeros(2, 2);
+//! let e = expectation_normalized(&peps, &h, ExpectationOptions::bmps_cached(8), &mut rng)
+//!     .unwrap();
+//! assert!((e.re - sv.expectation(&h)).abs() < 1e-8);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -25,77 +25,170 @@ use koala_linalg::C64;
 /// The result carries the uncontracted axes of `a` (in their original order)
 /// followed by the uncontracted axes of `b`. This is the same convention as
 /// NumPy's `tensordot`, which the original Koala library builds on.
+///
+/// Internally this builds a one-shot `PairPlan` and executes it; the einsum
+/// planner ([`crate::plan`]) builds the same `PairPlan`s once per
+/// `(spec, shapes)` key and replays them, so repeated contractions skip the
+/// axis validation and matricization-layout analysis entirely.
 pub fn tensordot(a: &Tensor, b: &Tensor, axes_a: &[usize], axes_b: &[usize]) -> Result<Tensor> {
-    if axes_a.len() != axes_b.len() {
-        return Err(TensorError::InvalidAxes {
-            context: format!(
-                "tensordot: {} axes for left operand but {} for right",
-                axes_a.len(),
-                axes_b.len()
-            ),
-        });
-    }
-    for (&ia, &ib) in axes_a.iter().zip(axes_b.iter()) {
-        if ia >= a.ndim() || ib >= b.ndim() {
+    PairPlan::new(a.shape(), axes_a, b.shape(), axes_b)?.execute(a, b)
+}
+
+/// How one operand of a pairwise contraction is lowered to a GEMM input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum MatLayout {
+    /// The stored buffer already is the requested matricization (possibly as
+    /// its transpose, which the GEMM fuses into packing) — zero copy.
+    Direct(Op),
+    /// The axes genuinely interleave: one permuted copy is required.
+    Permute(Vec<usize>),
+}
+
+/// The fully analysed lowering of one pairwise tensor contraction to a single
+/// GEMM call: effective `(m, n, k)` dimensions, the matricization layout of
+/// each operand, and the result shape. Valid only for operands of exactly the
+/// shapes it was built for — the layout decisions depend on nothing else, so a
+/// `PairPlan` can be reused across any number of executions with different
+/// operand *values* (this is what [`crate::plan::Plan`] memoises per step).
+#[derive(Debug, Clone)]
+pub(crate) struct PairPlan {
+    shape_a: Vec<usize>,
+    shape_b: Vec<usize>,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_layout: MatLayout,
+    b_layout: MatLayout,
+    out_shape: Vec<usize>,
+}
+
+impl PairPlan {
+    /// Validate the contraction and analyse both matricization layouts.
+    pub(crate) fn new(
+        shape_a: &[usize],
+        axes_a: &[usize],
+        shape_b: &[usize],
+        axes_b: &[usize],
+    ) -> Result<PairPlan> {
+        let (nda, ndb) = (shape_a.len(), shape_b.len());
+        if axes_a.len() != axes_b.len() {
             return Err(TensorError::InvalidAxes {
                 context: format!(
-                    "tensordot: axis pair ({ia},{ib}) out of range for ranks {} and {}",
-                    a.ndim(),
-                    b.ndim()
+                    "tensordot: {} axes for left operand but {} for right",
+                    axes_a.len(),
+                    axes_b.len()
                 ),
             });
         }
-        if a.dim(ia) != b.dim(ib) {
+        for (&ia, &ib) in axes_a.iter().zip(axes_b.iter()) {
+            if ia >= nda || ib >= ndb {
+                return Err(TensorError::InvalidAxes {
+                    context: format!(
+                        "tensordot: axis pair ({ia},{ib}) out of range for ranks {nda} and {ndb}"
+                    ),
+                });
+            }
+            if shape_a[ia] != shape_b[ib] {
+                return Err(TensorError::ShapeMismatch {
+                    context: format!(
+                        "tensordot: axis {ia} of left (dim {}) vs axis {ib} of right (dim {})",
+                        shape_a[ia], shape_b[ib]
+                    ),
+                });
+            }
+        }
+        let mut seen_a = vec![false; nda];
+        for &ia in axes_a {
+            if seen_a[ia] {
+                return Err(TensorError::InvalidAxes {
+                    context: format!("tensordot: duplicate left axis {ia}"),
+                });
+            }
+            seen_a[ia] = true;
+        }
+        let mut seen_b = vec![false; ndb];
+        for &ib in axes_b {
+            if seen_b[ib] {
+                return Err(TensorError::InvalidAxes {
+                    context: format!("tensordot: duplicate right axis {ib}"),
+                });
+            }
+            seen_b[ib] = true;
+        }
+
+        let free_a: Vec<usize> = (0..nda).filter(|i| !axes_a.contains(i)).collect();
+        let free_b: Vec<usize> = (0..ndb).filter(|i| !axes_b.contains(i)).collect();
+
+        let m: usize = free_a.iter().map(|&i| shape_a[i]).product();
+        let k: usize = axes_a.iter().map(|&i| shape_a[i]).product();
+        let n: usize = free_b.iter().map(|&i| shape_b[i]).product();
+
+        // Left operand: matricize as (free axes) x (contracted axes); right
+        // operand as (contracted axes) x (free axes).
+        let a_layout = layout_for(&free_a, axes_a);
+        let b_layout = layout_for(axes_b, &free_b);
+
+        let mut out_shape: Vec<usize> = free_a.iter().map(|&i| shape_a[i]).collect();
+        out_shape.extend(free_b.iter().map(|&i| shape_b[i]));
+        Ok(PairPlan {
+            shape_a: shape_a.to_vec(),
+            shape_b: shape_b.to_vec(),
+            m,
+            n,
+            k,
+            a_layout,
+            b_layout,
+            out_shape,
+        })
+    }
+
+    /// Shape of the contraction result.
+    pub(crate) fn out_shape(&self) -> &[usize] {
+        &self.out_shape
+    }
+
+    /// Run the planned contraction on concrete operands.
+    pub(crate) fn execute(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if a.shape() != self.shape_a || b.shape() != self.shape_b {
             return Err(TensorError::ShapeMismatch {
                 context: format!(
-                    "tensordot: axis {ia} of left (dim {}) vs axis {ib} of right (dim {})",
-                    a.dim(ia),
-                    b.dim(ib)
+                    "contraction plan built for shapes {:?} x {:?} applied to {:?} x {:?}",
+                    self.shape_a,
+                    self.shape_b,
+                    a.shape(),
+                    b.shape()
                 ),
             });
         }
+        let (a_view, opa) = apply_layout(a, &self.a_layout)?;
+        let (b_view, opb) = apply_layout(b, &self.b_layout)?;
+        let mut out = vec![C64::ZERO; self.m * self.n];
+        gemm_into(opa, opb, self.m, self.n, self.k, a_view.data(), b_view.data(), &mut out);
+        Tensor::from_vec(&self.out_shape, out)
     }
-    let mut seen_a = vec![false; a.ndim()];
-    for &ia in axes_a {
-        if seen_a[ia] {
-            return Err(TensorError::InvalidAxes {
-                context: format!("tensordot: duplicate left axis {ia}"),
-            });
-        }
-        seen_a[ia] = true;
+}
+
+/// Decide how to matricize a tensor with `rows` axes indexing matrix rows and
+/// `cols` axes indexing matrix columns. Zero-copy when the stored layout (or
+/// its transpose) already matches; a single permutation otherwise.
+fn layout_for(rows: &[usize], cols: &[usize]) -> MatLayout {
+    if is_identity_order(rows, cols) {
+        return MatLayout::Direct(Op::None);
     }
-    let mut seen_b = vec![false; b.ndim()];
-    for &ib in axes_b {
-        if seen_b[ib] {
-            return Err(TensorError::InvalidAxes {
-                context: format!("tensordot: duplicate right axis {ib}"),
-            });
-        }
-        seen_b[ib] = true;
+    if is_identity_order(cols, rows) {
+        return MatLayout::Direct(Op::Transpose);
     }
+    let mut perm: Vec<usize> = rows.to_vec();
+    perm.extend_from_slice(cols);
+    MatLayout::Permute(perm)
+}
 
-    let free_a: Vec<usize> = (0..a.ndim()).filter(|i| !axes_a.contains(i)).collect();
-    let free_b: Vec<usize> = (0..b.ndim()).filter(|i| !axes_b.contains(i)).collect();
-
-    let m: usize = free_a.iter().map(|&i| a.dim(i)).product();
-    let k: usize = axes_a.iter().map(|&i| a.dim(i)).product();
-    let n: usize = free_b.iter().map(|&i| b.dim(i)).product();
-
-    // Left operand: matricize as (free axes) x (contracted axes). If the
-    // stored layout already is `free ++ contracted` pass it through; if it is
-    // `contracted ++ free` pass the stored buffer as the transposed
-    // matricization (the GEMM fuses the transpose into packing); otherwise
-    // permute once.
-    let (a_view, opa) = matricize(a, &free_a, axes_a)?;
-    // Right operand: matricize as (contracted axes) x (free axes).
-    let (b_view, opb) = matricize(b, axes_b, &free_b)?;
-
-    let mut out = vec![C64::ZERO; m * n];
-    gemm_into(opa, opb, m, n, k, a_view.data(), b_view.data(), &mut out);
-
-    let mut out_shape: Vec<usize> = free_a.iter().map(|&i| a.dim(i)).collect();
-    out_shape.extend(free_b.iter().map(|&i| b.dim(i)));
-    Tensor::from_vec(&out_shape, out)
+/// Materialize a planned matricization layout for a concrete operand.
+fn apply_layout<'a>(t: &'a Tensor, layout: &MatLayout) -> Result<(MatView<'a>, Op)> {
+    match layout {
+        MatLayout::Direct(op) => Ok((MatView::Borrowed(t.data()), *op)),
+        MatLayout::Permute(perm) => Ok((MatView::Owned(t.permute(perm)?.into_data()), Op::None)),
+    }
 }
 
 /// A matricized view of a tensor: either the tensor's own buffer (zero-copy)
@@ -117,21 +210,6 @@ impl MatView<'_> {
 /// True if `first ++ second` is the identity permutation `0..n`.
 fn is_identity_order(first: &[usize], second: &[usize]) -> bool {
     first.iter().chain(second.iter()).copied().eq(0..first.len() + second.len())
-}
-
-/// Matricize `t` with `rows` axes indexing matrix rows and `cols` axes
-/// indexing matrix columns, avoiding any copy when the stored layout (or its
-/// transpose) already matches.
-fn matricize<'a>(t: &'a Tensor, rows: &[usize], cols: &[usize]) -> Result<(MatView<'a>, Op)> {
-    if is_identity_order(rows, cols) {
-        return Ok((MatView::Borrowed(t.data()), Op::None));
-    }
-    if is_identity_order(cols, rows) {
-        return Ok((MatView::Borrowed(t.data()), Op::Transpose));
-    }
-    let mut perm: Vec<usize> = rows.to_vec();
-    perm.extend_from_slice(cols);
-    Ok((MatView::Owned(t.permute(&perm)?.into_data()), Op::None))
 }
 
 /// Contract every axis of `a` against every axis of `b` (full inner product

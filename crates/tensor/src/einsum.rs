@@ -6,13 +6,60 @@
 //! label appears either once (free, must appear in the output) or exactly
 //! twice across the operands (contracted) — and contracts operands pairwise
 //! with a greedy smallest-intermediate heuristic.
+//!
+//! # Contraction plans and the plan cache
+//!
+//! Evaluating an einsum expression has two phases with very different costs
+//! in steady state:
+//!
+//! 1. **Planning** — parsing the spec, validating labels against operand
+//!    shapes, running the greedy pairwise ordering search (quadratic in the
+//!    number of pending operands per step), and analysing, for every pairwise
+//!    step, how each operand matricizes onto the GEMM (zero-copy, fused
+//!    transpose, or one permutation — see `contract::PairPlan`).
+//! 2. **Execution** — the GEMM calls themselves.
+//!
+//! PEPS evolution and expectation loops repeat a handful of specs thousands
+//! of times with identical shapes, so phase 1 is pure overhead after the
+//! first call. [`einsum`] and [`einsum_spec`] therefore delegate to a
+//! process-wide memoised planner ([`crate::plan`]):
+//!
+//! * **Cache key.** The *parsed* specification (input label lists plus output
+//!   labels) together with the exact operand shapes. Textually different
+//!   specs that parse to the same labels (e.g. differing whitespace) share an
+//!   entry; the same spec applied to different shapes gets distinct entries.
+//!   [`einsum`] additionally memoises the string → [`EinsumSpec`] parse in a
+//!   small side cache, so the steady-state string path performs no parsing
+//!   at all.
+//! * **Eviction policy.** A thread-safe LRU with a fixed capacity
+//!   ([`crate::plan::DEFAULT_PLAN_CACHE_CAPACITY`] entries, adjustable via
+//!   [`crate::plan::set_plan_cache_capacity`]). Each hit refreshes the
+//!   entry's recency stamp; inserting into a full cache evicts the
+//!   least-recently-used plan and bumps the eviction counter reported by
+//!   [`crate::plan::plan_stats`].
+//! * **Why plan reuse is safe across values but not shapes.** Every planning
+//!   decision — the greedy pair selection (driven by intermediate *sizes*),
+//!   the contracted-axis lists, the per-step matricization layouts, the
+//!   trailing axis sums, and the final output permutation — is a pure
+//!   function of the spec and the operand dimensions. Operand *values* never
+//!   enter the planner, so a cached plan replayed on new tensors of the same
+//!   shapes performs the identical arithmetic. Shapes, by contrast, change
+//!   both the cost model (a different greedy order may win) and the layout
+//!   decisions (which axis orders are zero-copy), so shapes are part of the
+//!   key and [`crate::plan::Plan::execute`] rejects operands whose shapes
+//!   differ from the ones the plan was built for.
+//!
+//! Cache accounting (hits / misses / evictions / residency) is exposed
+//! through [`crate::plan::plan_stats`], which `koala-bench` uses to report
+//! planner overhead (the `fig9_caching` binary).
 
-use crate::contract::{sum_axis, tensordot};
+use crate::plan::contraction_plan;
 use crate::tensor::{Result, Tensor, TensorError};
 use std::collections::HashMap;
+use std::sync::{Arc, LazyLock, Mutex};
 
 /// Parsed einsum specification.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EinsumSpec {
     /// Index labels for every input operand.
     pub inputs: Vec<Vec<char>>,
@@ -90,214 +137,63 @@ pub fn parse_spec(spec: &str) -> Result<EinsumSpec> {
     Ok(EinsumSpec { inputs, output })
 }
 
+/// Capacity of the spec-string parse memo behind [`einsum`].
+const PARSE_CACHE_CAPACITY: usize = 256;
+
+/// Memo of spec string → parsed spec, so the steady-state [`einsum`] string
+/// path performs no parsing. Unbounded growth is prevented by clearing the
+/// memo when it reaches capacity (workloads use a handful of distinct specs;
+/// a full LRU would be overkill for ~100-byte entries).
+static PARSE_CACHE: LazyLock<Mutex<HashMap<String, Arc<EinsumSpec>>>> =
+    LazyLock::new(|| Mutex::new(HashMap::new()));
+
+/// Drop the memoised spec parses (used by [`crate::plan::clear_plan_cache`]
+/// so "cold cache" benchmarks genuinely re-parse).
+pub(crate) fn clear_parse_cache() {
+    PARSE_CACHE.lock().unwrap().clear();
+}
+
+/// Parse `spec`, consulting the process-wide parse memo first.
+fn parse_spec_cached(spec: &str) -> Result<Arc<EinsumSpec>> {
+    if let Some(parsed) = PARSE_CACHE.lock().unwrap().get(spec) {
+        return Ok(Arc::clone(parsed));
+    }
+    let parsed = Arc::new(parse_spec(spec)?);
+    let mut cache = PARSE_CACHE.lock().unwrap();
+    if cache.len() >= PARSE_CACHE_CAPACITY {
+        cache.clear();
+    }
+    cache.insert(spec.to_string(), Arc::clone(&parsed));
+    Ok(parsed)
+}
+
 /// Evaluate an einsum expression over the given operands.
+///
+/// Both the parse of `spec` and the contraction plan for the operand shapes
+/// are memoised process-wide, so repeated calls with the same spec and shapes
+/// pay only for the GEMMs (see the module docs).
 pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor> {
-    let parsed = parse_spec(spec)?;
+    let parsed = parse_spec_cached(spec)?;
     einsum_spec(&parsed, operands)
 }
 
 /// Evaluate a pre-parsed einsum specification.
+///
+/// A thin wrapper over the memoised contraction planner: the plan for
+/// `(spec, operand shapes)` is fetched from (or inserted into) the LRU cache
+/// and executed. Hold the [`crate::plan::Plan`] from
+/// [`crate::plan::contraction_plan`] directly to skip even the cache lookup
+/// in a hot loop.
 pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor> {
-    if spec.inputs.len() != operands.len() {
-        return Err(TensorError::InvalidAxes {
-            context: format!(
-                "einsum: spec has {} operands but {} tensors were provided",
-                spec.inputs.len(),
-                operands.len()
-            ),
-        });
-    }
-    // Check label/dimension consistency.
-    let mut label_dims: HashMap<char, usize> = HashMap::new();
-    for (labels, tensor) in spec.inputs.iter().zip(operands.iter()) {
-        if labels.len() != tensor.ndim() {
-            return Err(TensorError::ShapeMismatch {
-                context: format!(
-                    "einsum: operand with labels {:?} has rank {}",
-                    labels,
-                    tensor.ndim()
-                ),
-            });
-        }
-        for (axis, &label) in labels.iter().enumerate() {
-            let dim = tensor.dim(axis);
-            if let Some(&prev) = label_dims.get(&label) {
-                if prev != dim {
-                    return Err(TensorError::ShapeMismatch {
-                        context: format!(
-                            "einsum: label '{label}' has inconsistent dimensions {prev} and {dim}"
-                        ),
-                    });
-                }
-            } else {
-                label_dims.insert(label, dim);
-            }
-        }
-    }
-
-    // Work list of (tensor, labels). Input tensors are borrowed, not cloned —
-    // only contraction intermediates are owned.
-    let mut items: Vec<(Operand<'_>, Vec<char>)> = spec
-        .inputs
-        .iter()
-        .zip(operands.iter())
-        .map(|(labels, t)| (Operand::Borrowed(t), labels.clone()))
-        .collect();
-
-    // Greedy pairwise contraction: always contract the pair of tensors that
-    // share a contractible label and produce the smallest intermediate.
-    while items.len() > 1 {
-        let mut best: Option<(usize, usize, usize)> = None; // (i, j, result size)
-        for i in 0..items.len() {
-            for j in (i + 1)..items.len() {
-                let shared = shared_contractible(&items, i, j, &spec.output);
-                if shared.is_empty() {
-                    continue;
-                }
-                let size = result_size(&items[i], &items[j], &shared);
-                if best.is_none_or(|(_, _, s)| size < s) {
-                    best = Some((i, j, size));
-                }
-            }
-        }
-        let (i, j) = match best {
-            Some((i, j, _)) => (i, j),
-            // No shared labels anywhere: take an outer product of the first two.
-            None => (0, 1),
-        };
-        let (right_t, right_l) = items.remove(j);
-        let (left_t, left_l) = items.remove(i);
-        let merged = contract_pair(
-            left_t.as_tensor(),
-            left_l,
-            right_t.as_tensor(),
-            right_l,
-            &items,
-            &spec.output,
-        )?;
-        items.push((Operand::Owned(merged.0), merged.1));
-    }
-
-    let (mut operand, mut labels) = items.pop().expect("einsum: empty operand list");
-
-    // Sum out any label that does not appear in the output (can happen when a
-    // label occurs only once in the inputs and is dropped from the output).
-    let mut axis = 0;
-    while axis < labels.len() {
-        if spec.output.contains(&labels[axis]) {
-            axis += 1;
-        } else {
-            operand = Operand::Owned(sum_axis(operand.as_tensor(), axis)?);
-            labels.remove(axis);
-        }
-    }
-
-    // Permute into the requested output order. An owned tensor in an
-    // already-correct order is returned as-is (no final copy).
-    let perm: Vec<usize> = spec
-        .output
-        .iter()
-        .map(|c| {
-            labels.iter().position(|l| l == c).ok_or_else(|| TensorError::InvalidAxes {
-                context: format!("einsum: output label '{c}' lost during contraction"),
-            })
-        })
-        .collect::<Result<Vec<_>>>()?;
-    match operand {
-        Operand::Owned(t) if crate::shape::is_identity_perm(&perm) => Ok(t),
-        other => other.as_tensor().permute(&perm),
-    }
-}
-
-/// A pending einsum operand: caller-borrowed input or owned intermediate.
-enum Operand<'a> {
-    Borrowed(&'a Tensor),
-    Owned(Tensor),
-}
-
-impl Operand<'_> {
-    fn as_tensor(&self) -> &Tensor {
-        match self {
-            Operand::Borrowed(t) => t,
-            Operand::Owned(t) => t,
-        }
-    }
-}
-
-/// Labels shared between items `i` and `j` that may be contracted now (they
-/// appear in neither the output nor any other pending operand).
-fn shared_contractible(
-    items: &[(Operand<'_>, Vec<char>)],
-    i: usize,
-    j: usize,
-    output: &[char],
-) -> Vec<char> {
-    let (_, li) = &items[i];
-    let (_, lj) = &items[j];
-    li.iter()
-        .filter(|c| lj.contains(c))
-        .filter(|c| !output.contains(c))
-        .filter(|c| {
-            items
-                .iter()
-                .enumerate()
-                .filter(|(k, _)| *k != i && *k != j)
-                .all(|(_, (_, lk))| !lk.contains(c))
-        })
-        .copied()
-        .collect()
-}
-
-fn result_size(
-    a: &(Operand<'_>, Vec<char>),
-    b: &(Operand<'_>, Vec<char>),
-    shared: &[char],
-) -> usize {
-    let mut size = 1usize;
-    for (axis, label) in a.1.iter().enumerate() {
-        if !shared.contains(label) {
-            size = size.saturating_mul(a.0.as_tensor().dim(axis));
-        }
-    }
-    for (axis, label) in b.1.iter().enumerate() {
-        if !shared.contains(label) {
-            size = size.saturating_mul(b.0.as_tensor().dim(axis));
-        }
-    }
-    size
-}
-
-fn contract_pair(
-    left_t: &Tensor,
-    left_l: Vec<char>,
-    right_t: &Tensor,
-    right_l: Vec<char>,
-    remaining: &[(Operand<'_>, Vec<char>)],
-    output: &[char],
-) -> Result<(Tensor, Vec<char>)> {
-    // Contract every label shared by the two operands that is not needed by
-    // the output or any remaining operand.
-    let shared: Vec<char> = left_l
-        .iter()
-        .filter(|c| right_l.contains(c))
-        .filter(|c| !output.contains(c))
-        .filter(|c| remaining.iter().all(|(_, lk)| !lk.contains(c)))
-        .copied()
-        .collect();
-    let axes_a: Vec<usize> =
-        shared.iter().map(|c| left_l.iter().position(|l| l == c).unwrap()).collect();
-    let axes_b: Vec<usize> =
-        shared.iter().map(|c| right_l.iter().position(|l| l == c).unwrap()).collect();
-    let result = tensordot(left_t, right_t, &axes_a, &axes_b)?;
-    let mut labels: Vec<char> = left_l.iter().filter(|c| !shared.contains(c)).copied().collect();
-    labels.extend(right_l.iter().filter(|c| !shared.contains(c)).copied());
-    Ok((result, labels))
+    let shapes: Vec<&[usize]> = operands.iter().map(|t| t.shape()).collect();
+    let plan = contraction_plan(spec, &shapes)?;
+    plan.execute(operands)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::contract::tensordot_naive;
+    use crate::contract::{tensordot, tensordot_naive};
     use koala_linalg::c64;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -9,15 +9,38 @@
 //! the role of the dense in-memory backend: a row-major [`Tensor`] type,
 //! permutation / reshaping / matricization utilities, pairwise contraction
 //! ([`tensordot`]) lowered to the GEMM kernel of `koala-linalg`, a general
-//! [`einsum`] for tensor-network contractions, and tensor-level factorizations
+//! [`einsum`](fn@einsum) for tensor-network contractions backed by a memoised
+//! contraction planner ([`plan`]), and tensor-level factorizations
 //! ([`qr_split`], [`svd_split`], [`rsvd_split`], [`gram_qr_split`]) used by
 //! the MPS and PEPS layers.
+//!
+//! # Example: contracting a small network with `einsum`
+//!
+//! Repeated calls with the same spec and operand shapes reuse one cached
+//! contraction plan — the greedy ordering search runs exactly once:
+//!
+//! ```
+//! use koala_tensor::{einsum, plan_stats, Tensor};
+//!
+//! let a = Tensor::from_real(&[2, 3], &[1., 2., 3., 4., 5., 6.]).unwrap();
+//! let b = Tensor::from_real(&[3, 2], &[6., 5., 4., 3., 2., 1.]).unwrap();
+//! // Matrix product with the output transposed, as one einsum.
+//! let c = einsum("ij,jk->ki", &[&a, &b]).unwrap();
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.get(&[0, 0]).re, 1.0 * 6.0 + 2.0 * 4.0 + 3.0 * 2.0);
+//!
+//! let before = plan_stats();
+//! let c2 = einsum("ij,jk->ki", &[&a, &b]).unwrap(); // plan-cache hit
+//! assert!(c2.approx_eq(&c, 0.0));
+//! assert!(plan_stats().hits > before.hits);
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod contract;
 pub mod decomp;
 pub mod einsum;
+pub mod plan;
 pub mod shape;
 pub mod tensor;
 
@@ -27,6 +50,10 @@ pub use decomp::{
     scale_first_axis, scale_last_axis, svd_split, SplitSvd, Truncation,
 };
 pub use einsum::{einsum, einsum_spec, parse_spec, EinsumSpec};
+pub use plan::{
+    clear_plan_cache, contraction_plan, plan_stats, reset_plan_stats, set_plan_cache_capacity,
+    Plan, PlanStats,
+};
 pub use tensor::{Result, Tensor, TensorError};
 
 // Re-export the scalar/matrix types so downstream crates need only one import path.

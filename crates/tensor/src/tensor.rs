@@ -210,7 +210,7 @@ impl Tensor {
     ///
     /// Identity permutations (and rank <= 1) return a straight copy without
     /// touching the gather machinery; other permutations run a cache-blocked
-    /// kernel (see [`permute_gather`]).
+    /// kernel (see `permute_gather` in this module's source).
     pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
         if perm.len() != self.ndim() || !is_permutation(perm) {
             return Err(TensorError::InvalidAxes {
