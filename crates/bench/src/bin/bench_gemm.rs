@@ -1,17 +1,35 @@
-//! GEMM kernel benchmark: packed kernel vs the retained seed kernel.
+//! GEMM kernel benchmark: packed kernel vs the retained seed kernel, plus the
+//! real-valued fast path vs the split-complex kernel.
 //!
 //! Writes `BENCH_gemm.json` (override with `--json <path>`) with GFLOP/s for
 //! a fixed shape grid, single- and multi-threaded, so the repository records
-//! a machine-readable perf trajectory from PR 1 onward. GFLOP/s are derived
-//! from the GEMM layer's own [`koala_linalg::gemm::flop_counter`] (complex
-//! MACs, 8 real flops each), not from a formula duplicated here — so the
-//! numbers stay honest if the kernel's work accounting ever changes.
+//! a machine-readable perf trajectory from PR 1 onward. Two series are
+//! emitted:
+//!
+//! * `packed_vs_seed` — the packed split-complex kernel against the seed
+//!   repository's blocked kernel on complex random data (the PR 1 speedup).
+//! * `real_vs_complex` — the same shapes with purely real, hint-carrying
+//!   operands (real-only dispatch) against genuinely complex operands
+//!   (split-complex kernel). `speedup_real_vs_complex` is the wall-time
+//!   ratio; equivalently the ratio of *effective* GFLOP/s, where both runs
+//!   are credited the same `8 * m * n * k` real flops for solving the same
+//!   problem. `hw_gflops` additionally reports the flops the hardware
+//!   actually executed (2 per real MAC), which shows the real kernel trading
+//!   arithmetic for memory-boundedness.
+//!
+//! GFLOP/s are derived from the GEMM layer's own work counters
+//! ([`koala_linalg::gemm::flop_counter`] for complex MACs, 8 real flops each,
+//! and [`koala_linalg::gemm::real_mac_counter`] for real MACs, 2 real flops
+//! each), not from a formula duplicated here — so the numbers stay honest if
+//! the kernel's dispatch or work accounting ever changes.
 //!
 //! Usage: `cargo run --release -p koala-bench --bin bench_gemm [--quick]
 //! [--json <path>]`
 
 use koala_bench::json::JsonValue;
-use koala_linalg::gemm::{flop_counter, gemm, matmul_seed, reset_flop_counter, Op};
+use koala_linalg::gemm::{
+    flop_counter, gemm, matmul_seed, real_mac_counter, reset_flop_counter, Op,
+};
 use koala_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,22 +57,24 @@ fn op_name(op: Op) -> &'static str {
     }
 }
 
-/// Best-of-`reps` wall time and the flops the counter recorded per run.
-fn time_best(reps: usize, mut f: impl FnMut()) -> (f64, u64) {
+/// Best-of-`reps` wall time plus the (complex, real) MAC counts per run.
+fn time_best(reps: usize, mut f: impl FnMut()) -> (f64, u64, u64) {
     f(); // warm-up
     let mut best = f64::INFINITY;
-    let mut flops = 0;
+    let mut cmacs = 0;
+    let mut rmacs = 0;
     for _ in 0..reps {
         reset_flop_counter();
         let t = Instant::now();
         f();
         let secs = t.elapsed().as_secs_f64();
-        flops = flop_counter();
+        cmacs = flop_counter();
+        rmacs = real_mac_counter();
         if secs < best {
             best = secs;
         }
     }
-    (best, flops)
+    (best, cmacs, rmacs)
 }
 
 /// The seed repository's GEMM path for this case: materialise transposed
@@ -111,7 +131,21 @@ fn main() {
         case(256, 256, 256, Op::None, Op::None, "square_256"),
         case(512, 512, 512, Op::None, Op::None, "square_512"),
     ];
-    let grid: &[Case] = if quick { &quick_grid } else { &full_grid };
+    // Real-vs-complex sweep: plain and fused-transposition shapes, so the
+    // real packers' fused gather is exercised too.
+    let real_full_grid = [
+        case(256, 256, 256, Op::None, Op::None, "square_256"),
+        case(512, 512, 512, Op::None, Op::None, "square_512"),
+        case(512, 512, 512, Op::Transpose, Op::None, "square_512_t_a"),
+        case(2048, 64, 64, Op::None, Op::None, "tall_skinny"),
+        case(64, 2048, 64, Op::None, Op::None, "deep_k"),
+    ];
+    let real_quick_grid = [
+        case(256, 256, 256, Op::None, Op::None, "square_256"),
+        case(512, 512, 512, Op::None, Op::None, "square_512"),
+    ];
+    let (grid, real_grid): (&[Case], &[Case]) =
+        if quick { (&quick_grid, &real_quick_grid) } else { (&full_grid, &real_full_grid) };
     let reps = if quick { 3 } else { 7 };
 
     let all_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -142,14 +176,15 @@ fn main() {
             // or every row after the first will silently reuse the first
             // pool's thread count.
             std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
-            let (packed_s, flops) = time_best(reps, || {
+            let (packed_s, cmacs, rmacs) = time_best(reps, || {
                 std::hint::black_box(gemm(case.opa, case.opb, &a, &b));
             });
-            let (seed_s, _) = time_best(reps, || {
+            let (seed_s, _, _) = time_best(reps, || {
                 std::hint::black_box(run_seed(case, &a, &b));
             });
-            let gf = 8.0 * flops as f64 / packed_s / 1e9;
-            let seed_gf = 8.0 * flops as f64 / seed_s / 1e9;
+            let hw_flops = 8.0 * cmacs as f64 + 2.0 * rmacs as f64;
+            let gf = hw_flops / packed_s / 1e9;
+            let seed_gf = hw_flops / seed_s / 1e9;
             let speedup = seed_s / packed_s;
             println!(
                 "{:<18} {:>3} {:>14} {:>9.4} {:>9.2} {:>9.4} {:>9.2} {:>7.2}x",
@@ -163,6 +198,7 @@ fn main() {
                 speedup
             );
             results.push(JsonValue::object([
+                ("series", JsonValue::str("packed_vs_seed")),
                 ("label", JsonValue::str(case.label)),
                 ("m", JsonValue::num(case.m as f64)),
                 ("k", JsonValue::num(case.k as f64)),
@@ -170,7 +206,8 @@ fn main() {
                 ("opa", JsonValue::str(op_name(case.opa))),
                 ("opb", JsonValue::str(op_name(case.opb))),
                 ("threads", JsonValue::num(threads as f64)),
-                ("complex_macs", JsonValue::num(flops as f64)),
+                ("complex_macs", JsonValue::num(cmacs as f64)),
+                ("real_macs", JsonValue::num(rmacs as f64)),
                 ("packed_seconds", JsonValue::num(packed_s)),
                 ("packed_gflops", JsonValue::num(gf)),
                 ("seed_seconds", JsonValue::num(seed_s)),
@@ -179,12 +216,81 @@ fn main() {
             ]));
         }
     }
+
+    println!();
+    println!(
+        "{:<18} {:>3} {:>14} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "real case", "thr", "shape", "real_s", "eff_GF/s", "cplx_s", "cplx_GF", "speedup"
+    );
+    for case in real_grid {
+        let (a_rows, a_cols) =
+            if case.opa == Op::None { (case.m, case.k) } else { (case.k, case.m) };
+        let (b_rows, b_cols) =
+            if case.opb == Op::None { (case.k, case.n) } else { (case.n, case.k) };
+        // Hint-carrying real operands vs genuinely complex operands of the
+        // same shape.
+        let a_real = Matrix::random_real(a_rows, a_cols, &mut rng);
+        let b_real = Matrix::random_real(b_rows, b_cols, &mut rng);
+        let a_cplx = Matrix::random(a_rows, a_cols, &mut rng);
+        let b_cplx = Matrix::random(b_rows, b_cols, &mut rng);
+        assert!(a_real.is_real() && b_real.is_real());
+        for &threads in &thread_counts {
+            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            let (real_s, real_cm, real_rm) = time_best(reps, || {
+                std::hint::black_box(gemm(case.opa, case.opb, &a_real, &b_real));
+            });
+            let (cplx_s, cplx_cm, cplx_rm) = time_best(reps, || {
+                std::hint::black_box(gemm(case.opa, case.opb, &a_cplx, &b_cplx));
+            });
+            assert_eq!(real_cm, 0, "real series must run entirely on the real kernel");
+            assert_eq!(cplx_rm, 0, "complex series must run entirely on the complex kernel");
+            let macs = (case.m * case.k * case.n) as f64;
+            debug_assert_eq!(real_rm as f64, macs);
+            // Effective rate: both runs solve the same m x n x k problem, so
+            // both are credited its 8 * m * n * k complex-equivalent flops —
+            // the ratio equals the wall-time speedup.
+            let real_eff_gf = 8.0 * macs / real_s / 1e9;
+            let cplx_gf = 8.0 * cplx_cm as f64 / cplx_s / 1e9;
+            // Hardware rate: flops the real kernel actually executed.
+            let real_hw_gf = 2.0 * real_rm as f64 / real_s / 1e9;
+            let speedup = cplx_s / real_s;
+            println!(
+                "{:<18} {:>3} {:>14} {:>9.4} {:>9.2} {:>9.4} {:>9.2} {:>7.2}x",
+                case.label,
+                threads,
+                format!("{}x{}x{}", case.m, case.k, case.n),
+                real_s,
+                real_eff_gf,
+                cplx_s,
+                cplx_gf,
+                speedup
+            );
+            results.push(JsonValue::object([
+                ("series", JsonValue::str("real_vs_complex")),
+                ("label", JsonValue::str(case.label)),
+                ("m", JsonValue::num(case.m as f64)),
+                ("k", JsonValue::num(case.k as f64)),
+                ("n", JsonValue::num(case.n as f64)),
+                ("opa", JsonValue::str(op_name(case.opa))),
+                ("opb", JsonValue::str(op_name(case.opb))),
+                ("threads", JsonValue::num(threads as f64)),
+                ("real_macs", JsonValue::num(real_rm as f64)),
+                ("complex_macs", JsonValue::num(cplx_cm as f64)),
+                ("real_seconds", JsonValue::num(real_s)),
+                ("real_effective_gflops", JsonValue::num(real_eff_gf)),
+                ("real_hw_gflops", JsonValue::num(real_hw_gf)),
+                ("complex_seconds", JsonValue::num(cplx_s)),
+                ("complex_gflops", JsonValue::num(cplx_gf)),
+                ("speedup_real_vs_complex", JsonValue::num(speedup)),
+            ]));
+        }
+    }
     std::env::remove_var("RAYON_NUM_THREADS");
 
     let doc = JsonValue::object([
         ("bench", JsonValue::str("gemm")),
-        ("schema_version", JsonValue::num(1.0)),
-        ("flop_convention", JsonValue::str("complex MAC = 8 real flops")),
+        ("schema_version", JsonValue::num(2.0)),
+        ("flop_convention", JsonValue::str("complex MAC = 8 real flops; real MAC = 2 real flops")),
         ("threads_available", JsonValue::num(all_threads as f64)),
         ("results", JsonValue::Array(results)),
     ]);

@@ -1,9 +1,46 @@
-//! Shared helpers for the figure-reproduction binaries of `koala-bench`.
+//! # koala-bench
 //!
-//! Every binary regenerates one table or figure of the paper's evaluation
-//! section (see DESIGN.md §4 for the index). The binaries print
-//! human-readable tables to stdout and, when `--json <path>` is given, also
-//! dump the series as JSON so EXPERIMENTS.md numbers can be regenerated.
+//! Benchmark and figure-reproduction harness for the koala-rs workspace.
+//! Every `bin/` target regenerates one table or figure of the source paper's
+//! evaluation section (*"Efficient 2D Tensor Network Simulation of Quantum
+//! Systems"*, SC 2020) or records a kernel-level perf series; this library
+//! crate holds the small amount of shared plumbing ([`BenchArgs`] CLI
+//! parsing, [`Figure`]/[`Series`]/[`Point`] result containers, timing and
+//! slope-fitting helpers, and the [`mod@json`] emitter).
+//!
+//! ## Binary targets and what each reproduces
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2_complexity` | Table II — empirical scaling exponents of update / contraction kernels |
+//! | `fig7_evolution` | Figure 7 — evolution step time vs bond dimension (update flavours) |
+//! | `fig8_contraction` | Figure 8 — contraction time/error vs boundary bond dimension |
+//! | `fig9_caching` | Figure 9 — row-environment caching speedup, plus a koala-rs-specific cached-vs-cleared einsum-planner overhead series |
+//! | `fig10_rqc_error` | Figure 10 — random-quantum-circuit amplitude error vs truncation |
+//! | `fig11_strong_scaling` | Figure 11 — strong scaling over the simulated cluster backend |
+//! | `fig12_weak_scaling` | Figure 12 — weak scaling: useful GFLOP/s per core under the cost model |
+//! | `fig13_ite` | Figure 13 — imaginary-time-evolution energy curves (J1-J2 / TFI) |
+//! | `fig14_vqe` | Figure 14 — VQE optimisation traces on the TFI model |
+//! | `bench_gemm` | (koala-rs addition) GEMM perf trajectory: `packed_vs_seed` and `real_vs_complex` series, committed as `BENCH_gemm.json` |
+//!
+//! Conventions shared by all binaries:
+//!
+//! * `--quick` (or `KOALA_QUICK=1`) runs a reduced sweep — CI uses this for
+//!   its smoke runs; `--full` forces the full sweep.
+//! * `--json <path>` additionally dumps the series as JSON.
+//! * Flop-derived numbers come from the GEMM layer's own work counters
+//!   ([`koala_linalg::gemm::flop_counter`], 8 real flops per complex MAC, and
+//!   [`koala_linalg::gemm::real_mac_counter`], 2 per real MAC) — never from a
+//!   formula duplicated in a binary.
+//!
+//! ## Why a hand-rolled JSON emitter?
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, and this crate
+//! only ever *writes* JSON. [`mod@json`] therefore provides a minimal value
+//! model with a stable pretty-printer ([`json::JsonValue`]); its output shape
+//! matches the old serde output so downstream tooling keeps parsing it.
+
+#![warn(missing_docs)]
 
 use std::time::Instant;
 

@@ -28,9 +28,11 @@ pub fn pauli_i() -> Matrix {
 }
 
 /// Kronecker product of two matrices (row-major, left factor major).
+/// Products of real entries are real, so the realness hint combines as AND.
 pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
     let (ar, ac) = a.shape();
     let (br, bc) = b.shape();
+    let real = a.is_real() && b.is_real();
     let mut out = Matrix::zeros(ar * br, ac * bc);
     for i in 0..ar {
         for j in 0..ac {
@@ -41,6 +43,9 @@ pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
                 }
             }
         }
+    }
+    if real {
+        out.assume_real();
     }
     out
 }

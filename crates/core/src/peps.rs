@@ -139,7 +139,10 @@ impl Peps {
     /// Product state with each site in the given single-site state vector.
     pub fn product_state(nrows: usize, ncols: usize, site_vector: &[C64]) -> Result<Self> {
         let d = site_vector.len();
-        let site = Tensor::from_vec(&[d, 1, 1, 1, 1], site_vector.to_vec())?;
+        let mut site = Tensor::from_vec(&[d, 1, 1, 1, 1], site_vector.to_vec())?;
+        // One-time O(d) scan so real product states (|0...0>, TFI initial
+        // states) enter the evolution with the realness hint set.
+        site.mark_real_if_exact();
         Peps::new(nrows, ncols, vec![site; nrows * ncols])
     }
 
@@ -160,9 +163,9 @@ impl Peps {
         let tensors = bits
             .iter()
             .map(|&b| {
-                let mut v = vec![C64::ZERO; 2];
-                v[b] = C64::ONE;
-                Tensor::from_vec(&[2, 1, 1, 1, 1], v)
+                let mut v = [0.0f64; 2];
+                v[b] = 1.0;
+                Tensor::from_real(&[2, 1, 1, 1, 1], &v)
             })
             .collect::<Result<Vec<_>>>()?;
         Peps::new(nrows, ncols, tensors)

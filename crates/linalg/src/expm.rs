@@ -14,8 +14,22 @@ use crate::matrix::Matrix;
 use crate::scalar::C64;
 
 /// `exp(factor * H)` for Hermitian `H`.
+///
+/// When `H` carries the structural realness hint and `factor` is real, the
+/// result `U exp(factor * Lambda) U^H` is real *mathematically* (a real
+/// Hermitian matrix is symmetric, its spectrum is real, and a real function
+/// of it is real); the O(eps) imaginary rounding noise left behind by the
+/// complex eigendecomposition's rotation phases is projected away and the
+/// output is marked real. This is what makes Trotter gates of real
+/// Hamiltonians (TFI imaginary-time evolution) enter the tensor network with
+/// the realness hint intact; an imaginary `factor` (real-time evolution,
+/// `RZ`-style gates) leaves the result unhinted as it is genuinely complex.
 pub fn expm_hermitian(h: &Matrix, factor: C64) -> Result<Matrix> {
-    funm_hermitian(h, |lam| (factor.scale(lam)).exp())
+    let mut out = funm_hermitian(h, |lam| (factor.scale(lam)).exp())?;
+    if h.is_real() && factor.im == 0.0 {
+        out.project_real();
+    }
+    Ok(out)
 }
 
 /// General matrix exponential by scaling and squaring with a truncated Taylor

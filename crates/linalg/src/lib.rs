@@ -29,6 +29,17 @@
 //! [`Matrix::adjoint`]. The [`matrix::transpose_counter`] diagnostic lets
 //! tests pin that property down.
 //!
+//! A second rule follows the same spirit: **purely real data never pays for
+//! complex arithmetic.** Every [`Matrix`] carries a structural
+//! [`is_real`](Matrix::is_real) hint (set by real constructors, propagated by
+//! realness-preserving operations, conservatively dropped by raw mutation);
+//! [`gemm::gemm`] routes products of hinted-real operands onto a real-only
+//! microkernel that executes one quarter of the FMAs, and the split-complex
+//! packers detect all-real cache blocks so even unhinted real data drops to
+//! the cheap kernel per depth block. See [`mod@gemm`] for the dispatch rules
+//! and the flop-accounting convention ([`gemm::flop_counter`] /
+//! [`gemm::real_mac_counter`]).
+//!
 //! # Example: fused adjoint GEMM with [`gemm::gemm_into`]
 //!
 //! `gemm_into` accumulates `op(A) * op(B)` into a caller-owned buffer; the
@@ -74,7 +85,10 @@ pub use scalar::{c64, C64};
 
 pub use eig::{eigh, eigvalsh, funm_hermitian, EigH};
 pub use expm::{expm, expm_hermitian};
-pub use gemm::{gemm, gemm_into, matmul, matmul_adj_a, matmul_adj_b, Op};
+pub use gemm::{
+    flop_counter, gemm, gemm_into, gemm_into_real, matmul, matmul_adj_a, matmul_adj_b,
+    real_mac_counter, reset_flop_counter, Op,
+};
 pub use gram::{gram_orthonormalize, gram_qr, gram_r_factors, GramQr};
 pub use lanczos::{lanczos_ground_state, DenseHermitianOp, HermitianOp, LanczosResult};
 pub use qr::{orthonormalize, qr, QrFactors};

@@ -25,22 +25,48 @@ pub fn reset_transpose_counter() -> u64 {
 }
 
 /// Dense matrix of [`C64`] stored in row-major order.
-#[derive(Clone, PartialEq)]
+///
+/// # Realness hint
+///
+/// Every matrix carries a structural `is_real` hint: `true` guarantees that
+/// every imaginary part is exactly zero, `false` means "unknown" (the data may
+/// still happen to be real). The hint is set by real constructors
+/// ([`Matrix::from_real`], [`Matrix::zeros`], [`Matrix::identity`], ...),
+/// propagated by operations that cannot introduce imaginary parts
+/// (transpose, conjugation, scaling by a real scalar, addition of two real
+/// matrices, ...), and conservatively dropped by any raw mutable access
+/// ([`Matrix::data_mut`], indexing assignment). [`crate::gemm::gemm`] uses it
+/// to route products of real operands onto the real-only microkernel, which
+/// executes a quarter of the FMAs of the split-complex kernel — so a wrong
+/// `true` would silently corrupt results. Never set it by assumption; use
+/// [`Matrix::mark_real_if_exact`] (a scan) or [`Matrix::assume_real`] (a
+/// structural guarantee, scanned under `debug_assertions`).
+#[derive(Clone)]
 pub struct Matrix {
     nrows: usize,
     ncols: usize,
     data: Vec<C64>,
+    /// Structural realness hint; see the type-level docs. Never observable
+    /// through `PartialEq` — two matrices with equal data compare equal
+    /// regardless of their hints.
+    real: bool,
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows && self.ncols == other.ncols && self.data == other.data
+    }
 }
 
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Matrix { nrows, ncols, data: vec![C64::ZERO; nrows * ncols] }
+        Matrix { nrows, ncols, data: vec![C64::ZERO; nrows * ncols], real: true }
     }
 
     /// Matrix filled with a constant.
     pub fn full(nrows: usize, ncols: usize, value: C64) -> Self {
-        Matrix { nrows, ncols, data: vec![value; nrows * ncols] }
+        Matrix { nrows, ncols, data: vec![value; nrows * ncols], real: value.im == 0.0 }
     }
 
     /// Identity matrix.
@@ -49,6 +75,7 @@ impl Matrix {
         for i in 0..n {
             m[(i, i)] = C64::ONE;
         }
+        m.real = true;
         m
     }
 
@@ -66,16 +93,22 @@ impl Matrix {
                 ),
             });
         }
-        Ok(Matrix { nrows, ncols, data })
+        // No realness scan here: from_vec sits on hot paths (GEMM outputs,
+        // matricizations). Callers that know the data is real follow up with
+        // `assume_real` / `mark_real_if_exact`.
+        Ok(Matrix { nrows, ncols, data, real: false })
     }
 
     /// Build from a row-major slice of real numbers.
     pub fn from_real(nrows: usize, ncols: usize, data: &[f64]) -> Result<Self> {
         let cdata = data.iter().map(|&x| C64::from_real(x)).collect();
-        Matrix::from_vec(nrows, ncols, cdata)
+        let mut m = Matrix::from_vec(nrows, ncols, cdata)?;
+        m.real = true;
+        Ok(m)
     }
 
     /// Build from nested rows (primarily for tests and gate definitions).
+    /// Small-matrix constructor, so the realness hint is set by scanning.
     pub fn from_rows(rows: &[Vec<C64>]) -> Result<Self> {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, |r| r.len());
@@ -84,8 +117,9 @@ impl Matrix {
                 context: "from_rows: ragged rows".to_string(),
             });
         }
-        let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
-        Ok(Matrix { nrows, ncols, data })
+        let data: Vec<C64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let real = data.iter().all(|z| z.im == 0.0);
+        Ok(Matrix { nrows, ncols, data, real })
     }
 
     /// Diagonal matrix from a vector of diagonal entries.
@@ -95,6 +129,7 @@ impl Matrix {
         for (i, &d) in diag.iter().enumerate() {
             m[(i, i)] = d;
         }
+        m.real = diag.iter().all(|z| z.im == 0.0);
         m
     }
 
@@ -109,13 +144,13 @@ impl Matrix {
         let data = (0..nrows * ncols)
             .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();
-        Matrix { nrows, ncols, data }
+        Matrix { nrows, ncols, data, real: false }
     }
 
     /// Random matrix with purely real entries uniform in `[-1, 1]`.
     pub fn random_real<R: Rng + ?Sized>(nrows: usize, ncols: usize, rng: &mut R) -> Self {
         let data = (0..nrows * ncols).map(|_| c64(rng.gen_range(-1.0..1.0), 0.0)).collect();
-        Matrix { nrows, ncols, data }
+        Matrix { nrows, ncols, data, real: true }
     }
 
     /// Random Hermitian matrix (A + A^H)/2.
@@ -159,9 +194,11 @@ impl Matrix {
         &self.data
     }
 
-    /// Mutable raw row-major data.
+    /// Mutable raw row-major data. Drops the realness hint: the caller may
+    /// write arbitrary complex values through the returned slice.
     #[inline(always)]
     pub fn data_mut(&mut self) -> &mut [C64] {
+        self.real = false;
         &mut self.data
     }
 
@@ -170,15 +207,62 @@ impl Matrix {
         self.data
     }
 
+    /// Structural realness hint: `true` guarantees every imaginary part is
+    /// exactly zero; `false` means unknown. See the type-level docs.
+    #[inline(always)]
+    pub fn is_real(&self) -> bool {
+        self.real
+    }
+
+    /// Assert that every imaginary part of this matrix is exactly zero,
+    /// setting the realness hint without a scan in release builds.
+    ///
+    /// Use only when realness is structurally guaranteed (e.g. the buffer was
+    /// filled by the real-only GEMM path). A wrong assertion makes later
+    /// products silently drop imaginary parts; under `debug_assertions` the
+    /// claim is verified by a full scan.
+    pub fn assume_real(&mut self) {
+        debug_assert!(
+            self.data.iter().all(|z| z.im == 0.0),
+            "assume_real: matrix has nonzero imaginary parts"
+        );
+        self.real = true;
+    }
+
+    /// Scan the data and set the realness hint iff every imaginary part is
+    /// exactly zero (`-0.0` counts as zero). Returns the resulting hint.
+    ///
+    /// O(nrows * ncols) — intended for one-time construction points (gate
+    /// matrices, Hamiltonian terms), not hot loops.
+    pub fn mark_real_if_exact(&mut self) -> bool {
+        self.real = self.data.iter().all(|z| z.im == 0.0);
+        self.real
+    }
+
+    /// Zero every imaginary part and set the realness hint.
+    ///
+    /// For results that are real *mathematically* but carry O(eps) imaginary
+    /// rounding noise from intermediate phases (e.g. `exp(-tau H)` of a real
+    /// symmetric `H` computed through a complex eigendecomposition), this is a
+    /// correction toward the exact value, not an approximation.
+    pub fn project_real(&mut self) {
+        for z in &mut self.data {
+            z.im = 0.0;
+        }
+        self.real = true;
+    }
+
     /// Borrow one row as a slice.
     #[inline(always)]
     pub fn row(&self, i: usize) -> &[C64] {
         &self.data[i * self.ncols..(i + 1) * self.ncols]
     }
 
-    /// Borrow one row mutably.
+    /// Borrow one row mutably. Drops the realness hint (see
+    /// [`Matrix::data_mut`]).
     #[inline(always)]
     pub fn row_mut(&mut self, i: usize) -> &mut [C64] {
+        self.real = false;
         &mut self.data[i * self.ncols..(i + 1) * self.ncols]
     }
 
@@ -187,12 +271,15 @@ impl Matrix {
         (0..self.nrows).map(|i| self[(i, j)]).collect()
     }
 
-    /// Overwrite column `j`.
+    /// Overwrite column `j`. The realness hint survives iff it was set and the
+    /// new column is exactly real (an O(nrows) scan).
     pub fn set_col(&mut self, j: usize, col: &[C64]) {
         assert_eq!(col.len(), self.nrows, "set_col: wrong column length");
+        let keep_real = self.real && col.iter().all(|z| z.im == 0.0);
         for i in 0..self.nrows {
             self[(i, j)] = col[i];
         }
+        self.real = keep_real;
     }
 
     /// Transpose (no conjugation). Runs in `32 x 32` cache tiles so both the
@@ -232,23 +319,31 @@ impl Matrix {
                 }
             }
         }
+        // Both transpose flavours map real entries to real entries.
+        t.real = self.real;
         t
     }
 
     /// Element-wise complex conjugate.
     pub fn conj(&self) -> Matrix {
         let data = self.data.iter().map(|z| z.conj()).collect();
-        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+        Matrix { nrows: self.nrows, ncols: self.ncols, data, real: self.real }
     }
 
     /// Multiply every entry by a scalar.
+    ///
+    /// The realness hint survives only for a *finite* real scalar: for
+    /// `s.re = inf/NaN` the complex multiply produces `0.0 * s.re = NaN`
+    /// imaginary parts, which would break the hint's exact-zero guarantee.
     pub fn scale(&self, s: C64) -> Matrix {
         let data = self.data.iter().map(|&z| z * s).collect();
-        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+        let real = self.real && s.im == 0.0 && s.re.is_finite();
+        Matrix { nrows: self.nrows, ncols: self.ncols, data, real }
     }
 
-    /// In-place scalar multiplication.
+    /// In-place scalar multiplication (hint rule as in [`Matrix::scale`]).
     pub fn scale_inplace(&mut self, s: C64) {
+        self.real = self.real && s.im == 0.0 && s.re.is_finite();
         for z in &mut self.data {
             *z *= s;
         }
@@ -283,19 +378,23 @@ impl Matrix {
         for i in 0..rows {
             out.row_mut(i).copy_from_slice(&self.row(row0 + i)[col0..col0 + cols]);
         }
+        out.real = self.real;
         out
     }
 
     /// Write `block` into this matrix with its top-left corner at `(row0, col0)`.
+    /// The realness hint survives iff both `self` and `block` carry it.
     pub fn set_submatrix(&mut self, row0: usize, col0: usize, block: &Matrix) {
         assert!(
             row0 + block.nrows <= self.nrows && col0 + block.ncols <= self.ncols,
             "set_submatrix out of range"
         );
+        let keep_real = self.real && block.real;
         for i in 0..block.nrows {
             let dst = &mut self.row_mut(row0 + i)[col0..col0 + block.ncols];
             dst.copy_from_slice(block.row(i));
         }
+        self.real = keep_real;
     }
 
     /// Keep only the first `k` columns.
@@ -411,6 +510,8 @@ impl IndexMut<(usize, usize)> for Matrix {
     #[inline(always)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
         debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of range");
+        // The caller may write any complex value through the reference.
+        self.real = false;
         &mut self.data[i * self.ncols + j]
     }
 }
@@ -442,7 +543,7 @@ impl Add for &Matrix {
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "matrix add: shape mismatch");
         let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| *a + *b).collect();
-        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+        Matrix { nrows: self.nrows, ncols: self.ncols, data, real: self.real && rhs.real }
     }
 }
 
@@ -451,7 +552,7 @@ impl Sub for &Matrix {
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "matrix sub: shape mismatch");
         let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| *a - *b).collect();
-        Matrix { nrows: self.nrows, ncols: self.ncols, data }
+        Matrix { nrows: self.nrows, ncols: self.ncols, data, real: self.real && rhs.real }
     }
 }
 
@@ -465,6 +566,7 @@ impl Neg for &Matrix {
 impl AddAssign<&Matrix> for Matrix {
     fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "matrix add_assign: shape mismatch");
+        self.real = self.real && rhs.real;
         for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += *b;
         }
@@ -474,6 +576,7 @@ impl AddAssign<&Matrix> for Matrix {
 impl SubAssign<&Matrix> for Matrix {
     fn sub_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "matrix sub_assign: shape mismatch");
+        self.real = self.real && rhs.real;
         for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a -= *b;
         }
@@ -574,6 +677,69 @@ mod tests {
         for i in 0..3 {
             assert!(w[i].approx_eq(w2[(i, 0)], 1e-12));
         }
+    }
+
+    #[test]
+    fn realness_hint_constructors_and_propagation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Constructors.
+        assert!(Matrix::zeros(2, 3).is_real());
+        assert!(Matrix::identity(4).is_real());
+        assert!(Matrix::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap().is_real());
+        assert!(Matrix::from_diag_real(&[1.0, -2.0]).is_real());
+        assert!(Matrix::random_real(3, 3, &mut rng).is_real());
+        assert!(Matrix::full(2, 2, c64(1.5, 0.0)).is_real());
+        assert!(!Matrix::full(2, 2, c64(1.5, 1e-300)).is_real());
+        assert!(!Matrix::random(3, 3, &mut rng).is_real());
+        assert!(!Matrix::from_diag(&[C64::I]).is_real());
+        assert!(Matrix::from_diag(&[C64::ONE]).is_real());
+        // from_vec is conservative; mark_real_if_exact recovers by scanning.
+        let mut laundered = Matrix::from_vec(1, 2, vec![C64::ONE, c64(2.0, -0.0)]).unwrap();
+        assert!(!laundered.is_real());
+        assert!(laundered.mark_real_if_exact());
+        // Propagation.
+        let r = Matrix::random_real(3, 4, &mut rng);
+        let z = Matrix::random(3, 4, &mut rng);
+        assert!(r.transpose().is_real());
+        assert!(r.adjoint().is_real());
+        assert!(r.conj().is_real());
+        assert!(r.scale(c64(2.0, 0.0)).is_real());
+        assert!(!r.scale(C64::I).is_real());
+        // A non-finite real scalar would produce NaN imaginary parts
+        // (0.0 * inf), so the hint must drop.
+        assert!(!r.scale(c64(f64::INFINITY, 0.0)).is_real());
+        assert!(!r.scale(c64(f64::NAN, 0.0)).is_real());
+        assert!((&r + &r).is_real());
+        assert!(!(&r + &z).is_real());
+        assert!(r.submatrix(1, 1, 2, 2).is_real());
+        assert!(r.hstack(&r).unwrap().is_real());
+        assert!(!r.vstack(&z).unwrap().is_real());
+    }
+
+    #[test]
+    fn realness_hint_drops_on_raw_mutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = Matrix::random_real(3, 3, &mut rng);
+        assert!(m.is_real());
+        m[(0, 0)] = c64(1.0, 0.0); // even a real write through IndexMut drops it
+        assert!(!m.is_real());
+        assert!(m.mark_real_if_exact());
+        let _ = m.data_mut();
+        assert!(!m.is_real());
+        m.assume_real();
+        assert!(m.is_real());
+        let _ = m.row_mut(1);
+        assert!(!m.is_real());
+        // set_col keeps the hint for a real column, drops it for a complex one.
+        m.mark_real_if_exact();
+        m.set_col(0, &[C64::ONE, C64::ZERO, C64::ONE]);
+        assert!(m.is_real());
+        m.set_col(1, &[C64::I, C64::ZERO, C64::ZERO]);
+        assert!(!m.is_real());
+        // project_real is the explicit recovery for mathematically-real data.
+        m.project_real();
+        assert!(m.is_real());
+        assert!(m.data().iter().all(|v| v.im == 0.0));
     }
 
     #[test]

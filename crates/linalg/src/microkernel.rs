@@ -1,12 +1,22 @@
-//! Register-blocked GEMM microkernel over packed split-complex panels.
+//! Register-blocked GEMM microkernels over packed panels.
 //!
-//! The microkernel multiplies one `MR x kc` strip of packed A with one
-//! `kc x NR` strip of packed B, accumulating into `MR x NR` split real /
-//! imaginary register tiles. Operands arrive packed (see [`crate::pack`]) as
-//! split-complex groups — for each depth index `p`, `MR` (or `NR`) real
-//! parts followed by the matching imaginary parts — so the inner loops are
-//! pure `f64` lane arithmetic that LLVM auto-vectorizes to `f64x4`/`f64x8`
-//! FMA sequences when the target has them.
+//! Each microkernel multiplies one `MR x kc` strip of packed A with one
+//! `kc x NR` strip of packed B. Two variants exist:
+//!
+//! * [`microkernel`] — the split-complex kernel. Operands arrive packed (see
+//!   [`crate::pack`]) as split-complex groups — for each depth index `p`,
+//!   `MR` (or `NR`) real parts followed by the matching imaginary parts — and
+//!   the kernel runs four FMAs per output lane per depth step.
+//! * [`microkernel_real`] — the real-only kernel: one FMA per output lane per
+//!   depth step, a quarter of the complex kernel's flops. It reads only the
+//!   real lanes through a caller-supplied *group stride*, so the same code
+//!   consumes both real-only panels (stride `MR`/`NR`, packed by
+//!   `pack_a_real`/`pack_b_real` when the caller asserts realness) and
+//!   split-complex panels whose imaginary lanes were detected to be zero
+//!   during packing (stride `2 * MR`/`2 * NR`).
+//!
+//! In both cases the inner loops are pure `f64` lane arithmetic that LLVM
+//! auto-vectorizes to `f64x4`/`f64x8` FMA sequences when the target has them.
 
 /// Rows of C computed per microkernel invocation.
 pub const MR: usize = 6;
@@ -66,6 +76,43 @@ pub fn microkernel(kc: usize, ap: &[f64], bp: &[f64]) -> AccTile {
     acc
 }
 
+/// Real-only accumulator tile: `re[i][j]` for `C[i][j]` (imaginary parts of
+/// the update are identically zero).
+pub type RealAccTile = [[f64; NR]; MR];
+
+/// Multiply the real lanes of a packed `MR x kc` A-strip by the real lanes of
+/// a packed `kc x NR` B-strip.
+///
+/// `a_group` / `b_group` are the distances (in floats) between consecutive
+/// depth groups of the panel: `MR` / `NR` for real-only panels, `2 * MR` /
+/// `2 * NR` to address only the real halves of split-complex panels. The
+/// first `MR` (resp. `NR`) floats of each group are the real lanes consumed.
+#[inline(always)]
+pub fn microkernel_real(
+    kc: usize,
+    ap: &[f64],
+    a_group: usize,
+    bp: &[f64],
+    b_group: usize,
+) -> RealAccTile {
+    debug_assert!(a_group >= MR && b_group >= NR);
+    debug_assert!(kc == 0 || ap.len() >= (kc - 1) * a_group + MR);
+    debug_assert!(kc == 0 || bp.len() >= (kc - 1) * b_group + NR);
+    let mut acc: RealAccTile = [[0.0; NR]; MR];
+    for p in 0..kc {
+        let ak = &ap[p * a_group..p * a_group + MR];
+        let bk = &bp[p * b_group..p * b_group + NR];
+        for i in 0..MR {
+            let ar = ak[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] = fmadd(ar, bk[j], row[j]);
+            }
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +148,40 @@ mod tests {
                 }
                 assert!((acc.re[i][j] - re).abs() < 1e-12);
                 assert!((acc.im[i][j] - im).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn real_kernel_matches_complex_kernel_on_zero_imaginary_panels() {
+        let kc = 6;
+        // Split-complex panels with zero imaginary lanes.
+        let mut ap = vec![0.0f64; 2 * MR * kc];
+        let mut bp = vec![0.0f64; 2 * NR * kc];
+        for p in 0..kc {
+            for i in 0..MR {
+                ap[p * 2 * MR + i] = (p + 2 * i) as f64 * 0.5 - 1.0;
+            }
+            for j in 0..NR {
+                bp[p * 2 * NR + j] = 1.5 - (p * NR + j) as f64 * 0.25;
+            }
+        }
+        let complex = microkernel(kc, &ap, &bp);
+        // Strided read over the split-complex panels...
+        let strided = microkernel_real(kc, &ap, 2 * MR, &bp, 2 * NR);
+        // ...and dense real-only panels with the same values.
+        let mut ap_real = vec![0.0f64; MR * kc];
+        let mut bp_real = vec![0.0f64; NR * kc];
+        for p in 0..kc {
+            ap_real[p * MR..(p + 1) * MR].copy_from_slice(&ap[p * 2 * MR..p * 2 * MR + MR]);
+            bp_real[p * NR..(p + 1) * NR].copy_from_slice(&bp[p * 2 * NR..p * 2 * NR + NR]);
+        }
+        let dense = microkernel_real(kc, &ap_real, MR, &bp_real, NR);
+        for i in 0..MR {
+            for j in 0..NR {
+                assert_eq!(strided[i][j], complex.re[i][j]);
+                assert_eq!(dense[i][j], complex.re[i][j]);
+                assert_eq!(complex.im[i][j], 0.0);
             }
         }
     }

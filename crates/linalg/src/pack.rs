@@ -1,15 +1,30 @@
 //! Operand packing for the blocked GEMM, with transposition fused in.
 //!
-//! A cache block of each operand is repacked into split-complex panels laid
-//! out exactly as the microkernel consumes them (see [`crate::microkernel`]):
-//! A blocks become a sequence of `MR`-row strips, B blocks a sequence of
-//! `NR`-column strips, each strip storing, per depth index, the strip's real
-//! parts followed by its imaginary parts.
+//! A cache block of each operand is repacked into panels laid out exactly as
+//! the microkernel consumes them (see [`crate::microkernel`]). Two panel
+//! formats exist:
+//!
+//! * **Split-complex** ([`pack_a`] / [`pack_b`]): A blocks become a sequence
+//!   of `MR`-row strips, B blocks a sequence of `NR`-column strips, each strip
+//!   storing, per depth index, the strip's real parts followed by its
+//!   imaginary parts. While gathering, the packers also *detect* whether every
+//!   imaginary part in the block is exactly zero and report it — the compare
+//!   is free next to the memory traffic, and it lets
+//!   [`mod@crate::gemm`] drop to the real microkernel per depth block even
+//!   when the caller could not assert realness structurally.
+//! * **Real-only** ([`pack_a_real`] / [`pack_b_real`]): the `f64`-panel
+//!   variant used when the caller asserts both operands are real (via the
+//!   [`Matrix::is_real`](crate::matrix::Matrix::is_real) hint). Only the real
+//!   parts are gathered — half the packing traffic and half the panel
+//!   footprint of the split-complex format.
 //!
 //! Crucially, the *effective* operand is gathered element-by-element here, so
 //! [`Op::Transpose`] and [`Op::Adjoint`] (and any conjugation) cost nothing
 //! beyond a different read stride during packing — the old code path that
-//! materialised a full transposed copy of the operand is gone.
+//! materialised a full transposed copy of the operand is gone. The same holds
+//! for the real-only packers: no complex (or transposed) copy of a real
+//! operand is ever materialised, a property pinned down by
+//! `linalg/tests/alloc.rs`.
 
 use crate::gemm::Op;
 use crate::microkernel::{MR, NR};
@@ -46,9 +61,85 @@ pub fn strips(len: usize, unit: usize) -> usize {
 }
 
 /// Pack the `mc x kc` block of the effective A starting at `(i0, p0)` into
-/// `out` as `ceil(mc / MR)` strips of `kc * 2 * MR` floats each, zero-padding
-/// the ragged final strip.
+/// `out` as `ceil(mc / MR)` split-complex strips of `kc * 2 * MR` floats each,
+/// zero-padding the ragged final strip.
+///
+/// Returns `true` iff every imaginary part in the block is exactly zero
+/// (`-0.0` counts as zero), so the caller may run the real microkernel over
+/// the packed panel's real lanes.
 pub fn pack_a(
+    op: Op,
+    a: &[C64],
+    lda: usize,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    out: &mut Vec<f64>,
+) -> bool {
+    let n_strips = strips(mc, MR);
+    out.clear();
+    out.resize(n_strips * kc * 2 * MR, 0.0);
+    let mut all_real = true;
+    for s in 0..n_strips {
+        let rows = MR.min(mc - s * MR);
+        let strip = &mut out[s * kc * 2 * MR..(s + 1) * kc * 2 * MR];
+        for p in 0..kc {
+            let group = &mut strip[p * 2 * MR..(p + 1) * 2 * MR];
+            for r in 0..rows {
+                let z = read_a(op, a, lda, i0 + s * MR + r, p0 + p);
+                group[r] = z.re;
+                group[MR + r] = z.im;
+                all_real &= z.im == 0.0;
+            }
+            // Padding rows stay zero from the resize above.
+        }
+    }
+    all_real
+}
+
+/// Pack the `kc x nc` block of the effective B starting at `(p0, j0)` into
+/// `out` as `ceil(nc / NR)` split-complex strips of `kc * 2 * NR` floats each,
+/// zero-padding the ragged final strip. Returns the same realness verdict as
+/// [`pack_a`].
+pub fn pack_b(
+    op: Op,
+    b: &[C64],
+    ldb: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    out: &mut Vec<f64>,
+) -> bool {
+    let n_strips = strips(nc, NR);
+    out.clear();
+    out.resize(n_strips * kc * 2 * NR, 0.0);
+    let mut all_real = true;
+    for s in 0..n_strips {
+        let cols = NR.min(nc - s * NR);
+        let strip = &mut out[s * kc * 2 * NR..(s + 1) * kc * 2 * NR];
+        for p in 0..kc {
+            let group = &mut strip[p * 2 * NR..(p + 1) * 2 * NR];
+            for c in 0..cols {
+                let z = read_b(op, b, ldb, p0 + p, j0 + s * NR + c);
+                group[c] = z.re;
+                group[NR + c] = z.im;
+                all_real &= z.im == 0.0;
+            }
+        }
+    }
+    all_real
+}
+
+/// Pack the `mc x kc` block of the effective A into real-only panels:
+/// `ceil(mc / MR)` strips of `kc * MR` floats (real parts only), zero-padding
+/// the ragged final strip.
+///
+/// The caller must guarantee the operand is real; the imaginary parts are not
+/// even read (for real data `Op::Adjoint` degenerates to `Op::Transpose`, so
+/// conjugation is a no-op by assumption).
+pub fn pack_a_real(
     op: Op,
     a: &[C64],
     lda: usize,
@@ -60,26 +151,23 @@ pub fn pack_a(
 ) {
     let n_strips = strips(mc, MR);
     out.clear();
-    out.resize(n_strips * kc * 2 * MR, 0.0);
+    out.resize(n_strips * kc * MR, 0.0);
     for s in 0..n_strips {
         let rows = MR.min(mc - s * MR);
-        let strip = &mut out[s * kc * 2 * MR..(s + 1) * kc * 2 * MR];
+        let strip = &mut out[s * kc * MR..(s + 1) * kc * MR];
         for p in 0..kc {
-            let group = &mut strip[p * 2 * MR..(p + 1) * 2 * MR];
+            let group = &mut strip[p * MR..(p + 1) * MR];
             for r in 0..rows {
-                let z = read_a(op, a, lda, i0 + s * MR + r, p0 + p);
-                group[r] = z.re;
-                group[MR + r] = z.im;
+                group[r] = read_a(op, a, lda, i0 + s * MR + r, p0 + p).re;
             }
-            // Padding rows stay zero from the resize above.
         }
     }
 }
 
-/// Pack the `kc x nc` block of the effective B starting at `(p0, j0)` into
-/// `out` as `ceil(nc / NR)` strips of `kc * 2 * NR` floats each, zero-padding
-/// the ragged final strip.
-pub fn pack_b(
+/// Pack the `kc x nc` block of the effective B into real-only panels:
+/// `ceil(nc / NR)` strips of `kc * NR` floats (real parts only). Same realness
+/// contract as [`pack_a_real`].
+pub fn pack_b_real(
     op: Op,
     b: &[C64],
     ldb: usize,
@@ -91,16 +179,14 @@ pub fn pack_b(
 ) {
     let n_strips = strips(nc, NR);
     out.clear();
-    out.resize(n_strips * kc * 2 * NR, 0.0);
+    out.resize(n_strips * kc * NR, 0.0);
     for s in 0..n_strips {
         let cols = NR.min(nc - s * NR);
-        let strip = &mut out[s * kc * 2 * NR..(s + 1) * kc * 2 * NR];
+        let strip = &mut out[s * kc * NR..(s + 1) * kc * NR];
         for p in 0..kc {
-            let group = &mut strip[p * 2 * NR..(p + 1) * 2 * NR];
+            let group = &mut strip[p * NR..(p + 1) * NR];
             for c in 0..cols {
-                let z = read_b(op, b, ldb, p0 + p, j0 + s * NR + c);
-                group[c] = z.re;
-                group[NR + c] = z.im;
+                group[c] = read_b(op, b, ldb, p0 + p, j0 + s * NR + c).re;
             }
         }
     }
@@ -113,6 +199,10 @@ mod tests {
 
     fn sample(m: usize, n: usize) -> Vec<C64> {
         (0..m * n).map(|i| c64(i as f64, -(i as f64) * 0.5)).collect()
+    }
+
+    fn sample_real(m: usize, n: usize) -> Vec<C64> {
+        (0..m * n).map(|i| c64(i as f64 * 0.75 - 3.0, 0.0)).collect()
     }
 
     #[test]
@@ -132,10 +222,10 @@ mod tests {
         let mut packed_none = Vec::new();
         let mut packed_t = Vec::new();
         let mut packed_h = Vec::new();
-        pack_a(Op::None, &plain, k, 0, m, 0, k, &mut packed_none);
-        pack_a(Op::Transpose, &stored_t, m, 0, m, 0, k, &mut packed_t);
+        assert!(!pack_a(Op::None, &plain, k, 0, m, 0, k, &mut packed_none));
+        assert!(!pack_a(Op::Transpose, &stored_t, m, 0, m, 0, k, &mut packed_t));
         let conj_t: Vec<C64> = stored_t.iter().map(|z| z.conj()).collect();
-        pack_a(Op::Adjoint, &conj_t, m, 0, m, 0, k, &mut packed_h);
+        assert!(!pack_a(Op::Adjoint, &conj_t, m, 0, m, 0, k, &mut packed_h));
         assert_eq!(packed_none, packed_t);
         assert_eq!(packed_none, packed_h);
         // Padded rows of the ragged final strip are zero.
@@ -154,7 +244,7 @@ mod tests {
         let (k, n) = (4, 10); // one full strip + one ragged strip
         let b = sample(k, n);
         let mut packed = Vec::new();
-        pack_b(Op::None, &b, n, 0, k, 0, n, &mut packed);
+        assert!(!pack_b(Op::None, &b, n, 0, k, 0, n, &mut packed));
         assert_eq!(packed.len(), strips(n, NR) * k * 2 * NR);
         for p in 0..k {
             for j in 0..n {
@@ -163,6 +253,65 @@ mod tests {
                 let group = &packed[s * k * 2 * NR + p * 2 * NR..];
                 assert_eq!(group[c], b[p * n + j].re);
                 assert_eq!(group[NR + c], b[p * n + j].im);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_packers_detect_real_blocks() {
+        let (m, k) = (7, 4);
+        let real = sample_real(m, k);
+        let mut out = Vec::new();
+        assert!(pack_a(Op::None, &real, k, 0, m, 0, k, &mut out));
+        assert!(pack_b(Op::None, &real, k, 0, m, 0, k, &mut out));
+        // Negative zero still counts as real; a genuine imaginary part breaks
+        // the verdict.
+        let mut neg_zero = real.clone();
+        neg_zero[3].im = -0.0;
+        assert!(pack_a(Op::None, &neg_zero, k, 0, m, 0, k, &mut out));
+        let mut tainted = real.clone();
+        tainted[m * k - 1].im = 1e-300;
+        assert!(!pack_a(Op::None, &tainted, k, 0, m, 0, k, &mut out));
+        assert!(!pack_b(Op::None, &tainted, k, 0, m, 0, k, &mut out));
+    }
+
+    #[test]
+    fn real_packers_match_the_real_lanes_of_the_complex_packers() {
+        for op in [Op::None, Op::Transpose, Op::Adjoint] {
+            // A side: effective m x k, ragged final strip (m = 8 > MR).
+            let (m, k) = (8, 5);
+            let (rows, cols) = if op == Op::None { (m, k) } else { (k, m) };
+            let stored = sample_real(rows, cols);
+            let mut split = Vec::new();
+            let mut real_only = Vec::new();
+            assert!(pack_a(op, &stored, cols, 0, m, 0, k, &mut split));
+            pack_a_real(op, &stored, cols, 0, m, 0, k, &mut real_only);
+            assert_eq!(real_only.len(), strips(m, MR) * k * MR);
+            for s in 0..strips(m, MR) {
+                for p in 0..k {
+                    for r in 0..MR {
+                        let re = split[s * k * 2 * MR + p * 2 * MR + r];
+                        assert_eq!(real_only[s * k * MR + p * MR + r], re);
+                    }
+                }
+            }
+
+            // B side: effective k x n, ragged final strip (n = 10 > NR).
+            let (bk, bn) = (4, 10);
+            let (brows, bcols) = if op == Op::None { (bk, bn) } else { (bn, bk) };
+            let bstored = sample_real(brows, bcols);
+            let mut bsplit = Vec::new();
+            let mut real_b = Vec::new();
+            assert!(pack_b(op, &bstored, bcols, 0, bk, 0, bn, &mut bsplit));
+            pack_b_real(op, &bstored, bcols, 0, bk, 0, bn, &mut real_b);
+            assert_eq!(real_b.len(), strips(bn, NR) * bk * NR);
+            for s in 0..strips(bn, NR) {
+                for p in 0..bk {
+                    for c in 0..NR {
+                        let re = bsplit[s * bk * 2 * NR + p * 2 * NR + c];
+                        assert_eq!(real_b[s * bk * NR + p * NR + c], re);
+                    }
+                }
             }
         }
     }

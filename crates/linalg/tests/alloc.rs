@@ -165,3 +165,53 @@ fn wide_svd_allocates_no_more_than_tall() {
          (operand is {operand_bytes}) — the old path materialised the adjoint"
     );
 }
+
+/// Real GEMM dispatch must never materialise a complex copy of an operand:
+/// the real path packs `f64`-only panels straight out of the `C64` operands,
+/// so on the same shape it allocates (a) strictly less than the complex path
+/// — the packing footprint halves — and (b) the same for transposed as for
+/// plain operands, i.e. fused transposition survives the real path too. A
+/// complex operand copy anywhere would show up as a full `operand_bytes`
+/// excess over either bound.
+#[test]
+fn real_gemm_dispatch_materializes_no_complex_copy() {
+    let _guard = SERIAL.lock().unwrap();
+    const N: usize = 512;
+    let out_bytes = (N * N * std::mem::size_of::<koala_linalg::C64>()) as u64; // 4 MiB
+    let mut rng = StdRng::seed_from_u64(10);
+    let a_complex = Matrix::random(N, N, &mut rng);
+    let b_complex = Matrix::random(N, N, &mut rng);
+    let a_real = Matrix::random_real(N, N, &mut rng);
+    let b_real = Matrix::random_real(N, N, &mut rng);
+    assert!(a_real.is_real() && b_real.is_real());
+
+    // Warm up both dispatch paths.
+    let _ = gemm(Op::None, Op::None, &a_complex, &b_complex);
+    let _ = gemm(Op::None, Op::None, &a_real, &b_real);
+
+    let complex_alloc = bytes_allocated_by(|| gemm(Op::None, Op::None, &a_complex, &b_complex));
+    let real_alloc = bytes_allocated_by(|| gemm(Op::None, Op::None, &a_real, &b_real));
+    let real_alloc_t = bytes_allocated_by(|| gemm(Op::Transpose, Op::Adjoint, &a_real, &b_real));
+
+    // Both paths allocate the m x n complex output; everything beyond it is
+    // packing buffers. Real panels are exactly half the split-complex panels,
+    // so the real path's packing overhead must come in well under the complex
+    // path's — if the real dispatch materialised even one complex operand
+    // copy it would exceed the complex path instead.
+    assert!(complex_alloc > out_bytes, "complex path must at least allocate the output");
+    assert!(real_alloc > out_bytes, "real path must at least allocate the output");
+    let complex_pack = complex_alloc - out_bytes;
+    let real_pack = real_alloc - out_bytes;
+    assert!(
+        real_pack <= complex_pack * 3 / 4,
+        "real dispatch packed {real_pack} bytes vs {complex_pack} for the complex path \
+         (operand is {out_bytes}) — a complex intermediate is being materialised"
+    );
+    // Fused transposition: transposed real operands cost no extra allocation.
+    let slack = out_bytes / 8;
+    assert!(
+        real_alloc_t.abs_diff(real_alloc) < slack,
+        "transposed real GEMM allocated {real_alloc_t} bytes vs {real_alloc} plain — \
+         a transposed operand copy is being materialised"
+    );
+}

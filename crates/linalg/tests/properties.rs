@@ -182,6 +182,98 @@ fn packed_gemm_matches_naive_across_shapes_and_ops() {
     }
 }
 
+/// Real-dispatch GEMM vs the complex reference across the same awkward shape
+/// grid and all nine `Op` combinations. The operands carry the structural
+/// realness hint, so every product below runs on the real-only microkernel
+/// (`f64` panels, one FMA per lane); the results must agree with full complex
+/// arithmetic on the same data to 1e-12, and the outputs must carry the hint.
+#[test]
+fn real_dispatch_matches_complex_kernel_across_shapes_and_ops() {
+    let shapes: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (6, 8, 8),    // exactly one MR x NR tile
+        (5, 3, 9),    // ragged edges everywhere
+        (1, 300, 1),  // dot-product shape crossing KC
+        (400, 2, 3),  // tall and skinny crossing MC
+        (3, 2, 600),  // short and wide crossing NC
+        (37, 41, 29), // primes
+        (0, 5, 4),    // empty m
+        (4, 0, 5),    // empty k
+    ];
+    let mut rng = StdRng::seed_from_u64(0x5EA1);
+    for &(m, k, n) in shapes {
+        for opa in ALL_OPS {
+            for opb in ALL_OPS {
+                let a = match opa {
+                    Op::None => Matrix::random_real(m, k, &mut rng),
+                    _ => Matrix::random_real(k, m, &mut rng),
+                };
+                let b = match opb {
+                    Op::None => Matrix::random_real(k, n, &mut rng),
+                    _ => Matrix::random_real(n, k, &mut rng),
+                };
+                assert!(a.is_real() && b.is_real());
+                gemm::reset_flop_counter();
+                let fast = gemm(opa, opb, &a, &b);
+                assert_eq!(
+                    gemm::real_mac_counter(),
+                    (m * n * k) as u64,
+                    "gemm({opa:?}, {opb:?}) at {m}x{k}x{n} did not run on the real kernel"
+                );
+                assert_eq!(gemm::flop_counter(), 0);
+                assert!(fast.is_real(), "real dispatch must mark its output real");
+                let slow = gemm::matmul_naive(&materialize(opa, &a), &materialize(opb, &b));
+                assert_eq!(fast.shape(), (m, n));
+                assert!(
+                    fast.approx_eq(&slow, 1e-12),
+                    "real gemm({opa:?}, {opb:?}) mismatch at {m}x{k}x{n}: {:e}",
+                    fast.max_diff(&slow)
+                );
+            }
+        }
+    }
+    gemm::reset_flop_counter();
+}
+
+// The realness hint is a *guarantee*, never a guess: whenever a matrix
+// reports `is_real()`, a full scan of its data must find exactly-zero
+// imaginary parts — across constructor/transform chains that mix real and
+// complex inputs, including ones that only *look* real (a complex phase
+// entering through a scalar or an operand must drop the hint).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn realness_hint_is_never_falsely_retained(
+        (m, n) in dims(),
+        seed in 0u64..1000,
+        phase in 0.0f64..std::f64::consts::TAU,
+        pick in 0u32..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let real = Matrix::random_real(m, n, &mut rng);
+        let complex = Matrix::random(m, n, &mut rng);
+        let candidate = match pick {
+            0 => real.scale(c64(phase.cos(), phase.sin())), // complex phase: hint must drop unless phase ≈ 0
+            1 => &real + &complex,
+            2 => real.transpose(),
+            3 => matmul(&real, &Matrix::random_real(n, m, &mut rng)),
+            4 => matmul(&real.conj(), &Matrix::random(n, m, &mut rng)),
+            _ => {
+                let mut x = real.clone();
+                x[(m - 1, n - 1)] = c64(0.0, 1.0); // raw mutation: hint must drop
+                x
+            }
+        };
+        if candidate.is_real() {
+            prop_assert!(
+                candidate.data().iter().all(|z| z.im == 0.0),
+                "is_real() reported true on data with nonzero imaginary parts"
+            );
+        }
+    }
+}
+
 /// The retained seed kernel stays numerically interchangeable with the packed
 /// kernel (it is the baseline the benchmark suite reports speedups against).
 #[test]

@@ -102,6 +102,7 @@ pub fn is_unitary(gate: &Matrix, tol: f64) -> bool {
 mod tests {
     use super::*;
     use koala_linalg::matmul;
+    use rand::SeedableRng;
 
     #[test]
     fn all_gates_are_unitary() {
@@ -135,6 +136,29 @@ mod tests {
     #[test]
     fn hadamard_squares_to_identity() {
         assert!(matmul(&hadamard(), &hadamard()).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn complex_phase_gates_never_carry_the_realness_hint() {
+        // A VQE RZ layer is the canonical way a complex phase enters an
+        // otherwise real network: diag(e^{i theta/2}, e^{-i theta/2}).
+        let rz_gate = rz(0.4);
+        assert!(!rz_gate.is_real());
+        assert!(rz_gate.data().iter().any(|z| z.im != 0.0));
+        for g in [s_gate(), t_gate(), rx(0.7), iswap(), zz_rotation(0.3), sqrt_x()] {
+            assert!(!g.is_real(), "complex gate falsely retained the realness hint");
+        }
+        // ...and applying one to a hinted-real state drops the hint on the
+        // result, so no later contraction wrongly uses the real kernel.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let state = Matrix::random_real(2, 3, &mut rng);
+        assert!(state.is_real());
+        let rotated = matmul(&rz_gate, &state);
+        assert!(!rotated.is_real());
+        assert!(rotated.data().iter().any(|z| z.im != 0.0));
+        // Purely real gates keep the hint through application.
+        assert!(cnot().is_real() && cz().is_real() && hadamard().is_real());
+        assert!(matmul(&hadamard(), &state).is_real());
     }
 
     #[test]

@@ -76,18 +76,26 @@ pub fn diagonal_pairs(nrows: usize, ncols: usize) -> Vec<(Site, Site)> {
 }
 
 /// The two-site coupling matrix `Jx X.X + Jy Y.Y + Jz Z.Z`.
+///
+/// `Y (x) Y` is a real matrix (the two factors of `i` cancel) even though
+/// `Y` itself is not, so hint propagation alone would conservatively label
+/// the sum complex; a one-time O(d^2) scan recovers the realness hint for
+/// this 4x4 matrix, which then flows into the Trotter gates.
 pub fn heisenberg_coupling(j: [f64; 3]) -> Matrix {
     let mut m = kron(&pauli_x(), &pauli_x()).scale(c64(j[0], 0.0));
     m += &kron(&pauli_y(), &pauli_y()).scale(c64(j[1], 0.0));
     m += &kron(&pauli_z(), &pauli_z()).scale(c64(j[2], 0.0));
+    m.mark_real_if_exact();
     m
 }
 
-/// The single-site field matrix `hx X + hy Y + hz Z`.
+/// The single-site field matrix `hx X + hy Y + hz Z` (real iff `hy == 0`,
+/// recovered by a scan as in [`heisenberg_coupling`]).
 pub fn field_term(h: [f64; 3]) -> Matrix {
     let mut m = pauli_x().scale(c64(h[0], 0.0));
     m += &pauli_y().scale(c64(h[1], 0.0));
     m += &pauli_z().scale(c64(h[2], 0.0));
+    m.mark_real_if_exact();
     m
 }
 
@@ -142,6 +150,13 @@ pub struct TrotterGate {
 /// First-order Trotter-Suzuki decomposition `prod_j exp(factor * H_j)` of an
 /// observable (paper §II-D1). Passing `factor = -tau` gives one imaginary-time
 /// evolution step; `factor = -i * t` gives real-time evolution.
+///
+/// Realness flows through structurally: for a real Hamiltonian term (every
+/// TFI term, every Heisenberg coupling) and a *real* factor, `expm_hermitian`
+/// marks the gate matrix real, so imaginary-time-evolution gates enter the
+/// tensor network on `koala-linalg`'s real GEMM fast path. An imaginary
+/// factor (real-time evolution) produces genuinely complex gates and no
+/// hint — the contraction layer falls back to the split-complex kernel.
 pub fn trotter_gates(obs: &Observable, factor: C64) -> Vec<TrotterGate> {
     obs.terms()
         .iter()
@@ -220,6 +235,45 @@ mod tests {
         let real = trotter_gates(&h, c64(0.0, -0.05));
         for g in &real {
             assert!(crate::gates::is_unitary(&g.matrix, 1e-10), "real-time gates are unitary");
+        }
+    }
+
+    #[test]
+    fn hamiltonian_terms_carry_the_realness_hint() {
+        // Every TFI term is real by construction (Z (x) Z and X).
+        let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
+        for term in h.terms() {
+            let m = match term {
+                koala_peps::LocalTerm::OneSite { matrix, .. } => matrix,
+                koala_peps::LocalTerm::TwoSite { matrix, .. } => matrix,
+            };
+            assert!(m.is_real(), "TFI term lost the realness hint");
+        }
+        // Y (x) Y is real as a matrix; the scan in heisenberg_coupling
+        // recovers the hint that naive propagation would drop.
+        assert!(heisenberg_coupling([1.0, 0.7, -0.3]).is_real());
+        // A y-field genuinely introduces imaginary entries: no hint.
+        assert!(!field_term([0.1, 0.2, 0.0]).is_real());
+        assert!(field_term([0.1, 0.0, -0.4]).is_real());
+    }
+
+    #[test]
+    fn imaginary_time_gates_are_real_and_real_time_gates_are_not() {
+        let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
+        // factor = -tau (imaginary time evolution): gates are real matrices
+        // and carry the hint into the evolution.
+        for g in trotter_gates(&h, c64(-0.05, 0.0)) {
+            assert!(g.matrix.is_real(), "ITE gate lost the realness hint");
+            assert!(g.matrix.data().iter().all(|z| z.im == 0.0));
+        }
+        // factor = -i t (real time evolution): gates pick up complex phases
+        // and the hint must not be retained.
+        let any_complex = trotter_gates(&h, c64(0.0, -0.05))
+            .iter()
+            .any(|g| g.matrix.data().iter().any(|z| z.im != 0.0));
+        assert!(any_complex, "real-time TFI gates should be genuinely complex");
+        for g in trotter_gates(&h, c64(0.0, -0.05)) {
+            assert!(!g.matrix.is_real(), "complex gate falsely retained the realness hint");
         }
     }
 }

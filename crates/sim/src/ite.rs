@@ -5,6 +5,16 @@
 //! implementation (truncated evolution + approximate contraction) and an
 //! exact state-vector implementation (the reference curves of Figure 13) are
 //! provided.
+//!
+//! ITE is an all-real workload for real Hamiltonians (TFI, Heisenberg): the
+//! Trotter gates `exp(-tau H_j)` are real matrices and the initial product
+//! states are real, so both carry the structural realness hint (see
+//! [`crate::hamiltonian::trotter_gates`]) and the gate-application einsums
+//! start on the real-valued GEMM fast path. Decompositions that rebuild site
+//! tensors from SVD/QR factors conservatively drop the hint (their outputs
+//! are not structurally guaranteed exactly real), after which contraction
+//! falls back to per-block realness detection inside the kernel — correctness
+//! never depends on the hint, only the flop count does.
 
 use crate::hamiltonian::{trotter_gates, TrotterGate};
 use crate::statevector::{Result, StateVector};

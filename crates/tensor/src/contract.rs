@@ -14,10 +14,16 @@
 //! The GEMM output is written straight into the result tensor's buffer, so
 //! already-matricized contractions perform zero intermediate allocations
 //! beyond the result itself.
+//!
+//! Realness rides along structurally: when both operands carry the
+//! [`Tensor::is_real`] hint the GEMM is dispatched to `koala-linalg`'s
+//! real-only kernel ([`gemm_into_real`]) and the result tensor is marked
+//! real, so a chain of contractions over real tensors (a TFI evolution
+//! network) stays on the cheap kernel end to end without a single data scan.
 
 use crate::shape::num_elements;
 use crate::tensor::{Result, Tensor, TensorError};
-use koala_linalg::gemm::{gemm_into, Op};
+use koala_linalg::gemm::{gemm_into, gemm_into_real, Op};
 use koala_linalg::C64;
 
 /// Contract `a` and `b` over the axis pairs `(axes_a[i], axes_b[i])`.
@@ -160,11 +166,32 @@ impl PairPlan {
                 ),
             });
         }
+        // Realness dispatch: permuted copies inherit their source's hint
+        // (permute preserves realness), so checking the operands is enough.
+        let real = a.is_real() && b.is_real();
         let (a_view, opa) = apply_layout(a, &self.a_layout)?;
         let (b_view, opb) = apply_layout(b, &self.b_layout)?;
         let mut out = vec![C64::ZERO; self.m * self.n];
-        gemm_into(opa, opb, self.m, self.n, self.k, a_view.data(), b_view.data(), &mut out);
-        Tensor::from_vec(&self.out_shape, out)
+        if real {
+            gemm_into_real(
+                opa,
+                opb,
+                self.m,
+                self.n,
+                self.k,
+                a_view.data(),
+                b_view.data(),
+                &mut out,
+            );
+        } else {
+            gemm_into(opa, opb, self.m, self.n, self.k, a_view.data(), b_view.data(), &mut out);
+        }
+        let mut out_t = Tensor::from_vec(&self.out_shape, out)?;
+        if real {
+            // The real kernel writes only real parts into the zeroed buffer.
+            out_t.assume_real();
+        }
+        Ok(out_t)
     }
 }
 
@@ -248,7 +275,12 @@ pub fn sum_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(&new_shape, out)
+    let mut out_t = Tensor::from_vec(&new_shape, out)?;
+    if t.is_real() {
+        // A sum of real entries is real.
+        out_t.assume_real();
+    }
+    Ok(out_t)
 }
 
 /// Naive element-wise reference contraction used by tests and property checks

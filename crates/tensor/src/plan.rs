@@ -208,7 +208,11 @@ impl Plan {
     ///
     /// The operands must have exactly the shapes the plan was built for
     /// (checked); their values are unconstrained — the schedule depends only
-    /// on spec and shapes.
+    /// on spec and shapes. Realness is *not* part of the plan key: every
+    /// pairwise step re-reads the operands' [`Tensor::is_real`] hints at
+    /// execution time and dispatches to the real-only GEMM when both sides
+    /// carry them, so one cached plan serves real and complex operand sets
+    /// alike (and an all-real einsum yields a hint-carrying real result).
     pub fn execute(&self, operands: &[&Tensor]) -> Result<Tensor> {
         if operands.len() != self.shapes.len() {
             return Err(TensorError::InvalidAxes {

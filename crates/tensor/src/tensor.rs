@@ -47,26 +47,48 @@ impl From<koala_linalg::LinalgError> for TensorError {
 pub type Result<T> = std::result::Result<T, TensorError>;
 
 /// Dense tensor of [`C64`] stored contiguously in row-major order.
-#[derive(Clone, PartialEq)]
+///
+/// # Realness hint
+///
+/// Like [`Matrix`], every tensor carries a structural `is_real` hint (`true`
+/// guarantees all imaginary parts are exactly zero; `false` means unknown).
+/// It is set by real constructors, survives the layout operations used by the
+/// contraction pipeline (permute, reshape, matricization via
+/// [`Tensor::unfold`] / [`Tensor::fold`], axis sums), combines as a logical
+/// AND across binary operations, and is conservatively dropped by raw mutable
+/// access. The pairwise contraction planner reads it to dispatch GEMMs of
+/// real operands onto `koala-linalg`'s real-only microkernel and marks the
+/// results real, so realness set once at construction (e.g. a TFI Trotter
+/// gate) flows through whole einsum networks without ever rescanning data.
+#[derive(Clone)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<C64>,
+    /// Structural realness hint; see the type-level docs. Not observable
+    /// through `PartialEq`.
+    real: bool,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl Tensor {
     /// Zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![C64::ZERO; num_elements(shape)] }
+        Tensor { shape: shape.to_vec(), data: vec![C64::ZERO; num_elements(shape)], real: true }
     }
 
     /// Tensor filled with ones.
     pub fn ones(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![C64::ONE; num_elements(shape)] }
+        Tensor { shape: shape.to_vec(), data: vec![C64::ONE; num_elements(shape)], real: true }
     }
 
     /// Rank-0 tensor holding a single scalar.
     pub fn scalar(value: C64) -> Self {
-        Tensor { shape: vec![], data: vec![value] }
+        Tensor { shape: vec![], data: vec![value], real: value.im == 0.0 }
     }
 
     /// Build from shape and row-major data.
@@ -81,13 +103,17 @@ impl Tensor {
                 ),
             });
         }
-        Ok(Tensor { shape: shape.to_vec(), data })
+        // No realness scan: from_vec sits on hot paths (contraction outputs).
+        // Callers that know better follow up with `assume_real`.
+        Ok(Tensor { shape: shape.to_vec(), data, real: false })
     }
 
     /// Build from real-valued row-major data.
     pub fn from_real(shape: &[usize], data: &[f64]) -> Result<Self> {
         let cdata = data.iter().map(|&x| C64::from_real(x)).collect();
-        Tensor::from_vec(shape, cdata)
+        let mut t = Tensor::from_vec(shape, cdata)?;
+        t.real = true;
+        Ok(t)
     }
 
     /// Tensor with independent entries uniform in `[-1,1]` (both components).
@@ -95,13 +121,13 @@ impl Tensor {
         let data = (0..num_elements(shape))
             .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();
-        Tensor { shape: shape.to_vec(), data }
+        Tensor { shape: shape.to_vec(), data, real: false }
     }
 
     /// Random tensor with purely real entries.
     pub fn random_real<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Self {
         let data = (0..num_elements(shape)).map(|_| c64(rng.gen_range(-1.0..1.0), 0.0)).collect();
-        Tensor { shape: shape.to_vec(), data }
+        Tensor { shape: shape.to_vec(), data, real: true }
     }
 
     /// Identity "matrix" as a rank-2 tensor.
@@ -144,9 +170,11 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable raw row-major data.
+    /// Mutable raw row-major data. Drops the realness hint: the caller may
+    /// write arbitrary complex values through the returned slice.
     #[inline(always)]
     pub fn data_mut(&mut self) -> &mut [C64] {
+        self.real = false;
         &mut self.data
     }
 
@@ -155,17 +183,46 @@ impl Tensor {
         self.data
     }
 
+    /// Structural realness hint: `true` guarantees every imaginary part is
+    /// exactly zero; `false` means unknown. See the type-level docs.
+    #[inline(always)]
+    pub fn is_real(&self) -> bool {
+        self.real
+    }
+
+    /// Assert that every imaginary part is exactly zero, setting the realness
+    /// hint without a scan in release builds. Verified by a full scan under
+    /// `debug_assertions`; a wrong assertion makes later contractions
+    /// silently drop imaginary parts.
+    pub fn assume_real(&mut self) {
+        debug_assert!(
+            self.data.iter().all(|z| z.im == 0.0),
+            "assume_real: tensor has nonzero imaginary parts"
+        );
+        self.real = true;
+    }
+
+    /// Scan the data and set the realness hint iff every imaginary part is
+    /// exactly zero. Returns the resulting hint. O(len) — for construction
+    /// points, not hot loops.
+    pub fn mark_real_if_exact(&mut self) -> bool {
+        self.real = self.data.iter().all(|z| z.im == 0.0);
+        self.real
+    }
+
     /// Element access by multi-index.
     pub fn get(&self, index: &[usize]) -> C64 {
         let strides = strides_for(&self.shape);
         self.data[ravel(index, &strides)]
     }
 
-    /// Mutable element access by multi-index.
+    /// Mutable element access by multi-index. The realness hint survives iff
+    /// it was set and the written value is real.
     pub fn set(&mut self, index: &[usize], value: C64) {
         let strides = strides_for(&self.shape);
         let off = ravel(index, &strides);
         self.data[off] = value;
+        self.real = self.real && value.im == 0.0;
     }
 
     /// The single element of a rank-0 (or single-element) tensor.
@@ -192,7 +249,7 @@ impl Tensor {
                 ),
             });
         }
-        Ok(Tensor { shape: new_shape.to_vec(), data: self.data.clone() })
+        Ok(Tensor { shape: new_shape.to_vec(), data: self.data.clone(), real: self.real })
     }
 
     /// Reshape consuming `self` (no data copy).
@@ -202,7 +259,7 @@ impl Tensor {
                 context: format!("into_reshape: cannot view {:?} as {:?}", self.shape, new_shape),
             });
         }
-        Ok(Tensor { shape: new_shape.to_vec(), data: self.data })
+        Ok(Tensor { shape: new_shape.to_vec(), data: self.data, real: self.real })
     }
 
     /// Permute (transpose) the axes: axis `i` of the result is axis `perm[i]`
@@ -219,11 +276,11 @@ impl Tensor {
         }
         let new_shape = permute_shape(&self.shape, perm);
         if self.ndim() <= 1 || is_identity_perm(perm) {
-            return Ok(Tensor { shape: new_shape, data: self.data.clone() });
+            return Ok(Tensor { shape: new_shape, data: self.data.clone(), real: self.real });
         }
         let mut out = vec![C64::ZERO; self.data.len()];
         permute_gather(&self.data, &self.shape, perm, &new_shape, &mut out);
-        Ok(Tensor { shape: new_shape, data: out })
+        Ok(Tensor { shape: new_shape, data: out, real: self.real })
     }
 
     /// Inverse permutation convenience: undo `permute(perm)`.
@@ -233,16 +290,28 @@ impl Tensor {
 
     /// Element-wise complex conjugate.
     pub fn conj(&self) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|z| z.conj()).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|z| z.conj()).collect(),
+            real: self.real,
+        }
     }
 
     /// Multiply every element by a scalar.
+    ///
+    /// The realness hint survives only for a *finite* real scalar: a
+    /// non-finite `s.re` turns zero imaginary parts into `0.0 * inf = NaN`.
     pub fn scale(&self, s: C64) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&z| z * s).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&z| z * s).collect(),
+            real: self.real && s.im == 0.0 && s.re.is_finite(),
+        }
     }
 
-    /// In-place scalar multiplication.
+    /// In-place scalar multiplication (hint rule as in [`Tensor::scale`]).
     pub fn scale_inplace(&mut self, s: C64) {
+        self.real = self.real && s.im == 0.0 && s.re.is_finite();
         for z in &mut self.data {
             *z *= s;
         }
@@ -256,7 +325,7 @@ impl Tensor {
             });
         }
         let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| *a + *b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        Ok(Tensor { shape: self.shape.clone(), data, real: self.real && other.real })
     }
 
     /// Element-wise difference.
@@ -267,7 +336,7 @@ impl Tensor {
             });
         }
         let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| *a - *b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        Ok(Tensor { shape: self.shape.clone(), data, real: self.real && other.real })
     }
 
     /// Frobenius (2-)norm of the tensor.
@@ -302,12 +371,18 @@ impl Tensor {
     }
 
     /// Matricization: view the tensor as a matrix whose rows are indexed by the
-    /// first `split` axes and whose columns are indexed by the rest.
+    /// first `split` axes and whose columns are indexed by the rest. The
+    /// realness hint carries over.
     pub fn unfold(&self, split: usize) -> Matrix {
         assert!(split <= self.ndim(), "unfold: split {} exceeds rank {}", split, self.ndim());
         let rows: usize = self.shape[..split].iter().product();
         let cols: usize = self.shape[split..].iter().product();
-        Matrix::from_vec(rows, cols, self.data.clone()).expect("unfold: internal size error")
+        let mut m =
+            Matrix::from_vec(rows, cols, self.data.clone()).expect("unfold: internal size error");
+        if self.real {
+            m.assume_real();
+        }
+        m
     }
 
     /// Inverse of [`Tensor::unfold`]: reinterpret a matrix as a tensor with the
@@ -328,18 +403,24 @@ impl Tensor {
         }
         let mut shape = row_dims.to_vec();
         shape.extend_from_slice(col_dims);
-        Tensor::from_vec(&shape, m.data().to_vec())
+        let mut t = Tensor::from_vec(&shape, m.data().to_vec())?;
+        t.real = m.is_real();
+        Ok(t)
     }
 
-    /// View a matrix as a rank-2 tensor.
+    /// View a matrix as a rank-2 tensor (the realness hint carries over).
     pub fn from_matrix_2d(m: &Matrix) -> Tensor {
-        Tensor { shape: vec![m.nrows(), m.ncols()], data: m.data().to_vec() }
+        Tensor { shape: vec![m.nrows(), m.ncols()], data: m.data().to_vec(), real: m.is_real() }
     }
 
-    /// Convert a rank-2 tensor into a matrix.
+    /// Convert a rank-2 tensor into a matrix (the realness hint carries over).
     pub fn to_matrix_2d(&self) -> Matrix {
         assert_eq!(self.ndim(), 2, "to_matrix_2d: tensor rank is {}", self.ndim());
-        Matrix::from_vec(self.shape[0], self.shape[1], self.data.clone()).unwrap()
+        let mut m = Matrix::from_vec(self.shape[0], self.shape[1], self.data.clone()).unwrap();
+        if self.real {
+            m.assume_real();
+        }
+        m
     }
 
     /// Outer (tensor) product.
@@ -352,7 +433,7 @@ impl Tensor {
                 data.push(a * b);
             }
         }
-        Tensor { shape, data }
+        Tensor { shape, data, real: self.real && other.real }
     }
 
     /// Slice the tensor by fixing `axis` to `index`, dropping that axis.
@@ -380,6 +461,7 @@ impl Tensor {
             out.data[flat] = self.data[ravel(&full, &in_strides)];
             increment_index(&mut idx, &new_shape);
         }
+        out.real = self.real;
         Ok(out)
     }
 
@@ -388,7 +470,7 @@ impl Tensor {
         assert!(axis <= self.ndim());
         let mut shape = self.shape.clone();
         shape.insert(axis, 1);
-        Tensor { shape, data: self.data.clone() }
+        Tensor { shape, data: self.data.clone(), real: self.real }
     }
 
     /// Sum of all elements.

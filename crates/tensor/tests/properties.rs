@@ -162,6 +162,52 @@ fn tensordot_matches_naive_rank_3_4_5_sweep() {
     }
 }
 
+/// Realness propagation through the einsum pipeline: contractions of
+/// hinted-real tensors run end to end on the real GEMM path, produce
+/// hint-carrying real results identical (to 1e-12) to full complex
+/// arithmetic, and the hint survives every layout stage the planner uses
+/// (permute, reshape, matricization, axis sums, output permutation).
+#[test]
+fn einsum_of_real_tensors_is_real_and_matches_complex_arithmetic() {
+    let mut rng = StdRng::seed_from_u64(0x0DDC0DE);
+    let a = Tensor::random_real(&[2, 3, 4], &mut rng);
+    let b = Tensor::random_real(&[4, 3, 5], &mut rng);
+    let c = Tensor::random_real(&[5, 2], &mut rng);
+    // Multi-operand spec exercising interleaved axes, a dropped label, and a
+    // permuted output.
+    let out = einsum("ijk,kjl,lm->mi", &[&a, &b, &c]).unwrap();
+    assert!(out.is_real(), "einsum of real tensors must carry the realness hint");
+    assert!(out.data().iter().all(|z| z.im == 0.0));
+    // Same contraction with the hints laundered away (per-block detection
+    // still guarantees identical real-kernel arithmetic, so results agree to
+    // rounding): semantics are those of complex arithmetic.
+    let a_c = Tensor::from_vec(&[2, 3, 4], a.data().to_vec()).unwrap();
+    let b_c = Tensor::from_vec(&[4, 3, 5], b.data().to_vec()).unwrap();
+    let c_c = Tensor::from_vec(&[5, 2], c.data().to_vec()).unwrap();
+    assert!(!a_c.is_real());
+    let reference = einsum("ijk,kjl,lm->mi", &[&a_c, &b_c, &c_c]).unwrap();
+    assert!(!reference.is_real(), "unhinted operands must not produce a hinted result");
+    assert!(out.approx_eq(&reference, 1e-12));
+
+    // One complex operand anywhere poisons the result hint — and the result
+    // really is complex.
+    let phase = b.scale(c64(0.0, 1.0));
+    assert!(!phase.is_real());
+    let mixed = einsum("ijk,kjl,lm->mi", &[&a, &phase, &c]).unwrap();
+    assert!(!mixed.is_real());
+    assert!(mixed.data().iter().any(|z| z.im != 0.0));
+
+    // Layout stages preserve the hint without rescans.
+    let p = a.permute(&[2, 0, 1]).unwrap();
+    assert!(p.is_real());
+    assert!(p.reshape(&[4, 6]).unwrap().is_real());
+    assert!(p.unfold(1).is_real());
+    assert!(Tensor::fold(&p.unfold(1), &[4], &[2, 3]).unwrap().is_real());
+    assert!(sum_axis(&a, 1).unwrap().is_real());
+    assert!(a.conj().is_real());
+    assert!(!a.scale(c64(0.5, -0.5)).is_real());
+}
+
 /// `sum_axis` (now a direct strided reduction) equals contracting against a
 /// ones tensor, on every axis of rank-1..4 tensors.
 #[test]
