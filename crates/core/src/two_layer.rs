@@ -243,6 +243,13 @@ impl LinearOp for TwoLayerStepOp<'_> {
         let out = z4.permute(&[2, 0, 4, 3, 1, 5]).expect("two-layer out permute");
         out.unfold(5)
     }
+
+    fn is_real(&self) -> bool {
+        // Real bra/ket/boundary tensors make the whole two-layer step a real
+        // map (conjugation is a no-op on real data), so rsvd keeps its sketch
+        // — and therefore every contraction of this step — on the real kernel.
+        self.boundary.is_real() && self.s.is_real() && self.a_conj.is_real() && self.b.is_real()
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,9 @@ pub fn eigh(a: &Matrix) -> Result<EigH> {
     if n == 0 {
         return Ok(EigH { values: vec![], vectors: Matrix::zeros(0, 0) });
     }
+    if a.is_real() {
+        return eigh_real(a);
+    }
 
     // Work on the Hermitian average to kill round-off asymmetry.
     let mut h = Matrix::zeros(n, n);
@@ -141,6 +144,121 @@ pub fn eigh(a: &Matrix) -> Result<EigH> {
     Ok(EigH { values, vectors })
 }
 
+/// Real-only cyclic Jacobi for inputs carrying the structural realness hint
+/// (a real Hermitian matrix is symmetric). The rotation phase of the complex
+/// branch degenerates to the sign of the off-diagonal entry, so every
+/// rotation is a plain real Givens rotation; the eigenvectors come back
+/// exactly real with the hint set, which keeps downstream GEMMs (Gram-based
+/// QR/SVD, matrix functions of real operators) on the real kernel.
+/// The property test
+/// `real_path_factorizations_match_complex_path_across_shape_classes` pins
+/// the two branches' agreement at 1e-12 — any tolerance, pivoting, or
+/// convergence change here must land in the complex branch too (and vice
+/// versa).
+fn eigh_real(a: &Matrix) -> Result<EigH> {
+    let n = a.nrows();
+    // Symmetric average of the real parts kills round-off asymmetry exactly
+    // as the complex branch does.
+    let mut h = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            h[i * n + j] = 0.5 * (a[(i, j)].re + a[(j, i)].re);
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let off = |h: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += h[i * n + j] * h[i * n + j];
+                }
+            }
+        }
+        s.sqrt()
+    };
+    let fro = h.iter().map(|x| x * x).sum::<f64>().sqrt();
+
+    let tol = 1e-14 * fro.max(1e-300);
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        if off(&h) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = h[p * n + q];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = h[p * n + p];
+                let aqq = h[q * n + q];
+                let sign = if apq >= 0.0 { 1.0 } else { -1.0 };
+                let g = apq.abs();
+                let zeta = (aqq - app) / (2.0 * g);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // J = diag(1, sign) * [[c, s], [-s, c]] — real orthogonal.
+                let jpp = c;
+                let jpq = s;
+                let jqp = -sign * s;
+                let jqq = sign * c;
+
+                // A <- J^T A J : update columns then rows.
+                for i in 0..n {
+                    let aip = h[i * n + p];
+                    let aiq = h[i * n + q];
+                    h[i * n + p] = aip * jpp + aiq * jqp;
+                    h[i * n + q] = aip * jpq + aiq * jqq;
+                }
+                for j in 0..n {
+                    let apj = h[p * n + j];
+                    let aqj = h[q * n + j];
+                    h[p * n + j] = jpp * apj + jqp * aqj;
+                    h[q * n + j] = jpq * apj + jqq * aqj;
+                }
+                // V <- V J
+                for i in 0..n {
+                    let vip = v[i * n + p];
+                    let viq = v[i * n + q];
+                    v[i * n + p] = vip * jpp + viq * jqp;
+                    v[i * n + q] = vip * jpq + viq * jqq;
+                }
+            }
+        }
+    }
+    if !converged && off(&h) > 1e-8 * fro.max(1e-300) {
+        return Err(LinalgError::NoConvergence {
+            algorithm: "jacobi-eigh",
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let values_raw: Vec<f64> = (0..n).map(|i| h[i * n + i]).collect();
+    order.sort_by(|&i, &j| values_raw[i].partial_cmp(&values_raw[j]).unwrap());
+
+    let values: Vec<f64> = order.iter().map(|&i| values_raw[i]).collect();
+    let mut vectors = vec![0.0f64; n * n];
+    for (newcol, &oldcol) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[r * n + newcol] = v[r * n + oldcol];
+        }
+    }
+    let vectors = Matrix::from_real(n, n, &vectors).expect("eigh_real: eigenvector assembly");
+    Ok(EigH { values, vectors })
+}
+
 /// Eigenvalues only (ascending).
 pub fn eigvalsh(a: &Matrix) -> Result<Vec<f64>> {
     Ok(eigh(a)?.values)
@@ -152,8 +270,17 @@ pub fn funm_hermitian(a: &Matrix, f: impl Fn(f64) -> C64) -> Result<Matrix> {
     let EigH { values, vectors } = eigh(a)?;
     let n = values.len();
     let mut fd = Matrix::zeros(n, n);
+    let mut diag_real = true;
     for (i, &lam) in values.iter().enumerate() {
-        fd[(i, i)] = f(lam);
+        let fi = f(lam);
+        fd[(i, i)] = fi;
+        diag_real &= fi.im == 0.0;
+    }
+    if diag_real {
+        // Zeros stayed zero and every written diagonal entry is real;
+        // IndexMut dropped the hint conservatively. With real eigenvectors
+        // (real input), f(A) then assembles entirely on the real kernel.
+        fd.assume_real();
     }
     let vf = crate::gemm::matmul(&vectors, &fd);
     Ok(crate::gemm::matmul_adj_b(&vf, &vectors))

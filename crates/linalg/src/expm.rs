@@ -24,10 +24,20 @@ use crate::scalar::C64;
 /// Hamiltonians (TFI imaginary-time evolution) enter the tensor network with
 /// the realness hint intact; an imaginary `factor` (real-time evolution,
 /// `RZ`-style gates) leaves the result unhinted as it is genuinely complex.
+///
+/// With the real-only Jacobi path in [`crate::eig::eigh`] the result of a
+/// hinted-real `H` with a real factor is exactly real and arrives already
+/// hinted, so the projection below is normally dead. It is kept as a guarded
+/// backstop should a future `funm_hermitian` change stop propagating the
+/// hint: [`Matrix::project_real_if_negligible`] scales its tolerance with
+/// `max_abs * n * EPSILON` instead of using a hardcoded eps, so it neither
+/// loses the hint on large matrices nor falsely projects genuinely complex
+/// results. (An *unhinted* real `H` is deliberately not projected — nothing
+/// guarantees its exponential is mathematically real.)
 pub fn expm_hermitian(h: &Matrix, factor: C64) -> Result<Matrix> {
     let mut out = funm_hermitian(h, |lam| (factor.scale(lam)).exp())?;
-    if h.is_real() && factor.im == 0.0 {
-        out.project_real();
+    if h.is_real() && factor.im == 0.0 && !out.is_real() {
+        out.project_real_if_negligible();
     }
     Ok(out)
 }

@@ -55,7 +55,13 @@
 //! * **Caller-asserted realness.** [`gemm`] inspects the structural
 //!   [`Matrix::is_real`] hints; when both operands carry them it calls
 //!   [`gemm_into_real`], which packs `f64`-only panels (half the packing
-//!   traffic) and never touches an imaginary lane. The output is marked real.
+//!   traffic) consumed by a *wider* `8 x 16` register tile
+//!   ([`crate::microkernel::microkernel_real_wide`] — the `6 x 8` complex
+//!   tile is dictated by split re/im register pressure the real kernel does
+//!   not have) under its own cache blocking (`MC_REAL = 256` vs `MC = 192`:
+//!   the halved `f64`-only panels let the row block grow while the packed-A
+//!   L2 footprint still *shrinks*, 512 KiB vs 768 KiB), and never touches an
+//!   imaginary lane. The output is marked real.
 //! * **Per-block detection.** The split-complex packers report whether every
 //!   imaginary part in the gathered cache block was exactly zero; when both
 //!   blocks of a depth step are real, the real microkernel runs over the real
@@ -80,7 +86,10 @@
 //! shared.)
 
 use crate::matrix::Matrix;
-use crate::microkernel::{microkernel, microkernel_real, AccTile, RealAccTile, MR, NR};
+use crate::microkernel::{
+    microkernel, microkernel_real, microkernel_real_wide, AccTile, RealAccTile, RealAccTileWide,
+    MR, MR_REAL, NR, NR_REAL,
+};
 use crate::pack::{pack_a, pack_a_real, pack_b, pack_b_real};
 use crate::scalar::C64;
 use rayon::prelude::*;
@@ -92,6 +101,16 @@ const KC: usize = 256;
 const NC: usize = 512;
 /// Cache-blocking tile along output rows.
 const MC: usize = 192;
+/// Real-path cache blocking. The packed panels are `f64`-only (half the
+/// footprint of split-complex: the complex packed-A block is
+/// `MC * KC * 2 * 8 B = 768 KiB`), so a larger row block still shrinks the
+/// L2 footprint (`MC_REAL * KC_REAL * 8 B = 512 KiB`); a packed B strip
+/// (`KC_REAL * NR_REAL * 8 B = 32 KiB`) stays L1-resident.
+const KC_REAL: usize = 256;
+/// Real-path tile along output columns (multiple of `NR_REAL`).
+const NC_REAL: usize = 512;
+/// Real-path tile along output rows (multiple of `MR_REAL`).
+const MC_REAL: usize = 256;
 /// Below this many complex multiply-adds the parallel path is not worth it.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
@@ -263,16 +282,24 @@ fn gemm_into_dispatch(
     let lda = if opa == Op::None { k } else { m };
     let ldb = if opb == Op::None { n } else { k };
 
-    // 2-D macro-tile decomposition of C.
-    let tiles: Vec<(usize, usize)> =
-        (0..m).step_by(MC).flat_map(|ic| (0..n).step_by(NC).map(move |jc| (ic, jc))).collect();
+    // 2-D macro-tile decomposition of C (the real path has its own blocking;
+    // see the constants above).
+    let (mc_blk, nc_blk) = if assume_real { (MC_REAL, NC_REAL) } else { (MC, NC) };
+    let tiles: Vec<(usize, usize)> = (0..m)
+        .step_by(mc_blk)
+        .flat_map(|ic| (0..n).step_by(nc_blk).map(move |jc| (ic, jc)))
+        .collect();
 
     let work = m * n * k;
     if work < PAR_THRESHOLD || tiles.len() == 1 || rayon::current_num_threads() == 1 {
         for &(ic, jc) in &tiles {
             // Safety: exclusive access through the &mut borrow; serial loop.
             unsafe {
-                compute_tile(opa, opb, m, n, k, a, b, lda, ldb, c.as_mut_ptr(), ic, jc, assume_real)
+                if assume_real {
+                    compute_tile_real(opa, opb, m, n, k, a, b, lda, ldb, c.as_mut_ptr(), ic, jc)
+                } else {
+                    compute_tile(opa, opb, m, n, k, a, b, lda, ldb, c.as_mut_ptr(), ic, jc)
+                }
             };
         }
         return;
@@ -287,7 +314,13 @@ fn gemm_into_dispatch(
     let c_ptr = &c_ptr;
     tiles.into_par_iter().for_each(move |(ic, jc)| {
         // Safety: tiles are disjoint in C; operands are only read.
-        unsafe { compute_tile(opa, opb, m, n, k, a, b, lda, ldb, c_ptr.0, ic, jc, assume_real) };
+        unsafe {
+            if assume_real {
+                compute_tile_real(opa, opb, m, n, k, a, b, lda, ldb, c_ptr.0, ic, jc)
+            } else {
+                compute_tile(opa, opb, m, n, k, a, b, lda, ldb, c_ptr.0, ic, jc)
+            }
+        };
     });
 }
 
@@ -317,7 +350,6 @@ unsafe fn compute_tile(
     c: *mut C64,
     ic: usize,
     jc: usize,
-    assume_real: bool,
 ) {
     let mc = MC.min(m - ic);
     let nc = NC.min(n - jc);
@@ -327,19 +359,13 @@ unsafe fn compute_tile(
     let mut complex_macs: u64 = 0;
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
-        // Group strides of the packed panels consumed by the real kernel:
-        // dense for real-only panels, skipping the imaginary lanes otherwise.
-        let (block_real, a_group, b_group) = if assume_real {
-            pack_b_real(opb, b, ldb, pc, kc, jc, nc, &mut bp);
-            pack_a_real(opa, a, lda, ic, mc, pc, kc, &mut ap);
-            (true, MR, NR)
-        } else {
-            let b_real = pack_b(opb, b, ldb, pc, kc, jc, nc, &mut bp);
-            let a_real = pack_a(opa, a, lda, ic, mc, pc, kc, &mut ap);
-            (a_real && b_real, 2 * MR, 2 * NR)
-        };
-        let a_strip_len = kc * a_group;
-        let b_strip_len = kc * b_group;
+        let b_real = pack_b(opb, b, ldb, pc, kc, jc, nc, &mut bp);
+        let a_real = pack_a(opa, a, lda, ic, mc, pc, kc, &mut ap);
+        // When both packed blocks turned out all-real, the strided real
+        // kernel consumes just the real lanes of the split-complex panels.
+        let block_real = a_real && b_real;
+        let a_strip_len = kc * 2 * MR;
+        let b_strip_len = kc * 2 * NR;
         if block_real {
             real_macs += (mc * nc * kc) as u64;
         } else {
@@ -352,7 +378,7 @@ unsafe fn compute_tile(
                 let mr = MR.min(ic + mc - i0);
                 let a_strip = &ap[is * a_strip_len..(is + 1) * a_strip_len];
                 if block_real {
-                    let acc = microkernel_real(kc, a_strip, a_group, b_strip, b_group);
+                    let acc = microkernel_real(kc, a_strip, 2 * MR, b_strip, 2 * NR);
                     write_tile_real(&acc, c, n, i0, j0, mr, nr);
                 } else {
                     let acc = microkernel(kc, a_strip, b_strip);
@@ -367,6 +393,52 @@ unsafe fn compute_tile(
     if complex_macs > 0 {
         FLOP_COUNTER.fetch_add(complex_macs, Ordering::Relaxed);
     }
+}
+
+/// Compute one `(MC_REAL, NC_REAL)` macro-tile of C at `(ic, jc)` on the
+/// caller-asserted real path: `f64`-only packed panels consumed by the wide
+/// `8 x 16` real microkernel. All work is credited to the real-MAC counter.
+///
+/// # Safety
+///
+/// Same aliasing contract as [`compute_tile`] with the real-path tile sizes.
+#[allow(clippy::too_many_arguments)]
+unsafe fn compute_tile_real(
+    opa: Op,
+    opb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[C64],
+    b: &[C64],
+    lda: usize,
+    ldb: usize,
+    c: *mut C64,
+    ic: usize,
+    jc: usize,
+) {
+    let mc = MC_REAL.min(m - ic);
+    let nc = NC_REAL.min(n - jc);
+    let mut ap: Vec<f64> = Vec::new();
+    let mut bp: Vec<f64> = Vec::new();
+    for pc in (0..k).step_by(KC_REAL) {
+        let kc = KC_REAL.min(k - pc);
+        pack_b_real(opb, b, ldb, pc, kc, jc, nc, &mut bp);
+        pack_a_real(opa, a, lda, ic, mc, pc, kc, &mut ap);
+        let a_strip_len = kc * MR_REAL;
+        let b_strip_len = kc * NR_REAL;
+        for (js, j0) in (jc..jc + nc).step_by(NR_REAL).enumerate() {
+            let nr = NR_REAL.min(jc + nc - j0);
+            let b_strip = &bp[js * b_strip_len..(js + 1) * b_strip_len];
+            for (is, i0) in (ic..ic + mc).step_by(MR_REAL).enumerate() {
+                let mr = MR_REAL.min(ic + mc - i0);
+                let a_strip = &ap[is * a_strip_len..(is + 1) * a_strip_len];
+                let acc = microkernel_real_wide(kc, a_strip, b_strip);
+                write_tile_real_wide(&acc, c, n, i0, j0, mr, nr);
+            }
+        }
+    }
+    REAL_MAC_COUNTER.fetch_add((mc * nc * k) as u64, Ordering::Relaxed);
 }
 
 /// Add an accumulator tile into C, masking the ragged edges.
@@ -403,6 +475,29 @@ unsafe fn write_tile(
 #[inline(always)]
 unsafe fn write_tile_real(
     acc: &RealAccTile,
+    c: *mut C64,
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    for i in 0..mr {
+        let row = c.add((i0 + i) * ldc + j0);
+        for j in 0..nr {
+            (*row.add(j)).re += acc[i][j];
+        }
+    }
+}
+
+/// [`write_tile_real`] for the wide `8 x 16` real accumulator tile.
+///
+/// # Safety
+///
+/// Same aliasing contract as [`compute_tile`].
+#[inline(always)]
+unsafe fn write_tile_real_wide(
+    acc: &RealAccTileWide,
     c: *mut C64,
     ldc: usize,
     i0: usize,

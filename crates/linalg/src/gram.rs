@@ -70,6 +70,14 @@ pub fn gram_r_factors(e: &crate::eig::EigH, cutoff: f64) -> (Matrix, Matrix) {
             r_inv[(i, newcol)] = x_i.scale(inv_sqrt);
         }
     }
+    if e.vectors.is_real() {
+        // Real eigenvectors scaled by finite reals stay real; the element-wise
+        // assembly through IndexMut dropped the hint conservatively. This is
+        // what keeps `Q = A R^{-1}` (and every later contraction against the
+        // factors) on the real GEMM kernel for real inputs.
+        r.assume_real();
+        r_inv.assume_real();
+    }
     (r, r_inv)
 }
 

@@ -252,6 +252,31 @@ impl Matrix {
         self.real = true;
     }
 
+    /// [`Matrix::project_real`] guarded by a tolerance that scales with the
+    /// data: imaginary parts are zeroed (and the hint set) only if every
+    /// `|im|` is at most `max_abs * n * EPSILON`, where `max_abs` is the
+    /// largest entry modulus and `n = max(nrows, ncols)`. Returns whether the
+    /// projection was applied.
+    ///
+    /// This is the right guard for results of complex Jacobi sweeps on
+    /// mathematically-real inputs: their imaginary rounding noise grows with
+    /// both the matrix scale and the number of rotations, so any *hardcoded*
+    /// eps either falsely keeps the hint on large ill-conditioned matrices or
+    /// loses it on well-behaved ones. A result whose imaginary parts exceed
+    /// the scaled bound is genuinely complex (or a bug upstream) and is left
+    /// untouched.
+    pub fn project_real_if_negligible(&mut self) -> bool {
+        let max_abs = self.norm_max();
+        let n = self.nrows.max(self.ncols) as f64;
+        let tol = max_abs * n * f64::EPSILON;
+        if self.data.iter().all(|z| z.im.abs() <= tol) {
+            self.project_real();
+            true
+        } else {
+            false
+        }
+    }
+
     /// Borrow one row as a slice.
     #[inline(always)]
     pub fn row(&self, i: usize) -> &[C64] {
@@ -740,6 +765,47 @@ mod tests {
         m.project_real();
         assert!(m.is_real());
         assert!(m.data().iter().all(|v| v.im == 0.0));
+    }
+
+    /// Regression test for the scaled projection tolerance: a hardcoded eps
+    /// either loses the hint on large-scale matrices (complex-Jacobi noise
+    /// grows with the data) or falsely keeps it on small-scale ones. The
+    /// tolerance must scale with `max_abs * n * EPSILON`.
+    #[test]
+    fn project_real_tolerance_scales_with_the_data() {
+        // Large, ill-conditioned real matrix run through the complex Jacobi
+        // eigendecomposition (hint laundered so the real path is bypassed):
+        // the result is mathematically real but carries imaginary noise far
+        // above any fixed 1e-14-style cutoff.
+        let n = 24;
+        let mut h = Matrix::zeros(n, n);
+        for i in 0..n {
+            // Exponentially graded spectrum => ill-conditioned.
+            h[(i, i)] = c64(1e8 * (0.5f64).powi(i as i32), 0.0);
+            if i + 1 < n {
+                h[(i, i + 1)] = c64(3e7, 0.0);
+                h[(i + 1, i)] = c64(3e7, 0.0);
+            }
+        }
+        assert!(!h.is_real(), "laundered: the complex eigh path must run");
+        let e = crate::eig::eigh(&h).unwrap();
+        let vf = crate::gemm::matmul(&e.vectors, &Matrix::from_diag_real(&e.values));
+        let mut rec = crate::gemm::matmul_adj_b(&vf, &e.vectors);
+        let worst_im = rec.data().iter().map(|z| z.im.abs()).fold(0.0, f64::max);
+        assert!(worst_im > 1e-14, "expected Jacobi noise above a hardcoded eps, got {worst_im:e}");
+        assert!(rec.project_real_if_negligible(), "scaled tolerance must accept Jacobi noise");
+        assert!(rec.is_real());
+        assert!(rec.approx_eq(&h, 1e-8 * h.norm_max()));
+
+        // Small-scale matrix with imaginary parts that are *genuine* relative
+        // to its entries: any eps above 1e-12 would falsely project; the
+        // scaled tolerance (~1e-23 here) must refuse.
+        let mut tiny = Matrix::zeros(2, 2);
+        tiny[(0, 0)] = c64(1e-8, 1e-12);
+        tiny[(1, 1)] = c64(-2e-8, 0.0);
+        assert!(!tiny.project_real_if_negligible(), "genuinely complex data must be left alone");
+        assert!(!tiny.is_real());
+        assert_eq!(tiny[(0, 0)].im, 1e-12, "refused projection must not modify the data");
     }
 
     #[test]

@@ -1,19 +1,22 @@
 //! Register-blocked GEMM microkernels over packed panels.
 //!
-//! Each microkernel multiplies one `MR x kc` strip of packed A with one
-//! `kc x NR` strip of packed B. Two variants exist:
+//! Each microkernel multiplies one packed A strip with one packed B strip.
+//! Three variants exist:
 //!
-//! * [`microkernel`] — the split-complex kernel. Operands arrive packed (see
-//!   [`crate::pack`]) as split-complex groups — for each depth index `p`,
-//!   `MR` (or `NR`) real parts followed by the matching imaginary parts — and
-//!   the kernel runs four FMAs per output lane per depth step.
-//! * [`microkernel_real`] — the real-only kernel: one FMA per output lane per
-//!   depth step, a quarter of the complex kernel's flops. It reads only the
-//!   real lanes through a caller-supplied *group stride*, so the same code
-//!   consumes both real-only panels (stride `MR`/`NR`, packed by
-//!   `pack_a_real`/`pack_b_real` when the caller asserts realness) and
-//!   split-complex panels whose imaginary lanes were detected to be zero
-//!   during packing (stride `2 * MR`/`2 * NR`).
+//! * [`microkernel`] — the split-complex `MR x NR` kernel. Operands arrive
+//!   packed (see [`crate::pack`]) as split-complex groups — for each depth
+//!   index `p`, `MR` (or `NR`) real parts followed by the matching imaginary
+//!   parts — and the kernel runs four FMAs per output lane per depth step.
+//! * [`microkernel_real_wide`] — the `MR_REAL x NR_REAL = 8 x 16` real-only
+//!   kernel consuming the dense `f64` panels of `pack_a_real`/`pack_b_real`:
+//!   one FMA per output lane per depth step on a register tile sized for the
+//!   real case (the `6 x 8` complex tile is dictated by split re/im register
+//!   pressure the real kernel does not have).
+//! * [`microkernel_real`] — the strided `MR x NR` real-only kernel used when
+//!   realness is only *detected* during split-complex packing: it reads just
+//!   the real lanes of the already-packed split-complex panels through a
+//!   caller-supplied group stride (`2 * MR`/`2 * NR`), so the detected case
+//!   costs no repacking.
 //!
 //! In both cases the inner loops are pure `f64` lane arithmetic that LLVM
 //! auto-vectorizes to `f64x4`/`f64x8` FMA sequences when the target has them.
@@ -76,9 +79,48 @@ pub fn microkernel(kc: usize, ap: &[f64], bp: &[f64]) -> AccTile {
     acc
 }
 
+/// Rows of C computed per invocation of the *wide* real-only microkernel.
+/// The split-complex kernel needs 12 accumulator registers for a `6 x 8`
+/// tile (split re/im); the real kernel holds one accumulator per lane, so it
+/// can afford a wider `8 x 16` tile (16 AVX-512 accumulator registers) that
+/// amortises the A-broadcasts over twice the output columns.
+pub const MR_REAL: usize = 8;
+/// Columns of C computed per wide real microkernel invocation (two AVX-512
+/// registers of `f64` lanes).
+pub const NR_REAL: usize = 16;
+
 /// Real-only accumulator tile: `re[i][j]` for `C[i][j]` (imaginary parts of
 /// the update are identically zero).
 pub type RealAccTile = [[f64; NR]; MR];
+
+/// Accumulator tile of the wide `8 x 16` real microkernel.
+pub type RealAccTileWide = [[f64; NR_REAL]; MR_REAL];
+
+/// Multiply a packed real-only `MR_REAL x kc` A-strip by a packed real-only
+/// `kc x NR_REAL` B-strip (the dense `f64` panels produced by
+/// [`crate::pack::pack_a_real`] / [`crate::pack::pack_b_real`]).
+///
+/// This is the kernel behind the caller-asserted real path: one FMA per
+/// output lane per depth step on a register tile sized for the real case
+/// (see [`MR_REAL`]). The strided [`microkernel_real`] remains for depth
+/// blocks whose realness is only *detected* after split-complex packing,
+/// where the panel geometry is fixed at `MR x NR`.
+#[inline(always)]
+pub fn microkernel_real_wide(kc: usize, ap: &[f64], bp: &[f64]) -> RealAccTileWide {
+    debug_assert!(ap.len() >= MR_REAL * kc);
+    debug_assert!(bp.len() >= NR_REAL * kc);
+    let mut acc: RealAccTileWide = [[0.0; NR_REAL]; MR_REAL];
+    for (ak, bk) in ap.chunks_exact(MR_REAL).zip(bp.chunks_exact(NR_REAL)).take(kc) {
+        for i in 0..MR_REAL {
+            let ar = ak[i];
+            let row = &mut acc[i];
+            for j in 0..NR_REAL {
+                row[j] = fmadd(ar, bk[j], row[j]);
+            }
+        }
+    }
+    acc
+}
 
 /// Multiply the real lanes of a packed `MR x kc` A-strip by the real lanes of
 /// a packed `kc x NR` B-strip.
@@ -148,6 +190,31 @@ mod tests {
                 }
                 assert!((acc.re[i][j] - re).abs() < 1e-12);
                 assert!((acc.im[i][j] - im).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_real_kernel_matches_scalar_reference() {
+        let kc = 7;
+        let mut ap = vec![0.0f64; MR_REAL * kc];
+        let mut bp = vec![0.0f64; NR_REAL * kc];
+        for p in 0..kc {
+            for i in 0..MR_REAL {
+                ap[p * MR_REAL + i] = (p * MR_REAL + i) as f64 * 0.125 - 2.0;
+            }
+            for j in 0..NR_REAL {
+                bp[p * NR_REAL + j] = 1.0 - (p + 3 * j) as f64 * 0.0625;
+            }
+        }
+        let acc = microkernel_real_wide(kc, &ap, &bp);
+        for i in 0..MR_REAL {
+            for j in 0..NR_REAL {
+                let mut want = 0.0;
+                for p in 0..kc {
+                    want += ap[p * MR_REAL + i] * bp[p * NR_REAL + j];
+                }
+                assert!((acc[i][j] - want).abs() < 1e-12);
             }
         }
     }

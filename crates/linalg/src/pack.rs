@@ -16,7 +16,9 @@
 //!   variant used when the caller asserts both operands are real (via the
 //!   [`Matrix::is_real`](crate::matrix::Matrix::is_real) hint). Only the real
 //!   parts are gathered — half the packing traffic and half the panel
-//!   footprint of the split-complex format.
+//!   footprint of the split-complex format — and the strips are sized for
+//!   the wider `MR_REAL x NR_REAL = 8 x 16` real register tile
+//!   ([`crate::microkernel::microkernel_real_wide`]).
 //!
 //! Crucially, the *effective* operand is gathered element-by-element here, so
 //! [`Op::Transpose`] and [`Op::Adjoint`] (and any conjugation) cost nothing
@@ -27,7 +29,7 @@
 //! `linalg/tests/alloc.rs`.
 
 use crate::gemm::Op;
-use crate::microkernel::{MR, NR};
+use crate::microkernel::{MR, MR_REAL, NR, NR_REAL};
 use crate::scalar::C64;
 
 /// Read element `(i, p)` of the effective left operand.
@@ -133,8 +135,8 @@ pub fn pack_b(
 }
 
 /// Pack the `mc x kc` block of the effective A into real-only panels:
-/// `ceil(mc / MR)` strips of `kc * MR` floats (real parts only), zero-padding
-/// the ragged final strip.
+/// `ceil(mc / MR_REAL)` strips of `kc * MR_REAL` floats (real parts only),
+/// zero-padding the ragged final strip.
 ///
 /// The caller must guarantee the operand is real; the imaginary parts are not
 /// even read (for real data `Op::Adjoint` degenerates to `Op::Transpose`, so
@@ -149,24 +151,24 @@ pub fn pack_a_real(
     kc: usize,
     out: &mut Vec<f64>,
 ) {
-    let n_strips = strips(mc, MR);
+    let n_strips = strips(mc, MR_REAL);
     out.clear();
-    out.resize(n_strips * kc * MR, 0.0);
+    out.resize(n_strips * kc * MR_REAL, 0.0);
     for s in 0..n_strips {
-        let rows = MR.min(mc - s * MR);
-        let strip = &mut out[s * kc * MR..(s + 1) * kc * MR];
+        let rows = MR_REAL.min(mc - s * MR_REAL);
+        let strip = &mut out[s * kc * MR_REAL..(s + 1) * kc * MR_REAL];
         for p in 0..kc {
-            let group = &mut strip[p * MR..(p + 1) * MR];
+            let group = &mut strip[p * MR_REAL..(p + 1) * MR_REAL];
             for r in 0..rows {
-                group[r] = read_a(op, a, lda, i0 + s * MR + r, p0 + p).re;
+                group[r] = read_a(op, a, lda, i0 + s * MR_REAL + r, p0 + p).re;
             }
         }
     }
 }
 
 /// Pack the `kc x nc` block of the effective B into real-only panels:
-/// `ceil(nc / NR)` strips of `kc * NR` floats (real parts only). Same realness
-/// contract as [`pack_a_real`].
+/// `ceil(nc / NR_REAL)` strips of `kc * NR_REAL` floats (real parts only).
+/// Same realness contract as [`pack_a_real`].
 pub fn pack_b_real(
     op: Op,
     b: &[C64],
@@ -177,16 +179,16 @@ pub fn pack_b_real(
     nc: usize,
     out: &mut Vec<f64>,
 ) {
-    let n_strips = strips(nc, NR);
+    let n_strips = strips(nc, NR_REAL);
     out.clear();
-    out.resize(n_strips * kc * NR, 0.0);
+    out.resize(n_strips * kc * NR_REAL, 0.0);
     for s in 0..n_strips {
-        let cols = NR.min(nc - s * NR);
-        let strip = &mut out[s * kc * NR..(s + 1) * kc * NR];
+        let cols = NR_REAL.min(nc - s * NR_REAL);
+        let strip = &mut out[s * kc * NR_REAL..(s + 1) * kc * NR_REAL];
         for p in 0..kc {
-            let group = &mut strip[p * NR..(p + 1) * NR];
+            let group = &mut strip[p * NR_REAL..(p + 1) * NR_REAL];
             for c in 0..cols {
-                group[c] = read_b(op, b, ldb, p0 + p, j0 + s * NR + c).re;
+                group[c] = read_b(op, b, ldb, p0 + p, j0 + s * NR_REAL + c).re;
             }
         }
     }
@@ -276,41 +278,42 @@ mod tests {
     }
 
     #[test]
-    fn real_packers_match_the_real_lanes_of_the_complex_packers() {
+    fn real_packers_gather_the_effective_operand_in_wide_strips() {
         for op in [Op::None, Op::Transpose, Op::Adjoint] {
-            // A side: effective m x k, ragged final strip (m = 8 > MR).
-            let (m, k) = (8, 5);
+            // A side: effective m x k, ragged final strip (m = 11 > MR_REAL).
+            let (m, k) = (11, 5);
             let (rows, cols) = if op == Op::None { (m, k) } else { (k, m) };
             let stored = sample_real(rows, cols);
-            let mut split = Vec::new();
             let mut real_only = Vec::new();
-            assert!(pack_a(op, &stored, cols, 0, m, 0, k, &mut split));
             pack_a_real(op, &stored, cols, 0, m, 0, k, &mut real_only);
-            assert_eq!(real_only.len(), strips(m, MR) * k * MR);
-            for s in 0..strips(m, MR) {
+            assert_eq!(real_only.len(), strips(m, MR_REAL) * k * MR_REAL);
+            for i in 0..m {
+                let (s, r) = (i / MR_REAL, i % MR_REAL);
                 for p in 0..k {
-                    for r in 0..MR {
-                        let re = split[s * k * 2 * MR + p * 2 * MR + r];
-                        assert_eq!(real_only[s * k * MR + p * MR + r], re);
-                    }
+                    let want = read_a(op, &stored, cols, i, p).re;
+                    assert_eq!(real_only[s * k * MR_REAL + p * MR_REAL + r], want);
+                }
+            }
+            // Padding rows of the ragged final strip stay zero.
+            let last = strips(m, MR_REAL) - 1;
+            for p in 0..k {
+                for r in (m - last * MR_REAL)..MR_REAL {
+                    assert_eq!(real_only[last * k * MR_REAL + p * MR_REAL + r], 0.0);
                 }
             }
 
-            // B side: effective k x n, ragged final strip (n = 10 > NR).
-            let (bk, bn) = (4, 10);
+            // B side: effective k x n, ragged final strip (n = 18 > NR_REAL).
+            let (bk, bn) = (4, 18);
             let (brows, bcols) = if op == Op::None { (bk, bn) } else { (bn, bk) };
             let bstored = sample_real(brows, bcols);
-            let mut bsplit = Vec::new();
             let mut real_b = Vec::new();
-            assert!(pack_b(op, &bstored, bcols, 0, bk, 0, bn, &mut bsplit));
             pack_b_real(op, &bstored, bcols, 0, bk, 0, bn, &mut real_b);
-            assert_eq!(real_b.len(), strips(bn, NR) * bk * NR);
-            for s in 0..strips(bn, NR) {
+            assert_eq!(real_b.len(), strips(bn, NR_REAL) * bk * NR_REAL);
+            for j in 0..bn {
+                let (s, c) = (j / NR_REAL, j % NR_REAL);
                 for p in 0..bk {
-                    for c in 0..NR {
-                        let re = bsplit[s * bk * 2 * NR + p * 2 * NR + c];
-                        assert_eq!(real_b[s * bk * NR + p * NR + c], re);
-                    }
+                    let want = read_b(op, &bstored, bcols, p, j).re;
+                    assert_eq!(real_b[s * bk * NR_REAL + p * NR_REAL + c], want);
                 }
             }
         }

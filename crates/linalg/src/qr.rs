@@ -26,7 +26,15 @@ pub struct QrFactors {
 /// orthogonalized against the basis built so far, and the corresponding
 /// diagonal of `R` is set to zero, so `Q` always has exactly `min(m, n)`
 /// orthonormal columns and `A = Q R` still holds.
+///
+/// Inputs carrying the structural [`Matrix::is_real`] hint run through a
+/// real-only inner loop (`f64` projections, no imaginary lane ever touched)
+/// and both factors come back carrying the hint, so downstream products stay
+/// on the real GEMM kernel.
 pub fn qr(a: &Matrix) -> QrFactors {
+    if a.is_real() {
+        return qr_real(a);
+    }
     let (m, n) = a.shape();
     let k = m.min(n);
     let mut q = Matrix::zeros(m, k);
@@ -95,6 +103,84 @@ pub fn qr(a: &Matrix) -> QrFactors {
         }
     }
 
+    QrFactors { q, r }
+}
+
+/// Real-only modified Gram-Schmidt: the same algorithm as the complex branch
+/// of [`qr`], executed on the real parts alone (the hint guarantees the
+/// imaginary parts are exactly zero). Roughly a quarter of the arithmetic and
+/// half the memory traffic of running the complex loop over real data; the
+/// outputs are exactly real by construction and carry the hint.
+///
+/// The property test `real_path_factorizations_match_complex_path_across_shape_classes` pins the two branches' agreement at 1e-12 — any tolerance, pivoting, or convergence change here must land in the complex branch too (and vice versa).
+fn qr_real(a: &Matrix) -> QrFactors {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut q_cols: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut r = vec![0.0f64; k * n];
+
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| (0..m).map(|i| a[(i, j)].re).collect()).collect();
+    let scale = a.norm_max().max(1.0);
+    let tol = scale * 1e-14;
+
+    for j in 0..k {
+        // Two passes of projection against the established basis.
+        for _ in 0..2 {
+            for i in 0..j {
+                let qi = &q_cols[i];
+                let proj: f64 = qi.iter().zip(cols[j].iter()).map(|(qe, ce)| qe * ce).sum();
+                r[i * n + j] += proj;
+                for (ce, qe) in cols[j].iter_mut().zip(qi.iter()) {
+                    *ce -= *qe * proj;
+                }
+            }
+        }
+        let norm = cols[j].iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > tol {
+            r[j * n + j] = norm;
+            let inv = 1.0 / norm;
+            q_cols.push(cols[j].iter().map(|&x| x * inv).collect());
+        } else {
+            // Numerically zero column: extend the basis with a canonical
+            // vector orthogonalized against what we have so far.
+            let mut v = vec![0.0f64; m];
+            'seed: for seed in 0..m {
+                v.iter_mut().for_each(|x| *x = 0.0);
+                v[seed] = 1.0;
+                for _ in 0..2 {
+                    for qi in q_cols.iter() {
+                        let proj: f64 = qi.iter().zip(v.iter()).map(|(qe, ce)| qe * ce).sum();
+                        for (ce, qe) in v.iter_mut().zip(qi.iter()) {
+                            *ce -= *qe * proj;
+                        }
+                    }
+                }
+                let nv = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if nv > 0.5 {
+                    let inv = 1.0 / nv;
+                    v.iter_mut().for_each(|x| *x *= inv);
+                    break 'seed;
+                }
+            }
+            q_cols.push(v);
+        }
+    }
+
+    // Remaining columns (n > m case): project onto the finished basis.
+    for j in k..n {
+        for (i, qi) in q_cols.iter().enumerate() {
+            r[i * n + j] = qi.iter().zip(cols[j].iter()).map(|(qe, ce)| qe * ce).sum();
+        }
+    }
+
+    let mut q_data = vec![0.0f64; m * k];
+    for (j, col) in q_cols.iter().enumerate() {
+        for (i, &x) in col.iter().enumerate() {
+            q_data[i * k + j] = x;
+        }
+    }
+    let q = Matrix::from_real(m, k, &q_data).expect("qr_real: Q assembly");
+    let r = Matrix::from_real(k, n, &r).expect("qr_real: R assembly");
     QrFactors { q, r }
 }
 

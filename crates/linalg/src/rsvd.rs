@@ -24,6 +24,15 @@ pub trait LinearOp {
     fn apply(&self, x: &Matrix) -> Matrix;
     /// Apply `A^H * Y` where `Y` has shape `(nrows, k)`; result `(ncols, k)`.
     fn apply_adj(&self, y: &Matrix) -> Matrix;
+    /// Structural realness of the operator: `true` guarantees it maps real
+    /// blocks to real blocks (every tensor/matrix it is built from carries
+    /// the [`Matrix::is_real`] hint). [`rsvd`] then draws a *real* sketch, so
+    /// the whole iteration — operator applications, QR orthonormalizations,
+    /// and the final small SVD — stays on the real-only kernels and the
+    /// returned factors carry the hint. Defaults to `false` (unknown).
+    fn is_real(&self) -> bool {
+        false
+    }
 }
 
 /// Adapter exposing an explicit matrix as a [`LinearOp`].
@@ -50,6 +59,9 @@ impl LinearOp for MatOp<'_> {
     }
     fn apply_adj(&self, y: &Matrix) -> Matrix {
         matmul_adj_a(self.matrix, y)
+    }
+    fn is_real(&self) -> bool {
+        self.matrix.is_real()
     }
 }
 
@@ -79,6 +91,9 @@ impl<L: LinearOp, R: LinearOp> LinearOp for ComposedOp<L, R> {
     }
     fn apply_adj(&self, y: &Matrix) -> Matrix {
         self.right.apply_adj(&self.left.apply_adj(y))
+    }
+    fn is_real(&self) -> bool {
+        self.left.is_real() && self.right.is_real()
     }
 }
 
@@ -117,9 +132,20 @@ pub fn rsvd<O: LinearOp, R: Rng + ?Sized>(op: &O, opts: RsvdOptions, rng: &mut R
     let l = (opts.rank + opts.oversample).min(n).min(m);
 
     // Q <- random n x l block with entries in [-1, 1] (paper's initialisation).
+    // For a structurally real operator the sketch is drawn real, so every
+    // operator application and orthonormalization below stays on the
+    // real-only kernels and the returned factors carry the realness hint.
+    let op_real = op.is_real();
     let mut q = Matrix::zeros(n, l);
     for v in q.data_mut() {
-        *v = crate::scalar::c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+        *v = if op_real {
+            crate::scalar::c64(rng.gen_range(-1.0..1.0), 0.0)
+        } else {
+            crate::scalar::c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        };
+    }
+    if op_real {
+        q.assume_real();
     }
 
     // P <- orth(A Q)
@@ -145,6 +171,10 @@ pub fn rsvd<O: LinearOp, R: Rng + ?Sized>(op: &O, opts: RsvdOptions, rng: &mut R
         for j in 0..n {
             vh[(i, j)] = t.u[(j, i)].conj();
         }
+    }
+    // Conjugated copies of real factors are real (IndexMut dropped the hint).
+    if t.u.is_real() {
+        vh.assume_real();
     }
     Ok(Svd { u, s: t.s[..k].to_vec(), vh })
 }

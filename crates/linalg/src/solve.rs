@@ -16,10 +16,18 @@ pub struct Lu {
 }
 
 /// Factorize a square matrix.
+///
+/// Inputs carrying the structural [`Matrix::is_real`] hint are eliminated in
+/// a real-only inner loop (`f64` pivoting and rank-1 updates — no imaginary
+/// lane touched) and the packed factors keep the hint, so [`Lu::solve`] on a
+/// real right-hand side also runs real-only.
 pub fn lu(a: &Matrix) -> Result<Lu> {
     let (m, n) = a.shape();
     if m != n {
         return Err(LinalgError::NotSquare { nrows: m, ncols: n });
+    }
+    if a.is_real() {
+        return lu_real(a);
     }
     let mut lu_m = a.clone();
     let mut perm: Vec<usize> = (0..n).collect();
@@ -60,6 +68,50 @@ pub fn lu(a: &Matrix) -> Result<Lu> {
     Ok(Lu { lu: lu_m, perm, sign })
 }
 
+/// Real-only partial-pivoting elimination behind [`lu`] for hinted-real
+/// inputs: the same algorithm on the real parts alone. The property test
+/// `real_path_factorizations_match_complex_path_across_shape_classes` pins
+/// the two branches' agreement at 1e-12 — any tolerance, pivoting, or
+/// convergence change here must land in the complex branch too (and vice
+/// versa).
+fn lu_real(a: &Matrix) -> Result<Lu> {
+    let n = a.nrows();
+    let mut d: Vec<f64> = a.data().iter().map(|z| z.re).collect();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    for k in 0..n {
+        let mut piv = k;
+        let mut best = d[k * n + k].abs();
+        for i in (k + 1)..n {
+            let v = d[i * n + k].abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if best == 0.0 {
+            return Err(LinalgError::Singular);
+        }
+        if piv != k {
+            for j in 0..n {
+                d.swap(k * n + j, piv * n + j);
+            }
+            perm.swap(k, piv);
+            sign = -sign;
+        }
+        let pivot = d[k * n + k];
+        for i in (k + 1)..n {
+            let factor = d[i * n + k] / pivot;
+            d[i * n + k] = factor;
+            for j in (k + 1)..n {
+                d[i * n + j] -= factor * d[k * n + j];
+            }
+        }
+    }
+    let lu_m = Matrix::from_real(n, n, &d).expect("lu_real: factor assembly");
+    Ok(Lu { lu: lu_m, perm, sign })
+}
+
 impl Lu {
     /// Solve `A x = b` for each column of `b`.
     ///
@@ -72,6 +124,9 @@ impl Lu {
             return Err(LinalgError::DimensionMismatch {
                 context: format!("lu solve: rhs has {} rows, expected {}", b.nrows(), n),
             });
+        }
+        if self.lu.is_real() && b.is_real() {
+            return Ok(self.solve_real(b));
         }
         let ncols = b.ncols();
         let mut x = Matrix::zeros(n, ncols);
@@ -116,6 +171,57 @@ impl Lu {
             }
         }
         Ok(x)
+    }
+
+    /// Real-only substitution sweeps for hinted-real factors and right-hand
+    /// sides: the same row-slice algorithm on the real parts alone. The
+    /// result is exactly real by construction and carries the hint.
+    fn solve_real(&self, b: &Matrix) -> Matrix {
+        let n = self.lu.nrows();
+        let ncols = b.ncols();
+        let lu_d: Vec<f64> = self.lu.data().iter().map(|z| z.re).collect();
+        let mut x = vec![0.0f64; n * ncols];
+        for i in 0..n {
+            let src = b.row(self.perm[i]);
+            for (j, z) in src.iter().enumerate() {
+                x[i * ncols + j] = z.re;
+            }
+        }
+        // Forward substitution with the unit lower triangle.
+        for i in 0..n {
+            let (above, current) = x.split_at_mut(i * ncols);
+            let row_i = &mut current[..ncols];
+            for k in 0..i {
+                let lik = lu_d[i * n + k];
+                if lik == 0.0 {
+                    continue;
+                }
+                let row_k = &above[k * ncols..(k + 1) * ncols];
+                for (xi, xk) in row_i.iter_mut().zip(row_k.iter()) {
+                    *xi -= lik * *xk;
+                }
+            }
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let (upto, below) = x.split_at_mut((i + 1) * ncols);
+            let row_i = &mut upto[i * ncols..];
+            for k in (i + 1)..n {
+                let uik = lu_d[i * n + k];
+                if uik == 0.0 {
+                    continue;
+                }
+                let row_k = &below[(k - i - 1) * ncols..(k - i) * ncols];
+                for (xi, xk) in row_i.iter_mut().zip(row_k.iter()) {
+                    *xi -= uik * *xk;
+                }
+            }
+            let d = lu_d[i * n + i];
+            for xi in row_i.iter_mut() {
+                *xi /= d;
+            }
+        }
+        Matrix::from_real(n, ncols, &x).expect("lu solve_real: assembly")
     }
 
     /// Determinant of the factorized matrix.
@@ -188,6 +294,10 @@ pub fn solve_upper_triangular(r: &Matrix, b: &Matrix) -> Result<Matrix> {
         });
     }
     let ncols = b.ncols();
+    // Back-substitution over real data produces exactly real results (every
+    // complex operation on zero-imaginary operands yields zero imaginary
+    // parts), so the hint survives; IndexMut drops it conservatively.
+    let keep_real = r.is_real() && b.is_real();
     let mut x = b.clone();
     for i in (0..n).rev() {
         let d = r[(i, i)];
@@ -201,6 +311,9 @@ pub fn solve_upper_triangular(r: &Matrix, b: &Matrix) -> Result<Matrix> {
             }
             x[(i, j)] = acc / d;
         }
+    }
+    if keep_real {
+        x.assume_real();
     }
     Ok(x)
 }

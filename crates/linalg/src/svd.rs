@@ -69,29 +69,39 @@ impl Svd {
     }
 }
 
-/// Multiply column `j` of `m` by `s[j]`.
+/// Multiply column `j` of `m` by `s[j]`. The realness hint survives for
+/// finite scale factors (scaling a real entry by a finite real stays real).
 pub fn scale_cols(m: &Matrix, s: &[f64]) -> Matrix {
     let mut out = m.clone();
     let ncols = m.ncols();
     assert!(s.len() >= ncols, "scale_cols: not enough scale factors");
+    let keep_real = m.is_real() && s[..ncols].iter().all(|x| x.is_finite());
     for i in 0..m.nrows() {
         let row = out.row_mut(i);
         for (j, entry) in row.iter_mut().enumerate().take(ncols) {
             *entry = entry.scale(s[j]);
         }
     }
+    if keep_real {
+        out.assume_real();
+    }
     out
 }
 
-/// Multiply row `i` of `m` by `s[i]`.
+/// Multiply row `i` of `m` by `s[i]` (hint rule as in [`scale_cols`]).
 pub fn scale_rows(m: &Matrix, s: &[f64]) -> Matrix {
     let mut out = m.clone();
-    assert!(s.len() >= m.nrows(), "scale_rows: not enough scale factors");
-    for i in 0..m.nrows() {
+    let nrows = m.nrows();
+    assert!(s.len() >= nrows, "scale_rows: not enough scale factors");
+    let keep_real = m.is_real() && s[..nrows].iter().all(|x| x.is_finite());
+    for i in 0..nrows {
         let si = s[i];
         for entry in out.row_mut(i) {
             *entry = entry.scale(si);
         }
+    }
+    if keep_real {
+        out.assume_real();
     }
     out
 }
@@ -106,10 +116,18 @@ const MAX_SWEEPS: usize = 60;
 /// row-major storage of `A` — and assembling the swapped factors in place.
 /// No adjoint of the input (or of the resulting factors) is ever
 /// materialised.
+///
+/// Inputs carrying the structural [`Matrix::is_real`] hint run a real-only
+/// Jacobi iteration (plain Givens rotations, ~2x fewer flops than complex
+/// rotations over real data) and `U` / `V^H` come back exactly real with the
+/// hint set.
 pub fn svd(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Ok(Svd { u: Matrix::zeros(m, 0), s: vec![], vh: Matrix::zeros(0, n) });
+    }
+    if a.is_real() {
+        return svd_real(a);
     }
     let wide = m < n;
     // `w` holds the columns of A (tall) or of A^H (wide): k columns of
@@ -251,6 +269,140 @@ fn pair_mut<T>(v: &mut [T], p: usize, q: usize) -> (&mut T, &mut T) {
     (&mut lo[p], &mut hi[0])
 }
 
+/// Real-only one-sided Jacobi SVD for inputs carrying the structural realness
+/// hint. Identical iteration structure to the complex branch of [`svd`], with
+/// the rotation phase degenerating to a sign (`e^{-i arg(a_pq)} = ±1` for real
+/// `a_pq`), so every rotation is a plain real Givens rotation — no imaginary
+/// plane is ever touched and both factors come back exactly real with the
+/// hint set. The property test
+/// `real_path_factorizations_match_complex_path_across_shape_classes` pins
+/// the two branches' agreement at 1e-12 — any tolerance, pivoting, or
+/// convergence change here must land in the complex branch too (and vice
+/// versa).
+fn svd_real(a: &Matrix) -> Result<Svd> {
+    let (m, n_full) = a.shape();
+    let wide = m < n_full;
+    let k = m.min(n_full);
+    // `w` holds the real parts of the columns of A (tall) or of A^T (wide).
+    let mut w: Vec<Vec<f64>> = if wide {
+        (0..m).map(|j| a.row(j).iter().map(|z| z.re).collect()).collect()
+    } else {
+        (0..n_full).map(|j| (0..m).map(|i| a[(i, j)].re).collect()).collect()
+    };
+    // Row-major k x k accumulator of the rotations (V factor).
+    let mut v = vec![0.0f64; k * k];
+    for i in 0..k {
+        v[i * k + i] = 1.0;
+    }
+    let fro = a.norm_fro().max(1e-300);
+    let n = k;
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (wp, wq) = pair_mut(&mut w, p, q);
+                let app: f64 = wp.iter().map(|x| x * x).sum();
+                let aqq: f64 = wq.iter().map(|x| x * x).sum();
+                let apq: f64 = wp.iter().zip(wq.iter()).map(|(x, y)| x * y).sum();
+                let g = apq.abs();
+                if g <= 1e-15 * (app * aqq).sqrt().max(1e-300) {
+                    continue;
+                }
+                rotated = true;
+                // e^{-i phi} for a real off-diagonal is just its sign.
+                let sign = if apq >= 0.0 { 1.0 } else { -1.0 };
+                let zeta = (aqq - app) / (2.0 * g);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let jqp = -sign * s;
+                let jqq = sign * c;
+                for (xp, xq) in wp.iter_mut().zip(wq.iter_mut()) {
+                    let old_p = *xp;
+                    let old_q = *xq;
+                    *xp = old_p * c + old_q * jqp;
+                    *xq = old_p * s + old_q * jqq;
+                }
+                for i in 0..n {
+                    let vip = v[i * k + p];
+                    let viq = v[i * k + q];
+                    v[i * k + p] = vip * c + viq * jqp;
+                    v[i * k + q] = vip * s + viq * jqq;
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        let mut worst: f64 = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq: f64 = w[p].iter().zip(w[q].iter()).map(|(x, y)| x * y).sum();
+                worst = worst.max(apq.abs());
+            }
+        }
+        if worst > 1e-9 * fro * fro {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "jacobi-svd",
+                iterations: MAX_SWEEPS,
+            });
+        }
+    }
+
+    // Extract singular values and assemble the factors.
+    let mut sigma: Vec<f64> =
+        w.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+
+    let mut u = vec![0.0f64; m * k];
+    let mut vh = vec![0.0f64; k * n_full];
+    let mut s_sorted = Vec::with_capacity(k);
+    let cutoff = sigma.iter().cloned().fold(0.0, f64::max) * 1e-300;
+    for (newcol, &old) in order.iter().enumerate() {
+        let sv = sigma[old];
+        s_sorted.push(sv);
+        let significant = sv > cutoff && sv > 0.0;
+        if !significant {
+            sigma[old] = 0.0;
+            *s_sorted.last_mut().unwrap() = 0.0;
+        }
+        if wide {
+            for r in 0..k {
+                u[r * k + newcol] = v[r * k + old];
+            }
+            if significant {
+                let inv = 1.0 / sv;
+                for (r, x) in w[old].iter().enumerate() {
+                    vh[newcol * n_full + r] = x * inv;
+                }
+            }
+        } else {
+            if significant {
+                let inv = 1.0 / sv;
+                for (r, x) in w[old].iter().enumerate() {
+                    u[r * k + newcol] = x * inv;
+                }
+            }
+            for r in 0..k {
+                vh[newcol * n_full + r] = v[r * k + old];
+            }
+        }
+    }
+    let u = Matrix::from_real(m, k, &u).expect("svd_real: U assembly");
+    let vh = Matrix::from_real(k, n_full, &vh).expect("svd_real: Vh assembly");
+    Ok(Svd { u, s: s_sorted, vh })
+}
+
 /// Truncated SVD keeping at most `k` singular triplets (and dropping exact
 /// zeros beyond the numerical rank).
 pub fn svd_truncated(a: &Matrix, k: usize) -> Result<Svd> {
@@ -287,6 +439,9 @@ pub fn svd_gram(a: &Matrix) -> Result<Svd> {
             u.set_col(newcol, &e.vectors.col(oldcol));
         }
         let mut vh = gemm(Op::Adjoint, Op::None, &u, a);
+        // Row scaling by finite reals (and zero fills) keeps realness; row_mut
+        // conservatively drops the hint, so restore it afterwards.
+        let vh_real = vh.is_real();
         let smax = s.first().copied().unwrap_or(0.0);
         for i in 0..n_eff {
             if s[i] > smax * 1e-14 && s[i] > 0.0 {
@@ -297,6 +452,9 @@ pub fn svd_gram(a: &Matrix) -> Result<Svd> {
             } else {
                 vh.row_mut(i).fill(C64::ZERO);
             }
+        }
+        if vh_real {
+            vh.assume_real();
         }
         return Ok(Svd { u, s, vh });
     }
@@ -312,6 +470,11 @@ pub fn svd_gram(a: &Matrix) -> Result<Svd> {
         for r in 0..n {
             vh[(newrow, r)] = e.vectors[(r, oldcol)].conj();
         }
+    }
+    // Conjugated copies of real eigenvectors are real; IndexMut dropped the
+    // hint conservatively.
+    if e.vectors.is_real() {
+        vh.assume_real();
     }
     let av = gemm(Op::None, Op::Adjoint, a, &vh);
     let mut u = Matrix::zeros(m, n_eff);

@@ -287,3 +287,167 @@ fn seed_kernel_matches_packed_kernel() {
         assert!(packed.approx_eq(&seed, 1e-9 * (k as f64)));
     }
 }
+
+/// Same data, realness hint cleared (`from_vec` is conservative), so the
+/// complex factorization branch runs on identical numbers.
+fn launder(a: &Matrix) -> Matrix {
+    let l = Matrix::from_vec(a.nrows(), a.ncols(), a.data().to_vec()).unwrap();
+    assert!(!l.is_real());
+    l
+}
+
+/// The real-only factorization paths must agree with the complex paths run on
+/// the same (laundered) data to 1e-12 across every shape class, and their
+/// outputs must carry the realness hint. The complex Jacobi paths leave
+/// O(eps) imaginary noise behind on real data (`sin(pi) != 0` in floating
+/// point), so the comparison is tolerance-based, not bitwise.
+#[test]
+fn real_path_factorizations_match_complex_path_across_shape_classes() {
+    let mut rng = StdRng::seed_from_u64(0xFAC7);
+    let rank_deficient = {
+        let b = Matrix::random_real(12, 3, &mut rng);
+        let c = Matrix::random_real(3, 8, &mut rng);
+        matmul(&b, &c) // rank 3, 12x8
+    };
+    let cases: Vec<(&str, Matrix)> = vec![
+        ("tall", Matrix::random_real(24, 6, &mut rng)),
+        ("wide", Matrix::random_real(5, 17, &mut rng)),
+        ("square", Matrix::random_real(9, 9, &mut rng)),
+        ("rank_deficient", rank_deficient),
+        ("empty_rows", Matrix::zeros(0, 4)),
+        ("empty_cols", Matrix::zeros(4, 0)),
+    ];
+    for (label, a) in &cases {
+        assert!(a.is_real(), "{label}: input must carry the hint");
+        let laundered = launder(a);
+        let scale = a.norm_max().max(1.0);
+
+        // QR: identical algorithm on identical numbers up to complex round-off.
+        let fr = qr(a);
+        let fc = qr(&laundered);
+        assert!(fr.q.is_real() && fr.r.is_real(), "{label}: QR factors must carry the hint");
+        assert!(fr.q.max_diff(&fc.q) <= 1e-12, "{label}: Q mismatch");
+        assert!(fr.r.max_diff(&fc.r) <= 1e-12 * scale, "{label}: R mismatch");
+        assert!(matmul(&fr.q, &fr.r).approx_eq(a, 1e-12 * scale), "{label}: QR != A");
+
+        // SVD: compare spectra and reconstructions (factor signs follow the
+        // same rotation sequence but accumulate eps-level phase noise).
+        let sr = svd(a).unwrap();
+        let sc = svd(&laundered).unwrap();
+        assert!(sr.u.is_real() && sr.vh.is_real(), "{label}: SVD factors must carry the hint");
+        for (x, y) in sr.s.iter().zip(sc.s.iter()) {
+            assert!((x - y).abs() <= 1e-12 * scale, "{label}: singular value mismatch");
+        }
+        assert!(sr.reconstruct().approx_eq(a, 1e-11 * scale), "{label}: USV^H != A");
+        if !a.is_empty() {
+            assert!(sr.u.has_orthonormal_cols(1e-11));
+            assert!(sr.vh.adjoint().has_orthonormal_cols(1e-11));
+        }
+
+        // Gram-based SVD exercises the real eigh path underneath.
+        if a.nrows() > 0 && a.ncols() > 0 && *label != "rank_deficient" {
+            let sg = svd_gram(a).unwrap();
+            assert!(
+                sg.u.is_real() && sg.vh.is_real(),
+                "{label}: svd_gram factors must carry the hint"
+            );
+            assert!(sg.reconstruct().approx_eq(a, 1e-7 * scale), "{label}: gram USV^H != A");
+        }
+    }
+
+    // eigh on a real symmetric matrix: real Jacobi vs complex Jacobi.
+    let r = Matrix::random_real(8, 8, &mut rng);
+    let h = &r + &r.transpose();
+    assert!(h.is_real());
+    let er = eigh(&h).unwrap();
+    let ec = eigh(&launder(&h)).unwrap();
+    assert!(er.vectors.is_real(), "eigh eigenvectors must carry the hint");
+    for (x, y) in er.values.iter().zip(ec.values.iter()) {
+        assert!((x - y).abs() <= 1e-12 * h.norm_max().max(1.0), "eigenvalue mismatch");
+    }
+    let av = matmul(&h, &er.vectors);
+    let vd = matmul(&er.vectors, &Matrix::from_diag_real(&er.values));
+    assert!(av.approx_eq(&vd, 1e-10 * h.norm_max().max(1.0)));
+
+    // gram_qr: reconstruction + hints (real eigh + element-wise assembly).
+    let t = Matrix::random_real(30, 5, &mut rng);
+    let g = gram_qr(&t).unwrap();
+    assert!(
+        g.q.is_real() && g.r.is_real() && g.r_inv.is_real(),
+        "gram_qr factors must carry the hint"
+    );
+    assert!(matmul(&g.q, &g.r).approx_eq(&t, 1e-9));
+
+    // LU solve: real elimination vs complex elimination on the same system.
+    let a = {
+        let mut a = Matrix::random_real(7, 7, &mut rng);
+        for i in 0..7 {
+            let d = a[(i, i)] + c64(7.0, 0.0);
+            a[(i, i)] = d; // diagonally dominant, well-conditioned
+        }
+        a.mark_real_if_exact();
+        a
+    };
+    let b = Matrix::random_real(7, 3, &mut rng);
+    let xr = solve(&a, &b).unwrap();
+    let xc = solve(&launder(&a), &launder(&b)).unwrap();
+    assert!(xr.is_real(), "real LU solution must carry the hint");
+    assert!(xr.max_diff(&xc) <= 1e-12, "LU solution mismatch");
+    let xl = lstsq(&Matrix::random_real(20, 4, &mut rng), &Matrix::random_real(20, 2, &mut rng))
+        .unwrap();
+    assert!(xl.is_real(), "lstsq solution must carry the hint");
+
+    // rsvd: a structurally real operator draws a real sketch, so the whole
+    // iteration stays real and the factors carry the hint.
+    let low_rank = {
+        let b = Matrix::random_real(18, 3, &mut rng);
+        let c = Matrix::random_real(3, 14, &mut rng);
+        matmul(&b, &c)
+    };
+    let f = rsvd_matrix(&low_rank, RsvdOptions::with_rank(3), &mut rng).unwrap();
+    assert!(f.u.is_real() && f.vh.is_real(), "rsvd factors must carry the hint");
+    assert!(f.reconstruct().approx_eq(&low_rank, 1e-9));
+}
+
+// Factorization outputs must never *falsely* carry the realness hint: for
+// arbitrary (mixed real/complex) inputs, any factor reporting `is_real()`
+// must scan clean. This is the factorization-level counterpart of
+// `realness_hint_is_never_falsely_retained`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn factorization_outputs_never_falsely_carry_the_hint(
+        (m, n) in dims(),
+        seed in 0u64..1000,
+        make_real in 0u32..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = if make_real == 1 {
+            Matrix::random_real(m, n, &mut rng)
+        } else {
+            Matrix::random(m, n, &mut rng)
+        };
+        let exactly_real = |mat: &Matrix| !mat.is_real() || mat.data().iter().all(|z| z.im == 0.0);
+
+        let f = qr(&a);
+        prop_assert!(exactly_real(&f.q), "Q falsely carries the hint");
+        prop_assert!(exactly_real(&f.r), "R falsely carries the hint");
+
+        let s = svd(&a).unwrap();
+        prop_assert!(exactly_real(&s.u), "U falsely carries the hint");
+        prop_assert!(exactly_real(&s.vh), "Vh falsely carries the hint");
+
+        let h = {
+            let sq = if m == n { a.clone() } else { Matrix::random(n, n, &mut rng) };
+            &sq + &sq.adjoint()
+        };
+        let e = eigh(&h).unwrap();
+        prop_assert!(exactly_real(&e.vectors), "eigenvectors falsely carry the hint");
+
+        let g = gram_qr(&a).unwrap();
+        prop_assert!(exactly_real(&g.q), "gram Q falsely carries the hint");
+        prop_assert!(exactly_real(&g.r), "gram R falsely carries the hint");
+        prop_assert!(exactly_real(&g.r_inv), "gram R^-1 falsely carries the hint");
+    }
+}

@@ -166,6 +166,14 @@ impl LinearOp for ZipStepOp<'_> {
         let out = z3.permute(&[0, 2, 1, 3]).expect("ZipStepOp permute");
         out.unfold(3)
     }
+
+    fn is_real(&self) -> bool {
+        // Real boundary/MPS/MPO tensors map real sketch blocks to real blocks
+        // (conjugation is a no-op on real data), so the implicit randomized
+        // SVD draws a real sketch and the whole zip-up step stays on the real
+        // kernel.
+        self.boundary.is_real() && self.s.is_real() && self.o.is_real()
+    }
 }
 
 /// Implicit randomized einsumsvd step (Algorithm 4 applied to the zip-up).

@@ -10,11 +10,13 @@
 //! Trotter gates `exp(-tau H_j)` are real matrices and the initial product
 //! states are real, so both carry the structural realness hint (see
 //! [`crate::hamiltonian::trotter_gates`]) and the gate-application einsums
-//! start on the real-valued GEMM fast path. Decompositions that rebuild site
-//! tensors from SVD/QR factors conservatively drop the hint (their outputs
-//! are not structurally guaranteed exactly real), after which contraction
-//! falls back to per-block realness detection inside the kernel — correctness
-//! never depends on the hint, only the flop count does.
+//! run on the real-valued GEMM fast path. The factorizations behind every
+//! bond truncation (QR / Jacobi SVD / Gram QR / eigh / randomized SVD) run
+//! realness-preserving inner loops on hinted inputs and mark their factors
+//! real, so a full ITE sweep — evolution, renormalization, and IBMPS energy
+//! measurement — executes *zero* complex MACs end to end (pinned by the
+//! `real_path` integration test at the workspace root). Correctness never
+//! depends on the hint, only the flop count does.
 
 use crate::hamiltonian::{trotter_gates, TrotterGate};
 use crate::statevector::{Result, StateVector};

@@ -78,25 +78,37 @@ impl SplitSvd {
     }
 }
 
-/// Multiply slices along the last axis by `s[j]`.
+/// Multiply slices along the last axis by `s[j]`. The realness hint survives
+/// for finite scale factors (singular values absorbed into SVD factors), so
+/// truncated splits of real tensors keep the whole pipeline on the real GEMM
+/// kernel.
 pub fn scale_last_axis(t: &Tensor, s: &[f64]) -> Tensor {
     let last = *t.shape().last().expect("scale_last_axis: rank-0 tensor");
     assert!(s.len() >= last);
+    let keep_real = t.is_real() && s[..last].iter().all(|x| x.is_finite());
     let mut out = t.clone();
     for (i, v) in out.data_mut().iter_mut().enumerate() {
         *v = v.scale(s[i % last]);
     }
+    if keep_real {
+        out.assume_real();
+    }
     out
 }
 
-/// Multiply slices along the first axis by `s[i]`.
+/// Multiply slices along the first axis by `s[i]` (hint rule as in
+/// [`scale_last_axis`]).
 pub fn scale_first_axis(t: &Tensor, s: &[f64]) -> Tensor {
     let first = *t.shape().first().expect("scale_first_axis: rank-0 tensor");
     assert!(s.len() >= first);
+    let keep_real = t.is_real() && s[..first].iter().all(|x| x.is_finite());
     let block: usize = t.shape()[1..].iter().product();
     let mut out = t.clone();
     for (i, v) in out.data_mut().iter_mut().enumerate() {
         *v = v.scale(s[i / block.max(1)]);
+    }
+    if keep_real {
+        out.assume_real();
     }
     out
 }
@@ -344,6 +356,27 @@ mod tests {
             rsvd_split_implicit(&op, &[2, 3], &[4], Truncation::max_rank(2), 1, &mut rng).is_ok()
         );
         assert!(rsvd_split_implicit(&op, &[5], &[4], Truncation::max_rank(2), 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn splits_of_real_tensors_keep_the_realness_hint() {
+        let mut rng = StdRng::seed_from_u64(38);
+        let t = Tensor::random_real(&[3, 4, 2, 5], &mut rng);
+        assert!(t.is_real());
+        let (q, r) = qr_split(&t, &[0, 2]).unwrap();
+        assert!(q.is_real() && r.is_real(), "QR split factors must carry the hint");
+        let (gq, gr) = gram_qr_split(&t, &[0, 2]).unwrap();
+        assert!(gq.is_real() && gr.is_real(), "Gram-QR split factors must carry the hint");
+        let f = svd_split(&t, &[0, 1], Truncation::max_rank(3)).unwrap();
+        assert!(f.u.is_real() && f.vh.is_real(), "SVD split factors must carry the hint");
+        // The absorb variants scale by (finite) singular values: hint survives.
+        for (l, rr) in [f.absorb_left(), f.absorb_right(), f.absorb_split()] {
+            assert!(l.is_real() && rr.is_real(), "absorbed factors must carry the hint");
+        }
+        // A genuinely complex tensor must not leak the hint through a split.
+        let z = Tensor::random(&[3, 4, 2], &mut rng);
+        let fz = svd_split(&z, &[0], Truncation::none()).unwrap();
+        assert!(!fz.u.is_real() || fz.u.to_matrix_2d().data().iter().all(|v| v.im == 0.0));
     }
 
     #[test]
