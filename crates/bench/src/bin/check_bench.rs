@@ -4,8 +4,12 @@
 //!
 //! Entries are matched by `(series, label, opa, opb, threads)`; only keys
 //! present in *both* files are compared, so a CI host with a different core
-//! count (extra `threads` rows) or a `--quick` run (a subset of the full
-//! grid's labels) still gates on the intersection. Matrices are
+//! count (extra `threads` rows), a `--quick` run (a subset of the full
+//! grid's labels), or a PR adding a brand-new series before the committed
+//! baseline is regenerated still gates on the intersection — current-only
+//! cases are listed and ignored, never a failure. An entry of a *known*
+//! series that lacks its gated field is still a hard error, though: that is
+//! an emitter regression, and skipping it would silently un-gate the series. Matrices are
 //! bit-identical across runs because `bench_gemm` seeds each case from a
 //! hash of its identity, so a drop is a kernel/dispatch regression (or host
 //! noise — the threshold leaves 25% headroom for that), never a data change.
@@ -57,6 +61,10 @@ fn load_entries(path: &str) -> Result<Vec<Entry>, String> {
         let opb = item.get("opb").and_then(|v| v.as_str()).unwrap_or("-");
         let threads = item.get("threads").and_then(|v| v.as_num()).unwrap_or(0.0);
         let Some(rate) = item.get(field).and_then(|v| v.as_num()) else {
+            // A known series losing its gated field is an emitter regression
+            // (it would silently un-gate the series if merely skipped); only
+            // *whole series* absent from the baseline are tolerated, via the
+            // key-intersection logic in main().
             return Err(format!("{path}: entry {series}/{label} lacks numeric '{field}'"));
         };
         entries.push(Entry { key: format!("{series}/{label}/{opa}{opb}/t{threads}"), rate });
@@ -111,6 +119,24 @@ fn main() {
         if !ok {
             regressions.push((base.key.clone(), ratio));
         }
+    }
+
+    // Series/cases present only in the fresh run are fine: a PR that adds a
+    // new bench series can land before the committed baseline is regenerated
+    // — the gate simply reports what it could not compare and gates on the
+    // intersection.
+    let current_only: Vec<&str> = current
+        .iter()
+        .filter(|c| baseline.iter().all(|b| b.key != c.key))
+        .map(|c| c.key.as_str())
+        .collect();
+    if !current_only.is_empty() {
+        println!(
+            "check_bench: {} case(s) absent from the baseline, ignored (new series land \
+             without regenerating {baseline_path} first): {}",
+            current_only.len(),
+            current_only.join(", ")
+        );
     }
 
     if matched == 0 {

@@ -1,15 +1,20 @@
-//! Figure 11: strong scaling of PEPS evolution (one TEBD layer) and PEPS
-//! contraction (IBMPS, no physical indices) as the number of cores grows,
-//! with the problem size held fixed.
+//! Figure 11: strong scaling of PEPS evolution (one TEBD layer), PEPS
+//! contraction (IBMPS, no physical indices), and a SUMMA distributed GEMM as
+//! the number of cores grows, with the problem size held fixed.
 //!
-//! The virtual cluster executes on one machine, so the scaling curve is the
-//! *modelled* parallel time derived from the per-rank work and communication
-//! counters (see DESIGN.md §1); the useful-work and traffic numbers are
-//! measured from real data movement.
+//! The virtual cluster executes on one machine, so each workload's curve is
+//! the *predicted* parallel time: per-rank work and communication counters
+//! measured from real data movement, priced by the cost model calibrated
+//! from the committed `BENCH_gemm.json`
+//! ([`koala_bench::calibrated_cost_model`]). Every predicted curve is paired
+//! with its *ideal* curve (the one-rank prediction divided by the rank
+//! count), so the gap shows exactly where communication, latency, and load
+//! imbalance leave the ideal-speedup line — the comparison the paper's
+//! Figure 11 makes against its own linear-scaling guides.
 
-use koala_bench::{BenchArgs, Figure, Series};
-use koala_cluster::{Cluster, CostModel};
-use koala_linalg::{c64, expm_hermitian};
+use koala_bench::{calibrated_cost_model, BenchArgs, Figure, Series};
+use koala_cluster::{Cluster, DistMatrix};
+use koala_linalg::{c64, expm_hermitian, Matrix};
 use koala_peps::operators::{kron, pauli_x, pauli_z};
 use koala_peps::{
     dist_contract_no_phys, dist_tebd_layer, ContractionMethod, DistEvolutionVariant, Peps,
@@ -17,13 +22,26 @@ use koala_peps::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Append the `t(1)/P` ideal-scaling curve derived from a predicted series.
+fn ideal_of(predicted: &Series, label: &str) -> Series {
+    let mut ideal = Series::new(label);
+    if let Some(first) = predicted.points.first() {
+        let t1 = first.y * first.x; // normalise in case the series starts at P > 1
+        for p in &predicted.points {
+            ideal.push(p.x, t1 / p.x);
+        }
+    }
+    ideal
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let (side, r_evo, r_con): (usize, usize, usize) =
         if args.quick { (4, 4, 6) } else { (6, 6, 8) };
+    let n_gemm: usize = if args.quick { 96 } else { 192 };
     let rank_counts: Vec<usize> =
         if args.quick { vec![1, 2, 4, 8, 16] } else { vec![1, 2, 4, 8, 16, 32, 64] };
-    let model = CostModel::default();
+    let model = calibrated_cost_model();
     let gate = expm_hermitian(
         &(&kron(&pauli_x(), &pauli_x()) + &kron(&pauli_z(), &pauli_z())),
         c64(-0.05, 0.0),
@@ -33,15 +51,17 @@ fn main() {
     let mut fig = Figure::new(
         "fig11",
         &format!(
-            "Strong scaling on a {side}x{side} PEPS (evolution r={r_evo}, contraction r=m={r_con})"
+            "Strong scaling on a {side}x{side} PEPS (evolution r={r_evo}, contraction r=m={r_con}) \
+             and a {n_gemm}x{n_gemm} SUMMA GEMM, calibrated cost model"
         ),
         "virtual ranks (cores)",
-        "modelled parallel time (seconds)",
+        "predicted parallel time (seconds)",
     );
-    let mut evo = Series::new(format!("Evolution: {side}x{side}, r = {r_evo}"));
-    let mut con = Series::new(format!("Contraction: {side}x{side}, r = {r_con}"));
-    // The compute critical path (max per-rank flops) isolates how well the
-    // work itself strong-scales, independent of the latency floor that
+    let mut evo = Series::new(format!("Evolution: {side}x{side}, r = {r_evo} (predicted)"));
+    let mut con = Series::new(format!("Contraction: {side}x{side}, r = {r_con} (predicted)"));
+    let mut summa = Series::new(format!("SUMMA GEMM: n = {n_gemm} (predicted)"));
+    // The compute critical path (max per-rank complex MACs) isolates how well
+    // the work itself strong-scales, independent of the latency floor that
     // dominates laptop-sized problems (see EXPERIMENTS.md).
     let mut evo_compute = Series::new("Evolution: compute critical path (max rank flops)");
     let mut con_compute = Series::new("Contraction: compute critical path (max rank flops)");
@@ -67,17 +87,50 @@ fn main() {
         evo_compute.push(ranks as f64, stats.max_rank_flops() as f64);
         con_compute.push(ranks as f64, stats_c.max_rank_flops() as f64);
 
+        // SUMMA distributed GEMM on the near-square grid for this rank count:
+        // the per-rank local products run the packed kernel, the panels move
+        // O(n^2 / sqrt(P)) words per rank. The block size shrinks with the
+        // grid so every grid row/column owns at least one block at every
+        // measured rank count — otherwise the largest grids would leave
+        // whole rank rows idle and the curve would measure a smaller
+        // effective grid, not strong scaling.
+        let a = Matrix::random(n_gemm, n_gemm, &mut rng);
+        let b = Matrix::random(n_gemm, n_gemm, &mut rng);
+        let cluster_g = Cluster::new(ranks);
+        let grid = cluster_g.grid();
+        let row_block = n_gemm.div_ceil(grid.rows()).clamp(1, 32);
+        let col_block = n_gemm.div_ceil(grid.cols()).clamp(1, 32);
+        let da = DistMatrix::scatter_block_cyclic(&cluster_g, &a, grid, row_block, col_block);
+        let db = DistMatrix::scatter_block_cyclic(&cluster_g, &b, grid, row_block, col_block);
+        cluster_g.reset_stats(); // the scatter is setup, not the timed GEMM
+        let _ = da.matmul_dist(&db);
+        let stats_g = cluster_g.stats();
+        let t_summa = model.modelled_time(&stats_g);
+        summa.push(ranks as f64, t_summa);
+
         println!(
-            "ranks={ranks:<3} evolution: t={t_evo:.4}s max_flops={:.3e} imbalance={:.2} | contraction: t={t_con:.4}s max_flops={:.3e} comm={:.2} MB",
+            "ranks={ranks:<3} evolution: t={t_evo:.4}s max_flops={:.3e} imbalance={:.2} | \
+             contraction: t={t_con:.4}s max_flops={:.3e} comm={:.2} MB | \
+             summa({}x{} grid): t={t_summa:.6}s comm={:.3} MB",
             stats.max_rank_flops() as f64,
             stats.load_imbalance(),
             stats_c.max_rank_flops() as f64,
-            stats_c.bytes_communicated as f64 / 1e6
+            stats_c.bytes_communicated as f64 / 1e6,
+            grid.rows(),
+            grid.cols(),
+            stats_g.bytes_communicated as f64 / 1e6,
         );
     }
 
+    let evo_ideal = ideal_of(&evo, "Evolution: ideal scaling (t1 / P)");
+    let con_ideal = ideal_of(&con, "Contraction: ideal scaling (t1 / P)");
+    let summa_ideal = ideal_of(&summa, "SUMMA GEMM: ideal scaling (t1 / P)");
     fig.add(evo);
+    fig.add(evo_ideal);
     fig.add(con);
+    fig.add(con_ideal);
+    fig.add(summa);
+    fig.add(summa_ideal);
     fig.add(evo_compute);
     fig.add(con_compute);
     fig.print();

@@ -1,14 +1,19 @@
 //! Figure 12: weak scaling — the bond dimension grows with the number of
 //! ranks so the memory per rank stays roughly constant, and the reported
-//! metric is the useful flop rate per core under the cluster cost model.
+//! metric is the useful flop rate per core under the calibrated cluster cost
+//! model ([`koala_bench::calibrated_cost_model`]).
 //!
 //! Paper setup: evolution bond dimensions r = 70..280 and contraction bond
 //! dimensions m = 80..320 over 2^6..2^12 cores. Scaled-down default: the bond
-//! dimension grows as ranks^(1/2) from a small base so a single machine can
-//! execute every point.
+//! dimension grows as ranks^(1/4) from a small base so a single machine can
+//! execute every point. Each predicted curve is compared against the *ideal*
+//! flat line — the calibrated per-rank kernel peak the cost model charges
+//! for an all-complex workload — so the vertical gap is exactly the
+//! communication + latency + imbalance overhead, mirroring how the paper
+//! reads its Figure 12 against the machine peak.
 
-use koala_bench::{BenchArgs, Figure, Series};
-use koala_cluster::{Cluster, CostModel};
+use koala_bench::{calibrated_cost_model, BenchArgs, Figure, Series};
+use koala_cluster::Cluster;
 use koala_linalg::{c64, expm_hermitian};
 use koala_peps::operators::{kron, pauli_x, pauli_z};
 use koala_peps::{
@@ -22,7 +27,7 @@ fn main() {
     let side = if args.quick { 4 } else { 6 };
     let rank_counts: Vec<usize> = if args.quick { vec![1, 4, 16] } else { vec![1, 4, 16, 64] };
     let (r_base, m_base) = (3usize, 4usize);
-    let model = CostModel::default();
+    let model = calibrated_cost_model();
     let gate = expm_hermitian(
         &(&kron(&pauli_x(), &pauli_x()) + &kron(&pauli_z(), &pauli_z())),
         c64(-0.05, 0.0),
@@ -31,12 +36,17 @@ fn main() {
 
     let mut fig = Figure::new(
         "fig12",
-        &format!("Weak scaling on a {side}x{side} PEPS (bond dimension grows with rank count)"),
+        &format!(
+            "Weak scaling on a {side}x{side} PEPS (bond dimension grows with rank count), \
+             calibrated cost model"
+        ),
         "virtual ranks (cores)",
-        "modelled useful Gflop/s per core",
+        "predicted useful Gflop/s per core",
     );
-    let mut evo = Series::new("Evolution: scale r");
-    let mut con = Series::new("Contraction: scale m");
+    let mut evo = Series::new("Evolution: scale r (predicted)");
+    let mut con = Series::new("Contraction: scale m (predicted)");
+    let mut ideal = Series::new("Ideal: calibrated per-rank kernel peak");
+    let peak_gflops = model.complex_peak_flops() / 1e9;
 
     for &ranks in &rank_counts {
         // Per-rank memory of the dominant site tensors scales like r^4 / ranks,
@@ -52,8 +62,9 @@ fn main() {
         let mut p = base.clone();
         dist_tebd_layer(&cluster, &mut p, &gate, r, DistEvolutionVariant::LocalGramQrSvd).unwrap();
         let stats = cluster.stats();
-        // Complex multiply-add = 8 real flops.
-        let gflops_evo = model.flop_rate_per_rank(&stats) * 8.0 / 1e9;
+        // flop_rate_per_rank already prices hardware flops (8 per complex
+        // MAC, 2 per real MAC), directly comparable to bench_gemm's rates.
+        let gflops_evo = model.flop_rate_per_rank(&stats) / 1e9;
         evo.push(ranks as f64, gflops_evo);
 
         let peps_c = Peps::random_no_phys(side, side, m, &mut rng);
@@ -61,16 +72,19 @@ fn main() {
         let _ = dist_contract_no_phys(&cluster, &peps_c, ContractionMethod::ibmps(m), &mut rng)
             .unwrap();
         let stats_c = cluster.stats();
-        let gflops_con = model.flop_rate_per_rank(&stats_c) * 8.0 / 1e9;
+        let gflops_con = model.flop_rate_per_rank(&stats_c) / 1e9;
         con.push(ranks as f64, gflops_con);
+        ideal.push(ranks as f64, peak_gflops);
 
         println!(
-            "ranks={ranks:<3} r={r:<3} m={m:<3} evolution={gflops_evo:.3} Gflop/s/core contraction={gflops_con:.3} Gflop/s/core"
+            "ranks={ranks:<3} r={r:<3} m={m:<3} evolution={gflops_evo:.3} Gflop/s/core \
+             contraction={gflops_con:.3} Gflop/s/core (ideal peak {peak_gflops:.3})"
         );
     }
 
     fig.add(evo);
     fig.add(con);
+    fig.add(ideal);
     fig.print();
     fig.maybe_write_json(&args);
 }

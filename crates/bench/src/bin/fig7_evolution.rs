@@ -7,8 +7,8 @@
 //! lattice; (b) the same lattice on a 16-rank virtual cluster, reporting both
 //! wall-clock and modelled parallel time.
 
-use koala_bench::{time_it, BenchArgs, Figure, Series};
-use koala_cluster::{Cluster, CostModel};
+use koala_bench::{calibrated_cost_model, time_it, BenchArgs, Figure, Series};
+use koala_cluster::Cluster;
 use koala_linalg::{c64, expm_hermitian};
 use koala_peps::operators::{kron, pauli_x, pauli_z};
 use koala_peps::{
@@ -27,7 +27,7 @@ fn main() {
     let (side, bonds): (usize, Vec<usize>) =
         if args.quick { (4, vec![2, 3, 4]) } else { (6, vec![2, 3, 4, 6, 8]) };
     let nranks = 16;
-    let model = CostModel::default();
+    let model = calibrated_cost_model();
     let gate = tebd_gate();
 
     let mut fig = Figure::new(

@@ -8,8 +8,8 @@
 //! two-layer inner-product methods. The distributed comparison reports the
 //! modelled parallel time of the cluster-backed contraction.
 
-use koala_bench::{time_it, BenchArgs, Figure, Series};
-use koala_cluster::{Cluster, CostModel};
+use koala_bench::{calibrated_cost_model, time_it, BenchArgs, Figure, Series};
+use koala_cluster::Cluster;
 use koala_peps::two_layer::{norm_sqr_two_layer, TwoLayerOptions};
 use koala_peps::{contract_no_phys, dist_contract_no_phys, norm_sqr, ContractionMethod, Peps};
 use rand::rngs::StdRng;
@@ -31,7 +31,7 @@ fn main() {
     let mut s_ibmps = Series::new("IBMPS (local)");
     let mut s_bmps_ctf = Series::new("BMPS (ctf, modelled parallel time, 16 ranks)");
     let mut s_ibmps_ctf = Series::new("IBMPS (ctf, modelled parallel time, 16 ranks)");
-    let model = CostModel::default();
+    let model = calibrated_cost_model();
 
     for &r in &bonds {
         let mut rng = StdRng::seed_from_u64(8_000 + r as u64);

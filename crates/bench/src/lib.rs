@@ -6,7 +6,8 @@
 //! Systems"*, SC 2020) or records a kernel-level perf series; this library
 //! crate holds the small amount of shared plumbing ([`BenchArgs`] CLI
 //! parsing, [`Figure`]/[`Series`]/[`Point`] result containers, timing and
-//! slope-fitting helpers, and the [`mod@json`] emitter).
+//! slope-fitting helpers, the cost-model calibration loader
+//! ([`calibrated_cost_model`]), and the [`mod@json`] emitter).
 //!
 //! ## Binary targets and what each reproduces
 //!
@@ -35,10 +36,12 @@
 //!
 //! ## Why a hand-rolled JSON emitter?
 //!
-//! The build environment cannot fetch `serde`/`serde_json`, and this crate
-//! only ever *writes* JSON. [`mod@json`] therefore provides a minimal value
-//! model with a stable pretty-printer ([`json::JsonValue`]); its output shape
-//! matches the old serde output so downstream tooling keeps parsing it.
+//! The build environment cannot fetch `serde`/`serde_json`. The shared
+//! `koala-json` crate (re-exported here as [`mod@json`]) provides a minimal
+//! value model with a stable pretty-printer and parser
+//! ([`json::JsonValue`]); its output shape matches the old serde output so
+//! downstream tooling keeps parsing it, and `koala-cluster` reads the same
+//! dialect back when calibrating its cost model from `BENCH_gemm.json`.
 
 #![warn(missing_docs)]
 
@@ -196,6 +199,39 @@ impl Figure {
             }
         }
     }
+}
+
+/// Build the cluster cost model calibrated from the committed
+/// `BENCH_gemm.json` (searched in the current directory, then at the
+/// workspace root relative to this crate), falling back to
+/// [`koala_cluster::CostModel::default`] with a warning when the file is
+/// missing or unusable.
+///
+/// Every figure binary that converts [`koala_cluster::CommStats`] into
+/// modelled times goes through this helper, so the scaling figures price
+/// per-rank work at the GFLOP/s the packed kernels actually sustain on the
+/// machine that produced the committed baseline (complex rate from the
+/// `packed_vs_seed` series, real rate from `real_vs_complex`; see
+/// [`koala_cluster::CostModel::from_bench`]).
+pub fn calibrated_cost_model() -> koala_cluster::CostModel {
+    let candidates =
+        ["BENCH_gemm.json", concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json")];
+    for path in candidates {
+        let Ok(text) = std::fs::read_to_string(path) else { continue };
+        match koala_cluster::CostModel::from_bench(&text) {
+            Ok(model) => {
+                println!(
+                    "cost model calibrated from {path}: complex {:.2} GF/s, real {:.2} GF/s per rank",
+                    model.complex_peak_flops() / 1e9,
+                    model.real_peak_flops() / 1e9
+                );
+                return model;
+            }
+            Err(e) => eprintln!("cost model: {path} unusable ({e}); trying next candidate"),
+        }
+    }
+    eprintln!("cost model: no usable BENCH_gemm.json found, using uncalibrated defaults");
+    koala_cluster::CostModel::default()
 }
 
 /// Time a closure, returning `(result, seconds)`.

@@ -10,6 +10,7 @@
 //! only wall-clock parallelism is replaced by the cost model in
 //! [`crate::stats::CostModel`].
 
+use crate::grid::ProcGrid;
 use crate::stats::{CommStats, ELEM_BYTES};
 use koala_linalg::C64;
 use std::sync::Arc;
@@ -51,11 +52,32 @@ impl Cluster {
         std::mem::replace(&mut *guard, CommStats::new(self.nranks))
     }
 
+    /// The most nearly square [`ProcGrid`] over this cluster's ranks — the
+    /// default grid for SUMMA-distributed matrices.
+    pub fn grid(&self) -> ProcGrid {
+        ProcGrid::square_for(self.nranks)
+    }
+
     /// Record a point-to-point transfer of `elems` complex numbers.
     pub fn record_p2p(&self, elems: usize) {
         let mut s = self.stats.lock().expect("stats mutex poisoned");
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += 1;
+    }
+
+    /// Record a broadcast within a rank group (a SUMMA grid row or column):
+    /// `elems` complex numbers cross the wires in total — i.e. the per-
+    /// receiver panel volume summed over all `receivers` — in one message to
+    /// each receiver. A group of one rank broadcasts nothing and records
+    /// nothing.
+    pub fn record_bcast(&self, elems: usize, receivers: usize) {
+        if receivers == 0 {
+            return;
+        }
+        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        s.bytes_communicated += elems as u64 * ELEM_BYTES;
+        s.messages += receivers as u64;
+        s.collectives += 1;
     }
 
     /// Record a collective that moves `elems` complex numbers in total across
@@ -83,11 +105,39 @@ impl Cluster {
         s.rank_flops[rank] += flops;
     }
 
+    /// Record `macs` real multiply-adds executed by `rank` (work the rank ran
+    /// on the real-only kernel; 2 hardware flops each vs 8 for a complex MAC).
+    pub fn record_real_macs(&self, rank: usize, macs: u64) {
+        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        s.rank_real_macs[rank] += macs;
+    }
+
+    /// Record `macs` multiply-adds executed by `rank`, billed to the real or
+    /// complex counter according to `real` — the kernel the operands'
+    /// realness hints select.
+    pub fn record_macs(&self, rank: usize, macs: u64, real: bool) {
+        if real {
+            self.record_real_macs(rank, macs);
+        } else {
+            self.record_flops(rank, macs);
+        }
+    }
+
     /// Record identical `flops` on every rank (replicated computation).
     pub fn record_flops_all(&self, flops: u64) {
         let mut s = self.stats.lock().expect("stats mutex poisoned");
         for f in &mut s.rank_flops {
             *f += flops;
+        }
+    }
+
+    /// Record identical `macs` on every rank, billed real or complex
+    /// according to `real` (replicated computation).
+    pub fn record_macs_all(&self, macs: u64, real: bool) {
+        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        let counters = if real { &mut s.rank_real_macs } else { &mut s.rank_flops };
+        for f in counters.iter_mut() {
+            *f += macs;
         }
     }
 
@@ -177,6 +227,23 @@ mod tests {
         let old = c.reset_stats();
         assert_eq!(old, s);
         assert_eq!(c.stats().bytes_communicated, 0);
+    }
+
+    #[test]
+    fn bcast_and_split_mac_accounting() {
+        let c = Cluster::new(6);
+        assert_eq!((c.grid().rows(), c.grid().cols()), (2, 3));
+        c.record_bcast(30, 2);
+        c.record_bcast(10, 0); // group of one: nothing crosses a wire
+        c.record_macs(1, 100, true);
+        c.record_macs(1, 50, false);
+        c.record_macs_all(5, true);
+        let s = c.stats();
+        assert_eq!(s.bytes_communicated, 30 * ELEM_BYTES);
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.collectives, 1);
+        assert_eq!(s.rank_real_macs, vec![5, 105, 5, 5, 5, 5]);
+        assert_eq!(s.rank_flops[1], 50);
     }
 
     #[test]

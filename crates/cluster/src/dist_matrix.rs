@@ -1,52 +1,172 @@
-//! Block-row distributed matrices.
+//! Matrices distributed over a 2-D processor grid.
 //!
-//! A [`DistMatrix`] splits its rows into contiguous blocks, one per virtual
-//! rank, mirroring the distribution Cyclops uses for the slowest-varying
-//! index of a tensor. All dense work happens on the per-rank blocks; anything
-//! that crosses rank boundaries is routed through the [`Cluster`] so that its
-//! communication counters reflect what a real distributed run would move.
+//! A [`DistMatrix`] maps its rows onto the grid rows and its columns onto the
+//! grid columns of a [`ProcGrid`] (see [`crate::grid`] for the layout rules);
+//! rank `(r, c)` stores the intersection of its grid row's global rows and
+//! its grid column's global columns as one dense local [`Matrix`]. Two
+//! layouts are in use:
+//!
+//! * **block-row** (`grid = P x 1`, contiguous row blocks, columns
+//!   replicated) — the layout [`DistMatrix::scatter`] produces, the layout
+//!   `DistTensor` slabs matricize into for free, and the layout the Gram
+//!   helpers ([`DistMatrix::gram`], [`gram_qr_dist`]) require,
+//! * **2-D block-cyclic** ([`DistMatrix::scatter_block_cyclic`] /
+//!   [`DistMatrix::scatter_summa`]) — the ScaLAPACK-style layout under which
+//!   [`DistMatrix::matmul_dist`] runs SUMMA with `O(n^2 / sqrt(P))` words of
+//!   traffic per rank instead of the gather-everything `O(n^2)`.
+//!
+//! All dense work happens on the per-rank blocks through the same packed
+//! GEMM (`koala_linalg::gemm_into` / `gemm_into_real`) the shared-memory
+//! path uses — including its MC x NC macro-tiling and the real-only
+//! microkernel — and anything that crosses rank boundaries is routed through
+//! the [`Cluster`] so its communication counters reflect what a real
+//! distributed run would move.
+//!
+//! ## SUMMA round structure
+//!
+//! `C = A * B` iterates over the common refinement of `A`'s column layout
+//! and `B`'s row layout (the *depth panels*, [`crate::grid::refine`]). For
+//! each panel `t` of width `kb`:
+//!
+//! ```text
+//! 1. the grid column owning A(:, t) broadcasts its local panel rows along
+//!    each grid row          — volume m_loc x kb to q - 1 receivers per row,
+//! 2. the grid row owning B(t, :) broadcasts its local panel columns along
+//!    each grid column       — volume kb x n_loc to p - 1 receivers per col,
+//! 3. every rank accumulates C_loc += A_panel * B_panel with gemm_into
+//!    (gemm_into_real when both panels carry the realness hint).
+//! ```
+//!
+//! Summed over all panels each rank receives `m_loc k (q-1)/q + k n_loc
+//! (p-1)/p` words — `O(n^2 (p + q) / P) = O(n^2 / sqrt(P))` on a square
+//! grid — while the block-row layout degenerates to the old
+//! allgather-everything volume (`q = 1` makes step 1 free and step 2 an
+//! allgather of `B`). Realness rides along: panels are submatrices of hinted
+//! blocks, so a real workload runs the real microkernel on every rank and
+//! bills [`crate::CommStats::rank_real_macs`] instead of complex flops.
 
 use crate::cluster::Cluster;
+use crate::grid::{refine, Dist1D, ProcGrid};
+use koala_linalg::gemm::{gemm_into, gemm_into_real, Op};
 use koala_linalg::{eigh, matmul, matmul_adj_a, Matrix, C64};
 
-/// A matrix distributed over the ranks of a [`Cluster`] by contiguous row
-/// blocks.
+/// A matrix distributed over the ranks of a [`Cluster`] by a 2-D processor
+/// grid (block-row by default; block-cyclic for SUMMA). See the module docs
+/// for the layout rules.
 #[derive(Debug, Clone)]
 pub struct DistMatrix {
     cluster: Cluster,
-    nrows: usize,
-    ncols: usize,
-    /// One row block per rank (possibly empty for small matrices).
+    grid: ProcGrid,
+    rows: Dist1D,
+    cols: Dist1D,
+    /// One local block per rank, indexed by `grid.rank_of(r, c)`; rank
+    /// `(r, c)`'s block has shape `rows.local_len(r) x cols.local_len(c)`.
     blocks: Vec<Matrix>,
 }
 
+/// Extract rank `(r, c)`'s local block of a replicated matrix (realness hint
+/// preserved).
+fn local_block(matrix: &Matrix, rows: &Dist1D, r: usize, cols: &Dist1D, c: usize) -> Matrix {
+    let mut out = Matrix::zeros(rows.local_len(r), cols.local_len(c));
+    {
+        let dst_cols = out.ncols();
+        let data = out.data_mut();
+        for rs in rows.segments().iter().filter(|s| s.owner == r) {
+            for cs in cols.segments().iter().filter(|s| s.owner == c) {
+                for i in 0..rs.len {
+                    let src = &matrix.row(rs.start + i)[cs.start..cs.start + cs.len];
+                    data[(rs.local_start + i) * dst_cols + cs.local_start..][..cs.len]
+                        .copy_from_slice(src);
+                }
+            }
+        }
+    }
+    if matrix.is_real() {
+        out.assume_real();
+    }
+    out
+}
+
 impl DistMatrix {
-    /// Distribute a replicated matrix across the cluster (an MPI `scatter`
-    /// from rank 0: every block except rank 0's own travels over the wire).
+    /// Distribute a replicated matrix across the cluster by contiguous row
+    /// blocks (an MPI `scatter` from rank 0 on a `P x 1` grid: every block
+    /// except rank 0's own travels over the wire). Columns stay replicated
+    /// within each rank's block, which is what the Gram helpers require.
     pub fn scatter(cluster: &Cluster, matrix: &Matrix) -> Self {
-        let (nrows, ncols) = matrix.shape();
-        let ranges = cluster.block_ranges(nrows);
+        let rows = Dist1D::balanced(matrix.nrows(), cluster.nranks());
+        let cols = Dist1D::whole(matrix.ncols());
+        Self::scatter_with(cluster, matrix, ProcGrid::column(cluster.nranks()), rows, cols)
+    }
+
+    /// Distribute a replicated matrix in the ScaLAPACK block-cyclic layout
+    /// over an explicit grid with the given row/column block sizes (a
+    /// scatter from rank 0, charged like [`DistMatrix::scatter`]).
+    pub fn scatter_block_cyclic(
+        cluster: &Cluster,
+        matrix: &Matrix,
+        grid: ProcGrid,
+        row_block: usize,
+        col_block: usize,
+    ) -> Self {
+        let rows = Dist1D::cyclic(matrix.nrows(), grid.rows(), row_block);
+        let cols = Dist1D::cyclic(matrix.ncols(), grid.cols(), col_block);
+        Self::scatter_with(cluster, matrix, grid, rows, cols)
+    }
+
+    /// [`DistMatrix::scatter_block_cyclic`] on the cluster's default
+    /// near-square grid ([`Cluster::grid`]) with the default SUMMA panel
+    /// width ([`DistMatrix::DEFAULT_BLOCK`]) in both dimensions.
+    pub fn scatter_summa(cluster: &Cluster, matrix: &Matrix) -> Self {
+        Self::scatter_block_cyclic(
+            cluster,
+            matrix,
+            cluster.grid(),
+            Self::DEFAULT_BLOCK,
+            Self::DEFAULT_BLOCK,
+        )
+    }
+
+    /// Default block-cyclic block size (and therefore SUMMA panel width).
+    /// Small enough to balance ragged edges, large enough that per-panel
+    /// local GEMMs stay inside the packed kernel's depth blocking.
+    pub const DEFAULT_BLOCK: usize = 64;
+
+    fn scatter_with(
+        cluster: &Cluster,
+        matrix: &Matrix,
+        grid: ProcGrid,
+        rows: Dist1D,
+        cols: Dist1D,
+    ) -> Self {
+        assert_eq!(grid.nranks(), cluster.nranks(), "scatter: grid does not cover the cluster");
+        assert_eq!(rows.parts(), grid.rows(), "scatter: row layout does not match the grid");
+        assert_eq!(cols.parts(), grid.cols(), "scatter: column layout does not match the grid");
         let mut blocks = Vec::with_capacity(cluster.nranks());
-        for (rank, &(start, len)) in ranges.iter().enumerate() {
-            let block = matrix.submatrix(start, 0, len, ncols);
+        for rank in 0..cluster.nranks() {
+            let (r, c) = grid.coords_of(rank);
+            let block = local_block(matrix, &rows, r, &cols, c);
             if rank != 0 {
-                cluster.record_p2p(len * ncols);
+                cluster.record_p2p(block.nrows() * block.ncols());
             }
             blocks.push(block);
         }
-        DistMatrix { cluster: cluster.clone(), nrows, ncols, blocks }
+        DistMatrix { cluster: cluster.clone(), grid, rows, cols, blocks }
     }
 
-    /// Create a distributed zero matrix.
+    /// Create a block-row distributed zero matrix.
     pub fn zeros(cluster: &Cluster, nrows: usize, ncols: usize) -> Self {
-        let ranges = cluster.block_ranges(nrows);
-        let blocks = ranges.iter().map(|&(_, len)| Matrix::zeros(len, ncols)).collect();
-        DistMatrix { cluster: cluster.clone(), nrows, ncols, blocks }
+        let grid = ProcGrid::column(cluster.nranks());
+        let rows = Dist1D::balanced(nrows, cluster.nranks());
+        let cols = Dist1D::whole(ncols);
+        let blocks =
+            (0..cluster.nranks()).map(|r| Matrix::zeros(rows.local_len(r), ncols)).collect();
+        DistMatrix { cluster: cluster.clone(), grid, rows, cols, blocks }
     }
 
-    /// Build a distributed matrix directly from per-rank row blocks without
-    /// any communication (the blocks are taken to already live on their
-    /// ranks). Row counts may follow any contiguous partition of `nrows`.
+    /// Build a block-row distributed matrix directly from per-rank row blocks
+    /// without any communication (the blocks are taken to already live on
+    /// their ranks). Row counts may follow any contiguous partition of
+    /// `nrows`.
     pub fn from_blocks(cluster: &Cluster, nrows: usize, ncols: usize, blocks: Vec<Matrix>) -> Self {
         assert_eq!(blocks.len(), cluster.nranks(), "from_blocks: one block per rank required");
         let total: usize = blocks.iter().map(|b| b.nrows()).sum();
@@ -54,25 +174,20 @@ impl DistMatrix {
         for b in &blocks {
             assert_eq!(b.ncols(), ncols, "from_blocks: block column count mismatch");
         }
-        DistMatrix { cluster: cluster.clone(), nrows, ncols, blocks }
-    }
-
-    /// Starting global row of each rank's block.
-    fn row_starts(&self) -> Vec<usize> {
-        let mut starts = Vec::with_capacity(self.blocks.len());
-        let mut pos = 0;
-        for b in &self.blocks {
-            starts.push(pos);
-            pos += b.nrows();
+        let rows = Dist1D::blocks(blocks.iter().map(|b| b.nrows()).collect());
+        DistMatrix {
+            cluster: cluster.clone(),
+            grid: ProcGrid::column(cluster.nranks()),
+            rows,
+            cols: Dist1D::whole(ncols),
+            blocks,
         }
-        starts
     }
 
     /// Assemble the full matrix on every rank (an MPI `allgather`).
     pub fn allgather(&self) -> Matrix {
-        // Every rank receives all other blocks.
-        let foreign: usize = self.blocks.iter().map(|b| b.nrows() * b.ncols()).sum::<usize>();
-        self.cluster.record_collective(foreign * (self.cluster.nranks() - 1), 1);
+        let total: usize = self.blocks.iter().map(|b| b.nrows() * b.ncols()).sum();
+        self.cluster.record_collective(total * (self.cluster.nranks() - 1), 1);
         self.gather_local()
     }
 
@@ -95,34 +210,51 @@ impl DistMatrix {
     /// would stay distributed, so callers that only need the data back on the
     /// host (e.g. to hand a kernel's output to the next, still-local, stage of
     /// a benchmark) use this to avoid charging communication that the modelled
-    /// execution would not perform.
+    /// execution would not perform. The realness hint survives (the gathered
+    /// matrix of all-real blocks is marked real), so a real workload stays on
+    /// the real kernel after leaving the cluster.
     pub fn gather_unaccounted(&self) -> Matrix {
         self.gather_local()
     }
 
-    /// Concatenate the blocks without touching the communication counters
-    /// (used internally after the communication has already been charged).
+    /// Reassemble the full matrix from the local blocks without touching the
+    /// communication counters (used internally after the communication has
+    /// already been charged).
     fn gather_local(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.nrows, self.ncols);
-        for (block, start) in self.blocks.iter().zip(self.row_starts()) {
-            out.set_submatrix(start, 0, block);
+        let mut out = Matrix::zeros(self.nrows(), self.ncols());
+        let all_real = self.is_real();
+        {
+            let n = self.ncols();
+            let data = out.data_mut();
+            for rs in &self.rows.segments() {
+                for cs in &self.cols.segments() {
+                    let block = &self.blocks[self.grid.rank_of(rs.owner, cs.owner)];
+                    for i in 0..rs.len {
+                        let src = &block.row(rs.local_start + i)[cs.local_start..][..cs.len];
+                        data[(rs.start + i) * n + cs.start..][..cs.len].copy_from_slice(src);
+                    }
+                }
+            }
+        }
+        if all_real {
+            out.assume_real();
         }
         out
     }
 
     /// Shape of the full matrix.
     pub fn shape(&self) -> (usize, usize) {
-        (self.nrows, self.ncols)
+        (self.rows.n(), self.cols.n())
     }
 
     /// Number of rows.
     pub fn nrows(&self) -> usize {
-        self.nrows
+        self.rows.n()
     }
 
     /// Number of columns.
     pub fn ncols(&self) -> usize {
-        self.ncols
+        self.cols.n()
     }
 
     /// The cluster this matrix lives on.
@@ -130,63 +262,219 @@ impl DistMatrix {
         &self.cluster
     }
 
-    /// Immutable access to one rank's row block.
+    /// The processor grid this matrix is distributed over.
+    pub fn grid(&self) -> ProcGrid {
+        self.grid
+    }
+
+    /// The row layout (rows onto grid rows).
+    pub fn row_dist(&self) -> &Dist1D {
+        &self.rows
+    }
+
+    /// The column layout (columns onto grid columns).
+    pub fn col_dist(&self) -> &Dist1D {
+        &self.cols
+    }
+
+    /// Structural realness of the distributed data: `true` iff every rank's
+    /// local block carries the [`Matrix::is_real`] hint, i.e. the whole
+    /// distributed matrix is guaranteed purely real. Propagated by scatter,
+    /// gather, SUMMA, and every mutator on this type, exactly like the local
+    /// hint.
+    pub fn is_real(&self) -> bool {
+        self.blocks.iter().all(|b| b.is_real())
+    }
+
+    /// Immutable access to one rank's local block.
     pub fn block(&self, rank: usize) -> &Matrix {
         &self.blocks[rank]
     }
 
-    /// `C = self * B` where `B` is replicated on every rank. The result keeps
-    /// the row distribution of `self` and no communication is required.
+    /// `C = self * B` where `B` is replicated on every rank. Requires the
+    /// column-replicated (grid `p x 1`) layout, under which the result keeps
+    /// the row distribution of `self` and no communication is required; for
+    /// 2-D layouts use [`DistMatrix::matmul_dist`].
     pub fn matmul_replicated(&self, b: &Matrix) -> DistMatrix {
-        assert_eq!(self.ncols, b.nrows(), "matmul_replicated: inner dimension mismatch");
+        assert_eq!(self.ncols(), b.nrows(), "matmul_replicated: inner dimension mismatch");
+        assert_eq!(
+            self.grid.cols(),
+            1,
+            "matmul_replicated: requires a column-replicated (p x 1) layout"
+        );
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (rank, block) in self.blocks.iter().enumerate() {
-            let flops = (block.nrows() * block.ncols() * b.ncols()) as u64;
-            self.cluster.record_flops(rank, flops);
+            let macs = (block.nrows() * block.ncols() * b.ncols()) as u64;
+            self.cluster.record_macs(rank, macs, block.is_real() && b.is_real());
             blocks.push(matmul(block, b));
         }
-        DistMatrix { cluster: self.cluster.clone(), nrows: self.nrows, ncols: b.ncols(), blocks }
+        DistMatrix {
+            cluster: self.cluster.clone(),
+            grid: self.grid,
+            rows: self.rows.clone(),
+            cols: Dist1D::whole(b.ncols()),
+            blocks,
+        }
     }
 
-    /// `C = self * other` where both operands are row-distributed. `other` is
-    /// allgathered first (1D SUMMA), then each rank multiplies its local block.
+    /// `C = self * other`: SUMMA over the shared processor grid (see the
+    /// module docs for the round structure and traffic bound). Both operands
+    /// must live on the same grid; the depth panels are the common refinement
+    /// of `self`'s column layout and `other`'s row layout, so any mix of
+    /// block and block-cyclic layouts works — a `P x 1` block-row pair
+    /// degenerates to the old allgather-`B` dataflow, while a square-grid
+    /// block-cyclic pair communicates `O(n^2 / sqrt(P))` words per rank.
+    ///
+    /// Every per-rank local product runs through the packed
+    /// [`gemm_into`] (the real-only [`gemm_into_real`] when both panels carry
+    /// the realness hint), and the result preserves both the distribution
+    /// (`self`'s rows x `other`'s columns) and the realness of its operands.
     pub fn matmul_dist(&self, other: &DistMatrix) -> DistMatrix {
-        assert_eq!(self.ncols, other.nrows, "matmul_dist: inner dimension mismatch");
-        let b_full = other.allgather();
-        self.matmul_replicated(&b_full)
+        assert_eq!(
+            self.cluster.nranks(),
+            other.cluster.nranks(),
+            "matmul_dist: operands live on different clusters"
+        );
+        assert_eq!(self.grid, other.grid, "matmul_dist: operands must share the processor grid");
+        assert_eq!(self.ncols(), other.nrows(), "matmul_dist: inner dimension mismatch");
+        let grid = self.grid;
+        let (p, q) = (grid.rows(), grid.cols());
+        let panels = refine(&self.cols, &other.rows);
+        let all_real = self.is_real() && other.is_real();
+
+        let mut out_blocks: Vec<Matrix> = (0..grid.nranks())
+            .map(|rank| {
+                let (r, c) = grid.coords_of(rank);
+                Matrix::zeros(self.rows.local_len(r), other.cols.local_len(c))
+            })
+            .collect();
+
+        for panel in &panels {
+            // 1. Panel of A: held by grid column `panel.a_owner`, broadcast
+            //    along each grid row.
+            let a_panels: Vec<Matrix> = (0..p)
+                .map(|r| {
+                    self.blocks[grid.rank_of(r, panel.a_owner)].submatrix(
+                        0,
+                        panel.a_local,
+                        self.rows.local_len(r),
+                        panel.len,
+                    )
+                })
+                .collect();
+            for ap in &a_panels {
+                self.cluster.record_bcast(ap.nrows() * ap.ncols() * (q - 1), q - 1);
+            }
+            // 2. Panel of B: held by grid row `panel.b_owner`, broadcast
+            //    along each grid column.
+            let b_panels: Vec<Matrix> = (0..q)
+                .map(|c| {
+                    other.blocks[grid.rank_of(panel.b_owner, c)].submatrix(
+                        panel.b_local,
+                        0,
+                        panel.len,
+                        other.cols.local_len(c),
+                    )
+                })
+                .collect();
+            for bp in &b_panels {
+                self.cluster.record_bcast(bp.nrows() * bp.ncols() * (p - 1), p - 1);
+            }
+            // 3. Local rank-kb update on every rank through the packed GEMM.
+            for r in 0..p {
+                for c in 0..q {
+                    let rank = grid.rank_of(r, c);
+                    let (m_loc, n_loc) = out_blocks[rank].shape();
+                    if m_loc == 0 || n_loc == 0 {
+                        continue;
+                    }
+                    let (ap, bp) = (&a_panels[r], &b_panels[c]);
+                    let real = ap.is_real() && bp.is_real();
+                    self.cluster.record_macs(rank, (m_loc * n_loc * panel.len) as u64, real);
+                    if real {
+                        gemm_into_real(
+                            Op::None,
+                            Op::None,
+                            m_loc,
+                            n_loc,
+                            panel.len,
+                            ap.data(),
+                            bp.data(),
+                            out_blocks[rank].data_mut(),
+                        );
+                    } else {
+                        gemm_into(
+                            Op::None,
+                            Op::None,
+                            m_loc,
+                            n_loc,
+                            panel.len,
+                            ap.data(),
+                            bp.data(),
+                            out_blocks[rank].data_mut(),
+                        );
+                    }
+                }
+            }
+        }
+        if all_real {
+            // The real kernel only ever wrote real parts into zeroed blocks.
+            for b in &mut out_blocks {
+                b.assume_real();
+            }
+        }
+        DistMatrix {
+            cluster: self.cluster.clone(),
+            grid,
+            rows: self.rows.clone(),
+            cols: other.cols.clone(),
+            blocks: out_blocks,
+        }
     }
 
     /// Replicated Gram matrix `G = self^H * self`, computed as a sum of local
     /// Gram matrices followed by an allreduce of the small `ncols x ncols`
     /// result — the communication pattern of the paper's Algorithm 5.
+    /// Requires the column-replicated (grid `p x 1`) layout of the tall
+    /// operand. Realness flows through: a real operand bills real MACs and
+    /// yields a hint-carrying real Gram matrix.
     pub fn gram(&self) -> Matrix {
-        let mut g = Matrix::zeros(self.ncols, self.ncols);
+        assert_eq!(self.grid.cols(), 1, "gram: requires a column-replicated (p x 1) layout");
+        let n = self.ncols();
+        let mut g = Matrix::zeros(n, n);
         for (rank, block) in self.blocks.iter().enumerate() {
-            let flops = (block.nrows() * self.ncols * self.ncols) as u64;
-            self.cluster.record_flops(rank, flops);
+            let macs = (block.nrows() * n * n) as u64;
+            self.cluster.record_macs(rank, macs, block.is_real());
             let local = matmul_adj_a(block, block);
             g += &local;
         }
         // Allreduce of an ncols x ncols matrix (tree: log P rounds, but the
         // flat volume model is what the paper's analysis uses).
-        self.cluster.record_collective(self.ncols * self.ncols * (self.cluster.nranks() - 1), 2);
+        self.cluster.record_collective(n * n * (self.cluster.nranks() - 1), 2);
         g
     }
 
     /// `y = self^H * x` with `x` replicated; the partial products are
-    /// allreduced into a replicated result.
+    /// allreduced into a replicated result. Requires the column-replicated
+    /// (grid `p x 1`) layout.
     pub fn matmul_adj_replicated(&self, x: &Matrix) -> Matrix {
-        assert_eq!(self.nrows, x.nrows(), "matmul_adj_replicated: row mismatch");
-        let starts = self.row_starts();
-        let mut acc = Matrix::zeros(self.ncols, x.ncols());
-        for (rank, (block, &start)) in self.blocks.iter().zip(starts.iter()).enumerate() {
-            let len = block.nrows();
-            let x_block = x.submatrix(start, 0, len, x.ncols());
-            let flops = (block.ncols() * len * x.ncols()) as u64;
-            self.cluster.record_flops(rank, flops);
-            acc += &matmul_adj_a(block, &x_block);
+        assert_eq!(self.nrows(), x.nrows(), "matmul_adj_replicated: row mismatch");
+        assert_eq!(
+            self.grid.cols(),
+            1,
+            "matmul_adj_replicated: requires a column-replicated (p x 1) layout"
+        );
+        let mut acc = Matrix::zeros(self.ncols(), x.ncols());
+        for rs in &self.rows.segments() {
+            let rank = self.grid.rank_of(rs.owner, 0);
+            let block = &self.blocks[rank];
+            let block_rows = block.submatrix(rs.local_start, 0, rs.len, self.ncols());
+            let x_block = x.submatrix(rs.start, 0, rs.len, x.ncols());
+            let macs = (self.ncols() * rs.len * x.ncols()) as u64;
+            self.cluster.record_macs(rank, macs, block.is_real() && x.is_real());
+            acc += &matmul_adj_a(&block_rows, &x_block);
         }
-        self.cluster.record_collective(self.ncols * x.ncols() * (self.cluster.nranks() - 1), 2);
+        self.cluster.record_collective(self.ncols() * x.ncols() * (self.cluster.nranks() - 1), 2);
         acc
     }
 
@@ -204,9 +492,14 @@ impl DistMatrix {
         sum.sqrt()
     }
 
-    /// Scale every element in place.
+    /// Scale every element in place. The realness hint follows the local
+    /// [`Matrix::scale_inplace`] rule (it survives a finite real scalar),
+    /// and the per-rank multiplies are billed to the work counters — real
+    /// MACs when a real block is scaled by a real scalar, complex otherwise.
     pub fn scale_inplace(&mut self, s: C64) {
-        for b in &mut self.blocks {
+        for (rank, b) in self.blocks.iter_mut().enumerate() {
+            let real = b.is_real() && s.im == 0.0;
+            self.cluster.record_macs(rank, b.nrows() as u64 * b.ncols() as u64, real);
             b.scale_inplace(s);
         }
     }
@@ -232,14 +525,17 @@ pub struct DistQr {
 
 /// Distributed QR through the Gram matrix (paper Algorithm 5): the only
 /// communication is the allreduce of the tiny `ncols x ncols` Gram matrix; the
-/// big operand is never redistributed.
+/// big operand is never redistributed. A realness-hinted operand keeps the
+/// whole factorization on the real path — the Gram matrix, the replicated
+/// eigendecomposition, the `R` factors, and the distributed `Q` all carry the
+/// hint, and every rank bills real MACs only.
 pub fn gram_qr_dist(a: &DistMatrix) -> DistQr {
     let n = a.ncols();
     let g = a.gram();
     // Every rank performs the identical small eigendecomposition (replicated,
     // as in the paper where the Gram matrix is sent to local memory).
     let e = eigh(&g).expect("gram_qr_dist: Gram matrix must be Hermitian PSD");
-    a.cluster().record_flops_all((n * n * n) as u64);
+    a.cluster().record_macs_all((n * n * n) as u64, g.is_real());
     let lam_max = e.values.iter().cloned().fold(0.0, f64::max).max(0.0);
     // R = sqrt(Lambda) X^H and R^{-1} = X sqrt(Lambda)^{-1}, assembled by the
     // same element-wise helper as the shared-memory `koala_linalg::gram_qr`
@@ -259,7 +555,7 @@ pub fn qr_gather_dist(a: &DistMatrix) -> DistQr {
     let cluster = a.cluster();
     // Rank 0 performs the factorization.
     let f = koala_linalg::qr(&full);
-    cluster.record_flops(0, (full.nrows() * full.ncols() * full.ncols() * 2) as u64);
+    cluster.record_macs(0, (full.nrows() * full.ncols() * full.ncols() * 2) as u64, full.is_real());
     // Scatter Q back to the original distribution, broadcast R.
     let q = DistMatrix::scatter(cluster, &f.q);
     cluster.record_collective(f.r.nrows() * f.r.ncols() * (cluster.nranks() - 1), 1);
@@ -295,6 +591,25 @@ mod tests {
     }
 
     #[test]
+    fn block_cyclic_scatter_gather_roundtrip() {
+        let cluster = Cluster::new(6);
+        let mut rng = StdRng::seed_from_u64(60);
+        let a = Matrix::random(13, 11, &mut rng);
+        let d = DistMatrix::scatter_block_cyclic(&cluster, &a, ProcGrid::new(2, 3), 2, 3);
+        assert_eq!(d.grid().rows(), 2);
+        assert_eq!(d.grid().cols(), 3);
+        assert!(d.allgather().approx_eq(&a, 0.0));
+        // Local shapes follow the cyclic layout.
+        for rank in 0..6 {
+            let (r, c) = d.grid().coords_of(rank);
+            assert_eq!(
+                d.block(rank).shape(),
+                (d.row_dist().local_len(r), d.col_dist().local_len(c))
+            );
+        }
+    }
+
+    #[test]
     fn more_ranks_than_rows_is_fine() {
         let (_c, a, d) = cluster_and_matrix(8, 3, 2, 2);
         assert!(d.allgather().approx_eq(&a, 0.0));
@@ -320,10 +635,27 @@ mod tests {
         let db = DistMatrix::scatter(&cluster, &b);
         let c = da.matmul_dist(&db);
         assert!(c.max_diff_replicated(&matmul(&a, &b)) < 1e-11);
-        // Communication was recorded for scatter + allgather.
+        // Communication was recorded for scatter + panel broadcasts.
         let stats = cluster.stats();
         assert!(stats.bytes_communicated > 0);
         assert!(stats.total_flops() > 0);
+    }
+
+    #[test]
+    fn scatter_and_mutators_propagate_realness() {
+        let cluster = Cluster::new(4);
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = Matrix::random_real(10, 6, &mut rng);
+        let mut d = DistMatrix::scatter(&cluster, &a);
+        assert!(d.is_real(), "scatter keeps the hint on every block");
+        assert!(d.gather_unaccounted().is_real(), "gather keeps the hint");
+        d.scale_inplace(C64::from_real(2.0));
+        assert!(d.is_real(), "real scaling keeps the hint");
+        d.scale_inplace(koala_linalg::c64(0.0, 1.0));
+        assert!(!d.is_real(), "complex scaling drops the hint");
+        // Scaling work was billed: once real, once complex.
+        let s = cluster.stats();
+        assert!(s.total_real_macs() > 0 && s.total_flops() > 0);
     }
 
     #[test]
@@ -356,6 +688,24 @@ mod tests {
         assert!(q_full.has_orthonormal_cols(1e-8));
         assert!(matmul(&q_full, &f.r).approx_eq(&a, 1e-8));
         assert!(matmul(&f.r, &f.r_inv.unwrap()).approx_eq(&Matrix::identity(5), 1e-8));
+    }
+
+    #[test]
+    fn gram_qr_dist_of_real_operand_stays_real_per_rank() {
+        let cluster = Cluster::new(4);
+        let mut rng = StdRng::seed_from_u64(70);
+        let a = Matrix::random_real(32, 5, &mut rng);
+        let d = DistMatrix::scatter(&cluster, &a);
+        cluster.reset_stats();
+        let f = gram_qr_dist(&d);
+        assert!(f.q.is_real(), "distributed Q keeps the hint");
+        assert!(f.r.is_real(), "replicated R keeps the hint");
+        let stats = cluster.stats();
+        assert_eq!(stats.total_flops(), 0, "no complex MACs on any rank");
+        assert!(stats.total_real_macs() > 0);
+        let q_full = f.q.allgather();
+        assert!(q_full.has_orthonormal_cols(1e-8));
+        assert!(matmul(&q_full, &f.r).approx_eq(&a, 1e-8));
     }
 
     #[test]

@@ -41,13 +41,25 @@ impl DistTensor {
             let mut slab_shape = fronted.shape().to_vec();
             slab_shape[0] = len;
             let data = fronted.data()[start * row_len..(start + len) * row_len].to_vec();
-            let slab = Tensor::from_vec(&slab_shape, data).expect("scatter: slab shape");
+            let mut slab = Tensor::from_vec(&slab_shape, data).expect("scatter: slab shape");
+            if tensor.is_real() {
+                // Slabs of a hinted-real tensor stay hinted, so per-rank
+                // contractions keep running the real kernel.
+                slab.assume_real();
+            }
             if rank != 0 {
                 cluster.record_p2p(len * row_len);
             }
             blocks.push(slab);
         }
         DistTensor { cluster: cluster.clone(), shape, dist_axis, blocks }
+    }
+
+    /// Structural realness of the distributed data: `true` iff every rank's
+    /// slab carries the [`Tensor::is_real`] hint (propagated by scatter,
+    /// gather, redistribution, and free-mode contractions).
+    pub fn is_real(&self) -> bool {
+        self.blocks.iter().all(|b| b.is_real())
     }
 
     /// Assemble the full tensor on every rank (allgather).
@@ -74,7 +86,10 @@ impl DistTensor {
         for b in &self.blocks {
             data.extend_from_slice(b.data());
         }
-        let fronted = Tensor::from_vec(&fronted_shape, data).expect("gather: shape");
+        let mut fronted = Tensor::from_vec(&fronted_shape, data).expect("gather: shape");
+        if self.is_real() {
+            fronted.assume_real();
+        }
         // Inverse of the scatter permutation.
         let ndim = self.shape.len();
         let mut perm: Vec<usize> = vec![self.dist_axis];
@@ -138,7 +153,11 @@ impl DistTensor {
             let mut slab_shape = fronted.shape().to_vec();
             slab_shape[0] = len;
             let data = fronted.data()[start * row_len..(start + len) * row_len].to_vec();
-            blocks.push(Tensor::from_vec(&slab_shape, data).expect("scatter_local: slab"));
+            let mut slab = Tensor::from_vec(&slab_shape, data).expect("scatter_local: slab");
+            if tensor.is_real() {
+                slab.assume_real();
+            }
+            blocks.push(slab);
         }
         DistTensor { cluster: cluster.clone(), shape, dist_axis, blocks }
     }
@@ -171,11 +190,13 @@ impl DistTensor {
         for (rank, b) in self.blocks.iter().enumerate() {
             let out = tensordot(b, other, &block_axes_self, axes_other)
                 .expect("tensordot_replicated: contraction failed");
-            // Flops: block free dims * contracted dims * other free dims.
+            // Flops: block free dims * contracted dims * other free dims,
+            // billed to the kernel the operands' realness hints select.
             let contracted: usize = axes_self.iter().map(|&a| self.shape[a]).product();
             let free_b: usize = b.len() / contracted.max(1);
             let free_other: usize = other.len() / contracted.max(1);
-            self.cluster.record_flops(rank, (free_b * contracted * free_other) as u64);
+            let macs = (free_b * contracted * free_other) as u64;
+            self.cluster.record_macs(rank, macs, b.is_real() && other.is_real());
             blocks.push(out);
         }
 
@@ -217,7 +238,13 @@ impl DistTensor {
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (b, &(_start, len)) in self.blocks.iter().zip(ranges.iter()) {
             let rows = len * rows_per_index;
-            blocks.push(Matrix::from_vec(rows, cols, b.data().to_vec()).expect("unfold: block"));
+            let mut block = Matrix::from_vec(rows, cols, b.data().to_vec()).expect("unfold: block");
+            if b.is_real() {
+                // The zero-copy matricization of a hinted slab keeps the
+                // hint, so the distributed factorizations stay real.
+                block.assume_real();
+            }
+            blocks.push(block);
         }
         DistMatrix::from_blocks(&self.cluster, full_rows, cols, blocks)
     }
@@ -229,7 +256,7 @@ impl DistTensor {
         assert_eq!(self.dist_axis, other.dist_axis, "inner: distribution mismatch");
         let mut acc = koala_linalg::C64::ZERO;
         for (rank, (a, b)) in self.blocks.iter().zip(other.blocks.iter()).enumerate() {
-            self.cluster.record_flops(rank, a.len() as u64);
+            self.cluster.record_macs(rank, a.len() as u64, a.is_real() && b.is_real());
             acc += a.inner(b).expect("inner: block mismatch");
         }
         self.cluster.record_collective(self.cluster.nranks() - 1, 2);
@@ -326,6 +353,25 @@ mod tests {
         let m = d.unfold_as_dist_matrix(2);
         assert_eq!(m.shape(), (12, 5));
         assert!(m.max_diff_replicated(&t.unfold(2)) < 1e-14);
+    }
+
+    #[test]
+    fn realness_propagates_through_scatter_contract_and_unfold() {
+        let cluster = Cluster::new(3);
+        let mut rng = StdRng::seed_from_u64(90);
+        let t = Tensor::random_real(&[6, 4, 3], &mut rng);
+        let d = DistTensor::scatter(&cluster, &t, 0);
+        assert!(d.is_real(), "slabs of a real tensor stay hinted");
+        assert!(d.unfold_as_dist_matrix(1).is_real(), "zero-copy matricization keeps the hint");
+        let other = Tensor::random_real(&[3, 2], &mut rng);
+        cluster.reset_stats();
+        let out = d.tensordot_replicated(&other, &[2], &[0]);
+        assert!(out.is_real(), "free-mode contraction of real operands stays real");
+        assert!(out.allgather().is_real(), "gather keeps the hint");
+        let stats = cluster.stats();
+        assert_eq!(stats.total_flops(), 0, "real contraction bills no complex MACs");
+        assert!(stats.total_real_macs() > 0);
+        assert!(d.redistribute(1).is_real(), "redistribution keeps the hint");
     }
 
     #[test]

@@ -8,40 +8,96 @@
 //! stack with a **virtual cluster**: a bulk-synchronous simulation in which
 //! every rank owns private buffers, every collective moves data between those
 //! buffers exactly as its MPI counterpart would, and all traffic and per-rank
-//! work is tallied in [`CommStats`]. A [`CostModel`] converts the counters
-//! into modelled parallel execution times, which is how the scaling figures
-//! of the paper are reproduced on a single machine (see DESIGN.md §1 for the
-//! substitution rationale).
+//! work is tallied in [`CommStats`]. A [`CostModel`] — calibrated from the
+//! committed `BENCH_gemm.json` via [`CostModel::from_bench`] — converts the
+//! counters into modelled parallel execution times, which is how the scaling
+//! figures of the paper are reproduced on a single machine (see DESIGN.md §1
+//! for the substitution rationale).
 //!
 //! Provided building blocks:
 //! * [`Cluster`] — the virtual machine and its statistics,
-//! * [`DistMatrix`] — block-row distributed matrices with distributed GEMM,
-//!   Gram matrices, and the two distributed QR paths compared in Figure 7
-//!   ([`gram_qr_dist`] = paper Algorithm 5 vs [`qr_gather_dist`] = the
-//!   reshape/gather baseline),
+//! * [`ProcGrid`] / [`Dist1D`] — 2-D processor grids and the block /
+//!   block-cyclic index layouts mapped onto them ([`crate::grid`] documents
+//!   the layout rules),
+//! * [`DistMatrix`] — grid-distributed matrices with a SUMMA
+//!   [`DistMatrix::matmul_dist`] whose per-rank products run the same packed
+//!   `gemm_into` macro-tiles (and real-only fast path) as the shared-memory
+//!   kernel, Gram matrices, and the two distributed QR paths compared in
+//!   Figure 7 ([`gram_qr_dist`] = paper Algorithm 5 vs [`qr_gather_dist`] =
+//!   the reshape/gather baseline),
 //! * [`DistTensor`] — tensors distributed along one mode, with free-mode
 //!   contractions, explicit redistributions, and zero-copy matricization.
+//!
+//! Realness is first-class end to end: scatter, SUMMA, Gram, gather, and
+//! every mutator propagate the structural [`koala_linalg::Matrix::is_real`]
+//! hint ([`DistMatrix::is_real`]), per-rank products of hinted operands run
+//! the real-only microkernel, and the work lands in
+//! [`CommStats::rank_real_macs`] so the cost model prices it at the
+//! calibrated real-kernel rate.
 //!
 //! # Example: a distributed Gram matrix and its communication bill
 //!
 //! The Gram product of paper Algorithm 5 needs only one allreduce of an
 //! `n x n` matrix, no matter how tall the distributed operand is — exactly
-//! what [`CommStats`] records:
+//! what [`CommStats`] records. With a *real* operand the whole pipeline —
+//! local Gram products, the replicated eigendecomposition, and the recovery
+//! of the distributed `Q` — stays on the real kernel:
 //!
 //! ```
-//! use koala_cluster::{Cluster, DistMatrix};
-//! use koala_linalg::{matmul_adj_a, Matrix};
+//! use koala_cluster::{gram_qr_dist, Cluster, DistMatrix};
+//! use koala_linalg::{matmul, matmul_adj_a, Matrix};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let cluster = Cluster::new(4);
-//! let a = Matrix::random(16, 3, &mut rng);
+//! let a = Matrix::random_real(16, 3, &mut rng);
 //! let dist = DistMatrix::scatter(&cluster, &a);
 //! let g = dist.gram(); // per-rank local A_i^H A_i, then one allreduce
 //! assert!(g.approx_eq(&matmul_adj_a(&a, &a), 1e-10));
 //! let stats = cluster.stats();
 //! assert_eq!(stats.collectives, 1);
 //! assert!(stats.redistributions == 0, "the tall operand never moves");
+//! assert_eq!(stats.total_flops(), 0, "a real operand bills no complex MACs");
+//!
+//! // End to end: factorize and verify A = Q R without ever gathering A.
+//! let f = gram_qr_dist(&dist);
+//! assert!(f.q.is_real(), "realness survives the distributed factorization");
+//! assert!(matmul(&f.q.gather_unaccounted(), &f.r).approx_eq(&a, 1e-8));
+//! ```
+//!
+//! # Example: SUMMA on a 2-D grid vs gathering the operand
+//!
+//! Block-cyclic operands on a square grid multiply with
+//! `O(n^2 / sqrt(P))` words of traffic per rank; the block-row layout
+//! degenerates to the gather-everything dataflow:
+//!
+//! ```
+//! use koala_cluster::{Cluster, CostModel, DistMatrix};
+//! use koala_linalg::{matmul, Matrix};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let a = Matrix::random(48, 48, &mut rng);
+//! let b = Matrix::random(48, 48, &mut rng);
+//!
+//! let cluster = Cluster::new(4); // default grid: 2 x 2
+//! let da = DistMatrix::scatter_block_cyclic(&cluster, &a, cluster.grid(), 8, 8);
+//! let db = DistMatrix::scatter_block_cyclic(&cluster, &b, cluster.grid(), 8, 8);
+//! cluster.reset_stats();
+//! let c = da.matmul_dist(&db); // SUMMA rounds over the depth panels
+//! assert!(c.gather_unaccounted().approx_eq(&matmul(&a, &b), 1e-10));
+//! let summa_bytes = cluster.reset_stats().bytes_communicated;
+//!
+//! let ra = DistMatrix::scatter(&cluster, &a); // block-row baseline
+//! let rb = DistMatrix::scatter(&cluster, &b);
+//! cluster.reset_stats();
+//! let _ = ra.matmul_dist(&rb); // degenerates to allgather-B
+//! let gather_bytes = cluster.reset_stats().bytes_communicated;
+//! assert!(summa_bytes < gather_bytes);
+//!
+//! // Counters convert to modelled time through the (calibratable) cost model.
+//! let model = CostModel::default();
+//! let _seconds = model.modelled_time(&cluster.stats());
 //! ```
 
 #![warn(missing_docs)]
@@ -49,9 +105,11 @@
 pub mod cluster;
 pub mod dist_matrix;
 pub mod dist_tensor;
+pub mod grid;
 pub mod stats;
 
 pub use cluster::{block_ranges, Cluster, RankBuffer};
 pub use dist_matrix::{gram_qr_dist, qr_gather_dist, DistMatrix, DistQr};
 pub use dist_tensor::DistTensor;
-pub use stats::{CommStats, CostModel, ELEM_BYTES};
+pub use grid::{refine, Dist1D, Layout1D, Panel, ProcGrid, Seg};
+pub use stats::{CommStats, CostModel, ELEM_BYTES, FLOPS_PER_COMPLEX_MAC, FLOPS_PER_REAL_MAC};

@@ -6,11 +6,40 @@
 //! byte that crosses a (virtual) rank boundary and every local floating-point
 //! operation is tallied, which is enough to reproduce the *shape* of the
 //! strong/weak scaling and algorithm-comparison figures.
+//!
+//! ## Accounting semantics
+//!
+//! * **Bytes** count traffic over the interconnect only: a collective over a
+//!   group of `g` ranks that delivers `v` elements to each of `g - 1`
+//!   receivers bills `v * (g - 1)` elements, and the sender's own copy is
+//!   free. All volumes are in complex-element units ([`ELEM_BYTES`] bytes
+//!   each) regardless of realness: the simulated wires carry the stored
+//!   representation, and the backend stores real data in complex buffers
+//!   (the realness win is arithmetic, not storage).
+//! * **Messages** use the flat model: one per point-to-point transfer, and
+//!   `receivers` per broadcast / `rounds * (P - 1)` per cluster-wide
+//!   collective. The cost model charges [`CostModel::latency`] per message.
+//! * **Work** is split by kernel, mirroring the GEMM layer's own counters
+//!   ([`koala_linalg::gemm::flop_counter`] /
+//!   [`koala_linalg::gemm::real_mac_counter`]): [`CommStats::rank_flops`]
+//!   counts *complex* multiply-adds (8 real flops each) and
+//!   [`CommStats::rank_real_macs`] counts *real* multiply-adds (2 real flops
+//!   each) per rank. Distributed operations bill the real counter exactly
+//!   when their per-rank products run on the real-only kernel — i.e. when
+//!   the operands' [`koala_linalg::Matrix::is_real`] hints held — so a real
+//!   workload's modelled time reflects the cheap kernel it actually runs.
 
+use koala_json::JsonValue;
 use std::fmt;
 
 /// Size in bytes of one complex double-precision element.
 pub const ELEM_BYTES: u64 = 16;
+
+/// Real hardware flops per complex multiply-add (4 mul + 4 add).
+pub const FLOPS_PER_COMPLEX_MAC: f64 = 8.0;
+
+/// Real hardware flops per real multiply-add (1 mul + 1 add).
+pub const FLOPS_PER_REAL_MAC: f64 = 2.0;
 
 /// Counters accumulated while running operations on a [`crate::Cluster`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -20,40 +49,71 @@ pub struct CommStats {
     /// Number of messages (a collective over P ranks counts P-1 messages per
     /// communication round, matching the usual flat cost model).
     pub messages: u64,
-    /// Number of collective operations executed.
+    /// Number of collective operations executed (cluster-wide collectives
+    /// and grid-row/-column broadcasts alike).
     pub collectives: u64,
     /// Number of full tensor/matrix redistributions (the expensive "reshape"
     /// operations the paper's Algorithm 5 is designed to avoid).
     pub redistributions: u64,
-    /// Local complex multiply-add operations per rank.
+    /// Local *complex* multiply-add operations per rank (8 real flops each).
     pub rank_flops: Vec<u64>,
+    /// Local *real* multiply-add operations per rank (2 real flops each) —
+    /// work executed by the real-only kernel on realness-hinted operands.
+    pub rank_real_macs: Vec<u64>,
 }
 
 impl CommStats {
     /// Fresh counters for a cluster with `nranks` ranks.
     pub fn new(nranks: usize) -> Self {
-        CommStats { rank_flops: vec![0; nranks], ..Default::default() }
+        CommStats {
+            rank_flops: vec![0; nranks],
+            rank_real_macs: vec![0; nranks],
+            ..Default::default()
+        }
     }
 
-    /// Largest per-rank flop count — the compute critical path of a bulk-
-    /// synchronous execution.
+    /// Largest per-rank complex-MAC count. For the compute critical path of
+    /// a mixed real/complex execution use [`CostModel::modelled_time`], which
+    /// weights the two kernels by their calibrated rates.
     pub fn max_rank_flops(&self) -> u64 {
         self.rank_flops.iter().copied().max().unwrap_or(0)
     }
 
-    /// Total flops across all ranks (the "useful work").
+    /// Total complex MACs across all ranks.
     pub fn total_flops(&self) -> u64 {
         self.rank_flops.iter().sum()
     }
 
-    /// Load imbalance: max/mean per-rank flops (1.0 = perfectly balanced).
+    /// Total real MACs across all ranks.
+    pub fn total_real_macs(&self) -> u64 {
+        self.rank_real_macs.iter().sum()
+    }
+
+    /// Total *hardware* flops across all ranks: complex MACs at 8 real flops
+    /// plus real MACs at 2. This is the "useful work" numerator of the
+    /// weak-scaling figures, and matches `bench_gemm`'s convention.
+    pub fn total_hw_flops(&self) -> f64 {
+        self.total_flops() as f64 * FLOPS_PER_COMPLEX_MAC
+            + self.total_real_macs() as f64 * FLOPS_PER_REAL_MAC
+    }
+
+    /// Hardware flops executed by one rank (same convention as
+    /// [`CommStats::total_hw_flops`]).
+    pub fn rank_hw_flops(&self, rank: usize) -> f64 {
+        self.rank_flops[rank] as f64 * FLOPS_PER_COMPLEX_MAC
+            + self.rank_real_macs[rank] as f64 * FLOPS_PER_REAL_MAC
+    }
+
+    /// Load imbalance: max/mean per-rank hardware flops (1.0 = perfectly
+    /// balanced).
     pub fn load_imbalance(&self) -> f64 {
-        let total = self.total_flops();
-        if total == 0 {
+        let nranks = self.rank_flops.len().max(1);
+        let total = self.total_hw_flops();
+        if total == 0.0 {
             return 1.0;
         }
-        let mean = total as f64 / self.rank_flops.len() as f64;
-        self.max_rank_flops() as f64 / mean
+        let max = (0..self.rank_flops.len()).map(|r| self.rank_hw_flops(r)).fold(0.0f64, f64::max);
+        max / (total / nranks as f64)
     }
 
     /// Merge counters from another accounting period.
@@ -68,6 +128,12 @@ impl CommStats {
         for (a, b) in self.rank_flops.iter_mut().zip(other.rank_flops.iter()) {
             *a += *b;
         }
+        if self.rank_real_macs.len() < other.rank_real_macs.len() {
+            self.rank_real_macs.resize(other.rank_real_macs.len(), 0);
+        }
+        for (a, b) in self.rank_real_macs.iter_mut().zip(other.rank_real_macs.iter()) {
+            *a += *b;
+        }
     }
 }
 
@@ -76,12 +142,13 @@ impl fmt::Display for CommStats {
         write!(
             f,
             "comm: {:.3} MB in {} msgs ({} collectives, {} redistributions), \
-             max rank flops {:.3e}, imbalance {:.2}",
+             max rank cMACs {:.3e}, total rMACs {:.3e}, imbalance {:.2}",
             self.bytes_communicated as f64 / 1e6,
             self.messages,
             self.collectives,
             self.redistributions,
             self.max_rank_flops() as f64,
+            self.total_real_macs() as f64,
             self.load_imbalance()
         )
     }
@@ -89,10 +156,20 @@ impl fmt::Display for CommStats {
 
 /// Machine parameters of the modelled cluster, used to convert [`CommStats`]
 /// into a modelled parallel execution time.
+///
+/// The two arithmetic rates are *effective* sustained rates of the local
+/// packed GEMM kernels — complex MACs/s for the split-complex kernel and
+/// real MACs/s for the real-only kernel. [`CostModel::from_bench`] calibrates
+/// both from the committed `BENCH_gemm.json` so the modelled scaling figures
+/// price per-rank work at what this machine's kernels actually sustain;
+/// [`CostModel::default`] is the uncalibrated fallback.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
-    /// Sustained complex multiply-add rate per rank (operations / second).
+    /// Sustained complex multiply-add rate per rank (complex MACs / second).
     pub flops_per_second: f64,
+    /// Sustained real multiply-add rate per rank (real MACs / second) — the
+    /// rate the real-only kernel achieves on realness-hinted operands.
+    pub real_macs_per_second: f64,
     /// Interconnect bandwidth per rank (bytes / second).
     pub bytes_per_second: f64,
     /// Per-message latency (seconds).
@@ -101,32 +178,126 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        // Loosely modelled on a KNL-era node and fat-tree interconnect:
-        // ~10 GF/s effective per core for complex GEMM, ~1 GB/s per rank,
-        // ~2 microseconds latency.
-        CostModel { flops_per_second: 1.0e10, bytes_per_second: 1.0e9, latency: 2.0e-6 }
+        // Uncalibrated fallback, loosely modelled on a KNL-era node and
+        // fat-tree interconnect: ~10 G complex MAC/s (80 GF/s effective) per
+        // core, a real kernel sustaining the equivalent element throughput
+        // (4x the MACs at a quarter of the flops each), ~1 GB/s per rank,
+        // ~2 microseconds latency. Prefer `CostModel::from_bench` with the
+        // committed BENCH_gemm.json, which replaces both arithmetic rates
+        // with measured ones.
+        CostModel {
+            flops_per_second: 1.0e10,
+            real_macs_per_second: 4.0e10,
+            bytes_per_second: 1.0e9,
+            latency: 2.0e-6,
+        }
     }
 }
 
 impl CostModel {
+    /// Calibrate the arithmetic rates from a `BENCH_gemm.json` document (the
+    /// file `bench_gemm` commits at the repository root).
+    ///
+    /// * `flops_per_second` is the median effective rate of the
+    ///   `packed_vs_seed` series (`packed_gflops`, which counts 8 real flops
+    ///   per complex MAC) converted to complex MACs/s,
+    /// * `real_macs_per_second` is the median effective rate of the
+    ///   `real_vs_complex` series converted to real MACs/s. Note the field's
+    ///   convention: `real_effective_gflops` credits each real MAC the **8**
+    ///   nominal flops of the complex MAC it replaces (so its ratio to
+    ///   `packed_gflops` reads as the wall-time speedup), hence the divisor
+    ///   is 8 here, not the 2 hardware flops a real MAC executes.
+    ///
+    /// Only single-thread rows (`threads` == 1, or absent) enter the
+    /// medians: the rates are documented as *per rank*, and a baseline
+    /// refreshed on a multi-core host also records aggregate multi-thread
+    /// rows that would otherwise inflate the calibration by up to the core
+    /// count. The medians are then taken across all shapes of each series,
+    /// so one cache-friendly outlier does not skew the model. `bench_gemm`
+    /// measures a single machine, not an interconnect, so `bytes_per_second`
+    /// and `latency` keep their [`CostModel::default`] values.
+    ///
+    /// Errors if the document does not parse or either series is absent —
+    /// callers that want a silent fallback should match on the error and use
+    /// `CostModel::default()`.
+    pub fn from_bench(json_text: &str) -> Result<CostModel, String> {
+        let doc = JsonValue::parse(json_text).map_err(|e| format!("from_bench: {e}"))?;
+        let results = doc
+            .get("results")
+            .and_then(|r| r.as_array())
+            .ok_or("from_bench: missing 'results' array")?;
+        let series_rates = |series: &str, field: &str| -> Vec<f64> {
+            results
+                .iter()
+                .filter(|item| item.get("series").and_then(|v| v.as_str()) == Some(series))
+                .filter(|item| item.get("threads").and_then(|v| v.as_num()).unwrap_or(1.0) == 1.0)
+                .filter_map(|item| item.get(field).and_then(|v| v.as_num()))
+                .filter(|&r| r > 0.0)
+                .collect()
+        };
+        let complex_gflops = median(series_rates("packed_vs_seed", "packed_gflops"))
+            .ok_or("from_bench: no usable 'packed_vs_seed' entries")?;
+        let real_gflops = median(series_rates("real_vs_complex", "real_effective_gflops"))
+            .ok_or("from_bench: no usable 'real_vs_complex' entries")?;
+        let fallback = CostModel::default();
+        Ok(CostModel {
+            flops_per_second: complex_gflops * 1e9 / FLOPS_PER_COMPLEX_MAC,
+            // real_effective_gflops = 8 * real MACs / second (see above).
+            real_macs_per_second: real_gflops * 1e9 / FLOPS_PER_COMPLEX_MAC,
+            bytes_per_second: fallback.bytes_per_second,
+            latency: fallback.latency,
+        })
+    }
+
     /// Modelled wall-clock time of a bulk-synchronous execution with the given
-    /// counters: compute critical path + serialised communication + latency.
+    /// counters: compute critical path (the slowest rank, pricing complex and
+    /// real MACs at their respective rates) + serialised communication +
+    /// latency.
     pub fn modelled_time(&self, stats: &CommStats) -> f64 {
-        let compute = stats.max_rank_flops() as f64 / self.flops_per_second;
+        let compute = (0..stats.rank_flops.len())
+            .map(|r| {
+                stats.rank_flops[r] as f64 / self.flops_per_second
+                    + stats.rank_real_macs[r] as f64 / self.real_macs_per_second
+            })
+            .fold(0.0f64, f64::max);
         let comm = stats.bytes_communicated as f64
             / (self.bytes_per_second * stats.rank_flops.len().max(1) as f64);
         let latency = stats.messages as f64 * self.latency;
         compute + comm + latency
     }
 
-    /// Modelled useful flop rate per rank (flops achieved / modelled time / ranks).
+    /// Modelled useful *hardware-flop* rate per rank: total hardware flops
+    /// achieved (8 per complex MAC, 2 per real MAC) / modelled time / ranks.
+    /// Directly comparable to `bench_gemm`'s effective GFLOP/s numbers after
+    /// dividing by 1e9.
     pub fn flop_rate_per_rank(&self, stats: &CommStats) -> f64 {
         let t = self.modelled_time(stats);
         if t == 0.0 {
             return 0.0;
         }
-        stats.total_flops() as f64 / t / stats.rank_flops.len().max(1) as f64
+        stats.total_hw_flops() / t / stats.rank_flops.len().max(1) as f64
     }
+
+    /// The model's per-rank hardware-flop peak for an all-complex workload —
+    /// the horizontal "ideal" line of the weak-scaling figure.
+    pub fn complex_peak_flops(&self) -> f64 {
+        self.flops_per_second * FLOPS_PER_COMPLEX_MAC
+    }
+
+    /// The model's per-rank hardware-flop peak for an all-real workload.
+    pub fn real_peak_flops(&self) -> f64 {
+        self.real_macs_per_second * FLOPS_PER_REAL_MAC
+    }
+}
+
+/// Median of an unsorted sample (None when empty).
+fn median(mut xs: Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN rate"));
+    let mid = xs.len() / 2;
+    Some(if xs.len() % 2 == 1 { xs[mid] } else { 0.5 * (xs[mid - 1] + xs[mid]) })
 }
 
 #[cfg(test)]
@@ -139,17 +310,22 @@ mod tests {
         a.bytes_communicated = 100;
         a.messages = 3;
         a.rank_flops = vec![10, 20];
+        a.rank_real_macs = vec![1, 2];
         let mut b = CommStats::new(2);
         b.bytes_communicated = 50;
         b.collectives = 1;
         b.rank_flops = vec![5, 1];
+        b.rank_real_macs = vec![4, 0];
         a.merge(&b);
         assert_eq!(a.bytes_communicated, 150);
         assert_eq!(a.messages, 3);
         assert_eq!(a.collectives, 1);
         assert_eq!(a.rank_flops, vec![15, 21]);
+        assert_eq!(a.rank_real_macs, vec![5, 2]);
         assert_eq!(a.max_rank_flops(), 21);
         assert_eq!(a.total_flops(), 36);
+        assert_eq!(a.total_real_macs(), 7);
+        assert_eq!(a.total_hw_flops(), 36.0 * 8.0 + 7.0 * 2.0);
     }
 
     #[test]
@@ -159,11 +335,20 @@ mod tests {
         assert!((s.load_imbalance() - 1.0).abs() < 1e-12);
         s.rank_flops = vec![40, 0, 0, 0];
         assert!((s.load_imbalance() - 4.0).abs() < 1e-12);
+        // Real MACs weigh 2 hardware flops vs 8: 4 rMACs balance 1 cMAC.
+        s.rank_flops = vec![10, 0, 10, 0];
+        s.rank_real_macs = vec![0, 40, 0, 40];
+        assert!((s.load_imbalance() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn modelled_time_components() {
-        let model = CostModel { flops_per_second: 1e9, bytes_per_second: 1e9, latency: 1e-6 };
+        let model = CostModel {
+            flops_per_second: 1e9,
+            real_macs_per_second: 4e9,
+            bytes_per_second: 1e9,
+            latency: 1e-6,
+        };
         let mut s = CommStats::new(2);
         s.rank_flops = vec![1_000_000_000, 500_000_000];
         s.bytes_communicated = 2_000_000_000;
@@ -172,6 +357,51 @@ mod tests {
         // 1 s compute + 1 s comm (2 GB over 2 ranks * 1GB/s) + 1 ms latency
         assert!((t - 2.001).abs() < 1e-9, "modelled time {t}");
         assert!(model.flop_rate_per_rank(&s) > 0.0);
+        // Real MACs are priced at the real rate: rank 1 becomes the critical
+        // path only once its real work exceeds the rate ratio.
+        s.rank_real_macs = vec![0, 6_000_000_000];
+        let t2 = model.modelled_time(&s);
+        // rank 0: 1 s; rank 1: 0.5 + 6/4 = 2 s compute.
+        assert!((t2 - 3.001).abs() < 1e-9, "modelled time {t2}");
+    }
+
+    #[test]
+    fn from_bench_calibrates_both_rates() {
+        let doc = r#"{
+          "results": [
+            {"series": "packed_vs_seed", "label": "a", "packed_gflops": 32.0},
+            {"series": "packed_vs_seed", "label": "b", "threads": 1.0, "packed_gflops": 40.0},
+            {"series": "packed_vs_seed", "label": "c", "threads": 1.0, "packed_gflops": 24.0},
+            {"series": "packed_vs_seed", "label": "b", "threads": 8.0, "packed_gflops": 250.0},
+            {"series": "real_vs_complex", "label": "a", "threads": 1.0, "real_effective_gflops": 20.0},
+            {"series": "real_vs_complex", "label": "a", "threads": 8.0, "real_effective_gflops": 700.0},
+            {"series": "real_factorization", "label": "x", "effective_gflops": 9.0}
+          ]
+        }"#;
+        let m = CostModel::from_bench(doc).expect("calibration failed");
+        // Median single-thread packed rate 32 GF/s -> 4e9 complex MACs/s;
+        // the aggregate 8-thread rows must not enter the per-rank medians.
+        assert!((m.flops_per_second - 4.0e9).abs() < 1.0);
+        // Median single-thread real_effective rate of 20 (which credits 8
+        // nominal flops per real MAC) -> 2.5e9 real MACs/s, i.e. a hardware
+        // peak of 5 GF/s.
+        assert!((m.real_macs_per_second - 2.5e9).abs() < 1.0);
+        assert!((m.real_peak_flops() - 5.0e9).abs() < 1.0);
+        // Interconnect parameters stay at the fallback values.
+        let d = CostModel::default();
+        assert_eq!(m.bytes_per_second, d.bytes_per_second);
+        assert_eq!(m.latency, d.latency);
+        assert!(m.complex_peak_flops() > 0.0 && m.real_peak_flops() > 0.0);
+    }
+
+    #[test]
+    fn from_bench_rejects_unusable_documents() {
+        assert!(CostModel::from_bench("not json").is_err());
+        assert!(CostModel::from_bench("{\"results\": []}").is_err());
+        let only_complex = r#"{"results": [
+            {"series": "packed_vs_seed", "packed_gflops": 32.0}
+        ]}"#;
+        assert!(CostModel::from_bench(only_complex).is_err());
     }
 
     #[test]

@@ -111,12 +111,16 @@ pub fn dist_two_site_update(
     let r_b = Tensor::fold(&qb.r, &[kb], &[d_b, b.dim(1)])?;
 
     // ---- Step 2: einsumsvd on the small factors. ----
+    // The modelled work is billed to the kernel the operands' realness hints
+    // select: a real workload (real gate, real R factors) runs the einsumsvd
+    // on the real-only kernel on every rank.
+    let einsumsvd_real = gate_t.is_real() && r_a.is_real() && r_b.is_real();
     match variant {
         DistEvolutionVariant::LocalGramQrSvd => {
             // Fully local/replicated: every rank performs the identical small
             // computation, no communication.
             let flops = (ka * d_a * kb * d_b * (d_a * d_b + max_bond)) as u64;
-            cluster.record_flops_all(flops);
+            cluster.record_macs_all(flops, einsumsvd_real);
         }
         _ => {
             // Distributed einsumsvd: the theta tensor is formed and factorized
@@ -128,7 +132,7 @@ pub fn dist_two_site_update(
             let flops = (ka * d_a * kb * d_b * (d_a * d_b + max_bond)) as u64;
             let nranks = cluster.nranks() as u64;
             for rank in 0..cluster.nranks() {
-                cluster.record_flops(rank, flops / nranks + 1);
+                cluster.record_macs(rank, flops / nranks + 1, einsumsvd_real);
             }
         }
     }
@@ -198,6 +202,9 @@ fn charge_contraction_costs(cluster: &Cluster, peps: &Peps, method: ContractionM
     let n = peps.nrows().max(peps.ncols());
     let r: usize = peps.max_bond();
     let nranks = cluster.nranks() as u64;
+    // A PEPS whose site tensors all carry the realness hint contracts on the
+    // real-only kernel; bill the modelled work accordingly.
+    let real = peps.tensors().iter().all(|t| t.is_real());
     let (m, implicit) = match method {
         ContractionMethod::Exact => (r.pow(peps.nrows() as u32 / 2).max(r), false),
         ContractionMethod::Bmps { max_bond } => (max_bond, false),
@@ -210,7 +217,7 @@ fn charge_contraction_costs(cluster: &Cluster, peps: &Peps, method: ContractionM
                 // Gram allreduces of m x m objects, no big redistribution.
                 let work = (m * m * r * r + m * m * m * r) as u64;
                 for rank in 0..cluster.nranks() {
-                    cluster.record_flops(rank, work / nranks + 1);
+                    cluster.record_macs(rank, work / nranks + 1, real);
                 }
                 cluster.record_collective(m * m, 2);
             } else {
@@ -219,7 +226,7 @@ fn charge_contraction_costs(cluster: &Cluster, peps: &Peps, method: ContractionM
                 // gather-style SVD of that matrix.
                 let work = (m * m * m * r * r) as u64;
                 for rank in 0..cluster.nranks() {
-                    cluster.record_flops(rank, work / nranks + 1);
+                    cluster.record_macs(rank, work / nranks + 1, real);
                 }
                 let merged = m * m * r * r;
                 cluster.record_redistribution(merged);
@@ -295,6 +302,39 @@ mod tests {
             let mut local_peps = base.clone();
             apply_two_site(&mut local_peps, &gate, a, b, UpdateMethod::qr_svd(8)).unwrap();
             assert!(dist_peps.to_dense().unwrap().approx_eq(&local_peps.to_dense().unwrap(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn real_workload_stays_real_per_rank_and_in_the_wires() {
+        // A real product state evolved by a real (imaginary-time) gate must
+        // keep every distributed object hinted real and bill zero complex
+        // MACs to any rank, for every evolution variant.
+        let h = &kron(&pauli_x(), &pauli_x()) + &kron(&pauli_z(), &pauli_z());
+        let gate = expm_hermitian(&h, c64(-0.4, 0.0)).unwrap();
+        assert!(gate.is_real(), "an imaginary-time Trotter gate of a real H is real");
+        for variant in [
+            DistEvolutionVariant::CtfQrSvd,
+            DistEvolutionVariant::LocalGramQr,
+            DistEvolutionVariant::LocalGramQrSvd,
+        ] {
+            let mut peps = Peps::computational_zeros(2, 2);
+            assert!(peps.tensors().iter().all(|t| t.is_real()));
+            let cluster = Cluster::new(4);
+            dist_two_site_update(&cluster, &mut peps, &gate, (0, 0), (0, 1), 8, variant).unwrap();
+            assert!(
+                peps.tensors().iter().all(|t| t.is_real()),
+                "{}: site tensors lost the realness hint",
+                variant.label()
+            );
+            let stats = cluster.stats();
+            assert_eq!(
+                stats.total_flops(),
+                0,
+                "{}: a real workload billed complex MACs to the cluster",
+                variant.label()
+            );
+            assert!(stats.total_real_macs() > 0, "{}: no real work recorded", variant.label());
         }
     }
 

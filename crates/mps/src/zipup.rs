@@ -14,8 +14,16 @@
 use crate::mpo::Mpo;
 use crate::mps::{Mps, Result};
 use koala_linalg::{rsvd, LinearOp, Matrix, RsvdOptions};
-use koala_tensor::{svd_split, tensordot, Tensor, TensorError, Truncation};
+use koala_tensor::{svd_split, tensordot, PlanCell, Tensor, TensorError, Truncation};
 use rand::Rng;
+
+/// Merged-tensor einsum of the exact zip-up step, pinned per call site:
+/// boundary `[l, d, r_s, r_o]` x S `[r_s, p, r_s']` x O `[r_o, p, d', r_o']`
+/// -> `[l, d, r_s', d', r_o']`. The sweep executes this contraction once per
+/// site per zip-up, thousands of times with a handful of recurring shapes,
+/// so the `Arc<Plan>`s are held here and repeat steps skip even the global
+/// plan-cache lookup (pinned by `tests/zip_plan_pin.rs`).
+static ZIP_MERGE_PLAN: PlanCell = PlanCell::new("ldxy,xpt,ypqr->ldtqr");
 
 /// How the einsumsvd inside the zip-up sweep is evaluated.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,17 +98,17 @@ pub fn zip_up<R: Rng + ?Sized>(
 }
 
 /// Exact einsumsvd step: contract {V, S, O} then truncate the SVD across the
-/// (finished site | rest) bipartition.
+/// (finished site | rest) bipartition. The three-tensor contraction runs
+/// through the held [`ZIP_MERGE_PLAN`] — on repeat shapes the planned
+/// schedule (greedy order + per-step matricization layouts) replays with no
+/// cache traffic at all.
 fn zip_step_exact(
     boundary: &Tensor, // [l, d, r_s, r_o]
     s: &Tensor,        // [r_s, p, r_s']
     o: &Tensor,        // [r_o, p, d', r_o']
     truncation: Truncation,
 ) -> Result<(Tensor, Tensor)> {
-    // merged [l, d, p, r_s'] <- boundary x S over r_s
-    let merged = tensordot(boundary, s, &[2], &[0])?; // [l, d, r_o, p, r_s']
-                                                      // contract with O over (r_o, p)
-    let merged = tensordot(&merged, o, &[2, 3], &[0, 1])?; // [l, d, r_s', d', r_o']
+    let merged = ZIP_MERGE_PLAN.execute(&[boundary, s, o])?; // [l, d, r_s', d', r_o']
     let f = svd_split(&merged, &[0, 1], truncation)?;
     let (u, rest) = f.absorb_right();
     // u: [l, d, k] is the finished site; rest: [k, r_s', d', r_o'] must be

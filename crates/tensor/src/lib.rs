@@ -52,7 +52,7 @@ pub use decomp::{
 pub use einsum::{einsum, einsum_spec, parse_spec, EinsumSpec};
 pub use plan::{
     clear_plan_cache, contraction_plan, plan_stats, reset_plan_stats, set_plan_cache_capacity,
-    Plan, PlanStats,
+    Plan, PlanCell, PlanStats,
 };
 pub use tensor::{Result, Tensor, TensorError};
 
