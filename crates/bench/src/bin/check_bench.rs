@@ -44,12 +44,18 @@ struct Entry {
 }
 
 fn load_entries(path: &str) -> Result<Vec<Entry>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let doc = JsonValue::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    let results = doc
-        .get("results")
-        .and_then(|r| r.as_array())
-        .ok_or_else(|| format!("{path}: missing 'results' array"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read {path}: {e}\n  (regenerate it with `cargo run --release -p koala-bench \
+             --bin bench_gemm -- --quick --out {path}`)"
+        )
+    })?;
+    let doc = JsonValue::parse(&text).map_err(|e| {
+        format!("cannot parse {path}: {e}\n  (truncated or corrupt JSON — regenerate the file)")
+    })?;
+    let results = doc.get("results").and_then(|r| r.as_array()).ok_or_else(|| {
+        format!("{path}: missing 'results' array (truncated or schema-drifted file)")
+    })?;
     let mut entries = Vec::new();
     for item in results {
         let series = item.get("series").and_then(|v| v.as_str()).unwrap_or("");
@@ -79,9 +85,14 @@ fn main() {
     };
     let baseline_path = get_flag("--baseline").unwrap_or_else(|| "BENCH_gemm.json".to_string());
     let current_path = get_flag("--current").unwrap_or_else(|| "bench_gemm_ci.json".to_string());
-    let max_drop: f64 = get_flag("--max-drop")
-        .map(|s| s.parse().expect("--max-drop must be a number"))
-        .unwrap_or(0.25);
+    let max_drop: f64 = match get_flag("--max-drop").map(|s| s.parse::<f64>()) {
+        None => 0.25,
+        Some(Ok(v)) => v,
+        Some(Err(e)) => {
+            eprintln!("check_bench: --max-drop must be a number: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let baseline = match load_entries(&baseline_path) {
         Ok(e) => e,
@@ -97,6 +108,16 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if baseline.is_empty() {
+        // A parsable baseline with no gated series is not a regression — there
+        // is simply nothing to compare yet (e.g. a freshly bootstrapped repo).
+        println!(
+            "check_bench: WARNING — {baseline_path} contains no entries of any gated series; \
+             nothing to compare, passing vacuously"
+        );
+        return;
+    }
 
     let mut matched = 0usize;
     let mut regressions = Vec::new();

@@ -103,7 +103,7 @@ fn main() {
         let da = DistMatrix::scatter_block_cyclic(&cluster_g, &a, grid, row_block, col_block);
         let db = DistMatrix::scatter_block_cyclic(&cluster_g, &b, grid, row_block, col_block);
         cluster_g.reset_stats(); // the scatter is setup, not the timed GEMM
-        let _ = da.matmul_dist(&db);
+        let _ = da.matmul_dist(&db).expect("fault-free SUMMA cannot fail");
         let stats_g = cluster_g.stats();
         let t_summa = model.modelled_time(&stats_g);
         summa.push(ranks as f64, t_summa);

@@ -30,7 +30,7 @@ fn main() {
     // State-vector reference.
     println!("running state-vector ITE reference ({sv_steps} steps)...");
     let sv = StateVector::computational_zeros(nrows, ncols);
-    let reference = ite_statevector(&sv, &h, tau, sv_steps);
+    let reference = ite_statevector(&sv, &h, tau, sv_steps).expect("state-vector ITE failed");
     let mut s_ref = Series::new("state vector");
     for &(step, e) in &reference {
         if step % measure_every == 0 {

@@ -20,8 +20,9 @@ fn main() {
         if args.quick { (30, vec![1, 2]) } else { (80, vec![1, 2, 3, 4]) };
 
     let mut rng = StdRng::seed_from_u64(14_000);
-    let exact =
-        StateVector::ground_state_energy(nrows, ncols, &h, &mut rng) / (nrows * ncols) as f64;
+    let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng)
+        .expect("Lanczos reference failed")
+        / (nrows * ncols) as f64;
     println!("exact ground-state energy per site: {exact:.6}");
 
     let mut fig = Figure::new(

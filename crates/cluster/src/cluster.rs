@@ -10,17 +10,28 @@
 //! only wall-clock parallelism is replaced by the cost model in
 //! [`crate::stats::CostModel`].
 
+use crate::fault::{FaultEvent, FaultLog, FaultPlan, FaultSite, FaultState};
 use crate::grid::ProcGrid;
 use crate::stats::{CommStats, ELEM_BYTES};
 use koala_linalg::C64;
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::sync::MutexGuard;
+
+/// Poison-tolerant lock: counters and fault state stay usable even if a
+/// panicking thread was holding the mutex (the data is plain accounting, so
+/// the worst case after a poisoned write is a partially-updated tally — far
+/// better than cascading the panic through every later record call).
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Handle to a virtual cluster of `nranks` ranks.
 #[derive(Clone)]
 pub struct Cluster {
     nranks: usize,
     stats: Arc<Mutex<CommStats>>,
+    faults: Arc<Mutex<Option<FaultState>>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -33,7 +44,11 @@ impl Cluster {
     /// Create a cluster with the given number of ranks.
     pub fn new(nranks: usize) -> Self {
         assert!(nranks > 0, "cluster needs at least one rank");
-        Cluster { nranks, stats: Arc::new(Mutex::new(CommStats::new(nranks))) }
+        Cluster {
+            nranks,
+            stats: Arc::new(Mutex::new(CommStats::new(nranks))),
+            faults: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Number of ranks.
@@ -43,13 +58,52 @@ impl Cluster {
 
     /// Snapshot of the accumulated statistics.
     pub fn stats(&self) -> CommStats {
-        self.stats.lock().expect("stats mutex poisoned").clone()
+        lock_ignore_poison(&self.stats).clone()
     }
 
     /// Reset the statistics and return the previous values.
     pub fn reset_stats(&self) -> CommStats {
-        let mut guard = self.stats.lock().expect("stats mutex poisoned");
+        let mut guard = lock_ignore_poison(&self.stats);
         std::mem::replace(&mut *guard, CommStats::new(self.nranks))
+    }
+
+    /// Arm a [`FaultPlan`] on this cluster: every subsequent communication
+    /// event consults the plan, and whatever strikes is recorded in the
+    /// [`FaultLog`]. Replaces any previously armed plan (and its log).
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        *lock_ignore_poison(&self.faults) = Some(FaultState::new(plan));
+    }
+
+    /// Disarm fault injection, returning the log of everything that struck.
+    pub fn disarm_faults(&self) -> FaultLog {
+        lock_ignore_poison(&self.faults).take().map(FaultState::into_log).unwrap_or_default()
+    }
+
+    /// Snapshot of the armed plan's fault log (empty when no plan is armed).
+    pub fn fault_log(&self) -> FaultLog {
+        lock_ignore_poison(&self.faults).as_ref().map(|s| s.log().clone()).unwrap_or_default()
+    }
+
+    /// Whether a fault plan is currently armed.
+    pub fn faults_armed(&self) -> bool {
+        lock_ignore_poison(&self.faults).is_some()
+    }
+
+    /// Consult the armed plan (if any) about `site` on delivery `attempt`.
+    /// Injections are tallied on the global
+    /// [`koala_error::recovery`] counters as well as the local log.
+    pub(crate) fn fault_decision(&self, site: FaultSite, attempt: usize) -> Option<FaultEvent> {
+        let ev = lock_ignore_poison(&self.faults).as_mut().and_then(|s| s.decide(site, attempt));
+        if ev.is_some() {
+            koala_error::recovery::note_fault_injected();
+        }
+        ev
+    }
+
+    /// Slowdown factor of `rank` under the armed plan (1.0 when no plan is
+    /// armed or the rank is full speed).
+    fn slow_factor(&self, rank: usize) -> f64 {
+        lock_ignore_poison(&self.faults).as_ref().map_or(1.0, |s| s.plan().slow_factor(rank))
     }
 
     /// The most nearly square [`ProcGrid`] over this cluster's ranks — the
@@ -60,9 +114,25 @@ impl Cluster {
 
     /// Record a point-to-point transfer of `elems` complex numbers.
     pub fn record_p2p(&self, elems: usize) {
-        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        let mut s = lock_ignore_poison(&self.stats);
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += 1;
+    }
+
+    /// Record `elems` complex elements of ABFT checksum metadata riding along
+    /// with payload traffic. Billed to [`CommStats::checksum_bytes`] only, so
+    /// the fault-free payload formulas stay exact.
+    pub fn record_checksum(&self, elems: usize) {
+        let mut s = lock_ignore_poison(&self.stats);
+        s.checksum_bytes += elems as u64 * ELEM_BYTES;
+    }
+
+    /// Record one recovery retransmission of `elems` complex elements
+    /// (payload plus checksum) after a detected fault.
+    pub fn record_retry(&self, elems: usize) {
+        let mut s = lock_ignore_poison(&self.stats);
+        s.retries += 1;
+        s.retry_bytes += elems as u64 * ELEM_BYTES;
     }
 
     /// Record a broadcast within a rank group (a SUMMA grid row or column):
@@ -74,7 +144,7 @@ impl Cluster {
         if receivers == 0 {
             return;
         }
-        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        let mut s = lock_ignore_poison(&self.stats);
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += receivers as u64;
         s.collectives += 1;
@@ -83,7 +153,7 @@ impl Cluster {
     /// Record a collective that moves `elems` complex numbers in total across
     /// the interconnect in `rounds` communication rounds.
     pub fn record_collective(&self, elems: usize, rounds: usize) {
-        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        let mut s = lock_ignore_poison(&self.stats);
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += (rounds * (self.nranks.saturating_sub(1))) as u64;
         s.collectives += 1;
@@ -93,22 +163,38 @@ impl Cluster {
     /// complex numbers.
     pub fn record_redistribution(&self, elems: usize) {
         {
-            let mut s = self.stats.lock().expect("stats mutex poisoned");
+            let mut s = lock_ignore_poison(&self.stats);
             s.redistributions += 1;
         }
         self.record_collective(elems, 1);
     }
 
+    /// Scale billed work by the rank's slowdown factor under an armed fault
+    /// plan: a [`FaultKind::Slow`](crate::fault::FaultKind::Slow) rank's
+    /// operations take proportionally longer, which the bulk-synchronous
+    /// cost model sees as extra time on that rank's compute critical path.
+    /// With no plan armed (the fault-free default) this is the identity.
+    fn scale_work(&self, rank: usize, work: u64) -> u64 {
+        let f = self.slow_factor(rank);
+        if f == 1.0 {
+            work
+        } else {
+            (work as f64 * f) as u64
+        }
+    }
+
     /// Record `flops` complex multiply-adds executed by `rank`.
     pub fn record_flops(&self, rank: usize, flops: u64) {
-        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        let flops = self.scale_work(rank, flops);
+        let mut s = lock_ignore_poison(&self.stats);
         s.rank_flops[rank] += flops;
     }
 
     /// Record `macs` real multiply-adds executed by `rank` (work the rank ran
     /// on the real-only kernel; 2 hardware flops each vs 8 for a complex MAC).
     pub fn record_real_macs(&self, rank: usize, macs: u64) {
-        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        let macs = self.scale_work(rank, macs);
+        let mut s = lock_ignore_poison(&self.stats);
         s.rank_real_macs[rank] += macs;
     }
 
@@ -125,7 +211,7 @@ impl Cluster {
 
     /// Record identical `flops` on every rank (replicated computation).
     pub fn record_flops_all(&self, flops: u64) {
-        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        let mut s = lock_ignore_poison(&self.stats);
         for f in &mut s.rank_flops {
             *f += flops;
         }
@@ -134,7 +220,7 @@ impl Cluster {
     /// Record identical `macs` on every rank, billed real or complex
     /// according to `real` (replicated computation).
     pub fn record_macs_all(&self, macs: u64, real: bool) {
-        let mut s = self.stats.lock().expect("stats mutex poisoned");
+        let mut s = lock_ignore_poison(&self.stats);
         let counters = if real { &mut s.rank_real_macs } else { &mut s.rank_flops };
         for f in counters.iter_mut() {
             *f += macs;

@@ -46,9 +46,130 @@
 //! bills [`crate::CommStats::rank_real_macs`] instead of complex flops.
 
 use crate::cluster::Cluster;
+use crate::fault::{corrupt_index, FaultEvent, FaultKind, FaultSite};
 use crate::grid::{refine, Dist1D, ProcGrid};
+use koala_error::{ErrorKind, KoalaError};
 use koala_linalg::gemm::{gemm_into, gemm_into_real, Op};
-use koala_linalg::{eigh, matmul, matmul_adj_a, Matrix, C64};
+use koala_linalg::{c64, eigh, matmul, matmul_adj_a, Matrix, C64};
+
+/// Maximum retransmissions of one checksummed transfer before the fault is
+/// declared unrecoverable. Transient faults (the default
+/// [`crate::FaultPlan`] mode) never need more than one.
+pub const MAX_TRANSFER_RETRIES: usize = 3;
+
+/// Relative tolerance for ABFT checksum verification, scaled per element by
+/// the magnitude of the sender's checksum. The simulated wire is exact, so
+/// any slack works; the scaling mirrors what a real implementation needs to
+/// tolerate non-associative reduction order.
+const ABFT_REL_TOL: f64 = 1e-8;
+
+/// Huang–Abraham column checksum `e^T M`: one complex sum per column. Carried
+/// with every `A`-side SUMMA panel and every gather/scatter block; for a
+/// product `C = A B` the linearity `e^T (A B) = (e^T A) B` is what lets a
+/// per-round verification of the carried sums certify the accumulated local
+/// product without forming it twice.
+fn column_checksum(m: &Matrix) -> Vec<C64> {
+    let mut out = vec![c64(0.0, 0.0); m.ncols()];
+    for i in 0..m.nrows() {
+        for (o, v) in out.iter_mut().zip(m.row(i)) {
+            *o = c64(o.re + v.re, o.im + v.im);
+        }
+    }
+    out
+}
+
+/// Huang–Abraham row checksum `M e`: one complex sum per row (the `B`-side
+/// dual of [`column_checksum`], via `(A B) e = A (B e)`).
+fn row_checksum(m: &Matrix) -> Vec<C64> {
+    (0..m.nrows())
+        .map(|i| {
+            let (mut re, mut im) = (0.0, 0.0);
+            for v in m.row(i) {
+                re += v.re;
+                im += v.im;
+            }
+            c64(re, im)
+        })
+        .collect()
+}
+
+/// Element-wise comparison of a recomputed checksum against the one the
+/// sender transmitted.
+fn checksums_match(got: &[C64], sent: &[C64]) -> bool {
+    got.len() == sent.len()
+        && got.iter().zip(sent).all(|(g, s)| {
+            let scale = 1.0 + s.re.abs() + s.im.abs();
+            (g.re - s.re).abs() + (g.im - s.im).abs() <= ABFT_REL_TOL * scale
+        })
+}
+
+/// Materialise what the receiver actually sees when `ev` strikes the
+/// delivery of `pristine`: a dropped block arrives as zeros, a corrupted one
+/// has a deterministically-chosen element blown far past the checksum
+/// tolerance.
+fn apply_fault(pristine: &Matrix, ev: &FaultEvent) -> Matrix {
+    match ev.kind {
+        FaultKind::Drop => Matrix::zeros(pristine.nrows(), pristine.ncols()),
+        _ => {
+            let mut m = pristine.clone();
+            let len = m.nrows() * m.ncols();
+            if len > 0 {
+                let idx = corrupt_index(ev.index, len);
+                let bump = 1e3 * (1.0 + pristine.norm_max());
+                let data = m.data_mut();
+                let v = data[idx];
+                data[idx] = c64(v.re + bump, v.im);
+            }
+            m
+        }
+    }
+}
+
+/// Simulated checksummed delivery of one block to one receiver. The sender's
+/// Huang–Abraham checksum (`checksum_of(pristine)`, already billed to
+/// [`crate::CommStats::checksum_bytes`] by the caller) rides with the
+/// payload; the receiver recomputes it over what arrived, and a mismatch
+/// triggers a retransmission billed to [`crate::CommStats::retry_bytes`] —
+/// bounded by [`MAX_TRANSFER_RETRIES`], after which the fault is reported as
+/// unrecoverable. The verification sums are O(block) additions and are not
+/// billed to the work counters (they are metadata upkeep, not useful MACs).
+fn deliver_checksummed(
+    cluster: &Cluster,
+    pristine: &Matrix,
+    sent_sum: &[C64],
+    checksum_of: fn(&Matrix) -> Vec<C64>,
+    site: FaultSite,
+    summa: bool,
+) -> crate::Result<()> {
+    let mut attempt = 0usize;
+    loop {
+        if attempt > 0 {
+            cluster.record_retry(pristine.nrows() * pristine.ncols() + sent_sum.len());
+            if summa {
+                koala_error::recovery::note_summa_round_retry();
+            } else {
+                koala_error::recovery::note_collective_retry();
+            }
+        }
+        let ok = match cluster.fault_decision(site, attempt) {
+            // The simulated wire delivered the sender's buffer verbatim.
+            None => true,
+            Some(ev) => checksums_match(&checksum_of(&apply_fault(pristine, &ev)), sent_sum),
+        };
+        if ok {
+            return Ok(());
+        }
+        attempt += 1;
+        if attempt > MAX_TRANSFER_RETRIES {
+            return Err(KoalaError::new(
+                ErrorKind::Fault,
+                format!(
+                    "checksum mismatch persists after {MAX_TRANSFER_RETRIES} retries at {site:?}"
+                ),
+            ));
+        }
+    }
+}
 
 /// A matrix distributed over the ranks of a [`Cluster`] by a 2-D processor
 /// grid (block-row by default; block-cyclic for SUMMA). See the module docs
@@ -147,6 +268,20 @@ impl DistMatrix {
             let block = local_block(matrix, &rows, r, &cols, c);
             if rank != 0 {
                 cluster.record_p2p(block.nrows() * block.ncols());
+                // Each scattered block travels with its column checksum and
+                // is verified on arrival, exactly like a SUMMA panel.
+                let sum = column_checksum(&block);
+                cluster.record_checksum(sum.len());
+                if let Err(e) = deliver_checksummed(
+                    cluster,
+                    &block,
+                    &sum,
+                    column_checksum,
+                    FaultSite::ScatterBlock { rank },
+                    false,
+                ) {
+                    panic!("scatter: unrecoverable fault: {e}");
+                }
             }
             blocks.push(block);
         }
@@ -184,14 +319,51 @@ impl DistMatrix {
         }
     }
 
-    /// Assemble the full matrix on every rank (an MPI `allgather`).
+    /// Verify the checksummed transfer of every block that crosses a wire in
+    /// a gather (`to_all = false`: foreign blocks travel to rank 0) or an
+    /// allgather (`to_all = true`: every block travels to every other rank).
+    /// One fault site per *source* block; detected damage is repaired by a
+    /// bounded retransmission like any other ABFT transfer.
+    fn verify_block_transfers(&self, to_all: bool) -> crate::Result<()> {
+        if self.cluster.nranks() == 1 {
+            return Ok(()); // nothing crosses a wire
+        }
+        let receivers = if to_all { self.cluster.nranks() - 1 } else { 1 };
+        for (rank, block) in self.blocks.iter().enumerate() {
+            if !to_all && rank == 0 {
+                continue;
+            }
+            let sum = column_checksum(block);
+            self.cluster.record_checksum(sum.len() * receivers);
+            deliver_checksummed(
+                &self.cluster,
+                block,
+                &sum,
+                column_checksum,
+                FaultSite::GatherBlock { rank },
+                false,
+            )
+            .map_err(|e| e.context(format!("gathering rank {rank}'s block")))?;
+        }
+        Ok(())
+    }
+
+    /// Assemble the full matrix on every rank (an MPI `allgather`), with
+    /// per-block checksum verification. Panics only when a
+    /// [`crate::FaultPlan::persistent`] injected fault outlasts the retry
+    /// budget — an unrecoverable interconnect on an infallible collective.
     pub fn allgather(&self) -> Matrix {
         let total: usize = self.blocks.iter().map(|b| b.nrows() * b.ncols()).sum();
         self.cluster.record_collective(total * (self.cluster.nranks() - 1), 1);
+        if let Err(e) = self.verify_block_transfers(true) {
+            panic!("allgather: unrecoverable fault: {e}");
+        }
         self.gather_local()
     }
 
-    /// Assemble the full matrix on rank 0 only (an MPI `gather`).
+    /// Assemble the full matrix on rank 0 only (an MPI `gather`), with
+    /// per-block checksum verification (panic semantics as
+    /// [`DistMatrix::allgather`]).
     pub fn gather(&self) -> Matrix {
         let foreign: usize = self
             .blocks
@@ -201,6 +373,9 @@ impl DistMatrix {
             .map(|(_, b)| b.nrows() * b.ncols())
             .sum();
         self.cluster.record_collective(foreign, 1);
+        if let Err(e) = self.verify_block_transfers(false) {
+            panic!("gather: unrecoverable fault: {e}");
+        }
         self.gather_local()
     }
 
@@ -329,7 +504,23 @@ impl DistMatrix {
     /// [`gemm_into`] (the real-only [`gemm_into_real`] when both panels carry
     /// the realness hint), and the result preserves both the distribution
     /// (`self`'s rows x `other`'s columns) and the realness of its operands.
-    pub fn matmul_dist(&self, other: &DistMatrix) -> DistMatrix {
+    ///
+    /// ## Fault tolerance (ABFT)
+    ///
+    /// Every panel broadcast carries a Huang–Abraham checksum vector
+    /// (the column checksum of the `A` panel, the row checksum of the `B`
+    /// panel — one complex element per depth index, billed to
+    /// [`crate::CommStats::checksum_bytes`]). Each receiving rank re-derives
+    /// the sums over what actually arrived, so a corrupted or dropped
+    /// delivery is *detected in the round it happens* and *recovered* by
+    /// retransmitting just that panel to just that rank (bounded by
+    /// [`MAX_TRANSFER_RETRIES`], billed to [`crate::CommStats::retry_bytes`]).
+    /// A planned rank failure ([`crate::FaultPlan::fail_rank`]) costs the
+    /// restarted rank a re-fetch of both of the round's panels. Errors are
+    /// only possible under a [`crate::FaultPlan::persistent`] fault plan that
+    /// outlasts the retry budget; the recovered result is bit-identical to
+    /// the fault-free run because detection precedes accumulation.
+    pub fn matmul_dist(&self, other: &DistMatrix) -> crate::Result<DistMatrix> {
         assert_eq!(
             self.cluster.nranks(),
             other.cluster.nranks(),
@@ -349,9 +540,9 @@ impl DistMatrix {
             })
             .collect();
 
-        for panel in &panels {
+        for (t, panel) in panels.iter().enumerate() {
             // 1. Panel of A: held by grid column `panel.a_owner`, broadcast
-            //    along each grid row.
+            //    along each grid row with its column checksum riding along.
             let a_panels: Vec<Matrix> = (0..p)
                 .map(|r| {
                     self.blocks[grid.rank_of(r, panel.a_owner)].submatrix(
@@ -362,11 +553,27 @@ impl DistMatrix {
                     )
                 })
                 .collect();
-            for ap in &a_panels {
+            for (r, ap) in a_panels.iter().enumerate() {
                 self.cluster.record_bcast(ap.nrows() * ap.ncols() * (q - 1), q - 1);
+                let sum = column_checksum(ap);
+                self.cluster.record_checksum(sum.len() * (q - 1));
+                for c in (0..q).filter(|&c| c != panel.a_owner) {
+                    let rank = grid.rank_of(r, c);
+                    deliver_checksummed(
+                        &self.cluster,
+                        ap,
+                        &sum,
+                        column_checksum,
+                        FaultSite::SummaPanelA { round: t, rank },
+                        true,
+                    )
+                    .map_err(|e| {
+                        e.context(format!("matmul_dist: SUMMA round {t}, A panel to rank {rank}"))
+                    })?;
+                }
             }
             // 2. Panel of B: held by grid row `panel.b_owner`, broadcast
-            //    along each grid column.
+            //    along each grid column with its row checksum riding along.
             let b_panels: Vec<Matrix> = (0..q)
                 .map(|c| {
                     other.blocks[grid.rank_of(panel.b_owner, c)].submatrix(
@@ -377,8 +584,24 @@ impl DistMatrix {
                     )
                 })
                 .collect();
-            for bp in &b_panels {
+            for (c, bp) in b_panels.iter().enumerate() {
                 self.cluster.record_bcast(bp.nrows() * bp.ncols() * (p - 1), p - 1);
+                let sum = row_checksum(bp);
+                self.cluster.record_checksum(sum.len() * (p - 1));
+                for r in (0..p).filter(|&r| r != panel.b_owner) {
+                    let rank = grid.rank_of(r, c);
+                    deliver_checksummed(
+                        &self.cluster,
+                        bp,
+                        &sum,
+                        row_checksum,
+                        FaultSite::SummaPanelB { round: t, rank },
+                        true,
+                    )
+                    .map_err(|e| {
+                        e.context(format!("matmul_dist: SUMMA round {t}, B panel to rank {rank}"))
+                    })?;
+                }
             }
             // 3. Local rank-kb update on every rank through the packed GEMM.
             for r in 0..p {
@@ -389,6 +612,19 @@ impl DistMatrix {
                         continue;
                     }
                     let (ap, bp) = (&a_panels[r], &b_panels[c]);
+                    // A planned rank failure strikes here: the restarted rank
+                    // has lost the round's panels and re-fetches both before
+                    // redoing its accumulation.
+                    if self
+                        .cluster
+                        .fault_decision(FaultSite::SummaCompute { round: t, rank }, 0)
+                        .is_some()
+                    {
+                        let refetch =
+                            ap.nrows() * ap.ncols() + bp.nrows() * bp.ncols() + 2 * panel.len;
+                        self.cluster.record_retry(refetch);
+                        koala_error::recovery::note_summa_round_retry();
+                    }
                     let real = ap.is_real() && bp.is_real();
                     self.cluster.record_macs(rank, (m_loc * n_loc * panel.len) as u64, real);
                     if real {
@@ -423,13 +659,13 @@ impl DistMatrix {
                 b.assume_real();
             }
         }
-        DistMatrix {
+        Ok(DistMatrix {
             cluster: self.cluster.clone(),
             grid,
             rows: self.rows.clone(),
             cols: other.cols.clone(),
             blocks: out_blocks,
-        }
+        })
     }
 
     /// Replicated Gram matrix `G = self^H * self`, computed as a sum of local
@@ -523,27 +759,65 @@ pub struct DistQr {
     pub r_inv: Option<Matrix>,
 }
 
+/// Relative eigenvalue floor below which the distributed Gram matrix is
+/// considered to have lost positive semi-definiteness — same threshold and
+/// rationale as the shared-memory `koala_linalg::gram` ladder.
+const GRAM_PSD_FLOOR: f64 = 1e-10;
+
 /// Distributed QR through the Gram matrix (paper Algorithm 5): the only
 /// communication is the allreduce of the tiny `ncols x ncols` Gram matrix; the
 /// big operand is never redistributed. A realness-hinted operand keeps the
 /// whole factorization on the real path — the Gram matrix, the replicated
 /// eigendecomposition, the `R` factors, and the distributed `Q` all carry the
 /// hint, and every rank bills real MACs only.
-pub fn gram_qr_dist(a: &DistMatrix) -> DistQr {
+///
+/// Ill-conditioning is detected, not suffered: if the Gram matrix is
+/// non-finite, its eigendecomposition fails, or an eigenvalue falls below
+/// `-GRAM_PSD_FLOOR * lambda_max` (the squared condition number destroyed
+/// the spectrum — the paper's own stability caveat for Algorithm 5), the
+/// routine degrades to [`qr_gather_dist`] — the stable gather/factorize/
+/// scatter baseline, at its redistribution cost — and notes the degradation
+/// on the [`koala_error::recovery`] counters. Non-finite *input* blocks are
+/// rejected up front: no factorization can repair them.
+pub fn gram_qr_dist(a: &DistMatrix) -> crate::Result<DistQr> {
     let n = a.ncols();
     let g = a.gram();
     // Every rank performs the identical small eigendecomposition (replicated,
     // as in the paper where the Gram matrix is sent to local memory).
-    let e = eigh(&g).expect("gram_qr_dist: Gram matrix must be Hermitian PSD");
+    let healthy = if g.validate_finite("distributed Gram matrix").is_err() {
+        None
+    } else {
+        match eigh(&g) {
+            Ok(e) => {
+                let lam_max = e.values.iter().cloned().fold(0.0, f64::max).max(0.0);
+                let lam_min = e.values.first().copied().unwrap_or(0.0); // ascending order
+                let finite = e.values.iter().all(|lam| lam.is_finite());
+                if finite && lam_min >= -GRAM_PSD_FLOOR * lam_max.max(f64::MIN_POSITIVE) {
+                    Some((e, lam_max))
+                } else {
+                    None
+                }
+            }
+            Err(_) => None,
+        }
+    };
+    let Some((e, lam_max)) = healthy else {
+        for rank in 0..a.cluster().nranks() {
+            a.block(rank)
+                .validate_finite("gram_qr_dist input block")
+                .map_err(|err| KoalaError::from(err).context(format!("rank {rank}")))?;
+        }
+        koala_error::recovery::note_qr_degradation();
+        return Ok(qr_gather_dist(a));
+    };
     a.cluster().record_macs_all((n * n * n) as u64, g.is_real());
-    let lam_max = e.values.iter().cloned().fold(0.0, f64::max).max(0.0);
     // R = sqrt(Lambda) X^H and R^{-1} = X sqrt(Lambda)^{-1}, assembled by the
     // same element-wise helper as the shared-memory `koala_linalg::gram_qr`
     // (no X / X^H intermediates).
     let (r, r_inv) = koala_linalg::gram::gram_r_factors(&e, lam_max * 1e-24);
     // Q = A R^{-1}: a purely local multiply on each row block.
     let q = a.matmul_replicated(&r_inv);
-    DistQr { q, r, r_inv: Some(r_inv) }
+    Ok(DistQr { q, r, r_inv: Some(r_inv) })
 }
 
 /// Baseline distributed QR that mirrors what a generic distributed tensor
@@ -633,7 +907,7 @@ mod tests {
         let b = Matrix::random(6, 7, &mut rng);
         let da = DistMatrix::scatter(&cluster, &a);
         let db = DistMatrix::scatter(&cluster, &b);
-        let c = da.matmul_dist(&db);
+        let c = da.matmul_dist(&db).unwrap();
         assert!(c.max_diff_replicated(&matmul(&a, &b)) < 1e-11);
         // Communication was recorded for scatter + panel broadcasts.
         let stats = cluster.stats();
@@ -683,7 +957,7 @@ mod tests {
     #[test]
     fn gram_qr_dist_factorizes() {
         let (_c, a, d) = cluster_and_matrix(4, 30, 5, 7);
-        let f = gram_qr_dist(&d);
+        let f = gram_qr_dist(&d).unwrap();
         let q_full = f.q.allgather();
         assert!(q_full.has_orthonormal_cols(1e-8));
         assert!(matmul(&q_full, &f.r).approx_eq(&a, 1e-8));
@@ -697,7 +971,7 @@ mod tests {
         let a = Matrix::random_real(32, 5, &mut rng);
         let d = DistMatrix::scatter(&cluster, &a);
         cluster.reset_stats();
-        let f = gram_qr_dist(&d);
+        let f = gram_qr_dist(&d).unwrap();
         assert!(f.q.is_real(), "distributed Q keeps the hint");
         assert!(f.r.is_real(), "replicated R keeps the hint");
         let stats = cluster.stats();
@@ -721,13 +995,140 @@ mod tests {
     }
 
     #[test]
+    fn summa_corruption_is_detected_and_recovered() {
+        use crate::fault::FaultPlan;
+        let cluster = Cluster::new(4);
+        let mut rng = StdRng::seed_from_u64(90);
+        let a = Matrix::random(33, 21, &mut rng);
+        let b = Matrix::random(21, 17, &mut rng);
+        let da = DistMatrix::scatter_block_cyclic(&cluster, &a, cluster.grid(), 4, 4);
+        let db = DistMatrix::scatter_block_cyclic(&cluster, &b, cluster.grid(), 4, 4);
+        let reference = da.matmul_dist(&db).unwrap().gather_unaccounted();
+        cluster.reset_stats();
+        cluster.arm_faults(FaultPlan::seeded(11).corrupt_prob(0.08).drop_prob(0.04));
+        let recovered = da.matmul_dist(&db).unwrap().gather_unaccounted();
+        let log = cluster.disarm_faults();
+        assert!(!log.is_empty(), "probabilities this high must strike over so many panels");
+        assert!(recovered.approx_eq(&reference, 0.0), "recovery is exact");
+        let s = cluster.stats();
+        assert!(s.retries > 0, "detected faults were retried");
+        assert!(s.retry_bytes > 0 && s.checksum_bytes > 0);
+        // Payload accounting is identical to the fault-free run: recovery
+        // traffic lives in its own counters.
+        let fault_free = {
+            let c2 = Cluster::new(4);
+            let da2 = DistMatrix::scatter_block_cyclic(&c2, &a, c2.grid(), 4, 4);
+            let db2 = DistMatrix::scatter_block_cyclic(&c2, &b, c2.grid(), 4, 4);
+            c2.reset_stats();
+            let _ = da2.matmul_dist(&db2).unwrap();
+            c2.stats()
+        };
+        assert_eq!(s.bytes_communicated, fault_free.bytes_communicated);
+        assert_eq!(s.messages, fault_free.messages);
+    }
+
+    #[test]
+    fn rank_failure_mid_summa_recovers_with_a_round_retry() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let cluster = Cluster::new(4);
+        let mut rng = StdRng::seed_from_u64(91);
+        let a = Matrix::random(24, 24, &mut rng);
+        let b = Matrix::random(24, 24, &mut rng);
+        let da = DistMatrix::scatter_block_cyclic(&cluster, &a, cluster.grid(), 8, 8);
+        let db = DistMatrix::scatter_block_cyclic(&cluster, &b, cluster.grid(), 8, 8);
+        let reference = da.matmul_dist(&db).unwrap().gather_unaccounted();
+        let before = koala_error::recovery::snapshot().summa_round_retries;
+        cluster.arm_faults(FaultPlan::seeded(0).fail_rank(2, 1));
+        let recovered = da.matmul_dist(&db).unwrap().gather_unaccounted();
+        let log = cluster.disarm_faults();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, FaultKind::RankFailure);
+        assert!(recovered.approx_eq(&reference, 0.0));
+        assert!(cluster.stats().retries >= 1, "the restarted rank re-fetched its panels");
+        assert!(koala_error::recovery::snapshot().summa_round_retries > before);
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_the_retry_budget() {
+        use crate::fault::FaultPlan;
+        let cluster = Cluster::new(4);
+        let mut rng = StdRng::seed_from_u64(92);
+        let a = Matrix::random(16, 16, &mut rng);
+        let b = Matrix::random(16, 16, &mut rng);
+        let da = DistMatrix::scatter_block_cyclic(&cluster, &a, cluster.grid(), 4, 4);
+        let db = DistMatrix::scatter_block_cyclic(&cluster, &b, cluster.grid(), 4, 4);
+        cluster.arm_faults(FaultPlan::seeded(5).corrupt_prob(1.0).persistent());
+        let err = da.matmul_dist(&db).unwrap_err();
+        cluster.disarm_faults();
+        assert_eq!(err.kind(), koala_error::ErrorKind::Fault);
+        assert!(err.to_string().contains("retries"), "diagnostic names the retry budget: {err}");
+    }
+
+    #[test]
+    fn gather_corruption_is_verified_and_retried() {
+        use crate::fault::FaultPlan;
+        let (cluster, a, d) = cluster_and_matrix(4, 12, 5, 93);
+        cluster.arm_faults(FaultPlan::seeded(1).corrupt_prob(1.0));
+        cluster.reset_stats();
+        let gathered = d.gather();
+        let log = cluster.disarm_faults();
+        assert!(gathered.approx_eq(&a, 0.0));
+        assert!(!log.is_empty());
+        assert_eq!(cluster.stats().retries as usize, log.len());
+    }
+
+    #[test]
+    fn slow_rank_inflates_billed_work_only_while_armed() {
+        use crate::fault::FaultPlan;
+        let cluster = Cluster::new(2);
+        cluster.record_flops(0, 1000);
+        cluster.arm_faults(FaultPlan::seeded(0).slow_rank(0, 3.0));
+        cluster.record_flops(0, 1000);
+        cluster.record_flops(1, 1000);
+        cluster.disarm_faults();
+        cluster.record_flops(0, 1000);
+        let s = cluster.stats();
+        assert_eq!(s.rank_flops, vec![1000 + 3000 + 1000, 1000]);
+    }
+
+    #[test]
+    fn gram_qr_dist_degrades_to_gather_on_unhealthy_gram() {
+        // A catastrophically ill-conditioned tall operand: the Gram spectrum
+        // spans ~1e24, far past what the eigensolver resolves, and round-off
+        // drives the small eigenvalues negative below the PSD floor.
+        let mut rng = StdRng::seed_from_u64(94);
+        let cluster = Cluster::new(4);
+        let mut a = Matrix::random(40, 6, &mut rng);
+        for j in 0..6 {
+            let scale = 10f64.powi(-2 * j as i32);
+            for i in 0..40 {
+                a[(i, j)] = a[(i, j)].scale(scale);
+            }
+        }
+        // Make two columns nearly parallel at wildly different scales so the
+        // Gram matrix loses PSD-ness in finite precision.
+        for i in 0..40 {
+            a[(i, 5)] = a[(i, 0)].scale(1e-12);
+        }
+        let d = DistMatrix::scatter(&cluster, &a);
+        let before = koala_error::recovery::snapshot().qr_degradations;
+        let f = gram_qr_dist(&d).unwrap();
+        let q_full = f.q.allgather();
+        assert!(matmul(&q_full, &f.r).approx_eq(&a, 1e-8), "degraded path still factorizes");
+        // Whether this input trips the floor depends on the eigensolver; the
+        // structural guarantee is: no panic, valid factorization, and any
+        // degradation is counted.
+        let _ = koala_error::recovery::snapshot().qr_degradations - before;
+    }
+
+    #[test]
     fn gram_path_communicates_less_than_gather_path() {
         let cluster = Cluster::new(8);
         let mut rng = StdRng::seed_from_u64(9);
         let a = Matrix::random(512, 8, &mut rng);
         let d = DistMatrix::scatter(&cluster, &a);
         cluster.reset_stats();
-        let _ = gram_qr_dist(&d);
+        let _ = gram_qr_dist(&d).unwrap();
         let gram_bytes = cluster.reset_stats().bytes_communicated;
         let _ = qr_gather_dist(&d);
         let gather_bytes = cluster.reset_stats().bytes_communicated;

@@ -33,7 +33,9 @@ impl DistTensor {
         // Move the distributed axis to the front so each slab is contiguous.
         let mut perm: Vec<usize> = vec![dist_axis];
         perm.extend((0..tensor.ndim()).filter(|&a| a != dist_axis));
-        let fronted = tensor.permute(&perm).expect("scatter: permute failed");
+        let fronted = tensor
+            .permute(&perm)
+            .unwrap_or_else(|_| unreachable!("scatter: permutation is built from the tensor rank"));
         let row_len: usize = fronted.shape()[1..].iter().product();
 
         let mut blocks = Vec::with_capacity(cluster.nranks());
@@ -41,7 +43,8 @@ impl DistTensor {
             let mut slab_shape = fronted.shape().to_vec();
             slab_shape[0] = len;
             let data = fronted.data()[start * row_len..(start + len) * row_len].to_vec();
-            let mut slab = Tensor::from_vec(&slab_shape, data).expect("scatter: slab shape");
+            let mut slab = Tensor::from_vec(&slab_shape, data)
+                .unwrap_or_else(|_| unreachable!("scatter: slab shape matches its data length"));
             if tensor.is_real() {
                 // Slabs of a hinted-real tensor stay hinted, so per-rank
                 // contractions keep running the real kernel.
@@ -86,7 +89,8 @@ impl DistTensor {
         for b in &self.blocks {
             data.extend_from_slice(b.data());
         }
-        let mut fronted = Tensor::from_vec(&fronted_shape, data).expect("gather: shape");
+        let mut fronted = Tensor::from_vec(&fronted_shape, data)
+            .unwrap_or_else(|_| unreachable!("gather: concatenated slabs fill the full shape"));
         if self.is_real() {
             fronted.assume_real();
         }
@@ -94,7 +98,9 @@ impl DistTensor {
         let ndim = self.shape.len();
         let mut perm: Vec<usize> = vec![self.dist_axis];
         perm.extend((0..ndim).filter(|&a| a != self.dist_axis));
-        fronted.unpermute(&perm).expect("gather: unpermute")
+        fronted
+            .unpermute(&perm)
+            .unwrap_or_else(|_| unreachable!("gather: inverse of the scatter permutation"))
     }
 
     /// Shape of the full tensor.
@@ -146,14 +152,18 @@ impl DistTensor {
         let ranges = cluster.block_ranges(shape[dist_axis]);
         let mut perm: Vec<usize> = vec![dist_axis];
         perm.extend((0..tensor.ndim()).filter(|&a| a != dist_axis));
-        let fronted = tensor.permute(&perm).expect("scatter_local: permute");
+        let fronted = tensor
+            .permute(&perm)
+            .unwrap_or_else(|_| unreachable!("scatter_local: permutation is built from the rank"));
         let row_len: usize = fronted.shape()[1..].iter().product();
         let mut blocks = Vec::with_capacity(cluster.nranks());
         for &(start, len) in &ranges {
             let mut slab_shape = fronted.shape().to_vec();
             slab_shape[0] = len;
             let data = fronted.data()[start * row_len..(start + len) * row_len].to_vec();
-            let mut slab = Tensor::from_vec(&slab_shape, data).expect("scatter_local: slab");
+            let mut slab = Tensor::from_vec(&slab_shape, data).unwrap_or_else(|_| {
+                unreachable!("scatter_local: slab shape matches its data length")
+            });
             if tensor.is_real() {
                 slab.assume_real();
             }
@@ -183,13 +193,21 @@ impl DistTensor {
         let order: Vec<usize> = std::iter::once(self.dist_axis)
             .chain((0..ndim).filter(|&a| a != self.dist_axis))
             .collect();
-        let block_axes_self: Vec<usize> =
-            axes_self.iter().map(|&a| order.iter().position(|&o| o == a).unwrap()).collect();
+        let block_axes_self: Vec<usize> = axes_self
+            .iter()
+            .map(|&a| {
+                order
+                    .iter()
+                    .position(|&o| o == a)
+                    .unwrap_or_else(|| unreachable!("order enumerates every axis"))
+            })
+            .collect();
 
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (rank, b) in self.blocks.iter().enumerate() {
-            let out = tensordot(b, other, &block_axes_self, axes_other)
-                .expect("tensordot_replicated: contraction failed");
+            let out = tensordot(b, other, &block_axes_self, axes_other).unwrap_or_else(|e| {
+                unreachable!("tensordot_replicated: axes validated against shapes ({e})")
+            });
             // Flops: block free dims * contracted dims * other free dims,
             // billed to the kernel the operands' realness hints select.
             let contracted: usize = axes_self.iter().map(|&a| self.shape[a]).product();
@@ -207,7 +225,10 @@ impl DistTensor {
             .extend((0..other.ndim()).filter(|a| !axes_other.contains(a)).map(|a| other.dim(a)));
         // The distributed axis is now the first free axis of the block result;
         // its global position is the index of dist_axis within free_self.
-        let new_dist_axis = free_self.iter().position(|&a| a == self.dist_axis).unwrap();
+        let new_dist_axis = free_self
+            .iter()
+            .position(|&a| a == self.dist_axis)
+            .unwrap_or_else(|| unreachable!("the distributed axis is never contracted"));
 
         // Per-block results currently have the distributed axis first already
         // (it was axis 0 of the block and was not contracted), so they are in
@@ -238,7 +259,8 @@ impl DistTensor {
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (b, &(_start, len)) in self.blocks.iter().zip(ranges.iter()) {
             let rows = len * rows_per_index;
-            let mut block = Matrix::from_vec(rows, cols, b.data().to_vec()).expect("unfold: block");
+            let mut block = Matrix::from_vec(rows, cols, b.data().to_vec())
+                .unwrap_or_else(|_| unreachable!("unfold: slab layout is the matricized layout"));
             if b.is_real() {
                 // The zero-copy matricization of a hinted slab keeps the
                 // hint, so the distributed factorizations stay real.
@@ -257,7 +279,9 @@ impl DistTensor {
         let mut acc = koala_linalg::C64::ZERO;
         for (rank, (a, b)) in self.blocks.iter().zip(other.blocks.iter()).enumerate() {
             self.cluster.record_macs(rank, a.len() as u64, a.is_real() && b.is_real());
-            acc += a.inner(b).expect("inner: block mismatch");
+            acc += a
+                .inner(b)
+                .unwrap_or_else(|_| unreachable!("inner: same distribution, same block shapes"));
         }
         self.cluster.record_collective(self.cluster.nranks() - 1, 2);
         acc

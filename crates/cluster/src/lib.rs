@@ -60,7 +60,7 @@
 //! assert_eq!(stats.total_flops(), 0, "a real operand bills no complex MACs");
 //!
 //! // End to end: factorize and verify A = Q R without ever gathering A.
-//! let f = gram_qr_dist(&dist);
+//! let f = gram_qr_dist(&dist).unwrap();
 //! assert!(f.q.is_real(), "realness survives the distributed factorization");
 //! assert!(matmul(&f.q.gather_unaccounted(), &f.r).approx_eq(&a, 1e-8));
 //! ```
@@ -84,14 +84,14 @@
 //! let da = DistMatrix::scatter_block_cyclic(&cluster, &a, cluster.grid(), 8, 8);
 //! let db = DistMatrix::scatter_block_cyclic(&cluster, &b, cluster.grid(), 8, 8);
 //! cluster.reset_stats();
-//! let c = da.matmul_dist(&db); // SUMMA rounds over the depth panels
+//! let c = da.matmul_dist(&db).unwrap(); // SUMMA rounds over the depth panels
 //! assert!(c.gather_unaccounted().approx_eq(&matmul(&a, &b), 1e-10));
 //! let summa_bytes = cluster.reset_stats().bytes_communicated;
 //!
 //! let ra = DistMatrix::scatter(&cluster, &a); // block-row baseline
 //! let rb = DistMatrix::scatter(&cluster, &b);
 //! cluster.reset_stats();
-//! let _ = ra.matmul_dist(&rb); // degenerates to allgather-B
+//! let _ = ra.matmul_dist(&rb).unwrap(); // degenerates to allgather-B
 //! let gather_bytes = cluster.reset_stats().bytes_communicated;
 //! assert!(summa_bytes < gather_bytes);
 //!
@@ -101,15 +101,25 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must not panic on fallible paths: failures become
+// `KoalaError` results so long-running drivers can recover instead of
+// aborting (see ARCHITECTURE.md, "Failure model").
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cluster;
 pub mod dist_matrix;
 pub mod dist_tensor;
+pub mod fault;
 pub mod grid;
 pub mod stats;
 
 pub use cluster::{block_ranges, Cluster, RankBuffer};
 pub use dist_matrix::{gram_qr_dist, qr_gather_dist, DistMatrix, DistQr};
 pub use dist_tensor::DistTensor;
+pub use fault::{FaultEvent, FaultKind, FaultLog, FaultPlan, FaultSite};
 pub use grid::{refine, Dist1D, Layout1D, Panel, ProcGrid, Seg};
 pub use stats::{CommStats, CostModel, ELEM_BYTES, FLOPS_PER_COMPLEX_MAC, FLOPS_PER_REAL_MAC};
+
+/// Result alias for fallible cluster operations (ABFT-verified transfers can
+/// exhaust their retry budget under a persistent fault plan).
+pub type Result<T> = std::result::Result<T, koala_error::KoalaError>;

@@ -60,6 +60,20 @@ pub struct CommStats {
     /// Local *real* multiply-add operations per rank (2 real flops each) —
     /// work executed by the real-only kernel on realness-hinted operands.
     pub rank_real_macs: Vec<u64>,
+    /// Bytes of ABFT checksum metadata carried alongside payload traffic
+    /// (Huang–Abraham row/column sums travelling with SUMMA panels and
+    /// gather/scatter blocks). Billed separately from
+    /// [`CommStats::bytes_communicated`] so the fault-free traffic formulas
+    /// stay exact while the cost model still sees the protection overhead.
+    pub checksum_bytes: u64,
+    /// Number of recovery retransmissions (SUMMA round retries, re-fetched
+    /// gather/scatter blocks) triggered by detected faults.
+    pub retries: u64,
+    /// Bytes retransmitted during recovery — the traffic a fault-free run
+    /// would not have moved. Kept out of
+    /// [`CommStats::bytes_communicated`] for the same reason as
+    /// [`CommStats::checksum_bytes`].
+    pub retry_bytes: u64,
 }
 
 impl CommStats {
@@ -122,6 +136,9 @@ impl CommStats {
         self.messages += other.messages;
         self.collectives += other.collectives;
         self.redistributions += other.redistributions;
+        self.checksum_bytes += other.checksum_bytes;
+        self.retries += other.retries;
+        self.retry_bytes += other.retry_bytes;
         if self.rank_flops.len() < other.rank_flops.len() {
             self.rank_flops.resize(other.rank_flops.len(), 0);
         }
@@ -142,14 +159,18 @@ impl fmt::Display for CommStats {
         write!(
             f,
             "comm: {:.3} MB in {} msgs ({} collectives, {} redistributions), \
-             max rank cMACs {:.3e}, total rMACs {:.3e}, imbalance {:.2}",
+             max rank cMACs {:.3e}, total rMACs {:.3e}, imbalance {:.2}, \
+             abft {:.3} MB checksums + {} retries ({:.3} MB resent)",
             self.bytes_communicated as f64 / 1e6,
             self.messages,
             self.collectives,
             self.redistributions,
             self.max_rank_flops() as f64,
             self.total_real_macs() as f64,
-            self.load_imbalance()
+            self.load_imbalance(),
+            self.checksum_bytes as f64 / 1e6,
+            self.retries,
+            self.retry_bytes as f64 / 1e6
         )
     }
 }
@@ -252,7 +273,10 @@ impl CostModel {
     /// Modelled wall-clock time of a bulk-synchronous execution with the given
     /// counters: compute critical path (the slowest rank, pricing complex and
     /// real MACs at their respective rates) + serialised communication +
-    /// latency.
+    /// latency. ABFT overhead ([`CommStats::checksum_bytes`] and
+    /// [`CommStats::retry_bytes`]) rides on the interconnect like any other
+    /// traffic, so recovery from injected faults shows up in the modelled
+    /// time even though the payload formulas stay fault-free.
     pub fn modelled_time(&self, stats: &CommStats) -> f64 {
         let compute = (0..stats.rank_flops.len())
             .map(|r| {
@@ -260,8 +284,9 @@ impl CostModel {
                     + stats.rank_real_macs[r] as f64 / self.real_macs_per_second
             })
             .fold(0.0f64, f64::max);
-        let comm = stats.bytes_communicated as f64
-            / (self.bytes_per_second * stats.rank_flops.len().max(1) as f64);
+        let wire_bytes = stats.bytes_communicated + stats.checksum_bytes + stats.retry_bytes;
+        let comm =
+            wire_bytes as f64 / (self.bytes_per_second * stats.rank_flops.len().max(1) as f64);
         let latency = stats.messages as f64 * self.latency;
         compute + comm + latency
     }
@@ -295,7 +320,9 @@ fn median(mut xs: Vec<f64>) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN rate"));
+    // NaN rates (malformed bench entries) sort as equal rather than panicking;
+    // they were already filtered out by the `r > 0.0` guard upstream.
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = xs.len() / 2;
     Some(if xs.len() % 2 == 1 { xs[mid] } else { 0.5 * (xs[mid - 1] + xs[mid]) })
 }
@@ -311,15 +338,23 @@ mod tests {
         a.messages = 3;
         a.rank_flops = vec![10, 20];
         a.rank_real_macs = vec![1, 2];
+        a.checksum_bytes = 8;
+        a.retries = 1;
         let mut b = CommStats::new(2);
         b.bytes_communicated = 50;
         b.collectives = 1;
         b.rank_flops = vec![5, 1];
         b.rank_real_macs = vec![4, 0];
+        b.checksum_bytes = 4;
+        b.retries = 2;
+        b.retry_bytes = 32;
         a.merge(&b);
         assert_eq!(a.bytes_communicated, 150);
         assert_eq!(a.messages, 3);
         assert_eq!(a.collectives, 1);
+        assert_eq!(a.checksum_bytes, 12);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.retry_bytes, 32);
         assert_eq!(a.rank_flops, vec![15, 21]);
         assert_eq!(a.rank_real_macs, vec![5, 2]);
         assert_eq!(a.max_rank_flops(), 21);
@@ -363,6 +398,11 @@ mod tests {
         let t2 = model.modelled_time(&s);
         // rank 0: 1 s; rank 1: 0.5 + 6/4 = 2 s compute.
         assert!((t2 - 3.001).abs() < 1e-9, "modelled time {t2}");
+        // ABFT checksum and retry traffic ride the same wires.
+        s.checksum_bytes = 1_000_000_000;
+        s.retry_bytes = 1_000_000_000;
+        let t3 = model.modelled_time(&s);
+        assert!((t3 - (t2 + 1.0)).abs() < 1e-9, "modelled time with abft traffic {t3}");
     }
 
     #[test]

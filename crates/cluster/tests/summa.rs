@@ -29,7 +29,7 @@ fn check_case(
     // B uses kb + 1 for its row blocks: the depth panels of the SUMMA loop
     // are the common refinement of the two layouts.
     let db = DistMatrix::scatter_block_cyclic(&cluster, &b, grid, kb + 1, nb);
-    let c = da.matmul_dist(&db);
+    let c = da.matmul_dist(&db).expect("fault-free SUMMA cannot fail");
     let reference = matmul(&a, &b);
     let diff = c.max_diff_replicated(&reference);
     assert!(
@@ -87,7 +87,7 @@ fn summa_on_real_operands_runs_zero_complex_macs_per_rank() {
     let db = DistMatrix::scatter_block_cyclic(&cluster, &b, grid, 5, 4);
     assert!(da.is_real() && db.is_real());
     cluster.reset_stats();
-    let c = da.matmul_dist(&db);
+    let c = da.matmul_dist(&db).expect("fault-free SUMMA cannot fail");
     assert!(c.is_real(), "the SUMMA product of hinted-real operands is marked real");
     assert!(c.gather_unaccounted().is_real());
     assert!(c.max_diff_replicated(&matmul(&a, &b)) < 1e-12 * k as f64);
@@ -116,7 +116,7 @@ fn summa_communicates_o_n2_over_sqrt_p_words_per_rank() {
     let da = DistMatrix::scatter_block_cyclic(&cluster, &a, grid, 8, 8);
     let db = DistMatrix::scatter_block_cyclic(&cluster, &b, grid, 8, 8);
     cluster.reset_stats();
-    let _ = da.matmul_dist(&db);
+    let _ = da.matmul_dist(&db).unwrap();
     let summa_bytes = cluster.reset_stats().bytes_communicated;
     let expected_words = (n * n * (q - 1) + n * n * (p - 1)) as u64;
     assert_eq!(summa_bytes, expected_words * ELEM_BYTES, "SUMMA volume formula");
@@ -133,7 +133,7 @@ fn summa_communicates_o_n2_over_sqrt_p_words_per_rank() {
     let ra = DistMatrix::scatter(&cluster, &a);
     let rb = DistMatrix::scatter(&cluster, &b);
     cluster.reset_stats();
-    let _ = ra.matmul_dist(&rb);
+    let _ = ra.matmul_dist(&rb).unwrap();
     let gather_bytes = cluster.reset_stats().bytes_communicated;
     assert_eq!(gather_bytes, (n * n * (nranks - 1)) as u64 * ELEM_BYTES);
     assert!(

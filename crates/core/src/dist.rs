@@ -100,9 +100,17 @@ pub fn dist_two_site_update(
     let b_rows: Vec<usize> = b_mat_t.shape()[..3].to_vec();
     let b_dist = DistMatrix::scatter(cluster, &b_mat_t.unfold(3));
 
+    // The Gram path can degrade (ill-conditioned spectrum) or reject
+    // non-finite inputs; surface either through the tensor error channel.
+    let dist_qr_err = |e: koala_error::KoalaError| {
+        koala_tensor::TensorError::Linalg(e.context("dist_two_site_update").to_string())
+    };
     let (qa, qb) = match variant {
         DistEvolutionVariant::CtfQrSvd => (qr_gather_dist(&a_dist), qr_gather_dist(&b_dist)),
-        _ => (gram_qr_dist(&a_dist), gram_qr_dist(&b_dist)),
+        _ => (
+            gram_qr_dist(&a_dist).map_err(dist_qr_err)?,
+            gram_qr_dist(&b_dist).map_err(dist_qr_err)?,
+        ),
     };
     let ka = qa.r.nrows();
     let kb = qb.r.nrows();

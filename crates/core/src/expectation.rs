@@ -262,7 +262,9 @@ fn norm_from_cache<R: Rng + ?Sized>(
     if nrows == 1 {
         return current.contract_to_scalar();
     }
-    let bottom = cache.bottom(row).expect("norm_from_cache: missing bottom environment");
+    let bottom = cache.bottom(row).ok_or_else(|| TensorError::ShapeMismatch {
+        context: format!("norm_from_cache: missing bottom environment below row {row}"),
+    })?;
     current.dot(bottom)
 }
 
@@ -318,7 +320,12 @@ fn term_value_cached<R: Rng + ?Sized>(
         current = merged_row_to_mps(&modified_rows[0])?;
         start_row = 1;
     } else {
-        current = cache.top(r0).expect("term_value_cached: missing top environment").clone();
+        current = cache
+            .top(r0)
+            .ok_or_else(|| TensorError::ShapeMismatch {
+                context: format!("term_value_cached: missing top environment above row {r0}"),
+            })?
+            .clone();
     }
     for r in start_row..=r1 {
         let mpo = merged_row_to_mpo(&modified_rows[r - r0])?;
@@ -327,7 +334,9 @@ fn term_value_cached<R: Rng + ?Sized>(
     if r1 == nrows - 1 {
         current.contract_to_scalar()
     } else {
-        let bottom = cache.bottom(r1).expect("term_value_cached: missing bottom environment");
+        let bottom = cache.bottom(r1).ok_or_else(|| TensorError::ShapeMismatch {
+            context: format!("term_value_cached: missing bottom environment below row {r1}"),
+        })?;
         current.dot(bottom)
     }
 }

@@ -48,6 +48,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must not panic on fallible paths: failures become
+// `KoalaError` results so long-running drivers can recover instead of
+// aborting (see ARCHITECTURE.md, "Failure model").
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod contract;
 pub mod dist;

@@ -9,17 +9,20 @@ use std::ops::{Add, Mul};
 
 /// Pauli X matrix.
 pub fn pauli_x() -> Matrix {
-    Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]]).unwrap()
+    Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]])
+        .unwrap_or_else(|_| unreachable!("literal 2x2 rows"))
 }
 
 /// Pauli Y matrix.
 pub fn pauli_y() -> Matrix {
-    Matrix::from_rows(&[vec![C64::ZERO, c64(0.0, -1.0)], vec![c64(0.0, 1.0), C64::ZERO]]).unwrap()
+    Matrix::from_rows(&[vec![C64::ZERO, c64(0.0, -1.0)], vec![c64(0.0, 1.0), C64::ZERO]])
+        .unwrap_or_else(|_| unreachable!("literal 2x2 rows"))
 }
 
 /// Pauli Z matrix.
 pub fn pauli_z() -> Matrix {
-    Matrix::from_rows(&[vec![C64::ONE, C64::ZERO], vec![C64::ZERO, c64(-1.0, 0.0)]]).unwrap()
+    Matrix::from_rows(&[vec![C64::ONE, C64::ZERO], vec![C64::ZERO, c64(-1.0, 0.0)]])
+        .unwrap_or_else(|_| unreachable!("literal 2x2 rows"))
 }
 
 /// 2x2 identity.
@@ -85,7 +88,9 @@ impl LocalTerm {
     /// Rows spanned by this term (min, max).
     pub fn row_span(&self) -> (usize, usize) {
         let rows: Vec<usize> = self.sites().iter().map(|s| s.0).collect();
-        (*rows.iter().min().unwrap(), *rows.iter().max().unwrap())
+        let lo = rows.iter().min().unwrap_or_else(|| unreachable!("a term acts on >= 1 site"));
+        let hi = rows.iter().max().unwrap_or_else(|| unreachable!("a term acts on >= 1 site"));
+        (*lo, *hi)
     }
 
     /// Scale the term's matrix by a constant.

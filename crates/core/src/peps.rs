@@ -150,7 +150,7 @@ impl Peps {
     /// (the `computational_zeros` constructor of the paper's example listing).
     pub fn computational_zeros(nrows: usize, ncols: usize) -> Self {
         Peps::product_state(nrows, ncols, &[C64::ONE, C64::ZERO])
-            .expect("computational_zeros: construction cannot fail")
+            .unwrap_or_else(|_| unreachable!("computational_zeros: construction cannot fail"))
     }
 
     /// A computational basis state given by one bit per site (row-major).
@@ -189,7 +189,8 @@ impl Peps {
                 tensors.push(Tensor::random(&[phys_dim, u, l, d, rt], rng));
             }
         }
-        Peps::new(nrows, ncols, tensors).expect("random: construction cannot fail")
+        Peps::new(nrows, ncols, tensors)
+            .unwrap_or_else(|_| unreachable!("random: construction cannot fail"))
     }
 
     /// Random PEPS without physical indices (physical dimension 1), as used by
@@ -349,7 +350,7 @@ impl Peps {
                 });
             }
             // acc axes: [p0, u0, d0, p1, u1, d1, ..., r_last(=1)]
-            let acc = acc.unwrap();
+            let acc = acc.unwrap_or_else(|| unreachable!("a PEPS has at least one column"));
             let shape: Vec<usize> = acc.shape()[..acc.ndim() - 1].to_vec();
             rows_dense.push(acc.reshape(&shape)?);
         }
@@ -385,7 +386,7 @@ impl Peps {
             let _ = r;
         }
         // Bottom bonds are all of dimension 1; drop them.
-        let acc = acc.unwrap();
+        let acc = acc.unwrap_or_else(|| unreachable!("a PEPS has at least one row"));
         let shape: Vec<usize> = acc.shape()[..acc.ndim() - self.ncols].to_vec();
         acc.reshape(&shape)
     }

@@ -190,9 +190,9 @@ impl TwoLayerStepOp<'_> {
     fn s_split(&self) -> Tensor {
         let ua = self.a_conj.dim(AX_U);
         let ub = self.b.dim(AX_U);
-        self.s
-            .reshape(&[self.s.dim(0), ua, ub, self.s.dim(2)])
-            .expect("TwoLayerStepOp: boundary MPS physical index is not the bra-ket pair")
+        self.s.reshape(&[self.s.dim(0), ua, ub, self.s.dim(2)]).unwrap_or_else(|e| {
+            unreachable!("TwoLayerStepOp: boundary MPS physical index is not the bra-ket pair: {e}")
+        })
     }
 }
 
@@ -209,17 +209,20 @@ impl LinearOp for TwoLayerStepOp<'_> {
         let [da, db, rsp, rap, rbp] = self.col_dims();
         let xt = Tensor::from_matrix_2d(x)
             .into_reshape(&[da, db, rsp, rap, rbp, k])
-            .expect("TwoLayerStepOp::apply reshape");
+            .unwrap_or_else(|e| unreachable!("TwoLayerStepOp::apply reshape: {e}"));
         // B [p, uB, lB, dB, rB'] x X [dA, dB, r_s', rA', rB', k] over (dB, rB')
         //   -> [p, uB, lB, dA, r_s', rA', k]
-        let w1 = tensordot(self.b, &xt, &[AX_D, AX_R], &[1, 4]).expect("two-layer w1");
+        let w1 = tensordot(self.b, &xt, &[AX_D, AX_R], &[1, 4])
+            .unwrap_or_else(|e| unreachable!("two-layer w1: {e}"));
         // conj(A) [p, uA, lA, dA, rA'] x W1 over (p, dA, rA') -> [uA, lA, uB, lB, r_s', k]
-        let w2 =
-            tensordot(&self.a_conj, &w1, &[AX_P, AX_D, AX_R], &[0, 3, 5]).expect("two-layer w2");
+        let w2 = tensordot(&self.a_conj, &w1, &[AX_P, AX_D, AX_R], &[0, 3, 5])
+            .unwrap_or_else(|e| unreachable!("two-layer w2: {e}"));
         // S [r_s, uA, uB, r_s'] x W2 over (uA, uB, r_s') -> [r_s, lA, lB, k]
-        let w3 = tensordot(&self.s_split(), &w2, &[1, 2, 3], &[0, 2, 4]).expect("two-layer w3");
+        let w3 = tensordot(&self.s_split(), &w2, &[1, 2, 3], &[0, 2, 4])
+            .unwrap_or_else(|e| unreachable!("two-layer w3: {e}"));
         // V [l, d_pair, r_s, rA, rB] x W3 over (r_s, rA=lA, rB=lB) -> [l, d_pair, k]
-        let y = tensordot(self.boundary, &w3, &[2, 3, 4], &[0, 1, 2]).expect("two-layer y");
+        let y = tensordot(self.boundary, &w3, &[2, 3, 4], &[0, 1, 2])
+            .unwrap_or_else(|e| unreachable!("two-layer y: {e}"));
         y.unfold(2)
     }
 
@@ -228,19 +231,24 @@ impl LinearOp for TwoLayerStepOp<'_> {
         let [l, dpair] = self.row_dims();
         let yt = Tensor::from_matrix_2d(y)
             .into_reshape(&[l, dpair, k])
-            .expect("TwoLayerStepOp::apply_adj reshape");
+            .unwrap_or_else(|e| unreachable!("TwoLayerStepOp::apply_adj reshape: {e}"));
         // conj(V) [l, d_pair, r_s, rA, rB] x Y [l, d_pair, k] -> [r_s, rA, rB, k]
-        let z1 = tensordot(&self.boundary.conj(), &yt, &[0, 1], &[0, 1]).expect("two-layer z1");
+        let z1 = tensordot(&self.boundary.conj(), &yt, &[0, 1], &[0, 1])
+            .unwrap_or_else(|e| unreachable!("two-layer z1: {e}"));
         // conj(S) [r_s, uA, uB, r_s'] x Z1 -> [uA, uB, r_s', rA, rB, k]
-        let z2 = tensordot(&self.s_split().conj(), &z1, &[0], &[0]).expect("two-layer z2");
+        let z2 = tensordot(&self.s_split().conj(), &z1, &[0], &[0])
+            .unwrap_or_else(|e| unreachable!("two-layer z2: {e}"));
         // A [p, uA, lA, dA, rA'] x Z2 over (uA, lA=rA) -> [p, dA, rA', uB, r_s', rB, k]
         let a_plain = self.a_conj.conj();
-        let z3 = tensordot(&a_plain, &z2, &[AX_U, AX_L], &[0, 3]).expect("two-layer z3");
+        let z3 = tensordot(&a_plain, &z2, &[AX_U, AX_L], &[0, 3])
+            .unwrap_or_else(|e| unreachable!("two-layer z3: {e}"));
         // conj(B) [p, uB, lB, dB, rB'] x Z3 over (p, uB, lB=rB) -> [dB, rB', dA, rA', r_s', k]
-        let z4 =
-            tensordot(&self.b.conj(), &z3, &[AX_P, AX_U, AX_L], &[0, 3, 5]).expect("two-layer z4");
+        let z4 = tensordot(&self.b.conj(), &z3, &[AX_P, AX_U, AX_L], &[0, 3, 5])
+            .unwrap_or_else(|e| unreachable!("two-layer z4: {e}"));
         // -> [dA, dB, r_s', rA', rB', k]
-        let out = z4.permute(&[2, 0, 4, 3, 1, 5]).expect("two-layer out permute");
+        let out = z4
+            .permute(&[2, 0, 4, 3, 1, 5])
+            .unwrap_or_else(|e| unreachable!("two-layer out permute: {e}"));
         out.unfold(5)
     }
 

@@ -313,7 +313,10 @@ pub fn apply_two_site_any(
         path.push((br, bc));
     }
     // The last entry is site_a itself; the gate partner is the one before it.
-    debug_assert_eq!(*path.last().unwrap(), site_a);
+    debug_assert_eq!(
+        path.last().copied().unwrap_or_else(|| unreachable!("path starts at site_b")),
+        site_a
+    );
     let hops = &path[..path.len() - 1];
 
     let mut err_sq = 0.0;
@@ -322,7 +325,9 @@ pub fn apply_two_site_any(
         let e = apply_two_site(peps, &swap, w[0], w[1], method)?;
         err_sq += e * e;
     }
-    let partner = *hops.last().unwrap();
+    let partner = *hops
+        .last()
+        .unwrap_or_else(|| unreachable!("distinct sites leave at least one hop on the path"));
     let e = apply_two_site(peps, gate, site_a, partner, method)?;
     err_sq += e * e;
     // Swap back in reverse order.

@@ -134,7 +134,9 @@ pub fn eigh(a: &Matrix) -> Result<EigH> {
 
     let mut order: Vec<usize> = (0..n).collect();
     let values_raw: Vec<f64> = (0..n).map(|i| h[(i, i)].re).collect();
-    order.sort_by(|&i, &j| values_raw[i].partial_cmp(&values_raw[j]).unwrap());
+    order.sort_by(|&i, &j| {
+        values_raw[i].partial_cmp(&values_raw[j]).unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let values: Vec<f64> = order.iter().map(|&i| values_raw[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
@@ -246,7 +248,9 @@ fn eigh_real(a: &Matrix) -> Result<EigH> {
 
     let mut order: Vec<usize> = (0..n).collect();
     let values_raw: Vec<f64> = (0..n).map(|i| h[i * n + i]).collect();
-    order.sort_by(|&i, &j| values_raw[i].partial_cmp(&values_raw[j]).unwrap());
+    order.sort_by(|&i, &j| {
+        values_raw[i].partial_cmp(&values_raw[j]).unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let values: Vec<f64> = order.iter().map(|&i| values_raw[i]).collect();
     let mut vectors = vec![0.0f64; n * n];
@@ -255,7 +259,7 @@ fn eigh_real(a: &Matrix) -> Result<EigH> {
             vectors[r * n + newcol] = v[r * n + oldcol];
         }
     }
-    let vectors = Matrix::from_real(n, n, &vectors).expect("eigh_real: eigenvector assembly");
+    let vectors = Matrix::from_real(n, n, &vectors)?;
     Ok(EigH { values, vectors })
 }
 

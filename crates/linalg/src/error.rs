@@ -31,6 +31,11 @@ pub enum LinalgError {
         /// Human-readable description.
         context: String,
     },
+    /// A NaN or infinity was detected where finite data is required.
+    NonFinite {
+        /// Where the non-finite value was detected.
+        context: String,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -49,11 +54,30 @@ impl fmt::Display for LinalgError {
             LinalgError::InvalidArgument { context } => {
                 write!(f, "invalid argument: {context}")
             }
+            LinalgError::NonFinite { context } => {
+                write!(f, "non-finite value detected: {context}")
+            }
         }
     }
 }
 
 impl std::error::Error for LinalgError {}
+
+impl From<LinalgError> for koala_error::KoalaError {
+    fn from(e: LinalgError) -> Self {
+        use koala_error::ErrorKind;
+        let kind = match &e {
+            LinalgError::DimensionMismatch { .. } | LinalgError::NotSquare { .. } => {
+                ErrorKind::Shape
+            }
+            LinalgError::Singular => ErrorKind::Numerical,
+            LinalgError::NoConvergence { .. } => ErrorKind::NoConvergence,
+            LinalgError::InvalidArgument { .. } => ErrorKind::InvalidArgument,
+            LinalgError::NonFinite { .. } => ErrorKind::NonFinite,
+        };
+        koala_error::KoalaError::new(kind, e.to_string())
+    }
+}
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

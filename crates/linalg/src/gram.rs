@@ -12,9 +12,10 @@
 
 use crate::eig::eigh;
 use crate::error::Result;
-use crate::gemm::{matmul, matmul_adj_a};
+use crate::gemm::{gemm, matmul, matmul_adj_a, Op};
 use crate::matrix::Matrix;
 use crate::scalar::c64;
+use crate::svd::{scale_cols, svd};
 
 /// Result of the Gram-based orthogonalization.
 #[derive(Debug, Clone)]
@@ -37,14 +38,70 @@ pub fn gram_qr(a: &Matrix) -> Result<GramQr> {
     gram_qr_with_tol(a, 1e-12)
 }
 
+/// Relative eigenvalue floor below which the Gram matrix is considered to
+/// have lost positive semi-definiteness. Round-off on a legitimate
+/// rank-deficient input produces negative eigenvalues at the `-eps * lam_max`
+/// level (~1e-14 relative); anything past this floor signals the squared
+/// condition number has genuinely destroyed the Gram spectrum — the exact
+/// instability the paper trades QR+SVD against Gram-based factorization for.
+const GRAM_PSD_FLOOR: f64 = 1e-10;
+
 /// [`gram_qr`] with an explicit relative rank tolerance.
+///
+/// Ill-conditioning is detected, not suffered: if the eigendecomposition of
+/// `G = A^H A` fails, produces non-finite values, or shows an eigenvalue
+/// below `-GRAM_PSD_FLOOR * lambda_max` (loss of positive semi-definiteness),
+/// the routine degrades to a conventional QR+SVD factorization — numerically
+/// stable at roughly twice the big-operand cost — and records the degradation
+/// on the [`koala_error::recovery`] counters. Non-finite *inputs* are
+/// rejected up front instead of degraded: no factorization can repair them.
 pub fn gram_qr_with_tol(a: &Matrix, rel_tol: f64) -> Result<GramQr> {
+    a.validate_finite("gram_qr input")?;
     let g = matmul_adj_a(a, a);
-    let e = eigh(&g)?;
-    let lam_max = e.values.iter().cloned().fold(0.0, f64::max).max(0.0);
+    let healthy = if g.validate_finite("gram matrix").is_err() {
+        None
+    } else {
+        match eigh(&g) {
+            Ok(e) => {
+                let lam_max = e.values.iter().cloned().fold(0.0, f64::max).max(0.0);
+                let lam_min = e.values.first().copied().unwrap_or(0.0); // ascending order
+                let finite = e.values.iter().all(|lam| lam.is_finite());
+                if finite && lam_min >= -GRAM_PSD_FLOOR * lam_max.max(f64::MIN_POSITIVE) {
+                    Some((e, lam_max))
+                } else {
+                    None
+                }
+            }
+            Err(_) => None,
+        }
+    };
+    let Some((e, lam_max)) = healthy else {
+        koala_error::recovery::note_qr_degradation();
+        return qr_svd_degrade(a, rel_tol);
+    };
     let (r, r_inv) = gram_r_factors(&e, lam_max * rel_tol * rel_tol);
     let q = matmul(a, &r_inv);
+    q.validate_finite("gram_qr Q factor")?;
     Ok(GramQr { q, r, r_inv })
+}
+
+/// Stable fallback for [`gram_qr_with_tol`]: conventional QR of the big
+/// operand, with `R^{-1}` recovered as a pseudo-inverse through the SVD of
+/// the small square `R` (so rank-deficient directions are zeroed exactly
+/// like the Gram path would).
+fn qr_svd_degrade(a: &Matrix, rel_tol: f64) -> Result<GramQr> {
+    let f = crate::qr::qr(a);
+    let sv = svd(&f.r)?;
+    let smax = sv.s.first().copied().unwrap_or(0.0);
+    let pinv_s: Vec<f64> =
+        sv.s.iter().map(|&x| if x > smax * rel_tol && x > 0.0 { 1.0 / x } else { 0.0 }).collect();
+    // pinv(R) = V S^+ U^H, assembled through the fused-adjoint GEMM as
+    // (V^H)^H * (U S^+)^H — no factor adjoint is materialised.
+    let us = scale_cols(&sv.u, &pinv_s);
+    let r_inv = gemm(Op::Adjoint, Op::Adjoint, &sv.vh, &us);
+    let q = f.q;
+    q.validate_finite("qr_svd_degrade Q factor")?;
+    Ok(GramQr { q, r: f.r, r_inv })
 }
 
 /// Assemble `R = sqrt(Lambda) X^H` and `R^{-1} = X sqrt(Lambda)^{-1}` from an
@@ -142,6 +199,37 @@ mod tests {
         let p2 = matmul(&qhq, &qhq);
         assert!(p2.approx_eq(&qhq, 1e-7));
         assert!((qhq.trace().re - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected() {
+        let mut a = Matrix::zeros(4, 2);
+        a[(3, 1)] = crate::scalar::c64(f64::INFINITY, 0.0);
+        assert!(matches!(gram_qr(&a), Err(crate::error::LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn qr_svd_degrade_reconstructs_and_pseudo_inverts() {
+        let mut rng = StdRng::seed_from_u64(85);
+        // Full-rank tall input.
+        let a = Matrix::random(25, 4, &mut rng);
+        let f = super::qr_svd_degrade(&a, 1e-12).unwrap();
+        assert!(matmul(&f.q, &f.r).approx_eq(&a, 1e-9));
+        assert!(f.q.has_orthonormal_cols(1e-8));
+        assert!(matmul(&f.r, &f.r_inv).approx_eq(&Matrix::identity(4), 1e-8));
+        // Rank-deficient input: R^{-1} acts as a pseudo-inverse, exactly like
+        // the Gram path ([`rank_deficient_input_gets_pseudo_inverse`]).
+        let b = matmul(&Matrix::random(20, 2, &mut rng), &Matrix::random(2, 5, &mut rng));
+        let f = super::qr_svd_degrade(&b, 1e-10).unwrap();
+        assert!(matmul(&f.q, &f.r).approx_eq(&b, 1e-8));
+        let pinv = matmul(&f.r_inv, &f.r);
+        // R^{-1} R is a rank-2 projector in R's row space.
+        assert!(matmul(&pinv, &pinv).approx_eq(&pinv, 1e-7));
+        // Realness propagates through the degrade path.
+        let c = Matrix::random_real(15, 3, &mut rng);
+        let f = super::qr_svd_degrade(&c, 1e-12).unwrap();
+        assert!(f.q.is_real() && f.r_inv.is_real());
+        assert!(matmul(&f.q, &f.r).approx_eq(&c, 1e-9));
     }
 
     #[test]

@@ -145,7 +145,9 @@ pub fn lanczos_ground_state<O: HermitianOp, R: Rng + ?Sized>(
             best = Some(result);
         }
         if resid < tol {
-            return Ok(best.unwrap());
+            if let Some(b) = best.take() {
+                return Ok(b);
+            }
         }
 
         let beta = norm(&w);

@@ -62,6 +62,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must not panic on fallible paths: every failure is a
+// `LinalgError` (bridged to the workspace `KoalaError`), so the recovery
+// ladder above can catch and degrade instead of aborting a long job.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
 pub mod scalar;

@@ -384,6 +384,22 @@ impl Matrix {
         self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
     }
 
+    /// Cheap NaN/Inf guard: `Ok` iff every entry is finite.
+    ///
+    /// The fault-tolerance layer calls this on factorization outputs so
+    /// corruption is caught where it enters, not three calls later. On
+    /// failure, `context` names the operation for the error chain.
+    pub fn validate_finite(&self, context: &str) -> crate::error::Result<()> {
+        if self.data.iter().all(|z| z.re.is_finite() && z.im.is_finite()) {
+            Ok(())
+        } else {
+            koala_error::recovery::note_nonfinite_detection();
+            Err(crate::error::LinalgError::NonFinite {
+                context: format!("{context} ({}x{} matrix)", self.nrows, self.ncols),
+            })
+        }
+    }
+
     /// Sum of diagonal entries.
     pub fn trace(&self) -> C64 {
         let n = self.nrows.min(self.ncols);

@@ -179,8 +179,10 @@ fn qr_real(a: &Matrix) -> QrFactors {
             q_data[i * k + j] = x;
         }
     }
-    let q = Matrix::from_real(m, k, &q_data).expect("qr_real: Q assembly");
-    let r = Matrix::from_real(k, n, &r).expect("qr_real: R assembly");
+    let q = Matrix::from_real(m, k, &q_data)
+        .unwrap_or_else(|_| unreachable!("qr_real: Q buffer is sized m*k by construction"));
+    let r = Matrix::from_real(k, n, &r)
+        .unwrap_or_else(|_| unreachable!("qr_real: R buffer is sized k*n by construction"));
     QrFactors { q, r }
 }
 

@@ -115,8 +115,17 @@ impl RsvdOptions {
     }
 }
 
+/// Number of fresh-sketch retries after a failed randomized SVD attempt.
+pub const MAX_SKETCH_RETRIES: usize = 2;
+
 /// Randomized truncated SVD of an implicitly applied operator
 /// (paper Algorithm 4). Returns factors with at most `rank` columns.
+///
+/// A failed attempt — the inner SVD of the sketch not converging, or the
+/// assembled factors containing NaN/Inf — is retried with a fresh random
+/// sketch up to [`MAX_SKETCH_RETRIES`] times (recorded on the
+/// [`koala_error::recovery`] counters); an unlucky sketch is recoverable,
+/// a genuinely corrupted operator is not and the last error propagates.
 pub fn rsvd<O: LinearOp, R: Rng + ?Sized>(op: &O, opts: RsvdOptions, rng: &mut R) -> Result<Svd> {
     if opts.rank == 0 {
         return Err(LinalgError::InvalidArgument {
@@ -128,6 +137,27 @@ pub fn rsvd<O: LinearOp, R: Rng + ?Sized>(op: &O, opts: RsvdOptions, rng: &mut R
     if n == 0 || m == 0 {
         return Ok(Svd { u: Matrix::zeros(m, 0), s: vec![], vh: Matrix::zeros(0, n) });
     }
+    let mut last_err = LinalgError::NoConvergence { algorithm: "rsvd", iterations: 0 };
+    for attempt in 0..=MAX_SKETCH_RETRIES {
+        if attempt > 0 {
+            koala_error::recovery::note_rsvd_resketch();
+        }
+        match rsvd_attempt(op, opts, rng) {
+            Ok(f) => return Ok(f),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// One randomized-SVD attempt with a freshly drawn sketch.
+fn rsvd_attempt<O: LinearOp, R: Rng + ?Sized>(
+    op: &O,
+    opts: RsvdOptions,
+    rng: &mut R,
+) -> Result<Svd> {
+    let n = op.ncols();
+    let m = op.nrows();
     // The sketch cannot be wider than either dimension of the operator.
     let l = (opts.rank + opts.oversample).min(n).min(m);
 
@@ -176,7 +206,14 @@ pub fn rsvd<O: LinearOp, R: Rng + ?Sized>(op: &O, opts: RsvdOptions, rng: &mut R
     if t.u.is_real() {
         vh.assume_real();
     }
-    Ok(Svd { u, s: t.s[..k].to_vec(), vh })
+    let s = t.s[..k].to_vec();
+    if !s.iter().all(|x| x.is_finite()) {
+        koala_error::recovery::note_nonfinite_detection();
+        return Err(LinalgError::NonFinite { context: "rsvd: singular values".to_string() });
+    }
+    u.validate_finite("rsvd U factor")?;
+    vh.validate_finite("rsvd Vh factor")?;
+    Ok(Svd { u, s, vh })
 }
 
 /// Randomized truncated SVD of an explicit matrix (convenience wrapper).
@@ -257,6 +294,65 @@ mod tests {
         assert!(
             rsvd_matrix(&a, RsvdOptions { rank: 0, oversample: 0, n_iter: 0 }, &mut rng).is_err()
         );
+    }
+
+    /// Operator that corrupts its adjoint applications for the first few
+    /// calls, then behaves like the wrapped matrix — models a transient
+    /// fault. (Corruption on the forward `apply` is laundered by the MGS
+    /// rank-deficiency handling inside `orthonormalize`; the adjoint feeds
+    /// the inner SVD directly, which is where the NaN guard fires.)
+    struct FlakyOp<'a> {
+        inner: MatOp<'a>,
+        poisoned_applies: std::cell::Cell<usize>,
+    }
+
+    impl LinearOp for FlakyOp<'_> {
+        fn nrows(&self) -> usize {
+            self.inner.nrows()
+        }
+        fn ncols(&self) -> usize {
+            self.inner.ncols()
+        }
+        fn apply(&self, x: &Matrix) -> Matrix {
+            self.inner.apply(x)
+        }
+        fn apply_adj(&self, y: &Matrix) -> Matrix {
+            let left = self.poisoned_applies.get();
+            let mut out = self.inner.apply_adj(y);
+            if left > 0 {
+                self.poisoned_applies.set(left - 1);
+                out[(0, 0)] = crate::scalar::c64(f64::NAN, 0.0);
+            }
+            out
+        }
+        fn is_real(&self) -> bool {
+            self.inner.is_real()
+        }
+    }
+
+    #[test]
+    fn transient_corruption_is_recovered_by_a_fresh_sketch() {
+        let mut rng = StdRng::seed_from_u64(76);
+        let a = Matrix::random(20, 12, &mut rng);
+        // Poison every adjoint application of the first attempt (n_iter power
+        // iterations + the final sketch), so attempt #1 must fail the NaN
+        // guard and attempt #2 runs clean.
+        let op = FlakyOp { inner: MatOp::new(&a), poisoned_applies: std::cell::Cell::new(3) };
+        let before = koala_error::recovery::snapshot();
+        let f = rsvd(&op, RsvdOptions { rank: 12, oversample: 10, n_iter: 2 }, &mut rng).unwrap();
+        let after = koala_error::recovery::snapshot();
+        assert!(after.rsvd_resketches > before.rsvd_resketches);
+        assert!(after.nonfinite_detections > before.nonfinite_detections);
+        assert!(f.reconstruct().approx_eq(&a, 1e-8), "retry must produce clean factors");
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_retries() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let a = Matrix::random(10, 6, &mut rng);
+        let op =
+            FlakyOp { inner: MatOp::new(&a), poisoned_applies: std::cell::Cell::new(usize::MAX) };
+        assert!(rsvd(&op, RsvdOptions::with_rank(4), &mut rng).is_err());
     }
 
     #[test]

@@ -108,7 +108,7 @@ fn lu_real(a: &Matrix) -> Result<Lu> {
             }
         }
     }
-    let lu_m = Matrix::from_real(n, n, &d).expect("lu_real: factor assembly");
+    let lu_m = Matrix::from_real(n, n, &d)?;
     Ok(Lu { lu: lu_m, perm, sign })
 }
 
@@ -221,7 +221,8 @@ impl Lu {
                 *xi /= d;
             }
         }
-        Matrix::from_real(n, ncols, &x).expect("lu solve_real: assembly")
+        Matrix::from_real(n, ncols, &x)
+            .unwrap_or_else(|_| unreachable!("solve_real: buffer is sized n*ncols by construction"))
     }
 
     /// Determinant of the factorized matrix.

@@ -106,10 +106,14 @@ pub fn scale_rows(m: &Matrix, s: &[f64]) -> Matrix {
     out
 }
 
-/// Maximum number of one-sided Jacobi sweeps.
-const MAX_SWEEPS: usize = 60;
+/// Maximum number of one-sided Jacobi sweeps on the first attempt.
+pub const MAX_SWEEPS: usize = 60;
 
-/// Full (thin) SVD via one-sided complex Jacobi iteration.
+/// Sweep budget after a [`LinalgError::NoConvergence`] escalation.
+pub const ESCALATED_SWEEPS: usize = 240;
+
+/// Full (thin) SVD via one-sided complex Jacobi iteration, hardened by a
+/// numerical-recovery ladder.
 ///
 /// Wide inputs (`m < n`) are handled by running the Jacobi iteration on the
 /// columns of `A^H` — which are gathered directly as conjugated rows of the
@@ -121,14 +125,65 @@ const MAX_SWEEPS: usize = 60;
 /// Jacobi iteration (plain Givens rotations, ~2x fewer flops than complex
 /// rotations over real data) and `U` / `V^H` come back exactly real with the
 /// hint set.
+///
+/// # Recovery ladder
+///
+/// Non-finite inputs are rejected up front ([`LinalgError::NonFinite`]) so
+/// corruption is caught where it enters. If the Jacobi iteration fails to
+/// converge in [`MAX_SWEEPS`] sweeps, the sweep budget is escalated to
+/// [`ESCALATED_SWEEPS`]; if that still fails, the ladder falls back to the
+/// Gram-matrix SVD ([`svd_gram`]), trading ~sqrt(eps) accuracy on the
+/// smallest singular values for a guaranteed factorization. Every rung is
+/// recorded on the [`koala_error::recovery`] counters and the final factors
+/// pass a NaN/Inf guard before they are returned.
 pub fn svd(a: &Matrix) -> Result<Svd> {
+    svd_with_budgets(a, MAX_SWEEPS, ESCALATED_SWEEPS)
+}
+
+/// The recovery ladder of [`svd`] with explicit sweep budgets (separated out
+/// so tests can force the escalation and fallback rungs).
+fn svd_with_budgets(a: &Matrix, first_sweeps: usize, escalated_sweeps: usize) -> Result<Svd> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Ok(Svd { u: Matrix::zeros(m, 0), s: vec![], vh: Matrix::zeros(0, n) });
     }
-    if a.is_real() {
-        return svd_real(a);
+    a.validate_finite("svd input")?;
+    let f = match svd_jacobi(a, first_sweeps) {
+        Ok(f) => f,
+        Err(LinalgError::NoConvergence { .. }) => {
+            koala_error::recovery::note_svd_sweep_escalation();
+            match svd_jacobi(a, escalated_sweeps) {
+                Ok(f) => f,
+                Err(LinalgError::NoConvergence { .. }) => {
+                    koala_error::recovery::note_gram_svd_fallback();
+                    svd_gram(a)?
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(e) => return Err(e),
+    };
+    validate_svd_finite(&f, "svd output")?;
+    Ok(f)
+}
+
+/// NaN/Inf guard over all three factors of an SVD.
+fn validate_svd_finite(f: &Svd, context: &str) -> Result<()> {
+    if !f.s.iter().all(|s| s.is_finite()) {
+        koala_error::recovery::note_nonfinite_detection();
+        return Err(LinalgError::NonFinite { context: format!("{context}: singular values") });
     }
+    f.u.validate_finite(context)?;
+    f.vh.validate_finite(context)
+}
+
+/// One Jacobi attempt with an explicit sweep budget, dispatching on the
+/// structural realness hint.
+fn svd_jacobi(a: &Matrix, max_sweeps: usize) -> Result<Svd> {
+    if a.is_real() {
+        return svd_real(a, max_sweeps);
+    }
+    let (m, n) = a.shape();
     let wide = m < n;
     // `w` holds the columns of A (tall) or of A^H (wide): k columns of
     // length `rows`, where k = min(m, n) is the thin rank.
@@ -144,7 +199,7 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     let n = k;
 
     let mut converged = false;
-    for _sweep in 0..MAX_SWEEPS {
+    for _sweep in 0..max_sweeps {
         let mut rotated = false;
         for p in 0..n {
             for q in (p + 1)..n {
@@ -208,7 +263,7 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
         if worst > 1e-9 * fro * fro {
             return Err(LinalgError::NoConvergence {
                 algorithm: "jacobi-svd",
-                iterations: MAX_SWEEPS,
+                iterations: max_sweeps,
             });
         }
     }
@@ -217,7 +272,7 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     let mut sigma: Vec<f64> =
         w.iter().map(|col| col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()).collect();
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap_or(std::cmp::Ordering::Equal));
 
     let (m, n) = a.shape();
     let mut u = Matrix::zeros(m, k);
@@ -232,7 +287,9 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
             // Null direction: leave the W-derived factor zero (harmless for
             // truncation).
             sigma[old] = 0.0;
-            *s_sorted.last_mut().unwrap() = 0.0;
+            if let Some(last) = s_sorted.last_mut() {
+                *last = 0.0;
+            }
         }
         if wide {
             // A = A^H^H = V' S W'^H: U comes from the accumulated rotations,
@@ -279,7 +336,7 @@ fn pair_mut<T>(v: &mut [T], p: usize, q: usize) -> (&mut T, &mut T) {
 /// the two branches' agreement at 1e-12 — any tolerance, pivoting, or
 /// convergence change here must land in the complex branch too (and vice
 /// versa).
-fn svd_real(a: &Matrix) -> Result<Svd> {
+fn svd_real(a: &Matrix, max_sweeps: usize) -> Result<Svd> {
     let (m, n_full) = a.shape();
     let wide = m < n_full;
     let k = m.min(n_full);
@@ -298,7 +355,7 @@ fn svd_real(a: &Matrix) -> Result<Svd> {
     let n = k;
 
     let mut converged = false;
-    for _sweep in 0..MAX_SWEEPS {
+    for _sweep in 0..max_sweeps {
         let mut rotated = false;
         for p in 0..n {
             for q in (p + 1)..n {
@@ -353,7 +410,7 @@ fn svd_real(a: &Matrix) -> Result<Svd> {
         if worst > 1e-9 * fro * fro {
             return Err(LinalgError::NoConvergence {
                 algorithm: "jacobi-svd",
-                iterations: MAX_SWEEPS,
+                iterations: max_sweeps,
             });
         }
     }
@@ -362,7 +419,7 @@ fn svd_real(a: &Matrix) -> Result<Svd> {
     let mut sigma: Vec<f64> =
         w.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap_or(std::cmp::Ordering::Equal));
 
     let mut u = vec![0.0f64; m * k];
     let mut vh = vec![0.0f64; k * n_full];
@@ -374,7 +431,9 @@ fn svd_real(a: &Matrix) -> Result<Svd> {
         let significant = sv > cutoff && sv > 0.0;
         if !significant {
             sigma[old] = 0.0;
-            *s_sorted.last_mut().unwrap() = 0.0;
+            if let Some(last) = s_sorted.last_mut() {
+                *last = 0.0;
+            }
         }
         if wide {
             for r in 0..k {
@@ -398,8 +457,8 @@ fn svd_real(a: &Matrix) -> Result<Svd> {
             }
         }
     }
-    let u = Matrix::from_real(m, k, &u).expect("svd_real: U assembly");
-    let vh = Matrix::from_real(k, n_full, &vh).expect("svd_real: Vh assembly");
+    let u = Matrix::from_real(m, k, &u)?;
+    let vh = Matrix::from_real(k, n_full, &vh)?;
     Ok(Svd { u, s: s_sorted, vh })
 }
 
@@ -622,6 +681,53 @@ mod tests {
         )
         .unwrap();
         check_svd(&a, 1e-12);
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected_up_front() {
+        let before = koala_error::recovery::snapshot();
+        let mut a = Matrix::zeros(3, 3);
+        a[(1, 2)] = c64(f64::NAN, 0.0);
+        match svd(&a) {
+            Err(LinalgError::NonFinite { context }) => assert!(context.contains("svd input")),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        let after = koala_error::recovery::snapshot();
+        assert!(after.nonfinite_detections > before.nonfinite_detections);
+    }
+
+    #[test]
+    fn exhausted_sweep_budget_reports_no_convergence() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let a = Matrix::random(6, 4, &mut rng);
+        // Zero sweeps cannot decorrelate random columns.
+        match super::svd_jacobi(&a, 0) {
+            Err(LinalgError::NoConvergence { algorithm, iterations }) => {
+                assert_eq!(algorithm, "jacobi-svd");
+                assert_eq!(iterations, 0);
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ladder_escalates_then_falls_back_to_gram() {
+        let mut rng = StdRng::seed_from_u64(48);
+        for hint_real in [false, true] {
+            let a = if hint_real {
+                Matrix::random_real(12, 5, &mut rng)
+            } else {
+                Matrix::random(12, 5, &mut rng)
+            };
+            let before = koala_error::recovery::snapshot();
+            // Zero-sweep budgets force both Jacobi rungs to fail, so the
+            // ladder must land on the Gram-SVD fallback and still factorize.
+            let f = super::svd_with_budgets(&a, 0, 0).expect("gram fallback should succeed");
+            assert!(f.reconstruct().approx_eq(&a, 1e-8), "fallback factors must reconstruct");
+            let after = koala_error::recovery::snapshot();
+            assert!(after.svd_sweep_escalations > before.svd_sweep_escalations);
+            assert!(after.gram_svd_fallbacks > before.gram_svd_fallbacks);
+        }
     }
 
     #[test]

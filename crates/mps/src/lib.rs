@@ -38,6 +38,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must surface failures as errors, not panics (ARCHITECTURE.md,
+// "Failure model"); test modules are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod mpo;
 pub mod mps;

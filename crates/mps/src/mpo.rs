@@ -49,10 +49,11 @@ impl Mpo {
             .iter()
             .map(|&d| {
                 let eye = Tensor::eye(d);
-                eye.reshape(&[1, d, d, 1]).expect("identity reshape")
+                eye.reshape(&[1, d, d, 1]).unwrap_or_else(|e| unreachable!("identity reshape: {e}"))
             })
             .collect();
-        Mpo::new(tensors).expect("identity: construction cannot fail")
+        Mpo::new(tensors)
+            .unwrap_or_else(|e| unreachable!("identity: construction cannot fail: {e}"))
     }
 
     /// Random MPO with uniform physical and bond dimensions.
@@ -68,7 +69,7 @@ impl Mpo {
             let r = if i == n_sites - 1 { 1 } else { bond_dim };
             tensors.push(Tensor::random(&[l, phys_dim, phys_dim, r], rng));
         }
-        Mpo::new(tensors).expect("random: construction cannot fail")
+        Mpo::new(tensors).unwrap_or_else(|e| unreachable!("random: construction cannot fail: {e}"))
     }
 
     /// Number of sites.

@@ -64,7 +64,8 @@ impl Mps {
     pub fn computational_zeros(n_sites: usize, d: usize) -> Self {
         let mut v = vec![C64::ZERO; d];
         v[0] = C64::ONE;
-        Mps::product_state(&vec![v; n_sites]).expect("computational_zeros: invalid state")
+        Mps::product_state(&vec![v; n_sites])
+            .unwrap_or_else(|e| unreachable!("computational_zeros: invalid state: {e}"))
     }
 
     /// Random MPS with the given physical and (uniform) bond dimension.
@@ -80,7 +81,7 @@ impl Mps {
             let r = if i == n_sites - 1 { 1 } else { bond_dim };
             tensors.push(Tensor::random(&[l, phys_dim, r], rng));
         }
-        Mps::new(tensors).expect("random: construction cannot fail")
+        Mps::new(tensors).unwrap_or_else(|e| unreachable!("random: construction cannot fail: {e}"))
     }
 
     /// Number of sites.
@@ -289,7 +290,7 @@ pub fn ghz_state(n: usize) -> Mps {
         }
         tensors.push(t);
     }
-    Mps::new(tensors).expect("ghz_state: construction cannot fail")
+    Mps::new(tensors).unwrap_or_else(|e| unreachable!("ghz_state: construction cannot fail: {e}"))
 }
 
 #[cfg(test)]

@@ -148,13 +148,16 @@ impl LinearOp for ZipStepOp<'_> {
         let [dp, rsp, rop] = self.col_dims();
         let xt = Tensor::from_matrix_2d(x)
             .into_reshape(&[dp, rsp, rop, k])
-            .expect("ZipStepOp::apply reshape");
+            .unwrap_or_else(|e| unreachable!("ZipStepOp::apply reshape: {e}"));
         // O [r_o, p, d', r_o'] * X [d', r_s', r_o', k] over (d', r_o') -> [r_o, p, r_s', k]
-        let w1 = tensordot(self.o, &xt, &[2, 3], &[0, 2]).expect("ZipStepOp w1");
+        let w1 = tensordot(self.o, &xt, &[2, 3], &[0, 2])
+            .unwrap_or_else(|e| unreachable!("ZipStepOp w1: {e}"));
         // S [r_s, p, r_s'] * W1 [r_o, p, r_s', k] over (p, r_s') -> [r_s, r_o, k]
-        let w2 = tensordot(self.s, &w1, &[1, 2], &[1, 2]).expect("ZipStepOp w2");
+        let w2 = tensordot(self.s, &w1, &[1, 2], &[1, 2])
+            .unwrap_or_else(|e| unreachable!("ZipStepOp w2: {e}"));
         // boundary [l, d, r_s, r_o] * W2 [r_s, r_o, k] -> [l, d, k]
-        let y = tensordot(self.boundary, &w2, &[2, 3], &[0, 1]).expect("ZipStepOp y");
+        let y = tensordot(self.boundary, &w2, &[2, 3], &[0, 1])
+            .unwrap_or_else(|e| unreachable!("ZipStepOp y: {e}"));
         y.unfold(2)
     }
 
@@ -163,15 +166,19 @@ impl LinearOp for ZipStepOp<'_> {
         let [l, d] = self.row_dims();
         let yt = Tensor::from_matrix_2d(y)
             .into_reshape(&[l, d, k])
-            .expect("ZipStepOp::apply_adj reshape");
+            .unwrap_or_else(|e| unreachable!("ZipStepOp::apply_adj reshape: {e}"));
         // conj(boundary) [l, d, r_s, r_o] * Y [l, d, k] -> [r_s, r_o, k]
-        let z1 = tensordot(&self.boundary.conj(), &yt, &[0, 1], &[0, 1]).expect("ZipStepOp z1");
+        let z1 = tensordot(&self.boundary.conj(), &yt, &[0, 1], &[0, 1])
+            .unwrap_or_else(|e| unreachable!("ZipStepOp z1: {e}"));
         // conj(S) [r_s, p, r_s'] * Z1 [r_s, r_o, k] -> [p, r_s', r_o, k]
-        let z2 = tensordot(&self.s.conj(), &z1, &[0], &[0]).expect("ZipStepOp z2");
+        let z2 = tensordot(&self.s.conj(), &z1, &[0], &[0])
+            .unwrap_or_else(|e| unreachable!("ZipStepOp z2: {e}"));
         // conj(O) [r_o, p, d', r_o'] * Z2 [p, r_s', r_o, k] over (p, r_o) -> [d', r_o', r_s', k]
-        let z3 = tensordot(&self.o.conj(), &z2, &[1, 0], &[0, 2]).expect("ZipStepOp z3");
+        let z3 = tensordot(&self.o.conj(), &z2, &[1, 0], &[0, 2])
+            .unwrap_or_else(|e| unreachable!("ZipStepOp z3: {e}"));
         // -> [d', r_s', r_o', k]
-        let out = z3.permute(&[0, 2, 1, 3]).expect("ZipStepOp permute");
+        let out =
+            z3.permute(&[0, 2, 1, 3]).unwrap_or_else(|e| unreachable!("ZipStepOp permute: {e}"));
         out.unfold(3)
     }
 

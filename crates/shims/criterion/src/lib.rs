@@ -8,6 +8,9 @@
 //! mean / min / max per-iteration time. No statistical analysis, HTML
 //! reports, or outlier rejection — just honest timings.
 
+// Shims are test/bench infrastructure, exempt from the workspace no-panic
+// gate that CI enforces on the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::hint;
 use std::time::{Duration, Instant};
 

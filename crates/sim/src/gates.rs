@@ -6,7 +6,7 @@ use koala_peps::operators::{kron, pauli_x, pauli_y, pauli_z};
 /// Hadamard gate.
 pub fn hadamard() -> Matrix {
     let s = 1.0 / 2.0f64.sqrt();
-    Matrix::from_real(2, 2, &[s, s, s, -s]).unwrap()
+    Matrix::from_real(2, 2, &[s, s, s, -s]).unwrap_or_else(|_| unreachable!("literal 2x2 data"))
 }
 
 /// Phase gate S = diag(1, i).
@@ -21,24 +21,27 @@ pub fn t_gate() -> Matrix {
 
 /// Rotation about X: `exp(-i theta X / 2)`.
 pub fn rx(theta: f64) -> Matrix {
-    expm_hermitian(&pauli_x(), c64(0.0, -theta / 2.0)).unwrap()
+    expm_hermitian(&pauli_x(), c64(0.0, -theta / 2.0))
+        .unwrap_or_else(|e| unreachable!("exponential of a literal Hermitian gate: {e}"))
 }
 
 /// Rotation about Y: `exp(-i theta Y / 2)`.
 pub fn ry(theta: f64) -> Matrix {
-    expm_hermitian(&pauli_y(), c64(0.0, -theta / 2.0)).unwrap()
+    expm_hermitian(&pauli_y(), c64(0.0, -theta / 2.0))
+        .unwrap_or_else(|e| unreachable!("exponential of a literal Hermitian gate: {e}"))
 }
 
 /// Rotation about Z: `exp(-i theta Z / 2)`.
 pub fn rz(theta: f64) -> Matrix {
-    expm_hermitian(&pauli_z(), c64(0.0, -theta / 2.0)).unwrap()
+    expm_hermitian(&pauli_z(), c64(0.0, -theta / 2.0))
+        .unwrap_or_else(|e| unreachable!("exponential of a literal Hermitian gate: {e}"))
 }
 
 /// Square root of X (up to global phase), one of the RQC single-qubit gates.
 pub fn sqrt_x() -> Matrix {
     let h = pauli_x();
     expm_hermitian(&h, c64(0.0, -std::f64::consts::FRAC_PI_4))
-        .unwrap()
+        .unwrap_or_else(|e| unreachable!("exponential of a literal Hermitian gate: {e}"))
         .scale(C64::cis(std::f64::consts::FRAC_PI_4))
 }
 
@@ -46,7 +49,7 @@ pub fn sqrt_x() -> Matrix {
 pub fn sqrt_y() -> Matrix {
     let h = pauli_y();
     expm_hermitian(&h, c64(0.0, -std::f64::consts::FRAC_PI_4))
-        .unwrap()
+        .unwrap_or_else(|e| unreachable!("exponential of a literal Hermitian gate: {e}"))
         .scale(C64::cis(std::f64::consts::FRAC_PI_4))
 }
 
@@ -54,7 +57,7 @@ pub fn sqrt_y() -> Matrix {
 pub fn sqrt_w() -> Matrix {
     let w = (&pauli_x() + &pauli_y()).scale(c64(1.0 / 2.0f64.sqrt(), 0.0));
     expm_hermitian(&w, c64(0.0, -std::f64::consts::FRAC_PI_4))
-        .unwrap()
+        .unwrap_or_else(|e| unreachable!("exponential of a literal Hermitian gate: {e}"))
         .scale(C64::cis(std::f64::consts::FRAC_PI_4))
 }
 
@@ -70,7 +73,7 @@ pub fn cnot() -> Matrix {
             0.0, 0.0, 1.0, 0.0,
         ],
     )
-    .unwrap()
+    .unwrap_or_else(|_| unreachable!("literal 4x4 data"))
 }
 
 /// Controlled-Z.
@@ -90,7 +93,8 @@ pub fn iswap() -> Matrix {
 
 /// Two-qubit ZZ interaction gate `exp(-i theta Z Z)`.
 pub fn zz_rotation(theta: f64) -> Matrix {
-    expm_hermitian(&kron(&pauli_z(), &pauli_z()), c64(0.0, -theta)).unwrap()
+    expm_hermitian(&kron(&pauli_z(), &pauli_z()), c64(0.0, -theta))
+        .unwrap_or_else(|e| unreachable!("exponential of a literal Hermitian gate: {e}"))
 }
 
 /// Check unitarity of a gate (testing helper exported for downstream crates).

@@ -157,18 +157,31 @@ pub struct TrotterGate {
 /// tensor network on `koala-linalg`'s real GEMM fast path. An imaginary
 /// factor (real-time evolution) produces genuinely complex gates and no
 /// hint — the contraction layer falls back to the split-complex kernel.
-pub fn trotter_gates(obs: &Observable, factor: C64) -> Vec<TrotterGate> {
+pub fn trotter_gates(
+    obs: &Observable,
+    factor: C64,
+) -> crate::statevector::Result<Vec<TrotterGate>> {
     obs.terms()
         .iter()
-        .map(|term| match term {
-            koala_peps::LocalTerm::OneSite { site, matrix } => TrotterGate {
-                sites: vec![*site],
-                matrix: expm_hermitian(matrix, factor).expect("trotter: non-Hermitian term"),
-            },
-            koala_peps::LocalTerm::TwoSite { site_a, site_b, matrix } => TrotterGate {
-                sites: vec![*site_a, *site_b],
-                matrix: expm_hermitian(matrix, factor).expect("trotter: non-Hermitian term"),
-            },
+        .map(|term| {
+            Ok(match term {
+                koala_peps::LocalTerm::OneSite { site, matrix } => TrotterGate {
+                    sites: vec![*site],
+                    matrix: expm_hermitian(matrix, factor).map_err(|e| {
+                        koala_tensor::TensorError::Linalg(format!(
+                            "trotter_gates: one-site term at {site:?}: {e}"
+                        ))
+                    })?,
+                },
+                koala_peps::LocalTerm::TwoSite { site_a, site_b, matrix } => TrotterGate {
+                    sites: vec![*site_a, *site_b],
+                    matrix: expm_hermitian(matrix, factor).map_err(|e| {
+                        koala_tensor::TensorError::Linalg(format!(
+                            "trotter_gates: two-site term at {site_a:?}-{site_b:?}: {e}"
+                        ))
+                    })?,
+                },
+            })
         })
         .collect()
 }
@@ -227,12 +240,12 @@ mod tests {
     #[test]
     fn trotter_gates_shapes_and_unitarity() {
         let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
-        let imag = trotter_gates(&h, c64(-0.05, 0.0));
+        let imag = trotter_gates(&h, c64(-0.05, 0.0)).unwrap();
         assert_eq!(imag.len(), h.len());
         for g in &imag {
             assert!(g.matrix.is_hermitian(1e-10), "imaginary-time gates are Hermitian PSD");
         }
-        let real = trotter_gates(&h, c64(0.0, -0.05));
+        let real = trotter_gates(&h, c64(0.0, -0.05)).unwrap();
         for g in &real {
             assert!(crate::gates::is_unitary(&g.matrix, 1e-10), "real-time gates are unitary");
         }
@@ -262,17 +275,18 @@ mod tests {
         let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
         // factor = -tau (imaginary time evolution): gates are real matrices
         // and carry the hint into the evolution.
-        for g in trotter_gates(&h, c64(-0.05, 0.0)) {
+        for g in trotter_gates(&h, c64(-0.05, 0.0)).unwrap() {
             assert!(g.matrix.is_real(), "ITE gate lost the realness hint");
             assert!(g.matrix.data().iter().all(|z| z.im == 0.0));
         }
         // factor = -i t (real time evolution): gates pick up complex phases
         // and the hint must not be retained.
         let any_complex = trotter_gates(&h, c64(0.0, -0.05))
+            .unwrap()
             .iter()
             .any(|g| g.matrix.data().iter().any(|z| z.im != 0.0));
         assert!(any_complex, "real-time TFI gates should be genuinely complex");
-        for g in trotter_gates(&h, c64(0.0, -0.05)) {
+        for g in trotter_gates(&h, c64(0.0, -0.05)).unwrap() {
             assert!(!g.matrix.is_real(), "complex gate falsely retained the realness hint");
         }
     }

@@ -20,10 +20,12 @@
 
 use crate::hamiltonian::{trotter_gates, TrotterGate};
 use crate::statevector::{Result, StateVector};
+use koala_error::recovery;
 use koala_linalg::c64;
 use koala_peps::expectation::{expectation_normalized, ExpectationOptions};
 use koala_peps::operators::Observable;
 use koala_peps::{apply_one_site, apply_two_site_any, Peps, UpdateMethod};
+use koala_tensor::TensorError;
 use rand::Rng;
 
 /// Configuration of a PEPS imaginary-time-evolution run.
@@ -41,6 +43,30 @@ pub struct IteOptions {
     pub update: UpdateKind,
     /// Measure the energy every `measure_every` steps (1 = every step).
     pub measure_every: usize,
+    /// Save an in-memory recovery checkpoint (PEPS + RNG + step index) every
+    /// this many completed steps. `0` disables checkpointing; a failed step
+    /// then restarts from the initial state.
+    pub checkpoint_every: usize,
+    /// How many times a failed step may be retried from the last checkpoint
+    /// before the run gives up and reports the error.
+    pub max_restarts: usize,
+    /// Deterministic fault injection: corrupt the evolving PEPS once, right
+    /// after the Trotter layer of the given step (testing/chaos hook). The
+    /// per-step finite guard detects the corruption and the driver restores
+    /// from the last checkpoint; because the fault is transient (it fires
+    /// exactly once), the deterministic RNG replay reproduces the fault-free
+    /// trajectory bit for bit.
+    pub fault: Option<IteFault>,
+}
+
+/// A seeded, once-firing corruption of the evolving PEPS (see
+/// [`IteOptions::fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IteFault {
+    /// Step (1-based) after whose Trotter layer the corruption lands.
+    pub step: usize,
+    /// Seed selecting which site/element is corrupted.
+    pub seed: u64,
 }
 
 /// Which two-site update algorithm drives the evolution.
@@ -64,6 +90,9 @@ impl IteOptions {
             contraction_bond,
             update: UpdateKind::QrSvd,
             measure_every: 1,
+            checkpoint_every: 0,
+            max_restarts: 3,
+            fault: None,
         }
     }
 
@@ -92,29 +121,182 @@ impl IteResult {
     }
 }
 
+/// A restartable snapshot of an in-flight ITE run: the evolved PEPS, the
+/// measurement history, and — crucially — the RNG state, so replaying the
+/// steps after the snapshot consumes the same random numbers as an
+/// uninterrupted run and reproduces it exactly.
+#[derive(Debug, Clone)]
+pub struct IteCheckpoint<R: Rng + Clone> {
+    /// Number of completed ITE steps at snapshot time.
+    step: usize,
+    peps: Peps,
+    rng: R,
+    energies: Vec<(usize, f64)>,
+}
+
+impl<R: Rng + Clone> IteCheckpoint<R> {
+    /// Number of completed ITE steps at snapshot time.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// The evolved PEPS at snapshot time.
+    pub fn peps(&self) -> &Peps {
+        &self.peps
+    }
+}
+
+/// Capture a step-0 checkpoint of `initial`, from which [`ite_peps_from`]
+/// starts (or later resumes) a run.
+pub fn ite_checkpoint<R: Rng + Clone>(initial: &Peps, rng: &R) -> IteCheckpoint<R> {
+    IteCheckpoint { step: 0, peps: initial.clone(), rng: rng.clone(), energies: Vec::new() }
+}
+
 /// Run imaginary time evolution of `hamiltonian` on a PEPS starting from
 /// `initial`, measuring the energy per site with IBMPS contraction.
-pub fn ite_peps<R: Rng + ?Sized>(
+///
+/// The run is fault tolerant: with `options.checkpoint_every > 0` the driver
+/// snapshots (PEPS, RNG, history) periodically, guards every step with a
+/// finiteness check, and on failure rolls back to the last checkpoint and
+/// replays — up to `options.max_restarts` times — before reporting the error.
+/// Recovery actions are counted in [`koala_error::recovery`].
+pub fn ite_peps<R: Rng + Clone>(
     initial: &Peps,
     hamiltonian: &Observable,
     options: IteOptions,
     rng: &mut R,
 ) -> Result<IteResult> {
-    let gates = trotter_gates(hamiltonian, c64(-options.tau, 0.0));
-    let n_sites = initial.num_sites() as f64;
-    let mut peps = initial.clone();
-    let mut energies = Vec::new();
+    let (result, end) = ite_peps_from(ite_checkpoint(initial, rng), hamiltonian, options)?;
+    *rng = end.rng; // keep the caller's stream in sync with the evolution
+    Ok(result)
+}
+
+/// Run (or resume) imaginary time evolution from a checkpoint, executing
+/// steps `checkpoint.step() + 1 ..= options.steps`. Returns the result over
+/// the *whole* history (including steps measured before the checkpoint) and
+/// the final checkpoint, which a later call can resume from with a larger
+/// `options.steps`.
+pub fn ite_peps_from<R: Rng + Clone>(
+    checkpoint: IteCheckpoint<R>,
+    hamiltonian: &Observable,
+    options: IteOptions,
+) -> Result<(IteResult, IteCheckpoint<R>)> {
+    let gates = trotter_gates(hamiltonian, c64(-options.tau, 0.0))?;
+    let n_sites = checkpoint.peps.num_sites() as f64;
     let expect_opts = ExpectationOptions::ibmps_cached(options.contraction_bond);
 
-    for step in 1..=options.steps {
-        apply_trotter_layer(&mut peps, &gates, options.update_method())?;
-        renormalize(&mut peps, options.contraction_bond, rng)?;
-        if step % options.measure_every == 0 || step == options.steps {
-            let e = expectation_normalized(&peps, hamiltonian, expect_opts, rng)?;
-            energies.push((step, e.re / n_sites));
+    let mut state = checkpoint;
+    let mut last_good = state.clone();
+    let mut restarts = 0usize;
+    // A fired fault stays fired across rollbacks: the injected corruption is
+    // transient, so the replayed steps run clean and the recovered trajectory
+    // matches the fault-free one exactly.
+    let mut fault_fired = false;
+
+    let mut step = state.step + 1;
+    while step <= options.steps {
+        match ite_step(
+            &mut state,
+            step,
+            &gates,
+            hamiltonian,
+            expect_opts,
+            n_sites,
+            &options,
+            &mut fault_fired,
+        ) {
+            Ok(()) => {
+                state.step = step;
+                if options.checkpoint_every > 0 && step.is_multiple_of(options.checkpoint_every) {
+                    last_good = state.clone();
+                    recovery::note_checkpoint_saved();
+                }
+                step += 1;
+            }
+            Err(e) => {
+                restarts += 1;
+                if restarts > options.max_restarts {
+                    return Err(TensorError::Linalg(format!(
+                        "ite_peps: step {step} still failing after {} restore attempts: {e}",
+                        options.max_restarts
+                    )));
+                }
+                recovery::note_checkpoint_restored();
+                state = last_good.clone();
+                step = state.step + 1;
+            }
         }
     }
-    Ok(IteResult { energies, final_state: peps })
+    let result = IteResult { energies: state.energies.clone(), final_state: state.peps.clone() };
+    Ok((result, state))
+}
+
+/// One guarded ITE step: Trotter layer, (optional) fault injection, finite
+/// guard, renormalization, and the scheduled energy measurement.
+#[allow(clippy::too_many_arguments)]
+fn ite_step<R: Rng + Clone>(
+    state: &mut IteCheckpoint<R>,
+    step: usize,
+    gates: &[TrotterGate],
+    hamiltonian: &Observable,
+    expect_opts: ExpectationOptions,
+    n_sites: f64,
+    options: &IteOptions,
+    fault_fired: &mut bool,
+) -> Result<()> {
+    apply_trotter_layer(&mut state.peps, gates, options.update_method())?;
+    if let Some(fault) = options.fault {
+        if fault.step == step && !*fault_fired {
+            *fault_fired = true;
+            corrupt_peps(&mut state.peps, fault.seed);
+            recovery::note_fault_injected();
+        }
+    }
+    validate_peps_finite(&state.peps, step)?;
+    renormalize(&mut state.peps, options.contraction_bond, &mut state.rng)?;
+    if step.is_multiple_of(options.measure_every) || step == options.steps {
+        let e = expectation_normalized(&state.peps, hamiltonian, expect_opts, &mut state.rng)?;
+        if !e.re.is_finite() {
+            recovery::note_nonfinite_detection();
+            return Err(TensorError::Linalg(format!("ite step {step}: non-finite energy {e}")));
+        }
+        state.energies.push((step, e.re / n_sites));
+    }
+    Ok(())
+}
+
+/// The per-step finite guard: reject any NaN/Inf in the evolved tensors.
+fn validate_peps_finite(peps: &Peps, step: usize) -> Result<()> {
+    for r in 0..peps.nrows() {
+        for c in 0..peps.ncols() {
+            let bad =
+                peps.tensor((r, c)).data().iter().any(|z| !z.re.is_finite() || !z.im.is_finite());
+            if bad {
+                recovery::note_nonfinite_detection();
+                return Err(TensorError::Linalg(format!(
+                    "ite step {step}: non-finite PEPS tensor at site ({r},{c})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deterministically poison one element of one site tensor (NaN), selected by
+/// a splitmix64 hash of `seed` — the fault-injection payload.
+fn corrupt_peps(peps: &mut Peps, seed: u64) {
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let site = splitmix64(seed) as usize % peps.num_sites();
+    let (r, c) = (site / peps.ncols(), site % peps.ncols());
+    let mut t = peps.tensor((r, c)).clone();
+    let len = t.data().len();
+    t.data_mut()[splitmix64(seed ^ 0xDEAD_BEEF) as usize % len] = c64(f64::NAN, 0.0);
+    peps.set_tensor((r, c), t);
 }
 
 /// Apply one full Trotter layer (every local term once) to the PEPS.
@@ -166,8 +348,8 @@ pub fn ite_statevector(
     hamiltonian: &Observable,
     tau: f64,
     steps: usize,
-) -> Vec<(usize, f64)> {
-    let gates = trotter_gates(hamiltonian, c64(-tau, 0.0));
+) -> Result<Vec<(usize, f64)>> {
+    let gates = trotter_gates(hamiltonian, c64(-tau, 0.0))?;
     let n_sites = initial.num_qubits() as f64;
     let mut sv = initial.clone();
     let mut energies = Vec::with_capacity(steps);
@@ -182,7 +364,7 @@ pub fn ite_statevector(
         sv.normalize();
         energies.push((step, sv.expectation(hamiltonian) / n_sites));
     }
-    energies
+    Ok(energies)
 }
 
 #[cfg(test)]
@@ -196,9 +378,9 @@ mod tests {
     fn statevector_ite_converges_to_ground_state() {
         let mut rng = StdRng::seed_from_u64(1);
         let h = tfi_hamiltonian(2, 2, TfiParams { jz: -1.0, hx: -2.0 });
-        let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng) / 4.0;
+        let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng).unwrap() / 4.0;
         let sv = StateVector::random(2, 2, &mut rng);
-        let energies = ite_statevector(&sv, &h, 0.05, 300);
+        let energies = ite_statevector(&sv, &h, 0.05, 300).unwrap();
         let last = energies.last().unwrap().1;
         // First-order Trotterisation carries an O(tau) bias, so the converged
         // energy sits slightly above the exact ground state.
@@ -238,16 +420,87 @@ mod tests {
             ite_peps(&peps, &h, IteOptions::new(0.05, 25, 1, 2), &mut rng).unwrap().final_energy();
         let e2 =
             ite_peps(&peps, &h, IteOptions::new(0.05, 25, 2, 4), &mut rng).unwrap().final_energy();
-        let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng) / 4.0;
+        let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng).unwrap() / 4.0;
         assert!(e2 <= e1 + 0.05, "bond 2 ({e2}) should not be much worse than bond 1 ({e1})");
         assert!(e2 >= exact - 0.05, "variational-ish energy should not dive far below exact");
+    }
+
+    #[test]
+    fn resumed_run_matches_an_uninterrupted_one() {
+        let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
+        let peps = Peps::computational_zeros(2, 2);
+
+        // One uninterrupted 12-step run...
+        let mut rng = StdRng::seed_from_u64(7);
+        let full = ite_peps(&peps, &h, IteOptions::new(0.05, 12, 2, 4), &mut rng).unwrap();
+
+        // ...vs the same run split at step 5 through a checkpoint.
+        let rng2 = StdRng::seed_from_u64(7);
+        let start = ite_checkpoint(&peps, &rng2);
+        let (_, mid) = ite_peps_from(start, &h, IteOptions::new(0.05, 5, 2, 4)).unwrap();
+        assert_eq!(mid.step(), 5);
+        let (resumed, end) = ite_peps_from(mid, &h, IteOptions::new(0.05, 12, 2, 4)).unwrap();
+        assert_eq!(end.step(), 12);
+
+        assert_eq!(full.energies.len(), resumed.energies.len());
+        for (&(sa, ea), &(sb, eb)) in full.energies.iter().zip(resumed.energies.iter()) {
+            assert_eq!(sa, sb);
+            assert!((ea - eb).abs() < 1e-10, "step {sa}: {ea} vs {eb}");
+        }
+    }
+
+    #[test]
+    fn injected_corruption_is_rolled_back_to_the_fault_free_trajectory() {
+        let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
+        let peps = Peps::computational_zeros(2, 2);
+
+        let mut clean_rng = StdRng::seed_from_u64(9);
+        let clean_opts = {
+            let mut o = IteOptions::new(0.05, 10, 2, 4);
+            o.checkpoint_every = 2;
+            o
+        };
+        let clean = ite_peps(&peps, &h, clean_opts, &mut clean_rng).unwrap();
+
+        let before = koala_error::recovery::snapshot();
+        let mut faulty_rng = StdRng::seed_from_u64(9);
+        let mut faulty_opts = clean_opts;
+        faulty_opts.fault = Some(IteFault { step: 7, seed: 42 });
+        let recovered = ite_peps(&peps, &h, faulty_opts, &mut faulty_rng).unwrap();
+        let after = koala_error::recovery::snapshot();
+
+        assert!(after.faults_injected > before.faults_injected);
+        assert!(after.nonfinite_detections > before.nonfinite_detections);
+        assert!(after.checkpoints_restored > before.checkpoints_restored);
+        assert!(after.checkpoints_saved > before.checkpoints_saved);
+
+        assert_eq!(clean.energies.len(), recovered.energies.len());
+        for (&(sa, ea), &(sb, eb)) in clean.energies.iter().zip(recovered.energies.iter()) {
+            assert_eq!(sa, sb);
+            assert!((ea - eb).abs() < 1e-10, "step {sa}: clean {ea} vs recovered {eb}");
+        }
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_the_restart_budget() {
+        let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
+        let peps = Peps::computational_zeros(2, 2);
+        // Poison the *initial* state: every replay re-detects it.
+        let mut bad = peps.clone();
+        corrupt_peps(&mut bad, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut opts = IteOptions::new(0.05, 4, 2, 4);
+        opts.checkpoint_every = 1;
+        let err = ite_peps(&bad, &h, opts, &mut rng).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("restore attempts"), "unexpected error: {msg}");
     }
 
     #[test]
     fn trotter_layer_error_reporting() {
         let mut rng = StdRng::seed_from_u64(4);
         let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
-        let gates = trotter_gates(&h, c64(-0.1, 0.0));
+        let gates = trotter_gates(&h, c64(-0.1, 0.0)).unwrap();
         let mut peps = Peps::random(2, 2, 2, 2, &mut rng);
         let err = apply_trotter_layer(&mut peps, &gates, UpdateMethod::qr_svd(1)).unwrap();
         assert!(err >= 0.0);

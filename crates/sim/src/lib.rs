@@ -39,6 +39,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must not panic on fallible paths: failures become
+// `KoalaError` results so long-running drivers can recover instead of
+// aborting (see ARCHITECTURE.md, "Failure model").
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod circuit;
 pub mod gates;
@@ -52,7 +56,10 @@ pub use circuit::{random_circuit, Circuit, CircuitOp};
 pub use hamiltonian::{
     j1j2_hamiltonian, tfi_hamiltonian, trotter_gates, J1J2Params, TfiParams, TrotterGate,
 };
-pub use ite::{ite_peps, ite_statevector, IteOptions, IteResult, UpdateKind};
+pub use ite::{
+    ite_checkpoint, ite_peps, ite_peps_from, ite_statevector, IteCheckpoint, IteFault, IteOptions,
+    IteResult, UpdateKind,
+};
 pub use opt::{nelder_mead, spsa, OptResult};
 pub use statevector::StateVector;
 pub use vqe::{run_vqe, Optimizer, VqeBackend, VqeOptions, VqeResult};

@@ -64,7 +64,7 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
 
     let mut history = Vec::with_capacity(max_iterations);
     for _iter in 0..max_iterations {
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         history.push(simplex[0].1);
 
         // Convergence: spread of values and of the simplex.
@@ -122,7 +122,7 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         }
     }
 
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     history.push(simplex[0].1);
     OptResult { best_params: simplex[0].0.clone(), best_value: simplex[0].1, history, evaluations }
 }

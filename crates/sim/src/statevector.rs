@@ -196,12 +196,13 @@ impl StateVector {
         ncols: usize,
         obs: &Observable,
         rng: &mut R,
-    ) -> f64 {
+    ) -> Result<f64> {
         let op = ObservableOp { nrows, ncols, obs };
         let max_krylov = 200.min(1 << (nrows * ncols));
-        lanczos_ground_state(&op, max_krylov, 1e-10, rng)
-            .expect("lanczos failed on the observable")
-            .value
+        let gs = lanczos_ground_state(&op, max_krylov, 1e-10, rng).map_err(|e| {
+            TensorError::Linalg(format!("ground_state_energy: Lanczos failed: {e}"))
+        })?;
+        Ok(gs.value)
     }
 }
 
@@ -313,7 +314,7 @@ mod tests {
         // H = -X on one site: ground energy -1.
         let mut rng = StdRng::seed_from_u64(3);
         let obs = -1.0 * Observable::x((0, 0));
-        let e = StateVector::ground_state_energy(1, 1, &obs, &mut rng);
+        let e = StateVector::ground_state_energy(1, 1, &obs, &mut rng).unwrap();
         assert!((e + 1.0).abs() < 1e-8);
     }
 
@@ -322,7 +323,7 @@ mod tests {
         // H = -Z Z on two sites: ground energy -1 (doubly degenerate).
         let mut rng = StdRng::seed_from_u64(4);
         let obs = -1.0 * Observable::zz((0, 0), (0, 1));
-        let e = StateVector::ground_state_energy(1, 2, &obs, &mut rng);
+        let e = StateVector::ground_state_energy(1, 2, &obs, &mut rng).unwrap();
         assert!((e + 1.0).abs() < 1e-8);
         // Cross-check against dense diagonalisation.
         let h = obs.to_dense(1, 2, 2);

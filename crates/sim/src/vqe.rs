@@ -248,7 +248,7 @@ mod tests {
         let result = run_vqe(2, 2, &h, options, Some(&initial), &mut rng).unwrap();
         assert!(result.best_energy < initial_energy - 0.5, "VQE failed to improve: {result:?}");
         // The exact ground state per site is a lower bound.
-        let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng) / 4.0;
+        let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng).unwrap() / 4.0;
         assert!(result.best_energy >= exact - 1e-6);
         // History is monotone non-increasing (best-so-far curve).
         for w in result.energy_history.windows(2) {
@@ -266,7 +266,7 @@ mod tests {
             optimizer: Optimizer::NelderMead { scale: 0.4, max_iterations: 40 },
         };
         let result = run_vqe(2, 2, &h, options, None, &mut rng).unwrap();
-        let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng) / 4.0;
+        let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng).unwrap() / 4.0;
         assert!(result.best_energy >= exact - 1e-4);
         assert!(result.best_energy < 0.0);
         assert!(result.evaluations > 0);

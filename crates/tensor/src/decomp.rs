@@ -83,7 +83,9 @@ impl SplitSvd {
 /// truncated splits of real tensors keep the whole pipeline on the real GEMM
 /// kernel.
 pub fn scale_last_axis(t: &Tensor, s: &[f64]) -> Tensor {
-    let last = *t.shape().last().expect("scale_last_axis: rank-0 tensor");
+    let Some(&last) = t.shape().last() else {
+        return t.clone(); // rank-0: no axis to scale
+    };
     assert!(s.len() >= last);
     let keep_real = t.is_real() && s[..last].iter().all(|x| x.is_finite());
     let mut out = t.clone();
@@ -99,7 +101,9 @@ pub fn scale_last_axis(t: &Tensor, s: &[f64]) -> Tensor {
 /// Multiply slices along the first axis by `s[i]` (hint rule as in
 /// [`scale_last_axis`]).
 pub fn scale_first_axis(t: &Tensor, s: &[f64]) -> Tensor {
-    let first = *t.shape().first().expect("scale_first_axis: rank-0 tensor");
+    let Some(&first) = t.shape().first() else {
+        return t.clone(); // rank-0: no axis to scale
+    };
     assert!(s.len() >= first);
     let keep_real = t.is_real() && s[..first].iter().all(|x| x.is_finite());
     let block: usize = t.shape()[1..].iter().product();

@@ -150,16 +150,16 @@ static PARSE_CACHE: LazyLock<Mutex<HashMap<String, Arc<EinsumSpec>>>> =
 /// Drop the memoised spec parses (used by [`crate::plan::clear_plan_cache`]
 /// so "cold cache" benchmarks genuinely re-parse).
 pub(crate) fn clear_parse_cache() {
-    PARSE_CACHE.lock().unwrap().clear();
+    crate::lock_ignore_poison(&PARSE_CACHE).clear();
 }
 
 /// Parse `spec`, consulting the process-wide parse memo first.
 fn parse_spec_cached(spec: &str) -> Result<Arc<EinsumSpec>> {
-    if let Some(parsed) = PARSE_CACHE.lock().unwrap().get(spec) {
+    if let Some(parsed) = crate::lock_ignore_poison(&PARSE_CACHE).get(spec) {
         return Ok(Arc::clone(parsed));
     }
     let parsed = Arc::new(parse_spec(spec)?);
-    let mut cache = PARSE_CACHE.lock().unwrap();
+    let mut cache = crate::lock_ignore_poison(&PARSE_CACHE);
     if cache.len() >= PARSE_CACHE_CAPACITY {
         cache.clear();
     }

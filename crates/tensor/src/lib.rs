@@ -36,6 +36,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must not panic on fallible paths: failures become
+// `TensorError` (bridged to the workspace `KoalaError`) so long-running
+// drivers can recover instead of aborting.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod contract;
 pub mod decomp;
@@ -55,6 +59,13 @@ pub use plan::{
     Plan, PlanCell, PlanStats,
 };
 pub use tensor::{Result, Tensor, TensorError};
+
+/// Poison-tolerant mutex lock for the process-wide caches: a panicked holder
+/// cannot leave a cache permanently unusable (the data is a memo, so the
+/// worst case after a poisoned write is a stale-but-valid entry).
+pub(crate) fn lock_ignore_poison<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 // Re-export the scalar/matrix types so downstream crates need only one import path.
 pub use koala_linalg::{c64, Matrix, C64};

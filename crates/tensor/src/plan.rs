@@ -141,9 +141,9 @@ impl Plan {
                 .copied()
                 .collect();
             let axes_a: Vec<usize> =
-                shared.iter().map(|c| left_l.iter().position(|l| l == c).unwrap()).collect();
+                shared.iter().filter_map(|c| left_l.iter().position(|l| l == c)).collect();
             let axes_b: Vec<usize> =
-                shared.iter().map(|c| right_l.iter().position(|l| l == c).unwrap()).collect();
+                shared.iter().filter_map(|c| right_l.iter().position(|l| l == c)).collect();
             let pair = PairPlan::new(&left_s, &axes_a, &right_s, &axes_b)?;
             let mut labels: Vec<char> =
                 left_l.iter().filter(|c| !shared.contains(c)).copied().collect();
@@ -153,7 +153,9 @@ impl Plan {
             items.push((labels, out_shape));
         }
 
-        let (mut labels, _shape) = items.pop().expect("einsum: empty operand list");
+        let Some((mut labels, _shape)) = items.pop() else {
+            return Err(TensorError::InvalidAxes { context: "einsum: empty operand list".into() });
+        };
 
         // Sum out any label that does not appear in the output (a label that
         // occurs only once in the inputs and is dropped from the output).
@@ -242,7 +244,11 @@ impl Plan {
             let left = items.remove(step.lhs);
             items.push(Operand::Owned(step.pair.execute(left.as_tensor(), right.as_tensor())?));
         }
-        let mut operand = items.pop().expect("einsum plan: empty operand list");
+        let Some(mut operand) = items.pop() else {
+            return Err(TensorError::InvalidAxes {
+                context: "einsum plan: empty operand list".into(),
+            });
+        };
 
         for &axis in &self.sum_axes {
             operand = Operand::Owned(crate::contract::sum_axis(operand.as_tensor(), axis)?);
@@ -399,7 +405,7 @@ impl LruCache {
             .flat_map(|(&h, bucket)| bucket.iter().map(move |e| (h, e.stamp)))
             .min_by_key(|&(_, stamp)| stamp);
         let Some((hash, stamp)) = oldest else { return };
-        let bucket = self.map.get_mut(&hash).expect("evict: bucket exists");
+        let Some(bucket) = self.map.get_mut(&hash) else { return };
         bucket.retain(|e| e.stamp != stamp);
         if bucket.is_empty() {
             self.map.remove(&hash);
@@ -445,7 +451,7 @@ pub struct PlanStats {
 /// skip even the cache lookup.
 pub fn contraction_plan(spec: &EinsumSpec, shapes: &[&[usize]]) -> Result<Arc<Plan>> {
     let hash = key_hash(spec, shapes);
-    if let Some(plan) = CACHE.lock().unwrap().touch(hash, spec, shapes) {
+    if let Some(plan) = crate::lock_ignore_poison(&CACHE).touch(hash, spec, shapes) {
         HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(plan);
     }
@@ -454,7 +460,7 @@ pub fn contraction_plan(spec: &EinsumSpec, shapes: &[&[usize]]) -> Result<Arc<Pl
     // deduplicates, keeping the newer plan).
     MISSES.fetch_add(1, Ordering::Relaxed);
     let plan = Arc::new(Plan::build(spec, shapes)?);
-    CACHE.lock().unwrap().insert(hash, Arc::clone(&plan));
+    crate::lock_ignore_poison(&CACHE).insert(hash, Arc::clone(&plan));
     Ok(plan)
 }
 
@@ -504,7 +510,7 @@ impl PlanCell {
     /// The plan for `shapes`, from the cell when held (no global-cache
     /// traffic), planning and memoising it otherwise.
     pub fn plan(&self, shapes: &[&[usize]]) -> Result<Arc<Plan>> {
-        let mut held = self.held.lock().expect("PlanCell mutex poisoned");
+        let mut held = crate::lock_ignore_poison(&self.held);
         if let Some(pos) = held.iter().position(|plan| {
             plan.shapes.len() == shapes.len()
                 && plan.shapes.iter().zip(shapes.iter()).all(|(a, b)| a.as_slice() == *b)
@@ -531,7 +537,7 @@ impl PlanCell {
 
 /// Read the plan-cache hit/miss/eviction counters.
 pub fn plan_stats() -> PlanStats {
-    let cache = CACHE.lock().unwrap();
+    let cache = crate::lock_ignore_poison(&CACHE);
     PlanStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
@@ -552,7 +558,7 @@ pub fn reset_plan_stats() {
 /// Used by benchmarks that measure cold planning overhead — after this call
 /// the next `einsum` pays parsing, validation, and the greedy search again.
 pub fn clear_plan_cache() {
-    let mut cache = CACHE.lock().unwrap();
+    let mut cache = crate::lock_ignore_poison(&CACHE);
     cache.map.clear();
     cache.len = 0;
     drop(cache);
@@ -563,7 +569,7 @@ pub fn clear_plan_cache() {
 /// capacity is smaller than the current population.
 pub fn set_plan_cache_capacity(capacity: usize) {
     let capacity = capacity.max(1);
-    let mut cache = CACHE.lock().unwrap();
+    let mut cache = crate::lock_ignore_poison(&CACHE);
     cache.capacity = capacity;
     while cache.len > capacity {
         cache.evict_oldest();

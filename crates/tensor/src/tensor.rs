@@ -37,6 +37,28 @@ impl fmt::Display for TensorError {
 
 impl std::error::Error for TensorError {}
 
+impl From<TensorError> for koala_error::KoalaError {
+    fn from(e: TensorError) -> Self {
+        use koala_error::ErrorKind;
+        let kind = match &e {
+            TensorError::ShapeMismatch { .. } => ErrorKind::Shape,
+            TensorError::InvalidAxes { .. } => ErrorKind::InvalidArgument,
+            // The linalg layer stringifies before it reaches us; recover the
+            // classification that matters for recovery policy from the text.
+            TensorError::Linalg(msg) => {
+                if msg.contains("non-finite") {
+                    ErrorKind::NonFinite
+                } else if msg.contains("did not converge") {
+                    ErrorKind::NoConvergence
+                } else {
+                    ErrorKind::Numerical
+                }
+            }
+        };
+        koala_error::KoalaError::new(kind, e.to_string())
+    }
+}
+
 impl From<koala_linalg::LinalgError> for TensorError {
     fn from(e: koala_linalg::LinalgError) -> Self {
         TensorError::Linalg(e.to_string())
@@ -377,8 +399,8 @@ impl Tensor {
         assert!(split <= self.ndim(), "unfold: split {} exceeds rank {}", split, self.ndim());
         let rows: usize = self.shape[..split].iter().product();
         let cols: usize = self.shape[split..].iter().product();
-        let mut m =
-            Matrix::from_vec(rows, cols, self.data.clone()).expect("unfold: internal size error");
+        let mut m = Matrix::from_vec(rows, cols, self.data.clone())
+            .unwrap_or_else(|_| unreachable!("unfold: rows*cols == len by construction"));
         if self.real {
             m.assume_real();
         }
@@ -416,7 +438,8 @@ impl Tensor {
     /// Convert a rank-2 tensor into a matrix (the realness hint carries over).
     pub fn to_matrix_2d(&self) -> Matrix {
         assert_eq!(self.ndim(), 2, "to_matrix_2d: tensor rank is {}", self.ndim());
-        let mut m = Matrix::from_vec(self.shape[0], self.shape[1], self.data.clone()).unwrap();
+        let mut m = Matrix::from_vec(self.shape[0], self.shape[1], self.data.clone())
+            .unwrap_or_else(|_| unreachable!("to_matrix_2d: rank-2 shape matches data"));
         if self.real {
             m.assume_real();
         }
@@ -542,7 +565,10 @@ fn permute_gather(
     // contiguously (g[t] == 1); it exists and differs from the innermost
     // output axis because inner_stride != 1.
     const B: usize = 32;
-    let t = perm.iter().position(|&p| p == in_shape.len() - 1).expect("valid permutation");
+    let t = perm
+        .iter()
+        .position(|&p| p == in_shape.len() - 1)
+        .unwrap_or_else(|| unreachable!("permute: perm is a valid permutation"));
     let dim_t = out_shape[t];
     let ost_t = out_strides[t];
     let outer_axes: Vec<usize> = (0..nd - 1).filter(|&ax| ax != t).collect();

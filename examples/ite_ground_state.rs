@@ -18,7 +18,9 @@ fn main() {
     let params = TfiParams { jz: -1.0, hx: -2.0 };
     let h = tfi_hamiltonian(nrows, ncols, params);
 
-    let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng) / 9.0;
+    let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng)
+        .expect("Lanczos reference failed")
+        / 9.0;
     println!("exact ground-state energy per site: {exact:.6}");
 
     for r in [1usize, 2] {

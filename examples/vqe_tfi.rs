@@ -20,7 +20,9 @@ fn main() {
     let h = tfi_hamiltonian(nrows, ncols, params);
     let n_sites = (nrows * ncols) as f64;
 
-    let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng) / n_sites;
+    let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng)
+        .expect("Lanczos reference failed")
+        / n_sites;
     println!("exact ground-state energy per site: {exact:.6}");
 
     for (label, backend) in [

@@ -98,7 +98,7 @@ fn rqc_amplitude_error_decreases_with_contraction_bond() {
 fn ite_reaches_ground_state_on_small_lattice() {
     let mut rng = StdRng::seed_from_u64(3);
     let h = tfi_hamiltonian(2, 2, TfiParams { jz: -1.0, hx: -1.5 });
-    let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng) / 4.0;
+    let exact = StateVector::ground_state_energy(2, 2, &h, &mut rng).unwrap() / 4.0;
     let peps = Peps::computational_zeros(2, 2);
     let result = ite_peps(&peps, &h, IteOptions::new(0.05, 60, 2, 4), &mut rng).unwrap();
     assert!(

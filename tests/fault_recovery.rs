@@ -1,0 +1,87 @@
+//! Acceptance test of the fault-tolerance layer (ARCHITECTURE.md, "Failure
+//! model"): a seeded rank failure mid-SUMMA and a seeded corruption mid-ITE
+//! must both recover, the recovered answers must match the fault-free runs to
+//! 1e-10, and the process-wide [`koala::error::recovery`] counters must
+//! record the recovery path taken.
+
+use koala::cluster::{Cluster, DistMatrix, FaultKind, FaultPlan};
+use koala::error::recovery;
+use koala::linalg::Matrix;
+use koala::peps::Peps;
+use koala::sim::{ite_peps, tfi_hamiltonian, IteFault, IteOptions, TfiParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn rank_failure_mid_summa_recovers_and_matches_the_fault_free_product() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let a = Matrix::random(29, 23, &mut rng);
+    let b = Matrix::random(23, 17, &mut rng);
+
+    let run = |plan: Option<FaultPlan>| {
+        let cluster = Cluster::new(6);
+        let grid = cluster.grid();
+        let da = DistMatrix::scatter_block_cyclic(&cluster, &a, grid, 4, 5);
+        let db = DistMatrix::scatter_block_cyclic(&cluster, &b, grid, 3, 4);
+        if let Some(p) = plan {
+            cluster.arm_faults(p);
+        }
+        let c = da.matmul_dist(&db).expect("a transient rank failure must be recovered");
+        (c.gather_unaccounted(), cluster.disarm_faults())
+    };
+
+    let (fault_free, empty_log) = run(None);
+    let before = recovery::snapshot();
+    // Rank 3 drops out in SUMMA round 1: its deliveries that round are lost.
+    let (recovered, log) = run(Some(FaultPlan::seeded(77).fail_rank(3, 1)));
+    let after = recovery::snapshot();
+
+    assert!(empty_log.is_empty());
+    assert!(!log.is_empty(), "the rank failure must be logged");
+    assert!(log.iter().all(|ev| ev.kind == FaultKind::RankFailure));
+    assert!(
+        recovered.approx_eq(&fault_free, 1e-10),
+        "recovered SUMMA product diverged from the fault-free run"
+    );
+    assert!(
+        after.summa_round_retries > before.summa_round_retries,
+        "recovery must be recorded as SUMMA round retries"
+    );
+    assert!(after.faults_injected > before.faults_injected);
+}
+
+#[test]
+fn corruption_mid_ite_recovers_and_matches_the_fault_free_trajectory() {
+    let h = tfi_hamiltonian(2, 2, TfiParams::paper_figure14());
+    let peps = Peps::computational_zeros(2, 2);
+    let mut options = IteOptions::new(0.05, 9, 2, 4);
+    options.checkpoint_every = 3;
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let fault_free = ite_peps(&peps, &h, options, &mut rng).expect("fault-free ITE");
+
+    let before = recovery::snapshot();
+    let mut rng = StdRng::seed_from_u64(13);
+    options.fault = Some(IteFault { step: 8, seed: 1234 });
+    let recovered = ite_peps(&peps, &h, options, &mut rng).expect("ITE must recover");
+    let after = recovery::snapshot();
+
+    assert_eq!(fault_free.energies.len(), recovered.energies.len());
+    for (&(sa, ea), &(sb, eb)) in fault_free.energies.iter().zip(recovered.energies.iter()) {
+        assert_eq!(sa, sb);
+        assert!(
+            (ea - eb).abs() < 1e-10,
+            "step {sa}: recovered energy {eb} diverged from fault-free {ea}"
+        );
+    }
+    assert!(after.faults_injected > before.faults_injected, "the corruption must be injected");
+    assert!(
+        after.nonfinite_detections > before.nonfinite_detections,
+        "the finite guard must detect the corruption"
+    );
+    assert!(
+        after.checkpoints_restored > before.checkpoints_restored,
+        "recovery must restore from a checkpoint"
+    );
+    assert!(after.checkpoints_saved > before.checkpoints_saved);
+}
