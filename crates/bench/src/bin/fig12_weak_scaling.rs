@@ -13,8 +13,8 @@
 //! reads its Figure 12 against the machine peak.
 
 use koala_bench::{calibrated_cost_model, BenchArgs, Figure, Series};
-use koala_cluster::Cluster;
-use koala_linalg::{c64, expm_hermitian};
+use koala_cluster::{Cluster, DistMatrix};
+use koala_linalg::{c64, expm_hermitian, Matrix};
 use koala_peps::operators::{kron, pauli_x, pauli_z};
 use koala_peps::{
     dist_contract_no_phys, dist_tebd_layer, ContractionMethod, DistEvolutionVariant, Peps,
@@ -45,8 +45,16 @@ fn main() {
     );
     let mut evo = Series::new("Evolution: scale r (predicted)");
     let mut con = Series::new("Contraction: scale m (predicted)");
+    // Weak-scaled SUMMA GEMM (n ~ sqrt(ranks) keeps n^2/P per rank fixed),
+    // rated by both communication models: the serialized rate pays every
+    // panel broadcast on the critical path, the overlap-aware rate hides
+    // round k+1's broadcast behind round k's GEMM, so its curve sits higher
+    // and bends away as the grids grow.
+    let mut summa = Series::new("SUMMA GEMM: scale n (predicted, serialized)");
+    let mut summa_overlap = Series::new("SUMMA GEMM: scale n (predicted, comm/compute overlap)");
     let mut ideal = Series::new("Ideal: calibrated per-rank kernel peak");
     let peak_gflops = model.complex_peak_flops() / 1e9;
+    let n_gemm_base = if args.quick { 48 } else { 96 };
 
     for &ranks in &rank_counts {
         // Per-rank memory of the dominant site tensors scales like r^4 / ranks,
@@ -76,14 +84,35 @@ fn main() {
         con.push(ranks as f64, gflops_con);
         ideal.push(ranks as f64, peak_gflops);
 
+        let n_gemm = ((n_gemm_base as f64) * (ranks as f64).sqrt()).round() as usize;
+        let a = Matrix::random(n_gemm, n_gemm, &mut rng);
+        let b = Matrix::random(n_gemm, n_gemm, &mut rng);
+        let cluster_g = Cluster::new(ranks);
+        let grid = cluster_g.grid();
+        let row_block = n_gemm.div_ceil(grid.rows()).clamp(1, 32);
+        let col_block = n_gemm.div_ceil(grid.cols()).clamp(1, 32);
+        let da = DistMatrix::scatter_block_cyclic(&cluster_g, &a, grid, row_block, col_block);
+        let db = DistMatrix::scatter_block_cyclic(&cluster_g, &b, grid, row_block, col_block);
+        cluster_g.reset_stats(); // the scatter is setup, not the timed GEMM
+        let _ = da.matmul_dist(&db).expect("fault-free SUMMA cannot fail");
+        let stats_g = cluster_g.stats();
+        let gflops_summa = model.flop_rate_per_rank(&stats_g) / 1e9;
+        let gflops_summa_ov = model.flop_rate_per_rank_overlap(&stats_g) / 1e9;
+        summa.push(ranks as f64, gflops_summa);
+        summa_overlap.push(ranks as f64, gflops_summa_ov);
+
         println!(
             "ranks={ranks:<3} r={r:<3} m={m:<3} evolution={gflops_evo:.3} Gflop/s/core \
-             contraction={gflops_con:.3} Gflop/s/core (ideal peak {peak_gflops:.3})"
+             contraction={gflops_con:.3} Gflop/s/core \
+             summa(n={n_gemm})={gflops_summa:.3}/{gflops_summa_ov:.3} Gflop/s/core \
+             serialized/overlap (ideal peak {peak_gflops:.3})"
         );
     }
 
     fig.add(evo);
     fig.add(con);
+    fig.add(summa);
+    fig.add(summa_overlap);
     fig.add(ideal);
     fig.print();
     fig.maybe_write_json(&args);

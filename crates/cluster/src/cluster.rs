@@ -12,7 +12,7 @@
 
 use crate::fault::{FaultEvent, FaultLog, FaultPlan, FaultSite, FaultState};
 use crate::grid::ProcGrid;
-use crate::stats::{CommStats, ELEM_BYTES};
+use crate::stats::{CommStats, RoundCost, ELEM_BYTES};
 use koala_linalg::C64;
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -167,6 +167,31 @@ impl Cluster {
             s.redistributions += 1;
         }
         self.record_collective(elems, 1);
+    }
+
+    /// Note one full gather: an operation that materialises an entire
+    /// distributed object on a rank (or on all ranks). Traffic is billed by
+    /// the caller; this only bumps the [`CommStats::full_gathers`] counter
+    /// that the no-gather-fallback tests pin to zero.
+    pub fn record_full_gather(&self) {
+        let mut s = lock_ignore_poison(&self.stats);
+        s.full_gathers += 1;
+    }
+
+    /// Record one pipelined round (a SUMMA depth step) for the overlap-aware
+    /// cost model. The payload and MACs in `round` must *also* have been
+    /// billed to the aggregate counters — a round refines the schedule, it
+    /// does not add work. Per-rank MACs are scaled by any armed slow-rank
+    /// fault factors so the round ledger matches the aggregate one.
+    pub fn record_round(&self, mut round: RoundCost) {
+        for (rank, m) in round.rank_cmacs.iter_mut().enumerate() {
+            *m = self.scale_work(rank, *m);
+        }
+        for (rank, m) in round.rank_rmacs.iter_mut().enumerate() {
+            *m = self.scale_work(rank, *m);
+        }
+        let mut s = lock_ignore_poison(&self.stats);
+        s.rounds.push(round);
     }
 
     /// Scale billed work by the rank's slowdown factor under an armed fault

@@ -44,10 +44,42 @@
 //! allgather of `B`). Realness rides along: panels are submatrices of hinted
 //! blocks, so a real workload runs the real microkernel on every rank and
 //! bills [`crate::CommStats::rank_real_macs`] instead of complex flops.
+//!
+//! ## Transposed operands and stationary variants
+//!
+//! [`DistMatrix::matmul_dist_op`] computes `C = opA(A) * opB(B)` for any
+//! [`Op`] pair, ScaLAPACK-`pdgemm` style, by dispatching between three
+//! stationary dataflows ([`SummaVariant`]):
+//!
+//! | variant      | never moves | rounds iterate | valid for        |
+//! |--------------|-------------|----------------|------------------|
+//! | stationary-C | `C`         | depth panels   | every op pair    |
+//! | stationary-A | `A`         | `C`-col panels | `opA = None`     |
+//! | stationary-B | `B`         | `C`-row panels | `opB = None`     |
+//!
+//! In every variant the *raw, untransposed* slices of the stored operand
+//! travel over the wire and the op is fused into the local packed GEMM's
+//! packing step ([`gemm_into`]'s own transposition support) — so ABFT
+//! checksums ride transposed panels exactly as they ride plain ones, and the
+//! realness hints of the stored blocks propagate into the shipped slices.
+//! When an op turns an operand's grid-column dimension into an output
+//! dimension that must live on the grid rows (or vice versa), the round
+//! additionally pays an *alignment* term: the panel piece that is not already
+//! resident on its target grid row/column moves once more. The exact per-
+//! round payload of each variant is available from
+//! [`DistMatrix::summa_traffic_elems`], which the auto-dispatcher minimises
+//! and the property tests assert against the recorded traffic, element for
+//! element.
+//!
+//! Every variant also appends one [`crate::RoundCost`] per round to
+//! [`crate::CommStats::rounds`], so
+//! [`crate::CostModel::modelled_time_overlap`] can price round `t+1`'s panel
+//! broadcasts hidden behind round `t`'s local GEMM.
 
 use crate::cluster::Cluster;
 use crate::fault::{corrupt_index, FaultEvent, FaultKind, FaultSite};
 use crate::grid::{refine, Dist1D, ProcGrid};
+use crate::stats::RoundCost;
 use koala_error::{ErrorKind, KoalaError};
 use koala_linalg::gemm::{gemm_into, gemm_into_real, Op};
 use koala_linalg::{c64, eigh, matmul, matmul_adj_a, Matrix, C64};
@@ -171,6 +203,39 @@ fn deliver_checksummed(
     }
 }
 
+/// Which operand of `C = opA(A) * opB(B)` a SUMMA dataflow keeps stationary
+/// (see the module docs for the dispatch table and traffic formulas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaVariant {
+    /// `A` never moves: panels of `opB(B)` are broadcast along grid columns
+    /// and partial results are reduced onto the output's column owners.
+    /// Wins when `A` dominates the traffic (`N` small relative to `K`).
+    /// Requires `opA = `[`Op::None`].
+    StationaryA,
+    /// `B` never moves: panels of `opA(A)` are broadcast along grid rows and
+    /// partial results are reduced onto the output's row owners. Wins when
+    /// `B` dominates (`M` small relative to `K`). Requires
+    /// `opB = `[`Op::None`].
+    StationaryB,
+    /// `C` never moves: depth panels of both operands are broadcast (the
+    /// classic SUMMA dataflow of the module docs). Valid for every op pair.
+    StationaryC,
+}
+
+/// Accumulate `src` into `dst` at offset `(row0, col0)` (the local reduction
+/// step of the stationary-A/B variants). Realness is handled by the caller.
+fn add_into(dst: &mut Matrix, row0: usize, col0: usize, src: &Matrix) {
+    let width = dst.ncols();
+    let data = dst.data_mut();
+    for i in 0..src.nrows() {
+        for (j, v) in src.row(i).iter().enumerate() {
+            let idx = (row0 + i) * width + col0 + j;
+            let d = data[idx];
+            data[idx] = c64(d.re + v.re, d.im + v.im);
+        }
+    }
+}
+
 /// A matrix distributed over the ranks of a [`Cluster`] by a 2-D processor
 /// grid (block-row by default; block-cyclic for SUMMA). See the module docs
 /// for the layout rules.
@@ -187,7 +252,13 @@ pub struct DistMatrix {
 
 /// Extract rank `(r, c)`'s local block of a replicated matrix (realness hint
 /// preserved).
-fn local_block(matrix: &Matrix, rows: &Dist1D, r: usize, cols: &Dist1D, c: usize) -> Matrix {
+pub(crate) fn local_block(
+    matrix: &Matrix,
+    rows: &Dist1D,
+    r: usize,
+    cols: &Dist1D,
+    c: usize,
+) -> Matrix {
     let mut out = Matrix::zeros(rows.local_len(r), cols.local_len(c));
     {
         let dst_cols = out.ncols();
@@ -353,6 +424,7 @@ impl DistMatrix {
     /// [`crate::FaultPlan::persistent`] injected fault outlasts the retry
     /// budget — an unrecoverable interconnect on an infallible collective.
     pub fn allgather(&self) -> Matrix {
+        self.cluster.record_full_gather();
         let total: usize = self.blocks.iter().map(|b| b.nrows() * b.ncols()).sum();
         self.cluster.record_collective(total * (self.cluster.nranks() - 1), 1);
         if let Err(e) = self.verify_block_transfers(true) {
@@ -365,6 +437,7 @@ impl DistMatrix {
     /// per-block checksum verification (panic semantics as
     /// [`DistMatrix::allgather`]).
     pub fn gather(&self) -> Matrix {
+        self.cluster.record_full_gather();
         let foreign: usize = self
             .blocks
             .iter()
@@ -392,10 +465,34 @@ impl DistMatrix {
         self.gather_local()
     }
 
+    /// Assemble a distributed matrix from already-resident per-rank blocks
+    /// without touching the communication counters — the caller accounts for
+    /// whatever movement produced the blocks (the `DistTensor` layer uses
+    /// this for zero-copy matricizations and pre-billed redistributions).
+    pub(crate) fn from_parts(
+        cluster: &Cluster,
+        grid: ProcGrid,
+        rows: Dist1D,
+        cols: Dist1D,
+        blocks: Vec<Matrix>,
+    ) -> Self {
+        assert_eq!(grid.nranks(), cluster.nranks(), "from_parts: grid does not cover the cluster");
+        assert_eq!(blocks.len(), cluster.nranks(), "from_parts: one block per rank required");
+        for (rank, b) in blocks.iter().enumerate() {
+            let (r, c) = grid.coords_of(rank);
+            assert_eq!(
+                b.shape(),
+                (rows.local_len(r), cols.local_len(c)),
+                "from_parts: rank {rank} block shape does not match its layout"
+            );
+        }
+        DistMatrix { cluster: cluster.clone(), grid, rows, cols, blocks }
+    }
+
     /// Reassemble the full matrix from the local blocks without touching the
     /// communication counters (used internally after the communication has
     /// already been charged).
-    fn gather_local(&self) -> Matrix {
+    pub(crate) fn gather_local(&self) -> Matrix {
         let mut out = Matrix::zeros(self.nrows(), self.ncols());
         let all_real = self.is_real();
         {
@@ -466,29 +563,82 @@ impl DistMatrix {
         &self.blocks[rank]
     }
 
-    /// `C = self * B` where `B` is replicated on every rank. Requires the
-    /// column-replicated (grid `p x 1`) layout, under which the result keeps
-    /// the row distribution of `self` and no communication is required; for
-    /// 2-D layouts use [`DistMatrix::matmul_dist`].
+    /// `C = self * B` where `B` is replicated on every rank. On the
+    /// column-replicated (grid `p x 1`) layout the result keeps the row
+    /// distribution of `self` and no communication is required. On a 2-D
+    /// layout each rank multiplies its local block against the matching
+    /// replicated rows of `B` and the partial products are reduce-scattered
+    /// along each grid row into a column distribution shaped like `self`'s
+    /// (`m_loc * ncols(B) * (q - 1)` words per grid row) — still no gather
+    /// of the big operand.
     pub fn matmul_replicated(&self, b: &Matrix) -> DistMatrix {
         assert_eq!(self.ncols(), b.nrows(), "matmul_replicated: inner dimension mismatch");
-        assert_eq!(
-            self.grid.cols(),
-            1,
-            "matmul_replicated: requires a column-replicated (p x 1) layout"
-        );
-        let mut blocks = Vec::with_capacity(self.blocks.len());
-        for (rank, block) in self.blocks.iter().enumerate() {
-            let macs = (block.nrows() * block.ncols() * b.ncols()) as u64;
-            self.cluster.record_macs(rank, macs, block.is_real() && b.is_real());
-            blocks.push(matmul(block, b));
+        let (p, q) = (self.grid.rows(), self.grid.cols());
+        if q == 1 {
+            let mut blocks = Vec::with_capacity(self.blocks.len());
+            for (rank, block) in self.blocks.iter().enumerate() {
+                let macs = (block.nrows() * block.ncols() * b.ncols()) as u64;
+                self.cluster.record_macs(rank, macs, block.is_real() && b.is_real());
+                blocks.push(matmul(block, b));
+            }
+            return DistMatrix {
+                cluster: self.cluster.clone(),
+                grid: self.grid,
+                rows: self.rows.clone(),
+                cols: Dist1D::whole(b.ncols()),
+                blocks,
+            };
+        }
+        let n_out = b.ncols();
+        let out_cols = self.cols.like_parts(n_out, q);
+        let all_real = self.is_real() && b.is_real();
+        let mut out_blocks: Vec<Matrix> = (0..self.grid.nranks())
+            .map(|rank| {
+                let (r, c) = self.grid.coords_of(rank);
+                Matrix::zeros(self.rows.local_len(r), out_cols.local_len(c))
+            })
+            .collect();
+        for r in 0..p {
+            let m_loc = self.rows.local_len(r);
+            // Reduce-scatter of the grid row's partial products.
+            self.cluster.record_bcast(m_loc * n_out * (q - 1), q - 1);
+            if m_loc == 0 {
+                continue;
+            }
+            for c in 0..q {
+                let rank = self.grid.rank_of(r, c);
+                let a_loc = &self.blocks[rank];
+                let k_loc = self.cols.local_len(c);
+                // The rows of B that line up with this rank's local columns.
+                let mut b_sel = Matrix::zeros(k_loc, n_out);
+                for seg in self.cols.segments().iter().filter(|s| s.owner == c) {
+                    b_sel.set_submatrix(
+                        seg.local_start,
+                        0,
+                        &b.submatrix(seg.start, 0, seg.len, n_out),
+                    );
+                }
+                let macs = (m_loc * k_loc * n_out) as u64;
+                self.cluster.record_macs(rank, macs, a_loc.is_real() && b.is_real());
+                let partial = matmul(a_loc, &b_sel);
+                for seg in out_cols.segments().iter().filter(|s| s.len > 0) {
+                    let dst = self.grid.rank_of(r, seg.owner);
+                    let piece = partial.submatrix(0, seg.start, m_loc, seg.len);
+                    add_into(&mut out_blocks[dst], 0, seg.local_start, &piece);
+                }
+            }
+        }
+        if all_real {
+            for blk in &mut out_blocks {
+                blk.assume_real();
+            }
         }
         DistMatrix {
             cluster: self.cluster.clone(),
             grid: self.grid,
             rows: self.rows.clone(),
-            cols: Dist1D::whole(b.ncols()),
-            blocks,
+            cols: out_cols,
+            blocks: out_blocks,
         }
     }
 
@@ -521,44 +671,279 @@ impl DistMatrix {
     /// outlasts the retry budget; the recovered result is bit-identical to
     /// the fault-free run because detection precedes accumulation.
     pub fn matmul_dist(&self, other: &DistMatrix) -> crate::Result<DistMatrix> {
+        self.matmul_dist_variant(Op::None, Op::None, other, SummaVariant::StationaryC)
+    }
+
+    /// `C = opA(self) * opB(other)`, ScaLAPACK-`pdgemm` style: SUMMA with
+    /// per-operand [`Op`]s, auto-dispatched to the [`SummaVariant`] with the
+    /// least predicted payload traffic ([`DistMatrix::summa_traffic_elems`];
+    /// ties go to stationary-C). See the module docs for the dataflows.
+    ///
+    /// ```
+    /// use koala_cluster::{Cluster, DistMatrix};
+    /// use koala_linalg::gemm::{gemm, Op};
+    /// use koala_linalg::Matrix;
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let cluster = Cluster::new(4); // 2 x 2 grid
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let a = Matrix::random(7, 9, &mut rng);
+    /// let b = Matrix::random(7, 5, &mut rng);
+    /// let da = DistMatrix::scatter_block_cyclic(&cluster, &a, cluster.grid(), 2, 2);
+    /// let db = DistMatrix::scatter_block_cyclic(&cluster, &b, cluster.grid(), 2, 2);
+    /// // C = A^T B without ever materialising A^T:
+    /// let c = da.matmul_dist_op(Op::Transpose, Op::None, &db).unwrap();
+    /// assert!(c.max_diff_replicated(&gemm(Op::Transpose, Op::None, &a, &b)) < 1e-12);
+    /// assert_eq!(cluster.stats().full_gathers, 0); // no gather fallback
+    /// ```
+    pub fn matmul_dist_op(
+        &self,
+        opa: Op,
+        opb: Op,
+        other: &DistMatrix,
+    ) -> crate::Result<DistMatrix> {
+        let mut variant = SummaVariant::StationaryC;
+        let mut best = self
+            .summa_traffic_elems(opa, opb, other, SummaVariant::StationaryC)
+            .unwrap_or(u64::MAX);
+        for v in [SummaVariant::StationaryA, SummaVariant::StationaryB] {
+            if let Some(t) = self.summa_traffic_elems(opa, opb, other, v) {
+                if t < best {
+                    best = t;
+                    variant = v;
+                }
+            }
+        }
+        self.matmul_dist_variant(opa, opb, other, variant)
+    }
+
+    /// [`DistMatrix::matmul_dist_op`] with an explicitly chosen
+    /// [`SummaVariant`] (stationary-A requires `opa == Op::None`,
+    /// stationary-B requires `opb == Op::None`; stationary-C accepts every
+    /// op pair). Fault tolerance, MAC billing, realness propagation, and
+    /// per-round [`crate::RoundCost`] recording are identical across the
+    /// variants; only the dataflow (and hence the traffic formula) differs.
+    pub fn matmul_dist_variant(
+        &self,
+        opa: Op,
+        opb: Op,
+        other: &DistMatrix,
+        variant: SummaVariant,
+    ) -> crate::Result<DistMatrix> {
         assert_eq!(
             self.cluster.nranks(),
             other.cluster.nranks(),
             "matmul_dist: operands live on different clusters"
         );
         assert_eq!(self.grid, other.grid, "matmul_dist: operands must share the processor grid");
-        assert_eq!(self.ncols(), other.nrows(), "matmul_dist: inner dimension mismatch");
+        let (_, ka) = opa.effective_shape(self.shape());
+        let (kb, _) = opb.effective_shape(other.shape());
+        assert_eq!(ka, kb, "matmul_dist: inner dimension mismatch");
+        match variant {
+            SummaVariant::StationaryC => self.summa_stationary_c(opa, opb, other),
+            SummaVariant::StationaryA => {
+                assert_eq!(opa, Op::None, "matmul_dist: stationary-A requires op_a = None");
+                self.summa_stationary_a(opb, other)
+            }
+            SummaVariant::StationaryB => {
+                assert_eq!(opb, Op::None, "matmul_dist: stationary-B requires op_b = None");
+                self.summa_stationary_b(opa, other)
+            }
+        }
+    }
+
+    /// Predicted fault-free payload traffic (in complex elements, i.e.
+    /// [`crate::ELEM_BYTES`]-byte words) of `opA(self) * opB(other)` under
+    /// `variant`, or `None` when the variant does not support the op pair.
+    ///
+    /// This is the closed form of exactly what the implementation bills to
+    /// [`crate::CommStats::bytes_communicated`] — the property tests assert
+    /// equality element-for-element — and what
+    /// [`DistMatrix::matmul_dist_op`] minimises. Per round of width `kb`:
+    ///
+    /// * **stationary-C**, `A` side: `sum_r kb * m_loc(r) * (q - 1)` when
+    ///   `opa` is `None` (the resident grid-row broadcast); with a
+    ///   transposed/adjoint `A` the panel is assembled from the owning grid
+    ///   row, so row `r` pays `kb * m_loc(r) * q` unless it *is* the owner
+    ///   (then `q - 1`) — the alignment term. The `B` side is the mirror
+    ///   image with `p` and `q` swapped.
+    /// * **stationary-A**: ships the raw `B` depth slice to each grid column
+    ///   (`p` copies per element, minus the one already home) and reduces
+    ///   partial results along grid rows (`m_loc(r) * kb * (q - 1)`).
+    /// * **stationary-B**: the transpose-mirror of stationary-A.
+    pub fn summa_traffic_elems(
+        &self,
+        opa: Op,
+        opb: Op,
+        other: &DistMatrix,
+        variant: SummaVariant,
+    ) -> Option<u64> {
+        let (p, q) = (self.grid.rows(), self.grid.cols());
+        let (m_out, _) = opa.effective_shape(self.shape());
+        let (_, n_out) = opb.effective_shape(other.shape());
+        let mut total = 0u64;
+        match variant {
+            SummaVariant::StationaryC => {
+                let da = if opa == Op::None { &self.cols } else { &self.rows };
+                let db = if opb == Op::None { &other.rows } else { &other.cols };
+                let out_rows = if opa == Op::None {
+                    self.rows.clone()
+                } else {
+                    self.cols.like_parts(m_out, p)
+                };
+                let out_cols = if opb == Op::None {
+                    other.cols.clone()
+                } else {
+                    other.rows.like_parts(n_out, q)
+                };
+                for panel in refine(da, db) {
+                    for r in 0..p {
+                        let recv = if opa == Op::None || r == panel.a_owner { q - 1 } else { q };
+                        total += (panel.len * out_rows.local_len(r) * recv) as u64;
+                    }
+                    for c in 0..q {
+                        let recv = if opb == Op::None || c == panel.b_owner { p - 1 } else { p };
+                        total += (panel.len * out_cols.local_len(c) * recv) as u64;
+                    }
+                }
+            }
+            SummaVariant::StationaryA => {
+                if opa != Op::None {
+                    return None;
+                }
+                let n_dist_b = if opb == Op::None { &other.cols } else { &other.rows };
+                let out_cols = if opb == Op::None {
+                    other.cols.clone()
+                } else {
+                    other.rows.like_parts(n_out, q)
+                };
+                let depth_src = if opb == Op::None { &other.rows } else { &other.cols };
+                let pieces = refine(&self.cols, depth_src);
+                for panel in refine(n_dist_b, &out_cols) {
+                    for pc in &pieces {
+                        let home = if opb == Op::None {
+                            usize::from(pc.a_owner == panel.a_owner)
+                        } else {
+                            usize::from(pc.a_owner == pc.b_owner)
+                        };
+                        total += (panel.len * pc.len * (p - home)) as u64;
+                    }
+                    total += (self.nrows() * panel.len * (q - 1)) as u64;
+                }
+            }
+            SummaVariant::StationaryB => {
+                if opb != Op::None {
+                    return None;
+                }
+                let m_dist_a = if opa == Op::None { &self.rows } else { &self.cols };
+                let out_rows = if opa == Op::None {
+                    self.rows.clone()
+                } else {
+                    self.cols.like_parts(m_out, p)
+                };
+                let depth_src = if opa == Op::None { &self.cols } else { &self.rows };
+                let pieces = refine(&other.rows, depth_src);
+                for panel in refine(m_dist_a, &out_rows) {
+                    for pc in &pieces {
+                        let home = if opa == Op::None {
+                            usize::from(pc.a_owner == panel.a_owner)
+                        } else {
+                            usize::from(pc.a_owner == pc.b_owner)
+                        };
+                        total += (panel.len * pc.len * (q - home)) as u64;
+                    }
+                    total += (other.ncols() * panel.len * (p - 1)) as u64;
+                }
+            }
+        }
+        Some(total)
+    }
+
+    /// Stationary-C SUMMA over depth panels (the module-docs dataflow), with
+    /// op-dependent panel sourcing: a `None` operand broadcasts its resident
+    /// panel along its grid row/column exactly as before, while a transposed/
+    /// adjoint operand assembles the raw depth slice from the grid row (resp.
+    /// column) that owns it and ships it to every rank that needs it — the
+    /// alignment term of the traffic formulas. The op itself is fused into
+    /// the local packed GEMM, so the wire always carries stored data and the
+    /// Huang–Abraham checksums ride transposed panels exactly as plain ones.
+    fn summa_stationary_c(
+        &self,
+        opa: Op,
+        opb: Op,
+        other: &DistMatrix,
+    ) -> crate::Result<DistMatrix> {
         let grid = self.grid;
         let (p, q) = (grid.rows(), grid.cols());
-        let panels = refine(&self.cols, &other.rows);
+        let nranks = grid.nranks();
+        let (m_out, _) = opa.effective_shape(self.shape());
+        let (_, n_out) = opb.effective_shape(other.shape());
+        let da = if opa == Op::None { self.cols.clone() } else { self.rows.clone() };
+        let db = if opb == Op::None { other.rows.clone() } else { other.cols.clone() };
+        let out_rows =
+            if opa == Op::None { self.rows.clone() } else { self.cols.like_parts(m_out, p) };
+        let out_cols =
+            if opb == Op::None { other.cols.clone() } else { other.rows.like_parts(n_out, q) };
+        let panels = refine(&da, &db);
         let all_real = self.is_real() && other.is_real();
 
-        let mut out_blocks: Vec<Matrix> = (0..grid.nranks())
+        let mut out_blocks: Vec<Matrix> = (0..nranks)
             .map(|rank| {
                 let (r, c) = grid.coords_of(rank);
-                Matrix::zeros(self.rows.local_len(r), other.cols.local_len(c))
+                Matrix::zeros(out_rows.local_len(r), out_cols.local_len(c))
             })
             .collect();
 
         for (t, panel) in panels.iter().enumerate() {
-            // 1. Panel of A: held by grid column `panel.a_owner`, broadcast
-            //    along each grid row with its column checksum riding along.
+            let mut round = RoundCost {
+                rank_cmacs: vec![0; nranks],
+                rank_rmacs: vec![0; nranks],
+                ..Default::default()
+            };
+            // 1. Panel of A for each grid row: resident (broadcast along the
+            //    row) when opa is None, else the raw depth slice assembled
+            //    from the owning grid row and shipped to the whole row.
             let a_panels: Vec<Matrix> = (0..p)
                 .map(|r| {
-                    self.blocks[grid.rank_of(r, panel.a_owner)].submatrix(
-                        0,
-                        panel.a_local,
-                        self.rows.local_len(r),
-                        panel.len,
-                    )
+                    if opa == Op::None {
+                        self.blocks[grid.rank_of(r, panel.a_owner)].submatrix(
+                            0,
+                            panel.a_local,
+                            self.rows.local_len(r),
+                            panel.len,
+                        )
+                    } else {
+                        self.rows_slice_for_part(panel.start, panel.len, &out_rows, r)
+                    }
                 })
                 .collect();
             for (r, ap) in a_panels.iter().enumerate() {
-                self.cluster.record_bcast(ap.nrows() * ap.ncols() * (q - 1), q - 1);
+                let (receivers, verifiers): (usize, Vec<usize>) = if opa == Op::None {
+                    (
+                        q - 1,
+                        (0..q)
+                            .filter(|&c| c != panel.a_owner)
+                            .map(|c| grid.rank_of(r, c))
+                            .collect(),
+                    )
+                } else {
+                    let recv = if r == panel.a_owner { q - 1 } else { q };
+                    let verif = if recv == 0 {
+                        Vec::new()
+                    } else {
+                        (0..q).map(|c| grid.rank_of(r, c)).collect()
+                    };
+                    (recv, verif)
+                };
+                self.cluster.record_bcast(ap.nrows() * ap.ncols() * receivers, receivers);
+                if receivers > 0 {
+                    round.comm_elems += (ap.nrows() * ap.ncols() * receivers) as u64;
+                    round.messages += receivers as u64;
+                }
                 let sum = column_checksum(ap);
-                self.cluster.record_checksum(sum.len() * (q - 1));
-                for c in (0..q).filter(|&c| c != panel.a_owner) {
-                    let rank = grid.rank_of(r, c);
+                self.cluster.record_checksum(sum.len() * verifiers.len());
+                for rank in verifiers {
                     deliver_checksummed(
                         &self.cluster,
                         ap,
@@ -572,24 +957,47 @@ impl DistMatrix {
                     })?;
                 }
             }
-            // 2. Panel of B: held by grid row `panel.b_owner`, broadcast
-            //    along each grid column with its row checksum riding along.
+            // 2. Panel of B for each grid column — the mirror image.
             let b_panels: Vec<Matrix> = (0..q)
                 .map(|c| {
-                    other.blocks[grid.rank_of(panel.b_owner, c)].submatrix(
-                        panel.b_local,
-                        0,
-                        panel.len,
-                        other.cols.local_len(c),
-                    )
+                    if opb == Op::None {
+                        other.blocks[grid.rank_of(panel.b_owner, c)].submatrix(
+                            panel.b_local,
+                            0,
+                            panel.len,
+                            other.cols.local_len(c),
+                        )
+                    } else {
+                        other.cols_slice_for_part(panel.start, panel.len, &out_cols, c)
+                    }
                 })
                 .collect();
             for (c, bp) in b_panels.iter().enumerate() {
-                self.cluster.record_bcast(bp.nrows() * bp.ncols() * (p - 1), p - 1);
+                let (receivers, verifiers): (usize, Vec<usize>) = if opb == Op::None {
+                    (
+                        p - 1,
+                        (0..p)
+                            .filter(|&r| r != panel.b_owner)
+                            .map(|r| grid.rank_of(r, c))
+                            .collect(),
+                    )
+                } else {
+                    let recv = if c == panel.b_owner { p - 1 } else { p };
+                    let verif = if recv == 0 {
+                        Vec::new()
+                    } else {
+                        (0..p).map(|r| grid.rank_of(r, c)).collect()
+                    };
+                    (recv, verif)
+                };
+                self.cluster.record_bcast(bp.nrows() * bp.ncols() * receivers, receivers);
+                if receivers > 0 {
+                    round.comm_elems += (bp.nrows() * bp.ncols() * receivers) as u64;
+                    round.messages += receivers as u64;
+                }
                 let sum = row_checksum(bp);
-                self.cluster.record_checksum(sum.len() * (p - 1));
-                for r in (0..p).filter(|&r| r != panel.b_owner) {
-                    let rank = grid.rank_of(r, c);
+                self.cluster.record_checksum(sum.len() * verifiers.len());
+                for rank in verifiers {
                     deliver_checksummed(
                         &self.cluster,
                         bp,
@@ -603,7 +1011,8 @@ impl DistMatrix {
                     })?;
                 }
             }
-            // 3. Local rank-kb update on every rank through the packed GEMM.
+            // 3. Local rank-kb update on every rank through the packed GEMM,
+            //    with the ops fused into the packing step.
             for r in 0..p {
                 for c in 0..q {
                     let rank = grid.rank_of(r, c);
@@ -613,24 +1022,28 @@ impl DistMatrix {
                     }
                     let (ap, bp) = (&a_panels[r], &b_panels[c]);
                     // A planned rank failure strikes here: the restarted rank
-                    // has lost the round's panels and re-fetches both before
-                    // redoing its accumulation.
+                    // has lost the round's panels and re-fetches both (plus
+                    // their checksum vectors) before redoing its accumulation.
                     if self
                         .cluster
                         .fault_decision(FaultSite::SummaCompute { round: t, rank }, 0)
                         .is_some()
                     {
-                        let refetch =
-                            ap.nrows() * ap.ncols() + bp.nrows() * bp.ncols() + 2 * panel.len;
+                        let refetch = ap.nrows() * ap.ncols()
+                            + bp.nrows() * bp.ncols()
+                            + ap.ncols()
+                            + bp.nrows();
                         self.cluster.record_retry(refetch);
                         koala_error::recovery::note_summa_round_retry();
                     }
                     let real = ap.is_real() && bp.is_real();
-                    self.cluster.record_macs(rank, (m_loc * n_loc * panel.len) as u64, real);
+                    let macs = (m_loc * n_loc * panel.len) as u64;
+                    self.cluster.record_macs(rank, macs, real);
                     if real {
+                        round.rank_rmacs[rank] += macs;
                         gemm_into_real(
-                            Op::None,
-                            Op::None,
+                            opa,
+                            opb,
                             m_loc,
                             n_loc,
                             panel.len,
@@ -639,9 +1052,10 @@ impl DistMatrix {
                             out_blocks[rank].data_mut(),
                         );
                     } else {
+                        round.rank_cmacs[rank] += macs;
                         gemm_into(
-                            Op::None,
-                            Op::None,
+                            opa,
+                            opb,
                             m_loc,
                             n_loc,
                             panel.len,
@@ -652,6 +1066,7 @@ impl DistMatrix {
                     }
                 }
             }
+            self.cluster.record_round(round);
         }
         if all_real {
             // The real kernel only ever wrote real parts into zeroed blocks.
@@ -662,30 +1077,481 @@ impl DistMatrix {
         Ok(DistMatrix {
             cluster: self.cluster.clone(),
             grid,
-            rows: self.rows.clone(),
-            cols: other.cols.clone(),
+            rows: out_rows,
+            cols: out_cols,
             blocks: out_blocks,
         })
     }
 
-    /// Replicated Gram matrix `G = self^H * self`, computed as a sum of local
-    /// Gram matrices followed by an allreduce of the small `ncols x ncols`
-    /// result — the communication pattern of the paper's Algorithm 5.
-    /// Requires the column-replicated (grid `p x 1`) layout of the tall
-    /// operand. Realness flows through: a real operand bills real MACs and
-    /// yields a hint-carrying real Gram matrix.
-    pub fn gram(&self) -> Matrix {
-        assert_eq!(self.grid.cols(), 1, "gram: requires a column-replicated (p x 1) layout");
-        let n = self.ncols();
-        let mut g = Matrix::zeros(n, n);
-        for (rank, block) in self.blocks.iter().enumerate() {
-            let macs = (block.nrows() * n * n) as u64;
-            self.cluster.record_macs(rank, macs, block.is_real());
-            let local = matmul_adj_a(block, block);
-            g += &local;
+    /// Stationary-A SUMMA: `C = A * opB(B)` with `A` resident. Rounds
+    /// iterate over panels of `C`'s column dimension; each round ships the
+    /// matching raw slice of `B` to the grid columns (aligned to `A`'s depth
+    /// layout), runs a local partial GEMM against the whole resident `A`
+    /// block, and reduces the checksummed partial results onto the panel's
+    /// owning grid column.
+    fn summa_stationary_a(&self, opb: Op, other: &DistMatrix) -> crate::Result<DistMatrix> {
+        let grid = self.grid;
+        let (p, q) = (grid.rows(), grid.cols());
+        let nranks = grid.nranks();
+        let (_, n_out) = opb.effective_shape(other.shape());
+        let n_dist_b = if opb == Op::None { other.cols.clone() } else { other.rows.clone() };
+        let out_rows = self.rows.clone();
+        let out_cols =
+            if opb == Op::None { other.cols.clone() } else { other.rows.like_parts(n_out, q) };
+        let panels = refine(&n_dist_b, &out_cols);
+        let depth_src = if opb == Op::None { &other.rows } else { &other.cols };
+        let pieces = refine(&self.cols, depth_src);
+        let all_real = self.is_real() && other.is_real();
+        let mut out_blocks: Vec<Matrix> = (0..nranks)
+            .map(|rank| {
+                let (r, c) = grid.coords_of(rank);
+                Matrix::zeros(out_rows.local_len(r), out_cols.local_len(c))
+            })
+            .collect();
+
+        for (t, panel) in panels.iter().enumerate() {
+            let mut round = RoundCost {
+                rank_cmacs: vec![0; nranks],
+                rank_rmacs: vec![0; nranks],
+                ..Default::default()
+            };
+            let oc = panel.b_owner; // destination grid column of this panel
+                                    // 1. Raw B depth slice for each grid column, aligned to A's
+                                    //    column (depth) layout.
+            let bhats: Vec<Matrix> = (0..q)
+                .map(|c| {
+                    if opb == Op::None {
+                        other.cols_slice_for_part(panel.start, panel.len, &self.cols, c)
+                    } else {
+                        other.rows_slice_for_part(panel.start, panel.len, &self.cols, c)
+                    }
+                })
+                .collect();
+            for (c, bhat) in bhats.iter().enumerate() {
+                let mut wire = 0usize;
+                for pc in pieces.iter().filter(|pc| pc.a_owner == c) {
+                    let home = if opb == Op::None {
+                        usize::from(c == panel.a_owner)
+                    } else {
+                        usize::from(pc.a_owner == pc.b_owner)
+                    };
+                    let recv = p - home;
+                    self.cluster.record_bcast(panel.len * pc.len * recv, recv);
+                    if recv > 0 {
+                        wire += panel.len * pc.len * recv;
+                        round.messages += recv as u64;
+                    }
+                }
+                round.comm_elems += wire as u64;
+                let checksum_of: fn(&Matrix) -> Vec<C64> =
+                    if opb == Op::None { column_checksum } else { row_checksum };
+                let sum = checksum_of(bhat);
+                let verifiers: Vec<usize> = if wire > 0 {
+                    (0..p).map(|r| grid.rank_of(r, c)).collect()
+                } else {
+                    Vec::new()
+                };
+                self.cluster.record_checksum(sum.len() * verifiers.len());
+                for rank in verifiers {
+                    deliver_checksummed(
+                        &self.cluster,
+                        bhat,
+                        &sum,
+                        checksum_of,
+                        FaultSite::SummaPanelB { round: t, rank },
+                        true,
+                    )
+                    .map_err(|e| {
+                        e.context(format!(
+                            "matmul_dist: stationary-A round {t}, B slice to rank {rank}"
+                        ))
+                    })?;
+                }
+            }
+            // 2. Local partial GEMM against the resident A block, then a
+            //    checksummed reduction of the partials onto grid column `oc`.
+            for r in 0..p {
+                let m_loc = out_rows.local_len(r);
+                if m_loc > 0 {
+                    self.cluster.record_bcast(m_loc * panel.len * (q - 1), q - 1);
+                    if q > 1 {
+                        round.comm_elems += (m_loc * panel.len * (q - 1)) as u64;
+                        round.messages += (q - 1) as u64;
+                    }
+                }
+                if m_loc == 0 || panel.len == 0 {
+                    continue;
+                }
+                for c in 0..q {
+                    let rank = grid.rank_of(r, c);
+                    let a_loc = &self.blocks[rank];
+                    let k_loc = self.cols.local_len(c);
+                    let bhat = &bhats[c];
+                    let real = a_loc.is_real() && bhat.is_real();
+                    let macs = (m_loc * k_loc * panel.len) as u64;
+                    self.cluster.record_macs(rank, macs, real);
+                    if real {
+                        round.rank_rmacs[rank] += macs;
+                    } else {
+                        round.rank_cmacs[rank] += macs;
+                    }
+                    let mut partial = Matrix::zeros(m_loc, panel.len);
+                    if real {
+                        gemm_into_real(
+                            Op::None,
+                            opb,
+                            m_loc,
+                            panel.len,
+                            k_loc,
+                            a_loc.data(),
+                            bhat.data(),
+                            partial.data_mut(),
+                        );
+                        partial.assume_real();
+                    } else {
+                        gemm_into(
+                            Op::None,
+                            opb,
+                            m_loc,
+                            panel.len,
+                            k_loc,
+                            a_loc.data(),
+                            bhat.data(),
+                            partial.data_mut(),
+                        );
+                    }
+                    if c != oc {
+                        let sum = column_checksum(&partial);
+                        self.cluster.record_checksum(sum.len());
+                        let dst = grid.rank_of(r, oc);
+                        deliver_checksummed(
+                            &self.cluster,
+                            &partial,
+                            &sum,
+                            column_checksum,
+                            FaultSite::SummaPanelA { round: t, rank: dst },
+                            true,
+                        )
+                        .map_err(|e| {
+                            e.context(format!(
+                                "matmul_dist: stationary-A round {t}, partial reduce to rank {dst}"
+                            ))
+                        })?;
+                    }
+                    add_into(&mut out_blocks[grid.rank_of(r, oc)], 0, panel.b_local, &partial);
+                }
+            }
+            self.cluster.record_round(round);
         }
-        // Allreduce of an ncols x ncols matrix (tree: log P rounds, but the
-        // flat volume model is what the paper's analysis uses).
+        if all_real {
+            for b in &mut out_blocks {
+                b.assume_real();
+            }
+        }
+        Ok(DistMatrix {
+            cluster: self.cluster.clone(),
+            grid,
+            rows: out_rows,
+            cols: out_cols,
+            blocks: out_blocks,
+        })
+    }
+
+    /// Stationary-B SUMMA: `C = opA(A) * B` with `B` resident — the
+    /// transpose-mirror of [`DistMatrix::summa_stationary_a`]: rounds iterate
+    /// over panels of `C`'s row dimension, raw `A` slices travel to the grid
+    /// rows, and partials reduce onto the panel's owning grid row.
+    fn summa_stationary_b(&self, opa: Op, other: &DistMatrix) -> crate::Result<DistMatrix> {
+        let grid = self.grid;
+        let (p, q) = (grid.rows(), grid.cols());
+        let nranks = grid.nranks();
+        let (m_out, _) = opa.effective_shape(self.shape());
+        let m_dist_a = if opa == Op::None { self.rows.clone() } else { self.cols.clone() };
+        let out_rows =
+            if opa == Op::None { self.rows.clone() } else { self.cols.like_parts(m_out, p) };
+        let out_cols = other.cols.clone();
+        let panels = refine(&m_dist_a, &out_rows);
+        let depth_src = if opa == Op::None { &self.cols } else { &self.rows };
+        let pieces = refine(&other.rows, depth_src);
+        let all_real = self.is_real() && other.is_real();
+        let mut out_blocks: Vec<Matrix> = (0..nranks)
+            .map(|rank| {
+                let (r, c) = grid.coords_of(rank);
+                Matrix::zeros(out_rows.local_len(r), out_cols.local_len(c))
+            })
+            .collect();
+
+        for (t, panel) in panels.iter().enumerate() {
+            let mut round = RoundCost {
+                rank_cmacs: vec![0; nranks],
+                rank_rmacs: vec![0; nranks],
+                ..Default::default()
+            };
+            let or = panel.b_owner; // destination grid row of this panel
+                                    // 1. Raw A slice for each grid row, aligned to B's row (depth)
+                                    //    layout.
+            let ahats: Vec<Matrix> = (0..p)
+                .map(|r| {
+                    if opa == Op::None {
+                        self.rows_slice_for_part(panel.start, panel.len, &other.rows, r)
+                    } else {
+                        self.cols_slice_for_part(panel.start, panel.len, &other.rows, r)
+                    }
+                })
+                .collect();
+            for (r, ahat) in ahats.iter().enumerate() {
+                let mut wire = 0usize;
+                for pc in pieces.iter().filter(|pc| pc.a_owner == r) {
+                    let home = if opa == Op::None {
+                        usize::from(r == panel.a_owner)
+                    } else {
+                        usize::from(pc.a_owner == pc.b_owner)
+                    };
+                    let recv = q - home;
+                    self.cluster.record_bcast(panel.len * pc.len * recv, recv);
+                    if recv > 0 {
+                        wire += panel.len * pc.len * recv;
+                        round.messages += recv as u64;
+                    }
+                }
+                round.comm_elems += wire as u64;
+                let checksum_of: fn(&Matrix) -> Vec<C64> =
+                    if opa == Op::None { row_checksum } else { column_checksum };
+                let sum = checksum_of(ahat);
+                let verifiers: Vec<usize> = if wire > 0 {
+                    (0..q).map(|c| grid.rank_of(r, c)).collect()
+                } else {
+                    Vec::new()
+                };
+                self.cluster.record_checksum(sum.len() * verifiers.len());
+                for rank in verifiers {
+                    deliver_checksummed(
+                        &self.cluster,
+                        ahat,
+                        &sum,
+                        checksum_of,
+                        FaultSite::SummaPanelA { round: t, rank },
+                        true,
+                    )
+                    .map_err(|e| {
+                        e.context(format!(
+                            "matmul_dist: stationary-B round {t}, A slice to rank {rank}"
+                        ))
+                    })?;
+                }
+            }
+            // 2. Local partial GEMM against the resident B block, then a
+            //    checksummed reduction of the partials onto grid row `or`.
+            for c in 0..q {
+                let n_loc = out_cols.local_len(c);
+                if n_loc > 0 {
+                    self.cluster.record_bcast(n_loc * panel.len * (p - 1), p - 1);
+                    if p > 1 {
+                        round.comm_elems += (n_loc * panel.len * (p - 1)) as u64;
+                        round.messages += (p - 1) as u64;
+                    }
+                }
+                if n_loc == 0 || panel.len == 0 {
+                    continue;
+                }
+                for r in 0..p {
+                    let rank = grid.rank_of(r, c);
+                    let b_loc = &other.blocks[rank];
+                    let k_loc = other.rows.local_len(r);
+                    let ahat = &ahats[r];
+                    let real = ahat.is_real() && b_loc.is_real();
+                    let macs = (panel.len * k_loc * n_loc) as u64;
+                    self.cluster.record_macs(rank, macs, real);
+                    if real {
+                        round.rank_rmacs[rank] += macs;
+                    } else {
+                        round.rank_cmacs[rank] += macs;
+                    }
+                    let mut partial = Matrix::zeros(panel.len, n_loc);
+                    if real {
+                        gemm_into_real(
+                            opa,
+                            Op::None,
+                            panel.len,
+                            n_loc,
+                            k_loc,
+                            ahat.data(),
+                            b_loc.data(),
+                            partial.data_mut(),
+                        );
+                        partial.assume_real();
+                    } else {
+                        gemm_into(
+                            opa,
+                            Op::None,
+                            panel.len,
+                            n_loc,
+                            k_loc,
+                            ahat.data(),
+                            b_loc.data(),
+                            partial.data_mut(),
+                        );
+                    }
+                    if r != or {
+                        let sum = row_checksum(&partial);
+                        self.cluster.record_checksum(sum.len());
+                        let dst = grid.rank_of(or, c);
+                        deliver_checksummed(
+                            &self.cluster,
+                            &partial,
+                            &sum,
+                            row_checksum,
+                            FaultSite::SummaPanelB { round: t, rank: dst },
+                            true,
+                        )
+                        .map_err(|e| {
+                            e.context(format!(
+                                "matmul_dist: stationary-B round {t}, partial reduce to rank {dst}"
+                            ))
+                        })?;
+                    }
+                    add_into(&mut out_blocks[grid.rank_of(or, c)], panel.b_local, 0, &partial);
+                }
+            }
+            self.cluster.record_round(round);
+        }
+        if all_real {
+            for b in &mut out_blocks {
+                b.assume_real();
+            }
+        }
+        Ok(DistMatrix {
+            cluster: self.cluster.clone(),
+            grid,
+            rows: out_rows,
+            cols: out_cols,
+            blocks: out_blocks,
+        })
+    }
+
+    /// Assemble the global contiguous range `[row0, row0+nrows) x
+    /// [col0, col0+ncols)` from whichever blocks hold it — a local data-
+    /// marshalling step; the caller bills whatever movement its dataflow
+    /// implies. The realness hint survives when every contributing block
+    /// carries it.
+    fn submatrix_global(&self, row0: usize, nrows: usize, col0: usize, ncols: usize) -> Matrix {
+        let mut out = Matrix::zeros(nrows, ncols);
+        let mut all_real = true;
+        {
+            let width = out.ncols();
+            let data = out.data_mut();
+            for rs in &self.rows.segments() {
+                let rlo = rs.start.max(row0);
+                let rhi = (rs.start + rs.len).min(row0 + nrows);
+                if rlo >= rhi {
+                    continue;
+                }
+                for cs in &self.cols.segments() {
+                    let clo = cs.start.max(col0);
+                    let chi = (cs.start + cs.len).min(col0 + ncols);
+                    if clo >= chi {
+                        continue;
+                    }
+                    let block = &self.blocks[self.grid.rank_of(rs.owner, cs.owner)];
+                    all_real &= block.is_real();
+                    for i in rlo..rhi {
+                        let li = rs.local_start + (i - rs.start);
+                        let src = &block.row(li)[cs.local_start + (clo - cs.start)..][..chi - clo];
+                        data[(i - row0) * width + (clo - col0)..][..chi - clo].copy_from_slice(src);
+                    }
+                }
+            }
+        }
+        if all_real {
+            out.assume_real();
+        }
+        out
+    }
+
+    /// Raw `depth x owned` slice for the transposed-operand SUMMA panels:
+    /// global rows `[d0, d0+kb)` of `self` at the columns `dist` assigns to
+    /// `part`, packed in `part`'s local order.
+    fn rows_slice_for_part(&self, d0: usize, kb: usize, dist: &Dist1D, part: usize) -> Matrix {
+        let mut out = Matrix::zeros(kb, dist.local_len(part));
+        for seg in dist.segments().iter().filter(|s| s.owner == part) {
+            let sub = self.submatrix_global(d0, kb, seg.start, seg.len);
+            out.set_submatrix(0, seg.local_start, &sub);
+        }
+        out
+    }
+
+    /// Raw `owned x depth` slice: global columns `[d0, d0+kb)` of `self` at
+    /// the rows `dist` assigns to `part` (the mirror of
+    /// [`DistMatrix::rows_slice_for_part`]).
+    fn cols_slice_for_part(&self, d0: usize, kb: usize, dist: &Dist1D, part: usize) -> Matrix {
+        let mut out = Matrix::zeros(dist.local_len(part), kb);
+        for seg in dist.segments().iter().filter(|s| s.owner == part) {
+            let sub = self.submatrix_global(seg.start, seg.len, d0, kb);
+            out.set_submatrix(seg.local_start, 0, &sub);
+        }
+        out
+    }
+
+    /// Replicated Gram matrix `G = self^H * self` — the communication
+    /// pattern of the paper's Algorithm 5. On the column-replicated (grid
+    /// `p x 1`) layout this is a sum of local Gram matrices followed by an
+    /// allreduce of the small `ncols x ncols` result; on a genuine 2-D
+    /// layout it runs adjoint-operand SUMMA
+    /// ([`DistMatrix::matmul_dist_variant`] with `opA = Adjoint`) and
+    /// allreduces the small distributed result — never a full-operand
+    /// gather. Realness flows through either way: a real operand bills real
+    /// MACs and yields a hint-carrying real Gram matrix.
+    ///
+    /// ```
+    /// use koala_cluster::{Cluster, DistMatrix};
+    /// use koala_linalg::matmul_adj_a;
+    /// use koala_linalg::Matrix;
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let cluster = Cluster::new(4); // 2 x 2 grid
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let a = Matrix::random(12, 5, &mut rng);
+    /// let d = DistMatrix::scatter_block_cyclic(&cluster, &a, cluster.grid(), 3, 2);
+    /// let g = d.gram();
+    /// assert!(g.max_diff(&matmul_adj_a(&a, &a)) < 1e-12);
+    /// assert_eq!(cluster.stats().full_gathers, 0); // no gather fallback
+    /// ```
+    pub fn gram(&self) -> Matrix {
+        let n = self.ncols();
+        if self.grid.cols() == 1 {
+            let mut g = Matrix::zeros(n, n);
+            for (rank, block) in self.blocks.iter().enumerate() {
+                let macs = (block.nrows() * n * n) as u64;
+                self.cluster.record_macs(rank, macs, block.is_real());
+                let local = matmul_adj_a(block, block);
+                g += &local;
+            }
+            // Allreduce of an ncols x ncols matrix (tree: log P rounds, but
+            // the flat volume model is what the paper's analysis uses).
+            self.cluster.record_collective(n * n * (self.cluster.nranks() - 1), 2);
+            return g;
+        }
+        // 2-D layout: adjoint-operand SUMMA keeps the O(n^2 / sqrt(P))
+        // traffic bound, then the small distributed result is allreduced into
+        // replication with the same bill as the 1-D path. A Gram product has
+        // a tiny output and a huge depth, so the reduction dataflow
+        // (stationary-B, which keeps `self` in place and allreduces the
+        // small result panels) usually beats stationary-C; pick whichever
+        // the closed-form traffic count says is cheaper, exactly like
+        // [`DistMatrix::matmul_dist_op`]. With no fault plan active the
+        // SUMMA cannot fail; under a persistent plan that exhausts the retry
+        // budget the Gram matrix is unrecoverable anyway.
+        let variant = [SummaVariant::StationaryC, SummaVariant::StationaryB]
+            .into_iter()
+            .min_by_key(|v| {
+                self.summa_traffic_elems(Op::Adjoint, Op::None, self, *v).unwrap_or(u64::MAX)
+            })
+            .unwrap_or(SummaVariant::StationaryC);
+        let g = match self.matmul_dist_variant(Op::Adjoint, Op::None, self, variant) {
+            Ok(g) => g.gather_local(),
+            Err(e) => panic!("gram: unrecoverable fault during adjoint SUMMA: {e}"),
+        };
         self.cluster.record_collective(n * n * (self.cluster.nranks() - 1), 2);
         g
     }
@@ -765,8 +1631,11 @@ pub struct DistQr {
 const GRAM_PSD_FLOOR: f64 = 1e-10;
 
 /// Distributed QR through the Gram matrix (paper Algorithm 5): the only
-/// communication is the allreduce of the tiny `ncols x ncols` Gram matrix; the
-/// big operand is never redistributed. A realness-hinted operand keeps the
+/// collective on the `p x 1` layout is the allreduce of the tiny
+/// `ncols x ncols` Gram matrix, and on a 2-D layout the Gram matrix comes
+/// from adjoint-operand SUMMA ([`DistMatrix::gram`]) at the
+/// `O(n^2 / sqrt(P))` traffic bound; the big operand is never gathered or
+/// redistributed on either layout. A realness-hinted operand keeps the
 /// whole factorization on the real path — the Gram matrix, the replicated
 /// eigendecomposition, the `R` factors, and the distributed `Q` all carry the
 /// hint, and every rank bills real MACs only.
@@ -830,8 +1699,10 @@ pub fn qr_gather_dist(a: &DistMatrix) -> DistQr {
     // Rank 0 performs the factorization.
     let f = koala_linalg::qr(&full);
     cluster.record_macs(0, (full.nrows() * full.ncols() * full.ncols() * 2) as u64, full.is_real());
-    // Scatter Q back to the original distribution, broadcast R.
-    let q = DistMatrix::scatter(cluster, &f.q);
+    // Scatter Q back to the original distribution (Q keeps A's rows; its
+    // `min(m, n)` columns take a layout of A's column family), broadcast R.
+    let q_cols = a.cols.like_parts(f.q.ncols(), a.grid().cols());
+    let q = DistMatrix::scatter_with(cluster, &f.q, a.grid(), a.rows.clone(), q_cols);
     cluster.record_collective(f.r.nrows() * f.r.ncols() * (cluster.nranks() - 1), 1);
     cluster.record_redistribution(full.nrows() * full.ncols());
     DistQr { q, r: f.r, r_inv: None }

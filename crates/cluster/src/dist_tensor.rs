@@ -1,106 +1,181 @@
-//! Distributed tensors: a dense tensor split along one axis across the ranks
-//! of a [`Cluster`].
+//! Distributed tensors: a dense tensor matricized by mode groups and spread
+//! over the 2-D processor grid of a [`Cluster`].
 //!
-//! This mirrors how Cyclops maps a tensor onto a processor grid: one
-//! (slowest-varying, after an internal transpose) mode is distributed and the
-//! rest is local. Contractions whose distributed mode is a *free* index run
-//! without any communication; contractions or matricizations that need a
-//! different mode distributed require a redistribution, which is exactly the
-//! reshape bottleneck the paper's Algorithm 5 removes from the evolution step.
+//! This mirrors how Cyclops maps a tensor onto a processor grid: the modes
+//! are ordered by a storage permutation, the first `split` of them become the
+//! rows of a matricization and the rest its columns, and that matrix lives as
+//! a (possibly block-cyclic) [`DistMatrix`] on the grid. The old
+//! single-distributed-axis layout is the special case `split = 1` on a
+//! `P x 1` grid ([`DistTensor::scatter`]); [`DistTensor::scatter_grouped`]
+//! places arbitrary mode groups block-cyclically on a 2-D grid, which is the
+//! layout under which `gram_qr_dist` and the SUMMA products run without any
+//! full-tensor gather.
+//!
+//! Matricizations whose row group is a prefix extension of the stored one are
+//! *zero-copy* ([`DistTensor::unfold_as_dist_matrix`]): the per-rank bytes do
+//! not move, only the row layout is reinterpreted ([`crate::Dist1D::scale`]).
+//! Anything else is an explicit all-to-all redistribution, billed to
+//! [`crate::CommStats::redistributions`] — never a gather to one rank. This
+//! is exactly the reshape bottleneck the paper's Algorithm 5 removes from the
+//! evolution step, kept measurable.
 
 use crate::cluster::Cluster;
-use crate::dist_matrix::DistMatrix;
+use crate::dist_matrix::{local_block, DistMatrix};
+use crate::grid::{Dist1D, ProcGrid};
+use koala_linalg::{c64, Matrix, C64};
 use koala_tensor::{tensordot, Tensor};
 
-/// A tensor distributed along one of its axes by contiguous blocks.
+/// A tensor stored as a matricization over mode groups, distributed over a
+/// processor grid.
 #[derive(Debug, Clone)]
 pub struct DistTensor {
     cluster: Cluster,
+    /// Global shape, in the tensor's own (unpermuted) axis order.
     shape: Vec<usize>,
-    /// Which axis is distributed.
-    dist_axis: usize,
-    /// One slab per rank; rank r holds indices `block_ranges(shape[dist_axis])[r]`
-    /// of the distributed axis (its other axes are full).
-    blocks: Vec<Tensor>,
+    /// Storage permutation: the global axes in the order they appear in the
+    /// matricization (row modes first).
+    order: Vec<usize>,
+    /// The first `split` entries of `order` are the matricized row modes.
+    split: usize,
+    /// The matricized tensor, distributed over the grid.
+    mat: DistMatrix,
 }
 
 impl DistTensor {
-    /// Distribute a replicated tensor along `dist_axis` (scatter from rank 0).
+    /// Distribute a replicated tensor along `dist_axis` by contiguous blocks
+    /// (scatter from rank 0 on a `P x 1` grid) — the classic one-mode slab
+    /// layout, kept as the default for free-mode contraction workloads.
     pub fn scatter(cluster: &Cluster, tensor: &Tensor, dist_axis: usize) -> Self {
         assert!(dist_axis < tensor.ndim(), "scatter: axis {dist_axis} out of range");
-        let shape = tensor.shape().to_vec();
-        let ranges = cluster.block_ranges(shape[dist_axis]);
-        // Move the distributed axis to the front so each slab is contiguous.
-        let mut perm: Vec<usize> = vec![dist_axis];
-        perm.extend((0..tensor.ndim()).filter(|&a| a != dist_axis));
-        let fronted = tensor
-            .permute(&perm)
-            .unwrap_or_else(|_| unreachable!("scatter: permutation is built from the tensor rank"));
-        let row_len: usize = fronted.shape()[1..].iter().product();
+        let ndim = tensor.ndim();
+        let mut order: Vec<usize> = vec![dist_axis];
+        order.extend((0..ndim).filter(|&a| a != dist_axis));
+        let rows = Dist1D::balanced(tensor.dim(dist_axis), cluster.nranks());
+        let cols = Dist1D::whole(tensor.len() / tensor.dim(dist_axis).max(1));
+        let out =
+            Self::place(cluster, tensor, &order, 1, ProcGrid::column(cluster.nranks()), rows, cols);
+        out.bill_scatter();
+        out
+    }
 
-        let mut blocks = Vec::with_capacity(cluster.nranks());
-        for (rank, &(start, len)) in ranges.iter().enumerate() {
-            let mut slab_shape = fronted.shape().to_vec();
-            slab_shape[0] = len;
-            let data = fronted.data()[start * row_len..(start + len) * row_len].to_vec();
-            let mut slab = Tensor::from_vec(&slab_shape, data)
-                .unwrap_or_else(|_| unreachable!("scatter: slab shape matches its data length"));
-            if tensor.is_real() {
-                // Slabs of a hinted-real tensor stay hinted, so per-rank
-                // contractions keep running the real kernel.
-                slab.assume_real();
-            }
-            if rank != 0 {
-                cluster.record_p2p(len * row_len);
-            }
-            blocks.push(slab);
+    /// Distribute a replicated tensor with an explicit storage permutation
+    /// and mode grouping: axes `order[..split]` matricize into the rows,
+    /// `order[split..]` into the columns, placed block-cyclically on `grid`
+    /// with the given block sizes (scatter from rank 0, charged like
+    /// [`DistTensor::scatter`]). This is the layout that keeps gate updates
+    /// fully distributed: the matricized factorization inputs come out of
+    /// [`DistTensor::unfold_as_dist_matrix`] with zero data movement.
+    pub fn scatter_grouped(
+        cluster: &Cluster,
+        tensor: &Tensor,
+        order: &[usize],
+        split: usize,
+        grid: ProcGrid,
+        row_block: usize,
+        col_block: usize,
+    ) -> Self {
+        assert_eq!(grid.nranks(), cluster.nranks(), "scatter: grid does not cover the cluster");
+        let m: usize = order[..split].iter().map(|&a| tensor.dim(a)).product();
+        let n: usize = order[split..].iter().map(|&a| tensor.dim(a)).product();
+        let rows = Dist1D::cyclic(m, grid.rows(), row_block);
+        let cols = Dist1D::cyclic(n, grid.cols(), col_block);
+        let out = Self::place(cluster, tensor, order, split, grid, rows, cols);
+        out.bill_scatter();
+        out
+    }
+
+    /// Charge the scatter-from-rank-0 traffic of the current blocks (every
+    /// block except rank 0's own crosses a wire).
+    fn bill_scatter(&self) {
+        for rank in 1..self.cluster.nranks() {
+            let b = self.mat.block(rank);
+            self.cluster.record_p2p(b.nrows() * b.ncols());
         }
-        DistTensor { cluster: cluster.clone(), shape, dist_axis, blocks }
+    }
+
+    /// Lay out a replicated tensor without charging communication (the caller
+    /// bills the scatter or redistribution that motivated the placement).
+    fn place(
+        cluster: &Cluster,
+        tensor: &Tensor,
+        order: &[usize],
+        split: usize,
+        grid: ProcGrid,
+        rows: Dist1D,
+        cols: Dist1D,
+    ) -> Self {
+        let ndim = tensor.ndim();
+        assert_eq!(order.len(), ndim, "place: order must cover every axis");
+        let mut seen = vec![false; ndim];
+        for &a in order {
+            assert!(a < ndim && !seen[a], "place: order must be a permutation of the axes");
+            seen[a] = true;
+        }
+        assert!(split >= 1 && split <= ndim, "place: split out of range");
+        let permuted = tensor
+            .permute(order)
+            .unwrap_or_else(|_| unreachable!("place: order is a permutation of the axes"));
+        let mut m = permuted.unfold(split);
+        if tensor.is_real() {
+            // The matricization of a hinted-real tensor stays hinted, so
+            // per-rank blocks keep running the real kernel.
+            m.assume_real();
+        }
+        let blocks: Vec<Matrix> = (0..grid.nranks())
+            .map(|rank| {
+                let (r, c) = grid.coords_of(rank);
+                local_block(&m, &rows, r, &cols, c)
+            })
+            .collect();
+        let mat = DistMatrix::from_parts(cluster, grid, rows, cols, blocks);
+        DistTensor {
+            cluster: cluster.clone(),
+            shape: tensor.shape().to_vec(),
+            order: order.to_vec(),
+            split,
+            mat,
+        }
     }
 
     /// Structural realness of the distributed data: `true` iff every rank's
-    /// slab carries the [`Tensor::is_real`] hint (propagated by scatter,
-    /// gather, redistribution, and free-mode contractions).
+    /// block carries the realness hint (propagated by scatter, gather,
+    /// redistribution, matricization, and free-mode contractions).
     pub fn is_real(&self) -> bool {
-        self.blocks.iter().all(|b| b.is_real())
+        self.mat.is_real()
     }
 
-    /// Assemble the full tensor on every rank (allgather).
+    /// Assemble the full tensor on every rank (allgather). Counts as a full
+    /// gather on [`crate::CommStats::full_gathers`] — distributed pipelines
+    /// are expected to avoid this entirely.
     pub fn allgather(&self) -> Tensor {
-        let elems: usize = self.blocks.iter().map(|b| b.len()).sum();
+        let elems: usize = self.len();
+        self.cluster.record_full_gather();
         self.cluster.record_collective(elems * (self.cluster.nranks() - 1), 1);
         self.gather_local()
     }
 
-    /// Assemble the full tensor on rank 0 (gather).
+    /// Assemble the full tensor on rank 0 (gather; billed like
+    /// [`DistTensor::allgather`] but with only the foreign blocks moving).
     pub fn gather(&self) -> Tensor {
-        let foreign: usize =
-            self.blocks.iter().enumerate().filter(|(r, _)| *r != 0).map(|(_, b)| b.len()).sum();
+        let foreign: usize = (1..self.cluster.nranks())
+            .map(|rank| {
+                let b = self.mat.block(rank);
+                b.nrows() * b.ncols()
+            })
+            .sum();
+        self.cluster.record_full_gather();
         self.cluster.record_collective(foreign, 1);
         self.gather_local()
     }
 
     fn gather_local(&self) -> Tensor {
-        // Blocks are stored with the distributed axis first; concatenate and
-        // permute the axis back to its original position.
-        let mut fronted_shape = self.blocks[0].shape().to_vec();
-        fronted_shape[0] = self.shape[self.dist_axis];
-        let mut data = Vec::with_capacity(fronted_shape.iter().product());
-        for b in &self.blocks {
-            data.extend_from_slice(b.data());
-        }
-        let mut fronted = Tensor::from_vec(&fronted_shape, data)
-            .unwrap_or_else(|_| unreachable!("gather: concatenated slabs fill the full shape"));
-        if self.is_real() {
-            fronted.assume_real();
-        }
-        // Inverse of the scatter permutation.
-        let ndim = self.shape.len();
-        let mut perm: Vec<usize> = vec![self.dist_axis];
-        perm.extend((0..ndim).filter(|&a| a != self.dist_axis));
-        fronted
-            .unpermute(&perm)
-            .unwrap_or_else(|_| unreachable!("gather: inverse of the scatter permutation"))
+        let m = self.mat.gather_local();
+        let perm_shape: Vec<usize> = self.order.iter().map(|&a| self.shape[a]).collect();
+        let folded = Tensor::fold(&m, &perm_shape[..self.split], &perm_shape[self.split..])
+            .unwrap_or_else(|_| unreachable!("gather: matricization matches the stored shape"));
+        folded
+            .unpermute(&self.order)
+            .unwrap_or_else(|_| unreachable!("gather: inverse of the storage permutation"))
     }
 
     /// Shape of the full tensor.
@@ -108,9 +183,25 @@ impl DistTensor {
         &self.shape
     }
 
-    /// Axis along which the tensor is distributed.
+    /// Storage permutation (global axes in matricization order).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of leading entries of [`DistTensor::order`] matricized as rows.
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// Leading distributed mode — for the slab layout of
+    /// [`DistTensor::scatter`], the axis the tensor is distributed along.
     pub fn dist_axis(&self) -> usize {
-        self.dist_axis
+        self.order[0]
+    }
+
+    /// The processor grid the matricization is distributed over.
+    pub fn grid(&self) -> ProcGrid {
+        self.mat.grid()
     }
 
     /// The cluster this tensor lives on.
@@ -118,9 +209,9 @@ impl DistTensor {
         &self.cluster
     }
 
-    /// One rank's slab (distributed axis first).
-    pub fn block(&self, rank: usize) -> &Tensor {
-        &self.blocks[rank]
+    /// One rank's local block of the matricization.
+    pub fn block(&self, rank: usize) -> &Matrix {
+        self.mat.block(rank)
     }
 
     /// Total number of elements.
@@ -133,50 +224,55 @@ impl DistTensor {
         self.len() == 0
     }
 
-    /// Redistribute along a different axis. This is the Cyclops "reshape"
-    /// path: an all-to-all over (almost) the entire tensor.
+    /// Redistribute into the slab layout along a different axis. This is the
+    /// Cyclops "reshape" path: an all-to-all over (almost) the entire tensor.
     pub fn redistribute(&self, new_axis: usize) -> DistTensor {
-        assert!(new_axis < self.shape.len());
-        if new_axis == self.dist_axis {
+        let ndim = self.shape.len();
+        assert!(new_axis < ndim);
+        let mut order: Vec<usize> = vec![new_axis];
+        order.extend((0..ndim).filter(|&a| a != new_axis));
+        let grid = ProcGrid::column(self.cluster.nranks());
+        if self.order == order && self.split == 1 && self.mat.grid() == grid {
             return self.clone();
         }
         self.cluster.record_redistribution(self.len());
         let full = self.gather_local();
-        DistTensor::scatter_local(&self.cluster, &full, new_axis)
+        let rows = Dist1D::balanced(self.shape[new_axis], self.cluster.nranks());
+        let cols = Dist1D::whole(self.len() / self.shape[new_axis].max(1));
+        Self::place(&self.cluster, &full, &order, 1, grid, rows, cols)
     }
 
-    /// Scatter without charging communication (used by redistribute, which has
-    /// already accounted for the all-to-all volume).
-    fn scatter_local(cluster: &Cluster, tensor: &Tensor, dist_axis: usize) -> Self {
-        let shape = tensor.shape().to_vec();
-        let ranges = cluster.block_ranges(shape[dist_axis]);
-        let mut perm: Vec<usize> = vec![dist_axis];
-        perm.extend((0..tensor.ndim()).filter(|&a| a != dist_axis));
-        let fronted = tensor
-            .permute(&perm)
-            .unwrap_or_else(|_| unreachable!("scatter_local: permutation is built from the rank"));
-        let row_len: usize = fronted.shape()[1..].iter().product();
-        let mut blocks = Vec::with_capacity(cluster.nranks());
-        for &(start, len) in &ranges {
-            let mut slab_shape = fronted.shape().to_vec();
-            slab_shape[0] = len;
-            let data = fronted.data()[start * row_len..(start + len) * row_len].to_vec();
-            let mut slab = Tensor::from_vec(&slab_shape, data).unwrap_or_else(|_| {
-                unreachable!("scatter_local: slab shape matches its data length")
-            });
-            if tensor.is_real() {
-                slab.assume_real();
-            }
-            blocks.push(slab);
-        }
-        DistTensor { cluster: cluster.clone(), shape, dist_axis, blocks }
+    /// Redistribute into an arbitrary mode grouping / grid (billed as one
+    /// all-to-all redistribution of the whole tensor, like
+    /// [`DistTensor::redistribute`]).
+    pub fn regroup(
+        &self,
+        order: &[usize],
+        split: usize,
+        grid: ProcGrid,
+        row_block: usize,
+        col_block: usize,
+    ) -> DistTensor {
+        assert_eq!(
+            grid.nranks(),
+            self.cluster.nranks(),
+            "regroup: grid does not cover the cluster"
+        );
+        self.cluster.record_redistribution(self.len());
+        let full = self.gather_local();
+        let m: usize = order[..split].iter().map(|&a| self.shape[a]).product();
+        let n: usize = order[split..].iter().map(|&a| self.shape[a]).product();
+        let rows = Dist1D::cyclic(m, grid.rows(), row_block);
+        let cols = Dist1D::cyclic(n, grid.cols(), col_block);
+        Self::place(&self.cluster, &full, order, split, grid, rows, cols)
     }
 
-    /// Contract with a replicated tensor over the given axes. The distributed
-    /// axis of `self` must not be contracted; the result stays distributed
-    /// along it and no communication is needed (this is the cheap path that
-    /// IBMPS exploits: the random sketch and the small factors are
-    /// replicated, the big boundary tensors stay distributed).
+    /// Contract with a replicated tensor over the given axes. Requires the
+    /// slab layout (`split == 1` on a `P x 1` grid) with the distributed mode
+    /// *free*; the result stays distributed along it and no communication is
+    /// needed (this is the cheap path that IBMPS exploits: the random sketch
+    /// and the small factors are replicated, the big boundary tensors stay
+    /// distributed).
     pub fn tensordot_replicated(
         &self,
         other: &Tensor,
@@ -184,111 +280,185 @@ impl DistTensor {
         axes_other: &[usize],
     ) -> DistTensor {
         assert!(
-            !axes_self.contains(&self.dist_axis),
+            self.split == 1 && self.mat.grid().cols() == 1,
+            "tensordot_replicated: requires the slab layout (regroup to split = 1 first)"
+        );
+        let dist_axis = self.order[0];
+        assert!(
+            !axes_self.contains(&dist_axis),
             "tensordot_replicated: the distributed axis must stay free (redistribute first)"
         );
-        // Per-block axes: blocks have the distributed axis first, the rest in
-        // original relative order.
-        let ndim = self.shape.len();
-        let order: Vec<usize> = std::iter::once(self.dist_axis)
-            .chain((0..ndim).filter(|&a| a != self.dist_axis))
-            .collect();
+        // Per-block axes: blocks store the axes in `self.order`.
         let block_axes_self: Vec<usize> = axes_self
             .iter()
             .map(|&a| {
-                order
+                self.order
                     .iter()
                     .position(|&o| o == a)
                     .unwrap_or_else(|| unreachable!("order enumerates every axis"))
             })
             .collect();
+        let contracted: usize = axes_self.iter().map(|&a| self.shape[a]).product();
+        let free_other: usize = other.len() / contracted.max(1);
+        // Columns of the matricized result block: the free trailing modes of
+        // self (in storage order), then the free modes of other.
+        let out_cols: usize = self.order[1..]
+            .iter()
+            .filter(|a| !axes_self.contains(a))
+            .map(|&a| self.shape[a])
+            .product::<usize>()
+            * free_other;
 
-        let mut blocks = Vec::with_capacity(self.blocks.len());
-        for (rank, b) in self.blocks.iter().enumerate() {
-            let out = tensordot(b, other, &block_axes_self, axes_other).unwrap_or_else(|e| {
+        let mut blocks = Vec::with_capacity(self.cluster.nranks());
+        for rank in 0..self.cluster.nranks() {
+            let b = self.mat.block(rank);
+            let local_rows = b.nrows();
+            let slab_shape: Vec<usize> = std::iter::once(local_rows)
+                .chain(self.order[1..].iter().map(|&a| self.shape[a]))
+                .collect();
+            let mut slab = Tensor::from_vec(&slab_shape, b.data().to_vec())
+                .unwrap_or_else(|_| unreachable!("slab shape matches the block data"));
+            if b.is_real() {
+                slab.assume_real();
+            }
+            let out = tensordot(&slab, other, &block_axes_self, axes_other).unwrap_or_else(|e| {
                 unreachable!("tensordot_replicated: axes validated against shapes ({e})")
             });
             // Flops: block free dims * contracted dims * other free dims,
             // billed to the kernel the operands' realness hints select.
-            let contracted: usize = axes_self.iter().map(|&a| self.shape[a]).product();
-            let free_b: usize = b.len() / contracted.max(1);
-            let free_other: usize = other.len() / contracted.max(1);
+            let free_b: usize = slab.len() / contracted.max(1);
             let macs = (free_b * contracted * free_other) as u64;
-            self.cluster.record_macs(rank, macs, b.is_real() && other.is_real());
-            blocks.push(out);
+            self.cluster.record_macs(rank, macs, slab.is_real() && other.is_real());
+            let mut mb = Matrix::from_vec(local_rows, out_cols, out.data().to_vec())
+                .unwrap_or_else(|_| unreachable!("result slab matricizes by its leading mode"));
+            if out.is_real() {
+                mb.assume_real();
+            }
+            blocks.push(mb);
         }
 
-        // Result shape: free axes of self (original order) then free axes of other.
+        // Result axes: free axes of self (original order) then free axes of
+        // other; the storage order keeps the distributed mode first, then the
+        // surviving entries of the old storage order, then other's free modes.
+        let ndim = self.shape.len();
         let free_self: Vec<usize> = (0..ndim).filter(|a| !axes_self.contains(a)).collect();
         let mut out_shape: Vec<usize> = free_self.iter().map(|&a| self.shape[a]).collect();
         out_shape
             .extend((0..other.ndim()).filter(|a| !axes_other.contains(a)).map(|a| other.dim(a)));
-        // The distributed axis is now the first free axis of the block result;
-        // its global position is the index of dist_axis within free_self.
-        let new_dist_axis = free_self
-            .iter()
-            .position(|&a| a == self.dist_axis)
-            .unwrap_or_else(|| unreachable!("the distributed axis is never contracted"));
+        let map = |a: usize| {
+            free_self
+                .iter()
+                .position(|&f| f == a)
+                .unwrap_or_else(|| unreachable!("free axes contain every uncontracted axis"))
+        };
+        let mut out_order: Vec<usize> = vec![map(dist_axis)];
+        out_order
+            .extend(self.order[1..].iter().filter(|a| !axes_self.contains(a)).map(|&a| map(a)));
+        out_order.extend(free_self.len()..out_shape.len());
 
-        // Per-block results currently have the distributed axis first already
-        // (it was axis 0 of the block and was not contracted), so they are in
-        // the canonical slab layout.
+        let rows = self.mat.row_dist().clone();
+        let cols = Dist1D::whole(out_cols);
+        let mat = DistMatrix::from_parts(&self.cluster, self.mat.grid(), rows, cols, blocks);
         DistTensor {
             cluster: self.cluster.clone(),
             shape: out_shape,
-            dist_axis: new_dist_axis,
-            blocks,
+            order: out_order,
+            split: 1,
+            mat,
         }
     }
 
-    /// View the tensor as a block-row distributed matrix by matricizing with
-    /// the first `split` axes as rows. Requires the distributed axis to be
-    /// axis 0 and `split >= 1` so the row blocks of the matricization
-    /// coincide with the tensor slabs (no data movement).
+    /// View the tensor as a distributed matrix matricized with the first
+    /// `split` (global-order) axes as rows.
+    ///
+    /// Zero-copy when the stored layout already is that matricization
+    /// (identity storage order, same split) or a coarser row grouping of it
+    /// on replicated columns — there the per-rank bytes are reinterpreted in
+    /// place with a scaled row layout ([`crate::Dist1D::scale`]), which
+    /// generalises the old axis-0/`split >= 1` rule to every stored split.
+    /// Any other request is a genuine layout change, billed as one
+    /// all-to-all redistribution of the tensor — never a gather to one rank
+    /// — and lands in the grid's block-cyclic SUMMA layout.
     pub fn unfold_as_dist_matrix(&self, split: usize) -> DistMatrix {
-        assert_eq!(self.dist_axis, 0, "unfold_as_dist_matrix: distributed axis must be 0");
-        assert!(split >= 1 && split <= self.shape.len());
-        let cols: usize = self.shape[split..].iter().product();
-        let full_rows: usize = self.shape[..split].iter().product();
-        // Per-rank blocks come directly from the slabs (free of charge: the
-        // row-major slab layout is already the matricized layout). This works
-        // because the slab row-block boundaries align with multiples of the
-        // per-index row count.
-        let ranges = self.cluster.block_ranges(self.shape[0]);
-        let rows_per_index: usize = self.shape[1..split].iter().product();
-        let mut blocks = Vec::with_capacity(self.blocks.len());
-        for (b, &(_start, len)) in self.blocks.iter().zip(ranges.iter()) {
-            let rows = len * rows_per_index;
-            let mut block = Matrix::from_vec(rows, cols, b.data().to_vec())
-                .unwrap_or_else(|_| unreachable!("unfold: slab layout is the matricized layout"));
-            if b.is_real() {
-                // The zero-copy matricization of a hinted slab keeps the
-                // hint, so the distributed factorizations stay real.
-                block.assume_real();
-            }
-            blocks.push(block);
+        let ndim = self.shape.len();
+        assert!(split >= 1 && split <= ndim, "unfold_as_dist_matrix: split out of range");
+        let identity = self.order.iter().enumerate().all(|(i, &a)| i == a);
+        if identity && split == self.split {
+            return self.mat.clone();
         }
-        DistMatrix::from_blocks(&self.cluster, full_rows, cols, blocks)
+        let factor: usize = self.shape[self.split.min(split)..split].iter().product();
+        if identity && split >= self.split && self.mat.grid().cols() == 1 && factor > 0 {
+            // Zero-copy re-split: every stored row becomes `factor`
+            // consecutive rows of the finer matricization; block data is
+            // unchanged, only the row layout scales.
+            let rows = self.mat.row_dist().scale(factor);
+            let ncols: usize = self.shape[split..].iter().product();
+            let blocks: Vec<Matrix> = (0..self.cluster.nranks())
+                .map(|rank| {
+                    let b = self.mat.block(rank);
+                    let mut m = Matrix::from_vec(b.nrows() * factor, ncols, b.data().to_vec())
+                        .unwrap_or_else(|_| unreachable!("re-split keeps the block data length"));
+                    if b.is_real() {
+                        m.assume_real();
+                    }
+                    m
+                })
+                .collect();
+            return DistMatrix::from_parts(
+                &self.cluster,
+                self.mat.grid(),
+                rows,
+                Dist1D::whole(ncols),
+                blocks,
+            );
+        }
+        // Layout change: one all-to-all redistribution of the tensor.
+        self.cluster.record_redistribution(self.len());
+        let full = self.gather_local();
+        let grid = self.mat.grid();
+        let m: usize = self.shape[..split].iter().product();
+        let n: usize = self.shape[split..].iter().product();
+        let rows = if grid.rows() > 1 {
+            Dist1D::cyclic(m, grid.rows(), DistMatrix::DEFAULT_BLOCK)
+        } else {
+            Dist1D::balanced(m, 1)
+        };
+        let cols = if grid.cols() > 1 {
+            Dist1D::cyclic(n, grid.cols(), DistMatrix::DEFAULT_BLOCK)
+        } else {
+            Dist1D::whole(n)
+        };
+        let order: Vec<usize> = (0..ndim).collect();
+        Self::place(&self.cluster, &full, &order, split, grid, rows, cols).mat
     }
 
     /// Inner product `<self, other>` of two tensors with the same shape and
-    /// distribution (local partial sums + allreduce of one scalar).
-    pub fn inner(&self, other: &DistTensor) -> koala_linalg::C64 {
+    /// layout (local partial sums + allreduce of one scalar).
+    pub fn inner(&self, other: &DistTensor) -> C64 {
         assert_eq!(self.shape, other.shape, "inner: shape mismatch");
-        assert_eq!(self.dist_axis, other.dist_axis, "inner: distribution mismatch");
-        let mut acc = koala_linalg::C64::ZERO;
-        for (rank, (a, b)) in self.blocks.iter().zip(other.blocks.iter()).enumerate() {
-            self.cluster.record_macs(rank, a.len() as u64, a.is_real() && b.is_real());
-            acc += a
-                .inner(b)
-                .unwrap_or_else(|_| unreachable!("inner: same distribution, same block shapes"));
+        assert_eq!(
+            (&self.order, self.split),
+            (&other.order, other.split),
+            "inner: layout mismatch"
+        );
+        let mut acc = C64::ZERO;
+        for rank in 0..self.cluster.nranks() {
+            let a = self.mat.block(rank);
+            let b = other.mat.block(rank);
+            assert_eq!(a.shape(), b.shape(), "inner: distribution mismatch");
+            self.cluster.record_macs(
+                rank,
+                (a.nrows() * a.ncols()) as u64,
+                a.is_real() && b.is_real(),
+            );
+            for (x, y) in a.data().iter().zip(b.data()) {
+                acc += c64(x.re * y.re + x.im * y.im, x.re * y.im - x.im * y.re);
+            }
         }
         self.cluster.record_collective(self.cluster.nranks() - 1, 2);
         acc
     }
 }
-
-use koala_linalg::Matrix;
 
 #[cfg(test)]
 mod tests {
@@ -325,6 +495,35 @@ mod tests {
     }
 
     #[test]
+    fn grouped_scatter_gather_roundtrip_across_groupings() {
+        let cluster = Cluster::new(4);
+        let mut rng = StdRng::seed_from_u64(70);
+        let t = Tensor::random(&[4, 3, 2, 5], &mut rng);
+        for (order, split) in [
+            (vec![0, 1, 2, 3], 2),
+            (vec![2, 0, 3, 1], 2),
+            (vec![3, 1, 2, 0], 1),
+            (vec![1, 0, 2, 3], 3),
+        ] {
+            let d =
+                DistTensor::scatter_grouped(&cluster, &t, &order, split, ProcGrid::new(2, 2), 2, 3);
+            assert_eq!(d.grid(), ProcGrid::new(2, 2));
+            assert_eq!(d.order(), &order[..]);
+            assert!(d.allgather().approx_eq(&t, 0.0), "order {order:?} split {split}");
+            assert!(d.gather().approx_eq(&t, 0.0));
+        }
+    }
+
+    #[test]
+    fn gathers_bill_the_full_gather_counter() {
+        let (c, _t, d) = setup(3, &[6, 2, 2], 0, 71);
+        c.reset_stats();
+        let _ = d.allgather();
+        let _ = d.gather();
+        assert_eq!(c.stats().full_gathers, 2);
+    }
+
+    #[test]
     fn redistribution_changes_axis_and_is_counted() {
         let (c, t, d) = setup(3, &[6, 5, 4], 0, 3);
         c.reset_stats();
@@ -337,6 +536,16 @@ mod tests {
         let same = r.redistribute(2);
         assert_eq!(c.stats().redistributions, 0);
         assert!(same.allgather().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn regroup_reaches_any_grouping_for_one_redistribution() {
+        let (c, t, d) = setup(4, &[4, 3, 2, 3], 1, 31);
+        c.reset_stats();
+        let g = d.regroup(&[2, 0, 1, 3], 2, ProcGrid::new(2, 2), 3, 2);
+        assert_eq!(c.stats().redistributions, 1);
+        assert_eq!(c.stats().full_gathers, 0, "regroup is an all-to-all, not a gather");
+        assert!(g.allgather().approx_eq(&t, 0.0));
     }
 
     #[test]
@@ -380,6 +589,54 @@ mod tests {
     }
 
     #[test]
+    fn unfold_resplits_are_zero_copy_on_slab_layouts() {
+        let (c, t, d) = setup(3, &[6, 2, 5], 0, 72);
+        c.reset_stats();
+        for split in [1, 2, 3] {
+            let m = d.unfold_as_dist_matrix(split);
+            assert!(m.max_diff_replicated(&t.unfold(split)) < 1e-14, "split {split}");
+        }
+        let stats = c.stats();
+        assert_eq!(stats.bytes_communicated, 0, "re-splits move no data");
+        assert_eq!(stats.redistributions, 0);
+        assert_eq!(stats.full_gathers, 0);
+    }
+
+    #[test]
+    fn unfold_on_non_leading_distributed_axes_redistributes_without_gather() {
+        let cluster = Cluster::new(4);
+        let mut rng = StdRng::seed_from_u64(73);
+        let t = Tensor::random(&[3, 4, 5], &mut rng);
+        // Distribute with axis 1 leading: the requested matricization
+        // (axes [0, 1] as rows) needs a genuine layout change.
+        let d = DistTensor::scatter_grouped(&cluster, &t, &[1, 0, 2], 1, ProcGrid::new(2, 2), 2, 2);
+        cluster.reset_stats();
+        let m = d.unfold_as_dist_matrix(2);
+        assert_eq!(m.shape(), (12, 5));
+        assert!(m.max_diff_replicated(&t.unfold(2)) < 1e-14);
+        let stats = cluster.stats();
+        assert_eq!(stats.redistributions, 1, "billed as an all-to-all");
+        assert_eq!(stats.full_gathers, 0, "never a gather to one rank");
+    }
+
+    #[test]
+    fn grouped_unfold_at_the_stored_split_is_zero_copy() {
+        let cluster = Cluster::new(6);
+        let mut rng = StdRng::seed_from_u64(74);
+        let t = Tensor::random(&[4, 3, 2, 3], &mut rng);
+        let d =
+            DistTensor::scatter_grouped(&cluster, &t, &[0, 1, 2, 3], 2, ProcGrid::new(2, 3), 3, 2);
+        cluster.reset_stats();
+        let m = d.unfold_as_dist_matrix(2);
+        assert_eq!(m.shape(), (12, 6));
+        assert!(m.max_diff_replicated(&t.unfold(2)) < 1e-14);
+        let stats = cluster.stats();
+        assert_eq!(stats.bytes_communicated, 0);
+        assert_eq!(stats.redistributions, 0);
+        assert_eq!(stats.full_gathers, 0);
+    }
+
+    #[test]
     fn realness_propagates_through_scatter_contract_and_unfold() {
         let cluster = Cluster::new(3);
         let mut rng = StdRng::seed_from_u64(90);
@@ -396,6 +653,9 @@ mod tests {
         assert_eq!(stats.total_flops(), 0, "real contraction bills no complex MACs");
         assert!(stats.total_real_macs() > 0);
         assert!(d.redistribute(1).is_real(), "redistribution keeps the hint");
+        let g = DistTensor::scatter_grouped(&cluster, &t, &[1, 0, 2], 2, ProcGrid::new(3, 1), 2, 4);
+        assert!(g.is_real(), "grouped scatter keeps the hint");
+        assert!(g.allgather().is_real());
     }
 
     #[test]

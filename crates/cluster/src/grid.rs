@@ -239,6 +239,37 @@ impl Dist1D {
         }
     }
 
+    /// A distribution of `n` indices over `parts` slots in the same layout
+    /// *family* as `self`: cyclic layouts keep their block size, contiguous
+    /// layouts become the balanced split. This is how the transposed-operand
+    /// SUMMA variants derive the output distribution when an `Op` turns an
+    /// operand's grid-column dimension into a result dimension that must live
+    /// on the grid rows (or vice versa): the extent and the part count both
+    /// change, but the layout family of the source operand is preserved.
+    pub fn like_parts(&self, n: usize, parts: usize) -> Dist1D {
+        match &self.layout {
+            Layout1D::Cyclic { block } => Dist1D::cyclic(n, parts, *block),
+            Layout1D::Blocks(_) => Dist1D::balanced(n, parts),
+        }
+    }
+
+    /// The same partition with every index expanded into `factor` consecutive
+    /// indices (`n * factor` total, same owners, same relative order). This is
+    /// the row layout of a matricization that moves `factor` trailing column
+    /// indices into the rows — each owned index becomes `factor` owned rows,
+    /// and the owner's local data stays byte-identical, which is what makes
+    /// `DistTensor::unfold_as_dist_matrix` zero-copy across splits. `factor`
+    /// must be nonzero.
+    pub fn scale(&self, factor: usize) -> Dist1D {
+        assert!(factor > 0, "Dist1D: scale factor must be nonzero");
+        match &self.layout {
+            Layout1D::Cyclic { block } => {
+                Dist1D::cyclic(self.n * factor, self.parts, block * factor)
+            }
+            Layout1D::Blocks(lens) => Dist1D::blocks(lens.iter().map(|l| l * factor).collect()),
+        }
+    }
+
     /// Ordered ownership runs covering `0..n` exactly once. Within each run
     /// local storage is contiguous, which is what lets the SUMMA loop slice
     /// broadcast panels straight out of the owner's block.
@@ -387,6 +418,43 @@ mod tests {
         assert_eq!(d.local_of(4), 0);
         assert_eq!(d.owner(9), 2);
         assert_eq!(d.local_of(9), 2);
+    }
+
+    #[test]
+    fn like_parts_keeps_the_layout_family() {
+        let cyc = Dist1D::cyclic(10, 2, 3).like_parts(14, 4);
+        assert_eq!((cyc.n(), cyc.parts()), (14, 4));
+        // Block size 3 survives: the first run of 3 goes to part 0, the next
+        // to part 1, and so on.
+        assert_eq!(cyc.owner(0), 0);
+        assert_eq!(cyc.owner(3), 1);
+        assert_eq!(cyc.owner(9), 3);
+        assert_eq!(cyc.owner(12), 0);
+        let blk = Dist1D::blocks(vec![1, 9]).like_parts(10, 3);
+        assert_eq!((blk.n(), blk.parts()), (10, 3));
+        // Contiguous layouts come back balanced, whatever the input lens.
+        assert_eq!(blk.local_len(0), 4);
+        assert_eq!(blk.local_len(1), 3);
+        assert_eq!(blk.local_len(2), 3);
+    }
+
+    #[test]
+    fn scale_expands_every_index_in_place() {
+        for d in [Dist1D::cyclic(7, 3, 2), Dist1D::blocks(vec![4, 0, 3])] {
+            let s = d.scale(5);
+            assert_eq!(s.n(), 35);
+            assert_eq!(s.parts(), d.parts());
+            for i in 0..d.n() {
+                for j in 0..5 {
+                    assert_eq!(s.owner(5 * i + j), d.owner(i), "owners expand blockwise");
+                    assert_eq!(
+                        s.local_of(5 * i + j),
+                        5 * d.local_of(i) + j,
+                        "local data order kept"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

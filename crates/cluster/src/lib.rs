@@ -22,11 +22,15 @@
 //! * [`DistMatrix`] — grid-distributed matrices with a SUMMA
 //!   [`DistMatrix::matmul_dist`] whose per-rank products run the same packed
 //!   `gemm_into` macro-tiles (and real-only fast path) as the shared-memory
-//!   kernel, Gram matrices, and the two distributed QR paths compared in
-//!   Figure 7 ([`gram_qr_dist`] = paper Algorithm 5 vs [`qr_gather_dist`] =
-//!   the reshape/gather baseline),
-//! * [`DistTensor`] — tensors distributed along one mode, with free-mode
-//!   contractions, explicit redistributions, and zero-copy matricization.
+//!   kernel, `pdgemm`-style transposed-operand products
+//!   ([`DistMatrix::matmul_dist_op`], auto-dispatched over the
+//!   [`SummaVariant`] stationary dataflows), Gram matrices on any grid
+//!   shape, and the two distributed QR paths compared in Figure 7
+//!   ([`gram_qr_dist`] = paper Algorithm 5 vs [`qr_gather_dist`] = the
+//!   reshape/gather baseline),
+//! * [`DistTensor`] — tensors distributed by matricized mode groups over the
+//!   grid, with free-mode contractions, explicit redistributions, and
+//!   zero-copy matricization.
 //!
 //! Realness is first-class end to end: scatter, SUMMA, Gram, gather, and
 //! every mutator propagate the structural [`koala_linalg::Matrix::is_real`]
@@ -114,11 +118,13 @@ pub mod grid;
 pub mod stats;
 
 pub use cluster::{block_ranges, Cluster, RankBuffer};
-pub use dist_matrix::{gram_qr_dist, qr_gather_dist, DistMatrix, DistQr};
+pub use dist_matrix::{gram_qr_dist, qr_gather_dist, DistMatrix, DistQr, SummaVariant};
 pub use dist_tensor::DistTensor;
 pub use fault::{FaultEvent, FaultKind, FaultLog, FaultPlan, FaultSite};
 pub use grid::{refine, Dist1D, Layout1D, Panel, ProcGrid, Seg};
-pub use stats::{CommStats, CostModel, ELEM_BYTES, FLOPS_PER_COMPLEX_MAC, FLOPS_PER_REAL_MAC};
+pub use stats::{
+    CommStats, CostModel, RoundCost, ELEM_BYTES, FLOPS_PER_COMPLEX_MAC, FLOPS_PER_REAL_MAC,
+};
 
 /// Result alias for fallible cluster operations (ABFT-verified transfers can
 /// exhaust their retry budget under a persistent fault plan).

@@ -41,6 +41,28 @@ pub const FLOPS_PER_COMPLEX_MAC: f64 = 8.0;
 /// Real hardware flops per real multiply-add (1 mul + 1 add).
 pub const FLOPS_PER_REAL_MAC: f64 = 2.0;
 
+/// Per-round cost record of a pipelined collective loop (one SUMMA depth
+/// round): the payload this round's panel broadcasts moved and the local MACs
+/// each rank ran on the *previous* round's panels while those broadcasts were
+/// in flight. [`CostModel::modelled_time_overlap`] prices the loop as
+/// `comm_0 + Σ max(comm_t, compute_{t-1}) + compute_{T-1}` — pipeline fill,
+/// overlapped steady state, pipeline drain.
+///
+/// Only fault-free payload traffic enters a round: ABFT checksum and retry
+/// bytes stay on the serial (non-overlapped) critical path, because recovery
+/// is a synchronous round-trip the pipeline cannot hide.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundCost {
+    /// Complex elements of panel payload broadcast this round.
+    pub comm_elems: u64,
+    /// Messages sent this round (flat model, one per receiver).
+    pub messages: u64,
+    /// Complex MACs each rank runs on this round's panels.
+    pub rank_cmacs: Vec<u64>,
+    /// Real MACs each rank runs on this round's panels.
+    pub rank_rmacs: Vec<u64>,
+}
+
 /// Counters accumulated while running operations on a [`crate::Cluster`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommStats {
@@ -74,6 +96,17 @@ pub struct CommStats {
     /// [`CommStats::bytes_communicated`] for the same reason as
     /// [`CommStats::checksum_bytes`].
     pub retry_bytes: u64,
+    /// Number of full gathers: operations that materialise an entire
+    /// distributed matrix/tensor on every rank (or on a root). These are the
+    /// fallbacks the 2-D SUMMA paths exist to avoid; tests pin this counter
+    /// to zero on the distributed gate-update hot path.
+    pub full_gathers: u64,
+    /// Per-round cost records of pipelined loops (SUMMA depth rounds), in
+    /// execution order. The payload and MACs recorded here are *also* in the
+    /// aggregate counters above; rounds are a refinement, not extra work.
+    /// [`CostModel::modelled_time`] ignores them (bulk-synchronous model);
+    /// [`CostModel::modelled_time_overlap`] prices them as a pipeline.
+    pub rounds: Vec<RoundCost>,
 }
 
 impl CommStats {
@@ -139,6 +172,8 @@ impl CommStats {
         self.checksum_bytes += other.checksum_bytes;
         self.retries += other.retries;
         self.retry_bytes += other.retry_bytes;
+        self.full_gathers += other.full_gathers;
+        self.rounds.extend(other.rounds.iter().cloned());
         if self.rank_flops.len() < other.rank_flops.len() {
             self.rank_flops.resize(other.rank_flops.len(), 0);
         }
@@ -303,6 +338,94 @@ impl CostModel {
         stats.total_hw_flops() / t / stats.rank_flops.len().max(1) as f64
     }
 
+    /// Wire time of one pipelined round: its payload over the aggregate
+    /// interconnect bandwidth plus per-message latency.
+    pub fn round_comm_time(&self, round: &RoundCost, nranks: usize) -> f64 {
+        (round.comm_elems * ELEM_BYTES) as f64 / (self.bytes_per_second * nranks.max(1) as f64)
+            + round.messages as f64 * self.latency
+    }
+
+    /// Compute time of one pipelined round: the slowest rank's MACs at the
+    /// calibrated kernel rates.
+    pub fn round_compute_time(&self, round: &RoundCost) -> f64 {
+        (0..round.rank_cmacs.len().max(round.rank_rmacs.len()))
+            .map(|r| {
+                round.rank_cmacs.get(r).copied().unwrap_or(0) as f64 / self.flops_per_second
+                    + round.rank_rmacs.get(r).copied().unwrap_or(0) as f64
+                        / self.real_macs_per_second
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Modelled wall-clock time with communication/computation *overlap*
+    /// inside pipelined loops (SUMMA depth rounds).
+    ///
+    /// Work recorded in [`CommStats::rounds`] is priced as a software
+    /// pipeline: round `t+1`'s panel broadcasts travel while round `t`'s
+    /// local GEMM runs, so a sequence of `T` rounds costs
+    ///
+    /// ```text
+    /// comm_0  +  Σ_{t=1..T-1} max(comm_t, compute_{t-1})  +  compute_{T-1}
+    /// ```
+    ///
+    /// — the pipeline fill (first panel has nothing to hide behind), the
+    /// overlapped steady state, and the drain (last GEMM has no broadcast to
+    /// hide it). Everything *not* attributed to a round — scatters, gathers,
+    /// reductions, replicated factorizations, and all ABFT checksum/retry
+    /// traffic — is priced exactly as in the serial
+    /// [`CostModel::modelled_time`] and added on top. With no recorded rounds
+    /// the two models agree identically.
+    pub fn modelled_time_overlap(&self, stats: &CommStats) -> f64 {
+        let nranks = stats.rank_flops.len().max(1);
+        // Serial remainder: aggregate counters minus what the rounds refine.
+        let round_elems: u64 = stats.rounds.iter().map(|r| r.comm_elems).sum();
+        let round_msgs: u64 = stats.rounds.iter().map(|r| r.messages).sum();
+        let mut serial_cmacs = stats.rank_flops.clone();
+        let mut serial_rmacs = stats.rank_real_macs.clone();
+        for round in &stats.rounds {
+            for (a, b) in serial_cmacs.iter_mut().zip(round.rank_cmacs.iter()) {
+                *a = a.saturating_sub(*b);
+            }
+            for (a, b) in serial_rmacs.iter_mut().zip(round.rank_rmacs.iter()) {
+                *a = a.saturating_sub(*b);
+            }
+        }
+        let serial_compute = (0..nranks)
+            .map(|r| {
+                serial_cmacs.get(r).copied().unwrap_or(0) as f64 / self.flops_per_second
+                    + serial_rmacs.get(r).copied().unwrap_or(0) as f64 / self.real_macs_per_second
+            })
+            .fold(0.0f64, f64::max);
+        let serial_wire = (stats.bytes_communicated + stats.checksum_bytes + stats.retry_bytes)
+            .saturating_sub(round_elems * ELEM_BYTES);
+        let serial_comm = serial_wire as f64 / (self.bytes_per_second * nranks as f64)
+            + stats.messages.saturating_sub(round_msgs) as f64 * self.latency;
+
+        // Pipelined rounds: fill, overlapped steady state, drain.
+        let mut pipeline = 0.0;
+        for (t, round) in stats.rounds.iter().enumerate() {
+            let comm = self.round_comm_time(round, nranks);
+            if t == 0 {
+                pipeline += comm;
+            } else {
+                pipeline += comm.max(self.round_compute_time(&stats.rounds[t - 1]));
+            }
+        }
+        if let Some(last) = stats.rounds.last() {
+            pipeline += self.round_compute_time(last);
+        }
+        serial_compute + serial_comm + pipeline
+    }
+
+    /// [`CostModel::flop_rate_per_rank`] under the overlap-aware model.
+    pub fn flop_rate_per_rank_overlap(&self, stats: &CommStats) -> f64 {
+        let t = self.modelled_time_overlap(stats);
+        if t == 0.0 {
+            return 0.0;
+        }
+        stats.total_hw_flops() / t / stats.rank_flops.len().max(1) as f64
+    }
+
     /// The model's per-rank hardware-flop peak for an all-complex workload —
     /// the horizontal "ideal" line of the weak-scaling figure.
     pub fn complex_peak_flops(&self) -> f64 {
@@ -403,6 +526,100 @@ mod tests {
         s.retry_bytes = 1_000_000_000;
         let t3 = model.modelled_time(&s);
         assert!((t3 - (t2 + 1.0)).abs() < 1e-9, "modelled time with abft traffic {t3}");
+    }
+
+    #[test]
+    fn overlap_model_equals_serial_model_without_rounds() {
+        let model = CostModel::default();
+        let mut s = CommStats::new(4);
+        s.rank_flops = vec![7, 11, 13, 17];
+        s.rank_real_macs = vec![1, 2, 3, 4];
+        s.bytes_communicated = 123_456;
+        s.checksum_bytes = 789;
+        s.retry_bytes = 1000;
+        s.messages = 42;
+        let serial = model.modelled_time(&s);
+        let overlap = model.modelled_time_overlap(&s);
+        assert!((serial - overlap).abs() < 1e-15, "serial {serial} vs overlap {overlap}");
+    }
+
+    #[test]
+    fn overlap_model_hides_comm_behind_compute() {
+        let model = CostModel {
+            flops_per_second: 1e9,
+            real_macs_per_second: 4e9,
+            bytes_per_second: 1e9,
+            latency: 0.0,
+        };
+        // Three identical rounds on one rank: 1 s of broadcast each
+        // (1e9 bytes over 1 rank) and 1 s of compute each (1e9 cMACs).
+        let round = RoundCost {
+            comm_elems: 1_000_000_000 / ELEM_BYTES,
+            messages: 0,
+            rank_cmacs: vec![1_000_000_000],
+            rank_rmacs: vec![0],
+        };
+        let mut s = CommStats::new(1);
+        s.rounds = vec![round.clone(), round.clone(), round.clone()];
+        // Aggregates include what the rounds refine.
+        s.bytes_communicated = 3 * round.comm_elems * ELEM_BYTES;
+        s.rank_flops = vec![3_000_000_000];
+        // Serial: 3 s comm + 3 s compute = 6 s. Overlapped: fill 1 s +
+        // 2 steady rounds at max(1, 1) = 2 s + drain 1 s = 4 s.
+        let serial = model.modelled_time(&s);
+        let overlap = model.modelled_time_overlap(&s);
+        assert!((serial - 6.0).abs() < 1e-9, "serial {serial}");
+        assert!((overlap - 4.0).abs() < 1e-9, "overlap {overlap}");
+        // Saturated regime: compute dwarfs comm, so all but the first
+        // broadcast vanishes: 1 s fill + 3 x 3 s compute = 10 s.
+        let mut sat = s.clone();
+        for r in &mut sat.rounds {
+            r.rank_cmacs = vec![3_000_000_000];
+        }
+        sat.rank_flops = vec![9_000_000_000];
+        let t_sat = model.modelled_time_overlap(&sat);
+        assert!((t_sat - 10.0).abs() < 1e-9, "saturated overlap {t_sat}");
+        assert!(model.flop_rate_per_rank_overlap(&sat) > model.flop_rate_per_rank(&sat));
+    }
+
+    #[test]
+    fn overlap_model_keeps_abft_traffic_serial() {
+        let model = CostModel {
+            flops_per_second: 1e9,
+            real_macs_per_second: 4e9,
+            bytes_per_second: 1e9,
+            latency: 0.0,
+        };
+        let round = RoundCost {
+            comm_elems: 1_000_000_000 / ELEM_BYTES,
+            messages: 0,
+            rank_cmacs: vec![1_000_000_000],
+            rank_rmacs: vec![0],
+        };
+        let mut s = CommStats::new(1);
+        s.rounds = vec![round.clone(), round.clone()];
+        s.bytes_communicated = 2 * round.comm_elems * ELEM_BYTES;
+        s.rank_flops = vec![2_000_000_000];
+        let base = model.modelled_time_overlap(&s);
+        // Checksum/retry bytes cannot hide behind compute: they add fully.
+        s.checksum_bytes = 1_000_000_000;
+        s.retry_bytes = 500_000_000;
+        let with_abft = model.modelled_time_overlap(&s);
+        assert!((with_abft - base - 1.5).abs() < 1e-9, "abft serial term {with_abft} vs {base}");
+    }
+
+    #[test]
+    fn merge_appends_rounds_and_full_gathers() {
+        let mut a = CommStats::new(1);
+        a.full_gathers = 1;
+        a.rounds.push(RoundCost { comm_elems: 5, ..Default::default() });
+        let mut b = CommStats::new(1);
+        b.full_gathers = 2;
+        b.rounds.push(RoundCost { comm_elems: 7, ..Default::default() });
+        a.merge(&b);
+        assert_eq!(a.full_gathers, 3);
+        assert_eq!(a.rounds.len(), 2);
+        assert_eq!(a.rounds[1].comm_elems, 7);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::contract::{contract_no_phys, ContractionMethod};
 use crate::peps::{Direction, Peps, Result, Site};
 use crate::update::{canonical_perms, invert5, reorder_gate, small_einsumsvd};
-use koala_cluster::{gram_qr_dist, qr_gather_dist, Cluster, DistMatrix};
+use koala_cluster::{gram_qr_dist, qr_gather_dist, Cluster, DistMatrix, DistTensor};
 use koala_linalg::C64;
 use koala_tensor::{Tensor, Truncation};
 use rand::Rng;
@@ -91,14 +91,19 @@ pub fn dist_two_site_update(
     let gate_t = Tensor::from_matrix_2d(gate).into_reshape(&[d_a, d_b, d_a, d_b])?;
 
     // ---- Step 1: QR of both site tensors on the cluster. ----
+    // Each permuted site tensor is placed as a block-cyclic distributed
+    // tensor with the outer bonds (o1,o2,o3) grouped as matricization rows.
+    // The factorization input is a zero-copy view of that layout, so the
+    // whole update — Gram allreduce, recombination GEMMs — runs without any
+    // full-tensor gather or redistribution round-trip.
     // a: rows = outer bonds (o1,o2,o3), cols = (pa, bond)
     let a_mat_t = a.permute(&[1, 2, 3, 0, 4])?; // [o1,o2,o3, pa, bond]
     let a_rows: Vec<usize> = a_mat_t.shape()[..3].to_vec();
-    let a_dist = DistMatrix::scatter(cluster, &a_mat_t.unfold(3));
+    let a_dist = scatter_site(cluster, &a_mat_t);
     // b: rows = outer bonds (o1,o2,o3) = axes 2,3,4, cols = (pb, bond)
     let b_mat_t = b.permute(&[2, 3, 4, 0, 1])?; // [o1,o2,o3, pb, bond]
     let b_rows: Vec<usize> = b_mat_t.shape()[..3].to_vec();
-    let b_dist = DistMatrix::scatter(cluster, &b_mat_t.unfold(3));
+    let b_dist = scatter_site(cluster, &b_mat_t);
 
     // The Gram path can degrade (ill-conditioned spectrum) or reject
     // non-finite inputs; surface either through the tensor error channel.
@@ -164,6 +169,40 @@ pub fn dist_two_site_update(
     peps.set_tensor(site_a, new_a.permute(&invert5(perm_a))?);
     peps.set_tensor(site_b, new_b.permute(&invert5(perm_b))?);
     Ok(err)
+}
+
+/// Place a permuted site tensor `[o1, o2, o3, phys, bond]` as a block-cyclic
+/// distributed tensor with the outer bonds grouped as matricization rows, and
+/// hand back the zero-copy matricization the distributed factorizations
+/// consume.
+///
+/// The matricization is tall and skinny (outer bonds x phys*bond), so the
+/// rows go cyclically over all `P` ranks on a `P x 1` grid — the TSQR-style
+/// layout under which Algorithm 5's Gram product needs only an
+/// `ncols x ncols` allreduce. Spreading the skinny column dimension over a
+/// second grid factor would reintroduce `O(m n)` column reductions and lose
+/// the algorithm's asymptotic advantage; genuinely 2-D layouts are for the
+/// square SUMMA products at the `koala_cluster` layer.
+fn scatter_site(cluster: &Cluster, t: &Tensor) -> DistMatrix {
+    let grid = koala_cluster::ProcGrid::column(cluster.nranks());
+    let m: usize = t.shape()[..3].iter().product();
+    let n: usize = t.shape()[3..].iter().product();
+    let dt = DistTensor::scatter_grouped(
+        cluster,
+        t,
+        &[0, 1, 2, 3, 4],
+        3,
+        grid,
+        cyclic_block(m, grid.rows()),
+        cyclic_block(n, grid.cols()),
+    );
+    dt.unfold_as_dist_matrix(3)
+}
+
+/// Block size giving roughly two cyclic blocks per grid slot, so small site
+/// matricizations still exercise the block-cyclic wrap-around.
+fn cyclic_block(n: usize, parts: usize) -> usize {
+    n.div_ceil(parts * 2).max(1)
 }
 
 /// Apply one layer of TEBD operators (the same two-site gate on every
@@ -344,6 +383,50 @@ mod tests {
             );
             assert!(stats.total_real_macs() > 0, "{}: no real work recorded", variant.label());
         }
+    }
+
+    #[test]
+    fn gram_gate_update_is_gather_free_on_a_2d_grid() {
+        // On a cluster with a genuinely 2-D default grid the Gram-path gate
+        // update must stay distributed end to end: site tensors scatter
+        // block-cyclically, their matricization is a zero-copy view, the Gram
+        // matrix needs one small allreduce, and the recombination GEMMs keep
+        // Q in place — no full-tensor gather, no redistribution. The
+        // gather-QR baseline, by contrast, bills its gathers.
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = Peps::random(2, 2, 2, 3, &mut rng);
+        let gate = entangling_gate();
+
+        let cluster = Cluster::new(4);
+        assert_eq!((cluster.grid().rows(), cluster.grid().cols()), (2, 2));
+        let mut p = base.clone();
+        dist_two_site_update(
+            &cluster,
+            &mut p,
+            &gate,
+            (0, 0),
+            (0, 1),
+            6,
+            DistEvolutionVariant::LocalGramQrSvd,
+        )
+        .unwrap();
+        let stats = cluster.stats();
+        assert_eq!(stats.full_gathers, 0, "Gram path must never gather a full tensor");
+        assert_eq!(stats.redistributions, 0, "matricization is a zero-copy view");
+
+        let cluster2 = Cluster::new(4);
+        let mut p = base.clone();
+        dist_two_site_update(
+            &cluster2,
+            &mut p,
+            &gate,
+            (0, 0),
+            (0, 1),
+            6,
+            DistEvolutionVariant::CtfQrSvd,
+        )
+        .unwrap();
+        assert!(cluster2.stats().full_gathers > 0, "gather-QR baseline bills its gathers");
     }
 
     #[test]
