@@ -6,7 +6,7 @@
 //! a machine-readable perf trajectory from PR 1 onward. Every case seeds its
 //! own RNG from a hash of `(series, label, shape)`, so the `--quick` CI run
 //! and the committed full run factorize/multiply bit-identical matrices —
-//! `check_bench` compares like for like. Three series are emitted:
+//! `check_bench` compares like for like. Four series are emitted:
 //!
 //! * `packed_vs_seed` — the packed split-complex kernel against the seed
 //!   repository's blocked kernel on complex random data (the PR 1 speedup).
@@ -24,6 +24,15 @@
 //!   `effective_gflops` credits each run the same nominal
 //!   `8 * m * n * min(m, n)` flops for solving the same problem, so the
 //!   ratio equals the wall-time speedup and the CI gate can compare runs.
+//! * `threads_scaling` — the packed kernel on the same shape at executor
+//!   thread counts 1/2/4 (`koala_exec::set_threads`), with the wall-time
+//!   speedup over the 1-thread row. The results are honest for the machine
+//!   that ran them: `host_cpus` records how many hardware threads existed,
+//!   and on a 1-CPU container the speedup is expected to sit near 1.0 —
+//!   the series then documents that the task graph adds no overhead, while
+//!   a multi-core host shows the actual scaling. `check_bench` ignores
+//!   this series (it is machine-topology-dependent), it is recorded for
+//!   the perf trajectory only.
 //!
 //! GFLOP/s are derived from the GEMM layer's own work counters
 //! ([`koala_linalg::gemm::flop_counter`] for complex MACs, 8 real flops each,
@@ -254,7 +263,7 @@ fn main() {
         // would re-measure the same computation and double the CI gate's
         // exposure to timing noise on sub-millisecond cases.
         for &threads in &thread_counts[..1] {
-            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            koala_exec::set_threads(threads);
             let (real_s, _, _) = time_best(fact_reps, || run(&real_in));
             let (cplx_s, _, _) = time_best(fact_reps, || run(&cplx_in));
             let nominal = 8.0 * (m * n * m.min(n)) as f64;
@@ -303,14 +312,10 @@ fn main() {
             _ => Matrix::random(case.n, case.k, &mut rng),
         };
         for &threads in &thread_counts {
-            // The local rayon shim re-reads RAYON_NUM_THREADS on every
-            // parallel call, so flipping it mid-process works. The real
-            // rayon crate reads it once at global-pool initialisation — if
-            // the shims are ever swapped back (see ROADMAP), this sweep must
-            // move to per-config child processes or explicit ThreadPools,
-            // or every row after the first will silently reuse the first
-            // pool's thread count.
-            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            // `set_threads` swaps the global executor pool at runtime, so a
+            // single process can sweep thread counts (the old RAYON env-var
+            // dance is gone along with the rayon shim on this path).
+            koala_exec::set_threads(threads);
             let (packed_s, cmacs, rmacs) = time_best(reps, || {
                 std::hint::black_box(gemm(case.opa, case.opb, &a, &b));
             });
@@ -375,7 +380,7 @@ fn main() {
         let b_cplx = Matrix::random(b_rows, b_cols, &mut rng);
         assert!(a_real.is_real() && b_real.is_real());
         for &threads in &thread_counts {
-            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            koala_exec::set_threads(threads);
             let (real_s, real_cm, real_rm) = time_best(reps, || {
                 std::hint::black_box(gemm(case.opa, case.opb, &a_real, &b_real));
             });
@@ -425,13 +430,71 @@ fn main() {
             ]));
         }
     }
-    std::env::remove_var("RAYON_NUM_THREADS");
+    // Executor thread-scaling sweep on one representative shape. The sweep
+    // always includes 1/2/4 so the recorded trajectory is comparable across
+    // hosts; `host_cpus` in the document header says how many of those
+    // threads had their own core (on the 1-CPU CI container all rows time
+    // the same serial hardware and the honest speedup is ~1.0).
+    println!();
+    println!(
+        "{:<18} {:>3} {:>14} {:>9} {:>9} {:>8}",
+        "threads_scaling", "thr", "shape", "packed_s", "GF/s", "vs_1thr"
+    );
+    {
+        let label = "square_512";
+        let (m, k, n) = (512usize, 512, 512);
+        let mut rng = StdRng::seed_from_u64(case_seed("threads_scaling", label, &[m, k, n]));
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let mut serial_s = f64::NAN;
+        let mut sweep: Vec<usize> = vec![1, 2, 4];
+        if all_threads > 4 && !sweep.contains(&all_threads) {
+            sweep.push(all_threads);
+        }
+        for &threads in &sweep {
+            koala_exec::set_threads(threads);
+            let (secs, cmacs, rmacs) = time_best(reps, || {
+                std::hint::black_box(gemm(Op::None, Op::None, &a, &b));
+            });
+            if threads == 1 {
+                serial_s = secs;
+            }
+            let hw_flops = 8.0 * cmacs as f64 + 2.0 * rmacs as f64;
+            let gf = hw_flops / secs / 1e9;
+            let speedup = serial_s / secs;
+            println!(
+                "{:<18} {:>3} {:>14} {:>9.4} {:>9.2} {:>7.2}x",
+                label,
+                threads,
+                format!("{m}x{k}x{n}"),
+                secs,
+                gf,
+                speedup
+            );
+            results.push(JsonValue::object([
+                ("series", JsonValue::str("threads_scaling")),
+                ("label", JsonValue::str(label)),
+                ("m", JsonValue::num(m as f64)),
+                ("k", JsonValue::num(k as f64)),
+                ("n", JsonValue::num(n as f64)),
+                ("opa", JsonValue::str("N")),
+                ("opb", JsonValue::str("N")),
+                ("threads", JsonValue::num(threads as f64)),
+                ("complex_macs", JsonValue::num(cmacs as f64)),
+                ("packed_seconds", JsonValue::num(secs)),
+                ("packed_gflops", JsonValue::num(gf)),
+                ("speedup_vs_1_thread", JsonValue::num(speedup)),
+            ]));
+        }
+    }
+    koala_exec::set_threads(1);
 
     let doc = JsonValue::object([
         ("bench", JsonValue::str("gemm")),
-        ("schema_version", JsonValue::num(3.0)),
+        ("schema_version", JsonValue::num(4.0)),
         ("flop_convention", JsonValue::str("complex MAC = 8 real flops; real MAC = 2 real flops")),
         ("threads_available", JsonValue::num(all_threads as f64)),
+        ("host_cpus", JsonValue::num(all_threads as f64)),
         ("results", JsonValue::Array(results)),
     ]);
     match std::fs::write(&json_path, doc.pretty()) {

@@ -78,11 +78,14 @@
 
 use crate::cluster::Cluster;
 use crate::fault::{corrupt_index, FaultEvent, FaultKind, FaultSite};
-use crate::grid::{refine, Dist1D, ProcGrid};
+use crate::grid::{refine, Dist1D, Panel, ProcGrid};
 use crate::stats::RoundCost;
 use koala_error::{ErrorKind, KoalaError};
+use koala_exec::{TaskGraph, TaskId, TaskKind};
 use koala_linalg::gemm::{gemm_into, gemm_into_real, Op};
 use koala_linalg::{c64, eigh, matmul, matmul_adj_a, Matrix, C64};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Maximum retransmissions of one checksummed transfer before the fault is
 /// declared unrecoverable. Transient faults (the default
@@ -895,178 +898,61 @@ impl DistMatrix {
             })
             .collect();
 
-        for (t, panel) in panels.iter().enumerate() {
-            let mut round = RoundCost {
-                rank_cmacs: vec![0; nranks],
-                rank_rmacs: vec![0; nranks],
-                ..Default::default()
-            };
-            // 1. Panel of A for each grid row: resident (broadcast along the
-            //    row) when opa is None, else the raw depth slice assembled
-            //    from the owning grid row and shipped to the whole row.
-            let a_panels: Vec<Matrix> = (0..p)
-                .map(|r| {
-                    if opa == Op::None {
-                        self.blocks[grid.rank_of(r, panel.a_owner)].submatrix(
-                            0,
-                            panel.a_local,
-                            self.rows.local_len(r),
-                            panel.len,
-                        )
-                    } else {
-                        self.rows_slice_for_part(panel.start, panel.len, &out_rows, r)
-                    }
-                })
-                .collect();
-            for (r, ap) in a_panels.iter().enumerate() {
-                let (receivers, verifiers): (usize, Vec<usize>) = if opa == Op::None {
-                    (
-                        q - 1,
-                        (0..q)
-                            .filter(|&c| c != panel.a_owner)
-                            .map(|c| grid.rank_of(r, c))
-                            .collect(),
-                    )
-                } else {
-                    let recv = if r == panel.a_owner { q - 1 } else { q };
-                    let verif = if recv == 0 {
-                        Vec::new()
-                    } else {
-                        (0..q).map(|c| grid.rank_of(r, c)).collect()
-                    };
-                    (recv, verif)
+        // Fault injection replays a planned event sequence whose decisions
+        // depend on global call order, so an armed fault plan pins the serial
+        // schedule; otherwise a single-threaded pool makes the DAG pure
+        // overhead. Both schedules produce bit-identical blocks and the same
+        // `CommStats`: the round helpers below are shared verbatim, per-rank
+        // accumulation order is fixed by dependency edges, and per-round
+        // costs are pushed to the ledger in round order either way.
+        let pool = koala_exec::pool();
+        if pool.threads() == 1 || self.cluster.faults_armed() {
+            for (t, panel) in panels.iter().enumerate() {
+                let (a_panels, b_panels, comm_elems, messages) =
+                    self.summa_c_round_comm(opa, opb, other, t, *panel, &out_rows, &out_cols)?;
+                let mut round = RoundCost {
+                    comm_elems,
+                    messages,
+                    rank_cmacs: vec![0; nranks],
+                    rank_rmacs: vec![0; nranks],
                 };
-                self.cluster.record_bcast(ap.nrows() * ap.ncols() * receivers, receivers);
-                if receivers > 0 {
-                    round.comm_elems += (ap.nrows() * ap.ncols() * receivers) as u64;
-                    round.messages += receivers as u64;
-                }
-                let sum = column_checksum(ap);
-                self.cluster.record_checksum(sum.len() * verifiers.len());
-                for rank in verifiers {
-                    deliver_checksummed(
-                        &self.cluster,
-                        ap,
-                        &sum,
-                        column_checksum,
-                        FaultSite::SummaPanelA { round: t, rank },
-                        true,
-                    )
-                    .map_err(|e| {
-                        e.context(format!("matmul_dist: SUMMA round {t}, A panel to rank {rank}"))
-                    })?;
-                }
-            }
-            // 2. Panel of B for each grid column — the mirror image.
-            let b_panels: Vec<Matrix> = (0..q)
-                .map(|c| {
-                    if opb == Op::None {
-                        other.blocks[grid.rank_of(panel.b_owner, c)].submatrix(
-                            panel.b_local,
-                            0,
-                            panel.len,
-                            other.cols.local_len(c),
-                        )
-                    } else {
-                        other.cols_slice_for_part(panel.start, panel.len, &out_cols, c)
-                    }
-                })
-                .collect();
-            for (c, bp) in b_panels.iter().enumerate() {
-                let (receivers, verifiers): (usize, Vec<usize>) = if opb == Op::None {
-                    (
-                        p - 1,
-                        (0..p)
-                            .filter(|&r| r != panel.b_owner)
-                            .map(|r| grid.rank_of(r, c))
-                            .collect(),
-                    )
-                } else {
-                    let recv = if c == panel.b_owner { p - 1 } else { p };
-                    let verif = if recv == 0 {
-                        Vec::new()
-                    } else {
-                        (0..p).map(|r| grid.rank_of(r, c)).collect()
-                    };
-                    (recv, verif)
-                };
-                self.cluster.record_bcast(bp.nrows() * bp.ncols() * receivers, receivers);
-                if receivers > 0 {
-                    round.comm_elems += (bp.nrows() * bp.ncols() * receivers) as u64;
-                    round.messages += receivers as u64;
-                }
-                let sum = row_checksum(bp);
-                self.cluster.record_checksum(sum.len() * verifiers.len());
-                for rank in verifiers {
-                    deliver_checksummed(
-                        &self.cluster,
-                        bp,
-                        &sum,
-                        row_checksum,
-                        FaultSite::SummaPanelB { round: t, rank },
-                        true,
-                    )
-                    .map_err(|e| {
-                        e.context(format!("matmul_dist: SUMMA round {t}, B panel to rank {rank}"))
-                    })?;
-                }
-            }
-            // 3. Local rank-kb update on every rank through the packed GEMM,
-            //    with the ops fused into the packing step.
-            for r in 0..p {
-                for c in 0..q {
-                    let rank = grid.rank_of(r, c);
-                    let (m_loc, n_loc) = out_blocks[rank].shape();
-                    if m_loc == 0 || n_loc == 0 {
-                        continue;
-                    }
-                    let (ap, bp) = (&a_panels[r], &b_panels[c]);
-                    // A planned rank failure strikes here: the restarted rank
-                    // has lost the round's panels and re-fetches both (plus
-                    // their checksum vectors) before redoing its accumulation.
-                    if self
-                        .cluster
-                        .fault_decision(FaultSite::SummaCompute { round: t, rank }, 0)
-                        .is_some()
-                    {
-                        let refetch = ap.nrows() * ap.ncols()
-                            + bp.nrows() * bp.ncols()
-                            + ap.ncols()
-                            + bp.nrows();
-                        self.cluster.record_retry(refetch);
-                        koala_error::recovery::note_summa_round_retry();
-                    }
-                    let real = ap.is_real() && bp.is_real();
-                    let macs = (m_loc * n_loc * panel.len) as u64;
-                    self.cluster.record_macs(rank, macs, real);
-                    if real {
-                        round.rank_rmacs[rank] += macs;
-                        gemm_into_real(
+                for r in 0..p {
+                    for c in 0..q {
+                        let rank = grid.rank_of(r, c);
+                        let (m_loc, n_loc) = out_blocks[rank].shape();
+                        if m_loc == 0 || n_loc == 0 {
+                            continue;
+                        }
+                        let (macs, real) = self.summa_c_rank_update(
                             opa,
                             opb,
-                            m_loc,
-                            n_loc,
-                            panel.len,
-                            ap.data(),
-                            bp.data(),
-                            out_blocks[rank].data_mut(),
+                            t,
+                            *panel,
+                            rank,
+                            &a_panels[r],
+                            &b_panels[c],
+                            &mut out_blocks[rank],
                         );
-                    } else {
-                        round.rank_cmacs[rank] += macs;
-                        gemm_into(
-                            opa,
-                            opb,
-                            m_loc,
-                            n_loc,
-                            panel.len,
-                            ap.data(),
-                            bp.data(),
-                            out_blocks[rank].data_mut(),
-                        );
+                        if real {
+                            round.rank_rmacs[rank] += macs;
+                        } else {
+                            round.rank_cmacs[rank] += macs;
+                        }
                     }
                 }
+                self.cluster.record_round(round);
             }
-            self.cluster.record_round(round);
+        } else {
+            self.summa_c_rounds_dag(
+                &pool,
+                opa,
+                opb,
+                other,
+                &panels,
+                &out_rows,
+                &out_cols,
+                &mut out_blocks,
+            )?;
         }
         if all_real {
             // The real kernel only ever wrote real parts into zeroed blocks.
@@ -1081,6 +967,304 @@ impl DistMatrix {
             cols: out_cols,
             blocks: out_blocks,
         })
+    }
+
+    /// Communication phase of one stationary-C round: build the A panel for
+    /// each grid row and the B panel for each grid column (resident
+    /// broadcast when the op is `None`, assembled raw depth slice
+    /// otherwise), bill the broadcasts and Huang–Abraham checksums, and run
+    /// the checksummed deliveries. Returns the panels plus the round's
+    /// fault-free payload volume and message count for the
+    /// [`RoundCost`] ledger. Shared verbatim by the serial round loop and
+    /// the task-graph schedule so both bill the `CommStats` identically.
+    #[allow(clippy::too_many_arguments)]
+    fn summa_c_round_comm(
+        &self,
+        opa: Op,
+        opb: Op,
+        other: &DistMatrix,
+        t: usize,
+        panel: Panel,
+        out_rows: &Dist1D,
+        out_cols: &Dist1D,
+    ) -> crate::Result<(Vec<Matrix>, Vec<Matrix>, u64, u64)> {
+        let grid = self.grid;
+        let (p, q) = (grid.rows(), grid.cols());
+        let mut comm_elems = 0u64;
+        let mut messages = 0u64;
+        // 1. Panel of A for each grid row: resident (broadcast along the
+        //    row) when opa is None, else the raw depth slice assembled
+        //    from the owning grid row and shipped to the whole row.
+        let a_panels: Vec<Matrix> = (0..p)
+            .map(|r| {
+                if opa == Op::None {
+                    self.blocks[grid.rank_of(r, panel.a_owner)].submatrix(
+                        0,
+                        panel.a_local,
+                        self.rows.local_len(r),
+                        panel.len,
+                    )
+                } else {
+                    self.rows_slice_for_part(panel.start, panel.len, out_rows, r)
+                }
+            })
+            .collect();
+        for (r, ap) in a_panels.iter().enumerate() {
+            let (receivers, verifiers): (usize, Vec<usize>) = if opa == Op::None {
+                (
+                    q - 1,
+                    (0..q).filter(|&c| c != panel.a_owner).map(|c| grid.rank_of(r, c)).collect(),
+                )
+            } else {
+                let recv = if r == panel.a_owner { q - 1 } else { q };
+                let verif = if recv == 0 {
+                    Vec::new()
+                } else {
+                    (0..q).map(|c| grid.rank_of(r, c)).collect()
+                };
+                (recv, verif)
+            };
+            self.cluster.record_bcast(ap.nrows() * ap.ncols() * receivers, receivers);
+            if receivers > 0 {
+                comm_elems += (ap.nrows() * ap.ncols() * receivers) as u64;
+                messages += receivers as u64;
+            }
+            let sum = column_checksum(ap);
+            self.cluster.record_checksum(sum.len() * verifiers.len());
+            for rank in verifiers {
+                deliver_checksummed(
+                    &self.cluster,
+                    ap,
+                    &sum,
+                    column_checksum,
+                    FaultSite::SummaPanelA { round: t, rank },
+                    true,
+                )
+                .map_err(|e| {
+                    e.context(format!("matmul_dist: SUMMA round {t}, A panel to rank {rank}"))
+                })?;
+            }
+        }
+        // 2. Panel of B for each grid column — the mirror image.
+        let b_panels: Vec<Matrix> = (0..q)
+            .map(|c| {
+                if opb == Op::None {
+                    other.blocks[grid.rank_of(panel.b_owner, c)].submatrix(
+                        panel.b_local,
+                        0,
+                        panel.len,
+                        other.cols.local_len(c),
+                    )
+                } else {
+                    other.cols_slice_for_part(panel.start, panel.len, out_cols, c)
+                }
+            })
+            .collect();
+        for (c, bp) in b_panels.iter().enumerate() {
+            let (receivers, verifiers): (usize, Vec<usize>) = if opb == Op::None {
+                (
+                    p - 1,
+                    (0..p).filter(|&r| r != panel.b_owner).map(|r| grid.rank_of(r, c)).collect(),
+                )
+            } else {
+                let recv = if c == panel.b_owner { p - 1 } else { p };
+                let verif = if recv == 0 {
+                    Vec::new()
+                } else {
+                    (0..p).map(|r| grid.rank_of(r, c)).collect()
+                };
+                (recv, verif)
+            };
+            self.cluster.record_bcast(bp.nrows() * bp.ncols() * receivers, receivers);
+            if receivers > 0 {
+                comm_elems += (bp.nrows() * bp.ncols() * receivers) as u64;
+                messages += receivers as u64;
+            }
+            let sum = row_checksum(bp);
+            self.cluster.record_checksum(sum.len() * verifiers.len());
+            for rank in verifiers {
+                deliver_checksummed(
+                    &self.cluster,
+                    bp,
+                    &sum,
+                    row_checksum,
+                    FaultSite::SummaPanelB { round: t, rank },
+                    true,
+                )
+                .map_err(|e| {
+                    e.context(format!("matmul_dist: SUMMA round {t}, B panel to rank {rank}"))
+                })?;
+            }
+        }
+        Ok((a_panels, b_panels, comm_elems, messages))
+    }
+
+    /// One rank's local rank-`kb` update for one stationary-C round through
+    /// the packed GEMM, with the ops fused into the packing step. Bills the
+    /// rank's MACs (and any planned compute-fault refetch) to the cluster
+    /// and returns `(macs, real)` for the caller's [`RoundCost`]. Shared by
+    /// the serial loop and the task-graph schedule.
+    #[allow(clippy::too_many_arguments)]
+    fn summa_c_rank_update(
+        &self,
+        opa: Op,
+        opb: Op,
+        t: usize,
+        panel: Panel,
+        rank: usize,
+        ap: &Matrix,
+        bp: &Matrix,
+        out: &mut Matrix,
+    ) -> (u64, bool) {
+        let (m_loc, n_loc) = out.shape();
+        // A planned rank failure strikes here: the restarted rank has lost
+        // the round's panels and re-fetches both (plus their checksum
+        // vectors) before redoing its accumulation.
+        if self.cluster.fault_decision(FaultSite::SummaCompute { round: t, rank }, 0).is_some() {
+            let refetch =
+                ap.nrows() * ap.ncols() + bp.nrows() * bp.ncols() + ap.ncols() + bp.nrows();
+            self.cluster.record_retry(refetch);
+            koala_error::recovery::note_summa_round_retry();
+        }
+        let real = ap.is_real() && bp.is_real();
+        let macs = (m_loc * n_loc * panel.len) as u64;
+        self.cluster.record_macs(rank, macs, real);
+        if real {
+            gemm_into_real(opa, opb, m_loc, n_loc, panel.len, ap.data(), bp.data(), out.data_mut());
+        } else {
+            gemm_into(opa, opb, m_loc, n_loc, panel.len, ap.data(), bp.data(), out.data_mut());
+        }
+        (macs, real)
+    }
+
+    /// Overlapped stationary-C schedule on the task-graph executor: one
+    /// [`TaskKind::Comm`] task per round, chained `t -> t + 1` so every
+    /// `CommStats` billing call runs in the exact serial order, and one
+    /// [`TaskKind::Gemm`] task per `(round, rank)` depending on its round's
+    /// comm task and the same rank's previous update. The per-rank chain
+    /// fixes the depth-panel accumulation order, so output blocks are
+    /// bit-identical to the serial loop at any thread count; what the
+    /// executor buys is round `t + 1`'s panel broadcasts running while round
+    /// `t`'s local GEMMs are still in flight — the same overlap
+    /// [`crate::CostModel::modelled_time_overlap`] prices. Per-round costs
+    /// land in atomic slots and are appended to the ledger in round order
+    /// afterwards, so [`crate::CommStats::rounds`] is identical to a
+    /// serialized run's.
+    #[allow(clippy::too_many_arguments)]
+    fn summa_c_rounds_dag(
+        &self,
+        pool: &koala_exec::Pool,
+        opa: Op,
+        opb: Op,
+        other: &DistMatrix,
+        panels: &[Panel],
+        out_rows: &Dist1D,
+        out_cols: &Dist1D,
+        out_blocks: &mut [Matrix],
+    ) -> crate::Result<()> {
+        struct RoundSlot {
+            comm_elems: AtomicU64,
+            messages: AtomicU64,
+            cmacs: Vec<AtomicU64>,
+            rmacs: Vec<AtomicU64>,
+        }
+        // Raw base pointer to the per-rank output blocks. Each compute task
+        // dereferences only `base + rank`; tasks sharing a rank are chained
+        // by dependency edges and distinct ranks address distinct `Matrix`
+        // values, so every dereference is exclusive for its task's duration.
+        #[derive(Clone, Copy)]
+        struct BlockBase(*mut Matrix);
+        unsafe impl Send for BlockBase {}
+        unsafe impl Sync for BlockBase {}
+        impl BlockBase {
+            /// Pointer to rank `rank`'s block. Taking `self` by value makes
+            /// closures capture the `Send` wrapper, not the raw field.
+            fn rank_ptr(self, rank: usize) -> *mut Matrix {
+                // SAFETY: `rank < nranks` and the base points at a live
+                // `[Matrix; nranks]` slice for the whole graph run.
+                unsafe { self.0.add(rank) }
+            }
+        }
+
+        let grid = self.grid;
+        let (p, q) = (grid.rows(), grid.cols());
+        let nranks = grid.nranks();
+        let slots: Vec<RoundSlot> = (0..panels.len())
+            .map(|_| RoundSlot {
+                comm_elems: AtomicU64::new(0),
+                messages: AtomicU64::new(0),
+                cmacs: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+                rmacs: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            })
+            .collect();
+        let panel_data: Vec<OnceLock<(Vec<Matrix>, Vec<Matrix>)>> =
+            (0..panels.len()).map(|_| OnceLock::new()).collect();
+        let base = BlockBase(out_blocks.as_mut_ptr());
+
+        let mut graph = TaskGraph::new();
+        let mut prev_comm: Option<TaskId> = None;
+        let mut prev_gemm: Vec<Option<TaskId>> = vec![None; nranks];
+        for (t, panel) in panels.iter().copied().enumerate() {
+            let slot = &slots[t];
+            let cell = &panel_data[t];
+            let comm_deps: Vec<TaskId> = prev_comm.into_iter().collect();
+            let comm_id = graph.add(TaskKind::Comm, &comm_deps, move || {
+                let (a_panels, b_panels, comm_elems, messages) =
+                    self.summa_c_round_comm(opa, opb, other, t, panel, out_rows, out_cols)?;
+                slot.comm_elems.store(comm_elems, Ordering::Relaxed);
+                slot.messages.store(messages, Ordering::Relaxed);
+                let _ = cell.set((a_panels, b_panels));
+                Ok(())
+            });
+            prev_comm = Some(comm_id);
+            for r in 0..p {
+                for c in 0..q {
+                    let rank = grid.rank_of(r, c);
+                    if out_rows.local_len(r) == 0 || out_cols.local_len(c) == 0 {
+                        continue;
+                    }
+                    let mut deps = vec![comm_id];
+                    if let Some(prev) = prev_gemm[rank] {
+                        deps.push(prev);
+                    }
+                    let id = graph.add(TaskKind::Gemm, &deps, move || {
+                        let (a_panels, b_panels) = cell.get().ok_or_else(|| {
+                            KoalaError::new(
+                                ErrorKind::InvalidArgument,
+                                format!("SUMMA round {t}: panels missing for compute task"),
+                            )
+                        })?;
+                        // SAFETY: see `BlockBase` — the per-rank dependency
+                        // chain makes this borrow exclusive.
+                        let out = unsafe { &mut *base.rank_ptr(rank) };
+                        let (macs, real) = self.summa_c_rank_update(
+                            opa,
+                            opb,
+                            t,
+                            panel,
+                            rank,
+                            &a_panels[r],
+                            &b_panels[c],
+                            out,
+                        );
+                        let ctr = if real { &slot.rmacs[rank] } else { &slot.cmacs[rank] };
+                        ctr.fetch_add(macs, Ordering::Relaxed);
+                        Ok(())
+                    });
+                    prev_gemm[rank] = Some(id);
+                }
+            }
+        }
+        graph.run_on(pool)?;
+        for slot in &slots {
+            self.cluster.record_round(RoundCost {
+                comm_elems: slot.comm_elems.load(Ordering::Relaxed),
+                messages: slot.messages.load(Ordering::Relaxed),
+                rank_cmacs: slot.cmacs.iter().map(|m| m.load(Ordering::Relaxed)).collect(),
+                rank_rmacs: slot.rmacs.iter().map(|m| m.load(Ordering::Relaxed)).collect(),
+            });
+        }
+        Ok(())
     }
 
     /// Stationary-A SUMMA: `C = A * opB(B)` with `A` resident. Rounds

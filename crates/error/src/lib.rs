@@ -34,6 +34,10 @@ pub enum ErrorKind {
     InvalidArgument,
     /// An I/O or serialization problem (bench baselines, checkpoints, ...).
     Io,
+    /// A task running on the executor panicked (caught and converted).
+    TaskPanic,
+    /// A task-graph run was cancelled before completion.
+    Cancelled,
 }
 
 impl fmt::Display for ErrorKind {
@@ -47,6 +51,8 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Exhausted => "exhausted",
             ErrorKind::InvalidArgument => "invalid-argument",
             ErrorKind::Io => "io",
+            ErrorKind::TaskPanic => "task-panic",
+            ErrorKind::Cancelled => "cancelled",
         };
         f.write_str(name)
     }

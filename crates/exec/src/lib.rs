@@ -1,0 +1,654 @@
+//! Work-stealing task-graph executor for the koala-rs hot paths.
+//!
+//! The shared-memory layer expresses its parallel work — packing panels,
+//! GEMM macro-tiles, einsum plan steps, SUMMA rounds — as DAGs of typed
+//! tasks with declared dependencies, and this crate runs them:
+//!
+//! - A [`Pool`] of persistent workers with per-worker deques and a shared
+//!   injector queue. A pool of `n` threads spawns `n - 1` workers; the
+//!   thread that calls [`TaskGraph::run_on`] is the n-th compute thread, so
+//!   `n = 1` means *fully serial, inline, on the caller* — no workers, no
+//!   queues, a plain topological FIFO walk. That serial walk is the
+//!   reference order every parallel schedule must reproduce bit-for-bit.
+//! - [`TaskGraph`] collects tasks (`FnOnce() -> Result<(), KoalaError>`
+//!   closures that may borrow caller data) plus dependency edges, then
+//!   [`TaskGraph::run`]s them. `run` blocks until every closure has been
+//!   executed or dropped, which is what makes the borrow sound.
+//!
+//! # Determinism contract
+//!
+//! The executor makes **no** ordering promises beyond the dependency
+//! edges; schedules differ run to run and thread count to thread count.
+//! Callers therefore get bit-identical results by construction, not by
+//! scheduling: every task writes a disjoint output region, and every
+//! floating-point *accumulation* chain is expressed as a dependency chain
+//! (task `k+1` of a reduction depends on task `k`), so the arithmetic
+//! order is fixed by the graph no matter which thread runs which task.
+//! Order-independent billing (MAC/byte counters) uses atomic adds, whose
+//! integer sums are exact under any interleaving.
+//!
+//! # Failure model
+//!
+//! A task that returns `Err` or panics cancels the run: in-flight tasks
+//! finish, every not-yet-started closure is dropped without running, and
+//! `run` returns the first error (panics are converted to
+//! [`ErrorKind::TaskPanic`]). A [`CancelToken`] does the same on demand
+//! with [`ErrorKind::Cancelled`]. The pool itself never dies with a run:
+//! workers catch unwinds, so a poisoned run leaves no orphaned threads
+//! and the next `run` on the same pool starts clean.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use koala_error::{ErrorKind, KoalaError};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::Duration;
+
+/// Lock a mutex, recovering the guard from a poisoned lock. Task panics are
+/// caught before they can poison executor state, so poisoning here can only
+/// come from a panic in the executor itself; the counters and queues remain
+/// structurally valid either way.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// What a task *is*, for diagnostics and error context. The executor does
+/// not dispatch on this — it exists so a failed run can say "GEMM tile task
+/// 17 panicked" instead of "task 17 panicked".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Pack an operand panel into the kernel's blocked layout.
+    Pack,
+    /// One GEMM macro-tile (a fixed-order slice of an accumulation chain).
+    Gemm,
+    /// A reduction step (deterministic order comes from dependency edges).
+    Reduce,
+    /// An axis permutation / layout move.
+    Permute,
+    /// Communication (panel broadcast, checksum, delivery) in the cluster.
+    Comm,
+    /// One einsum plan step (a pairwise contraction).
+    Step,
+    /// Anything else.
+    Other,
+}
+
+impl TaskKind {
+    fn name(self) -> &'static str {
+        match self {
+            TaskKind::Pack => "pack",
+            TaskKind::Gemm => "gemm",
+            TaskKind::Reduce => "reduce",
+            TaskKind::Permute => "permute",
+            TaskKind::Comm => "comm",
+            TaskKind::Step => "step",
+            TaskKind::Other => "task",
+        }
+    }
+}
+
+/// Result type tasks return.
+pub type TaskResult = Result<(), KoalaError>;
+
+/// Opaque handle to a task within one [`TaskGraph`]; used to declare
+/// dependencies. Only valid for the graph that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskId(usize);
+
+/// Cooperative cancellation handle for a run. Cloneable; `cancel()` makes
+/// the associated run drop every not-yet-started task and return
+/// [`ErrorKind::Cancelled`] once in-flight tasks finish.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation of any run holding this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+type BoxedTask<'env> = Box<dyn FnOnce() -> TaskResult + Send + 'env>;
+
+struct TaskNode<'env> {
+    run: BoxedTask<'env>,
+    kind: TaskKind,
+    deps: Vec<usize>,
+}
+
+/// A DAG of tasks under construction. Tasks may borrow from the caller's
+/// stack (`'env`); `run`/`run_on` block until every closure has been
+/// executed or dropped, so the borrows stay sound.
+///
+/// Cycles are unrepresentable: dependencies are [`TaskId`]s, which only
+/// exist for tasks already added, so every edge points backwards.
+#[derive(Default)]
+pub struct TaskGraph<'env> {
+    tasks: Vec<TaskNode<'env>>,
+    cancel: Option<CancelToken>,
+}
+
+impl<'env> TaskGraph<'env> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph { tasks: Vec::new(), cancel: None }
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Add a task that runs after every task in `deps`. Duplicate entries
+    /// in `deps` are permitted (each occurrence is one edge; the task still
+    /// runs exactly once, after the dependency).
+    pub fn add<F>(&mut self, kind: TaskKind, deps: &[TaskId], f: F) -> TaskId
+    where
+        F: FnOnce() -> TaskResult + Send + 'env,
+    {
+        debug_assert!(deps.iter().all(|d| d.0 < self.tasks.len()), "dependency on unknown task");
+        let id = self.tasks.len();
+        self.tasks.push(TaskNode {
+            run: Box::new(f),
+            kind,
+            deps: deps.iter().map(|d| d.0).collect(),
+        });
+        TaskId(id)
+    }
+
+    /// Attach a cancellation token checked before each task starts.
+    pub fn set_cancel_token(&mut self, token: &CancelToken) {
+        self.cancel = Some(token.clone());
+    }
+
+    /// Run the graph on the process-global pool (see [`pool`]).
+    pub fn run(self) -> TaskResult {
+        self.run_on(&pool())
+    }
+
+    /// Run the graph on a specific pool. Blocks until the run completes,
+    /// fails, or is cancelled; the calling thread executes tasks too.
+    pub fn run_on(self, pool: &Pool) -> TaskResult {
+        if self.tasks.is_empty() {
+            return Ok(());
+        }
+        let n = self.tasks.len();
+        let mut pending = Vec::with_capacity(n);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut kinds = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
+        for (i, node) in self.tasks.into_iter().enumerate() {
+            pending.push(AtomicUsize::new(node.deps.len()));
+            for &d in &node.deps {
+                dependents[d].push(i);
+            }
+            kinds.push(node.kind);
+            // SAFETY: lifetime erasure. The closure may borrow `'env` data,
+            // but `RunState` never outlives this call with a live closure in
+            // it: the loops below only return once `done == total`, and
+            // `done` is bumped for a task strictly after its closure has
+            // been executed or dropped. Stale queue entries that survive
+            // the run hold only `(Arc<RunState>, usize)` — the closure slot
+            // they point at is already empty.
+            let erased: BoxedTask<'static> = unsafe { std::mem::transmute(node.run) };
+            slots.push(Mutex::new(Some(erased)));
+        }
+        let state = Arc::new(RunState {
+            slots,
+            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            pending,
+            dependents,
+            kinds,
+            done: AtomicUsize::new(0),
+            total: n,
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+            cancel: self.cancel,
+            monitor: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+
+        if pool.shared.threads == 1 {
+            run_serial(&state);
+        } else {
+            run_parallel(&state, &pool.shared);
+        }
+        debug_assert_eq!(state.done.load(Ordering::Acquire), n);
+
+        if let Some(e) = lock(&state.error).take() {
+            return Err(e);
+        }
+        if state.was_cancelled() {
+            return Err(KoalaError::new(ErrorKind::Cancelled, "task graph run cancelled"));
+        }
+        Ok(())
+    }
+}
+
+/// Shared state of one `run`: closure slots, dependency counters, and the
+/// completion monitor. Queue entries reference tasks as `(Arc<RunState>,
+/// index)`; the `claimed` flags guarantee each task is executed (or, on a
+/// failed/cancelled run, dropped) exactly once no matter how many queue
+/// entries or drain passes race for it.
+struct RunState {
+    slots: Vec<Mutex<Option<BoxedTask<'static>>>>,
+    claimed: Vec<AtomicBool>,
+    pending: Vec<AtomicUsize>,
+    dependents: Vec<Vec<usize>>,
+    kinds: Vec<TaskKind>,
+    done: AtomicUsize,
+    total: usize,
+    failed: AtomicBool,
+    error: Mutex<Option<KoalaError>>,
+    cancel: Option<CancelToken>,
+    monitor: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl RunState {
+    fn was_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// True once the run should stop starting new tasks.
+    fn aborting(&self) -> bool {
+        self.failed.load(Ordering::Acquire) || self.was_cancelled()
+    }
+
+    /// Claim the exclusive right to execute (or drop) task `idx`.
+    fn claim(&self, idx: usize) -> bool {
+        !self.claimed[idx].swap(true, Ordering::AcqRel)
+    }
+
+    fn record_error(&self, e: KoalaError) {
+        let mut slot = lock(&self.error);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        drop(slot);
+        self.failed.store(true, Ordering::Release);
+    }
+}
+
+/// Execute (or, on an aborting run, drop) an already-claimed task, then
+/// release its dependents. `enqueue` receives each newly-ready task index.
+fn execute_claimed(state: &Arc<RunState>, idx: usize, mut enqueue: impl FnMut(usize)) {
+    if let Some(f) = lock(&state.slots[idx]).take() {
+        if state.aborting() {
+            drop(f);
+        } else {
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    state.record_error(e.context(format!("{} task {idx}", state.kinds[idx].name())))
+                }
+                // `&*payload`, not `&payload`: coercing `&Box<dyn Any>` to
+                // `&dyn Any` would wrap the *box* and defeat the downcast.
+                Err(payload) => state.record_error(
+                    KoalaError::new(ErrorKind::TaskPanic, panic_message(&*payload))
+                        .context(format!("{} task {idx}", state.kinds[idx].name())),
+                ),
+            }
+        }
+    }
+    for &dep in &state.dependents[idx] {
+        if state.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+            enqueue(dep);
+        }
+    }
+    state.done.fetch_add(1, Ordering::AcqRel);
+    // Lock-then-notify pairs with the monitor-guarded `done` check in the
+    // caller's wait loop, so a completion can never slip between its check
+    // and its wait (no lost wakeup).
+    let _g = lock(&state.monitor);
+    state.done_cv.notify_all();
+}
+
+/// Drop every not-yet-claimed closure of an aborting run so `done` reaches
+/// `total` even though their dependencies will never complete. Claiming
+/// makes this idempotent and safe against racing workers.
+fn drain_aborted(state: &Arc<RunState>) {
+    for idx in 0..state.total {
+        if state.claim(idx) {
+            execute_claimed(state, idx, |_| {});
+        }
+    }
+}
+
+/// The `threads == 1` path: a plain topological FIFO walk on the calling
+/// thread. Seeds ready tasks in id order and releases dependents in id
+/// order, which is the reference schedule parallel runs must match
+/// bit-for-bit (they do, because accumulation order is fixed by edges, not
+/// by schedule).
+fn run_serial(state: &Arc<RunState>) {
+    let mut ready: VecDeque<usize> =
+        (0..state.total).filter(|&i| state.pending[i].load(Ordering::Acquire) == 0).collect();
+    while let Some(idx) = ready.pop_front() {
+        if state.claim(idx) {
+            execute_claimed(state, idx, |dep| ready.push_back(dep));
+        }
+    }
+    if state.done.load(Ordering::Acquire) < state.total {
+        // A failure/cancellation left tasks whose dependencies never
+        // completed; drop their closures.
+        drain_aborted(state);
+    }
+}
+
+/// The parallel path: seed ready tasks into the pool's injector, then work
+/// alongside the pool's workers until the run completes. The caller only
+/// executes tasks of *its own* run — that restriction is what makes nested
+/// runs (a task that itself builds and runs a graph) deadlock-free: every
+/// blocked `run_on` call makes progress on its own graph even if all pool
+/// workers are busy elsewhere.
+fn run_parallel(state: &Arc<RunState>, shared: &Arc<Shared>) {
+    let seeds: Vec<usize> =
+        (0..state.total).filter(|&i| state.pending[i].load(Ordering::Acquire) == 0).collect();
+    shared.push_many(state, &seeds);
+    loop {
+        if let Some(idx) = shared.pop_for(state) {
+            if state.claim(idx) {
+                let enqueue = |dep| shared.push_many(state, &[dep]);
+                execute_claimed(state, idx, enqueue);
+            }
+            continue;
+        }
+        if state.aborting() && state.done.load(Ordering::Acquire) < state.total {
+            drain_aborted(state);
+            continue;
+        }
+        let g = lock(&state.monitor);
+        if state.done.load(Ordering::Acquire) >= state.total {
+            break;
+        }
+        // The timeout is a safety net only; completion always notifies.
+        let (_g, _timeout) = state
+            .done_cv
+            .wait_timeout(g, Duration::from_millis(10))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+type Job = (Arc<RunState>, usize);
+
+/// State shared between a pool's workers and every thread running a graph
+/// on it.
+struct Shared {
+    /// Logical thread count (workers + the calling thread).
+    threads: usize,
+    /// Global FIFO queue; callers seed here, workers take from the front.
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker deques: the owner pushes/pops the back (LIFO keeps the
+    /// working set hot), thieves and callers steal from the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs currently sitting in any queue (wake-up hint, not a lock).
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl Shared {
+    fn push_many(self: &Arc<Self>, state: &Arc<RunState>, idxs: &[usize]) {
+        if idxs.is_empty() {
+            return;
+        }
+        self.queued.fetch_add(idxs.len(), Ordering::AcqRel);
+        {
+            let mut inj = lock(&self.injector);
+            for &i in idxs {
+                inj.push_back((Arc::clone(state), i));
+            }
+        }
+        let _g = lock(&self.idle);
+        if idxs.len() == 1 {
+            self.idle_cv.notify_one();
+        } else {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Pop any job (worker side): own deque back, injector front, then
+    /// steal from the front of the other deques.
+    fn pop_any(&self, worker: usize) -> Option<Job> {
+        if let Some(job) = lock(&self.deques[worker]).pop_back() {
+            self.queued.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            self.queued.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        for (i, dq) in self.deques.iter().enumerate() {
+            if i == worker {
+                continue;
+            }
+            if let Some(job) = lock(dq).pop_front() {
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Pop a job belonging to `state` (caller side): front of the injector
+    /// first, then the front of each worker deque. Callers never execute
+    /// other runs' tasks — see [`run_parallel`].
+    fn pop_for(&self, state: &Arc<RunState>) -> Option<usize> {
+        let take = |dq: &Mutex<VecDeque<Job>>| -> Option<usize> {
+            let mut q = lock(dq);
+            let pos = q.iter().position(|(s, _)| Arc::ptr_eq(s, state))?;
+            let (_, idx) = q.remove(pos)?;
+            Some(idx)
+        };
+        if let Some(idx) = take(&self.injector) {
+            self.queued.fetch_sub(1, Ordering::AcqRel);
+            return Some(idx);
+        }
+        for dq in &self.deques {
+            if let Some(idx) = take(dq) {
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some((state, idx)) = shared.pop_any(me) {
+            if state.claim(idx) {
+                let enqueue = |dep| {
+                    // Keep dependents local: the data they touch is hot in
+                    // this worker's cache; thieves take them if it stalls.
+                    shared.queued.fetch_add(1, Ordering::AcqRel);
+                    lock(&shared.deques[me]).push_back((Arc::clone(&state), dep));
+                    let _g = lock(&shared.idle);
+                    shared.idle_cv.notify_one();
+                };
+                execute_claimed(&state, idx, enqueue);
+            }
+            continue;
+        }
+        let g = lock(&shared.idle);
+        if shared.shutdown.load(Ordering::Acquire) || shared.queued.load(Ordering::Acquire) > 0 {
+            continue;
+        }
+        let (_g, _t) = shared
+            .idle_cv
+            .wait_timeout(g, Duration::from_millis(50))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// A fixed-size executor: `threads - 1` persistent workers plus the thread
+/// that calls [`TaskGraph::run_on`]. Dropping the pool shuts the workers
+/// down and joins them.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Build a pool with `threads` compute threads (min 1). `threads == 1`
+    /// spawns no workers at all; graphs run inline on the caller.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let n_workers = threads - 1;
+        let shared = Arc::new(Shared {
+            threads,
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..n_workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let sh = Arc::clone(&shared);
+            let builder = thread::Builder::new().name(format!("koala-exec-{i}"));
+            if let Ok(handle) = builder.spawn(move || worker_loop(sh, i)) {
+                workers.push(handle);
+            }
+            // A failed spawn (resource exhaustion) degrades capacity but
+            // not correctness: the caller thread still drives every run.
+        }
+        Pool { shared, workers }
+    }
+
+    /// The logical thread count (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = lock(&self.shared.idle);
+            self.shared.idle_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: Mutex<Option<Arc<Pool>>> = Mutex::new(None);
+
+/// The process-global pool, built on first use with [`default_threads`]
+/// threads. [`set_threads`] replaces it at runtime.
+pub fn pool() -> Arc<Pool> {
+    let mut g = lock(&GLOBAL);
+    Arc::clone(g.get_or_insert_with(|| Arc::new(Pool::new(default_threads()))))
+}
+
+/// Replace the global pool with one of `n` compute threads (min 1). Runs
+/// already in flight keep their pool alive until they finish; new runs use
+/// the new pool. Tests use this to sweep thread counts within one process.
+pub fn set_threads(n: usize) {
+    *lock(&GLOBAL) = Some(Arc::new(Pool::new(n.max(1))));
+}
+
+/// Compute-thread count of the global pool (hot-path dispatch reads this
+/// to decide serial vs task-graph execution).
+pub fn threads() -> usize {
+    pool().threads()
+}
+
+/// Thread count used for the global pool when nothing has called
+/// [`set_threads`]: `KOALA_EXEC_THREADS` if set, else `RAYON_NUM_THREADS`
+/// (continuity with the shim the executor replaces), else the host's
+/// available parallelism, clamped to `1..=64`.
+pub fn default_threads() -> usize {
+    let env = std::env::var("KOALA_EXEC_THREADS")
+        .ok()
+        .or_else(|| std::env::var("RAYON_NUM_THREADS").ok())
+        .and_then(|v| v.parse::<usize>().ok());
+    let n = env.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    });
+    n.clamp(1, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_graph_is_ok() {
+        assert!(TaskGraph::new().run_on(&Pool::new(1)).is_ok());
+        assert!(TaskGraph::new().run_on(&Pool::new(4)).is_ok());
+    }
+
+    #[test]
+    fn dependency_chain_orders_side_effects() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let log = Mutex::new(Vec::new());
+            let mut g = TaskGraph::new();
+            let mut prev: Option<TaskId> = None;
+            for i in 0..32usize {
+                let deps: Vec<TaskId> = prev.into_iter().collect();
+                let log = &log;
+                prev = Some(g.add(TaskKind::Reduce, &deps, move || {
+                    log.lock().unwrap().push(i);
+                    Ok(())
+                }));
+            }
+            g.run_on(&pool).unwrap();
+            assert_eq!(*log.lock().unwrap(), (0..32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn counters_sum_exactly() {
+        let pool = Pool::new(4);
+        let sum = AtomicU64::new(0);
+        let mut g = TaskGraph::new();
+        for i in 0..100u64 {
+            let sum = &sum;
+            g.add(TaskKind::Other, &[], move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+                Ok(())
+            });
+        }
+        g.run_on(&pool).unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

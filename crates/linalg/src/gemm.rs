@@ -28,9 +28,19 @@
 //!   [`Op::Transpose`] only change the gather stride (and conjugation sign)
 //!   used while packing; no transposed copy of an operand is ever
 //!   materialised.
-//! * **Parallelism is 2-D.** Tasks are `(MC, NC)` macro-tiles of C, so tall
-//!   tall-skinny and short-wide shapes expose parallelism along whichever
-//!   output dimension is large, not just along rows.
+//! * **Parallelism is a task graph.** Above `PAR_THRESHOLD` (64³ MACs) the
+//!   product
+//!   is lowered onto the `koala-exec` work-stealing executor: one `Pack`
+//!   task per `(row-block, depth-block)` A panel and per `(column-block,
+//!   depth-block)` B panel, and one `Gemm` task per `(MC, NC, KC)`
+//!   macro-tile step depending on its two pack tasks and its own previous
+//!   depth step. Packed panels are therefore **shared** across every tile
+//!   in their row/column (packed exactly once per block, not once per
+//!   tile), and the depth-dependency chain fixes each C element's
+//!   accumulation order to the serial order — results are bit-identical
+//!   across thread counts by construction. Tall-skinny and short-wide
+//!   shapes still expose parallelism along whichever output dimension is
+//!   large, because tasks tile C in 2-D.
 //!
 //! # Blocking parameters
 //!
@@ -92,8 +102,9 @@ use crate::microkernel::{
 };
 use crate::pack::{pack_a, pack_a_real, pack_b, pack_b_real};
 use crate::scalar::C64;
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use koala_exec::{TaskGraph, TaskId, TaskKind};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Cache-blocking tile along the shared (k) dimension.
 const KC: usize = 256;
@@ -113,6 +124,12 @@ const NC_REAL: usize = 512;
 const MC_REAL: usize = 256;
 /// Below this many complex multiply-adds the parallel path is not worth it.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
+/// Combined packed-panel budget (bytes) for the shared-panel task-graph
+/// schedule, which keeps *every* packed A and B panel resident at once
+/// (roughly `16 * (m*k + k*n)` bytes complex, half that real). Products
+/// whose panels would exceed it fall back to private per-tile packing —
+/// still on the executor, just without cross-tile panel sharing.
+const PANEL_MEM_LIMIT: usize = 256 << 20;
 
 /// Global count of complex multiply-add operations executed by the
 /// split-complex GEMM kernel (8 real flops each; see the module docs).
@@ -291,7 +308,8 @@ fn gemm_into_dispatch(
         .collect();
 
     let work = m * n * k;
-    if work < PAR_THRESHOLD || tiles.len() == 1 || rayon::current_num_threads() == 1 {
+    let pool = koala_exec::pool();
+    if work < PAR_THRESHOLD || tiles.len() == 1 || pool.threads() == 1 {
         for &(ic, jc) in &tiles {
             // Safety: exclusive access through the &mut borrow; serial loop.
             unsafe {
@@ -304,24 +322,220 @@ fn gemm_into_dispatch(
         }
         return;
     }
+    exec_gemm(&pool, opa, opb, m, n, k, a, b, lda, ldb, c, assume_real);
+}
 
-    struct SendPtr(*mut C64);
-    // Safety: every tile writes a disjoint set of C elements (see
-    // compute_tile), so concurrent writes through this pointer never alias.
-    unsafe impl Send for SendPtr {}
-    unsafe impl Sync for SendPtr {}
+/// A `*mut C64` that task closures may capture. Safety rests on the graph
+/// structure: every GEMM task writes a disjoint `(ic, jc)` macro-tile of C,
+/// and the depth chain serialises the tasks that share a tile.
+struct SendPtr(*mut C64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// One shared packed panel: written by exactly one pack task, read only by
+/// GEMM tasks that declare that pack task as a dependency (the executor's
+/// dependency edge provides the happens-before ordering).
+struct PanelSlot {
+    buf: UnsafeCell<Vec<f64>>,
+    real: AtomicBool,
+}
+// Safety: see the field docs — the task graph gives each slot one writer,
+// ordered before all of its readers.
+unsafe impl Sync for PanelSlot {}
+
+impl PanelSlot {
+    fn new() -> Self {
+        PanelSlot { buf: UnsafeCell::new(Vec::new()), real: AtomicBool::new(false) }
+    }
+}
+
+fn run_graph(graph: TaskGraph<'_>, pool: &koala_exec::Pool) {
+    if let Err(e) = graph.run_on(pool) {
+        // GEMM tasks are infallible: the only way to get here is a panic
+        // inside a task (an index/shape bug), which the executor caught and
+        // typed. Re-raise it — the serial path would have panicked too.
+        panic!("gemm task graph failed: {e}");
+    }
+}
+
+/// The parallel schedule: a task graph with **shared packed panels**.
+///
+/// Per `(row-block, depth-block)` one `PackA` task and per `(column-block,
+/// depth-block)` one `PackB` task write preallocated panel slots; the GEMM
+/// macro-tile task `(ic, jc, pc)` depends on its two pack tasks *and on
+/// `(ic, jc, pc-1)`* — the depth chain that fixes the accumulation order of
+/// every C element to exactly the serial loop's order, which is what makes
+/// results bit-identical across thread counts. Sharing means each B panel
+/// is packed once per `(depth, column)` block instead of once per tile (the
+/// old `threads > 1` waste), at the cost of keeping all panels resident —
+/// bounded by [`PANEL_MEM_LIMIT`], beyond which tiles pack privately.
+#[allow(clippy::too_many_arguments)]
+fn exec_gemm(
+    pool: &koala_exec::Pool,
+    opa: Op,
+    opb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[C64],
+    b: &[C64],
+    lda: usize,
+    ldb: usize,
+    c: &mut [C64],
+    assume_real: bool,
+) {
+    let (mc_blk, nc_blk, kc_blk) =
+        if assume_real { (MC_REAL, NC_REAL, KC_REAL) } else { (MC, NC, KC) };
+    let (mr, nr) = if assume_real { (MR_REAL, NR_REAL) } else { (MR, NR) };
+    let kbs: Vec<(usize, usize)> =
+        (0..k).step_by(kc_blk).map(|pc| (pc, kc_blk.min(k - pc))).collect();
+    let ibs: Vec<(usize, usize)> =
+        (0..m).step_by(mc_blk).map(|ic| (ic, mc_blk.min(m - ic))).collect();
+    let jbs: Vec<(usize, usize)> =
+        (0..n).step_by(nc_blk).map(|jc| (jc, nc_blk.min(n - jc))).collect();
+
+    // Panels are padded to full register strips; split-complex panels hold
+    // two f64 lanes per element, real panels one.
+    let lanes = if assume_real { 1 } else { 2 };
+    let round_up = |x: usize, u: usize| x.div_ceil(u) * u;
+    let a_elems = ibs.iter().map(|&(_, mc)| round_up(mc, mr)).sum::<usize>() * k * lanes;
+    let b_elems = jbs.iter().map(|&(_, nc)| round_up(nc, nr)).sum::<usize>() * k * lanes;
+    if (a_elems + b_elems).saturating_mul(8) > PANEL_MEM_LIMIT {
+        exec_gemm_private_tiles(
+            pool,
+            opa,
+            opb,
+            m,
+            n,
+            k,
+            a,
+            b,
+            lda,
+            ldb,
+            c,
+            assume_real,
+            &ibs,
+            &jbs,
+        );
+        return;
+    }
+
+    let nk = kbs.len();
+    let a_slots: Vec<PanelSlot> = (0..ibs.len() * nk).map(|_| PanelSlot::new()).collect();
+    let b_slots: Vec<PanelSlot> = (0..jbs.len() * nk).map(|_| PanelSlot::new()).collect();
     let c_ptr = SendPtr(c.as_mut_ptr());
     let c_ptr = &c_ptr;
-    tiles.into_par_iter().for_each(move |(ic, jc)| {
-        // Safety: tiles are disjoint in C; operands are only read.
-        unsafe {
-            if assume_real {
-                compute_tile_real(opa, opb, m, n, k, a, b, lda, ldb, c_ptr.0, ic, jc)
-            } else {
-                compute_tile(opa, opb, m, n, k, a, b, lda, ldb, c_ptr.0, ic, jc)
+
+    let mut graph = TaskGraph::new();
+    let mut a_tasks: Vec<TaskId> = Vec::with_capacity(a_slots.len());
+    for (ibi, &(ic, mc)) in ibs.iter().enumerate() {
+        for (kbi, &(pc, kc)) in kbs.iter().enumerate() {
+            let slot = &a_slots[ibi * nk + kbi];
+            a_tasks.push(graph.add(TaskKind::Pack, &[], move || {
+                // Safety: sole writer of this slot (see PanelSlot).
+                let buf = unsafe { &mut *slot.buf.get() };
+                let all_real = if assume_real {
+                    pack_a_real(opa, a, lda, ic, mc, pc, kc, buf);
+                    true
+                } else {
+                    pack_a(opa, a, lda, ic, mc, pc, kc, buf)
+                };
+                slot.real.store(all_real, Ordering::Relaxed);
+                Ok(())
+            }));
+        }
+    }
+    let mut b_tasks: Vec<TaskId> = Vec::with_capacity(b_slots.len());
+    for (jbi, &(jc, nc)) in jbs.iter().enumerate() {
+        for (kbi, &(pc, kc)) in kbs.iter().enumerate() {
+            let slot = &b_slots[jbi * nk + kbi];
+            b_tasks.push(graph.add(TaskKind::Pack, &[], move || {
+                // Safety: sole writer of this slot (see PanelSlot).
+                let buf = unsafe { &mut *slot.buf.get() };
+                let all_real = if assume_real {
+                    pack_b_real(opb, b, ldb, pc, kc, jc, nc, buf);
+                    true
+                } else {
+                    pack_b(opb, b, ldb, pc, kc, jc, nc, buf)
+                };
+                slot.real.store(all_real, Ordering::Relaxed);
+                Ok(())
+            }));
+        }
+    }
+    for (ibi, &(ic, mc)) in ibs.iter().enumerate() {
+        for (jbi, &(jc, nc)) in jbs.iter().enumerate() {
+            let mut prev: Option<TaskId> = None;
+            for (kbi, &(_pc, kc)) in kbs.iter().enumerate() {
+                let mut deps = vec![a_tasks[ibi * nk + kbi], b_tasks[jbi * nk + kbi]];
+                if let Some(p) = prev {
+                    deps.push(p);
+                }
+                let a_slot = &a_slots[ibi * nk + kbi];
+                let b_slot = &b_slots[jbi * nk + kbi];
+                prev = Some(graph.add(TaskKind::Gemm, &deps, move || {
+                    // Safety: panels were written by this task's pack
+                    // dependencies; the C macro-tile is owned by this
+                    // (ic, jc) chain, serialised by the depth edge.
+                    unsafe {
+                        let ap = &*a_slot.buf.get();
+                        let bp = &*b_slot.buf.get();
+                        if assume_real {
+                            tile_depth_block_real(ap, bp, c_ptr.0, n, ic, jc, mc, nc, kc);
+                        } else {
+                            let block_real = a_slot.real.load(Ordering::Relaxed)
+                                && b_slot.real.load(Ordering::Relaxed);
+                            tile_depth_block(ap, bp, block_real, c_ptr.0, n, ic, jc, mc, nc, kc);
+                        }
+                    }
+                    Ok(())
+                }));
             }
-        };
-    });
+        }
+    }
+    run_graph(graph, pool);
+}
+
+/// Fallback parallel schedule for products whose resident panels would
+/// exceed [`PANEL_MEM_LIMIT`]: one independent task per `(ic, jc)`
+/// macro-tile, each packing its own panels (the pre-executor behaviour).
+/// Accumulation order per C element is still the serial depth order.
+#[allow(clippy::too_many_arguments)]
+fn exec_gemm_private_tiles(
+    pool: &koala_exec::Pool,
+    opa: Op,
+    opb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[C64],
+    b: &[C64],
+    lda: usize,
+    ldb: usize,
+    c: &mut [C64],
+    assume_real: bool,
+    ibs: &[(usize, usize)],
+    jbs: &[(usize, usize)],
+) {
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    let c_ptr = &c_ptr;
+    let mut graph = TaskGraph::new();
+    for &(ic, _mc) in ibs {
+        for &(jc, _nc) in jbs {
+            graph.add(TaskKind::Gemm, &[], move || {
+                // Safety: tiles are disjoint in C; operands are only read.
+                unsafe {
+                    if assume_real {
+                        compute_tile_real(opa, opb, m, n, k, a, b, lda, ldb, c_ptr.0, ic, jc);
+                    } else {
+                        compute_tile(opa, opb, m, n, k, a, b, lda, ldb, c_ptr.0, ic, jc);
+                    }
+                }
+                Ok(())
+            });
+        }
+    }
+    run_graph(graph, pool);
 }
 
 /// Compute one `(MC, NC)` macro-tile of C at `(ic, jc)`.
@@ -355,43 +569,60 @@ unsafe fn compute_tile(
     let nc = NC.min(n - jc);
     let mut ap: Vec<f64> = Vec::new();
     let mut bp: Vec<f64> = Vec::new();
-    let mut real_macs: u64 = 0;
-    let mut complex_macs: u64 = 0;
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
         let b_real = pack_b(opb, b, ldb, pc, kc, jc, nc, &mut bp);
         let a_real = pack_a(opa, a, lda, ic, mc, pc, kc, &mut ap);
         // When both packed blocks turned out all-real, the strided real
         // kernel consumes just the real lanes of the split-complex panels.
-        let block_real = a_real && b_real;
-        let a_strip_len = kc * 2 * MR;
-        let b_strip_len = kc * 2 * NR;
-        if block_real {
-            real_macs += (mc * nc * kc) as u64;
-        } else {
-            complex_macs += (mc * nc * kc) as u64;
-        }
-        for (js, j0) in (jc..jc + nc).step_by(NR).enumerate() {
-            let nr = NR.min(jc + nc - j0);
-            let b_strip = &bp[js * b_strip_len..(js + 1) * b_strip_len];
-            for (is, i0) in (ic..ic + mc).step_by(MR).enumerate() {
-                let mr = MR.min(ic + mc - i0);
-                let a_strip = &ap[is * a_strip_len..(is + 1) * a_strip_len];
-                if block_real {
-                    let acc = microkernel_real(kc, a_strip, 2 * MR, b_strip, 2 * NR);
-                    write_tile_real(&acc, c, n, i0, j0, mr, nr);
-                } else {
-                    let acc = microkernel(kc, a_strip, b_strip);
-                    write_tile(&acc, c, n, i0, j0, mr, nr);
-                }
+        tile_depth_block(&ap, &bp, a_real && b_real, c, n, ic, jc, mc, nc, kc);
+    }
+}
+
+/// Run the strip loops of one `(macro-tile, depth-block)` pair over already
+/// packed split-complex panels, and credit its `mc * nc * kc` MACs to the
+/// matching counter. Shared verbatim by the serial loop ([`compute_tile`])
+/// and the task-graph schedule ([`exec_gemm`]) so both execute the exact
+/// same arithmetic in the exact same order.
+///
+/// # Safety
+///
+/// Same aliasing contract as [`compute_tile`]: no other thread may touch
+/// the `(ic..ic+mc, jc..jc+nc)` elements of `c` concurrently.
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_depth_block(
+    ap: &[f64],
+    bp: &[f64],
+    block_real: bool,
+    c: *mut C64,
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    let a_strip_len = kc * 2 * MR;
+    let b_strip_len = kc * 2 * NR;
+    if block_real {
+        REAL_MAC_COUNTER.fetch_add((mc * nc * kc) as u64, Ordering::Relaxed);
+    } else {
+        FLOP_COUNTER.fetch_add((mc * nc * kc) as u64, Ordering::Relaxed);
+    }
+    for (js, j0) in (jc..jc + nc).step_by(NR).enumerate() {
+        let nr = NR.min(jc + nc - j0);
+        let b_strip = &bp[js * b_strip_len..(js + 1) * b_strip_len];
+        for (is, i0) in (ic..ic + mc).step_by(MR).enumerate() {
+            let mr = MR.min(ic + mc - i0);
+            let a_strip = &ap[is * a_strip_len..(is + 1) * a_strip_len];
+            if block_real {
+                let acc = microkernel_real(kc, a_strip, 2 * MR, b_strip, 2 * NR);
+                write_tile_real(&acc, c, ldc, i0, j0, mr, nr);
+            } else {
+                let acc = microkernel(kc, a_strip, b_strip);
+                write_tile(&acc, c, ldc, i0, j0, mr, nr);
             }
         }
-    }
-    if real_macs > 0 {
-        REAL_MAC_COUNTER.fetch_add(real_macs, Ordering::Relaxed);
-    }
-    if complex_macs > 0 {
-        FLOP_COUNTER.fetch_add(complex_macs, Ordering::Relaxed);
     }
 }
 
@@ -425,20 +656,42 @@ unsafe fn compute_tile_real(
         let kc = KC_REAL.min(k - pc);
         pack_b_real(opb, b, ldb, pc, kc, jc, nc, &mut bp);
         pack_a_real(opa, a, lda, ic, mc, pc, kc, &mut ap);
-        let a_strip_len = kc * MR_REAL;
-        let b_strip_len = kc * NR_REAL;
-        for (js, j0) in (jc..jc + nc).step_by(NR_REAL).enumerate() {
-            let nr = NR_REAL.min(jc + nc - j0);
-            let b_strip = &bp[js * b_strip_len..(js + 1) * b_strip_len];
-            for (is, i0) in (ic..ic + mc).step_by(MR_REAL).enumerate() {
-                let mr = MR_REAL.min(ic + mc - i0);
-                let a_strip = &ap[is * a_strip_len..(is + 1) * a_strip_len];
-                let acc = microkernel_real_wide(kc, a_strip, b_strip);
-                write_tile_real_wide(&acc, c, n, i0, j0, mr, nr);
-            }
+        tile_depth_block_real(&ap, &bp, c, n, ic, jc, mc, nc, kc);
+    }
+}
+
+/// [`tile_depth_block`] for the caller-asserted real path: `f64`-only
+/// panels, the wide `8 x 16` real microkernel, all work credited to the
+/// real-MAC counter.
+///
+/// # Safety
+///
+/// Same aliasing contract as [`compute_tile`] with the real tile sizes.
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_depth_block_real(
+    ap: &[f64],
+    bp: &[f64],
+    c: *mut C64,
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    let a_strip_len = kc * MR_REAL;
+    let b_strip_len = kc * NR_REAL;
+    REAL_MAC_COUNTER.fetch_add((mc * nc * kc) as u64, Ordering::Relaxed);
+    for (js, j0) in (jc..jc + nc).step_by(NR_REAL).enumerate() {
+        let nr = NR_REAL.min(jc + nc - j0);
+        let b_strip = &bp[js * b_strip_len..(js + 1) * b_strip_len];
+        for (is, i0) in (ic..ic + mc).step_by(MR_REAL).enumerate() {
+            let mr = MR_REAL.min(ic + mc - i0);
+            let a_strip = &ap[is * a_strip_len..(is + 1) * a_strip_len];
+            let acc = microkernel_real_wide(kc, a_strip, b_strip);
+            write_tile_real_wide(&acc, c, ldc, i0, j0, mr, nr);
         }
     }
-    REAL_MAC_COUNTER.fetch_add((mc * nc * k) as u64, Ordering::Relaxed);
 }
 
 /// Add an accumulator tile into C, masking the ragged edges.

@@ -9,7 +9,9 @@
 //!
 //! * [`scalar::C64`] — complex double-precision scalar,
 //! * [`matrix::Matrix`] — dense row-major complex matrix,
-//! * [`mod@gemm`] — blocked, Rayon-parallel matrix multiplication,
+//! * [`mod@gemm`] — blocked, task-graph-parallel matrix multiplication
+//!   (packed panels shared across macro-tiles on the `koala-exec`
+//!   executor),
 //! * [`mod@qr`] — thin QR (modified Gram-Schmidt with reorthogonalization),
 //! * [`mod@svd`] — one-sided Jacobi SVD, truncated SVD, Gram-based SVD,
 //! * [`mod@eig`] — Hermitian Jacobi eigendecomposition and matrix functions,

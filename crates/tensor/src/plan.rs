@@ -23,17 +23,33 @@ use crate::contract::PairPlan;
 use crate::einsum::EinsumSpec;
 use crate::shape::is_identity_perm;
 use crate::tensor::{Result, Tensor, TensorError};
+use koala_exec::{TaskGraph, TaskId, TaskKind};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, LazyLock, Mutex};
+
+/// Provenance of one step operand: a caller input or an earlier step's
+/// output. Recorded at build time so execution can run the steps as a task
+/// graph (dependencies = the `Step(_)` sources) instead of replaying the
+/// working-list simulation serially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// The `i`-th caller-provided operand.
+    Input(usize),
+    /// The output of step `j`.
+    Step(usize),
+}
 
 /// One pairwise contraction of the schedule: contract working-list slots
 /// `lhs` and `rhs` (with `lhs < rhs`) using the pre-analysed `pair` lowering
-/// and push the result at the back of the working list.
+/// and push the result at the back of the working list. `lhs_src` / `rhs_src`
+/// name the same two operands by provenance rather than by list position.
 #[derive(Debug, Clone)]
 struct Step {
     lhs: usize,
     rhs: usize,
+    lhs_src: Src,
+    rhs_src: Src,
     pair: PairPlan,
 }
 
@@ -105,7 +121,10 @@ impl Plan {
             .zip(shapes.iter())
             .map(|(labels, shape)| (labels.clone(), shape.to_vec()))
             .collect();
-        let mut steps = Vec::new();
+        // Provenance of each working-list slot, kept in lockstep with
+        // `items` so every step records *which* values it consumes.
+        let mut srcs: Vec<Src> = (0..items.len()).map(Src::Input).collect();
+        let mut steps: Vec<Step> = Vec::new();
 
         // Greedy pairwise ordering: always contract the pair of tensors that
         // share a contractible label and produce the smallest intermediate.
@@ -149,7 +168,10 @@ impl Plan {
                 left_l.iter().filter(|c| !shared.contains(c)).copied().collect();
             labels.extend(right_l.iter().filter(|c| !shared.contains(c)).copied());
             let out_shape = pair.out_shape().to_vec();
-            steps.push(Step { lhs: i, rhs: j, pair });
+            let rhs_src = srcs.remove(j);
+            let lhs_src = srcs.remove(i);
+            srcs.push(Src::Step(steps.len()));
+            steps.push(Step { lhs: i, rhs: j, lhs_src, rhs_src, pair });
             items.push((labels, out_shape));
         }
 
@@ -237,18 +259,18 @@ impl Plan {
             }
         }
 
-        // Working list of tensors: caller-borrowed inputs, owned intermediates.
-        let mut items: Vec<Operand<'_>> = operands.iter().map(|t| Operand::Borrowed(t)).collect();
-        for step in &self.steps {
-            let right = items.remove(step.rhs);
-            let left = items.remove(step.lhs);
-            items.push(Operand::Owned(step.pair.execute(left.as_tensor(), right.as_tensor())?));
-        }
-        let Some(mut operand) = items.pop() else {
-            return Err(TensorError::InvalidAxes {
-                context: "einsum plan: empty operand list".into(),
-            });
+        // Multi-step schedules on a multi-threaded executor run as a task
+        // graph so independent steps contract concurrently; otherwise (or
+        // for single-step plans, where there is nothing to overlap) replay
+        // the working list serially. Both paths run the same `PairPlan`
+        // lowerings on the same values, so results, realness hints, and MAC
+        // billing are identical.
+        let operand = if self.steps.len() >= 2 && koala_exec::threads() > 1 {
+            self.execute_steps_dag(operands)?
+        } else {
+            self.execute_steps_serial(operands)?
         };
+        let mut operand = operand;
 
         for &axis in &self.sum_axes {
             operand = Operand::Owned(crate::contract::sum_axis(operand.as_tensor(), axis)?);
@@ -260,6 +282,97 @@ impl Plan {
             (None, Operand::Borrowed(t)) => Ok(t.clone()),
             (Some(perm), operand) => operand.as_tensor().permute(perm),
         }
+    }
+
+    /// Replay the pairwise steps on the calling thread, in schedule order.
+    fn execute_steps_serial<'a>(&self, operands: &[&'a Tensor]) -> Result<Operand<'a>> {
+        // Working list of tensors: caller-borrowed inputs, owned intermediates.
+        let mut items: Vec<Operand<'_>> = operands.iter().map(|t| Operand::Borrowed(t)).collect();
+        for step in &self.steps {
+            let right = items.remove(step.rhs);
+            let left = items.remove(step.lhs);
+            items.push(Operand::Owned(step.pair.execute(left.as_tensor(), right.as_tensor())?));
+        }
+        items.pop().ok_or_else(|| TensorError::InvalidAxes {
+            context: "einsum plan: empty operand list".into(),
+        })
+    }
+
+    /// Lower the pairwise steps onto the `koala-exec` task graph: one `Step`
+    /// task per contraction, depending on the earlier steps whose outputs it
+    /// consumes. Independent branches of the contraction tree run
+    /// concurrently; each value is produced by one task and consumed by at
+    /// most one other, so slots hand tensors over without cloning.
+    fn execute_steps_dag<'a>(&self, operands: &[&'a Tensor]) -> Result<Operand<'a>> {
+        let n_steps = self.steps.len();
+        let results: Vec<Mutex<Option<Tensor>>> = (0..n_steps).map(|_| Mutex::new(None)).collect();
+        // The first TensorError a step hits, carried across the KoalaError
+        // boundary of the executor (which only cancels the run).
+        let failure: Mutex<Option<TensorError>> = Mutex::new(None);
+
+        let mut graph = TaskGraph::new();
+        let mut tids: Vec<TaskId> = Vec::with_capacity(n_steps);
+        for (si, step) in self.steps.iter().enumerate() {
+            let mut deps = Vec::new();
+            for src in [step.lhs_src, step.rhs_src] {
+                if let Src::Step(j) = src {
+                    deps.push(tids[j]);
+                }
+            }
+            let results = &results;
+            let failure = &failure;
+            tids.push(graph.add(TaskKind::Step, &deps, move || {
+                let fetch =
+                    |src: Src| -> std::result::Result<Operand<'a>, koala_error::KoalaError> {
+                        match src {
+                            Src::Input(i) => Ok(Operand::Borrowed(operands[i])),
+                            // The dependency edge ordered the producer before
+                            // us, and each step output has exactly one
+                            // consumer, so the take() always yields the value.
+                            Src::Step(j) => crate::lock_ignore_poison(&results[j])
+                                .take()
+                                .map(Operand::Owned)
+                                .ok_or_else(|| {
+                                    koala_error::KoalaError::new(
+                                        koala_error::ErrorKind::InvalidArgument,
+                                        format!("einsum step {si}: missing output of step {j}"),
+                                    )
+                                }),
+                        }
+                    };
+                let left = fetch(step.lhs_src)?;
+                let right = fetch(step.rhs_src)?;
+                match step.pair.execute(left.as_tensor(), right.as_tensor()) {
+                    Ok(t) => {
+                        *crate::lock_ignore_poison(&results[si]) = Some(t);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        let mut slot = crate::lock_ignore_poison(failure);
+                        let koala: koala_error::KoalaError = e.clone().into();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        Err(koala)
+                    }
+                }
+            }));
+        }
+        match graph.run() {
+            Ok(()) => {}
+            Err(exec_err) => {
+                if let Some(e) = crate::lock_ignore_poison(&failure).take() {
+                    return Err(e);
+                }
+                // No step recorded a TensorError: a task panicked (a bug the
+                // serial path would also have panicked on).
+                return Err(TensorError::Linalg(format!("einsum task graph failed: {exec_err}")));
+            }
+        }
+        let last = crate::lock_ignore_poison(&results[n_steps - 1]).take().ok_or_else(|| {
+            TensorError::InvalidAxes { context: "einsum plan: final step produced no value".into() }
+        })?;
+        Ok(Operand::Owned(last))
     }
 }
 
@@ -357,30 +470,82 @@ fn key_hash(spec: &EinsumSpec, shapes: &[&[usize]]) -> u64 {
 /// for several concurrent workloads before eviction starts.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 512;
 
-struct LruCache {
+/// Number of lock stripes the cache is sharded over. Concurrent lookups of
+/// *different* keys proceed on different mutexes (the single global mutex
+/// was flagged under contention once einsum execution went multi-threaded);
+/// 16 stripes give a 16x expected contention reduction at negligible memory
+/// cost.
+const PLAN_CACHE_STRIPES: usize = 16;
+
+/// One lock stripe: a slice of the hash space with its own bucket map.
+/// LRU bookkeeping stays *global* — stamps come from the shared [`CLOCK`],
+/// the population from [`RESIDENT`], and eviction removes the globally
+/// oldest entry across all stripes — so sharding changes observable
+/// hit/miss/eviction behaviour not at all (pinned by `tests/plan_cache.rs`).
+#[derive(Default)]
+struct Stripe {
     /// Buckets by precomputed key hash; collisions resolved by comparing
     /// against the spec/shapes stored in each resident plan.
     map: HashMap<u64, Vec<Entry>>,
-    len: usize,
-    clock: u64,
-    capacity: usize,
 }
 
-impl LruCache {
-    fn touch(&mut self, hash: u64, spec: &EinsumSpec, shapes: &[&[usize]]) -> Option<Arc<Plan>> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.map.get_mut(&hash)?.iter_mut().find(|e| e.matches(spec, shapes)).map(|e| {
-            e.stamp = clock;
-            Arc::clone(&e.plan)
-        })
+impl Stripe {
+    /// `(hash, stamp)` of this stripe's oldest entry.
+    fn oldest(&self) -> Option<(u64, u64)> {
+        self.map
+            .iter()
+            .flat_map(|(&h, bucket)| bucket.iter().map(move |e| (h, e.stamp)))
+            .min_by_key(|&(_, stamp)| stamp)
     }
 
-    fn insert(&mut self, hash: u64, plan: Arc<Plan>) {
-        self.clock += 1;
-        let stamp = self.clock;
-        // Two threads racing to plan the same key both insert; keep one.
-        if let Some(bucket) = self.map.get_mut(&hash) {
+    /// Remove the entry with exactly this `(hash, stamp)`; false if a
+    /// concurrent touch re-stamped it in the meantime.
+    fn remove_stamp(&mut self, hash: u64, stamp: u64) -> bool {
+        let Some(bucket) = self.map.get_mut(&hash) else { return false };
+        let before = bucket.len();
+        bucket.retain(|e| e.stamp != stamp);
+        let removed = bucket.len() < before;
+        if bucket.is_empty() {
+            self.map.remove(&hash);
+        }
+        removed
+    }
+}
+
+static STRIPES: LazyLock<Vec<Mutex<Stripe>>> =
+    LazyLock::new(|| (0..PLAN_CACHE_STRIPES).map(|_| Mutex::new(Stripe::default())).collect());
+
+/// Global LRU clock; every touch/insert takes the next tick.
+static CLOCK: AtomicU64 = AtomicU64::new(0);
+/// Plans resident across all stripes.
+static RESIDENT: AtomicUsize = AtomicUsize::new(0);
+/// Maximum resident plans across all stripes (global, not per stripe).
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_PLAN_CACHE_CAPACITY);
+
+fn stripe_of(hash: u64) -> &'static Mutex<Stripe> {
+    &STRIPES[(hash as usize) % PLAN_CACHE_STRIPES]
+}
+
+/// Look `hash` up in its stripe, bumping the entry's stamp on a hit.
+fn cache_touch(hash: u64, spec: &EinsumSpec, shapes: &[&[usize]]) -> Option<Arc<Plan>> {
+    let stamp = CLOCK.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut stripe = crate::lock_ignore_poison(stripe_of(hash));
+    stripe.map.get_mut(&hash)?.iter_mut().find(|e| e.matches(spec, shapes)).map(|e| {
+        e.stamp = stamp;
+        Arc::clone(&e.plan)
+    })
+}
+
+/// Insert a freshly built plan, evicting globally-oldest entries first if
+/// the cache is at capacity. Two threads racing to plan the same key both
+/// insert; the dedup check keeps one.
+fn cache_insert(hash: u64, plan: Arc<Plan>) {
+    let stamp = CLOCK.fetch_add(1, Ordering::Relaxed) + 1;
+    // Never hold a stripe lock while evicting (eviction scans every
+    // stripe); dedup-or-make-room first, then insert.
+    {
+        let mut stripe = crate::lock_ignore_poison(stripe_of(hash));
+        if let Some(bucket) = stripe.map.get_mut(&hash) {
             if let Some(existing) =
                 bucket.iter_mut().find(|e| e.plan.spec == plan.spec && e.plan.shapes == plan.shapes)
             {
@@ -389,40 +554,59 @@ impl LruCache {
                 return;
             }
         }
-        while self.len >= self.capacity {
-            self.evict_oldest();
-        }
-        self.map.entry(hash).or_default().push(Entry { plan, stamp });
-        self.len += 1;
     }
-
-    /// Remove the least-recently-used entry. Linear scan: the capacity is
-    /// small and eviction is rare in steady state.
-    fn evict_oldest(&mut self) {
-        let oldest = self
-            .map
-            .iter()
-            .flat_map(|(&h, bucket)| bucket.iter().map(move |e| (h, e.stamp)))
-            .min_by_key(|&(_, stamp)| stamp);
-        let Some((hash, stamp)) = oldest else { return };
-        let Some(bucket) = self.map.get_mut(&hash) else { return };
-        bucket.retain(|e| e.stamp != stamp);
-        if bucket.is_empty() {
-            self.map.remove(&hash);
+    let mut failed_attempts = 0;
+    while RESIDENT.load(Ordering::Acquire) >= CAPACITY.load(Ordering::Acquire) {
+        if !evict_global_oldest() {
+            // Empty cache (capacity reached by concurrent inserts) or the
+            // chosen victim was re-stamped by a racing touch; give up after
+            // a few tries rather than spin — a transient overshoot of the
+            // capacity is corrected by the next insert.
+            failed_attempts += 1;
+            if failed_attempts >= 4 {
+                break;
+            }
         }
-        self.len -= 1;
-        EVICTIONS.fetch_add(1, Ordering::Relaxed);
     }
+    let mut stripe = crate::lock_ignore_poison(stripe_of(hash));
+    if let Some(bucket) = stripe.map.get_mut(&hash) {
+        if let Some(existing) =
+            bucket.iter_mut().find(|e| e.plan.spec == plan.spec && e.plan.shapes == plan.shapes)
+        {
+            existing.plan = plan;
+            existing.stamp = stamp;
+            return;
+        }
+    }
+    stripe.map.entry(hash).or_default().push(Entry { plan, stamp });
+    RESIDENT.fetch_add(1, Ordering::AcqRel);
 }
 
-static CACHE: LazyLock<Mutex<LruCache>> = LazyLock::new(|| {
-    Mutex::new(LruCache {
-        map: HashMap::new(),
-        len: 0,
-        clock: 0,
-        capacity: DEFAULT_PLAN_CACHE_CAPACITY,
-    })
-});
+/// Remove the least-recently-used entry *across all stripes*: scan each
+/// stripe (one lock at a time — never two held together, so no lock-order
+/// deadlock) for its oldest stamp, then remove the global minimum. A
+/// concurrent touch can re-stamp the chosen entry between the scan and the
+/// removal; the caller simply retries. Linear scan: the capacity is small
+/// and eviction is rare in steady state. Returns whether an entry was
+/// evicted.
+fn evict_global_oldest() -> bool {
+    let mut oldest: Option<(usize, u64, u64)> = None; // (stripe, hash, stamp)
+    for (si, stripe) in STRIPES.iter().enumerate() {
+        if let Some((h, stamp)) = crate::lock_ignore_poison(stripe).oldest() {
+            if oldest.is_none_or(|(_, _, s)| stamp < s) {
+                oldest = Some((si, h, stamp));
+            }
+        }
+    }
+    let Some((si, hash, stamp)) = oldest else { return false };
+    if crate::lock_ignore_poison(&STRIPES[si]).remove_stamp(hash, stamp) {
+        RESIDENT.fetch_sub(1, Ordering::AcqRel);
+        EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        true
+    } else {
+        false
+    }
+}
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
@@ -451,7 +635,7 @@ pub struct PlanStats {
 /// skip even the cache lookup.
 pub fn contraction_plan(spec: &EinsumSpec, shapes: &[&[usize]]) -> Result<Arc<Plan>> {
     let hash = key_hash(spec, shapes);
-    if let Some(plan) = crate::lock_ignore_poison(&CACHE).touch(hash, spec, shapes) {
+    if let Some(plan) = cache_touch(hash, spec, shapes) {
         HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(plan);
     }
@@ -460,7 +644,7 @@ pub fn contraction_plan(spec: &EinsumSpec, shapes: &[&[usize]]) -> Result<Arc<Pl
     // deduplicates, keeping the newer plan).
     MISSES.fetch_add(1, Ordering::Relaxed);
     let plan = Arc::new(Plan::build(spec, shapes)?);
-    crate::lock_ignore_poison(&CACHE).insert(hash, Arc::clone(&plan));
+    cache_insert(hash, Arc::clone(&plan));
     Ok(plan)
 }
 
@@ -537,13 +721,12 @@ impl PlanCell {
 
 /// Read the plan-cache hit/miss/eviction counters.
 pub fn plan_stats() -> PlanStats {
-    let cache = crate::lock_ignore_poison(&CACHE);
     PlanStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         evictions: EVICTIONS.load(Ordering::Relaxed),
-        entries: cache.len,
-        capacity: cache.capacity,
+        entries: RESIDENT.load(Ordering::Acquire),
+        capacity: CAPACITY.load(Ordering::Acquire),
     }
 }
 
@@ -558,10 +741,13 @@ pub fn reset_plan_stats() {
 /// Used by benchmarks that measure cold planning overhead — after this call
 /// the next `einsum` pays parsing, validation, and the greedy search again.
 pub fn clear_plan_cache() {
-    let mut cache = crate::lock_ignore_poison(&CACHE);
-    cache.map.clear();
-    cache.len = 0;
-    drop(cache);
+    let mut dropped = 0usize;
+    for stripe in STRIPES.iter() {
+        let mut stripe = crate::lock_ignore_poison(stripe);
+        dropped += stripe.map.values().map(Vec::len).sum::<usize>();
+        stripe.map.clear();
+    }
+    RESIDENT.fetch_sub(dropped, Ordering::AcqRel);
     crate::einsum::clear_parse_cache();
 }
 
@@ -569,9 +755,10 @@ pub fn clear_plan_cache() {
 /// capacity is smaller than the current population.
 pub fn set_plan_cache_capacity(capacity: usize) {
     let capacity = capacity.max(1);
-    let mut cache = crate::lock_ignore_poison(&CACHE);
-    cache.capacity = capacity;
-    while cache.len > capacity {
-        cache.evict_oldest();
+    CAPACITY.store(capacity, Ordering::Release);
+    while RESIDENT.load(Ordering::Acquire) > capacity {
+        if !evict_global_oldest() {
+            break;
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the koala-rs stack.
 pub use koala_cluster as cluster;
 pub use koala_error as error;
+pub use koala_exec as exec;
 pub use koala_linalg as linalg;
 pub use koala_mps as mps;
 pub use koala_peps as peps;

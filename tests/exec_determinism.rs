@@ -1,0 +1,106 @@
+//! Workspace acceptance test for the task-graph execution runtime: the full
+//! physics stack must be schedule-independent. A warm TFI imaginary-time-
+//! evolution sweep and a distributed SUMMA product are run at 1/2/4/8
+//! executor threads; energies and gathered matrices must be bit-identical
+//! and the MAC/communication billing exactly equal — the executor may only
+//! change *when* work runs, never what it computes or what it bills.
+
+use koala::cluster::{Cluster, DistMatrix, ProcGrid};
+use koala::linalg::{flop_counter, matmul, real_mac_counter, Matrix};
+use koala::peps::Peps;
+use koala::sim::{ite_peps, tfi_hamiltonian, IteOptions, TfiParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// The executor pool and billing counters are process-wide; serialize the
+/// tests in this binary.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The ITE sweep drives einsum planning, the packed GEMM, QR/SVD truncation
+/// and expectation contraction — end to end, the final energy and the exact
+/// counter deltas must not depend on the thread count.
+#[test]
+fn warm_tfi_ite_sweep_is_bit_identical_across_threads() {
+    let _guard = SERIAL.lock().unwrap();
+    let h = tfi_hamiltonian(2, 2, TfiParams { jz: -1.0, hx: -1.2 });
+    let peps = Peps::computational_zeros(2, 2);
+    let opts = IteOptions::new(0.05, 12, 2, 4);
+
+    // Warm the plan cache once so the sweep itself measures steady-state
+    // execution, not first-touch planning.
+    koala::exec::set_threads(1);
+    let mut warm_rng = StdRng::seed_from_u64(321);
+    ite_peps(&peps, &h, opts, &mut warm_rng).unwrap();
+
+    let mut reference: Option<(u64, u64, u64)> = None;
+    for &threads in &THREAD_SWEEP {
+        koala::exec::set_threads(threads);
+        let mut rng = StdRng::seed_from_u64(321);
+        let (f0, r0) = (flop_counter(), real_mac_counter());
+        let result = ite_peps(&peps, &h, opts, &mut rng).unwrap();
+        let (df, dr) = (flop_counter() - f0, real_mac_counter() - r0);
+        let bits = result.final_energy().to_bits();
+        match reference {
+            None => reference = Some((bits, df, dr)),
+            Some((ebits, ef, er)) => {
+                assert_eq!(
+                    bits,
+                    ebits,
+                    "ITE final energy differs at {threads} threads: {} vs {}",
+                    f64::from_bits(bits),
+                    f64::from_bits(ebits)
+                );
+                assert_eq!(df, ef, "complex-MAC billing differs at {threads} threads");
+                assert_eq!(dr, er, "real-MAC billing differs at {threads} threads");
+            }
+        }
+    }
+    koala::exec::set_threads(1);
+}
+
+/// Distributed SUMMA across the sweep: gathered product bit-identical, MAC
+/// billing exactly `m * n * k`, and the communication ledger (bytes,
+/// messages, per-round costs) equal at every thread count.
+#[test]
+fn summa_matmul_is_bit_identical_across_threads() {
+    let _guard = SERIAL.lock().unwrap();
+    let grid = ProcGrid::new(2, 2);
+    let mut rng = StdRng::seed_from_u64(654);
+    let (m, k, n) = (23usize, 110, 19);
+    let a = Matrix::random(m, k, &mut rng);
+    let b = Matrix::random(k, n, &mut rng);
+    let local = matmul(&a, &b);
+
+    let mut reference: Option<(Matrix, koala::cluster::CommStats)> = None;
+    for &threads in &THREAD_SWEEP {
+        koala::exec::set_threads(threads);
+        let cluster = Cluster::new(grid.nranks());
+        let da = DistMatrix::scatter_block_cyclic(&cluster, &a, grid, 3, 4);
+        let db = DistMatrix::scatter_block_cyclic(&cluster, &b, grid, 5, 3);
+        cluster.reset_stats();
+        let c = da.matmul_dist(&db).unwrap().gather_unaccounted();
+        let stats = cluster.stats();
+        assert_eq!(
+            stats.total_flops() + stats.total_real_macs(),
+            (m * n * k) as u64,
+            "MAC billing at {threads} threads must be exactly m*n*k"
+        );
+        assert!(c.max_diff(&local) < 1e-12 * k as f64, "SUMMA diverges from local GEMM");
+        match &reference {
+            None => reference = Some((c, stats)),
+            Some((expected, estats)) => {
+                for (i, (x, y)) in c.data().iter().zip(expected.data().iter()).enumerate() {
+                    assert!(
+                        x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                        "element {i} differs at {threads} threads"
+                    );
+                }
+                assert_eq!(&stats, estats, "CommStats ledger differs at {threads} threads");
+            }
+        }
+    }
+    koala::exec::set_threads(1);
+}
