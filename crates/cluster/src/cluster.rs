@@ -113,7 +113,12 @@ impl Cluster {
     }
 
     /// Record a point-to-point transfer of `elems` complex numbers.
+    ///
+    /// Payload traffic is also billed to the scoped
+    /// [`WorkMeter`](koala_exec::meter::WorkMeter) byte counter, so per-job
+    /// receipts capture wire volume alongside arithmetic work.
     pub fn record_p2p(&self, elems: usize) {
+        koala_exec::meter::add_bytes(elems as u64 * ELEM_BYTES);
         let mut s = lock_ignore_poison(&self.stats);
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += 1;
@@ -144,6 +149,7 @@ impl Cluster {
         if receivers == 0 {
             return;
         }
+        koala_exec::meter::add_bytes(elems as u64 * ELEM_BYTES);
         let mut s = lock_ignore_poison(&self.stats);
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += receivers as u64;
@@ -153,6 +159,7 @@ impl Cluster {
     /// Record a collective that moves `elems` complex numbers in total across
     /// the interconnect in `rounds` communication rounds.
     pub fn record_collective(&self, elems: usize, rounds: usize) {
+        koala_exec::meter::add_bytes(elems as u64 * ELEM_BYTES);
         let mut s = lock_ignore_poison(&self.stats);
         s.bytes_communicated += elems as u64 * ELEM_BYTES;
         s.messages += (rounds * (self.nranks.saturating_sub(1))) as u64;

@@ -21,7 +21,11 @@
 //!   collective. The cost model charges [`CostModel::latency`] per message.
 //! * **Work** is split by kernel, mirroring the GEMM layer's own counters
 //!   ([`koala_linalg::gemm::flop_counter`] /
-//!   [`koala_linalg::gemm::real_mac_counter`]): [`CommStats::rank_flops`]
+//!   [`koala_linalg::gemm::real_mac_counter`], themselves views of the
+//!   scoped [`koala_exec::meter::WorkMeter`]; payload traffic recorded by
+//!   [`Cluster::record_p2p`](crate::Cluster::record_p2p) and the collective
+//!   recorders also bills the scoped meter's byte counter, so per-job
+//!   receipts include wire volume): [`CommStats::rank_flops`]
 //!   counts *complex* multiply-adds (8 real flops each) and
 //!   [`CommStats::rank_real_macs`] counts *real* multiply-adds (2 real flops
 //!   each) per rank. Distributed operations bill the real counter exactly

@@ -36,8 +36,35 @@
 //! with [`ErrorKind::Cancelled`]. The pool itself never dies with a run:
 //! workers catch unwinds, so a poisoned run leaves no orphaned threads
 //! and the next `run` on the same pool starts clean.
+//!
+//! # Thread-count configuration
+//!
+//! The global pool is sized on first use by [`default_threads`], which reads
+//! (in precedence order):
+//!
+//! 1. `KOALA_EXEC_THREADS` — the executor's own knob; always wins,
+//! 2. `RAYON_NUM_THREADS` — honoured for continuity with the rayon shim the
+//!    executor replaced, so existing run scripts keep working,
+//! 3. the host's available parallelism.
+//!
+//! The result is clamped to `1..=64`. [`set_threads`] overrides the
+//! environment at runtime and is safe to call from concurrent service
+//! startup paths: it is idempotent (a call that matches the current pool
+//! size keeps the existing workers instead of churning them) and in-flight
+//! runs always finish on the pool they started on.
+//!
+//! # Work accounting
+//!
+//! The [`meter`] module provides scoped [`WorkMeter`] billing. Scope stacks
+//! travel with tasks: [`TaskGraph::add`] captures the submitting thread's
+//! stack and the executing worker installs it around the closure, so work a
+//! scope causes is billed to it no matter which thread runs it.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod meter;
+
+pub use meter::{WorkLedger, WorkMeter};
 
 use koala_error::{ErrorKind, KoalaError};
 use std::collections::VecDeque;
@@ -160,17 +187,23 @@ impl<'env> TaskGraph<'env> {
     /// Add a task that runs after every task in `deps`. Duplicate entries
     /// in `deps` are permitted (each occurrence is one edge; the task still
     /// runs exactly once, after the dependency).
+    ///
+    /// The submitting thread's [`meter`] scope stack is captured here and
+    /// installed around the closure wherever it executes, so scoped work
+    /// accounting follows the task onto pool workers.
     pub fn add<F>(&mut self, kind: TaskKind, deps: &[TaskId], f: F) -> TaskId
     where
         F: FnOnce() -> TaskResult + Send + 'env,
     {
         debug_assert!(deps.iter().all(|d| d.0 < self.tasks.len()), "dependency on unknown task");
         let id = self.tasks.len();
-        self.tasks.push(TaskNode {
-            run: Box::new(f),
-            kind,
-            deps: deps.iter().map(|d| d.0).collect(),
-        });
+        let scope = meter::capture_scope();
+        let run: BoxedTask<'env> = if scope.is_empty() {
+            Box::new(f)
+        } else {
+            Box::new(move || meter::with_scope(scope, f))
+        };
+        self.tasks.push(TaskNode { run, kind, deps: deps.iter().map(|d| d.0).collect() });
         TaskId(id)
     }
 
@@ -580,8 +613,19 @@ pub fn pool() -> Arc<Pool> {
 /// Replace the global pool with one of `n` compute threads (min 1). Runs
 /// already in flight keep their pool alive until they finish; new runs use
 /// the new pool. Tests use this to sweep thread counts within one process.
+///
+/// Safe to call from concurrent startup paths (e.g. several `koala-serve`
+/// front doors spinning up in one process): the swap happens under one lock,
+/// and a call whose `n` matches the current pool size is a no-op — repeated
+/// or racing identical calls keep the existing workers instead of tearing
+/// the pool down and respawning it.
 pub fn set_threads(n: usize) {
-    *lock(&GLOBAL) = Some(Arc::new(Pool::new(n.max(1))));
+    let n = n.max(1);
+    let mut g = lock(&GLOBAL);
+    if g.as_ref().is_some_and(|p| p.threads() == n) {
+        return;
+    }
+    *g = Some(Arc::new(Pool::new(n)));
 }
 
 /// Compute-thread count of the global pool (hot-path dispatch reads this

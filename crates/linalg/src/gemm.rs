@@ -94,6 +94,17 @@
 //! weak-scaling binary derives its rates from the cluster *cost model*, not
 //! these runtime counters; only its 8-flops-per-complex-MAC convention is
 //! shared.)
+//!
+//! Since the scoped work-accounting redesign the counters live on
+//! [`koala_exec::meter::WorkMeter`] handles rather than private statics:
+//! every billing site adds to the process-global meter (which these
+//! functions read, so their numbers are unchanged) *and* to any
+//! [`WorkMeter::scope`](koala_exec::meter::WorkMeter::scope) active on the
+//! billing thread — scopes travel with executor tasks, which is what makes
+//! per-tenant billing in `koala-serve` exact. The meter additionally tracks
+//! **bytes** of GEMM interface traffic (operand reads + output writes, 16
+//! bytes per complex element, billed once per product and therefore
+//! identical at every thread count).
 
 use crate::matrix::Matrix;
 use crate::microkernel::{
@@ -102,9 +113,9 @@ use crate::microkernel::{
 };
 use crate::pack::{pack_a, pack_a_real, pack_b, pack_b_real};
 use crate::scalar::C64;
-use koala_exec::{TaskGraph, TaskId, TaskKind};
+use koala_exec::{meter, TaskGraph, TaskId, TaskKind};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Cache-blocking tile along the shared (k) dimension.
 const KC: usize = 256;
@@ -131,32 +142,28 @@ const PAR_THRESHOLD: usize = 64 * 64 * 64;
 /// still on the executor, just without cross-tile panel sharing.
 const PANEL_MEM_LIMIT: usize = 256 << 20;
 
-/// Global count of complex multiply-add operations executed by the
-/// split-complex GEMM kernel (8 real flops each; see the module docs).
-static FLOP_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-/// Global count of real multiply-add operations executed by the real-only
-/// GEMM kernel (2 real flops each).
-static REAL_MAC_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-/// Reset both GEMM work counters (complex and real MACs) and return the
-/// previous complex-MAC count.
+/// Reset the global work meter (complex MACs, real MACs, and bytes) and
+/// return the previous complex-MAC count.
+///
+/// Only the process-global default scope is reset; active
+/// [`WorkMeter`](koala_exec::meter::WorkMeter) scopes keep their subtotals.
 pub fn reset_flop_counter() -> u64 {
-    REAL_MAC_COUNTER.swap(0, Ordering::Relaxed);
-    FLOP_COUNTER.swap(0, Ordering::Relaxed)
+    meter::WorkMeter::global().reset().complex_macs
 }
 
 /// Read the global GEMM flop counter (counted as complex multiply-adds, i.e.
 /// 8 real flops each). MACs executed by the real-only kernel are counted
-/// separately by [`real_mac_counter`].
+/// separately by [`real_mac_counter`]. This reads the process-global
+/// [`WorkMeter`](koala_exec::meter::WorkMeter) — the default scope every
+/// billing site always adds to.
 pub fn flop_counter() -> u64 {
-    FLOP_COUNTER.load(Ordering::Relaxed)
+    meter::WorkMeter::global().complex_macs()
 }
 
 /// Read the global count of multiply-adds executed by the real-only kernel
 /// (2 real flops each).
 pub fn real_mac_counter() -> u64 {
-    REAL_MAC_COUNTER.load(Ordering::Relaxed)
+    meter::WorkMeter::global().real_macs()
 }
 
 /// How the left/right operand should be read by [`gemm`].
@@ -295,6 +302,10 @@ fn gemm_into_dispatch(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // Interface traffic of this product — operand reads plus output writes,
+    // 16 bytes per complex element. Billed once per product (not per packed
+    // panel), so the byte ledger is identical at every thread count.
+    meter::add_bytes(((m * k + k * n + m * n) as u64) * 16);
     // Row stride of the *stored* operand.
     let lda = if opa == Op::None { k } else { m };
     let ldb = if opb == Op::None { n } else { k };
@@ -605,9 +616,9 @@ unsafe fn tile_depth_block(
     let a_strip_len = kc * 2 * MR;
     let b_strip_len = kc * 2 * NR;
     if block_real {
-        REAL_MAC_COUNTER.fetch_add((mc * nc * kc) as u64, Ordering::Relaxed);
+        meter::add_real_macs((mc * nc * kc) as u64);
     } else {
-        FLOP_COUNTER.fetch_add((mc * nc * kc) as u64, Ordering::Relaxed);
+        meter::add_complex_macs((mc * nc * kc) as u64);
     }
     for (js, j0) in (jc..jc + nc).step_by(NR).enumerate() {
         let nr = NR.min(jc + nc - j0);
@@ -681,7 +692,7 @@ unsafe fn tile_depth_block_real(
 ) {
     let a_strip_len = kc * MR_REAL;
     let b_strip_len = kc * NR_REAL;
-    REAL_MAC_COUNTER.fetch_add((mc * nc * kc) as u64, Ordering::Relaxed);
+    meter::add_real_macs((mc * nc * kc) as u64);
     for (js, j0) in (jc..jc + nc).step_by(NR_REAL).enumerate() {
         let nr = NR_REAL.min(jc + nc - j0);
         let b_strip = &bp[js * b_strip_len..(js + 1) * b_strip_len];

@@ -40,7 +40,12 @@
 //! packers detect all-real cache blocks so even unhinted real data drops to
 //! the cheap kernel per depth block. See [`mod@gemm`] for the dispatch rules
 //! and the flop-accounting convention ([`gemm::flop_counter`] /
-//! [`gemm::real_mac_counter`]).
+//! [`gemm::real_mac_counter`]). Work accounting is *scoped*: the counters
+//! are views of the process-global [`WorkMeter`], and callers that need
+//! per-workload attribution (e.g. per-tenant billing in `koala-serve`) wrap
+//! their work in [`WorkMeter::scope`] — the scope travels with executor
+//! tasks, so a workload's ledger is exact even when its GEMM tiles run on
+//! shared pool workers.
 //!
 //! # Example: fused adjoint GEMM with [`gemm::gemm_into`]
 //!
@@ -86,6 +91,7 @@ pub mod solve;
 pub mod svd;
 
 pub use error::{LinalgError, Result};
+pub use koala_exec::meter::{WorkLedger, WorkMeter};
 pub use matrix::{reset_transpose_counter, transpose_counter, Matrix};
 pub use scalar::{c64, C64};
 

@@ -14,7 +14,7 @@
 
 use koala_linalg::gemm::{flop_counter, matmul, real_mac_counter};
 use koala_linalg::pack::{pack_counters, reset_pack_counters};
-use koala_linalg::Matrix;
+use koala_linalg::{Matrix, WorkMeter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -146,6 +146,43 @@ fn gemm_output_is_bit_identical_across_thread_counts() {
                 "element {i} differs at {threads} threads: {x:?} vs {y:?}"
             );
         }
+    }
+    koala_exec::set_threads(1);
+}
+
+/// Scoped work attribution: a [`WorkMeter::scope`] sees exactly the MACs
+/// and GEMM interface bytes of the products inside it — including depth
+/// blocks executed by pool workers, because `TaskGraph::add` captures the
+/// submitting thread's scope — and nothing from work outside the scope.
+#[test]
+fn scoped_meter_bills_exactly_and_travels_with_tasks() {
+    let _guard = SERIAL.lock().unwrap();
+    let (m, n, k) = (256usize, 640, 320);
+    let mut rng = StdRng::seed_from_u64(45);
+    let a = Matrix::random(m, k, &mut rng);
+    let b = Matrix::random(k, n, &mut rng);
+
+    for threads in [1usize, 4] {
+        koala_exec::set_threads(threads);
+        let meter = WorkMeter::new();
+        let _outside = matmul(&a, &b);
+        assert!(
+            meter.ledger().is_zero(),
+            "unscoped work must not bill a private meter ({threads} threads)"
+        );
+        let _inside = meter.scope(|| matmul(&a, &b));
+        let ledger = meter.ledger();
+        assert_eq!(
+            ledger.complex_macs,
+            (m * n * k) as u64,
+            "scoped complex MACs at {threads} threads must be exactly m*n*k"
+        );
+        assert_eq!(ledger.real_macs, 0, "complex product must not bill real MACs");
+        assert_eq!(
+            ledger.bytes,
+            ((m * k + k * n + m * n) * 16) as u64,
+            "scoped bytes at {threads} threads must be the GEMM interface traffic"
+        );
     }
     koala_exec::set_threads(1);
 }

@@ -1,0 +1,94 @@
+//! Line-delimited JSON job server over stdin/stdout.
+//!
+//! The build environment is network-free, so the wire is a pipe: one JSON
+//! object per input line, one JSON object per output line.
+//!
+//! Requests:
+//!
+//! * `{"op":"submit","tenant":"<name>","job":{...}}` — validate and queue a
+//!   job (the `job` object is the [`JobSpec`] wire form). Replies
+//!   `{"op":"submitted","job_id":N}` or `{"op":"error","message":"..."}`.
+//! * `{"op":"drain"}` — run every queued job and reply one
+//!   `{"op":"result",...}` line per job (receipt fields flattened alongside
+//!   the `result` object), followed by `{"op":"drained","jobs":N}`.
+//!
+//! End of input implies a final drain, so a caller may simply pipe a batch
+//! of submits and close the pipe.
+
+use koala_json::JsonValue;
+use koala_serve::{JobSpec, Server, ServerConfig};
+use std::io::{BufRead, Write};
+
+fn line_out(out: &mut impl Write, v: &JsonValue) {
+    // One line per message: compact by re-joining the pretty form.
+    let compact: String = v.pretty().lines().map(str::trim_start).collect::<Vec<_>>().join("");
+    let _ = writeln!(out, "{compact}");
+    let _ = out.flush();
+}
+
+fn error_msg(message: &str) -> JsonValue {
+    JsonValue::object([("op", JsonValue::str("error")), ("message", JsonValue::str(message))])
+}
+
+fn drain(server: &mut Server, out: &mut impl Write) {
+    let outcomes = server.drain();
+    let n = outcomes.len();
+    for outcome in outcomes {
+        line_out(out, &outcome.to_json());
+    }
+    line_out(
+        out,
+        &JsonValue::object([("op", JsonValue::str("drained")), ("jobs", JsonValue::num(n as f64))]),
+    );
+}
+
+fn handle_line(server: &mut Server, line: &str, out: &mut impl Write) {
+    let request = match JsonValue::parse(line) {
+        Ok(v) => v,
+        Err(e) => return line_out(out, &error_msg(&format!("bad JSON: {e}"))),
+    };
+    match request.get("op").and_then(JsonValue::as_str) {
+        Some("submit") => {
+            let tenant = request.get("tenant").and_then(JsonValue::as_str).unwrap_or("anonymous");
+            let Some(job) = request.get("job") else {
+                return line_out(out, &error_msg("submit: missing 'job' object"));
+            };
+            let spec = match JobSpec::from_json(job) {
+                Ok(s) => s,
+                Err(e) => return line_out(out, &error_msg(&e.to_string())),
+            };
+            match server.submit(tenant, spec) {
+                Ok(submission) => line_out(
+                    out,
+                    &JsonValue::object([
+                        ("op", JsonValue::str("submitted")),
+                        ("job_id", JsonValue::num(submission.job_id as f64)),
+                    ]),
+                ),
+                Err(e) => line_out(out, &error_msg(&e.to_string())),
+            }
+        }
+        Some("drain") => drain(server, out),
+        Some(other) => line_out(out, &error_msg(&format!("unknown op '{other}'"))),
+        None => line_out(out, &error_msg("missing 'op' field")),
+    }
+}
+
+fn main() {
+    let mut server = Server::new(ServerConfig::default());
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(&mut server, &line, &mut out);
+    }
+    // EOF: drain whatever is still queued so piped batches need no explicit
+    // drain op.
+    if server.queued() > 0 {
+        drain(&mut server, &mut out);
+    }
+}

@@ -1,0 +1,747 @@
+//! Typed job specifications and results.
+//!
+//! A [`JobSpec`] is a self-contained, validated description of one unit of
+//! service work — everything the engine needs to reproduce the run bit for
+//! bit (lattice shape, model couplings, algorithm knobs, and the RNG seeds).
+//! The three variants mirror the repository's example workloads:
+//!
+//! * [`IteJob`] — imaginary-time-evolution ground-state search (Figure 13),
+//! * [`VqeJob`] — variational ground-state energy (Figure 14),
+//! * [`AmplitudeJob`] — batched random-circuit output amplitudes (Figure 10).
+//!
+//! Every spec has a [`signature`](JobSpec::signature): a string key over the
+//! *shape-determining* fields (lattice, bonds, layers, step counts — but not
+//! value-level inputs like couplings or value seeds). Jobs sharing a
+//! signature execute the same einsum specs on the same tensor shapes, so the
+//! scheduler runs them leader-first and the followers hit warm plan-cache
+//! stripes (see [`crate::Server::drain`]). The amplitude signature *does*
+//! include the circuit seed, because the random circuit's gate placement
+//! determines the evolved bond dimensions and hence the contraction shapes.
+
+use koala_error::{ErrorKind, KoalaError};
+use koala_json::JsonValue;
+use koala_linalg::C64;
+use koala_peps::ContractionMethod;
+use koala_sim::{Optimizer, VqeBackend};
+
+/// Result type used by the serve layer.
+pub type Result<T> = std::result::Result<T, KoalaError>;
+
+fn invalid(msg: impl Into<String>) -> KoalaError {
+    KoalaError::new(ErrorKind::InvalidArgument, msg)
+}
+
+/// Largest lattice (in sites) a job may request; keeps a single mis-typed
+/// spec from pinning the whole service.
+pub const MAX_SITES: usize = 64;
+
+fn validate_lattice(nrows: usize, ncols: usize) -> Result<()> {
+    if nrows == 0 || ncols == 0 {
+        return Err(invalid(format!("lattice {nrows}x{ncols}: dimensions must be >= 1")));
+    }
+    if nrows * ncols > MAX_SITES {
+        return Err(invalid(format!(
+            "lattice {nrows}x{ncols}: {} sites exceeds the service cap of {MAX_SITES}",
+            nrows * ncols
+        )));
+    }
+    Ok(())
+}
+
+/// Imaginary-time-evolution ground-state job on the transverse-field Ising
+/// model: evolve `|0...0>` with PEPS-TEBD and report the measured energies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IteJob {
+    /// Lattice rows.
+    pub nrows: usize,
+    /// Lattice columns.
+    pub ncols: usize,
+    /// Ising coupling `Jz`.
+    pub jz: f64,
+    /// Transverse field `hx`.
+    pub hx: f64,
+    /// Trotter step size `tau`.
+    pub tau: f64,
+    /// Number of ITE steps.
+    pub steps: usize,
+    /// Evolution bond dimension `r`.
+    pub evolution_bond: usize,
+    /// Contraction bond dimension `m` for energy measurement.
+    pub contraction_bond: usize,
+    /// Measure the energy every this many steps.
+    pub measure_every: usize,
+    /// Seed of the run's RNG stream (IBMPS sketches).
+    pub seed: u64,
+}
+
+impl IteJob {
+    /// A laptop-friendly default mirroring the `ite_ground_state` example:
+    /// `Jz = -1, hx = -2`, `tau = 0.05`, 40 steps measured every 5.
+    pub fn new(nrows: usize, ncols: usize, evolution_bond: usize) -> IteJob {
+        IteJob {
+            nrows,
+            ncols,
+            jz: -1.0,
+            hx: -2.0,
+            tau: 0.05,
+            steps: 40,
+            evolution_bond,
+            contraction_bond: (evolution_bond * evolution_bond).max(2),
+            measure_every: 5,
+            seed: 7,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        validate_lattice(self.nrows, self.ncols)?;
+        if !(self.tau.is_finite() && self.tau > 0.0) {
+            return Err(invalid(format!("ite: tau must be finite and positive, got {}", self.tau)));
+        }
+        if !(self.jz.is_finite() && self.hx.is_finite()) {
+            return Err(invalid("ite: couplings jz/hx must be finite"));
+        }
+        if self.steps == 0 {
+            return Err(invalid("ite: steps must be >= 1"));
+        }
+        if self.evolution_bond == 0 || self.contraction_bond == 0 {
+            return Err(invalid("ite: bond dimensions must be >= 1"));
+        }
+        if self.measure_every == 0 {
+            return Err(invalid("ite: measure_every must be >= 1"));
+        }
+        Ok(())
+    }
+
+    fn signature(&self) -> String {
+        format!(
+            "ite/{}x{}/r{}/m{}/steps{}/every{}",
+            self.nrows,
+            self.ncols,
+            self.evolution_bond,
+            self.contraction_bond,
+            self.steps,
+            self.measure_every
+        )
+    }
+}
+
+/// Variational-quantum-eigensolver job on the transverse-field Ising model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqeJob {
+    /// Lattice rows.
+    pub nrows: usize,
+    /// Lattice columns.
+    pub ncols: usize,
+    /// Ising coupling `Jz`.
+    pub jz: f64,
+    /// Transverse field `hx`.
+    pub hx: f64,
+    /// Ansatz layers (Ry on every site + CNOT ladder per layer).
+    pub layers: usize,
+    /// Simulation backend for the ansatz state.
+    pub backend: VqeBackend,
+    /// Classical optimizer.
+    pub optimizer: Optimizer,
+    /// Seed of the run's RNG stream (objective evaluations and SPSA).
+    pub seed: u64,
+}
+
+impl VqeJob {
+    /// A laptop-friendly default mirroring the `vqe_tfi` example: the paper's
+    /// Figure 14 couplings, one ansatz layer, Nelder–Mead with 60 iterations.
+    pub fn new(nrows: usize, ncols: usize, backend: VqeBackend) -> VqeJob {
+        VqeJob {
+            nrows,
+            ncols,
+            jz: -1.0,
+            hx: -3.5,
+            layers: 1,
+            backend,
+            optimizer: Optimizer::NelderMead { scale: 0.4, max_iterations: 60 },
+            seed: 11,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        validate_lattice(self.nrows, self.ncols)?;
+        if !(self.jz.is_finite() && self.hx.is_finite()) {
+            return Err(invalid("vqe: couplings jz/hx must be finite"));
+        }
+        if self.layers == 0 {
+            return Err(invalid("vqe: layers must be >= 1"));
+        }
+        if let VqeBackend::Peps { bond, contraction_bond } = self.backend {
+            if bond == 0 || contraction_bond == 0 {
+                return Err(invalid("vqe: PEPS backend bond dimensions must be >= 1"));
+            }
+        }
+        let budget = match self.optimizer {
+            Optimizer::NelderMead { max_iterations, .. } => max_iterations,
+            Optimizer::Spsa { iterations, .. } => iterations,
+        };
+        if budget == 0 {
+            return Err(invalid("vqe: optimizer iteration budget must be >= 1"));
+        }
+        Ok(())
+    }
+
+    fn signature(&self) -> String {
+        format!(
+            "vqe/{}x{}/l{}/{:?}/{:?}",
+            self.nrows, self.ncols, self.layers, self.backend, self.optimizer
+        )
+    }
+}
+
+/// Batched random-quantum-circuit amplitude job: evolve `|0...0>` under a
+/// seeded random circuit, then contract one amplitude per requested
+/// bitstring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmplitudeJob {
+    /// Lattice rows.
+    pub nrows: usize,
+    /// Lattice columns.
+    pub ncols: usize,
+    /// Circuit layers.
+    pub layers: usize,
+    /// Entangling-layer period of the random circuit.
+    pub entangle_every: usize,
+    /// Seed selecting the random circuit (part of the signature: it fixes
+    /// the gate placement and hence the evolved tensor shapes).
+    pub circuit_seed: u64,
+    /// Bond-dimension cap for the circuit evolution.
+    pub evolution_bond: usize,
+    /// Contraction method for the amplitudes.
+    pub method: ContractionMethod,
+    /// Bitstrings (row-major, one bit per site) to compute amplitudes for.
+    pub bitstrings: Vec<Vec<usize>>,
+    /// Seed of the contraction RNG stream (IBMPS sketches).
+    pub seed: u64,
+}
+
+impl AmplitudeJob {
+    /// A laptop-friendly default mirroring the `rqc_amplitude` example: a
+    /// 3x3-suitable 8-layer circuit with an entangling layer every 4,
+    /// evolved exactly, asking for the all-zeros amplitude.
+    pub fn new(nrows: usize, ncols: usize, method: ContractionMethod) -> AmplitudeJob {
+        AmplitudeJob {
+            nrows,
+            ncols,
+            layers: 8,
+            entangle_every: 4,
+            circuit_seed: 21,
+            evolution_bond: 1 << 16,
+            method,
+            bitstrings: vec![vec![0; nrows * ncols]],
+            seed: 21,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        validate_lattice(self.nrows, self.ncols)?;
+        if self.layers == 0 || self.entangle_every == 0 {
+            return Err(invalid("amplitudes: layers and entangle_every must be >= 1"));
+        }
+        if self.evolution_bond == 0 {
+            return Err(invalid("amplitudes: evolution_bond must be >= 1"));
+        }
+        match self.method {
+            ContractionMethod::Exact => {}
+            ContractionMethod::Bmps { max_bond } | ContractionMethod::Ibmps { max_bond, .. } => {
+                if max_bond == 0 {
+                    return Err(invalid("amplitudes: contraction max_bond must be >= 1"));
+                }
+            }
+        }
+        if self.bitstrings.is_empty() {
+            return Err(invalid("amplitudes: at least one bitstring is required"));
+        }
+        let n = self.nrows * self.ncols;
+        for (i, bits) in self.bitstrings.iter().enumerate() {
+            if bits.len() != n {
+                return Err(invalid(format!(
+                    "amplitudes: bitstring {i} has {} bits, lattice has {n} sites",
+                    bits.len()
+                )));
+            }
+            if bits.iter().any(|&b| b > 1) {
+                return Err(invalid(format!("amplitudes: bitstring {i} has a bit outside 0/1")));
+            }
+        }
+        Ok(())
+    }
+
+    fn signature(&self) -> String {
+        format!(
+            "amp/{}x{}/l{}/e{}/cs{}/r{}/{:?}/n{}",
+            self.nrows,
+            self.ncols,
+            self.layers,
+            self.entangle_every,
+            self.circuit_seed,
+            self.evolution_bond,
+            self.method,
+            self.bitstrings.len()
+        )
+    }
+}
+
+/// A typed, validated unit of service work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Imaginary-time-evolution ground-state search.
+    Ite(IteJob),
+    /// Variational ground-state energy.
+    Vqe(VqeJob),
+    /// Batched circuit amplitudes.
+    Amplitudes(AmplitudeJob),
+}
+
+impl JobSpec {
+    /// Check every field for structural validity. [`crate::Server::submit`]
+    /// rejects invalid specs with [`ErrorKind::InvalidArgument`] before they
+    /// reach the queue.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            JobSpec::Ite(j) => j.validate(),
+            JobSpec::Vqe(j) => j.validate(),
+            JobSpec::Amplitudes(j) => j.validate(),
+        }
+    }
+
+    /// Workload-signature key: jobs sharing a signature run the same einsum
+    /// specs over the same tensor shapes, so the scheduler serialises them
+    /// leader-first to keep every follower on warm plan-cache stripes.
+    pub fn signature(&self) -> String {
+        match self {
+            JobSpec::Ite(j) => j.signature(),
+            JobSpec::Vqe(j) => j.signature(),
+            JobSpec::Amplitudes(j) => j.signature(),
+        }
+    }
+
+    /// Short kind tag (`"ite"` / `"vqe"` / `"amplitudes"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Ite(_) => "ite",
+            JobSpec::Vqe(_) => "vqe",
+            JobSpec::Amplitudes(_) => "amplitudes",
+        }
+    }
+
+    /// Serialise to the wire form understood by [`JobSpec::from_json`] and
+    /// the `serve_stdio` binary.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            JobSpec::Ite(j) => JsonValue::object([
+                ("type", JsonValue::str("ite")),
+                ("nrows", JsonValue::num(j.nrows as f64)),
+                ("ncols", JsonValue::num(j.ncols as f64)),
+                ("jz", JsonValue::num(j.jz)),
+                ("hx", JsonValue::num(j.hx)),
+                ("tau", JsonValue::num(j.tau)),
+                ("steps", JsonValue::num(j.steps as f64)),
+                ("evolution_bond", JsonValue::num(j.evolution_bond as f64)),
+                ("contraction_bond", JsonValue::num(j.contraction_bond as f64)),
+                ("measure_every", JsonValue::num(j.measure_every as f64)),
+                ("seed", JsonValue::num(j.seed as f64)),
+            ]),
+            JobSpec::Vqe(j) => {
+                let backend = match j.backend {
+                    VqeBackend::StateVector => {
+                        JsonValue::object([("type", JsonValue::str("statevector"))])
+                    }
+                    VqeBackend::Peps { bond, contraction_bond } => JsonValue::object([
+                        ("type", JsonValue::str("peps")),
+                        ("bond", JsonValue::num(bond as f64)),
+                        ("contraction_bond", JsonValue::num(contraction_bond as f64)),
+                    ]),
+                };
+                let optimizer = match j.optimizer {
+                    Optimizer::NelderMead { scale, max_iterations } => JsonValue::object([
+                        ("type", JsonValue::str("nelder_mead")),
+                        ("scale", JsonValue::num(scale)),
+                        ("max_iterations", JsonValue::num(max_iterations as f64)),
+                    ]),
+                    Optimizer::Spsa { a0, c0, iterations } => JsonValue::object([
+                        ("type", JsonValue::str("spsa")),
+                        ("a0", JsonValue::num(a0)),
+                        ("c0", JsonValue::num(c0)),
+                        ("iterations", JsonValue::num(iterations as f64)),
+                    ]),
+                };
+                JsonValue::object([
+                    ("type", JsonValue::str("vqe")),
+                    ("nrows", JsonValue::num(j.nrows as f64)),
+                    ("ncols", JsonValue::num(j.ncols as f64)),
+                    ("jz", JsonValue::num(j.jz)),
+                    ("hx", JsonValue::num(j.hx)),
+                    ("layers", JsonValue::num(j.layers as f64)),
+                    ("backend", backend),
+                    ("optimizer", optimizer),
+                    ("seed", JsonValue::num(j.seed as f64)),
+                ])
+            }
+            JobSpec::Amplitudes(j) => {
+                let method = match j.method {
+                    ContractionMethod::Exact => {
+                        JsonValue::object([("type", JsonValue::str("exact"))])
+                    }
+                    ContractionMethod::Bmps { max_bond } => JsonValue::object([
+                        ("type", JsonValue::str("bmps")),
+                        ("max_bond", JsonValue::num(max_bond as f64)),
+                    ]),
+                    ContractionMethod::Ibmps { max_bond, n_iter, oversample } => {
+                        JsonValue::object([
+                            ("type", JsonValue::str("ibmps")),
+                            ("max_bond", JsonValue::num(max_bond as f64)),
+                            ("n_iter", JsonValue::num(n_iter as f64)),
+                            ("oversample", JsonValue::num(oversample as f64)),
+                        ])
+                    }
+                };
+                let bitstrings = JsonValue::Array(
+                    j.bitstrings
+                        .iter()
+                        .map(|bits| {
+                            JsonValue::Array(
+                                bits.iter().map(|&b| JsonValue::num(b as f64)).collect(),
+                            )
+                        })
+                        .collect(),
+                );
+                JsonValue::object([
+                    ("type", JsonValue::str("amplitudes")),
+                    ("nrows", JsonValue::num(j.nrows as f64)),
+                    ("ncols", JsonValue::num(j.ncols as f64)),
+                    ("layers", JsonValue::num(j.layers as f64)),
+                    ("entangle_every", JsonValue::num(j.entangle_every as f64)),
+                    ("circuit_seed", JsonValue::num(j.circuit_seed as f64)),
+                    ("evolution_bond", JsonValue::num(j.evolution_bond as f64)),
+                    ("method", method),
+                    ("bitstrings", bitstrings),
+                    ("seed", JsonValue::num(j.seed as f64)),
+                ])
+            }
+        }
+    }
+
+    /// Parse the wire form produced by [`JobSpec::to_json`]. The parsed spec
+    /// is validated before being returned.
+    ///
+    /// Integer fields travel as JSON numbers (`f64`); seeds and counters are
+    /// exact up to 2^53, far beyond any spec this service accepts.
+    pub fn from_json(v: &JsonValue) -> Result<JobSpec> {
+        let kind = req_str(v, "type")?;
+        let spec = match kind {
+            "ite" => JobSpec::Ite(IteJob {
+                nrows: req_usize(v, "nrows")?,
+                ncols: req_usize(v, "ncols")?,
+                jz: opt_f64(v, "jz", -1.0)?,
+                hx: opt_f64(v, "hx", -2.0)?,
+                tau: opt_f64(v, "tau", 0.05)?,
+                steps: req_usize(v, "steps")?,
+                evolution_bond: req_usize(v, "evolution_bond")?,
+                contraction_bond: req_usize(v, "contraction_bond")?,
+                measure_every: opt_usize(v, "measure_every", 1)?,
+                seed: opt_u64(v, "seed", 0)?,
+            }),
+            "vqe" => {
+                let backend_v =
+                    v.get("backend").ok_or_else(|| invalid("vqe: missing field 'backend'"))?;
+                let backend = match req_str(backend_v, "type")? {
+                    "statevector" => VqeBackend::StateVector,
+                    "peps" => VqeBackend::Peps {
+                        bond: req_usize(backend_v, "bond")?,
+                        contraction_bond: req_usize(backend_v, "contraction_bond")?,
+                    },
+                    other => return Err(invalid(format!("vqe: unknown backend '{other}'"))),
+                };
+                let opt_v =
+                    v.get("optimizer").ok_or_else(|| invalid("vqe: missing field 'optimizer'"))?;
+                let optimizer = match req_str(opt_v, "type")? {
+                    "nelder_mead" => Optimizer::NelderMead {
+                        scale: opt_f64(opt_v, "scale", 0.4)?,
+                        max_iterations: req_usize(opt_v, "max_iterations")?,
+                    },
+                    "spsa" => Optimizer::Spsa {
+                        a0: opt_f64(opt_v, "a0", 0.3)?,
+                        c0: opt_f64(opt_v, "c0", 0.2)?,
+                        iterations: req_usize(opt_v, "iterations")?,
+                    },
+                    other => return Err(invalid(format!("vqe: unknown optimizer '{other}'"))),
+                };
+                JobSpec::Vqe(VqeJob {
+                    nrows: req_usize(v, "nrows")?,
+                    ncols: req_usize(v, "ncols")?,
+                    jz: opt_f64(v, "jz", -1.0)?,
+                    hx: opt_f64(v, "hx", -3.5)?,
+                    layers: opt_usize(v, "layers", 1)?,
+                    backend,
+                    optimizer,
+                    seed: opt_u64(v, "seed", 0)?,
+                })
+            }
+            "amplitudes" => {
+                let method_v =
+                    v.get("method").ok_or_else(|| invalid("amplitudes: missing field 'method'"))?;
+                let method = match req_str(method_v, "type")? {
+                    "exact" => ContractionMethod::Exact,
+                    "bmps" => ContractionMethod::bmps(req_usize(method_v, "max_bond")?),
+                    "ibmps" => ContractionMethod::Ibmps {
+                        max_bond: req_usize(method_v, "max_bond")?,
+                        n_iter: opt_usize(method_v, "n_iter", 2)?,
+                        oversample: opt_usize(method_v, "oversample", 10)?,
+                    },
+                    other => return Err(invalid(format!("amplitudes: unknown method '{other}'"))),
+                };
+                let bits_v = v
+                    .get("bitstrings")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| invalid("amplitudes: missing array field 'bitstrings'"))?;
+                let mut bitstrings = Vec::with_capacity(bits_v.len());
+                for (i, bits) in bits_v.iter().enumerate() {
+                    let arr = bits.as_array().ok_or_else(|| {
+                        invalid(format!("amplitudes: bitstring {i} not an array"))
+                    })?;
+                    let mut parsed = Vec::with_capacity(arr.len());
+                    for b in arr {
+                        let x = b.as_num().ok_or_else(|| {
+                            invalid(format!("amplitudes: bitstring {i} has a non-numeric bit"))
+                        })?;
+                        parsed.push(x as usize);
+                    }
+                    bitstrings.push(parsed);
+                }
+                JobSpec::Amplitudes(AmplitudeJob {
+                    nrows: req_usize(v, "nrows")?,
+                    ncols: req_usize(v, "ncols")?,
+                    layers: opt_usize(v, "layers", 8)?,
+                    entangle_every: opt_usize(v, "entangle_every", 4)?,
+                    circuit_seed: opt_u64(v, "circuit_seed", 0)?,
+                    evolution_bond: opt_usize(v, "evolution_bond", 1 << 16)?,
+                    method,
+                    bitstrings,
+                    seed: opt_u64(v, "seed", 0)?,
+                })
+            }
+            other => return Err(invalid(format!("unknown job type '{other}'"))),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn req_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| invalid(format!("missing string field '{key}'")))
+}
+
+fn req_usize(v: &JsonValue, key: &str) -> Result<usize> {
+    let x = v
+        .get(key)
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| invalid(format!("missing numeric field '{key}'")))?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(invalid(format!("field '{key}' must be a non-negative integer, got {x}")));
+    }
+    Ok(x as usize)
+}
+
+fn opt_usize(v: &JsonValue, key: &str, default: usize) -> Result<usize> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => req_usize(v, key),
+    }
+}
+
+fn opt_u64(v: &JsonValue, key: &str, default: u64) -> Result<u64> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => Ok(req_usize(v, key)? as u64),
+    }
+}
+
+fn opt_f64(v: &JsonValue, key: &str, default: f64) -> Result<f64> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x.as_num().ok_or_else(|| invalid(format!("field '{key}' must be a number"))),
+    }
+}
+
+/// Output of a completed [`IteJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IteOutput {
+    /// Energy per site at each measured step `(step, energy)`.
+    pub energies: Vec<(usize, f64)>,
+    /// The last measured energy per site.
+    pub final_energy: f64,
+    /// Maximum bond dimension of the evolved PEPS.
+    pub max_bond: usize,
+}
+
+/// Output of a completed [`VqeJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqeOutput {
+    /// Best energy per site found.
+    pub best_energy: f64,
+    /// Best-so-far energy per site after each optimizer iteration.
+    pub energy_history: Vec<f64>,
+    /// Optimal parameters.
+    pub best_params: Vec<f64>,
+    /// Number of objective evaluations.
+    pub evaluations: usize,
+}
+
+/// Output of a completed [`AmplitudeJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmplitudeOutput {
+    /// One amplitude per requested bitstring, in request order.
+    pub amplitudes: Vec<C64>,
+    /// Maximum bond dimension of the evolved PEPS.
+    pub max_bond: usize,
+}
+
+/// The typed result of a successfully completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResult {
+    /// Result of an [`IteJob`].
+    Ite(IteOutput),
+    /// Result of a [`VqeJob`].
+    Vqe(VqeOutput),
+    /// Result of an [`AmplitudeJob`].
+    Amplitudes(AmplitudeOutput),
+}
+
+impl JobResult {
+    /// Serialise to the wire form emitted by the `serve_stdio` binary.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            JobResult::Ite(o) => JsonValue::object([
+                ("type", JsonValue::str("ite")),
+                (
+                    "energies",
+                    JsonValue::Array(
+                        o.energies
+                            .iter()
+                            .map(|&(s, e)| {
+                                JsonValue::Array(vec![JsonValue::num(s as f64), JsonValue::num(e)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("final_energy", JsonValue::num(o.final_energy)),
+                ("max_bond", JsonValue::num(o.max_bond as f64)),
+            ]),
+            JobResult::Vqe(o) => JsonValue::object([
+                ("type", JsonValue::str("vqe")),
+                ("best_energy", JsonValue::num(o.best_energy)),
+                (
+                    "energy_history",
+                    JsonValue::Array(o.energy_history.iter().map(|&e| JsonValue::num(e)).collect()),
+                ),
+                (
+                    "best_params",
+                    JsonValue::Array(o.best_params.iter().map(|&p| JsonValue::num(p)).collect()),
+                ),
+                ("evaluations", JsonValue::num(o.evaluations as f64)),
+            ]),
+            JobResult::Amplitudes(o) => JsonValue::object([
+                ("type", JsonValue::str("amplitudes")),
+                (
+                    "amplitudes",
+                    JsonValue::Array(
+                        o.amplitudes
+                            .iter()
+                            .map(|a| {
+                                JsonValue::Array(vec![JsonValue::num(a.re), JsonValue::num(a.im)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("max_bond", JsonValue::num(o.max_bond as f64)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_ignore_value_inputs_but_not_shapes() {
+        let a = IteJob::new(3, 3, 2);
+        let mut b = a.clone();
+        b.seed = 99;
+        b.jz = -0.5;
+        b.tau = 0.01;
+        assert_eq!(
+            JobSpec::Ite(a.clone()).signature(),
+            JobSpec::Ite(b).signature(),
+            "value-level fields must not split a signature group"
+        );
+        let mut c = a;
+        c.evolution_bond = 3;
+        assert_ne!(JobSpec::Ite(IteJob::new(3, 3, 2)).signature(), JobSpec::Ite(c).signature());
+    }
+
+    #[test]
+    fn amplitude_signature_includes_the_circuit_seed() {
+        let a = AmplitudeJob::new(3, 3, ContractionMethod::bmps(8));
+        let mut b = a.clone();
+        b.circuit_seed ^= 1;
+        assert_ne!(
+            JobSpec::Amplitudes(a).signature(),
+            JobSpec::Amplitudes(b).signature(),
+            "the circuit seed fixes gate placement and hence shapes"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_structural_nonsense() {
+        let mut j = IteJob::new(3, 3, 2);
+        j.steps = 0;
+        assert_eq!(JobSpec::Ite(j).validate().unwrap_err().kind(), ErrorKind::InvalidArgument);
+        let mut j = IteJob::new(9, 9, 2);
+        j.nrows = 100;
+        assert!(JobSpec::Ite(j).validate().is_err());
+        let mut a = AmplitudeJob::new(2, 2, ContractionMethod::Exact);
+        a.bitstrings = vec![vec![0, 1, 2, 0]];
+        assert!(JobSpec::Amplitudes(a).validate().is_err());
+        let mut v = VqeJob::new(2, 2, VqeBackend::StateVector);
+        v.optimizer = Optimizer::NelderMead { scale: 0.4, max_iterations: 0 };
+        assert!(JobSpec::Vqe(v).validate().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let specs = [
+            JobSpec::Ite(IteJob { seed: 123, ..IteJob::new(3, 2, 2) }),
+            JobSpec::Vqe(VqeJob {
+                optimizer: Optimizer::Spsa { a0: 0.3, c0: 0.2, iterations: 50 },
+                ..VqeJob::new(2, 3, VqeBackend::Peps { bond: 2, contraction_bond: 4 })
+            }),
+            JobSpec::Amplitudes(AmplitudeJob {
+                bitstrings: vec![vec![0, 1, 0, 1], vec![1, 1, 0, 0]],
+                method: ContractionMethod::ibmps(16),
+                ..AmplitudeJob::new(2, 2, ContractionMethod::Exact)
+            }),
+        ];
+        for spec in specs {
+            let text = spec.to_json().pretty();
+            let parsed = JsonValue::parse(&text).expect("emitted JSON must parse");
+            assert_eq!(JobSpec::from_json(&parsed).expect("roundtrip"), spec);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_kinds_and_bad_fields() {
+        let bad = JsonValue::object([("type", JsonValue::str("teleport"))]);
+        assert!(JobSpec::from_json(&bad).is_err());
+        let bad =
+            JsonValue::object([("type", JsonValue::str("ite")), ("nrows", JsonValue::num(2.5))]);
+        assert!(JobSpec::from_json(&bad).is_err());
+    }
+}

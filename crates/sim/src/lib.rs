@@ -62,4 +62,4 @@ pub use ite::{
 };
 pub use opt::{nelder_mead, spsa, OptResult};
 pub use statevector::StateVector;
-pub use vqe::{run_vqe, Optimizer, VqeBackend, VqeOptions, VqeResult};
+pub use vqe::{run_vqe, run_vqe_cancellable, Optimizer, VqeBackend, VqeOptions, VqeResult};

@@ -144,6 +144,29 @@ pub fn run_vqe<R: Rng + ?Sized>(
     initial_params: Option<&[f64]>,
     rng: &mut R,
 ) -> Result<VqeResult> {
+    run_vqe_cancellable(nrows, ncols, hamiltonian, options, initial_params, rng, None)
+}
+
+/// [`run_vqe`] with cooperative cancellation.
+///
+/// Once `cancel` fires, every subsequent objective evaluation short-circuits
+/// to a large penalty value without touching the simulation backend, so the
+/// optimizer unwinds in O(iterations) cheap steps instead of finishing its
+/// full simulation budget. The best-so-far result found *before* the token
+/// fired is still returned — cancellation is a scheduling event, not an
+/// engine error, so callers that need to distinguish a cut-short run must
+/// inspect `cancel.is_cancelled()` after the call. With `cancel = None` the
+/// arithmetic (and hence the RNG stream and result) is bit-identical to
+/// [`run_vqe`].
+pub fn run_vqe_cancellable<R: Rng + ?Sized>(
+    nrows: usize,
+    ncols: usize,
+    hamiltonian: &Observable,
+    options: VqeOptions,
+    initial_params: Option<&[f64]>,
+    rng: &mut R,
+    cancel: Option<&koala_exec::CancelToken>,
+) -> Result<VqeResult> {
     let n_params = num_parameters(nrows, ncols, options.layers);
     let default_init: Vec<f64> = (0..n_params).map(|i| 0.1 + 0.05 * (i % 7) as f64).collect();
     let initial: Vec<f64> = match initial_params {
@@ -159,6 +182,9 @@ pub fn run_vqe<R: Rng + ?Sized>(
     let mut eval_rng = rand::rngs::StdRng::seed_from_u64(rng.gen());
     let mut failures = 0usize;
     let mut objective = |params: &[f64]| -> f64 {
+        if cancel.is_some_and(koala_exec::CancelToken::is_cancelled) {
+            return f64::MAX / 1e6;
+        }
         match energy_per_site(
             nrows,
             ncols,

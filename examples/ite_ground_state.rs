@@ -1,41 +1,55 @@
 //! Ground-state search with imaginary time evolution (the Figure 13 workload
-//! at a laptop-friendly size).
+//! at a laptop-friendly size), submitted through the `koala-serve` front
+//! door instead of driving the engine directly.
 //!
 //! Evolves a 3x3 transverse-field Ising model towards its ground state with
 //! PEPS-TEBD at two bond dimensions and compares against the exact
-//! state-vector reference.
+//! state-vector reference. Each bond dimension is a typed [`IteJob`]; the
+//! returned receipts carry the exact per-job work accounting.
 //!
 //! Run with: `cargo run --release --example ite_ground_state`
 
-use koala::peps::Peps;
-use koala::sim::{ite_peps, tfi_hamiltonian, IteOptions, StateVector, TfiParams};
+use koala::serve::{IteJob, JobResult, JobSpec, Server, ServerConfig};
+use koala::sim::{tfi_hamiltonian, StateVector, TfiParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
     let (nrows, ncols) = (3, 3);
     let params = TfiParams { jz: -1.0, hx: -2.0 };
     let h = tfi_hamiltonian(nrows, ncols, params);
 
+    let mut rng = StdRng::seed_from_u64(7);
     let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng)
         .expect("Lanczos reference failed")
         / 9.0;
     println!("exact ground-state energy per site: {exact:.6}");
 
+    // IteJob::new defaults mirror this example's workload: Jz = -1, hx = -2,
+    // tau = 0.05, 40 steps measured every 5, seed 7.
+    let mut server = Server::new(ServerConfig::default());
     for r in [1usize, 2] {
-        let peps = Peps::computational_zeros(nrows, ncols);
-        let mut options = IteOptions::new(0.05, 40, r, (r * r).max(2));
-        options.measure_every = 5;
-        let result = ite_peps(&peps, &h, options, &mut rng).expect("ITE failed");
-        println!("\nPEPS ITE with bond dimension r = {r}:");
-        for (step, e) in &result.energies {
+        server.submit("figure13", JobSpec::Ite(IteJob::new(nrows, ncols, r))).expect("submit");
+    }
+
+    for outcome in server.drain() {
+        let JobResult::Ite(out) = outcome.result.expect("ITE job failed") else {
+            unreachable!("ITE jobs return ITE results")
+        };
+        println!("\n{} (bond dimension in the signature):", outcome.receipt.signature);
+        for (step, e) in &out.energies {
             println!("  step {step:>3}: energy per site = {e:.6}");
         }
         println!(
             "  final = {:.6} (difference from exact: {:.4})",
-            result.final_energy(),
-            result.final_energy() - exact
+            out.final_energy,
+            out.final_energy - exact
+        );
+        println!(
+            "  receipt: {:.2e} hardware flops, {:.2e} bytes moved, {:.1?} wall",
+            outcome.receipt.work.hw_flops(),
+            outcome.receipt.work.bytes as f64,
+            outcome.receipt.wall
         );
     }
     println!("\nLarger bond dimensions track the exact ground state more closely,");

@@ -1,51 +1,68 @@
 //! Random-quantum-circuit amplitude study (the Figure 10 workload at a
-//! laptop-friendly size).
+//! laptop-friendly size), submitted through the `koala-serve` front door
+//! instead of driving the engine directly.
 //!
-//! Evolves a 3x3 PEPS exactly under a random circuit, then computes one
-//! output amplitude with BMPS and IBMPS at increasing contraction bond
-//! dimensions, showing the sharp error drop once the bond dimension crosses
-//! the entanglement threshold.
+//! Computes one output amplitude of a 3x3 random circuit with BMPS and
+//! IBMPS at increasing contraction bond dimensions, showing the sharp error
+//! drop once the bond dimension crosses the entanglement threshold. Each
+//! `(method, bond)` point is a typed [`AmplitudeJob`] sharing the same
+//! circuit seed, so every job contracts the same exactly-evolved state.
 //!
 //! Run with: `cargo run --release --example rqc_amplitude`
 
-use koala::peps::{amplitude, ContractionMethod, Peps, UpdateMethod};
+use koala::peps::ContractionMethod;
+use koala::serve::{AmplitudeJob, JobResult, JobSpec, Server, ServerConfig};
 use koala::sim::{random_circuit, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(21);
     let n = 3;
+    // The exact reference: the same seed-21 circuit AmplitudeJob::new
+    // evolves, applied to a state vector.
+    let mut rng = StdRng::seed_from_u64(21);
     let circuit = random_circuit(n, n, 8, 4, &mut rng);
     println!(
         "generated an RQC with {} gates ({} entangling)",
         circuit.len(),
         circuit.two_qubit_count()
     );
-
-    let mut peps = Peps::computational_zeros(n, n);
-    circuit
-        .apply_to_peps(&mut peps, UpdateMethod::qr_svd(1 << 16))
-        .expect("exact evolution failed");
     let mut sv = StateVector::computational_zeros(n, n);
     circuit.apply_to_statevector(&mut sv);
-    println!("PEPS bond dimension after exact evolution: {}", peps.max_bond());
-
     let bits = vec![0usize; n * n];
     let exact = sv.amplitude(&bits);
     println!("exact amplitude <0...0|C|0...0> = {exact}");
 
+    // AmplitudeJob::new defaults mirror this workload: the 8-layer seed-21
+    // circuit evolved exactly, asking for the all-zeros amplitude.
+    let bonds = [2usize, 8, 32];
+    let mut server = Server::new(ServerConfig::default());
+    for m in bonds {
+        for method in [ContractionMethod::bmps(m), ContractionMethod::ibmps(m)] {
+            server
+                .submit("figure10", JobSpec::Amplitudes(AmplitudeJob::new(n, n, method)))
+                .expect("submit");
+        }
+    }
+    let outcomes = server.drain();
+
     println!("\n{:>6} | {:>12} | {:>12}", "m", "BMPS error", "IBMPS error");
-    for m in [2usize, 4, 8, 16, 32, 64] {
-        let a_bmps = amplitude(&peps, &bits, ContractionMethod::bmps(m), &mut rng).unwrap();
-        let a_ibmps = amplitude(&peps, &bits, ContractionMethod::ibmps(m), &mut rng).unwrap();
+    for (i, m) in bonds.iter().enumerate() {
+        let error = |outcome: &koala::serve::JobOutcome| {
+            let Some(JobResult::Amplitudes(out)) = &outcome.result else {
+                panic!("amplitude job failed: {:?}", outcome.error)
+            };
+            (out.amplitudes[0] - exact).abs() / exact.abs()
+        };
         println!(
             "{:>6} | {:>12.3e} | {:>12.3e}",
             m,
-            (a_bmps - exact).abs() / exact.abs(),
-            (a_ibmps - exact).abs() / exact.abs()
+            error(&outcomes[2 * i]),
+            error(&outcomes[2 * i + 1])
         );
     }
-    println!("\nOnce the contraction bond dimension exceeds the state's entanglement,");
+    let flops: f64 = outcomes.iter().map(|o| o.receipt.work.hw_flops()).sum();
+    println!("\ntotal billed across the batch: {flops:.2e} hardware flops");
+    println!("Once the contraction bond dimension exceeds the state's entanglement,");
     println!("the error drops to the level of round-off — the behaviour of Figure 10.");
 }

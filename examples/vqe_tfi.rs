@@ -1,46 +1,55 @@
 //! VQE on the ferromagnetic transverse-field Ising model (the Figure 14
-//! workload at a laptop-friendly size).
+//! workload at a laptop-friendly size), submitted through the `koala-serve`
+//! front door instead of driving the engine directly.
 //!
 //! Optimises a hardware-efficient Ry + CNOT ansatz on a 2x3 lattice, with the
 //! ansatz simulated as a PEPS of limited bond dimension, and compares the
-//! reached energy against the exact ground state.
+//! reached energy against the exact ground state. Each backend is a typed
+//! [`VqeJob`] in one mixed batch.
 //!
 //! Run with: `cargo run --release --example vqe_tfi`
 
-use koala::sim::{
-    run_vqe, tfi_hamiltonian, Optimizer, StateVector, TfiParams, VqeBackend, VqeOptions,
-};
+use koala::serve::{JobResult, JobSpec, Server, ServerConfig, VqeJob};
+use koala::sim::{tfi_hamiltonian, StateVector, TfiParams, VqeBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(11);
     let (nrows, ncols) = (2, 3);
     let params = TfiParams::paper_figure14();
     let h = tfi_hamiltonian(nrows, ncols, params);
     let n_sites = (nrows * ncols) as f64;
 
+    let mut rng = StdRng::seed_from_u64(11);
     let exact = StateVector::ground_state_energy(nrows, ncols, &h, &mut rng)
         .expect("Lanczos reference failed")
         / n_sites;
     println!("exact ground-state energy per site: {exact:.6}");
 
-    for (label, backend) in [
+    // VqeJob::new defaults mirror this example's workload: the Figure 14
+    // couplings, one ansatz layer, Nelder-Mead with 60 iterations, seed 11.
+    let backends = [
         ("state vector", VqeBackend::StateVector),
         ("PEPS r = 1", VqeBackend::Peps { bond: 1, contraction_bond: 2 }),
         ("PEPS r = 2", VqeBackend::Peps { bond: 2, contraction_bond: 4 }),
-    ] {
-        let options = VqeOptions {
-            layers: 1,
-            backend,
-            optimizer: Optimizer::NelderMead { scale: 0.4, max_iterations: 60 },
+    ];
+    let mut server = Server::new(ServerConfig::default());
+    for (_, backend) in backends {
+        server
+            .submit("figure14", JobSpec::Vqe(VqeJob::new(nrows, ncols, backend)))
+            .expect("submit");
+    }
+
+    for ((label, _), outcome) in backends.iter().zip(server.drain()) {
+        let JobResult::Vqe(out) = outcome.result.expect("VQE job failed") else {
+            unreachable!("VQE jobs return VQE results")
         };
-        let result = run_vqe(nrows, ncols, &h, options, None, &mut rng).expect("VQE failed");
         println!(
-            "{label:<14} best energy per site = {:.6} (gap to exact: {:.4}, {} evaluations)",
-            result.best_energy,
-            result.best_energy - exact,
-            result.evaluations
+            "{label:<14} best energy per site = {:.6} (gap to exact: {:.4}, {} evaluations, {:.2e} hw flops)",
+            out.best_energy,
+            out.best_energy - exact,
+            out.evaluations,
+            outcome.receipt.work.hw_flops()
         );
     }
     println!("\nIncreasing the PEPS bond dimension lowers the reachable energy towards");

@@ -5,5 +5,6 @@ pub use koala_exec as exec;
 pub use koala_linalg as linalg;
 pub use koala_mps as mps;
 pub use koala_peps as peps;
+pub use koala_serve as serve;
 pub use koala_sim as sim;
 pub use koala_tensor as tensor;
