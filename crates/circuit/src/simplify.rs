@@ -1,0 +1,260 @@
+//! Structural circuit simplification.
+//!
+//! Two passes, both semantics-preserving (the differential suite pins this
+//! against the statevector oracle):
+//!
+//! 1. **Single-qubit fusion** — maximal runs of adjacent one-qubit gates on
+//!    the same qubit collapse into one 2x2 unitary (matrix product in
+//!    application order). A fused product that lands on the identity (up to
+//!    round-off, including global sign/phase *not* — `-I` is kept) is
+//!    dropped outright.
+//! 2. **Diagonal absorption** — an exactly diagonal one-qubit gate commutes
+//!    trivially with the bond structure, so it is folded into the *next*
+//!    two-qubit gate touching its qubit (`G * (D_a (x) D_b)`), saving a
+//!    whole MPS/PEPS site update. Diagonals with no later two-qubit
+//!    neighbour are re-emitted at the end of the circuit, which is sound
+//!    because no gate after them touches that qubit.
+//!
+//! Realness propagates through both passes: products and Kronecker factors
+//! of hinted-real matrices keep the hint, so fusing an all-real circuit
+//! never silently re-complexifies it.
+
+use koala_linalg::{matmul, Matrix};
+use koala_peps::operators::kron;
+
+use crate::ir::{Circuit, Gate, Gate1, Gate2};
+
+/// Tolerance for dropping fused products that reduce to the identity.
+const IDENTITY_TOL: f64 = 1e-12;
+
+/// What the simplifier did, for logs and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// One-qubit gates removed by fusing runs into a single unitary.
+    pub fused: usize,
+    /// Fused products dropped because they were the identity.
+    pub identities_removed: usize,
+    /// Diagonal one-qubit gates folded into a following two-qubit gate.
+    pub diagonals_absorbed: usize,
+}
+
+impl SimplifyStats {
+    /// Total gates eliminated from the list.
+    pub fn eliminated(&self) -> usize {
+        self.fused + self.identities_removed + self.diagonals_absorbed
+    }
+}
+
+/// Run both simplification passes; returns the simplified circuit and the
+/// pass statistics. The result is semantically identical to the input (same
+/// unitary, hence same amplitudes).
+pub fn simplify(circuit: &Circuit) -> (Circuit, SimplifyStats) {
+    let mut stats = SimplifyStats::default();
+    let fused = fuse_single_qubit_runs(circuit, &mut stats);
+    let absorbed = absorb_diagonals(&fused, &mut stats);
+    (absorbed, stats)
+}
+
+/// Pass 1: collapse maximal runs of one-qubit gates per qubit.
+///
+/// A pending per-qubit accumulator holds `(product matrix, sole gate)` — the
+/// sole-gate slot keeps the original typed gate when the run has length one,
+/// so an un-fusable lone `T` stays a `T` (cheap to serialise, classified
+/// diagonal without a matrix scan). The accumulator flushes when a two-qubit
+/// gate touches the qubit and at end-of-circuit; flush order follows first
+/// appearance, which commutes with everything emitted in between (disjoint
+/// qubits).
+fn fuse_single_qubit_runs(circuit: &Circuit, stats: &mut SimplifyStats) -> Circuit {
+    let n = circuit.num_qubits();
+    // pending[q] = (accumulated matrix, Some(gate) iff run length == 1, run length)
+    let mut pending: Vec<Option<(Matrix, Option<Gate1>, usize)>> = vec![None; n];
+    let mut out: Vec<Gate> = Vec::with_capacity(circuit.len());
+
+    let flush = |pending: &mut Vec<Option<(Matrix, Option<Gate1>, usize)>>,
+                 out: &mut Vec<Gate>,
+                 stats: &mut SimplifyStats,
+                 q: usize| {
+        if let Some((m, sole, run)) = pending[q].take() {
+            if run > 1 && m.approx_eq(&Matrix::identity(2), IDENTITY_TOL) {
+                stats.fused += run - 1;
+                stats.identities_removed += 1;
+                return;
+            }
+            let gate = match sole {
+                Some(g) => g,
+                None => {
+                    stats.fused += run - 1;
+                    Gate1::Unitary(m)
+                }
+            };
+            out.push(Gate::One { qubit: q, gate });
+        }
+    };
+
+    for gate in circuit.gates() {
+        match gate {
+            Gate::One { qubit, gate } => {
+                let q = *qubit;
+                pending[q] = Some(match pending[q].take() {
+                    None => (gate.matrix(), Some(gate.clone()), 1),
+                    // Application order: new gate multiplies from the left.
+                    Some((m, _, run)) => (matmul(&gate.matrix(), &m), None, run + 1),
+                });
+            }
+            Gate::Two { a, b, gate } => {
+                flush(&mut pending, &mut out, stats, *a);
+                flush(&mut pending, &mut out, stats, *b);
+                out.push(Gate::Two { a: *a, b: *b, gate: gate.clone() });
+            }
+        }
+    }
+    for q in 0..n {
+        flush(&mut pending, &mut out, stats, q);
+    }
+    circuit.with_gates(out)
+}
+
+/// Pass 2: fold exactly diagonal one-qubit gates into the next two-qubit
+/// gate on the same qubit. The diagonal acts *before* the two-qubit gate, so
+/// it right-multiplies: `G' = G * (D_a (x) D_b)` with qubit `a` the most
+/// significant Kronecker factor (the [`Gate2`] row/column convention).
+fn absorb_diagonals(circuit: &Circuit, stats: &mut SimplifyStats) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut pending: Vec<Option<(Matrix, Gate1)>> = vec![None; n];
+    let mut out: Vec<Gate> = Vec::with_capacity(circuit.len());
+
+    for gate in circuit.gates() {
+        match gate {
+            Gate::One { qubit, gate } => {
+                let q = *qubit;
+                if gate.is_diagonal() {
+                    pending[q] = Some(match pending[q].take() {
+                        None => (gate.matrix(), gate.clone()),
+                        Some((m, _)) => {
+                            // Two diagonals in a row only happen on circuits
+                            // that skipped fusion; their product is diagonal.
+                            let prod = matmul(&gate.matrix(), &m);
+                            (prod.clone(), Gate1::Unitary(prod))
+                        }
+                    });
+                } else {
+                    // A non-diagonal gate pins any pending diagonal in place.
+                    if let Some((_, g)) = pending[q].take() {
+                        out.push(Gate::One { qubit: q, gate: g });
+                    }
+                    out.push(Gate::One { qubit: q, gate: gate.clone() });
+                }
+            }
+            Gate::Two { a, b, gate } => {
+                let da = pending[*a].take().map(|(m, _)| m);
+                let db = pending[*b].take().map(|(m, _)| m);
+                if da.is_none() && db.is_none() {
+                    out.push(Gate::Two { a: *a, b: *b, gate: gate.clone() });
+                    continue;
+                }
+                stats.diagonals_absorbed += da.iter().count() + db.iter().count();
+                let da = da.unwrap_or_else(|| Matrix::identity(2));
+                let db = db.unwrap_or_else(|| Matrix::identity(2));
+                let folded = matmul(&gate.matrix(), &kron(&da, &db));
+                out.push(Gate::Two { a: *a, b: *b, gate: Gate2::Unitary(folded) });
+            }
+        }
+    }
+    for (q, slot) in pending.iter_mut().enumerate() {
+        if let Some((_, g)) = slot.take() {
+            out.push(Gate::One { qubit: q, gate: g });
+        }
+    }
+    circuit.with_gates(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fusion_collapses_runs_and_drops_identities() {
+        let mut c = Circuit::new(2);
+        c.push_one(0, Gate1::H).unwrap();
+        c.push_one(0, Gate1::H).unwrap(); // H*H = I -> dropped
+        c.push_one(1, Gate1::S).unwrap();
+        c.push_one(1, Gate1::T).unwrap(); // fused into one unitary
+        c.push_two(0, 1, Gate2::Cnot).unwrap();
+        let mut stats = SimplifyStats::default();
+        let fused = fuse_single_qubit_runs(&c, &mut stats);
+        assert_eq!(stats.identities_removed, 1);
+        assert_eq!(stats.fused, 2);
+        // Remaining: fused S*T diagonal on qubit 1 + the CNOT.
+        assert_eq!(fused.len(), 2);
+        assert!(matches!(fused.gates()[1], Gate::Two { .. }));
+    }
+
+    #[test]
+    fn minus_identity_is_not_dropped() {
+        let mut c = Circuit::new(1);
+        c.push_one(0, Gate1::X).unwrap();
+        c.push_one(0, Gate1::Z).unwrap();
+        c.push_one(0, Gate1::X).unwrap();
+        c.push_one(0, Gate1::Z).unwrap(); // (ZX)^2 = -I: a global phase, kept
+        let (s, stats) = simplify(&c);
+        assert_eq!(stats.identities_removed, 0);
+        assert_eq!(s.len(), 1, "fused into a single -I unitary, not removed");
+    }
+
+    #[test]
+    fn diagonal_absorption_folds_into_next_two_qubit_gate() {
+        let mut c = Circuit::new(2);
+        c.push_one(0, Gate1::T).unwrap();
+        c.push_one(1, Gate1::Z).unwrap();
+        c.push_two(0, 1, Gate2::Cz).unwrap();
+        let (s, stats) = simplify(&c);
+        assert_eq!(stats.diagonals_absorbed, 2);
+        assert_eq!(s.len(), 1);
+        let Gate::Two { gate: Gate2::Unitary(m), .. } = &s.gates()[0] else {
+            panic!("expected a folded two-qubit unitary")
+        };
+        let expect = matmul(&Gate2::Cz.matrix(), &kron(&Gate1::T.matrix(), &Gate1::Z.matrix()));
+        assert!(m.approx_eq(&expect, 1e-15));
+    }
+
+    #[test]
+    fn trailing_diagonal_is_re_emitted() {
+        let mut c = Circuit::new(2);
+        c.push_two(0, 1, Gate2::Cnot).unwrap();
+        c.push_one(0, Gate1::S).unwrap();
+        let (s, stats) = simplify(&c);
+        assert_eq!(stats.diagonals_absorbed, 0);
+        assert_eq!(s.len(), 2, "no later neighbour: the S survives at the end");
+        assert!(matches!(&s.gates()[1], Gate::One { qubit: 0, gate: Gate1::S }));
+    }
+
+    #[test]
+    fn non_diagonal_pins_pending_diagonal() {
+        let mut c = Circuit::new(1);
+        c.push_one(0, Gate1::T).unwrap();
+        c.push_one(0, Gate1::H).unwrap();
+        // Fusion collapses T,H first; force the absorption pass alone.
+        let mut stats = SimplifyStats::default();
+        let out = absorb_diagonals(&c, &mut stats);
+        assert_eq!(stats.diagonals_absorbed, 0);
+        assert_eq!(out.len(), 2, "T must stay before H in order");
+        assert!(matches!(&out.gates()[0], Gate::One { gate: Gate1::T, .. }));
+        assert!(matches!(&out.gates()[1], Gate::One { gate: Gate1::H, .. }));
+    }
+
+    #[test]
+    fn real_circuit_stays_hinted_through_fusion() {
+        let mut c = Circuit::new(2);
+        c.push_one(0, Gate1::H).unwrap();
+        c.push_one(0, Gate1::Ry(0.4)).unwrap();
+        c.push_two(0, 1, Gate2::Cz).unwrap();
+        let (s, _) = simplify(&c);
+        for g in s.gates() {
+            let m = match g {
+                Gate::One { gate, .. } => gate.matrix(),
+                Gate::Two { gate, .. } => gate.matrix(),
+            };
+            assert!(m.is_real(), "realness hint lost in simplification: {g:?}");
+        }
+    }
+}

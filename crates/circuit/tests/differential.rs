@@ -1,0 +1,191 @@
+//! The statevector-oracle differential suite: every backend and every
+//! structural pass must agree with exact dense evolution to 1e-10 on random
+//! circuits. The proptest shim runs deterministic seeded cases, so failures
+//! reproduce exactly.
+
+use koala_circuit::{
+    amplitudes, prune_for_bits, simplify, Backend, BackendChoice, Circuit, Gate1, Gate2,
+};
+use koala_linalg::Matrix;
+use koala_peps::ContractionMethod;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Haar-ish random 2x2 or 4x4 unitary: QR of a random complex matrix.
+fn random_unitary(dim: usize, rng: &mut StdRng) -> Matrix {
+    koala_linalg::qr(&Matrix::random(dim, dim, rng)).q
+}
+
+fn random_gate1(rng: &mut StdRng) -> Gate1 {
+    match rng.gen_range(0..10usize) {
+        0 => Gate1::H,
+        1 => Gate1::X,
+        2 => Gate1::Y,
+        3 => Gate1::Z,
+        4 => Gate1::S,
+        5 => Gate1::T,
+        6 => Gate1::Rx(rng.gen_range(-3.0..3.0)),
+        7 => Gate1::Ry(rng.gen_range(-3.0..3.0)),
+        8 => Gate1::Rz(rng.gen_range(-3.0..3.0)),
+        _ => Gate1::Unitary(random_unitary(2, rng)),
+    }
+}
+
+fn random_gate2(rng: &mut StdRng) -> Gate2 {
+    match rng.gen_range(0..4usize) {
+        0 => Gate2::Cnot,
+        1 => Gate2::Cz,
+        2 => Gate2::Swap,
+        _ => Gate2::Unitary(random_unitary(4, rng)),
+    }
+}
+
+/// Random circuit: `n_gates` gates, each two-qubit with probability ~40%
+/// on an arbitrary (possibly non-adjacent, possibly reversed) pair.
+fn random_circuit(n: usize, n_gates: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..n_gates {
+        if n >= 2 && rng.gen_range(0..10usize) < 4 {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            while b == a {
+                b = rng.gen_range(0..n);
+            }
+            c.push_two(a, b, random_gate2(rng)).expect("valid 2q gate");
+        } else {
+            c.push_one(rng.gen_range(0..n), random_gate1(rng)).expect("valid 1q gate");
+        }
+    }
+    c
+}
+
+fn random_bits(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..2usize)).collect()
+}
+
+/// Oracle amplitudes for a batch of bitstrings.
+fn oracle(c: &Circuit, queries: &[Vec<usize>]) -> Vec<koala_linalg::C64> {
+    let mut rng = StdRng::seed_from_u64(0);
+    amplitudes(c, queries, BackendChoice::Fixed(Backend::Statevector), &mut rng)
+        .expect("statevector oracle")
+        .amplitudes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// MPS backend vs oracle: at bond `2^(n/2)` (>= any exact Schmidt rank
+    /// on <= 10 qubits) the chain evolution is exact to round-off.
+    #[test]
+    fn mps_matches_statevector_oracle(n in 2usize..11, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = random_circuit(n, 3 * n, &mut rng);
+        let queries: Vec<_> = (0..4).map(|_| random_bits(n, &mut rng)).collect();
+        let want = oracle(&c, &queries);
+        let got = amplitudes(
+            &c,
+            &queries,
+            BackendChoice::Fixed(Backend::Mps { max_bond: 1 << n.div_ceil(2) }),
+            &mut rng,
+        )
+        .expect("mps backend");
+        for (g, w) in got.amplitudes.iter().zip(&want) {
+            prop_assert!((*g - *w).abs() < 1e-10, "mps {g} vs oracle {w} (n={n}, seed={seed})");
+        }
+    }
+
+    /// PEPS backend vs oracle on chain and 2-row lattices, with exact
+    /// contraction and enough evolution bond to make SWAP routing lossless.
+    #[test]
+    fn peps_matches_statevector_oracle(n in 2usize..9, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let lattice = n % 2 == 0 && rng.gen_range(0..2usize) == 0;
+        let c = {
+            let shell =
+                if lattice { Circuit::with_lattice(2, n / 2) } else { Circuit::new(n) };
+            let mut c = shell;
+            let src = random_circuit(n, 2 * n, &mut rng);
+            for g in src.gates() {
+                match g {
+                    koala_circuit::Gate::One { qubit, gate } => {
+                        c.push_one(*qubit, gate.clone()).expect("1q");
+                    }
+                    koala_circuit::Gate::Two { a, b, gate } => {
+                        c.push_two(*a, *b, gate.clone()).expect("2q");
+                    }
+                }
+            }
+            c
+        };
+        let queries: Vec<_> = (0..2).map(|_| random_bits(n, &mut rng)).collect();
+        let want = oracle(&c, &queries);
+        let got = amplitudes(
+            &c,
+            &queries,
+            BackendChoice::Fixed(Backend::Peps {
+                // Generous cap: on <= 8 qubits the 1e-14 relative floor is
+                // the only truncation that ever fires, so evolution is exact.
+                evolution_bond: 64,
+                method: ContractionMethod::Exact,
+            }),
+            &mut rng,
+        )
+        .expect("peps backend");
+        for (g, w) in got.amplitudes.iter().zip(&want) {
+            prop_assert!((*g - *w).abs() < 1e-10, "peps {g} vs oracle {w} (n={n}, seed={seed})");
+        }
+    }
+
+    /// Simplification preserves semantics: the fused/absorbed circuit agrees
+    /// with the original on every computational-basis amplitude, and its
+    /// gate count drops by exactly the number of eliminated gates.
+    #[test]
+    fn simplification_preserves_semantics(n in 2usize..7, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51_3317);
+        let c = random_circuit(n, 4 * n, &mut rng);
+        let (s, stats) = simplify(&c);
+        prop_assert_eq!(s.len() + stats.eliminated(), c.len());
+        let queries: Vec<Vec<usize>> = (0..1usize << n)
+            .map(|x| (0..n).map(|q| (x >> (n - 1 - q)) & 1).collect())
+            .collect();
+        let want = oracle(&c, &queries);
+        let got = oracle(&s, &queries);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((*g - *w).abs() < 1e-10, "simplified {g} vs {w} (n={n}, seed={seed})");
+        }
+    }
+
+    /// Light-cone pruning never changes a queried amplitude, and on shallow
+    /// circuits with a trailing monomial layer it strictly reduces the gate
+    /// count.
+    #[test]
+    fn lightcone_preserves_amplitude_and_prunes(n in 2usize..7, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xca_11);
+        let mut c = random_circuit(n, 2 * n, &mut rng);
+        // Trailing monomial layer: always peelable, so pruning must bite.
+        for q in 0..n {
+            match rng.gen_range(0..4usize) {
+                0 => c.push_one(q, Gate1::T).expect("t"),
+                1 => c.push_one(q, Gate1::X).expect("x"),
+                2 => c.push_one(q, Gate1::S).expect("s"),
+                _ => c.push_one(q, Gate1::Z).expect("z"),
+            };
+        }
+        if n >= 2 {
+            c.push_two(0, 1, Gate2::Cz).expect("cz");
+        }
+        let bits = random_bits(n, &mut rng);
+        let pruned = prune_for_bits(&c, &bits).expect("prune");
+        prop_assert!(
+            pruned.circuit.len() < c.len(),
+            "pruning must strictly reduce a trailing-monomial circuit (n={n}, seed={seed})"
+        );
+        let want = oracle(&c, std::slice::from_ref(&bits))[0];
+        let got = pruned.phase * oracle(&pruned.circuit, std::slice::from_ref(&pruned.bits))[0];
+        prop_assert!(
+            (got - want).abs() < 1e-10,
+            "light-cone {got} vs {want} (n={n}, seed={seed})"
+        );
+    }
+}

@@ -2,7 +2,8 @@
 //! cancellation/timeout, and exact per-tenant work receipts.
 
 use crate::spec::{
-    AmplitudeJob, AmplitudeOutput, IteJob, IteOutput, JobResult, JobSpec, Result, VqeJob, VqeOutput,
+    AmplitudeJob, AmplitudeOutput, CircuitJob, CircuitOutput, IteJob, IteOutput, JobResult,
+    JobSpec, Result, VqeJob, VqeOutput,
 };
 use koala_error::{ErrorKind, KoalaError};
 use koala_exec::{CancelToken, TaskGraph, TaskKind, WorkLedger, WorkMeter};
@@ -432,6 +433,7 @@ fn run_spec(spec: &JobSpec, cancel: &CancelToken) -> Result<JobResult> {
         JobSpec::Ite(job) => run_ite(job, cancel),
         JobSpec::Vqe(job) => run_vqe_job(job, cancel),
         JobSpec::Amplitudes(job) => run_amplitudes(job, cancel),
+        JobSpec::Circuit(job) => run_circuit(job, cancel),
     }
 }
 
@@ -524,4 +526,24 @@ fn run_amplitudes(job: &AmplitudeJob, cancel: &CancelToken) -> Result<JobResult>
         amplitudes.push(amplitude(&peps, bits, job.method, &mut rng).map_err(engine_err)?);
     }
     Ok(JobResult::Amplitudes(AmplitudeOutput { amplitudes, max_bond: peps.max_bond() }))
+}
+
+/// A gate-list circuit through the front-end dispatcher. The heavy lifting
+/// (simplify -> light-cone prune -> backend evolution) is one engine call,
+/// so the token is checked at entry and the job runs to completion once
+/// started — front-end circuits are bounded by `MAX_CIRCUIT_GATES`.
+fn run_circuit(job: &CircuitJob, cancel: &CancelToken) -> Result<JobResult> {
+    if cancel.is_cancelled() {
+        return Err(cancelled());
+    }
+    let mut rng = StdRng::seed_from_u64(job.seed);
+    let batch = koala_circuit::amplitudes(&job.circuit, &job.bitstrings, job.backend, &mut rng)
+        .map_err(engine_err)?;
+    Ok(JobResult::Circuit(CircuitOutput {
+        amplitudes: batch.amplitudes,
+        backend: batch.backend.tag().to_string(),
+        max_bond: batch.max_bond,
+        gates_submitted: batch.gates_submitted,
+        gates_executed: batch.gates_executed,
+    }))
 }

@@ -3,11 +3,14 @@
 //! A [`JobSpec`] is a self-contained, validated description of one unit of
 //! service work — everything the engine needs to reproduce the run bit for
 //! bit (lattice shape, model couplings, algorithm knobs, and the RNG seeds).
-//! The three variants mirror the repository's example workloads:
+//! The variants mirror the repository's example workloads:
 //!
 //! * [`IteJob`] — imaginary-time-evolution ground-state search (Figure 13),
 //! * [`VqeJob`] — variational ground-state energy (Figure 14),
-//! * [`AmplitudeJob`] — batched random-circuit output amplitudes (Figure 10).
+//! * [`AmplitudeJob`] — batched random-circuit output amplitudes (Figure 10),
+//! * [`CircuitJob`] — an arbitrary gate-list circuit through the
+//!   `koala-circuit` front end (simplify, light-cone, backend dispatch),
+//!   answering a batch of bitstring amplitude queries.
 //!
 //! Every spec has a [`signature`](JobSpec::signature): a string key over the
 //! *shape-determining* fields (lattice, bonds, layers, step counts — but not
@@ -18,9 +21,10 @@
 //! include the circuit seed, because the random circuit's gate placement
 //! determines the evolved bond dimensions and hence the contraction shapes.
 
+use koala_circuit::{Backend, BackendChoice, Circuit, Gate, Gate1, Gate2};
 use koala_error::{ErrorKind, KoalaError};
 use koala_json::JsonValue;
-use koala_linalg::C64;
+use koala_linalg::{c64, Matrix, C64};
 use koala_peps::ContractionMethod;
 use koala_sim::{Optimizer, VqeBackend};
 
@@ -286,6 +290,105 @@ impl AmplitudeJob {
     }
 }
 
+/// Largest gate list a [`CircuitJob`] may carry.
+pub const MAX_CIRCUIT_GATES: usize = 4096;
+
+/// Gate-list circuit job: run an arbitrary typed circuit through the
+/// `koala-circuit` front end (structural simplification, light-cone pruning
+/// for single queries, backend dispatch) and answer a batch of bitstring
+/// amplitude queries. The whole batch shares one state evolution, so warm
+/// re-submissions of the same circuit replay cached contraction plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitJob {
+    /// The circuit (qubit count and optional lattice live inside).
+    pub circuit: Circuit,
+    /// Bitstrings (one bit per qubit) to compute amplitudes for.
+    pub bitstrings: Vec<Vec<usize>>,
+    /// Backend selection; [`BackendChoice::Auto`] picks by qubit count and
+    /// entanglement estimate.
+    pub backend: BackendChoice,
+    /// Seed of the contraction RNG stream (IBMPS sketches on the PEPS path).
+    pub seed: u64,
+}
+
+impl CircuitJob {
+    /// A job querying `bitstrings` on `circuit` under auto dispatch.
+    pub fn new(circuit: Circuit, bitstrings: Vec<Vec<usize>>) -> CircuitJob {
+        CircuitJob { circuit, bitstrings, backend: BackendChoice::Auto, seed: 17 }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let n = self.circuit.num_qubits();
+        if n == 0 {
+            return Err(invalid("circuit: at least one qubit is required"));
+        }
+        if n > MAX_SITES {
+            return Err(invalid(format!(
+                "circuit: {n} qubits exceeds the service cap of {MAX_SITES}"
+            )));
+        }
+        if self.circuit.len() > MAX_CIRCUIT_GATES {
+            return Err(invalid(format!(
+                "circuit: {} gates exceeds the service cap of {MAX_CIRCUIT_GATES}",
+                self.circuit.len()
+            )));
+        }
+        self.circuit.validate().map_err(|e| invalid(e.to_string()))?;
+        if self.bitstrings.is_empty() {
+            return Err(invalid("circuit: at least one bitstring is required"));
+        }
+        for (i, bits) in self.bitstrings.iter().enumerate() {
+            if bits.len() != n {
+                return Err(invalid(format!(
+                    "circuit: bitstring {i} has {} bits, circuit has {n} qubits",
+                    bits.len()
+                )));
+            }
+            if bits.iter().any(|&b| b > 1) {
+                return Err(invalid(format!("circuit: bitstring {i} has a bit outside 0/1")));
+            }
+        }
+        match self.backend {
+            BackendChoice::Fixed(Backend::Statevector) if n > 26 => {
+                Err(invalid(format!("circuit: {n} qubits exceed the 26-qubit statevector limit")))
+            }
+            BackendChoice::Fixed(Backend::Mps { max_bond: 0 }) => {
+                Err(invalid("circuit: MPS max_bond must be >= 1"))
+            }
+            BackendChoice::Fixed(Backend::Peps { evolution_bond: 0, .. }) => {
+                Err(invalid("circuit: PEPS evolution_bond must be >= 1"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The signature hashes the circuit *structure* (gate kinds, qubit
+    /// placements, zero patterns of arbitrary unitaries) but not parameter
+    /// values: same-structure circuits evolve through the same tensor
+    /// shapes. The one caveat is angle-dependent simplification — a
+    /// rotation that lands exactly on the identity is dropped and shifts
+    /// the shapes — which costs a follower some plan-cache misses, never
+    /// correctness.
+    fn signature(&self) -> String {
+        let backend = match self.backend {
+            BackendChoice::Auto => "auto".to_string(),
+            BackendChoice::Fixed(Backend::Statevector) => "sv".to_string(),
+            BackendChoice::Fixed(Backend::Mps { max_bond }) => format!("mps{max_bond}"),
+            BackendChoice::Fixed(Backend::Peps { evolution_bond, method }) => {
+                format!("peps{evolution_bond}/{method:?}")
+            }
+        };
+        format!(
+            "circuit/{}q/g{}/k{:016x}/{}/n{}",
+            self.circuit.num_qubits(),
+            self.circuit.len(),
+            self.circuit.structure_key(),
+            backend,
+            self.bitstrings.len()
+        )
+    }
+}
+
 /// A typed, validated unit of service work.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobSpec {
@@ -295,6 +398,8 @@ pub enum JobSpec {
     Vqe(VqeJob),
     /// Batched circuit amplitudes.
     Amplitudes(AmplitudeJob),
+    /// Gate-list circuit through the `koala-circuit` front end.
+    Circuit(CircuitJob),
 }
 
 impl JobSpec {
@@ -306,6 +411,7 @@ impl JobSpec {
             JobSpec::Ite(j) => j.validate(),
             JobSpec::Vqe(j) => j.validate(),
             JobSpec::Amplitudes(j) => j.validate(),
+            JobSpec::Circuit(j) => j.validate(),
         }
     }
 
@@ -317,15 +423,17 @@ impl JobSpec {
             JobSpec::Ite(j) => j.signature(),
             JobSpec::Vqe(j) => j.signature(),
             JobSpec::Amplitudes(j) => j.signature(),
+            JobSpec::Circuit(j) => j.signature(),
         }
     }
 
-    /// Short kind tag (`"ite"` / `"vqe"` / `"amplitudes"`).
+    /// Short kind tag (`"ite"` / `"vqe"` / `"amplitudes"` / `"circuit"`).
     pub fn kind(&self) -> &'static str {
         match self {
             JobSpec::Ite(_) => "ite",
             JobSpec::Vqe(_) => "vqe",
             JobSpec::Amplitudes(_) => "amplitudes",
+            JobSpec::Circuit(_) => "circuit",
         }
     }
 
@@ -382,46 +490,52 @@ impl JobSpec {
                     ("seed", JsonValue::num(j.seed as f64)),
                 ])
             }
-            JobSpec::Amplitudes(j) => {
-                let method = match j.method {
-                    ContractionMethod::Exact => {
-                        JsonValue::object([("type", JsonValue::str("exact"))])
+            JobSpec::Amplitudes(j) => JsonValue::object([
+                ("type", JsonValue::str("amplitudes")),
+                ("nrows", JsonValue::num(j.nrows as f64)),
+                ("ncols", JsonValue::num(j.ncols as f64)),
+                ("layers", JsonValue::num(j.layers as f64)),
+                ("entangle_every", JsonValue::num(j.entangle_every as f64)),
+                ("circuit_seed", JsonValue::num(j.circuit_seed as f64)),
+                ("evolution_bond", JsonValue::num(j.evolution_bond as f64)),
+                ("method", method_to_json(j.method)),
+                ("bitstrings", bitstrings_to_json(&j.bitstrings)),
+                ("seed", JsonValue::num(j.seed as f64)),
+            ]),
+            JobSpec::Circuit(j) => {
+                let backend = match j.backend {
+                    BackendChoice::Auto => JsonValue::object([("type", JsonValue::str("auto"))]),
+                    BackendChoice::Fixed(Backend::Statevector) => {
+                        JsonValue::object([("type", JsonValue::str("statevector"))])
                     }
-                    ContractionMethod::Bmps { max_bond } => JsonValue::object([
-                        ("type", JsonValue::str("bmps")),
+                    BackendChoice::Fixed(Backend::Mps { max_bond }) => JsonValue::object([
+                        ("type", JsonValue::str("mps")),
                         ("max_bond", JsonValue::num(max_bond as f64)),
                     ]),
-                    ContractionMethod::Ibmps { max_bond, n_iter, oversample } => {
+                    BackendChoice::Fixed(Backend::Peps { evolution_bond, method }) => {
                         JsonValue::object([
-                            ("type", JsonValue::str("ibmps")),
-                            ("max_bond", JsonValue::num(max_bond as f64)),
-                            ("n_iter", JsonValue::num(n_iter as f64)),
-                            ("oversample", JsonValue::num(oversample as f64)),
+                            ("type", JsonValue::str("peps")),
+                            ("evolution_bond", JsonValue::num(evolution_bond as f64)),
+                            ("method", method_to_json(method)),
                         ])
                     }
                 };
-                let bitstrings = JsonValue::Array(
-                    j.bitstrings
-                        .iter()
-                        .map(|bits| {
-                            JsonValue::Array(
-                                bits.iter().map(|&b| JsonValue::num(b as f64)).collect(),
-                            )
-                        })
-                        .collect(),
-                );
-                JsonValue::object([
-                    ("type", JsonValue::str("amplitudes")),
-                    ("nrows", JsonValue::num(j.nrows as f64)),
-                    ("ncols", JsonValue::num(j.ncols as f64)),
-                    ("layers", JsonValue::num(j.layers as f64)),
-                    ("entangle_every", JsonValue::num(j.entangle_every as f64)),
-                    ("circuit_seed", JsonValue::num(j.circuit_seed as f64)),
-                    ("evolution_bond", JsonValue::num(j.evolution_bond as f64)),
-                    ("method", method),
-                    ("bitstrings", bitstrings),
-                    ("seed", JsonValue::num(j.seed as f64)),
-                ])
+                let mut fields = vec![
+                    ("type".to_string(), JsonValue::str("circuit")),
+                    ("num_qubits".to_string(), JsonValue::num(j.circuit.num_qubits() as f64)),
+                ];
+                if let Some((r, c)) = j.circuit.lattice() {
+                    fields.push(("nrows".to_string(), JsonValue::num(r as f64)));
+                    fields.push(("ncols".to_string(), JsonValue::num(c as f64)));
+                }
+                fields.push((
+                    "gates".to_string(),
+                    JsonValue::Array(j.circuit.gates().iter().map(gate_to_json).collect()),
+                ));
+                fields.push(("bitstrings".to_string(), bitstrings_to_json(&j.bitstrings)));
+                fields.push(("backend".to_string(), backend));
+                fields.push(("seed".to_string(), JsonValue::num(j.seed as f64)));
+                JsonValue::Object(fields)
             }
         }
     }
@@ -485,34 +599,6 @@ impl JobSpec {
             "amplitudes" => {
                 let method_v =
                     v.get("method").ok_or_else(|| invalid("amplitudes: missing field 'method'"))?;
-                let method = match req_str(method_v, "type")? {
-                    "exact" => ContractionMethod::Exact,
-                    "bmps" => ContractionMethod::bmps(req_usize(method_v, "max_bond")?),
-                    "ibmps" => ContractionMethod::Ibmps {
-                        max_bond: req_usize(method_v, "max_bond")?,
-                        n_iter: opt_usize(method_v, "n_iter", 2)?,
-                        oversample: opt_usize(method_v, "oversample", 10)?,
-                    },
-                    other => return Err(invalid(format!("amplitudes: unknown method '{other}'"))),
-                };
-                let bits_v = v
-                    .get("bitstrings")
-                    .and_then(JsonValue::as_array)
-                    .ok_or_else(|| invalid("amplitudes: missing array field 'bitstrings'"))?;
-                let mut bitstrings = Vec::with_capacity(bits_v.len());
-                for (i, bits) in bits_v.iter().enumerate() {
-                    let arr = bits.as_array().ok_or_else(|| {
-                        invalid(format!("amplitudes: bitstring {i} not an array"))
-                    })?;
-                    let mut parsed = Vec::with_capacity(arr.len());
-                    for b in arr {
-                        let x = b.as_num().ok_or_else(|| {
-                            invalid(format!("amplitudes: bitstring {i} has a non-numeric bit"))
-                        })?;
-                        parsed.push(x as usize);
-                    }
-                    bitstrings.push(parsed);
-                }
                 JobSpec::Amplitudes(AmplitudeJob {
                     nrows: req_usize(v, "nrows")?,
                     ncols: req_usize(v, "ncols")?,
@@ -520,9 +606,64 @@ impl JobSpec {
                     entangle_every: opt_usize(v, "entangle_every", 4)?,
                     circuit_seed: opt_u64(v, "circuit_seed", 0)?,
                     evolution_bond: opt_usize(v, "evolution_bond", 1 << 16)?,
-                    method,
-                    bitstrings,
+                    method: method_from_json(method_v)?,
+                    bitstrings: bitstrings_from_json(v)?,
                     seed: opt_u64(v, "seed", 0)?,
+                })
+            }
+            "circuit" => {
+                let num_qubits = req_usize(v, "num_qubits")?;
+                let lattice = match (v.get("nrows"), v.get("ncols")) {
+                    (None, None) => None,
+                    _ => Some((req_usize(v, "nrows")?, req_usize(v, "ncols")?)),
+                };
+                let mut circuit = match lattice {
+                    Some((r, c)) => {
+                        if r * c != num_qubits {
+                            return Err(invalid(format!(
+                                "circuit: lattice {r}x{c} does not hold {num_qubits} qubits"
+                            )));
+                        }
+                        Circuit::with_lattice(r, c)
+                    }
+                    None => Circuit::new(num_qubits),
+                };
+                let gates_v = v
+                    .get("gates")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| invalid("circuit: missing array field 'gates'"))?;
+                for (i, g) in gates_v.iter().enumerate() {
+                    gate_from_json(&mut circuit, g)
+                        .map_err(|e| invalid(format!("circuit: gate {i}: {e}")))?;
+                }
+                let backend = match v.get("backend") {
+                    None => BackendChoice::Auto,
+                    Some(b) => match req_str(b, "type")? {
+                        "auto" => BackendChoice::Auto,
+                        "statevector" => BackendChoice::Fixed(Backend::Statevector),
+                        "mps" => BackendChoice::Fixed(Backend::Mps {
+                            max_bond: req_usize(b, "max_bond")?,
+                        }),
+                        "peps" => {
+                            let method = match b.get("method") {
+                                None => ContractionMethod::bmps(64),
+                                Some(m) => method_from_json(m)?,
+                            };
+                            BackendChoice::Fixed(Backend::Peps {
+                                evolution_bond: req_usize(b, "evolution_bond")?,
+                                method,
+                            })
+                        }
+                        other => {
+                            return Err(invalid(format!("circuit: unknown backend '{other}'")))
+                        }
+                    },
+                };
+                JobSpec::Circuit(CircuitJob {
+                    circuit,
+                    bitstrings: bitstrings_from_json(v)?,
+                    backend,
+                    seed: opt_u64(v, "seed", 17)?,
                 })
             }
             other => return Err(invalid(format!("unknown job type '{other}'"))),
@@ -570,6 +711,168 @@ fn opt_f64(v: &JsonValue, key: &str, default: f64) -> Result<f64> {
     }
 }
 
+fn req_f64(v: &JsonValue, key: &str) -> Result<f64> {
+    v.get(key)
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| invalid(format!("missing numeric field '{key}'")))
+}
+
+fn method_to_json(method: ContractionMethod) -> JsonValue {
+    match method {
+        ContractionMethod::Exact => JsonValue::object([("type", JsonValue::str("exact"))]),
+        ContractionMethod::Bmps { max_bond } => JsonValue::object([
+            ("type", JsonValue::str("bmps")),
+            ("max_bond", JsonValue::num(max_bond as f64)),
+        ]),
+        ContractionMethod::Ibmps { max_bond, n_iter, oversample } => JsonValue::object([
+            ("type", JsonValue::str("ibmps")),
+            ("max_bond", JsonValue::num(max_bond as f64)),
+            ("n_iter", JsonValue::num(n_iter as f64)),
+            ("oversample", JsonValue::num(oversample as f64)),
+        ]),
+    }
+}
+
+fn method_from_json(v: &JsonValue) -> Result<ContractionMethod> {
+    match req_str(v, "type")? {
+        "exact" => Ok(ContractionMethod::Exact),
+        "bmps" => Ok(ContractionMethod::bmps(req_usize(v, "max_bond")?)),
+        "ibmps" => Ok(ContractionMethod::Ibmps {
+            max_bond: req_usize(v, "max_bond")?,
+            n_iter: opt_usize(v, "n_iter", 2)?,
+            oversample: opt_usize(v, "oversample", 10)?,
+        }),
+        other => Err(invalid(format!("unknown contraction method '{other}'"))),
+    }
+}
+
+fn bitstrings_to_json(bitstrings: &[Vec<usize>]) -> JsonValue {
+    JsonValue::Array(
+        bitstrings
+            .iter()
+            .map(|bits| JsonValue::Array(bits.iter().map(|&b| JsonValue::num(b as f64)).collect()))
+            .collect(),
+    )
+}
+
+fn bitstrings_from_json(v: &JsonValue) -> Result<Vec<Vec<usize>>> {
+    let bits_v = v
+        .get("bitstrings")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| invalid("missing array field 'bitstrings'"))?;
+    let mut bitstrings = Vec::with_capacity(bits_v.len());
+    for (i, bits) in bits_v.iter().enumerate() {
+        let arr = bits.as_array().ok_or_else(|| invalid(format!("bitstring {i} not an array")))?;
+        let mut parsed = Vec::with_capacity(arr.len());
+        for b in arr {
+            let x = b
+                .as_num()
+                .ok_or_else(|| invalid(format!("bitstring {i} has a non-numeric bit")))?;
+            parsed.push(x as usize);
+        }
+        bitstrings.push(parsed);
+    }
+    Ok(bitstrings)
+}
+
+/// A gate matrix on the wire: row-major interleaved `[re, im, re, im, ...]`.
+/// `f64` values roundtrip exactly through the JSON layer (shortest-roundtrip
+/// printing), so a parsed circuit is bit-identical to the submitted one.
+fn matrix_to_json(m: &Matrix) -> JsonValue {
+    JsonValue::Array(
+        m.data().iter().flat_map(|z| [JsonValue::num(z.re), JsonValue::num(z.im)]).collect(),
+    )
+}
+
+fn matrix_from_json(v: &JsonValue, dim: usize) -> Result<Matrix> {
+    let arr = v
+        .get("m")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| invalid("unitary gate: missing array field 'm'"))?;
+    if arr.len() != 2 * dim * dim {
+        return Err(invalid(format!(
+            "unitary gate: expected {} floats for a {dim}x{dim} matrix, got {}",
+            2 * dim * dim,
+            arr.len()
+        )));
+    }
+    let mut data = Vec::with_capacity(dim * dim);
+    for pair in arr.chunks(2) {
+        let re = pair[0].as_num().ok_or_else(|| invalid("unitary gate: non-numeric entry"))?;
+        let im = pair[1].as_num().ok_or_else(|| invalid("unitary gate: non-numeric entry"))?;
+        data.push(c64(re, im));
+    }
+    let mut m = Matrix::from_vec(dim, dim, data).map_err(|e| invalid(e.to_string()))?;
+    // Re-derive the structural realness hint lost on the wire, so real
+    // unitaries keep the real-kernel fast path after a JSON roundtrip.
+    m.mark_real_if_exact();
+    Ok(m)
+}
+
+fn gate_to_json(gate: &Gate) -> JsonValue {
+    match gate {
+        Gate::One { qubit, gate } => {
+            let mut fields = vec![
+                ("g".to_string(), JsonValue::str(gate.tag())),
+                ("q".to_string(), JsonValue::num(*qubit as f64)),
+            ];
+            match gate {
+                Gate1::Rx(t) | Gate1::Ry(t) | Gate1::Rz(t) => {
+                    fields.push(("theta".to_string(), JsonValue::num(*t)));
+                }
+                Gate1::Unitary(m) => fields.push(("m".to_string(), matrix_to_json(m))),
+                _ => {}
+            }
+            JsonValue::Object(fields)
+        }
+        Gate::Two { a, b, gate } => {
+            let mut fields = vec![
+                ("g".to_string(), JsonValue::str(gate.tag())),
+                ("a".to_string(), JsonValue::num(*a as f64)),
+                ("b".to_string(), JsonValue::num(*b as f64)),
+            ];
+            if let Gate2::Unitary(m) = gate {
+                fields.push(("m".to_string(), matrix_to_json(m)));
+            }
+            JsonValue::Object(fields)
+        }
+    }
+}
+
+fn gate_from_json(circuit: &mut Circuit, v: &JsonValue) -> Result<()> {
+    let tag = req_str(v, "g")?;
+    match tag {
+        "h" | "x" | "y" | "z" | "s" | "t" | "rx" | "ry" | "rz" | "u1" => {
+            let gate = match tag {
+                "h" => Gate1::H,
+                "x" => Gate1::X,
+                "y" => Gate1::Y,
+                "z" => Gate1::Z,
+                "s" => Gate1::S,
+                "t" => Gate1::T,
+                "rx" => Gate1::Rx(req_f64(v, "theta")?),
+                "ry" => Gate1::Ry(req_f64(v, "theta")?),
+                "rz" => Gate1::Rz(req_f64(v, "theta")?),
+                _ => Gate1::Unitary(matrix_from_json(v, 2)?),
+            };
+            circuit.push_one(req_usize(v, "q")?, gate).map_err(|e| invalid(e.to_string()))?;
+        }
+        "cnot" | "cz" | "swap" | "u2" => {
+            let gate = match tag {
+                "cnot" => Gate2::Cnot,
+                "cz" => Gate2::Cz,
+                "swap" => Gate2::Swap,
+                _ => Gate2::Unitary(matrix_from_json(v, 4)?),
+            };
+            circuit
+                .push_two(req_usize(v, "a")?, req_usize(v, "b")?, gate)
+                .map_err(|e| invalid(e.to_string()))?;
+        }
+        other => return Err(invalid(format!("unknown gate tag '{other}'"))),
+    }
+    Ok(())
+}
+
 /// Output of a completed [`IteJob`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct IteOutput {
@@ -603,6 +906,21 @@ pub struct AmplitudeOutput {
     pub max_bond: usize,
 }
 
+/// Output of a completed [`CircuitJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitOutput {
+    /// One amplitude per requested bitstring, in request order.
+    pub amplitudes: Vec<C64>,
+    /// Tag of the backend the dispatcher actually executed on.
+    pub backend: String,
+    /// Maximum bond dimension reached during evolution (0 for statevector).
+    pub max_bond: usize,
+    /// Gates in the submitted circuit, before structural simplification.
+    pub gates_submitted: usize,
+    /// Gates actually executed after fusion, absorption, and pruning.
+    pub gates_executed: usize,
+}
+
 /// The typed result of a successfully completed job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobResult {
@@ -612,6 +930,8 @@ pub enum JobResult {
     Vqe(VqeOutput),
     /// Result of an [`AmplitudeJob`].
     Amplitudes(AmplitudeOutput),
+    /// Result of a [`CircuitJob`].
+    Circuit(CircuitOutput),
 }
 
 impl JobResult {
@@ -661,6 +981,24 @@ impl JobResult {
                     ),
                 ),
                 ("max_bond", JsonValue::num(o.max_bond as f64)),
+            ]),
+            JobResult::Circuit(o) => JsonValue::object([
+                ("type", JsonValue::str("circuit")),
+                (
+                    "amplitudes",
+                    JsonValue::Array(
+                        o.amplitudes
+                            .iter()
+                            .map(|a| {
+                                JsonValue::Array(vec![JsonValue::num(a.re), JsonValue::num(a.im)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("backend", JsonValue::str(&o.backend)),
+                ("max_bond", JsonValue::num(o.max_bond as f64)),
+                ("gates_submitted", JsonValue::num(o.gates_submitted as f64)),
+                ("gates_executed", JsonValue::num(o.gates_executed as f64)),
             ]),
         }
     }
@@ -743,5 +1081,114 @@ mod tests {
         let bad =
             JsonValue::object([("type", JsonValue::str("ite")), ("nrows", JsonValue::num(2.5))]);
         assert!(JobSpec::from_json(&bad).is_err());
+    }
+
+    /// A circuit exercising every wire case: named gates, rotations with
+    /// irrational angles, arbitrary 1q and 2q unitaries, and a lattice.
+    fn wire_test_circuit() -> Circuit {
+        let mut c = Circuit::with_lattice(2, 2);
+        c.push_one(0, Gate1::H).unwrap();
+        c.push_one(1, Gate1::Rz(0.123_456_789_012_345_7)).unwrap();
+        c.push_one(2, Gate1::Ry(-2.5)).unwrap();
+        c.push_one(3, Gate1::Unitary(Gate1::S.matrix())).unwrap();
+        c.push_two(0, 1, Gate2::Cnot).unwrap();
+        c.push_two(3, 2, Gate2::Cz).unwrap();
+        c.push_two(1, 3, Gate2::Unitary(Gate2::Swap.matrix())).unwrap();
+        c
+    }
+
+    #[test]
+    fn circuit_json_roundtrip_preserves_gates_lattice_and_backend() {
+        let backends = [
+            BackendChoice::Auto,
+            BackendChoice::Fixed(Backend::Statevector),
+            BackendChoice::Fixed(Backend::Mps { max_bond: 32 }),
+            BackendChoice::Fixed(Backend::Peps {
+                evolution_bond: 4,
+                method: koala_peps::ContractionMethod::bmps(16),
+            }),
+        ];
+        for backend in backends {
+            let spec = JobSpec::Circuit(CircuitJob {
+                backend,
+                seed: 99,
+                ..CircuitJob::new(wire_test_circuit(), vec![vec![0, 1, 0, 1], vec![1, 0, 0, 0]])
+            });
+            spec.validate().expect("test spec is valid");
+            let text = spec.to_json().pretty();
+            let parsed = JsonValue::parse(&text).expect("emitted JSON must parse");
+            assert_eq!(JobSpec::from_json(&parsed).expect("roundtrip"), spec);
+        }
+    }
+
+    #[test]
+    fn circuit_roundtrip_preserves_realness_hints_of_unitaries() {
+        // A real arbitrary unitary must come back real-hinted so the served
+        // path keeps the real-kernel fast path after deserialisation.
+        let mut c = Circuit::new(2);
+        c.push_one(0, Gate1::Unitary(Gate1::H.matrix())).unwrap();
+        c.push_two(0, 1, Gate2::Unitary(Gate2::Cnot.matrix())).unwrap();
+        let spec = JobSpec::Circuit(CircuitJob::new(c, vec![vec![0, 0]]));
+        let parsed = JsonValue::parse(&spec.to_json().pretty()).unwrap();
+        let JobSpec::Circuit(job) = JobSpec::from_json(&parsed).unwrap() else {
+            panic!("wrong kind");
+        };
+        for gate in job.circuit.gates() {
+            let real = match gate {
+                Gate::One { gate, .. } => gate.matrix().is_real(),
+                Gate::Two { gate, .. } => gate.matrix().is_real(),
+            };
+            assert!(real, "real unitary lost its hint on the wire");
+        }
+    }
+
+    #[test]
+    fn circuit_signature_is_value_blind_but_structure_aware() {
+        let a = CircuitJob::new(wire_test_circuit(), vec![vec![0; 4]]);
+        let mut b = a.clone();
+        let mut c2 = Circuit::with_lattice(2, 2);
+        c2.push_one(0, Gate1::H).unwrap();
+        c2.push_one(1, Gate1::Rz(1.875)).unwrap(); // different angle, same shape
+        c2.push_one(2, Gate1::Ry(0.25)).unwrap();
+        c2.push_one(3, Gate1::Unitary(Gate1::T.matrix())).unwrap(); // same zero pattern as S
+        c2.push_two(0, 1, Gate2::Cnot).unwrap();
+        c2.push_two(3, 2, Gate2::Cz).unwrap();
+        c2.push_two(1, 3, Gate2::Unitary(Gate2::Swap.matrix())).unwrap();
+        b.circuit = c2;
+        assert_eq!(
+            JobSpec::Circuit(a.clone()).signature(),
+            JobSpec::Circuit(b).signature(),
+            "parameter values must not split a signature group"
+        );
+        let mut c = a.clone();
+        let mut moved = wire_test_circuit();
+        moved.push_one(0, Gate1::X).unwrap();
+        c.circuit = moved;
+        assert_ne!(
+            JobSpec::Circuit(a).signature(),
+            JobSpec::Circuit(c).signature(),
+            "an extra gate changes the structure"
+        );
+    }
+
+    #[test]
+    fn circuit_validation_rejects_bad_jobs() {
+        // Wrong bitstring length.
+        let j = CircuitJob::new(wire_test_circuit(), vec![vec![0, 1]]);
+        assert_eq!(JobSpec::Circuit(j).validate().unwrap_err().kind(), ErrorKind::InvalidArgument);
+        // Non-binary bit.
+        let j = CircuitJob::new(wire_test_circuit(), vec![vec![0, 1, 2, 0]]);
+        assert!(JobSpec::Circuit(j).validate().is_err());
+        // No bitstrings at all.
+        let j = CircuitJob::new(wire_test_circuit(), vec![]);
+        assert!(JobSpec::Circuit(j).validate().is_err());
+        // Statevector pinned above its qubit limit.
+        let mut j = CircuitJob::new(Circuit::new(30), vec![vec![0; 30]]);
+        j.backend = BackendChoice::Fixed(Backend::Statevector);
+        assert!(JobSpec::Circuit(j).validate().is_err());
+        // Degenerate bond caps.
+        let mut j = CircuitJob::new(wire_test_circuit(), vec![vec![0; 4]]);
+        j.backend = BackendChoice::Fixed(Backend::Mps { max_bond: 0 });
+        assert!(JobSpec::Circuit(j).validate().is_err());
     }
 }

@@ -1,40 +1,59 @@
 //! Random-quantum-circuit amplitude study (the Figure 10 workload at a
 //! laptop-friendly size), submitted through the `koala-serve` front door
-//! instead of driving the engine directly.
+//! and the `koala-circuit` gate-list front end.
 //!
-//! Computes one output amplitude of a 3x3 random circuit with BMPS and
-//! IBMPS at increasing contraction bond dimensions, showing the sharp error
-//! drop once the bond dimension crosses the entanglement threshold. Each
-//! `(method, bond)` point is a typed [`AmplitudeJob`] sharing the same
-//! circuit seed, so every job contracts the same exactly-evolved state.
+//! The seed-21 lattice circuit is converted to the typed circuit IR and
+//! dispatched with [`BackendChoice::Auto`]: at nine qubits the dispatcher
+//! picks the exact statevector oracle, which doubles as the reference for
+//! the bond sweep. The sweep itself computes the same amplitude with BMPS
+//! and IBMPS at increasing contraction bond dimensions, showing the sharp
+//! error drop once the bond dimension crosses the entanglement threshold.
 //!
 //! Run with: `cargo run --release --example rqc_amplitude`
 
+use koala::circuit::Circuit;
 use koala::peps::ContractionMethod;
-use koala::serve::{AmplitudeJob, JobResult, JobSpec, Server, ServerConfig};
-use koala::sim::{random_circuit, StateVector};
+use koala::serve::{AmplitudeJob, CircuitJob, JobResult, JobSpec, Server, ServerConfig};
+use koala::sim::random_circuit;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let n = 3;
-    // The exact reference: the same seed-21 circuit AmplitudeJob::new
-    // evolves, applied to a state vector.
     let mut rng = StdRng::seed_from_u64(21);
-    let circuit = random_circuit(n, n, 8, 4, &mut rng);
-    println!(
-        "generated an RQC with {} gates ({} entangling)",
-        circuit.len(),
-        circuit.two_qubit_count()
-    );
-    let mut sv = StateVector::computational_zeros(n, n);
-    circuit.apply_to_statevector(&mut sv);
+    let rqc = random_circuit(n, n, 8, 4, &mut rng);
+    println!("generated an RQC with {} gates ({} entangling)", rqc.len(), rqc.two_qubit_count());
+
+    // --- Front end: typed IR + auto dispatch for the exact reference. ---
+    let circuit = Circuit::from_lattice_circuit(&rqc, n, n).expect("lattice circuit converts");
     let bits = vec![0usize; n * n];
-    let exact = sv.amplitude(&bits);
+    let mut server = Server::new(ServerConfig::default());
+    server
+        .submit("figure10", JobSpec::Circuit(CircuitJob::new(circuit, vec![bits])))
+        .expect("submit");
+    let outcome = server.drain().pop().expect("one outcome");
+    let Some(JobResult::Circuit(front)) = outcome.result else {
+        panic!("circuit job failed: {:?}", outcome.error)
+    };
+    let exact = front.amplitudes[0];
+    println!(
+        "dispatcher chose backend '{}': {} gates submitted, {} executed \
+         (fusion + diagonal absorption + light-cone pruning)",
+        front.backend, front.gates_submitted, front.gates_executed
+    );
+    println!(
+        "receipt [{}]: {:.2e} hw flops ({} complex MACs, {} real MACs, {} bytes)",
+        outcome.receipt.signature,
+        outcome.receipt.work.hw_flops(),
+        outcome.receipt.work.complex_macs,
+        outcome.receipt.work.real_macs,
+        outcome.receipt.work.bytes
+    );
     println!("exact amplitude <0...0|C|0...0> = {exact}");
 
-    // AmplitudeJob::new defaults mirror this workload: the 8-layer seed-21
-    // circuit evolved exactly, asking for the all-zeros amplitude.
+    // --- The Figure 10 bond sweep: each (method, bond) point is a typed
+    // AmplitudeJob sharing the same circuit seed, so every job contracts
+    // the same exactly-evolved state. ---
     let bonds = [2usize, 8, 32];
     let mut server = Server::new(ServerConfig::default());
     for m in bonds {

@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the koala-rs stack.
+pub use koala_circuit as circuit;
 pub use koala_cluster as cluster;
 pub use koala_error as error;
 pub use koala_exec as exec;

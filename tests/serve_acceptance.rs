@@ -1,6 +1,7 @@
-//! End-to-end acceptance test for the serving layer (ISSUE PR 9).
+//! End-to-end acceptance test for the serving layer (ISSUE PR 9; circuit
+//! jobs added in PR 10).
 //!
-//! Eight concurrent jobs across three tenants must (a) return bit-identical
+//! Ten concurrent jobs across four tenants must (a) return bit-identical
 //! results to solo runs, (b) produce per-tenant receipts whose work ledgers
 //! sum *exactly* to the process-global meter delta, and (c) record zero
 //! einsum plan-cache misses when same-signature jobs re-run warm.
@@ -10,9 +11,11 @@
 //! binary on concurrent threads — a sibling test doing tensor work would
 //! perturb both deltas.
 
+use koala::circuit::{Backend, BackendChoice, Circuit, Gate1, Gate2};
 use koala::exec::WorkMeter;
 use koala::serve::{
-    AmplitudeJob, IteJob, JobResult, JobSpec, JobStatus, Server, ServerConfig, VqeJob, WorkLedger,
+    AmplitudeJob, CircuitJob, IteJob, JobResult, JobSpec, JobStatus, Server, ServerConfig, VqeJob,
+    WorkLedger,
 };
 use koala::sim::{Optimizer, VqeBackend};
 use koala::tensor::{plan_stats, reset_plan_stats};
@@ -43,9 +46,39 @@ fn amp(method: ContractionMethod, seed: u64) -> JobSpec {
     })
 }
 
-/// The eight-job mixed-tenant batch: two same-signature ITE jobs for
-/// `alpha`, two VQE backends plus an odd-shaped ITE for `beta`, and three
-/// amplitude jobs (two sharing a signature) for `gamma`.
+/// A gate-list circuit job through the `koala-circuit` front end, pinned to
+/// the MPS backend (the statevector oracle bills no tensor work, and every
+/// receipt below must be non-zero). Two jobs with different `theta` share a
+/// signature: the gate *structure* is identical, only values differ. The
+/// long-range CZ exercises SWAP routing inside the chain evolution.
+fn circuit_job(theta: f64, seed: u64) -> JobSpec {
+    let n = 5;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push_one(q, Gate1::H).expect("h");
+    }
+    for layer in 0..2 {
+        for q in 0..n - 1 {
+            if (q + layer) % 2 == 0 {
+                c.push_two(q, q + 1, Gate2::Cnot).expect("cnot");
+            }
+        }
+        for q in 0..n {
+            c.push_one(q, Gate1::Ry(theta + 0.1 * q as f64)).expect("ry");
+        }
+    }
+    c.push_two(0, n - 1, Gate2::Cz).expect("cz");
+    JobSpec::Circuit(CircuitJob {
+        backend: BackendChoice::Fixed(Backend::Mps { max_bond: 8 }),
+        seed,
+        ..CircuitJob::new(c, vec![vec![0; n], vec![1, 0, 1, 0, 1], vec![1; n]])
+    })
+}
+
+/// The ten-job mixed-tenant batch: two same-signature ITE jobs for `alpha`,
+/// two VQE backends plus an odd-shaped ITE for `beta`, three amplitude jobs
+/// (two sharing a signature) for `gamma`, and two same-signature gate-list
+/// circuit jobs for `delta`.
 fn batch() -> Vec<(&'static str, JobSpec)> {
     vec![
         ("alpha", ite_a(-1.0)),
@@ -56,6 +89,8 @@ fn batch() -> Vec<(&'static str, JobSpec)> {
         ("gamma", amp(ContractionMethod::bmps(8), 21)),
         ("gamma", amp(ContractionMethod::bmps(8), 22)),
         ("gamma", amp(ContractionMethod::ibmps(8), 21)),
+        ("delta", circuit_job(0.35, 31)),
+        ("delta", circuit_job(-0.8, 31)),
     ]
 }
 
@@ -91,12 +126,22 @@ fn assert_bits_equal(batched: &JobResult, solo: &JobResult, label: &str) {
             }
             assert_eq!(a.max_bond, b.max_bond, "{label}");
         }
+        (JobResult::Circuit(a), JobResult::Circuit(b)) => {
+            assert_eq!(a.amplitudes.len(), b.amplitudes.len(), "{label}");
+            for (x, y) in a.amplitudes.iter().zip(b.amplitudes.iter()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "{label}: amplitude re");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "{label}: amplitude im");
+            }
+            assert_eq!(a.backend, b.backend, "{label}: dispatched backend");
+            assert_eq!(a.max_bond, b.max_bond, "{label}");
+            assert_eq!(a.gates_executed, b.gates_executed, "{label}: executed gate count");
+        }
         _ => panic!("{label}: batched and solo runs returned different result kinds"),
     }
 }
 
 #[test]
-fn eight_concurrent_jobs_bill_exactly_and_match_solo_runs_bit_for_bit() {
+fn ten_concurrent_jobs_bill_exactly_and_match_solo_runs_bit_for_bit() {
     // --- Solo reference runs: each job alone on a fresh server. ---
     let solo: Vec<JobResult> = batch()
         .into_iter()
@@ -146,21 +191,35 @@ fn eight_concurrent_jobs_bill_exactly_and_match_solo_runs_bit_for_bit() {
             .filter(|o| o.receipt.tenant == name)
             .fold(WorkLedger::default(), |acc, o| acc.plus(&o.receipt.work))
     };
-    let partition = tenant_total("alpha").plus(&tenant_total("beta")).plus(&tenant_total("gamma"));
+    let partition = tenant_total("alpha")
+        .plus(&tenant_total("beta"))
+        .plus(&tenant_total("gamma"))
+        .plus(&tenant_total("delta"));
     assert_eq!(partition, delta, "tenant subtotals must partition the global delta");
 
     // --- Warm plan cache: re-running the same-signature groups must plan
     // nothing new. Every shape in these jobs was planned above, so a warm
-    // drain performs only cache hits.
+    // drain performs only cache hits. The circuit batch rides along: a warm
+    // served gate-list circuit replays the cold run's contraction plans.
     let mut warm = Server::new(ServerConfig::default());
     warm.submit("alpha", ite_a(-1.0)).expect("submit");
     warm.submit("alpha", ite_a(-0.9)).expect("submit");
     warm.submit("gamma", amp(ContractionMethod::bmps(8), 21)).expect("submit");
     warm.submit("gamma", amp(ContractionMethod::bmps(8), 22)).expect("submit");
+    warm.submit("delta", circuit_job(0.35, 31)).expect("submit");
+    warm.submit("delta", circuit_job(-0.8, 31)).expect("submit");
     reset_plan_stats();
+    let warm_before = WorkMeter::global().ledger();
     let warm_outcomes = warm.drain();
+    let warm_delta = WorkMeter::global().ledger().minus(&warm_before);
     let stats = plan_stats();
     assert!(warm_outcomes.iter().all(|o| o.receipt.status == JobStatus::Ok));
     assert_eq!(stats.misses, 0, "warm same-signature jobs must not miss the plan cache");
     assert!(stats.hits > 0, "the warm batch must actually exercise the plan cache");
+
+    // Warm receipts still bill exactly: caching changes planning, not work
+    // accounting.
+    let warm_billed =
+        warm_outcomes.iter().fold(WorkLedger::default(), |acc, o| acc.plus(&o.receipt.work));
+    assert_eq!(warm_billed, warm_delta, "warm receipts must sum exactly to the meter delta");
 }
